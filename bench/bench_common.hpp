@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+
+namespace lobster::bench {
+
+/// Parses key=value CLI arguments. Every bench accepts `csv_dir=<path>` to
+/// additionally dump each printed table as CSV.
+inline Config parse_args(int argc, char** argv) {
+  return Config::from_args(argc, argv);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints the table and, when `csv_dir` is configured, also writes
+/// `<csv_dir>/<name>.csv`.
+inline void emit(const Config& config, const std::string& name, const Table& table) {
+  std::printf("%s\n", table.render_text().c_str());
+  const std::string csv_dir = config.get_string("csv_dir", "");
+  if (csv_dir.empty()) return;
+  std::filesystem::create_directories(csv_dir);
+  const std::string path = csv_dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << table.render_csv();
+  std::printf("(csv written to %s)\n\n", path.c_str());
+}
+
+inline void warn_unconsumed(const Config& config) {
+  (void)config.get_string("csv_dir", "");  // always legal
+  for (const auto& key : config.unconsumed()) {
+    std::fprintf(stderr, "warning: unknown option '%s'\n", key.c_str());
+  }
+}
+
+}  // namespace lobster::bench

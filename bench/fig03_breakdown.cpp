@@ -1,0 +1,92 @@
+// Fig. 3 — execution-time breakdown of the training pipeline under DALI
+// for three GPUs (two co-located, one on another node), sampled at the
+// beginning / middle / end of epoch 1 (epoch 0 is cache warm-up, as the
+// paper discards it). Also reports the Observation 1/2 statistics: the
+// fraction of iterations with load imbalance (paper: 65.3 %) and the worst
+// loading/training ratio during bursts (paper: up to 3x).
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/strategies.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "pipeline/simulator.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const double scale = config.get_double("scale", 16.0);
+  const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 8));
+  bench::warn_unconsumed(config);
+
+  bench::print_header(
+      "Fig. 3: pipeline breakdown per iteration (DALI, ImageNet-1K, 8x8 GPUs)",
+      "imbalance in 65.3% of iterations; loading up to 3x training during bursts");
+
+  auto preset = pipeline::preset_imagenet1k_multi_node(scale, nodes);
+  preset.epochs = 2;
+
+  pipeline::SimulationConfig sim_config;
+  sim_config.preset = preset;
+  sim_config.strategy = baselines::LoaderStrategy::dali();
+  sim_config.detail_epoch_lo = 1;
+  sim_config.detail_epoch_hi = 2;
+  pipeline::TrainingSimulator simulator(std::move(sim_config));
+  const auto result = simulator.run();
+
+  const auto& details = result.metrics.details();
+  const std::uint32_t I = result.iterations_per_epoch;
+  const std::uint16_t gpus = preset.cluster.gpus_per_node;
+
+  // The paper's three GPUs: Node1/GPU0, Node1/GPU1, Node2/GPU1.
+  struct Pick {
+    const char* label;
+    std::uint32_t flat;
+  };
+  const Pick picks[] = {
+      {"node1.gpu0", flat_gpu_rank({1, 0}, gpus)},
+      {"node1.gpu1", flat_gpu_rank({1, 1}, gpus)},
+      {"node2.gpu1", flat_gpu_rank({2, 1}, gpus)},
+  };
+
+  // 8 iterations each from the beginning, middle and end of the epoch.
+  std::vector<std::uint32_t> sampled;
+  for (std::uint32_t k = 0; k < 8 && k < I; ++k) sampled.push_back(k);
+  for (std::uint32_t k = 0; k < 8 && I / 2 + k < I; ++k) sampled.push_back(I / 2 + k);
+  for (std::uint32_t k = 8; k >= 1 && I >= k; --k) sampled.push_back(I - k);
+
+  Table table({"iter", "gpu", "load_ms", "preproc_ms", "train_ms", "idle_ms", "bottleneck"});
+  for (const std::uint32_t h : sampled) {
+    if (h >= details.size()) continue;
+    const auto& record = details[h];
+    for (const auto& pick : picks) {
+      const auto& gpu = record.gpus.at(pick.flat);
+      const bool loading_bound = gpu.load + gpu.preproc > gpu.train;
+      table.add_row({std::to_string(h), pick.label, Table::num(gpu.load * 1e3, 2),
+                     Table::num(gpu.preproc * 1e3, 2), Table::num(gpu.train * 1e3, 2),
+                     Table::num(gpu.idle * 1e3, 2), loading_bound ? "loading" : "training"});
+    }
+  }
+  bench::emit(config, "fig03", table);
+
+  // Observation 1/2 statistics over the measured epoch.
+  std::uint64_t imbalanced = 0;
+  std::uint64_t loading_bottleneck = 0;
+  double worst_ratio = 0.0;
+  for (const auto& record : details) {
+    if (record.imbalanced) ++imbalanced;
+    if (record.loading_bottleneck) ++loading_bottleneck;
+    for (const auto& gpu : record.gpus) {
+      if (gpu.train > 0.0) worst_ratio = std::max(worst_ratio, (gpu.load + gpu.preproc) / gpu.train);
+    }
+  }
+  std::printf("Observation 1: imbalanced iterations (epoch 1): %llu / %zu (%.1f%%)  [paper: 65.3%%]\n",
+              static_cast<unsigned long long>(imbalanced), details.size(),
+              100.0 * static_cast<double>(imbalanced) / static_cast<double>(details.size()));
+  std::printf("Observation 2: iterations where loading+preproc bottlenecks a GPU: %llu / %zu\n",
+              static_cast<unsigned long long>(loading_bottleneck), details.size());
+  std::printf("Observation 2: worst (load+preproc)/train ratio: %.2fx  [paper: up to 3x]\n",
+              worst_ratio);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 4 — histogram of node-level reuse distances of training samples.
+// Paper: for ImageNet-1K on the 8-node/64-GPU setup, ~80% of samples have
+// a reuse distance above 1000 iterations, i.e. well beyond one epoch.
+// Distances scale with the (scaled) iterations-per-epoch, so we report both
+// the raw histogram and the epoch-relative fractions the claim rests on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/dataset.hpp"
+#include "data/reuse.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const double scale = config.get_double("scale", 64.0);
+  const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 8));
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 30));
+  bench::warn_unconsumed(config);
+
+  bench::print_header("Fig. 4: reuse-distance histogram (node 1, ImageNet-1K, 8 nodes)",
+                      "~80% of samples have reuse distance > 1000 iterations (>= 1 epoch)");
+
+  const auto dataset = data::DatasetSpec::imagenet1k(scale);
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = dataset.num_samples;
+  sampler_config.nodes = nodes;
+  sampler_config.gpus_per_node = 8;
+  sampler_config.batch_size = 32;
+  sampler_config.seed = 42;
+  const data::EpochSampler sampler(sampler_config);
+  const std::uint32_t I = sampler.iterations_per_epoch();
+
+  const auto analysis = data::analyze_reuse(sampler, epochs, /*node=*/1);
+
+  std::printf("iterations/epoch (scaled): %u   reuse pairs: %llu\n", I,
+              static_cast<unsigned long long>(analysis.pairs));
+  std::printf("\nreuse distance histogram (iterations, log2 buckets):\n%s\n",
+              analysis.histogram.render().c_str());
+  std::printf("mean reuse distance: %.1f iterations (%.2f epochs)\n", analysis.mean_distance,
+              analysis.mean_distance / static_cast<double>(I));
+  std::printf("fraction with distance >= 1 epoch:   %.1f%%   [paper: \"long\" for most samples]\n",
+              100.0 * analysis.fraction_beyond_epoch);
+  // The paper's ">1000 iterations" threshold at its epoch length (562
+  // iterations on 64 GPUs) is 1000/562 ~ 1.78 epochs; apply the same
+  // epoch-relative threshold at our scale.
+  const auto threshold = static_cast<std::uint64_t>(1000.0 / 562.0 * static_cast<double>(I));
+  std::printf("fraction with distance > %llu (= 1000 full-scale-equivalent): %.1f%%  [paper: ~80%%]\n",
+              static_cast<unsigned long long>(threshold),
+              100.0 * analysis.histogram.fraction_above(threshold));
+  return 0;
+}

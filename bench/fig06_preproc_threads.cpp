@@ -1,0 +1,46 @@
+// Fig. 6 — preprocessing throughput vs thread count. Paper: throughput
+// peaks at 6 threads, then flattens and slightly degrades (memory
+// bandwidth contention). Prints the measured curve, the portfolio model's
+// predictions, and the knee the model selects (the thread count Lobster
+// allocates to preprocessing, §4.1).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/preproc_model.hpp"
+#include "metrics/report.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const auto max_threads = static_cast<std::uint32_t>(config.get_int("max_threads", 16));
+  const auto sample_bytes = static_cast<Bytes>(config.get_int("sample_bytes", 105 * 1024));
+  bench::warn_unconsumed(config);
+
+  bench::print_header("Fig. 6: preprocessing throughput vs threads",
+                      "throughput peaks at 6 threads, then flattens / slightly degrades");
+
+  const core::PreprocGroundTruth truth;
+  const core::PreprocModelPortfolio portfolio(truth, {sample_bytes / 2, sample_bytes,
+                                                      sample_bytes * 2},
+                                              max_threads, /*repeats=*/3, /*seed=*/42);
+
+  Table table({"threads", "measured_samples_per_s", "predicted_samples_per_s", "model_error_%"});
+  std::vector<double> series;
+  for (std::uint32_t t = 1; t <= max_threads; ++t) {
+    const double measured = 1.0 / truth.time_per_sample(t, sample_bytes);
+    const double predicted = 1.0 / portfolio.predict_time_per_sample(t, sample_bytes);
+    series.push_back(measured);
+    table.add_row({std::to_string(t), Table::num(measured, 1), Table::num(predicted, 1),
+                   Table::num(100.0 * std::abs(predicted - measured) / measured, 2)});
+  }
+  bench::emit(config, "fig06", table);
+  std::printf("throughput curve: |%s|\n", metrics::render_series(series, max_threads).c_str());
+  std::printf("true knee: %u threads   model-selected optimum: %u threads   [paper: 6]\n",
+              truth.params().knee_threads, portfolio.optimal_threads(sample_bytes));
+  std::printf("portfolio fit R^2 at %llu bytes: %.4f\n",
+              static_cast<unsigned long long>(sample_bytes),
+              portfolio.fit_r_squared(sample_bytes));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Fig. 7 — end-to-end training speedups of Lobster vs PyTorch DataLoader,
+// DALI and NoPFS:
+//   (a) single node, ImageNet-1K, six models  — paper: Lobster 1.6x vs
+//       PyTorch, 1.7x vs DALI, 1.2x vs NoPFS;
+//   (b) single node, ImageNet-22K             — paper: 1.8x vs PyTorch;
+//   (c) 8 nodes, ImageNet-22K                 — paper: 2.0x / 1.4x / 1.2x;
+//   (d) scalability over node counts          — paper: avg 1.53x (up to
+//       1.9x) vs PyTorch for ImageNet-22K.
+// Epoch 0 (cache warm-up) is excluded from timings, as in the paper.
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "baselines/strategies.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "pipeline/simulator.hpp"
+#include "pipeline/trainer_model.hpp"
+
+using namespace lobster;
+using baselines::LoaderStrategy;
+
+namespace {
+
+const char* kStrategies[] = {"pytorch", "dali", "nopfs", "lobster"};
+
+void run_panel(const Config& config, const char* csv_name, const char* title, const char* claim,
+               const std::vector<std::pair<std::string, pipeline::ExperimentPreset>>& rows) {
+  bench::print_header(title, claim);
+  Table table({"workload", "pytorch_s", "dali_s", "nopfs_s", "lobster_s", "vs_pytorch",
+               "vs_dali", "vs_nopfs"});
+  for (const auto& [label, preset] : rows) {
+    std::map<std::string, pipeline::SimulationResult> results;
+    for (const char* strategy : kStrategies) {
+      results.emplace(strategy, pipeline::simulate(preset, LoaderStrategy::by_name(strategy)));
+    }
+    const double lobster = results.at("lobster").metrics.time_after_epoch(1);
+    auto time_of = [&](const char* s) { return results.at(s).metrics.time_after_epoch(1); };
+    table.add_row({label, Table::num(time_of("pytorch"), 3), Table::num(time_of("dali"), 3),
+                   Table::num(time_of("nopfs"), 3), Table::num(lobster, 3),
+                   Table::num(time_of("pytorch") / lobster, 2),
+                   Table::num(time_of("dali") / lobster, 2),
+                   Table::num(time_of("nopfs") / lobster, 2)});
+  }
+  bench::emit(config, csv_name, table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const double scale1k = config.get_double("scale1k", 256.0);
+  const double scale22k = config.get_double("scale22k", 1024.0);
+  const double scale22k_multi = config.get_double("scale22k_multi", 256.0);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 4));
+  const bool all_models = config.get_bool("all_models", true);
+  bench::warn_unconsumed(config);
+
+  const auto& models = pipeline::TrainerModel::benchmark_names();
+  const std::vector<std::string> used_models =
+      all_models ? models : std::vector<std::string>{"resnet50"};
+
+  // ---- (a) single node, ImageNet-1K
+  {
+    std::vector<std::pair<std::string, pipeline::ExperimentPreset>> rows;
+    for (const auto& model : used_models) {
+      auto preset = pipeline::preset_imagenet1k_single_node(scale1k, model);
+      preset.epochs = epochs;
+      rows.emplace_back(model, std::move(preset));
+    }
+    run_panel(config, "fig07a", "Fig. 7(a): single node (8 GPUs), ImageNet-1K",
+              "Lobster 1.6x vs PyTorch, 1.7x vs DALI, 1.2x vs NoPFS", rows);
+  }
+
+  // ---- (b) single node, ImageNet-22K
+  {
+    std::vector<std::pair<std::string, pipeline::ExperimentPreset>> rows;
+    for (const auto& model : used_models) {
+      auto preset = pipeline::preset_imagenet22k_single_node(scale22k, model);
+      preset.epochs = epochs;
+      rows.emplace_back(model, std::move(preset));
+    }
+    run_panel(config, "fig07b", "Fig. 7(b): single node (8 GPUs), ImageNet-22K",
+              "Lobster 1.8x vs PyTorch (larger dataset amplifies the gain)", rows);
+  }
+
+  // ---- (c) 8 nodes, ImageNet-22K
+  {
+    std::vector<std::pair<std::string, pipeline::ExperimentPreset>> rows;
+    auto preset = pipeline::preset_imagenet22k_multi_node(scale22k_multi, 8);
+    preset.epochs = epochs;
+    rows.emplace_back("resnet50/8nodes", std::move(preset));
+    run_panel(config, "fig07c", "Fig. 7(c): 8 nodes x 8 GPUs, ImageNet-22K",
+              "Lobster 2.0x vs PyTorch, 1.4x vs DALI, 1.2x vs NoPFS", rows);
+  }
+
+  // ---- (d) scalability: lobster vs pytorch across node counts
+  {
+    bench::print_header("Fig. 7(d): scalability vs node count (ImageNet-22K)",
+                        "Lobster vs PyTorch speedup 1.2x-2.0x, avg ~1.53x");
+    Table table({"nodes", "pytorch_s", "lobster_s", "speedup"});
+    double speedup_sum = 0.0;
+    int speedup_count = 0;
+    for (const std::uint16_t nodes : {1, 2, 4, 8}) {
+      auto preset = pipeline::preset_imagenet22k_multi_node(scale22k_multi, nodes);
+      preset.epochs = epochs;
+      const auto pytorch = pipeline::simulate(preset, LoaderStrategy::pytorch());
+      const auto lobster = pipeline::simulate(preset, LoaderStrategy::lobster());
+      const double speedup = metrics::warm_speedup(pytorch, lobster);
+      speedup_sum += speedup;
+      ++speedup_count;
+      table.add_row({std::to_string(nodes), Table::num(pytorch.metrics.time_after_epoch(1), 3),
+                     Table::num(lobster.metrics.time_after_epoch(1), 3),
+                     Table::num(speedup, 2)});
+    }
+    bench::emit(config, "fig07d", table);
+    std::printf("average speedup vs PyTorch: %.2fx  [paper: 1.53x average, up to 1.9x]\n",
+                speedup_sum / speedup_count);
+  }
+  return 0;
+}

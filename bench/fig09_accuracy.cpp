@@ -1,0 +1,70 @@
+// Fig. 9 — training accuracy is loader-independent. The paper trains
+// ResNet50/ImageNet-1K under PyTorch DataLoader and Lobster and shows
+// coinciding curves ("slight variation due to different random seeds for
+// network parameters"), both converging around the same epoch.
+//
+// Lobster never alters the sample order — it only changes *where* samples
+// are read from — so the training stream an optimizer sees is bit-identical
+// under every loader. We reproduce the claim with a real training loop: a
+// data-parallel MLP on a synthetic classification task whose batches come
+// from the same deterministic EpochSampler all loader strategies share.
+// Run A ("pytorch") and run B ("lobster") use the identical sampler seed
+// and differ only in network-init seed, exactly as in the paper.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "nn/model.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 40));
+  const auto samples = static_cast<std::uint32_t>(config.get_int("samples", 4096));
+  const auto classes = static_cast<std::uint32_t>(config.get_int("classes", 10));
+  bench::warn_unconsumed(config);
+
+  bench::print_header("Fig. 9: accuracy curves under PyTorch-order vs Lobster-order loading",
+                      "curves coincide up to init-seed noise; same convergence epoch");
+
+  const nn::SyntheticTask task(classes, 32, 0.35, /*seed=*/7);
+
+  nn::DataParallelConfig base;
+  base.replicas = 8;
+  base.batch_size = 32;
+  base.epochs = epochs;
+  base.sampler_seed = 42;  // identical data order for both runs
+
+  auto pytorch_run = base;
+  pytorch_run.model_seed = 1;
+  auto lobster_run = base;
+  lobster_run.model_seed = 2;
+
+  const auto curve_pytorch = nn::train_data_parallel(task, samples, pytorch_run);
+  const auto curve_lobster = nn::train_data_parallel(task, samples, lobster_run);
+
+  Table table({"epoch", "pytorch_eval_acc", "lobster_eval_acc", "abs_gap"});
+  double max_gap = 0.0;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    const double gap = std::abs(curve_pytorch.eval_accuracy[e] - curve_lobster.eval_accuracy[e]);
+    max_gap = std::max(max_gap, gap);
+    table.add_row({std::to_string(e), Table::num(curve_pytorch.eval_accuracy[e], 4),
+                   Table::num(curve_lobster.eval_accuracy[e], 4), Table::num(gap, 4)});
+  }
+  bench::emit(config, "fig09", table);
+  std::printf("final accuracy: pytorch-order %.4f, lobster-order %.4f\n",
+              curve_pytorch.eval_accuracy.back(), curve_lobster.eval_accuracy.back());
+  std::printf("max per-epoch gap: %.4f  [paper: slight variation from init seeds only]\n",
+              max_gap);
+
+  // Control: with identical model seeds too, the curves must be identical —
+  // proof that the loader choice leaves the training stream untouched.
+  auto control = base;
+  control.model_seed = 1;
+  const auto curve_control = nn::train_data_parallel(task, samples, control);
+  bool identical = curve_control.eval_accuracy == curve_pytorch.eval_accuracy;
+  std::printf("control (same init seed under both loaders): curves identical = %s\n",
+              identical ? "yes" : "NO (unexpected!)");
+  return identical ? 0 : 1;
+}

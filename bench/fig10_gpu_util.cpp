@@ -1,0 +1,46 @@
+// Fig. 10 — GPU utilisation across the six benchmark DNNs on one node
+// (ImageNet-1K). Paper averages: Lobster 76.1% vs 52.3% (PyTorch),
+// 57.5% (DALI), 72.4% (NoPFS).
+#include <cstdio>
+
+#include "baselines/strategies.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "pipeline/simulator.hpp"
+#include "pipeline/trainer_model.hpp"
+
+using namespace lobster;
+using baselines::LoaderStrategy;
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const double scale = config.get_double("scale", 256.0);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 4));
+  bench::warn_unconsumed(config);
+
+  bench::print_header("Fig. 10: GPU utilisation per DNN (1 node, ImageNet-1K)",
+                      "averages: PyTorch 52.3%, DALI 57.5%, NoPFS 72.4%, Lobster 76.1%");
+
+  const char* strategies[] = {"pytorch", "dali", "nopfs", "lobster"};
+  Table table({"model", "pytorch", "dali", "nopfs", "lobster"});
+  double sums[4] = {0, 0, 0, 0};
+  const auto& models = pipeline::TrainerModel::benchmark_names();
+  for (const auto& model : models) {
+    auto preset = pipeline::preset_imagenet1k_single_node(scale, model);
+    preset.epochs = epochs;
+    std::vector<std::string> row = {model};
+    for (int i = 0; i < 4; ++i) {
+      const auto result = pipeline::simulate(preset, LoaderStrategy::by_name(strategies[i]));
+      const double util = result.metrics.gpu_utilization();
+      sums[i] += util;
+      row.push_back(Table::num(util * 100.0, 1));
+    }
+    table.add_row(row);
+  }
+  bench::emit(config, "fig10", table);
+  std::printf("averages: pytorch %.1f%%, dali %.1f%%, nopfs %.1f%%, lobster %.1f%%\n",
+              100.0 * sums[0] / models.size(), 100.0 * sums[1] / models.size(),
+              100.0 * sums[2] / models.size(), 100.0 * sums[3] / models.size());
+  std::printf("[paper: 52.3%%, 57.5%%, 72.4%%, 76.1%%]\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Component microbenchmarks (google-benchmark): costs of the pieces that
+// run on Lobster's hot paths — the PRNG and shuffles, the piecewise fitter,
+// cache operations per eviction policy, oracle queries, Algorithm 1 solves,
+// prefetch planning, the DES resource, and one simulated training iteration.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/strategies.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/policies.hpp"
+#include "cache/prefetcher.hpp"
+#include "common/piecewise_linear.hpp"
+#include "common/rng.hpp"
+#include "core/perf_model.hpp"
+#include "core/preproc_model.hpp"
+#include "core/thread_allocator.hpp"
+#include "data/oracle.hpp"
+#include "pipeline/simulator.hpp"
+#include "sim/resource.hpp"
+
+namespace {
+
+using namespace lobster;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.bounded(1'000'000));
+}
+BENCHMARK(BM_RngBounded);
+
+void BM_Permutation(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(random_permutation(n, rng));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Permutation)->Arg(1024)->Arg(65536);
+
+void BM_PiecewiseFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<double>(i);
+    ys[i] = (i < n / 2 ? 100.0 - static_cast<double>(i) : static_cast<double>(i)) +
+            rng.normal(0.0, 0.5);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(fit_piecewise_linear(xs, ys, 4));
+}
+BENCHMARK(BM_PiecewiseFit)->Arg(32)->Arg(128);
+
+struct CacheBench {
+  CacheBench(const std::string& policy)
+      : catalog(data::DatasetSpec::uniform(100'000, 100'000), 1),
+        cache(0, 1'000'000'000ULL, cache::make_policy(policy), catalog, nullptr, nullptr, 100) {}
+  data::SampleCatalog catalog;
+  cache::NodeCache cache;
+};
+
+void BM_CacheInsertEvict(benchmark::State& state, const std::string& policy) {
+  CacheBench bench(policy);
+  Rng rng(7);
+  IterId now = 0;
+  for (auto _ : state) {
+    const auto s = static_cast<SampleId>(rng.bounded(100'000));
+    if (!bench.cache.access(s, now)) bench.cache.insert(s, now);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CacheInsertEvict, lru, std::string("lru"));
+BENCHMARK_CAPTURE(BM_CacheInsertEvict, fifo, std::string("fifo"));
+
+void BM_OracleQueries(benchmark::State& state) {
+  data::SamplerConfig config;
+  config.num_samples = 50'000;
+  config.nodes = 8;
+  config.gpus_per_node = 8;
+  config.batch_size = 32;
+  const data::EpochSampler sampler(config);
+  const data::FutureAccessOracle oracle(sampler, 3);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto s = static_cast<SampleId>(rng.bounded(50'000));
+    benchmark::DoNotOptimize(oracle.reuse_distance_on_node(s, 3, 10));
+  }
+}
+BENCHMARK(BM_OracleQueries);
+
+void BM_Algorithm1Solve(benchmark::State& state) {
+  const storage::StorageModel storage;
+  const core::PreprocGroundTruth truth;
+  const core::PreprocModelPortfolio portfolio(truth, {100'000}, 16, 3, 1);
+  const core::PerfModel model(storage, portfolio, 13e-3);
+  core::AllocatorConfig config;
+  config.total_load_threads = 80;
+  const core::ThreadAllocator allocator(model, config);
+  std::vector<core::GpuDemand> demands(8);
+  Rng rng(2);
+  for (auto& d : demands) {
+    d.bytes.local = rng.bounded(2'000'000);
+    d.bytes.pfs = rng.bounded(2'000'000);
+    d.samples = 32;
+    d.pending_requests = d.bytes.pfs;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(allocator.allocate(demands, 6.0));
+}
+BENCHMARK(BM_Algorithm1Solve);
+
+void BM_PrefetchPlan(benchmark::State& state) {
+  data::SamplerConfig config;
+  config.num_samples = 50'000;
+  config.nodes = 1;
+  config.gpus_per_node = 8;
+  config.batch_size = 32;
+  const data::EpochSampler sampler(config);
+  const data::SampleCatalog catalog(data::DatasetSpec::uniform(50'000, 100'000), 1);
+  cache::NodeCache node_cache(0, 4'000'000'000ULL, cache::make_policy("lru"), catalog, nullptr,
+                              nullptr, sampler.iterations_per_epoch());
+  const cache::Prefetcher prefetcher(sampler, catalog, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prefetcher.plan(0, 0, 0, node_cache, nullptr, 0, 20'000'000, 10));
+  }
+}
+BENCHMARK(BM_PrefetchPlan);
+
+void BM_DesResource(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Resource resource(engine, "pfs", 1e9, 1e8);
+    for (int i = 0; i < 64; ++i) resource.submit(100'000, [](sim::JobId, Seconds) {});
+    engine.run();
+    benchmark::DoNotOptimize(resource.bytes_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DesResource);
+
+void BM_SimulatorIteration(benchmark::State& state, const char* strategy) {
+  auto preset = pipeline::preset_imagenet1k_single_node(512.0);
+  preset.epochs = 1;
+  for (auto _ : state) {
+    const auto result =
+        pipeline::simulate(preset, baselines::LoaderStrategy::by_name(strategy));
+    benchmark::DoNotOptimize(result.metrics.total_time());
+  }
+  state.SetLabel("one scaled epoch per iteration");
+}
+BENCHMARK_CAPTURE(BM_SimulatorIteration, dali, "dali")->Iterations(3);
+BENCHMARK_CAPTURE(BM_SimulatorIteration, lobster, "lobster")->Iterations(3);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Cache-policy explorer: drive the node cache directly with a real training
+// access trace and compare eviction policies across cache sizes — the §4.4
+// mechanism in isolation (no pipeline timing involved).
+//
+//   $ ./cache_policy_explorer [scale=512] [epochs=4]
+//
+// Shows the effect the paper's §5.5 quantifies: with the same prefetch-free
+// demand trace, the reuse-distance policy retains the samples the node will
+// actually need, so its hit ratio grows much faster with cache size than
+// LRU/FIFO under the epoch-shuffled access pattern.
+#include <cstdio>
+
+#include "cache/node_cache.hpp"
+#include "cache/policies.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "data/dataset.hpp"
+#include "data/oracle.hpp"
+#include "data/sampler.hpp"
+
+using namespace lobster;
+
+namespace {
+
+double run_trace(const data::EpochSampler& sampler, const data::SampleCatalog& catalog,
+                 const std::string& policy_name, double cache_fraction, std::uint32_t epochs) {
+  const auto capacity = static_cast<Bytes>(
+      static_cast<double>(catalog.total_bytes()) * cache_fraction);
+  data::FutureAccessOracle oracle(sampler, 3);  // slid forward each epoch
+  auto policy = cache::make_policy(policy_name);
+  if (auto* reuse = dynamic_cast<cache::LobsterReusePolicy*>(policy.get())) {
+    reuse->bind(&oracle, 0);
+  }
+  cache::NodeCache node_cache(0, std::max<Bytes>(capacity, 1), std::move(policy), catalog,
+                              nullptr, &oracle, sampler.iterations_per_epoch());
+
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    oracle.rebase(e);
+    node_cache.on_epoch(sampler.global_iter(e, 0));
+    for (std::uint32_t h = 0; h < sampler.iterations_per_epoch(); ++h) {
+      const IterId now = sampler.global_iter(e, h);
+      const auto batch = sampler.node_batch(e, h, 0);
+      for (const SampleId s : batch) node_cache.pin(s);
+      for (const SampleId s : batch) {
+        if (!node_cache.access(s, now)) {
+          node_cache.insert(s, now, oracle.reuse_distance_on_node(s, 0, now));
+        }
+      }
+      node_cache.unpin_all();
+    }
+  }
+  return node_cache.stats().hit_ratio();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = Config::from_args(argc, argv);
+  const double scale = config.get_double("scale", 512.0);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 4));
+
+  const auto spec = data::DatasetSpec::imagenet1k(scale);
+  const data::SampleCatalog catalog(spec, 42);
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = catalog.size();
+  sampler_config.nodes = 1;
+  sampler_config.gpus_per_node = 8;
+  sampler_config.batch_size = 32;
+  sampler_config.seed = 42;
+  const data::EpochSampler sampler(sampler_config);
+
+  std::printf("Eviction-policy hit ratios on a demand-only training trace\n");
+  std::printf("(%u samples, %u iterations/epoch, %u epochs)\n\n", catalog.size(),
+              sampler.iterations_per_epoch(), epochs);
+
+  Table table({"cache_fraction", "lru_hit_%", "fifo_hit_%", "lobster_hit_%"});
+  for (const double fraction : {0.05, 0.1, 0.2, 0.3, 0.5, 0.8}) {
+    table.add_row({Table::num(fraction, 2),
+                   Table::num(100.0 * run_trace(sampler, catalog, "lru", fraction, epochs), 1),
+                   Table::num(100.0 * run_trace(sampler, catalog, "fifo", fraction, epochs), 1),
+                   Table::num(100.0 * run_trace(sampler, catalog, "lobster", fraction, epochs), 1)});
+  }
+  std::printf("%s\n", table.render_text().c_str());
+  std::printf("Under epoch-shuffled access, LRU/FIFO retention collapses (a sample's next\n"
+              "use is ~one epoch away, far beyond what recency can hold), while the\n"
+              "reuse-distance policy retains exactly the soonest-needed samples.\n");
+  return 0;
+}

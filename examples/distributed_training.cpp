@@ -1,0 +1,44 @@
+// Distributed training scenario: scaling from 1 to 8 nodes on ImageNet-22K
+// and watching where each loader's time goes — the multi-node story of
+// §5.2: the distributed cache turns PFS misses into remote-cache hits, and
+// Lobster's eviction keeps the right samples resident.
+//
+//   $ ./distributed_training [scale=256] [epochs=4]
+#include <cstdio>
+
+#include "baselines/strategies.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "pipeline/simulator.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = Config::from_args(argc, argv);
+  const double scale = config.get_double("scale", 256.0);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 4));
+
+  std::printf("Distributed data-parallel training across node counts (ImageNet-22K)\n\n");
+
+  Table table({"nodes", "strategy", "warm_time_s", "hit_%", "imbalanced_%", "util_%",
+               "samples_per_s"});
+  for (const std::uint16_t nodes : {1, 2, 4, 8}) {
+    auto preset = pipeline::preset_imagenet22k_multi_node(scale, nodes);
+    preset.epochs = epochs;
+    for (const char* name : {"pytorch", "nopfs", "lobster"}) {
+      const auto result = pipeline::simulate(preset, baselines::LoaderStrategy::by_name(name));
+      table.add_row({std::to_string(nodes), name,
+                     Table::num(result.metrics.time_after_epoch(1), 3),
+                     Table::num(100.0 * result.metrics.hit_ratio(), 1),
+                     Table::num(100.0 * result.metrics.imbalanced_fraction(), 1),
+                     Table::num(100.0 * result.metrics.gpu_utilization(), 1),
+                     Table::num(result.samples_per_second, 0)});
+    }
+  }
+  std::printf("%s\n", table.render_text().c_str());
+  std::printf("Reading guide: as nodes grow, the aggregate cache covers more of the dataset,\n"
+              "so clairvoyant loaders (NoPFS, Lobster) convert PFS misses into remote hits\n"
+              "while PyTorch keeps paying the shared-PFS price — the Fig. 7(c)/(d) effect.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: simulate one epoch-scale training run under each loader and
+// print the comparison the paper's evaluation is built around.
+//
+//   $ ./quickstart [scale=256] [epochs=4] [model=resnet50]
+//
+// Walks through the core public API: build an experiment preset (cluster +
+// dataset + calibration), pick loader strategies, run the pipeline
+// simulator, and read the metrics.
+#include <cstdio>
+
+#include "baselines/strategies.hpp"
+#include "common/config.hpp"
+#include "common/units.hpp"
+#include "metrics/report.hpp"
+#include "pipeline/simulator.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = Config::from_args(argc, argv);
+  const double scale = config.get_double("scale", 256.0);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 4));
+  const auto model = config.get_string("model", "resnet50");
+
+  // 1. An experiment preset: ThetaGPU-like node (8 GPUs, 128 CPU threads,
+  //    40 GB sample cache) training `model` on a scaled ImageNet-1K.
+  auto preset = pipeline::preset_imagenet1k_single_node(scale, model);
+  preset.epochs = epochs;
+
+  std::printf("Lobster quickstart\n");
+  std::printf("  dataset: %s, %u samples (~%s)\n", preset.dataset.name.c_str(),
+              preset.dataset.num_samples,
+              format_bytes(pipeline::scaled_cache_bytes(preset.dataset, preset.seed, 1.0)).c_str());
+  std::printf("  node cache: %s (the paper's 40 GB / 135 GB ratio)\n",
+              format_bytes(preset.cluster.cache_bytes).c_str());
+  std::printf("  model: %s, %u epochs\n\n", model.c_str(), epochs);
+
+  // 2. Run the same workload under each loader strategy.
+  std::vector<metrics::StrategyResult> results;
+  for (const char* name : {"pytorch", "dali", "nopfs", "lobster"}) {
+    results.push_back({name, pipeline::simulate(preset, baselines::LoaderStrategy::by_name(name))});
+  }
+
+  // 3. Compare (epoch 0 is cache warm-up and excluded, as in the paper).
+  std::printf("%s\n", metrics::comparison_table(results).render_text().c_str());
+
+  const auto& lobster_result = results.back().result;
+  std::printf("Lobster details: mean loading threads/node %.1f, preprocessing threads/node %.1f\n",
+              lobster_result.mean_load_threads, lobster_result.mean_preproc_threads);
+  std::printf("                 %.0f samples/s, cache hit ratio %.1f%%\n",
+              lobster_result.samples_per_second, 100.0 * lobster_result.metrics.hit_ratio());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared-dataset multi-job training (§2 generality scenario).
+//
+// Several model-selection jobs train different DNNs over the same dataset,
+// time-sharing the GPUs round-robin. The node caches are shared: a sample
+// staged for one job is a hit for every job, and Lobster's eviction
+// consults the merged future-access view of all jobs. This demo compares
+// the shared-cache hit ratio and per-job times under LRU vs Lobster
+// eviction as the job count grows.
+//
+//   $ ./shared_dataset_jobs [scale=512] [epochs=3]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "pipeline/multi_job.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  const auto config = Config::from_args(argc, argv);
+  const double scale = config.get_double("scale", 512.0);
+  const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 3));
+
+  const char* models[] = {"resnet50", "shufflenet", "vgg11", "alexnet"};
+
+  std::printf("Shared-dataset model-selection: J jobs round-robin over one dataset\n\n");
+  Table table({"jobs", "policy", "combined_hit_%", "total_time_s", "per_job_imbalanced_%"});
+  for (const std::size_t job_count : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const char* policy : {"lru", "lobster"}) {
+      pipeline::MultiJobConfig multi;
+      multi.preset = pipeline::preset_imagenet1k_single_node(scale);
+      multi.preset.epochs = epochs;
+      multi.strategy = baselines::LoaderStrategy::lobster();
+      multi.strategy.eviction_policy = policy;
+      multi.strategy.reuse_sweep = std::string(policy) == "lobster";
+      for (std::size_t j = 0; j < job_count; ++j) {
+        multi.jobs.push_back({models[j % 4], j});
+      }
+      const auto result = pipeline::simulate_multi_job(multi);
+      double imbalanced = 0.0;
+      for (const auto& metrics : result.per_job) imbalanced += metrics.imbalanced_fraction();
+      imbalanced /= static_cast<double>(result.per_job.size());
+      table.add_row({std::to_string(job_count), policy,
+                     Table::num(100.0 * result.combined_cache.hit_ratio(), 1),
+                     Table::num(result.total_time, 3), Table::num(100.0 * imbalanced, 1)});
+    }
+  }
+  std::printf("%s\n", table.render_text().c_str());
+  std::printf("More jobs sharing the cache raise reuse pressure; the merged-oracle Lobster\n"
+              "policy keeps the samples *some* job needs soonest, so its advantage over LRU\n"
+              "persists (and the eviction decisions stay coherent across jobs).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "baselines/strategies.hpp"
+
+#include <stdexcept>
+
+namespace lobster::baselines {
+
+LoaderStrategy LoaderStrategy::pytorch() {
+  LoaderStrategy s;
+  s.name = "pytorch";
+  s.thread_policy = ThreadPolicy::kFixed;
+  // "a constant number of threads for data loading and another constant
+  // number of threads for preprocessing": 2 loader workers per GPU is the
+  // common DataLoader deployment on 8-GPU nodes.
+  s.fixed_load_threads = 16;
+  s.fixed_preproc_threads = 0;  // remainder
+  s.per_gpu_queues = false;
+  s.eviction_policy = "lru";  // OS page cache behaviour
+  s.distributed_cache = false;
+  // DataLoader workers prefetch prefetch_factor (default 2) batches ahead,
+  // but only within their own shard and with shallow depth.
+  s.prefetching = true;
+  s.prefetch_lookahead = 1;
+  s.staging_efficiency = 0.50;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::dali() {
+  LoaderStrategy s;
+  s.name = "dali";
+  s.thread_policy = ThreadPolicy::kFixed;
+  // "DALI uses three threads for data loading by default and leaves other
+  // threads for preprocessing."
+  s.fixed_load_threads = 3;
+  s.fixed_preproc_threads = 0;
+  s.per_gpu_queues = false;
+  s.eviction_policy = "lru";
+  s.distributed_cache = false;
+  // DALI pipelines a few batches ahead (queue_depth), giving it a deeper
+  // read-ahead than the stock DataLoader.
+  s.prefetching = true;
+  s.prefetch_lookahead = 3;
+  s.staging_efficiency = 0.65;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::nopfs() {
+  LoaderStrategy s;
+  s.name = "nopfs";
+  // "The thread management for NoPFS is the same as that with PyTorch I/O."
+  s.thread_policy = ThreadPolicy::kFixed;
+  s.fixed_load_threads = 16;
+  s.fixed_preproc_threads = 0;
+  s.per_gpu_queues = false;
+  // Clairvoyant prefetching over the full storage hierarchy with a
+  // distributed cache, but displacement-style eviction: prefetched-later
+  // samples may push out sooner-needed residents.
+  s.eviction_policy = "lru";
+  s.distributed_cache = true;
+  s.prefetching = true;
+  s.prefetch_lookahead = 8;
+  s.staging_efficiency = 1.0;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::lobster() {
+  LoaderStrategy s;
+  s.name = "lobster";
+  s.thread_policy = ThreadPolicy::kLobster;
+  s.per_gpu_queues = true;
+  s.eviction_policy = "lobster";
+  s.distributed_cache = true;
+  s.prefetching = true;
+  s.prefetch_lookahead = 8;
+  s.reuse_sweep = true;
+  s.numa_aware = true;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::lobster_th() {
+  LoaderStrategy s = lobster();
+  s.name = "lobster_th";
+  s.eviction_policy = "lru";
+  s.reuse_sweep = false;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::lobster_evict() {
+  LoaderStrategy s = lobster();
+  s.name = "lobster_evict";
+  s.thread_policy = ThreadPolicy::kFixed;
+  s.fixed_load_threads = 3;  // DALI-style split
+  s.fixed_preproc_threads = 0;
+  s.per_gpu_queues = false;
+  // The staging machinery is DALI's; only the eviction policy changes.
+  s.staging_efficiency = dali().staging_efficiency;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::lobster_prop() {
+  LoaderStrategy s = lobster();
+  s.name = "lobster_prop";
+  s.thread_policy = ThreadPolicy::kProportional;
+  return s;
+}
+
+LoaderStrategy LoaderStrategy::by_name(const std::string& name) {
+  if (name == "pytorch") return pytorch();
+  if (name == "dali") return dali();
+  if (name == "nopfs") return nopfs();
+  if (name == "lobster") return lobster();
+  if (name == "lobster_th") return lobster_th();
+  if (name == "lobster_evict") return lobster_evict();
+  if (name == "lobster_prop") return lobster_prop();
+  throw std::invalid_argument("LoaderStrategy: unknown strategy '" + name + "'");
+}
+
+}  // namespace lobster::baselines

@@ -1,0 +1,90 @@
+// Loader strategies: Lobster and the paper's three baselines (§5.1).
+//
+// A LoaderStrategy is a declarative description of how a data-loading
+// system behaves along the axes the paper varies:
+//
+//   * thread management — fixed split (PyTorch, DALI, NoPFS), or Lobster's
+//     adaptive split (knee-seeking preprocessing allocation + Algorithm 1
+//     loading allocation + preproc→loading thread stealing);
+//   * queueing — one shared pool serving all co-located GPUs equally
+//     (baselines) vs per-GPU request queues (Lobster, §4.2);
+//   * caching — eviction policy, distributed (peer-cache) reads on/off,
+//     deterministic prefetching on/off.
+//
+// The ablation variants of Fig. 11 (Lobster_th, Lobster_evict) are the
+// full strategy with one axis reverted to the DALI baseline's setting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lobster::baselines {
+
+enum class ThreadPolicy : std::uint8_t {
+  kFixed,        ///< constant loading/preprocessing thread counts
+  kProportional, ///< per-GPU queues, proportional assignment only (§4.2)
+  kLobster,      ///< full Algorithm 1 + preprocessing coordination (§4.1/4.4)
+};
+
+struct LoaderStrategy {
+  std::string name;
+
+  // ---- thread management
+  ThreadPolicy thread_policy = ThreadPolicy::kFixed;
+  /// Loading threads per node for kFixed (DALI default: 3; PyTorch/NoPFS:
+  /// 2 workers per GPU).
+  std::uint32_t fixed_load_threads = 3;
+  /// Preprocessing threads per node for kFixed; 0 = all remaining CPUs.
+  std::uint32_t fixed_preproc_threads = 0;
+  /// Per-GPU request queues (false = one shared pool, equal service).
+  bool per_gpu_queues = false;
+  /// Run decode/augmentation on the GPU instead of the CPU (§2 notes both
+  /// are common). Frees every CPU thread for loading but stretches the
+  /// training stage by the GPU-side preprocessing time.
+  bool gpu_preprocessing = false;
+  /// §5.2(b): "Lobster is NUMA-aware, and co-locates data loading and
+  /// preprocessing threads." Non-aware systems scatter a GPU's pipeline
+  /// threads across sockets and pay cross-socket memory traffic on local
+  /// reads and preprocessing.
+  bool numa_aware = false;
+
+  // ---- caching
+  std::string eviction_policy = "lru";  ///< "lru" | "fifo" | "lobster"
+  bool distributed_cache = false;       ///< read peers' caches before the PFS
+  bool prefetching = false;             ///< deterministic prefetching
+  std::uint32_t prefetch_lookahead = 4; ///< iterations of lookahead
+  /// Proactive post-iteration sweep applying the reuse-count and
+  /// reuse-distance eviction rules (§4.4). Only meaningful with the
+  /// "lobster" policy.
+  bool reuse_sweep = false;
+  /// Fraction of the theoretical staging bandwidth the system's prefetcher
+  /// actually converts into in-time sample arrivals. Clairvoyant systems
+  /// (NoPFS, Lobster) approach 1; a DataLoader worker's blind
+  /// prefetch_factor readahead wastes much of it on stalls and
+  /// already-resident samples.
+  double staging_efficiency = 1.0;
+
+  // ---- paper systems
+  static LoaderStrategy pytorch();
+  static LoaderStrategy dali();
+  static LoaderStrategy nopfs();
+  static LoaderStrategy lobster();
+
+  // ---- Fig. 11 ablations and DESIGN.md §6 design-choice ablations
+  /// Thread management only; DALI-style caching (LRU, prefetch on so the
+  /// comparison isolates eviction, per the paper: "includes thread
+  /// management but excludes cache eviction based on reuse distance").
+  static LoaderStrategy lobster_th();
+  /// Reuse-distance eviction only; DALI-style fixed threads.
+  static LoaderStrategy lobster_evict();
+  /// Per-GPU queues with the §4.2 proportional rule only (no Algorithm 1
+  /// binary search) — isolates the value of the heuristic.
+  static LoaderStrategy lobster_prop();
+
+  /// Lookup by name ("pytorch", "dali", "nopfs", "lobster", "lobster_th",
+  /// "lobster_evict", "lobster_prop"); throws std::invalid_argument
+  /// otherwise.
+  static LoaderStrategy by_name(const std::string& name);
+};
+
+}  // namespace lobster::baselines

@@ -1,0 +1,53 @@
+#include "cache/directory.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lobster::cache {
+
+CacheDirectory::CacheDirectory(std::uint16_t nodes) : nodes_(nodes) {
+  if (nodes == 0 || nodes > 64) {
+    throw std::invalid_argument("CacheDirectory: supports 1..64 nodes");
+  }
+}
+
+void CacheDirectory::add(SampleId sample, NodeId node) {
+  holders_[sample] |= (1ULL << node);
+}
+
+void CacheDirectory::remove(SampleId sample, NodeId node) {
+  const auto it = holders_.find(sample);
+  if (it == holders_.end()) return;
+  it->second &= ~(1ULL << node);
+  if (it->second == 0) holders_.erase(it);
+}
+
+std::uint32_t CacheDirectory::holder_count(SampleId sample) const {
+  const auto it = holders_.find(sample);
+  return it == holders_.end() ? 0U : static_cast<std::uint32_t>(std::popcount(it->second));
+}
+
+bool CacheDirectory::holds(SampleId sample, NodeId node) const {
+  const auto it = holders_.find(sample);
+  return it != holders_.end() && (it->second & (1ULL << node)) != 0;
+}
+
+bool CacheDirectory::held_elsewhere(SampleId sample, NodeId node) const {
+  const auto it = holders_.find(sample);
+  return it != holders_.end() && (it->second & ~(1ULL << node)) != 0;
+}
+
+bool CacheDirectory::sole_holder(SampleId sample, NodeId node) const {
+  const auto it = holders_.find(sample);
+  return it != holders_.end() && it->second == (1ULL << node);
+}
+
+NodeId CacheDirectory::peer_holder(SampleId sample, NodeId node) const {
+  const auto it = holders_.find(sample);
+  if (it == holders_.end()) return kInvalidNode;
+  const std::uint64_t others = it->second & ~(1ULL << node);
+  if (others == 0) return kInvalidNode;
+  return static_cast<NodeId>(std::countr_zero(others));
+}
+
+}  // namespace lobster::cache

@@ -1,0 +1,53 @@
+// Distributed cache directory: which nodes hold which samples.
+//
+// The paper's distributed cache lets a node fetch a sample from a peer's
+// cache instead of the PFS (§2). The directory is the global residency map
+// every node can consult (deterministic prefetching makes residency a
+// global property, §4.4). The reuse-count eviction policy also needs it:
+// a node must not evict the *last* cached copy in the group if the sample
+// is still needed by anyone (§4.4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::cache {
+
+class CacheDirectory {
+ public:
+  explicit CacheDirectory(std::uint16_t nodes);
+
+  void add(SampleId sample, NodeId node);
+  void remove(SampleId sample, NodeId node);
+
+  /// Number of nodes currently caching the sample.
+  std::uint32_t holder_count(SampleId sample) const;
+
+  /// True if `node` holds the sample.
+  bool holds(SampleId sample, NodeId node) const;
+
+  /// True if some node *other than* `node` holds the sample.
+  bool held_elsewhere(SampleId sample, NodeId node) const;
+
+  /// True if `node` is the only holder.
+  bool sole_holder(SampleId sample, NodeId node) const;
+
+  /// Any holder other than `node` (for remote fetch routing); returns the
+  /// lowest-ranked holder for determinism. kInvalidNode if none.
+  static constexpr NodeId kInvalidNode = static_cast<NodeId>(~0U);
+  NodeId peer_holder(SampleId sample, NodeId node) const;
+
+  std::uint16_t nodes() const noexcept { return nodes_; }
+  std::size_t tracked_samples() const noexcept { return holders_.size(); }
+
+ private:
+  std::uint16_t nodes_;
+  // Bitmask of holder nodes per sample (nodes <= 64 in every experiment;
+  // checked in the constructor).
+  std::unordered_map<SampleId, std::uint64_t> holders_;
+};
+
+}  // namespace lobster::cache

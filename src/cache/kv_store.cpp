@@ -1,0 +1,91 @@
+#include "cache/kv_store.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace lobster::cache {
+
+KvStore::KvStore(std::size_t shards) : shards_(shards), mask_(shards - 1) {
+  if (shards == 0 || !std::has_single_bit(shards)) {
+    throw std::invalid_argument("KvStore: shard count must be a power of two");
+  }
+}
+
+KvStore::Shard& KvStore::shard_for(SampleId sample) const {
+  // Mix the id so sequential samples spread across shards.
+  std::uint64_t state = sample;
+  return shards_[splitmix64(state) & mask_];
+}
+
+void KvStore::put(SampleId sample, std::vector<std::byte> payload) {
+  Shard& shard = shard_for(sample);
+  const std::scoped_lock lock(shard.mutex);
+  auto [it, inserted] = shard.entries.try_emplace(sample);
+  if (!inserted) shard.bytes -= it->second.size();
+  shard.bytes += payload.size();
+  it->second = std::move(payload);
+  ++shard.stats.puts;
+}
+
+std::optional<std::vector<std::byte>> KvStore::get(SampleId sample) const {
+  Shard& shard = shard_for(sample);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.entries.find(sample);
+  if (it == shard.entries.end()) {
+    ++shard.stats.get_misses;
+    return std::nullopt;
+  }
+  ++shard.stats.get_hits;
+  return it->second;
+}
+
+bool KvStore::contains(SampleId sample) const {
+  Shard& shard = shard_for(sample);
+  const std::scoped_lock lock(shard.mutex);
+  return shard.entries.contains(sample);
+}
+
+bool KvStore::erase(SampleId sample) {
+  Shard& shard = shard_for(sample);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.entries.find(sample);
+  if (it == shard.entries.end()) return false;
+  shard.bytes -= it->second.size();
+  shard.entries.erase(it);
+  ++shard.stats.erases;
+  return true;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+Bytes KvStore::bytes() const {
+  Bytes total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+KvStore::Stats KvStore::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    total.puts += shard.stats.puts;
+    total.get_hits += shard.stats.get_hits;
+    total.get_misses += shard.stats.get_misses;
+    total.erases += shard.stats.erases;
+  }
+  return total;
+}
+
+}  // namespace lobster::cache

@@ -1,0 +1,64 @@
+// In-memory key-value sample store.
+//
+// §2 notes Lobster's design also applies when the distributed cache is
+// replaced by "alternatives ... like for example KV-stores": a cluster
+// service keyed by sample id instead of per-node caches with a directory.
+// This is that substrate — a sharded, thread-safe KV store the online
+// runtime can use as its remote tier (PlanExecutor::set_kv_store): demand
+// misses check the store before falling back to the PFS, and fetched
+// samples are published for the other nodes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::cache {
+
+class KvStore {
+ public:
+  /// `shards` must be a power of two (lock striping).
+  explicit KvStore(std::size_t shards = 16);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Inserts or overwrites a sample's payload.
+  void put(SampleId sample, std::vector<std::byte> payload);
+
+  /// Returns a copy of the payload, or nullopt.
+  std::optional<std::vector<std::byte>> get(SampleId sample) const;
+
+  bool contains(SampleId sample) const;
+  bool erase(SampleId sample);
+
+  std::size_t size() const;
+  Bytes bytes() const;
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t get_hits = 0;
+    std::uint64_t get_misses = 0;
+    std::uint64_t erases = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SampleId, std::vector<std::byte>> entries;
+    Bytes bytes = 0;
+    Stats stats;
+  };
+
+  Shard& shard_for(SampleId sample) const;
+
+  mutable std::vector<Shard> shards_;
+  std::size_t mask_;
+};
+
+}  // namespace lobster::cache

@@ -1,0 +1,95 @@
+#include "cache/node_cache.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace lobster::cache {
+
+NodeCache::NodeCache(NodeId node, Bytes capacity, std::unique_ptr<EvictionPolicy> policy,
+                     const data::SampleCatalog& catalog, CacheDirectory* directory,
+                     const data::AccessOracle* oracle, std::uint32_t iterations_per_epoch)
+    : node_(node),
+      capacity_(capacity),
+      policy_(std::move(policy)),
+      catalog_(catalog),
+      directory_(directory),
+      oracle_(oracle),
+      iterations_per_epoch_(iterations_per_epoch) {
+  if (!policy_) throw std::invalid_argument("NodeCache: null policy");
+  if (capacity_ == 0) throw std::invalid_argument("NodeCache: zero capacity");
+}
+
+NodeCache::~NodeCache() = default;
+
+EvictionContext NodeCache::make_context(IterId now, IterId incoming_reuse) const {
+  EvictionContext context;
+  context.node = node_;
+  context.now = now;
+  context.iterations_per_epoch = iterations_per_epoch_;
+  context.oracle = oracle_;
+  context.directory = directory_;
+  context.can_evict = [this](SampleId s) { return !pinned_.contains(s); };
+  context.incoming_reuse_distance = incoming_reuse;
+  return context;
+}
+
+bool NodeCache::access(SampleId sample, IterId now) {
+  if (resident_.contains(sample)) {
+    ++stats_.hits;
+    policy_->on_access(sample, now);
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+NodeCache::InsertResult NodeCache::insert(SampleId sample, IterId now, IterId reuse_distance) {
+  InsertResult result;
+  if (resident_.contains(sample)) {
+    result.inserted = true;  // already resident; nothing to do
+    return result;
+  }
+  const Bytes size = catalog_.sample_bytes(sample);
+  if (size > capacity_) {
+    ++stats_.rejected_insertions;
+    return result;
+  }
+  const auto context = make_context(now, reuse_distance);
+  while (used_ + size > capacity_) {
+    const SampleId victim = policy_->pick_victim(context);
+    if (victim == kInvalidSample) {
+      ++stats_.rejected_insertions;
+      return result;
+    }
+    if (!resident_.contains(victim)) {
+      log::error("NodeCache: policy chose non-resident victim %u", victim);
+      ++stats_.rejected_insertions;
+      return result;
+    }
+    evict(victim);
+    result.evicted.push_back(victim);
+  }
+  resident_.insert(sample);
+  used_ += size;
+  ++stats_.insertions;
+  policy_->on_insert(sample, now);
+  if (directory_ != nullptr) directory_->add(sample, node_);
+  result.inserted = true;
+  return result;
+}
+
+bool NodeCache::evict(SampleId sample) {
+  if (resident_.erase(sample) == 0) return false;
+  used_ -= catalog_.sample_bytes(sample);
+  ++stats_.evictions;
+  policy_->on_evict(sample);
+  if (directory_ != nullptr) directory_->remove(sample, node_);
+  return true;
+}
+
+void NodeCache::on_epoch(IterId now) {
+  policy_->on_epoch(make_context(now, kNeverIter));
+}
+
+}  // namespace lobster::cache

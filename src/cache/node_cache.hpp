@@ -1,0 +1,104 @@
+// Node-local sample cache with pluggable eviction.
+//
+// Tracks residency by sample id and bytes used against a capacity, keeps
+// the distributed directory in sync, counts hits/misses, and supports
+// pinning (samples being consumed by the current iteration, or in flight,
+// must not be evicted underneath the loader).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/directory.hpp"
+#include "cache/policy.hpp"
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "data/oracle.hpp"
+
+namespace lobster::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected_insertions = 0;  ///< policy refused to make room
+
+  double hit_ratio() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class NodeCache {
+ public:
+  /// `directory` and `oracle` may be null (single-node / oblivious setups).
+  NodeCache(NodeId node, Bytes capacity, std::unique_ptr<EvictionPolicy> policy,
+            const data::SampleCatalog& catalog, CacheDirectory* directory,
+            const data::AccessOracle* oracle, std::uint32_t iterations_per_epoch);
+  ~NodeCache();
+
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  bool contains(SampleId sample) const { return resident_.contains(sample); }
+
+  /// Records a read by a GPU of this node; returns true on hit (and bumps
+  /// recency), false on miss.
+  bool access(SampleId sample, IterId now);
+
+  /// Checks residency without affecting stats or recency.
+  bool peek(SampleId sample) const { return resident_.contains(sample); }
+
+  /// Inserts a sample, evicting via the policy as needed. `reuse_distance`
+  /// is the newcomer's next-use distance on this node (kNeverIter if
+  /// unknown) — clairvoyant policies may refuse to evict sooner-needed
+  /// residents for it. Returns the evicted samples; `inserted` is false if
+  /// the policy refused to make room (or the sample exceeds capacity).
+  struct InsertResult {
+    bool inserted = false;
+    std::vector<SampleId> evicted;
+  };
+  InsertResult insert(SampleId sample, IterId now, IterId reuse_distance = kNeverIter);
+
+  /// Explicitly removes a resident sample (e.g. reuse-count expiry outside
+  /// an insertion). No-op if absent.
+  bool evict(SampleId sample);
+
+  /// Pinned samples are never chosen as victims.
+  void pin(SampleId sample) { pinned_.insert(sample); }
+  void unpin(SampleId sample) { pinned_.erase(sample); }
+  void unpin_all() { pinned_.clear(); }
+
+  /// Epoch boundary: lets the clairvoyant policy refresh oracle-keyed state.
+  void on_epoch(IterId now);
+
+  Bytes capacity() const noexcept { return capacity_; }
+  Bytes used() const noexcept { return used_; }
+  Bytes free_bytes() const noexcept { return capacity_ - used_; }
+  std::size_t resident_count() const noexcept { return resident_.size(); }
+  NodeId node() const noexcept { return node_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  EvictionPolicy& policy() noexcept { return *policy_; }
+  const std::unordered_set<SampleId>& residents() const noexcept { return resident_; }
+
+ private:
+  EvictionContext make_context(IterId now, IterId incoming_reuse) const;
+
+  NodeId node_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  const data::SampleCatalog& catalog_;
+  CacheDirectory* directory_;
+  const data::AccessOracle* oracle_;
+  std::uint32_t iterations_per_epoch_;
+
+  std::unordered_set<SampleId> resident_;
+  std::unordered_set<SampleId> pinned_;
+  CacheStats stats_;
+};
+
+}  // namespace lobster::cache

@@ -1,0 +1,222 @@
+#include "cache/policies.hpp"
+
+#include "common/rng.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "cache/directory.hpp"
+#include "data/oracle.hpp"
+
+namespace lobster::cache {
+
+// ---------------------------------------------------------------- LruPolicy
+
+void LruPolicy::on_insert(SampleId sample, IterId /*now*/) { touch(sample); }
+
+void LruPolicy::on_access(SampleId sample, IterId /*now*/) { touch(sample); }
+
+void LruPolicy::touch(SampleId sample) {
+  const auto it = where_.find(sample);
+  if (it != where_.end()) order_.erase(it->second);
+  order_.push_front(sample);
+  where_[sample] = order_.begin();
+}
+
+void LruPolicy::on_evict(SampleId sample) {
+  const auto it = where_.find(sample);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+SampleId LruPolicy::pick_victim(const EvictionContext& context) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (!context.can_evict || context.can_evict(*it)) return *it;
+  }
+  return kInvalidSample;
+}
+
+// --------------------------------------------------------------- FifoPolicy
+
+void FifoPolicy::on_insert(SampleId sample, IterId /*now*/) {
+  order_.push_back(sample);
+  where_[sample] = std::prev(order_.end());
+}
+
+void FifoPolicy::on_evict(SampleId sample) {
+  const auto it = where_.find(sample);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+SampleId FifoPolicy::pick_victim(const EvictionContext& context) {
+  for (const SampleId sample : order_) {
+    if (!context.can_evict || context.can_evict(sample)) return sample;
+  }
+  return kInvalidSample;
+}
+
+// ------------------------------------------------------- LobsterReusePolicy
+
+void LobsterReusePolicy::bind(const data::AccessOracle* oracle, NodeId node) {
+  oracle_ = oracle;
+  node_ = node;
+}
+
+IterId LobsterReusePolicy::next_use_key(SampleId sample, IterId now) const {
+  if (oracle_ == nullptr) return kNeverIter;
+  const auto next = oracle_->next_access_on_node(sample, node_, now);
+  return next ? next->iter : kNeverIter;
+}
+
+void LobsterReusePolicy::rekey(SampleId sample, IterId key) {
+  erase_key(sample);
+  buckets_[key].insert(sample);
+  key_of_[sample] = key;
+}
+
+void LobsterReusePolicy::erase_key(SampleId sample) {
+  const auto it = key_of_.find(sample);
+  if (it == key_of_.end()) return;
+  const auto bucket = buckets_.find(it->second);
+  if (bucket != buckets_.end()) {
+    bucket->second.erase(sample);
+    if (bucket->second.empty()) buckets_.erase(bucket);
+  }
+  key_of_.erase(it);
+}
+
+void LobsterReusePolicy::on_insert(SampleId sample, IterId now) {
+  rekey(sample, next_use_key(sample, now));
+}
+
+void LobsterReusePolicy::on_access(SampleId sample, IterId now) {
+  // The access we keyed on just happened; rekey to the following one.
+  rekey(sample, next_use_key(sample, now));
+}
+
+void LobsterReusePolicy::on_evict(SampleId sample) { erase_key(sample); }
+
+void LobsterReusePolicy::on_epoch(const EvictionContext& context) {
+  // The oracle window slid: previously "never in window" samples may now
+  // have a known next use, and vice versa. Rebuild every key.
+  if (oracle_ == nullptr && context.oracle != nullptr) {
+    oracle_ = context.oracle;
+    node_ = context.node;
+  }
+  std::vector<SampleId> samples;
+  samples.reserve(key_of_.size());
+  for (const auto& [sample, key] : key_of_) samples.push_back(sample);
+  for (const SampleId sample : samples) rekey(sample, next_use_key(sample, context.now));
+}
+
+SampleId LobsterReusePolicy::pick_victim(const EvictionContext& context) {
+  if (oracle_ == nullptr && context.oracle != nullptr) {
+    oracle_ = context.oracle;
+    node_ = context.node;
+  }
+  // Walk buckets furthest-next-use first (kNeverIter bucket, if present, is
+  // last in the map, i.e. scanned first). Within a bucket, the smallest
+  // sample id — fully deterministic.
+  //
+  // The reuse-count guard ("never evict the group's last copy of a sample
+  // some *other* node still needs" §4.4) is applied as a bounded preference:
+  // when the cache is small relative to the dataset, nearly every resident
+  // can be a guarded sole copy, and a hard refusal would deadlock the cache
+  // (something must be evicted for training to proceed). We skip guarded
+  // candidates for the first kGuardScanLimit examinations, then fall back to
+  // the best unguarded ordering.
+  constexpr std::size_t kGuardScanLimit = 64;
+  const bool guard_available =
+      options_.sole_copy_guard && context.directory != nullptr && oracle_ != nullptr;
+
+  for (const bool honor_guard : {true, false}) {
+    if (honor_guard && !guard_available) continue;
+    std::size_t examined = 0;
+    for (auto bucket = buckets_.rbegin(); bucket != buckets_.rend(); ++bucket) {
+      for (const SampleId sample : bucket->second) {
+        if (context.can_evict && !context.can_evict(sample)) continue;
+        if (honor_guard) {
+          if (++examined > kGuardScanLimit) break;
+          if (context.directory->sole_holder(sample, context.node) &&
+              oracle_->needed_by_other_node(sample, context.node, context.now)) {
+            continue;
+          }
+        }
+        // Coordination with prefetching: do not sacrifice a resident needed
+        // sooner than the incoming sample.
+        if (options_.coordinate_with_incoming && bucket->first != kNeverIter &&
+            context.incoming_reuse_distance != kNeverIter) {
+          const IterId resident_distance = bucket->first - context.now;
+          if (resident_distance <= context.incoming_reuse_distance) return kInvalidSample;
+        }
+        return sample;
+      }
+      if (honor_guard && examined > kGuardScanLimit) break;
+    }
+  }
+  return kInvalidSample;
+}
+
+// ------------------------------------------------------------- RandomPolicy
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_state_(seed) {}
+
+void RandomPolicy::on_insert(SampleId sample, IterId /*now*/) {
+  index_of_[sample] = residents_.size();
+  residents_.push_back(sample);
+}
+
+void RandomPolicy::on_evict(SampleId sample) {
+  const auto it = index_of_.find(sample);
+  if (it == index_of_.end()) return;
+  const std::size_t pos = it->second;
+  const SampleId last = residents_.back();
+  residents_[pos] = last;
+  index_of_[last] = pos;
+  residents_.pop_back();
+  index_of_.erase(it);
+}
+
+SampleId RandomPolicy::pick_victim(const EvictionContext& context) {
+  if (residents_.empty()) return kInvalidSample;
+  // Bounded number of random probes before giving up on pinned residents.
+  for (int probe = 0; probe < 64; ++probe) {
+    const std::uint64_t draw = splitmix64(rng_state_);
+    const SampleId candidate = residents_[draw % residents_.size()];
+    if (!context.can_evict || context.can_evict(candidate)) return candidate;
+  }
+  // Fall back to a linear scan (everything random hit was pinned).
+  for (const SampleId candidate : residents_) {
+    if (!context.can_evict || context.can_evict(candidate)) return candidate;
+  }
+  return kInvalidSample;
+}
+
+// ---------------------------------------------------------------- factories
+
+std::unique_ptr<EvictionPolicy> make_policy(const std::string& name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>();
+  if (name == "lobster") return std::make_unique<LobsterReusePolicy>();
+  if (name == "lobster-nocoord") {
+    // Ablation: Lobster's ordering and guard, but no prefetch coordination.
+    ReusePolicyOptions options;
+    options.coordinate_with_incoming = false;
+    return std::make_unique<LobsterReusePolicy>(options);
+  }
+  if (name == "belady") {
+    // Clairvoyant furthest-next-use without Lobster's cooperative rules: the
+    // single-node optimality bound.
+    ReusePolicyOptions options;
+    options.sole_copy_guard = false;
+    options.coordinate_with_incoming = false;
+    return std::make_unique<LobsterReusePolicy>(options);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace lobster::cache

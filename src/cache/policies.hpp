@@ -1,0 +1,125 @@
+// Concrete eviction policies.
+//
+//  - LruPolicy: classic least-recently-used. This is also what the NoPFS
+//    baseline runs: its clairvoyance is in *prefetching* only, so a
+//    prefetched-later sample can displace a sooner-needed resident — the
+//    exact deficiency Lobster's policy fixes (§4.4, §5.5).
+//  - FifoPolicy: insertion order; models a plain staging buffer.
+//  - LobsterReusePolicy: the paper's two sub-policies plus prefetch
+//    coordination, driven by the future-access oracle and the distributed
+//    cache directory:
+//      * reuse count  — a sample with no remaining uses on this node is the
+//        preferred victim, unless this node holds the group's last copy of a
+//        sample some other node still needs;
+//      * reuse distance — samples whose next use on this node is beyond
+//        2·I − h are considered "far enough" to evict;
+//      * coordination — when room is made for a newcomer, evict the resident
+//        with the *largest* next-use distance, and refuse entirely if even
+//        that resident is needed sooner than the newcomer.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lobster::cache {
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "lru"; }
+  void on_insert(SampleId sample, IterId now) override;
+  void on_access(SampleId sample, IterId now) override;
+  void on_evict(SampleId sample) override;
+  SampleId pick_victim(const EvictionContext& context) override;
+
+ private:
+  void touch(SampleId sample);
+  std::list<SampleId> order_;  // front = most recent
+  std::unordered_map<SampleId, std::list<SampleId>::iterator> where_;
+};
+
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "fifo"; }
+  void on_insert(SampleId sample, IterId now) override;
+  void on_access(SampleId sample, IterId now) override {}
+  void on_evict(SampleId sample) override;
+  SampleId pick_victim(const EvictionContext& context) override;
+
+ private:
+  std::list<SampleId> order_;  // front = oldest
+  std::unordered_map<SampleId, std::list<SampleId>::iterator> where_;
+};
+
+struct ReusePolicyOptions {
+  /// Honor the §4.4 reuse-count guard (don't evict the group's last copy of
+  /// a sample another node needs).
+  bool sole_copy_guard = true;
+  /// Honor the prefetch-coordination rule (refuse to evict residents needed
+  /// sooner than the incoming sample).
+  bool coordinate_with_incoming = true;
+};
+
+class LobsterReusePolicy final : public EvictionPolicy {
+ public:
+  LobsterReusePolicy() = default;
+  explicit LobsterReusePolicy(ReusePolicyOptions options) : options_(options) {}
+
+  /// The policy needs the oracle/directory from the EvictionContext at every
+  /// notification; NodeCache supplies them.
+  const char* name() const noexcept override { return "lobster-reuse"; }
+  void on_insert(SampleId sample, IterId now) override;
+  void on_access(SampleId sample, IterId now) override;
+  void on_evict(SampleId sample) override;
+  SampleId pick_victim(const EvictionContext& context) override;
+  void on_epoch(const EvictionContext& context) override;
+
+  /// Wires the oracle/node in (NodeCache's context also carries them, but
+  /// on_insert/on_access don't receive a context; bind once instead).
+  void bind(const data::AccessOracle* oracle, NodeId node);
+
+ private:
+  IterId next_use_key(SampleId sample, IterId now) const;
+  void rekey(SampleId sample, IterId key);
+  void erase_key(SampleId sample);
+
+  ReusePolicyOptions options_;
+  const data::AccessOracle* oracle_ = nullptr;
+  NodeId node_ = 0;
+  // Residents bucketed by the absolute iteration of their next use on this
+  // node (kNeverIter = no known in-window use). Ordered for determinism and
+  // for "furthest first" victim scans.
+  std::map<IterId, std::set<SampleId>> buckets_;
+  std::unordered_map<SampleId, IterId> key_of_;
+};
+
+/// Uniform-random victim among residents (deterministic in its seed) — the
+/// sanity floor for policy comparisons.
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0xBADF00D);
+  const char* name() const noexcept override { return "random"; }
+  void on_insert(SampleId sample, IterId now) override;
+  void on_access(SampleId sample, IterId now) override {}
+  void on_evict(SampleId sample) override;
+  SampleId pick_victim(const EvictionContext& context) override;
+
+ private:
+  std::uint64_t rng_state_;
+  std::vector<SampleId> residents_;                     // swap-erase order
+  std::unordered_map<SampleId, std::size_t> index_of_;  // sample -> position
+};
+
+/// Factory helpers (names used by configs/benches: "lru", "fifo", "random",
+/// "lobster", "lobster-nocoord", "belady" — the last is the clairvoyant furthest-next-use
+/// policy with Lobster's guard and coordination rules disabled, an
+/// upper-bound comparator). Throws std::invalid_argument on unknown names.
+std::unique_ptr<EvictionPolicy> make_policy(const std::string& name);
+
+}  // namespace lobster::cache

@@ -1,0 +1,60 @@
+// Eviction policy interface for the node-local sample cache.
+//
+// Policies see insert/access/evict notifications and, when the cache is
+// full, are asked to pick a victim. Clairvoyant policies (Lobster, and the
+// oracle-assisted comparisons) receive the future-access oracle and the
+// distributed-cache directory through the EvictionContext.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace lobster::data {
+class AccessOracle;
+}
+
+namespace lobster::cache {
+
+class CacheDirectory;
+
+struct EvictionContext {
+  NodeId node = 0;
+  IterId now = 0;  ///< current global iteration
+  std::uint32_t iterations_per_epoch = 1;
+  const data::AccessOracle* oracle = nullptr;
+  const CacheDirectory* directory = nullptr;
+  /// Returns false for samples that must not be evicted right now (pinned:
+  /// in flight or needed by the current iteration).
+  std::function<bool(SampleId)> can_evict;
+  /// Next-use distance of the sample about to be inserted (kNeverIter when
+  /// unknown); lets the policy refuse evictions that would sacrifice a
+  /// sooner-needed resident for a later-needed newcomer (§4.4, coordination
+  /// with prefetching).
+  IterId incoming_reuse_distance = kNeverIter;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// A sample became resident.
+  virtual void on_insert(SampleId sample, IterId now) = 0;
+  /// A resident sample was read by a GPU of this node.
+  virtual void on_access(SampleId sample, IterId now) = 0;
+  /// A sample left the cache (eviction or external invalidation).
+  virtual void on_evict(SampleId sample) = 0;
+
+  /// Chooses a victim among residents, or kInvalidSample to refuse (the
+  /// caller then rejects the insertion instead of evicting).
+  virtual SampleId pick_victim(const EvictionContext& context) = 0;
+
+  /// Epoch boundary hook — clairvoyant policies refresh oracle-derived keys
+  /// here (the oracle window slid). Default: no-op.
+  virtual void on_epoch(const EvictionContext& /*context*/) {}
+};
+
+}  // namespace lobster::cache

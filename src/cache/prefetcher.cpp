@@ -1,0 +1,91 @@
+#include "cache/prefetcher.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lobster::cache {
+
+Prefetcher::Prefetcher(const data::EpochSampler& sampler, const data::SampleCatalog& catalog,
+                       std::uint32_t lookahead_iterations)
+    : sampler_(sampler), catalog_(catalog), lookahead_(lookahead_iterations) {
+  if (lookahead_ == 0) throw std::invalid_argument("Prefetcher: lookahead must be >= 1");
+}
+
+PrefetchPlan Prefetcher::plan(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
+                              const NodeCache& node_cache, const CacheDirectory* directory,
+                              Bytes remote_budget, Bytes pfs_budget,
+                              std::uint32_t total_epochs) const {
+  return plan_impl(node, epoch, iteration,
+                   [&node_cache](SampleId s) { return node_cache.peek(s); }, directory,
+                   remote_budget, pfs_budget, total_epochs);
+}
+
+PrefetchPlan Prefetcher::plan(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
+                              const TieredNodeCache& node_cache, const CacheDirectory* directory,
+                              Bytes remote_budget, Bytes pfs_budget,
+                              std::uint32_t total_epochs) const {
+  return plan_impl(node, epoch, iteration,
+                   [&node_cache](SampleId s) { return node_cache.peek(s); }, directory,
+                   remote_budget, pfs_budget, total_epochs);
+}
+
+PrefetchPlan Prefetcher::plan_impl(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
+                                   const std::function<bool(SampleId)>& is_resident,
+                                   const CacheDirectory* directory, Bytes remote_budget,
+                                   Bytes pfs_budget, std::uint32_t total_epochs) const {
+  PrefetchPlan result;
+  if (remote_budget == 0 && pfs_budget == 0) return result;
+  const std::uint32_t I = sampler_.iterations_per_epoch();
+  std::unordered_set<SampleId> planned;
+
+  for (std::uint32_t step = 1; step <= lookahead_; ++step) {
+    // Advance (epoch, iteration) by `step` without wrapping past training.
+    const std::uint64_t flat = static_cast<std::uint64_t>(epoch) * I + iteration + step;
+    const auto future_epoch = static_cast<std::uint32_t>(flat / I);
+    const auto future_iter = static_cast<std::uint32_t>(flat % I);
+    if (future_epoch >= total_epochs) break;
+
+    // Interleave candidates across the node's GPUs (position-major) so a
+    // partially-staged iteration starves every GPU equally instead of
+    // leaving the highest-ranked GPUs systematically cold.
+    std::vector<std::vector<SampleId>> per_gpu;
+    per_gpu.reserve(sampler_.config().gpus_per_node);
+    for (GpuId g = 0; g < sampler_.config().gpus_per_node; ++g) {
+      per_gpu.push_back(sampler_.minibatch(future_epoch, future_iter, node, g));
+    }
+    std::vector<SampleId> interleaved;
+    interleaved.reserve(per_gpu.size() * per_gpu.front().size());
+    for (std::size_t p = 0; p < per_gpu.front().size(); ++p) {
+      for (const auto& batch : per_gpu) {
+        if (p < batch.size()) interleaved.push_back(batch[p]);
+      }
+    }
+    for (const SampleId sample : interleaved) {
+      if (is_resident(sample) || planned.contains(sample)) continue;
+      const Bytes size = catalog_.sample_bytes(sample);
+      const bool remote = directory != nullptr && directory->held_elsewhere(sample, node);
+      if (remote) {
+        if (result.remote_bytes + size > remote_budget) continue;  // path exhausted
+      } else {
+        if (result.pfs_bytes + size > pfs_budget) continue;
+      }
+      PrefetchCandidate candidate;
+      candidate.sample = sample;
+      candidate.first_use = sampler_.global_iter(future_epoch, future_iter);
+      candidate.bytes = size;
+      candidate.source = remote ? FetchSource::kRemoteCache : FetchSource::kPfs;
+      result.total_bytes += size;
+      if (remote) {
+        result.remote_bytes += size;
+      } else {
+        result.pfs_bytes += size;
+      }
+      result.fetches.push_back(candidate);
+      planned.insert(sample);
+      if (result.remote_bytes >= remote_budget && result.pfs_bytes >= pfs_budget) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace lobster::cache

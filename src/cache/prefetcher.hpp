@@ -1,0 +1,78 @@
+// Deterministic prefetch planning.
+//
+// Because the sampler's seed chain fixes the whole future access order, a
+// node can enumerate exactly which samples its GPUs will need in the next
+// iterations and fetch the missing ones ahead of time (§2, §4.4). The
+// planner walks future node batches nearest-first — "prioritizing the
+// prefetches with the nearest reuse distance" — and stops at a byte budget
+// (how much the loading threads can move in the time the iteration leaves
+// spare).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/tiered_cache.hpp"
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+
+namespace lobster::cache {
+
+enum class FetchSource : std::uint8_t { kRemoteCache, kPfs };
+
+struct PrefetchCandidate {
+  SampleId sample = kInvalidSample;
+  IterId first_use = kNeverIter;  ///< global iteration of the next need
+  Bytes bytes = 0;
+  FetchSource source = FetchSource::kPfs;
+};
+
+struct PrefetchPlan {
+  std::vector<PrefetchCandidate> fetches;  ///< ordered nearest-use-first
+  Bytes total_bytes = 0;
+  Bytes remote_bytes = 0;
+  Bytes pfs_bytes = 0;
+};
+
+class Prefetcher {
+ public:
+  Prefetcher(const data::EpochSampler& sampler, const data::SampleCatalog& catalog,
+             std::uint32_t lookahead_iterations);
+
+  /// Plans prefetches for `node` after iteration (epoch, iteration) has
+  /// completed: walks the next `lookahead` iterations' node batches
+  /// (interleaved across the node's GPUs), skips residents, and returns
+  /// missing samples nearest-first until the per-source budgets are
+  /// exhausted — `remote_budget` bytes from peer caches and `pfs_budget`
+  /// bytes from the file system, reflecting that the two staging paths have
+  /// independent bandwidth. `total_epochs` bounds the walk (no wrap past
+  /// the end of training). `directory` (optional) routes each fetch; with
+  /// no directory everything is PFS-sourced.
+  PrefetchPlan plan(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
+                    const NodeCache& node_cache, const CacheDirectory* directory,
+                    Bytes remote_budget, Bytes pfs_budget, std::uint32_t total_epochs) const;
+
+  /// Overload for the two-level cache: a sample resident in *either* tier
+  /// needs no staging.
+  PrefetchPlan plan(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
+                    const TieredNodeCache& node_cache, const CacheDirectory* directory,
+                    Bytes remote_budget, Bytes pfs_budget, std::uint32_t total_epochs) const;
+
+  std::uint32_t lookahead() const noexcept { return lookahead_; }
+
+ private:
+  PrefetchPlan plan_impl(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
+                         const std::function<bool(SampleId)>& is_resident,
+                         const CacheDirectory* directory, Bytes remote_budget, Bytes pfs_budget,
+                         std::uint32_t total_epochs) const;
+
+  const data::EpochSampler& sampler_;
+  const data::SampleCatalog& catalog_;
+  std::uint32_t lookahead_;
+};
+
+}  // namespace lobster::cache

@@ -1,0 +1,123 @@
+#include "cache/tiered_cache.hpp"
+
+#include <stdexcept>
+
+namespace lobster::cache {
+
+namespace {
+const CacheStats kEmptyStats{};
+}  // namespace
+
+TieredNodeCache::TieredNodeCache(NodeId node, Bytes memory_capacity, Bytes ssd_capacity,
+                                 const std::string& memory_policy, const std::string& ssd_policy,
+                                 const data::SampleCatalog& catalog, CacheDirectory* directory,
+                                 const data::AccessOracle* oracle,
+                                 std::uint32_t iterations_per_epoch)
+    : catalog_(catalog), directory_(directory), oracle_(oracle), node_id_(node) {
+  // The inner caches are directory-less: this class owns directory updates
+  // on the union residency (see header).
+  memory_ = std::make_unique<NodeCache>(node, memory_capacity, bound_policy(memory_policy),
+                                        catalog, nullptr, oracle, iterations_per_epoch);
+  if (ssd_capacity > 0) {
+    ssd_ = std::make_unique<NodeCache>(node, ssd_capacity, bound_policy(ssd_policy), catalog,
+                                       nullptr, oracle, iterations_per_epoch);
+  }
+}
+
+std::unique_ptr<EvictionPolicy> TieredNodeCache::bound_policy(const std::string& name) const {
+  auto policy = make_policy(name);
+  if (auto* reuse = dynamic_cast<LobsterReusePolicy*>(policy.get())) {
+    reuse->bind(oracle_, node_id_);
+  }
+  return policy;
+}
+
+void TieredNodeCache::sync_directory(SampleId sample) {
+  if (directory_ == nullptr) return;
+  const bool resident = memory_->peek(sample) || (ssd_ != nullptr && ssd_->peek(sample));
+  if (resident) {
+    directory_->add(sample, node_id_);
+  } else {
+    directory_->remove(sample, node_id_);
+  }
+}
+
+TierHit TieredNodeCache::access(SampleId sample, IterId now) {
+  if (memory_->access(sample, now)) return TierHit::kMemory;
+  if (ssd_ != nullptr && ssd_->access(sample, now)) {
+    ++ssd_hits_;
+    // Promote into DRAM; the SSD copy is dropped once DRAM holds it. If DRAM
+    // refuses (everything pinned), the sample simply stays on the SSD.
+    const auto promoted = memory_->insert(sample, now);
+    if (promoted.inserted) {
+      ++promotions_;
+      for (const SampleId victim : promoted.evicted) {
+        // DRAM victims demote to the SSD (may displace there in turn).
+        if (ssd_->insert(victim, now).inserted) ++demotions_;
+        sync_directory(victim);
+      }
+      ssd_->evict(sample);
+      sync_directory(sample);
+    }
+    return TierHit::kSsd;
+  }
+  return TierHit::kMiss;
+}
+
+bool TieredNodeCache::peek(SampleId sample) const {
+  return memory_->peek(sample) || (ssd_ != nullptr && ssd_->peek(sample));
+}
+
+bool TieredNodeCache::insert(SampleId sample, IterId now, IterId reuse_distance) {
+  const auto result = memory_->insert(sample, now, reuse_distance);
+  if (result.inserted) {
+    for (const SampleId victim : result.evicted) {
+      if (ssd_ != nullptr && victim != sample) {
+        if (ssd_->insert(victim, now).inserted) ++demotions_;
+      }
+      sync_directory(victim);
+    }
+    sync_directory(sample);
+    return true;
+  }
+  // DRAM refused (e.g. the coordination rule); try the SSD tier directly.
+  if (ssd_ != nullptr && ssd_->insert(sample, now, reuse_distance).inserted) {
+    sync_directory(sample);
+    return true;
+  }
+  return false;
+}
+
+void TieredNodeCache::evict(SampleId sample) {
+  memory_->evict(sample);
+  if (ssd_ != nullptr) ssd_->evict(sample);
+  sync_directory(sample);
+}
+
+void TieredNodeCache::pin(SampleId sample) {
+  memory_->pin(sample);
+  if (ssd_ != nullptr) ssd_->pin(sample);
+}
+
+void TieredNodeCache::unpin_all() {
+  memory_->unpin_all();
+  if (ssd_ != nullptr) ssd_->unpin_all();
+}
+
+void TieredNodeCache::on_epoch(IterId now) {
+  memory_->on_epoch(now);
+  if (ssd_ != nullptr) ssd_->on_epoch(now);
+}
+
+const CacheStats& TieredNodeCache::ssd_stats() const {
+  return ssd_ != nullptr ? ssd_->stats() : kEmptyStats;
+}
+
+double TieredNodeCache::combined_hit_ratio() const noexcept {
+  const auto& mem = memory_->stats();
+  const std::uint64_t accesses = mem.hits + mem.misses;
+  if (accesses == 0) return 0.0;
+  return static_cast<double>(mem.hits + ssd_hits_) / static_cast<double>(accesses);
+}
+
+}  // namespace lobster::cache

@@ -1,0 +1,93 @@
+// Two-level node cache: DRAM + optional SSD staging tier.
+//
+// The paper's storage hierarchy (Fig. 2) — and the NoPFS system it builds
+// on — spans GPU/DRAM/SSD tiers inside a node. TieredNodeCache composes two
+// NodeCaches: samples evicted from the DRAM tier are *demoted* to the SSD
+// tier (instead of being dropped), and an SSD hit *promotes* the sample
+// back into DRAM. Each tier runs its own eviction policy.
+//
+// Directory ownership: a sample held in either tier is on-node (a peer can
+// fetch it), so this class owns the cluster-directory updates; the inner
+// caches are constructed directory-less to avoid double bookkeeping (the
+// naive wiring would clear the node's directory bit when a promotion evicts
+// the SSD copy even though DRAM still holds the sample).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/policies.hpp"
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "data/oracle.hpp"
+
+namespace lobster::cache {
+
+enum class TierHit : std::uint8_t { kMemory, kSsd, kMiss };
+
+class TieredNodeCache {
+ public:
+  /// `ssd_capacity == 0` disables the SSD tier (pure DRAM behaviour).
+  /// Policies are created by name (see make_policy); the clairvoyant ones
+  /// are bound to the oracle automatically.
+  TieredNodeCache(NodeId node, Bytes memory_capacity, Bytes ssd_capacity,
+                  const std::string& memory_policy, const std::string& ssd_policy,
+                  const data::SampleCatalog& catalog, CacheDirectory* directory,
+                  const data::AccessOracle* oracle, std::uint32_t iterations_per_epoch);
+
+  TieredNodeCache(const TieredNodeCache&) = delete;
+  TieredNodeCache& operator=(const TieredNodeCache&) = delete;
+
+  bool has_ssd() const noexcept { return ssd_ != nullptr; }
+  NodeId node() const noexcept { return memory_->node(); }
+
+  /// Records a read by a GPU of this node. SSD hits are promoted to DRAM.
+  TierHit access(SampleId sample, IterId now);
+
+  /// Residency in either tier, without touching stats/recency.
+  bool peek(SampleId sample) const;
+  bool peek_memory(SampleId sample) const { return memory_->peek(sample); }
+  bool peek_ssd(SampleId sample) const { return ssd_ != nullptr && ssd_->peek(sample); }
+
+  /// Inserts into DRAM (evictees demote to the SSD tier).
+  /// Returns false when neither tier could take the sample.
+  bool insert(SampleId sample, IterId now, IterId reuse_distance = kNeverIter);
+
+  /// Drops a sample from both tiers.
+  void evict(SampleId sample);
+
+  void pin(SampleId sample);
+  void unpin_all();
+  void on_epoch(IterId now);
+
+  const CacheStats& memory_stats() const noexcept { return memory_->stats(); }
+  const CacheStats& ssd_stats() const;
+  NodeCache& memory() noexcept { return *memory_; }
+  const NodeCache& memory() const noexcept { return *memory_; }
+
+  /// Combined hit ratio counting either tier as a hit.
+  double combined_hit_ratio() const noexcept;
+
+ private:
+  std::unique_ptr<EvictionPolicy> bound_policy(const std::string& name) const;
+  void sync_directory(SampleId sample);
+
+  const data::SampleCatalog& catalog_;
+  CacheDirectory* directory_;
+  const data::AccessOracle* oracle_;
+  NodeId node_id_;
+  std::unique_ptr<NodeCache> memory_;
+  std::unique_ptr<NodeCache> ssd_;  // null when the tier is disabled
+  std::uint64_t ssd_hits_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promotions_ = 0;
+
+ public:
+  std::uint64_t ssd_hits() const noexcept { return ssd_hits_; }
+  std::uint64_t demotions() const noexcept { return demotions_; }
+  std::uint64_t promotions() const noexcept { return promotions_; }
+};
+
+}  // namespace lobster::cache

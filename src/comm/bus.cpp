@@ -1,0 +1,121 @@
+#include "comm/bus.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace lobster::comm {
+
+std::uint16_t Endpoint::world_size() const noexcept { return bus_->world_size(); }
+
+bool Endpoint::send(Rank to, Tag tag, std::vector<std::byte> payload) {
+  return bus_->do_send(to, Message{rank_, tag, std::move(payload)});
+}
+
+std::optional<Message> Endpoint::recv(Tag tag) { return bus_->do_recv(rank_, tag, true); }
+
+std::optional<Message> Endpoint::try_recv(Tag tag) { return bus_->do_recv(rank_, tag, false); }
+
+void Endpoint::barrier() { bus_->do_barrier(); }
+
+std::vector<double> Endpoint::allreduce_sum(std::vector<double> values) {
+  return bus_->do_allreduce(rank_, std::move(values));
+}
+
+MessageBus::MessageBus(std::uint16_t world_size)
+    : world_size_(world_size), mailboxes_(world_size) {
+  if (world_size == 0) throw std::invalid_argument("MessageBus: world_size must be >= 1");
+  endpoints_.reserve(world_size);
+  for (Rank r = 0; r < world_size; ++r) endpoints_.push_back(Endpoint(*this, r));
+}
+
+MessageBus::~MessageBus() { shutdown(); }
+
+Endpoint& MessageBus::endpoint(Rank rank) {
+  if (rank >= world_size_) throw std::out_of_range("MessageBus: rank out of range");
+  return endpoints_[rank];
+}
+
+void MessageBus::shutdown() {
+  {
+    const std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MessageBus::is_shutdown() const {
+  const std::scoped_lock lock(mutex_);
+  return shutdown_;
+}
+
+bool MessageBus::do_send(Rank to, Message message) {
+  if (to >= world_size_) throw std::out_of_range("MessageBus: destination rank out of range");
+  {
+    const std::scoped_lock lock(mutex_);
+    if (shutdown_) return false;
+    mailboxes_[to].push_back(std::move(message));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<Message> MessageBus::do_recv(Rank me, Tag tag, bool blocking) {
+  std::unique_lock lock(mutex_);
+  auto find_match = [&]() -> std::optional<Message> {
+    auto& box = mailboxes_[me];
+    const auto it = std::find_if(box.begin(), box.end(), [&](const Message& m) {
+      return tag == kAnyTag || m.tag == tag;
+    });
+    if (it == box.end()) return std::nullopt;
+    Message found = std::move(*it);
+    box.erase(it);
+    return found;
+  };
+
+  if (!blocking) return find_match();
+  for (;;) {
+    if (auto found = find_match()) return found;
+    if (shutdown_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+void MessageBus::do_barrier() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == world_size_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return barrier_generation_ != my_generation || shutdown_; });
+}
+
+std::vector<double> MessageBus::do_allreduce(Rank me, std::vector<double> values) {
+  (void)me;
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = reduce_generation_;
+  if (reduce_waiting_ == 0) {
+    reduce_accum_ = values;
+  } else {
+    if (reduce_accum_.size() != values.size()) {
+      throw std::invalid_argument("allreduce_sum: mismatched vector sizes across ranks");
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) reduce_accum_[i] += values[i];
+  }
+  if (++reduce_waiting_ == world_size_) {
+    reduce_result_ = reduce_accum_;
+    reduce_waiting_ = 0;
+    ++reduce_generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return reduce_result_;
+  }
+  cv_.wait(lock, [&] { return reduce_generation_ != my_generation || shutdown_; });
+  return reduce_result_;
+}
+
+}  // namespace lobster::comm

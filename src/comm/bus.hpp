@@ -1,0 +1,140 @@
+// In-process MPI-like message bus.
+//
+// Lobster's online runtime uses a "distribution manager responsible to
+// handle the distributed operations across the compute nodes using MPI"
+// (§4.5). On a single machine we provide the same primitives over real
+// threads: ranked endpoints with tagged send/recv, barrier, and all-reduce.
+// One Endpoint per simulated node; each node's distribution manager runs
+// its endpoint from its own thread.
+//
+// Semantics:
+//   - send() is asynchronous and never blocks (unbounded per-rank mailbox);
+//   - recv() blocks until a message with a matching tag arrives (tag
+//     kAnyTag matches everything); messages with the same (source, tag)
+//     arrive in send order;
+//   - barrier() blocks until all ranks arrive (generation-counted, so
+//     repeated barriers work);
+//   - allreduce_sum() element-wise sums a vector across all ranks and
+//     returns the result to every caller (barrier-style collective);
+//   - shutdown() releases all blocked receivers with std::nullopt.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::comm {
+
+using Rank = std::uint16_t;
+using Tag = std::uint32_t;
+
+inline constexpr Tag kAnyTag = ~0U;
+
+struct Message {
+  Rank source = 0;
+  Tag tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class MessageBus;
+
+/// A rank's handle onto the bus. Thread-compatible: one owning thread per
+/// endpoint (matching MPI's single-threaded-rank model); the bus itself is
+/// fully thread-safe.
+class Endpoint {
+ public:
+  Rank rank() const noexcept { return rank_; }
+  std::uint16_t world_size() const noexcept;
+
+  /// Asynchronous tagged send. Returns false after shutdown.
+  bool send(Rank to, Tag tag, std::vector<std::byte> payload);
+
+  /// Convenience: sends a trivially-copyable value.
+  template <typename T>
+  bool send_value(Rank to, Tag tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    return send(to, tag, std::move(bytes));
+  }
+
+  /// Blocking tagged receive; nullopt after shutdown (and drained mailbox).
+  std::optional<Message> recv(Tag tag = kAnyTag);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(Tag tag = kAnyTag);
+
+  template <typename T>
+  static T value_of(const Message& message) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    std::memcpy(&value, message.payload.data(), std::min(sizeof(T), message.payload.size()));
+    return value;
+  }
+
+  /// Collective: blocks until every rank has called barrier().
+  void barrier();
+
+  /// Collective: element-wise sum across ranks; every rank gets the result.
+  std::vector<double> allreduce_sum(std::vector<double> values);
+
+ private:
+  friend class MessageBus;
+  Endpoint(MessageBus& bus, Rank rank) : bus_(&bus), rank_(rank) {}
+
+  MessageBus* bus_;
+  Rank rank_;
+};
+
+class MessageBus {
+ public:
+  explicit MessageBus(std::uint16_t world_size);
+  ~MessageBus();
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  std::uint16_t world_size() const noexcept { return world_size_; }
+
+  /// The endpoint for `rank`; valid for the bus's lifetime.
+  Endpoint& endpoint(Rank rank);
+
+  /// Releases every blocked receiver / collective.
+  void shutdown();
+  bool is_shutdown() const;
+
+ private:
+  friend class Endpoint;
+
+  bool do_send(Rank to, Message message);
+  std::optional<Message> do_recv(Rank me, Tag tag, bool blocking);
+  void do_barrier();
+  std::vector<double> do_allreduce(Rank me, std::vector<double> values);
+
+  const std::uint16_t world_size_;
+  std::vector<Endpoint> endpoints_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Message>> mailboxes_;
+  bool shutdown_ = false;
+
+  // Barrier state (generation counting).
+  std::uint32_t barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // All-reduce state.
+  std::vector<double> reduce_accum_;
+  std::uint32_t reduce_waiting_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  std::vector<double> reduce_result_;
+};
+
+}  // namespace lobster::comm

@@ -1,0 +1,72 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lobster {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return from_tokens(tokens);
+}
+
+Config Config::from_tokens(const std::vector<std::string>& tokens) {
+  Config config;
+  for (const auto& raw : tokens) {
+    std::string token = raw;
+    while (token.starts_with('-')) token.erase(token.begin());
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("Config: expected key=value, got '" + raw + "'");
+    }
+    config.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, std::string value) { values_[key] = std::move(value); }
+
+bool Config::contains(const std::string& key) const { return values_.contains(key); }
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Config: not a boolean: " + key + "=" + it->second);
+}
+
+std::vector<std::string> Config::unconsumed() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace lobster

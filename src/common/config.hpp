@@ -1,0 +1,42 @@
+// Tiny key=value configuration parser for benches and examples.
+//
+// Accepts "--key=value" / "key=value" tokens (argv style) and newline- or
+// space-separated strings. Typed getters with defaults; unknown keys are
+// retained so callers can validate with `unconsumed()`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lobster {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style tokens. Throws std::invalid_argument on a token
+  /// without '='.
+  static Config from_args(int argc, const char* const* argv);
+  static Config from_tokens(const std::vector<std::string>& tokens);
+
+  void set(const std::string& key, std::string value);
+  bool contains(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys present in the config but never read by any getter.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace lobster

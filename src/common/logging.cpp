@@ -1,0 +1,71 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lobster::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info ";
+    case Level::kWarn: return "warn ";
+    case Level::kError: return "error";
+    case Level::kOff: return "off  ";
+  }
+  return "?";
+}
+
+void vlog(Level msg_level, const char* fmt, std::va_list args) {
+  if (msg_level < level()) return;
+  emit(msg_level, vstrf(fmt, args));
+}
+
+}  // namespace
+
+void set_level(Level new_level) noexcept { g_level.store(new_level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level msg_level, std::string_view message) {
+  if (msg_level < level()) return;
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_tag(msg_level),
+               static_cast<int>(message.size()), message.data());
+}
+
+void debug(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(Level::kDebug, fmt, args);
+  va_end(args);
+}
+
+void info(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(Level::kInfo, fmt, args);
+  va_end(args);
+}
+
+void warn(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(Level::kWarn, fmt, args);
+  va_end(args);
+}
+
+void error(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(Level::kError, fmt, args);
+  va_end(args);
+}
+
+}  // namespace lobster::log

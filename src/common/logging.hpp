@@ -1,0 +1,27 @@
+// Minimal thread-safe leveled logger (printf-style; GCC 12 lacks <format>).
+//
+// Library code logs sparingly (warnings for misconfiguration, debug traces
+// behind Level::kDebug); benches and examples raise the level as needed.
+#pragma once
+
+#include <string_view>
+
+#include "common/strfmt.hpp"
+
+namespace lobster::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one line ("[level] message") to stderr under an internal mutex.
+void emit(Level level, std::string_view message);
+
+LOBSTER_PRINTF_LIKE(1, 2) void debug(const char* fmt, ...);
+LOBSTER_PRINTF_LIKE(1, 2) void info(const char* fmt, ...);
+LOBSTER_PRINTF_LIKE(1, 2) void warn(const char* fmt, ...);
+LOBSTER_PRINTF_LIKE(1, 2) void error(const char* fmt, ...);
+
+}  // namespace lobster::log

@@ -1,0 +1,200 @@
+#include "common/piecewise_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace lobster {
+
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+/// Least squares fit over points [i, j] (inclusive) of a sorted point array,
+/// using prefix sums for O(1) evaluation. Returns {slope, intercept, sse}.
+struct SegmentFit {
+  double slope;
+  double intercept;
+  double sse;
+};
+
+class PrefixFitter {
+ public:
+  explicit PrefixFitter(const std::vector<Point>& pts) : pts_(pts) {
+    const std::size_t n = pts.size();
+    sx_.resize(n + 1, 0.0);
+    sy_.resize(n + 1, 0.0);
+    sxx_.resize(n + 1, 0.0);
+    sxy_.resize(n + 1, 0.0);
+    syy_.resize(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sx_[i + 1] = sx_[i] + pts[i].x;
+      sy_[i + 1] = sy_[i] + pts[i].y;
+      sxx_[i + 1] = sxx_[i] + pts[i].x * pts[i].x;
+      sxy_[i + 1] = sxy_[i] + pts[i].x * pts[i].y;
+      syy_[i + 1] = syy_[i] + pts[i].y * pts[i].y;
+    }
+  }
+
+  SegmentFit fit(std::size_t i, std::size_t j) const {
+    const double n = static_cast<double>(j - i + 1);
+    const double sx = sx_[j + 1] - sx_[i];
+    const double sy = sy_[j + 1] - sy_[i];
+    const double sxx = sxx_[j + 1] - sxx_[i];
+    const double sxy = sxy_[j + 1] - sxy_[i];
+    const double syy = syy_[j + 1] - syy_[i];
+    const double denom = n * sxx - sx * sx;
+    double slope = 0.0;
+    double intercept = sy / n;
+    if (std::abs(denom) > 1e-12) {
+      slope = (n * sxy - sx * sy) / denom;
+      intercept = (sy - slope * sx) / n;
+    }
+    // SSE expanded: sum (y - a x - b)^2.
+    double sse = syy + slope * slope * sxx + n * intercept * intercept -
+                 2.0 * slope * sxy - 2.0 * intercept * sy + 2.0 * slope * intercept * sx;
+    sse = std::max(sse, 0.0);  // guard against negative rounding residue
+    return {slope, intercept, sse};
+  }
+
+ private:
+  const std::vector<Point>& pts_;
+  std::vector<double> sx_, sy_, sxx_, sxy_, syy_;
+};
+
+}  // namespace
+
+PiecewiseLinearModel::PiecewiseLinearModel(std::vector<LinearSegment> segments)
+    : segments_(std::move(segments)) {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const LinearSegment& a, const LinearSegment& b) { return a.x_lo < b.x_lo; });
+}
+
+double PiecewiseLinearModel::eval(double x) const noexcept {
+  if (segments_.empty()) return 0.0;
+  if (x <= segments_.front().x_lo) return segments_.front().eval(x);
+  for (const auto& seg : segments_) {
+    if (x <= seg.x_hi) return seg.eval(x);
+  }
+  return segments_.back().eval(x);
+}
+
+double PiecewiseLinearModel::argmin() const noexcept {
+  double best_x = 0.0;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (const auto& seg : segments_) {
+    for (double x : {seg.x_lo, seg.x_hi}) {
+      const double y = seg.eval(x);
+      if (y < best_y) {
+        best_y = y;
+        best_x = x;
+      }
+    }
+  }
+  return best_x;
+}
+
+double PiecewiseLinearModel::argmax() const noexcept {
+  double best_x = 0.0;
+  double best_y = -std::numeric_limits<double>::infinity();
+  for (const auto& seg : segments_) {
+    for (double x : {seg.x_lo, seg.x_hi}) {
+      const double y = seg.eval(x);
+      if (y > best_y) {
+        best_y = y;
+        best_x = x;
+      }
+    }
+  }
+  return best_x;
+}
+
+LinearSegment fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need >= 2 points with matching sizes");
+  }
+  std::vector<Point> pts(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pts[i] = {xs[i], ys[i]};
+  std::sort(pts.begin(), pts.end(), [](Point a, Point b) { return a.x < b.x; });
+  const PrefixFitter fitter(pts);
+  const auto fit = fitter.fit(0, pts.size() - 1);
+  return {pts.front().x, pts.back().x, fit.slope, fit.intercept};
+}
+
+PiecewiseLinearModel fit_piecewise_linear(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          std::size_t max_segments,
+                                          double segment_penalty) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_piecewise_linear: need >= 2 points with matching sizes");
+  }
+  if (max_segments == 0) throw std::invalid_argument("fit_piecewise_linear: max_segments == 0");
+
+  std::vector<Point> pts(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pts[i] = {xs[i], ys[i]};
+  std::sort(pts.begin(), pts.end(), [](Point a, Point b) { return a.x < b.x; });
+
+  const std::size_t n = pts.size();
+  const PrefixFitter fitter(pts);
+
+  // dp[j] = best cost covering points [0, j); choice[j] = start of the last
+  // segment. Segments need >= 2 points.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(n + 1, kInf);
+  std::vector<std::size_t> choice(n + 1, 0);
+  std::vector<std::size_t> used(n + 1, 0);
+  dp[0] = 0.0;
+  for (std::size_t j = 2; j <= n; ++j) {
+    for (std::size_t i = 0; i + 2 <= j; ++i) {
+      if (dp[i] == kInf) continue;
+      if (used[i] + 1 > max_segments) continue;
+      const auto fit = fitter.fit(i, j - 1);
+      const double cost = dp[i] + fit.sse + segment_penalty;
+      if (cost < dp[j] - 1e-15) {
+        dp[j] = cost;
+        choice[j] = i;
+        used[j] = used[i] + 1;
+      }
+    }
+  }
+  if (dp[n] == kInf) {
+    // Fewer than 2 points per required segment; fall back to one line.
+    const auto fit = fitter.fit(0, n - 1);
+    return PiecewiseLinearModel({{pts.front().x, pts.back().x, fit.slope, fit.intercept}});
+  }
+
+  // Backtrack.
+  std::vector<LinearSegment> segments;
+  std::size_t j = n;
+  while (j > 0) {
+    const std::size_t i = choice[j];
+    const auto fit = fitter.fit(i, j - 1);
+    segments.push_back({pts[i].x, pts[j - 1].x, fit.slope, fit.intercept});
+    j = i;
+  }
+  std::reverse(segments.begin(), segments.end());
+  return PiecewiseLinearModel(std::move(segments));
+}
+
+double r_squared(const PiecewiseLinearModel& model, std::span<const double> xs,
+                 std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  const double mean_y =
+      std::accumulate(ys.begin(), ys.end(), 0.0) / static_cast<double>(ys.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = model.eval(xs[i]);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace lobster

@@ -1,0 +1,68 @@
+// Piecewise linear regression.
+//
+// Lobster predicts preprocessing throughput with "a piece-wise linear
+// regression model that takes the number of threads as input and predicts
+// the execution time of processing one training sample" (§4.1). This module
+// provides the generic fitter: segmented least squares with an optimal
+// dynamic-programming breakpoint search (Bellman's formulation), plus
+// evaluation and goodness-of-fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lobster {
+
+/// One fitted line segment y = slope * x + intercept valid on [x_lo, x_hi].
+struct LinearSegment {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double eval(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// A fitted piecewise linear model: contiguous segments ordered by x.
+class PiecewiseLinearModel {
+ public:
+  PiecewiseLinearModel() = default;
+  explicit PiecewiseLinearModel(std::vector<LinearSegment> segments);
+
+  /// Evaluates at x; extrapolates with the first/last segment outside the
+  /// fitted domain.
+  double eval(double x) const noexcept;
+
+  const std::vector<LinearSegment>& segments() const noexcept { return segments_; }
+  bool empty() const noexcept { return segments_.empty(); }
+
+  /// x of the global minimum of the model over its domain (checked at
+  /// segment endpoints — each segment is linear, so extrema are endpoints).
+  double argmin() const noexcept;
+  /// Likewise for the maximum.
+  double argmax() const noexcept;
+
+ private:
+  std::vector<LinearSegment> segments_;
+};
+
+/// Fits a piecewise linear model to (x, y) points.
+///
+/// `max_segments` bounds the number of pieces; `segment_penalty` is the
+/// per-segment cost added to the SSE in the DP objective (larger => fewer
+/// segments). Points need not be sorted. Requires at least two points.
+/// Complexity O(n^2 * max_segments).
+PiecewiseLinearModel fit_piecewise_linear(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          std::size_t max_segments = 4,
+                                          double segment_penalty = 0.0);
+
+/// Ordinary least squares on the full range (single segment helper).
+LinearSegment fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination of `model` on the given points.
+double r_squared(const PiecewiseLinearModel& model, std::span<const double> xs,
+                 std::span<const double> ys);
+
+}  // namespace lobster

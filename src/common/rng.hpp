@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Everything random in Lobster flows from a single global seed through
+// `derive_seed`, mirroring the paper's requirement (§4.4) that "the
+// determinism of the prefetching pattern of one node is a global property:
+// it is known to all other nodes (e.g. by fixing the pseudorandom number
+// generator seed of each node such that it is a function of a fixed seed
+// and the node id)".
+//
+// The generator is xoshiro256** seeded via splitmix64 — fast, high quality,
+// and fully reproducible across platforms (unlike std::mt19937 +
+// std::uniform_int_distribution, whose mapping is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lobster {
+
+/// splitmix64 step; used for seed derivation and generator initialization.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Combines a base seed with stream identifiers (node id, epoch, purpose tag)
+/// into an independent seed. Associative-free: derive_seed(s, a, b) differs
+/// from derive_seed(s, b, a).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept;
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t s1, std::uint64_t s2) noexcept;
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t s1, std::uint64_t s2,
+                          std::uint64_t s3) noexcept;
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  result_type operator()() noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream stays position-independent).
+  double normal() noexcept;
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal with the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma) noexcept;
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+/// Deterministic Fisher-Yates shuffle (uses Rng::bounded, so reproducible
+/// across platforms).
+template <typename T>
+void shuffle(std::span<T> values, Rng& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+/// Returns the identity permutation [0, n) shuffled with `rng`.
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Rng& rng);
+
+}  // namespace lobster

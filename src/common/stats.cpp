@@ -1,0 +1,171 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace lobster {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Series::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Series::sum() const noexcept {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Series::stddev() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Series::min() const noexcept {
+  return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+}
+
+double Series::max() const noexcept {
+  return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+}
+
+double Series::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_valid_ || sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const { return bin_lo(i) + width_ / 2.0; }
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::fraction_above(double threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_lo(i) >= threshold) above += counts_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto width = peak == 0 ? std::size_t{0}
+                                 : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                                            static_cast<double>(peak) *
+                                                            static_cast<double>(max_bar_width));
+    out += strf("[%12.1f, %12.1f) %10llu %s\n", bin_lo(i), bin_hi(i),
+                static_cast<unsigned long long>(counts_[i]), std::string(width, '#').c_str());
+  }
+  return out;
+}
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t bucket = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  const std::size_t idx = std::min(bucket, counts_.size() - 1);
+  ++counts_[idx];
+  ++total_;
+  raw_.push_back(value);
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t i) const noexcept {
+  return i == 0 ? 0 : (1ULL << (i - 1));
+}
+
+double Log2Histogram::fraction_above(std::uint64_t threshold) const {
+  if (raw_.empty()) return 0.0;
+  std::uint64_t above = 0;
+  for (auto v : raw_) {
+    if (v > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(raw_.size());
+}
+
+std::string Log2Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 0;
+  std::size_t last_nonzero = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    peak = std::max(peak, counts_[i]);
+    if (counts_[i] > 0) last_nonzero = i;
+  }
+  std::string out;
+  for (std::size_t i = 0; i <= last_nonzero; ++i) {
+    const auto width = peak == 0 ? std::size_t{0}
+                                 : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                                            static_cast<double>(peak) *
+                                                            static_cast<double>(max_bar_width));
+    out += strf("[%12llu, ...) %10llu %s\n", static_cast<unsigned long long>(bucket_lo(i)),
+                static_cast<unsigned long long>(counts_[i]), std::string(width, '#').c_str());
+  }
+  return out;
+}
+
+}  // namespace lobster

@@ -1,0 +1,121 @@
+// Streaming statistics, percentile summaries and histograms.
+//
+// Used throughout the pipeline simulator to accumulate per-iteration timings
+// (Fig. 8c batch-time distribution, GPU utilisation, etc.) and by the data
+// module for the reuse-distance histogram (Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lobster {
+
+/// Welford's online mean/variance with min/max tracking. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples; provides exact percentiles. Use for bounded series
+/// (per-iteration times across a run).
+class Series {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept;
+
+  /// Exact percentile via linear interpolation between order statistics;
+  /// q in [0, 100]. Returns 0 on an empty series.
+  double percentile(double q) const;
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+  // Sorted copy cache; rebuilt lazily on percentile queries.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width linear histogram over [lo, hi); values outside are clamped
+/// into the first/last bin. Also tracks exact count and sum.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Center of bin i.
+  double bin_center(std::size_t i) const;
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Fraction of samples with value > threshold (bin-resolution estimate on
+  /// interior thresholds, exact when threshold aligns with a bin edge).
+  double fraction_above(double threshold) const;
+
+  /// Renders an ASCII bar chart, one line per bin.
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Log2-bucketed histogram for long-tailed quantities (reuse distances).
+class Log2Histogram {
+ public:
+  explicit Log2Histogram(std::size_t max_bits = 40) : counts_(max_bits + 1, 0) {}
+
+  void add(std::uint64_t value) noexcept;
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  /// Lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  std::uint64_t bucket_lo(std::size_t i) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  double fraction_above(std::uint64_t threshold) const;
+
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> raw_;  // exact values, for fraction_above
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lobster

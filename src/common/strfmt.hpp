@@ -1,0 +1,38 @@
+// printf-style std::string formatting (GCC 12 has no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace lobster {
+
+#if defined(__GNUC__)
+#define LOBSTER_PRINTF_LIKE(fmt_idx, arg_idx) __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define LOBSTER_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+/// vsnprintf into a std::string.
+inline std::string vstrf(const char* fmt, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+/// snprintf into a std::string: strf("x=%d", 42).
+LOBSTER_PRINTF_LIKE(1, 2)
+inline std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace lobster

@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace lobster {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument(strf("Table: row has %zu cells, expected %zu", cells.size(),
+                                     columns_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  return strf("%.*f", precision, v);
+}
+
+std::string Table::render_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      if (c + 1 < cells.size()) line += std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_cells(columns_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += std::string(rule, '-') + '\n';
+  for (const auto& row : rows_) out += render_cells(row);
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::render_csv() const {
+  std::string out;
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += csv_escape(cells[c]);
+      if (c + 1 < cells.size()) out += ',';
+    }
+    out += '\n';
+  };
+  render_cells(columns_);
+  for (const auto& row : rows_) render_cells(row);
+  return out;
+}
+
+}  // namespace lobster

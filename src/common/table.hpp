@@ -1,0 +1,38 @@
+// Text table / CSV rendering for bench output.
+//
+// Every figure bench prints its series through this, so the rows the paper
+// reports are reproducible as plain text and machine-readable CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lobster {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Aligned monospace rendering with a header rule.
+  std::string render_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string render_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return columns_.size(); }
+  const std::vector<std::string>& column_names() const noexcept { return columns_; }
+  const std::vector<std::vector<std::string>>& row_data() const noexcept { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lobster

@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lobster {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::scoped_lock lock(mutex_);
+  target_size_ = threads;
+  spawn_locked(threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // jthread joins in workers_ destructor.
+}
+
+void ThreadPool::spawn_locked(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t id = workers_.size();
+    ++live_workers_;
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+void ThreadPool::resize(std::size_t threads) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    if (threads > target_size_) {
+      // Spawn the difference between requested and currently-live workers;
+      // retired-but-not-yet-joined entries stay in workers_ harmlessly.
+      const std::size_t to_spawn = threads - std::min(live_workers_, threads);
+      target_size_ = threads;
+      spawn_locked(to_spawn);
+    } else {
+      target_size_ = threads;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t ThreadPool::size() const {
+  const std::scoped_lock lock(mutex_);
+  return target_size_;
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && busy_workers_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t /*worker_id*/) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] {
+        return stopping_ || !tasks_.empty() || live_workers_ > target_size_;
+      });
+      if (stopping_ || (live_workers_ > target_size_ && tasks_.empty())) {
+        // Retire: shutdown, or surplus worker with nothing left to do.
+        --live_workers_;
+        idle_cv_.notify_all();
+        return;
+      }
+      if (live_workers_ > target_size_) {
+        // Surplus worker but tasks remain: retire anyway so resize() is
+        // prompt; remaining workers (or future growth) will drain the queue.
+        --live_workers_;
+        idle_cv_.notify_all();
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++busy_workers_;
+    }
+    task();
+    {
+      const std::scoped_lock lock(mutex_);
+      --busy_workers_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace lobster

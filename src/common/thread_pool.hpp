@@ -1,0 +1,76 @@
+// Resizable worker thread pool.
+//
+// The online runtime needs to *move threads between pipeline stages* (§4.1:
+// "take away one thread from the preprocessing stage and make it available
+// for data loading"). This pool therefore supports live resizing: shrink
+// retires workers as they finish their current task; grow spawns new ones.
+//
+// Core Guidelines: workers are std::jthread (CP.25), tasks are moved values
+// (CP.31), all shared state behind one mutex (CP.2/CP.20).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lobster {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (may be 0; tasks then wait until
+  /// the pool is grown).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& task) {
+    auto wrapped = std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
+    auto future = wrapped->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      tasks_.emplace_back([wrapped]() mutable { (*wrapped)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Changes the target worker count. Growing is immediate; shrinking takes
+  /// effect as surplus workers finish their current task.
+  void resize(std::size_t threads);
+
+  /// Current target size.
+  std::size_t size() const;
+
+  /// Number of tasks waiting (not including running ones).
+  std::size_t pending() const;
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop(std::size_t worker_id);
+  void spawn_locked(std::size_t count);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+  std::size_t target_size_ = 0;
+  std::size_t live_workers_ = 0;
+  std::size_t busy_workers_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace lobster

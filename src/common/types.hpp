@@ -1,0 +1,55 @@
+// Core identifier and quantity types shared by every Lobster module.
+//
+// Conventions (used consistently across src/):
+//  - Time is virtual simulation time in seconds, carried as `Seconds` (double).
+//  - Data volumes are bytes, carried as `Bytes` (std::uint64_t).
+//  - Identifiers are strong-ish aliases: plain integer types with distinct
+//    names; the simulator is the only place that mints them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lobster {
+
+/// Index of a training sample within a dataset catalog, [0, |D|).
+using SampleId = std::uint32_t;
+
+/// Compute-node rank within the cluster, [0, N).
+using NodeId = std::uint16_t;
+
+/// GPU index within one node, [0, M).
+using GpuId = std::uint16_t;
+
+/// Global iteration counter across the whole training run (epoch * I + h).
+using IterId = std::uint64_t;
+
+/// Data volume in bytes.
+using Bytes = std::uint64_t;
+
+/// Virtual time in seconds.
+using Seconds = double;
+
+/// Sentinel for "no such iteration" (e.g. a sample never reused again).
+inline constexpr IterId kNeverIter = std::numeric_limits<IterId>::max();
+
+/// Sentinel sample id.
+inline constexpr SampleId kInvalidSample = std::numeric_limits<SampleId>::max();
+
+/// Identifies one GPU globally: node rank plus local GPU index.
+struct GpuRef {
+  NodeId node = 0;
+  GpuId gpu = 0;
+
+  friend constexpr bool operator==(GpuRef a, GpuRef b) noexcept {
+    return a.node == b.node && a.gpu == b.gpu;
+  }
+  friend constexpr auto operator<=>(GpuRef a, GpuRef b) noexcept = default;
+};
+
+/// Flattens a GpuRef to a dense rank in [0, N*M) given M GPUs per node.
+constexpr std::uint32_t flat_gpu_rank(GpuRef g, std::uint32_t gpus_per_node) noexcept {
+  return static_cast<std::uint32_t>(g.node) * gpus_per_node + g.gpu;
+}
+
+}  // namespace lobster

@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace lobster {
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2f %s", value, unit);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  const auto v = static_cast<double>(b);
+  if (v >= kGiB) return format_scaled(v / kGiB, "GiB");
+  if (v >= kMiB) return format_scaled(v / kMiB, "MiB");
+  if (v >= kKiB) return format_scaled(v / kKiB, "KiB");
+  return format_scaled(v, "B");
+}
+
+std::string format_seconds(Seconds s) {
+  if (s >= 1.0) return format_scaled(s, "s");
+  if (s >= 1e-3) return format_scaled(s * 1e3, "ms");
+  if (s >= 1e-6) return format_scaled(s * 1e6, "us");
+  return format_scaled(s * 1e9, "ns");
+}
+
+std::string format_throughput(double bytes_per_second) {
+  if (bytes_per_second >= kGiB) return format_scaled(bytes_per_second / kGiB, "GiB/s");
+  if (bytes_per_second >= kMiB) return format_scaled(bytes_per_second / kMiB, "MiB/s");
+  return format_scaled(bytes_per_second / kKiB, "KiB/s");
+}
+
+}  // namespace lobster

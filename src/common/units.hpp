@@ -1,0 +1,28 @@
+// Byte/time unit helpers and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lobster {
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ULL * 1024ULL; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ULL * 1024ULL * 1024ULL; }
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Formats a byte count as e.g. "1.25 GiB".
+std::string format_bytes(Bytes b);
+
+/// Formats a duration as e.g. "12.3 ms" / "4.56 s".
+std::string format_seconds(Seconds s);
+
+/// Formats a throughput as e.g. "850 MiB/s".
+std::string format_throughput(double bytes_per_second);
+
+}  // namespace lobster

@@ -1,0 +1,69 @@
+// The holistic performance model of §4.3 (Table 1, Equations 1–3).
+//
+// Composes the storage hierarchy (Eq. 1: per-tier load time under a thread
+// allocation) with the preprocessing portfolio (§4.1) and a constant
+// training-stage duration, and exposes the two objectives:
+//
+//   Eq. 2  t_dif(G)  = T_L + T_P − T_train            (per-GPU bottleneck gap)
+//   Eq. 3  imbalance = max_j T^{h,i,j} − min_j T^{h,i,j}   (node-level gap)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/preproc_model.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::core {
+
+/// One GPU's demand for an iteration: bytes by serving tier plus batch shape.
+struct GpuDemand {
+  storage::TierBytes bytes;
+  std::uint32_t samples = 0;        ///< |B|
+  std::uint64_t pending_requests = 0;  ///< queue depth, for proportional split
+};
+
+class PerfModel {
+ public:
+  PerfModel(const storage::StorageModel& storage_model, const PreprocModelPortfolio& preproc,
+            Seconds t_train);
+
+  /// Eq. 1 — load time of one GPU's batch with `threads` loading threads
+  /// (applied uniformly per tier, as Algorithm 1 searches a single per-GPU
+  /// count) under the given tier contention.
+  Seconds load_time(const GpuDemand& demand, double threads,
+                    const storage::Contention& contention = {}) const;
+
+  /// Preprocessing time of the batch with `preproc_threads` workers.
+  Seconds preproc_time(const GpuDemand& demand, double preproc_threads) const;
+
+  /// Eq. 2 inner expression: (T_L + T_P) − T_train. Positive values mean
+  /// the pipeline stalls the GPU.
+  Seconds t_dif(const GpuDemand& demand, double load_threads,
+                double preproc_threads, const storage::Contention& contention = {}) const;
+
+  /// Effective iteration time of one GPU: training fully overlaps loading +
+  /// preprocessing of the next batch, so the GPU is bound by the slower of
+  /// the two.
+  Seconds gpu_iteration_time(const GpuDemand& demand, double load_threads,
+                             double preproc_threads,
+                             const storage::Contention& contention = {}) const;
+
+  /// Eq. 3 — max-min gap of per-GPU iteration times under an allocation.
+  Seconds node_imbalance(const std::vector<GpuDemand>& demands,
+                         const std::vector<double>& load_threads,
+                         double preproc_threads,
+                         const storage::Contention& contention = {}) const;
+
+  Seconds t_train() const noexcept { return t_train_; }
+  const storage::StorageModel& storage_model() const noexcept { return storage_; }
+  const PreprocModelPortfolio& preproc_portfolio() const noexcept { return preproc_; }
+
+ private:
+  const storage::StorageModel& storage_;
+  const PreprocModelPortfolio& preproc_;
+  Seconds t_train_;
+};
+
+}  // namespace lobster::core

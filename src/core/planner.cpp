@@ -1,0 +1,17 @@
+#include "core/planner.hpp"
+
+namespace lobster::core {
+
+PlannerResult plan_training(const pipeline::ExperimentPreset& preset,
+                            const baselines::LoaderStrategy& strategy) {
+  PlannerResult result;
+  pipeline::SimulationConfig config;
+  config.preset = preset;
+  config.strategy = strategy;
+  config.record_plan = &result.plan;
+  pipeline::TrainingSimulator simulator(std::move(config));
+  result.simulation = simulator.run();
+  return result;
+}
+
+}  // namespace lobster::core

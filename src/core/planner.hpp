@@ -1,0 +1,32 @@
+// Offline planner (§4.5).
+//
+// "Lobster consists of two components: one is used in offline fashion to
+// construct piece-wise linear regression models for the preprocessing stage
+// and to pre-compute an efficient thread management plan combined with an
+// efficient prefetching/eviction plan based on the reuse distance."
+//
+// The planning phase runs the pipeline simulator (our analogue of the
+// NoPFS-derived simulator the paper extends) with the Lobster strategy and
+// records every decision into a runtime::Plan the online executor can
+// enforce.
+#pragma once
+
+#include "baselines/strategies.hpp"
+#include "pipeline/calibration.hpp"
+#include "pipeline/simulator.hpp"
+#include "runtime/plan.hpp"
+
+namespace lobster::core {
+
+struct PlannerResult {
+  runtime::Plan plan;
+  pipeline::SimulationResult simulation;  ///< predicted performance of the plan
+};
+
+/// Plans `preset.epochs` epochs of training under `strategy` (normally
+/// LoaderStrategy::lobster()) and returns the decision plan plus the
+/// simulator's predicted metrics.
+PlannerResult plan_training(const pipeline::ExperimentPreset& preset,
+                            const baselines::LoaderStrategy& strategy);
+
+}  // namespace lobster::core

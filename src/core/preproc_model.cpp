@@ -1,0 +1,132 @@
+#include "core/preproc_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace lobster::core {
+
+PreprocGroundTruth::PreprocGroundTruth(Params params) : params_(params) {
+  if (params_.peak_bps <= 0.0 || params_.knee_threads == 0) {
+    throw std::invalid_argument("PreprocGroundTruth: bad params");
+  }
+}
+
+double PreprocGroundTruth::throughput_bps(double threads) const noexcept {
+  if (threads <= 0.0) return 0.0;
+  if (threads <= static_cast<double>(params_.knee_threads)) {
+    return params_.peak_bps * threads / static_cast<double>(params_.knee_threads);
+  }
+  const double over = threads - static_cast<double>(params_.knee_threads);
+  const double declined = params_.peak_bps * (1.0 - params_.decline_per_thread * over);
+  return std::max(declined, params_.peak_bps * params_.floor_fraction);
+}
+
+Seconds PreprocGroundTruth::time_per_sample(double threads, Bytes bytes) const noexcept {
+  if (threads <= 0.0) return std::numeric_limits<Seconds>::infinity();
+  return params_.per_sample_overhead + static_cast<double>(bytes) / throughput_bps(threads);
+}
+
+Seconds PreprocGroundTruth::measure_time_per_sample(std::uint32_t threads, Bytes bytes,
+                                                    std::uint64_t seed) const {
+  Rng rng(derive_seed(seed, threads, bytes));
+  // Multiplicative measurement noise, ~3% sigma, clamped to stay positive.
+  const double noise = std::clamp(rng.normal(1.0, 0.03), 0.85, 1.15);
+  return time_per_sample(threads, bytes) * noise;
+}
+
+Seconds PreprocGroundTruth::batch_time(double threads, Bytes batch_bytes,
+                                       std::uint32_t samples) const noexcept {
+  if (threads <= 0.0) return std::numeric_limits<Seconds>::infinity();
+  return static_cast<double>(samples) * params_.per_sample_overhead +
+         static_cast<double>(batch_bytes) / throughput_bps(threads);
+}
+
+Seconds PreprocGroundTruth::gpu_batch_time(Bytes batch_bytes, std::uint32_t samples) const noexcept {
+  // Kernel-launch overhead is far smaller than the CPU task overhead.
+  return static_cast<double>(samples) * (params_.per_sample_overhead * 0.1) +
+         static_cast<double>(batch_bytes) / params_.gpu_bps;
+}
+
+PreprocModelPortfolio::PreprocModelPortfolio(const PreprocGroundTruth& truth,
+                                             std::vector<Bytes> reference_sizes,
+                                             std::uint32_t max_threads, std::uint32_t repeats,
+                                             std::uint64_t seed)
+    : max_threads_(max_threads) {
+  if (reference_sizes.empty() || max_threads_ == 0 || repeats == 0) {
+    throw std::invalid_argument("PreprocModelPortfolio: bad args");
+  }
+  std::sort(reference_sizes.begin(), reference_sizes.end());
+  for (const Bytes size : reference_sizes) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(max_threads_);
+    ys.reserve(max_threads_);
+    for (std::uint32_t t = 1; t <= max_threads_; ++t) {
+      double sum = 0.0;
+      for (std::uint32_t r = 0; r < repeats; ++r) {
+        sum += truth.measure_time_per_sample(t, size, derive_seed(seed, size, t, r));
+      }
+      xs.push_back(static_cast<double>(t));
+      ys.push_back(sum / static_cast<double>(repeats));
+    }
+    Entry entry;
+    entry.reference_bytes = size;
+    entry.model = fit_piecewise_linear(xs, ys, /*max_segments=*/4);
+    entry.r2 = r_squared(entry.model, xs, ys);
+    portfolio_.push_back(std::move(entry));
+  }
+}
+
+const PreprocModelPortfolio::Entry& PreprocModelPortfolio::nearest(Bytes bytes) const {
+  const Entry* best = &portfolio_.front();
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const auto& entry : portfolio_) {
+    const double gap = std::abs(std::log(static_cast<double>(std::max<Bytes>(bytes, 1))) -
+                                std::log(static_cast<double>(entry.reference_bytes)));
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = &entry;
+    }
+  }
+  return *best;
+}
+
+Seconds PreprocModelPortfolio::predict_time_per_sample(double threads, Bytes bytes) const {
+  const Entry& entry = nearest(bytes);
+  const double base = entry.model.eval(std::max(threads, 0.25));
+  // Rescale by the byte ratio: decode work is ~linear in encoded size.
+  const double ratio = static_cast<double>(bytes) / static_cast<double>(entry.reference_bytes);
+  return std::max(base * ratio, 0.0);
+}
+
+Seconds PreprocModelPortfolio::predict_batch_time(double threads, Bytes batch_bytes,
+                                                  std::uint32_t samples) const {
+  if (samples == 0) return 0.0;
+  const Bytes mean = batch_bytes / samples;
+  return predict_time_per_sample(threads, mean) * static_cast<double>(samples);
+}
+
+std::uint32_t PreprocModelPortfolio::optimal_threads(Bytes bytes, double tolerance) const {
+  // Stage throughput (samples/s) with t threads is 1 / time-per-sample: the
+  // model's time already reflects the aggregate (contended) bandwidth the t
+  // workers achieve together.
+  double best = 0.0;
+  std::vector<double> throughput(max_threads_ + 1, 0.0);
+  for (std::uint32_t t = 1; t <= max_threads_; ++t) {
+    const Seconds per = predict_time_per_sample(t, bytes);
+    throughput[t] = per > 0.0 ? 1.0 / per : 0.0;
+    best = std::max(best, throughput[t]);
+  }
+  for (std::uint32_t t = 1; t <= max_threads_; ++t) {
+    if (throughput[t] >= best * (1.0 - tolerance)) return t;
+  }
+  return max_threads_;
+}
+
+double PreprocModelPortfolio::fit_r_squared(Bytes bytes) const { return nearest(bytes).r2; }
+
+}  // namespace lobster::core

@@ -1,0 +1,119 @@
+// Preprocessing-stage performance modeling (§4.1, Fig. 6).
+//
+// Two pieces:
+//
+//  1. PreprocGroundTruth — the simulated "hardware": decode + augmentation
+//     throughput as a function of thread count. Shaped like the paper's
+//     Fig. 6 measurement: throughput ramps with threads, peaks at a knee
+//     (6 threads in the paper — memory bandwidth saturates), then flattens
+//     and slightly degrades. Both the calibration measurements and the
+//     pipeline simulator's preprocessing costs come from this one source,
+//     so the model-vs-reality error in the simulator is the same kind
+//     Lobster faces in production.
+//
+//  2. PreprocModelPortfolio — Lobster's *learned* model: "for a specific
+//     training sample size, we build a piece-wise linear regression model
+//     that takes the number of threads as input and predicts the execution
+//     time of processing one training sample. We build a portfolio of
+//     models, each of which corresponds to a training sample size." At
+//     lookup, the closest-size model is chosen.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/piecewise_linear.hpp"
+#include "common/types.hpp"
+
+namespace lobster::core {
+
+class PreprocGroundTruth {
+ public:
+  struct Params {
+    /// Peak preprocessing throughput (bytes/s of encoded input).
+    double peak_bps = 0.9e9;
+    /// Threads needed to reach the peak (paper: 6).
+    std::uint32_t knee_threads = 6;
+    /// Fractional throughput loss per thread beyond the knee (memory
+    /// bandwidth contention), floored.
+    double decline_per_thread = 0.015;
+    double floor_fraction = 0.7;
+    /// Fixed per-sample overhead (task dispatch, small-image fixed costs).
+    Seconds per_sample_overhead = 25e-6;
+    /// GPU-side decode/augment throughput (nvJPEG-class), for strategies
+    /// that preprocess on the GPU instead of the CPU.
+    double gpu_bps = 3.2e9;
+  };
+
+  PreprocGroundTruth() : PreprocGroundTruth(Params{}) {}
+  explicit PreprocGroundTruth(Params params);
+
+  /// Aggregate preprocessing throughput with `threads` workers.
+  double throughput_bps(double threads) const noexcept;
+
+  /// Time to preprocess one sample of `bytes` with `threads` workers
+  /// (noise-free).
+  Seconds time_per_sample(double threads, Bytes bytes) const noexcept;
+
+  /// Noisy "measurement" of time_per_sample — what an offline profiling run
+  /// observes; `seed` makes it reproducible.
+  Seconds measure_time_per_sample(std::uint32_t threads, Bytes bytes,
+                                  std::uint64_t seed) const;
+
+  /// Time to preprocess a batch totalling `batch_bytes` over `samples`
+  /// samples.
+  Seconds batch_time(double threads, Bytes batch_bytes, std::uint32_t samples) const noexcept;
+
+  /// GPU-side preprocessing time for a batch (serialized with training on
+  /// the same device).
+  Seconds gpu_batch_time(Bytes batch_bytes, std::uint32_t samples) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+class PreprocModelPortfolio {
+ public:
+  /// Profiles the ground truth offline across thread counts
+  /// [1, max_threads] for each reference size, fitting one piecewise model
+  /// per size. `repeats` measurements are averaged per point.
+  PreprocModelPortfolio(const PreprocGroundTruth& truth,
+                        std::vector<Bytes> reference_sizes, std::uint32_t max_threads,
+                        std::uint32_t repeats, std::uint64_t seed);
+
+  /// Predicted time to preprocess one sample of `bytes` with `threads`
+  /// workers: the closest-size model, linearly rescaled by the byte ratio.
+  Seconds predict_time_per_sample(double threads, Bytes bytes) const;
+
+  /// Predicted batch preprocessing time.
+  Seconds predict_batch_time(double threads, Bytes batch_bytes,
+                             std::uint32_t samples) const;
+
+  /// Smallest thread count within [1, max_threads] reaching >= (1 - tolerance)
+  /// of the best predicted throughput for this sample size — the paper's
+  /// "minimum number of threads needed to reach the peak preprocessing
+  /// throughput" (§3, Implications).
+  std::uint32_t optimal_threads(Bytes bytes, double tolerance = 0.02) const;
+
+  std::uint32_t max_threads() const noexcept { return max_threads_; }
+  std::size_t models() const noexcept { return portfolio_.size(); }
+
+  /// Fit quality (R^2) of the model for the reference size nearest `bytes`.
+  double fit_r_squared(Bytes bytes) const;
+
+ private:
+  struct Entry {
+    Bytes reference_bytes;
+    PiecewiseLinearModel model;  ///< threads -> time per sample (seconds)
+    double r2 = 0.0;
+  };
+  const Entry& nearest(Bytes bytes) const;
+
+  std::uint32_t max_threads_;
+  std::vector<Entry> portfolio_;  ///< sorted by reference_bytes
+};
+
+}  // namespace lobster::core

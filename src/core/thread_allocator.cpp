@@ -1,0 +1,235 @@
+#include "core/thread_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace lobster::core {
+
+ThreadAllocator::ThreadAllocator(const PerfModel& model, AllocatorConfig config)
+    : model_(model), config_(config) {
+  if (config_.total_load_threads == 0) {
+    throw std::invalid_argument("ThreadAllocator: zero thread budget");
+  }
+  if (config_.min_threads_per_gpu == 0) config_.min_threads_per_gpu = 1;
+  if (config_.tau <= 0.0) throw std::invalid_argument("ThreadAllocator: tau must be positive");
+}
+
+std::vector<std::uint32_t> ThreadAllocator::proportional_allocation(
+    const std::vector<GpuDemand>& demands) const {
+  const std::size_t m = demands.size();
+  if (m == 0) throw std::invalid_argument("proportional_allocation: no GPUs");
+  const std::uint32_t budget =
+      std::max<std::uint32_t>(config_.total_load_threads,
+                              static_cast<std::uint32_t>(m) * config_.min_threads_per_gpu);
+
+  // Weight: pending queue depth if provided, else bytes to load.
+  std::vector<double> weight(m);
+  double total_weight = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    weight[j] = demands[j].pending_requests > 0
+                    ? static_cast<double>(demands[j].pending_requests)
+                    : static_cast<double>(demands[j].bytes.total());
+    total_weight += weight[j];
+  }
+
+  std::vector<std::uint32_t> alloc(m, config_.min_threads_per_gpu);
+  std::uint32_t assigned = static_cast<std::uint32_t>(m) * config_.min_threads_per_gpu;
+  if (total_weight <= 0.0) {
+    // No information: round-robin the remainder.
+    for (std::size_t j = 0; assigned < budget; j = (j + 1) % m, ++assigned) ++alloc[j];
+    return alloc;
+  }
+  // Largest-remainder apportionment of the remaining threads.
+  const std::uint32_t spare = budget - assigned;
+  std::vector<double> exact(m);
+  std::vector<std::uint32_t> floor_alloc(m);
+  std::uint32_t floored = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    exact[j] = static_cast<double>(spare) * weight[j] / total_weight;
+    floor_alloc[j] = static_cast<std::uint32_t>(exact[j]);
+    floored += floor_alloc[j];
+  }
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = exact[a] - std::floor(exact[a]);
+    const double rb = exact[b] - std::floor(exact[b]);
+    if (ra != rb) return ra > rb;
+    return a < b;  // deterministic tie-break
+  });
+  std::uint32_t leftover = spare - floored;
+  for (std::size_t j = 0; j < m; ++j) alloc[j] += floor_alloc[j];
+  for (std::size_t k = 0; leftover > 0; k = (k + 1) % m, --leftover) ++alloc[order[k]];
+  return alloc;
+}
+
+bool is_consistent_window(const std::vector<Seconds>& window) {
+  if (window.size() < 3) return false;
+  const Seconds last = window.back();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < window.size(); ++i) best = std::min(best, std::abs(window[i]));
+  const bool improves = std::abs(last) < best;
+  if (improves) return false;
+  for (std::size_t i = 0; i + 1 < window.size(); ++i) {
+    if (window[i] == last) return true;  // exact revisit: the search cycles
+  }
+  return false;
+}
+
+std::uint32_t ThreadAllocator::search_gpu(const GpuDemand& demand, std::uint32_t initial,
+                                          double preproc_threads,
+                                          const storage::Contention& contention,
+                                          std::uint32_t& evaluations) const {
+  std::uint32_t l_min = config_.min_threads_per_gpu;
+  std::uint32_t l_max = config_.total_load_threads;
+  std::uint32_t current = std::clamp(initial, l_min, l_max);
+
+  std::uint32_t best_threads = current;
+  double best_abs = std::numeric_limits<double>::infinity();
+  std::vector<Seconds> window;
+  window.reserve(config_.total_load_threads + 1);
+
+  for (;;) {
+    const Seconds dif = model_.t_dif(demand, current, preproc_threads, contention);
+    ++evaluations;
+    if (std::abs(dif) < best_abs) {
+      best_abs = std::abs(dif);
+      best_threads = current;
+    }
+    if (std::abs(dif) < config_.tau) break;
+
+    window.push_back(dif);
+    if (window.size() > config_.total_load_threads && is_consistent_window(window)) break;
+
+    // More threads shrink T_L and hence T_dif. Positive residual (pipeline
+    // slower than training) => need more threads.
+    if (dif > 0.0) {
+      l_min = current;
+    } else {
+      l_max = current;
+    }
+    const std::uint32_t next = (l_min + l_max) / 2;
+    if (next == current || l_max - l_min <= 1) {
+      // Converged to adjacent bounds; probe the other bound once and stop.
+      const std::uint32_t other = (current == l_min) ? l_max : l_min;
+      const Seconds other_dif = model_.t_dif(demand, other, preproc_threads, contention);
+      ++evaluations;
+      if (std::abs(other_dif) < best_abs) {
+        best_abs = std::abs(other_dif);
+        best_threads = other;
+      }
+      break;
+    }
+    current = next;
+  }
+  return best_threads;
+}
+
+AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands,
+                                           double preproc_threads,
+                                           const storage::Contention& contention) const {
+  const std::size_t m = demands.size();
+  if (m == 0) throw std::invalid_argument("allocate: no GPUs");
+
+  AllocationResult result;
+  result.threads = proportional_allocation(demands);
+  result.t_dif.resize(m);
+
+  // Phase 1: per-GPU residuals under the proportional start.
+  for (std::size_t j = 0; j < m; ++j) {
+    result.t_dif[j] =
+        model_.t_dif(demands[j], result.threads[j], preproc_threads, contention);
+    ++result.model_evaluations;
+    if (std::abs(result.t_dif[j]) >= config_.tau) result.straggler_predicted = true;
+  }
+
+  // Phase 2: Algorithm 1 binary search for out-of-threshold GPUs.
+  if (result.straggler_predicted) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (std::abs(result.t_dif[j]) < config_.tau) continue;
+      result.threads[j] = search_gpu(demands[j], result.threads[j], preproc_threads,
+                                     contention, result.model_evaluations);
+    }
+  }
+
+  // Phase 3: budget repair — searches ran independently with l_max = T_L.
+  auto total = [&] {
+    return std::accumulate(result.threads.begin(), result.threads.end(), 0U);
+  };
+  while (total() > config_.total_load_threads) {
+    // Take a thread from the GPU with the most negative residual (most
+    // headroom) that is above the floor.
+    std::size_t victim = m;
+    Seconds best_headroom = std::numeric_limits<Seconds>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (result.threads[j] <= config_.min_threads_per_gpu) continue;
+      const Seconds dif =
+          model_.t_dif(demands[j], result.threads[j], preproc_threads, contention);
+      if (dif < best_headroom) {
+        best_headroom = dif;
+        victim = j;
+      }
+    }
+    result.model_evaluations += static_cast<std::uint32_t>(m);
+    if (victim == m) break;  // everyone at the floor: give up (budget too small)
+    --result.threads[victim];
+  }
+
+  // Phase 4: greedy Eq. 3 rebalancing — move one thread max->min while the
+  // gap shrinks.
+  auto iteration_time = [&](std::size_t j) {
+    return model_.gpu_iteration_time(demands[j], result.threads[j], preproc_threads,
+                                     contention);
+  };
+  for (std::uint32_t pass = 0; pass < config_.balance_passes; ++pass) {
+    std::size_t slowest = 0;
+    std::size_t fastest = 0;
+    Seconds t_max = -1.0;
+    Seconds t_min = std::numeric_limits<Seconds>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      const Seconds t = iteration_time(j);
+      if (t > t_max) {
+        t_max = t;
+        slowest = j;
+      }
+      if (t < t_min) {
+        t_min = t;
+        fastest = j;
+      }
+    }
+    result.model_evaluations += static_cast<std::uint32_t>(m);
+    if (slowest == fastest || result.threads[fastest] <= config_.min_threads_per_gpu) break;
+    // Tentative move; evaluate the full node gap (a third GPU may define it).
+    ++result.threads[slowest];
+    --result.threads[fastest];
+    Seconds new_max = -1.0;
+    Seconds new_min = std::numeric_limits<Seconds>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      const Seconds t = iteration_time(j);
+      new_max = std::max(new_max, t);
+      new_min = std::min(new_min, t);
+    }
+    result.model_evaluations += static_cast<std::uint32_t>(m);
+    const Seconds new_gap = new_max - new_min;
+    if (new_gap >= (t_max - t_min) - 1e-12) {
+      // No improvement: revert and stop.
+      --result.threads[slowest];
+      ++result.threads[fastest];
+      break;
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    result.t_dif[j] =
+        model_.t_dif(demands[j], result.threads[j], preproc_threads, contention);
+  }
+  result.model_evaluations += static_cast<std::uint32_t>(m);
+  const std::vector<double> as_double(result.threads.begin(), result.threads.end());
+  result.imbalance = model_.node_imbalance(demands, as_double, preproc_threads, contention);
+  return result;
+}
+
+}  // namespace lobster::core

@@ -1,0 +1,75 @@
+// Algorithm 1: near-optimal data-loading thread assignment (§4.2, §4.4).
+//
+// Given the per-GPU demands of a node for one iteration, a total loading
+// thread budget T_L, and the performance model, the allocator:
+//
+//  1. starts from an allocation proportional to each GPU queue's pending
+//     load (the §4.2 non-straggler rule);
+//  2. for every GPU whose |T_dif| = |T_L + T_P − T_train| exceeds the
+//     threshold τ, binary-searches the per-GPU thread count, recording the
+//     T_dif trajectory in a window W of length T_L and stopping early when
+//     the window fills with a repeating (non-improving) pattern —
+//     Algorithm 1's IsConsistent escape;
+//  3. repairs the node budget (threads removed from the GPUs with the most
+//     negative T_dif first);
+//  4. runs a greedy max→min rebalancing pass on Eq. 3 until no single-thread
+//     move reduces the node's max−min iteration-time gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/perf_model.hpp"
+
+namespace lobster::core {
+
+struct AllocatorConfig {
+  std::uint32_t total_load_threads = 16;  ///< T_L: node budget for loading
+  Seconds tau = 2e-3;                     ///< τ: |T_dif| considered "balanced"
+  std::uint32_t min_threads_per_gpu = 1;  ///< ℓ_min floor per queue
+  std::uint32_t balance_passes = 32;      ///< cap on step-4 greedy moves
+};
+
+struct AllocationResult {
+  std::vector<std::uint32_t> threads;  ///< per-GPU loading threads
+  std::vector<Seconds> t_dif;          ///< Eq. 2 residuals under `threads`
+  Seconds imbalance = 0.0;             ///< Eq. 3 under `threads`
+  bool straggler_predicted = false;    ///< any |T_dif| >= τ at the start
+  std::uint32_t model_evaluations = 0; ///< perf-model calls (search cost)
+};
+
+class ThreadAllocator {
+ public:
+  ThreadAllocator(const PerfModel& model, AllocatorConfig config);
+
+  /// Full Algorithm 1 (+ budget repair and Eq. 3 rebalancing).
+  AllocationResult allocate(const std::vector<GpuDemand>& demands,
+                            double preproc_threads,
+                            const storage::Contention& contention = {}) const;
+
+  /// §4.2 proportional rule only (also the ablation "no heuristic" mode):
+  /// threads proportional to pending requests, every queue >= min floor,
+  /// summing to the budget.
+  std::vector<std::uint32_t> proportional_allocation(
+      const std::vector<GpuDemand>& demands) const;
+
+  const AllocatorConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Binary search of Algorithm 1 for one GPU. Returns the thread count
+  /// with minimal |T_dif| seen; bumps `evaluations`.
+  std::uint32_t search_gpu(const GpuDemand& demand, std::uint32_t initial,
+                           double preproc_threads, const storage::Contention& contention,
+                           std::uint32_t& evaluations) const;
+
+  const PerfModel& model_;
+  AllocatorConfig config_;
+};
+
+/// Algorithm 1's IsConsistent(W): the window keeps revisiting values without
+/// improving — true when the latest |T_dif| does not improve on the best
+/// seen and the exact value already occurred earlier in the window.
+bool is_consistent_window(const std::vector<Seconds>& window);
+
+}  // namespace lobster::core

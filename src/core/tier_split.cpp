@@ -1,0 +1,84 @@
+#include "core/tier_split.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lobster::core {
+
+TierSplitResult optimize_tier_split(const storage::StorageModel& model,
+                                    const storage::TierBytes& bytes,
+                                    std::uint32_t total_threads,
+                                    const storage::Contention& contention) {
+  if (total_threads == 0) throw std::invalid_argument("optimize_tier_split: zero threads");
+
+  TierSplitResult result;
+
+  // Demanded tiers: local+SSD share the α bus; remote uses β; PFS uses γ.
+  const bool needs_alpha = bytes.local > 0 || bytes.ssd > 0;
+  const bool needs_beta = bytes.remote > 0;
+  const bool needs_gamma = bytes.pfs > 0;
+  const std::uint32_t demanded = (needs_alpha ? 1U : 0U) + (needs_beta ? 1U : 0U) +
+                                 (needs_gamma ? 1U : 0U);
+
+  // Feasible baseline: the grant divided as evenly as integer counts allow
+  // across the demanded tiers (what a split-oblivious allocator with
+  // dedicated per-tier workers would do). This split is inside the search
+  // space below, so the optimum can never be worse than it.
+  {
+    storage::ThreadAlloc even{0.0, 0.0, 0.0};
+    if (demanded > 0) {
+      const std::uint32_t base = total_threads / demanded;
+      std::uint32_t remainder = total_threads % demanded;
+      auto grant = [&](bool needed) -> double {
+        if (!needed) return 0.0;
+        const std::uint32_t extra = remainder > 0 ? 1U : 0U;
+        if (remainder > 0) --remainder;
+        return static_cast<double>(base + extra);
+      };
+      even.alpha = grant(needs_alpha);
+      even.beta = grant(needs_beta);
+      even.gamma = grant(needs_gamma);
+    } else {
+      even.alpha = total_threads;
+    }
+    result.alloc = even;
+    result.uniform_time = model.load_time(bytes, even, contention);
+  }
+  if (demanded <= 1 || total_threads < demanded) {
+    // Nothing to split (or not enough threads to give each tier its own):
+    // the uniform allocation is already optimal among feasible splits.
+    result.load_time = result.uniform_time;
+    ++result.evaluations;
+    return result;
+  }
+
+  Seconds best = std::numeric_limits<Seconds>::infinity();
+  storage::ThreadAlloc best_alloc = result.alloc;
+  const std::uint32_t T = total_threads;
+  for (std::uint32_t a = needs_alpha ? 1 : 0; a <= (needs_alpha ? T : 0); ++a) {
+    const std::uint32_t rest = T - a;
+    for (std::uint32_t b = needs_beta ? 1 : 0; b <= (needs_beta ? rest : 0); ++b) {
+      const std::uint32_t g = rest - b;
+      if (needs_gamma && g == 0) continue;
+      if (!needs_gamma && g != 0) continue;
+      storage::ThreadAlloc alloc;
+      alloc.alpha = a;
+      alloc.beta = b;
+      alloc.gamma = g;
+      const Seconds t = model.load_time(bytes, alloc, contention);
+      ++result.evaluations;
+      if (t < best) {
+        best = t;
+        best_alloc = alloc;
+      }
+      if (!needs_beta) break;  // b loop has a single feasible value (0)
+    }
+    if (!needs_alpha) break;
+  }
+  result.alloc = best_alloc;
+  result.load_time = best;
+  return result;
+}
+
+}  // namespace lobster::core

@@ -1,0 +1,38 @@
+// Per-tier loading-thread split optimization (extension).
+//
+// Eq. 1 allows distinct thread counts per tier (α for local, β for remote,
+// γ for the PFS); Algorithm 1 simplifies to a single per-GPU count applied
+// uniformly. This extension solves the inner problem exactly: given a GPU's
+// per-tier bytes and its total thread grant, enumerate the integer splits
+// and keep the one minimizing the Eq. 1 load time. Cheap (O(T²) for three
+// tiers with the SSD folded into α's bus) and usable as a drop-in refinement
+// after Algorithm 1 has fixed the per-GPU totals — see
+// bench/abl_design_choices ("uniform vs optimized split").
+#pragma once
+
+#include <cstdint>
+
+#include "storage/hierarchy.hpp"
+
+namespace lobster::core {
+
+struct TierSplitResult {
+  storage::ThreadAlloc alloc;
+  Seconds load_time = 0.0;      ///< Eq. 1 time under `alloc`
+  Seconds uniform_time = 0.0;   ///< Eq. 1 time under the even feasible split
+  std::uint32_t evaluations = 0;
+
+  double improvement() const noexcept {
+    return uniform_time > 0.0 ? uniform_time / std::max(load_time, 1e-12) : 1.0;
+  }
+};
+
+/// Finds the best integer split of `total_threads` across the tiers that
+/// actually have bytes to move (tiers without demand get no threads).
+/// `total_threads` >= 1; at least one thread goes to every demanded tier.
+TierSplitResult optimize_tier_split(const storage::StorageModel& model,
+                                    const storage::TierBytes& bytes,
+                                    std::uint32_t total_threads,
+                                    const storage::Contention& contention = {});
+
+}  // namespace lobster::core

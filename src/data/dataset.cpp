@@ -1,0 +1,75 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace lobster::data {
+
+namespace {
+std::uint32_t scaled_count(double base, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("DatasetSpec: scale must be positive");
+  const double scaled = base / scale;
+  return static_cast<std::uint32_t>(std::max(1.0, scaled));
+}
+}  // namespace
+
+DatasetSpec DatasetSpec::imagenet1k(double scale) {
+  DatasetSpec spec;
+  spec.name = "imagenet1k";
+  spec.num_samples = scaled_count(1'281'167.0, scale);
+  // Median ~100 KB, sigma 0.35 -> mean ~106 KB, total ~135 GB at full scale.
+  spec.lognormal_mu = std::log(100.0 * 1024.0);
+  spec.lognormal_sigma = 0.35;
+  spec.min_bytes = 8 * 1024;
+  spec.max_bytes = 1024 * 1024;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::imagenet22k(double scale) {
+  DatasetSpec spec;
+  spec.name = "imagenet22k";
+  spec.num_samples = scaled_count(14'197'103.0, scale);
+  // "most with an image size of between 10 KB and 50 KB" but 1.3 TB total
+  // (mean ~92 KB): median ~28 KB with a heavy right tail.
+  spec.lognormal_mu = std::log(28.0 * 1024.0);
+  spec.lognormal_sigma = 1.05;
+  spec.min_bytes = 4 * 1024;
+  spec.max_bytes = 4 * 1024 * 1024;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::uniform(std::uint32_t samples, Bytes sample_bytes, std::string name) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.num_samples = samples;
+  spec.lognormal_mu = std::log(static_cast<double>(sample_bytes));
+  spec.lognormal_sigma = 0.0;
+  spec.min_bytes = sample_bytes;
+  spec.max_bytes = sample_bytes;
+  return spec;
+}
+
+SampleCatalog::SampleCatalog(const DatasetSpec& spec, std::uint64_t seed) : name_(spec.name) {
+  if (spec.num_samples == 0) throw std::invalid_argument("SampleCatalog: empty dataset");
+  Rng rng(derive_seed(seed, 0x0DA7A5E7ULL));
+  sizes_.reserve(spec.num_samples);
+  for (std::uint32_t i = 0; i < spec.num_samples; ++i) {
+    double size = spec.lognormal_sigma == 0.0
+                      ? std::exp(spec.lognormal_mu)
+                      : rng.lognormal(spec.lognormal_mu, spec.lognormal_sigma);
+    size = std::max(size, static_cast<double>(spec.min_bytes));
+    if (spec.max_bytes > 0) size = std::min(size, static_cast<double>(spec.max_bytes));
+    const auto bytes = static_cast<Bytes>(size);
+    sizes_.push_back(bytes);
+    total_ += bytes;
+  }
+}
+
+double SampleCatalog::mean_bytes() const noexcept {
+  return sizes_.empty() ? 0.0 : static_cast<double>(total_) / static_cast<double>(sizes_.size());
+}
+
+}  // namespace lobster::data

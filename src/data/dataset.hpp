@@ -1,0 +1,63 @@
+// Synthetic dataset catalogs.
+//
+// The cache / prefetch / load-balance behaviour Lobster optimizes depends on
+// the *catalog* of a dataset — sample count and per-sample sizes — and on the
+// deterministic access order, never on pixel contents. This module generates
+// catalogs with the paper's datasets' statistics (ImageNet-1K: 1.28 M
+// samples, 135 GB total; ImageNet-22K: 14.2 M samples, 1.3 TB, sizes mostly
+// 10–50 KB), scaled down by a configurable factor so experiments run in
+// seconds while preserving the ratios that drive the results
+// (cache-size/dataset-size, samples per iteration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::data {
+
+/// Parameters of a synthetic dataset. Sizes are drawn from a clamped
+/// log-normal (natural for image file sizes).
+struct DatasetSpec {
+  std::string name;
+  std::uint32_t num_samples = 0;
+  /// Log-normal parameters of the per-sample size in bytes.
+  double lognormal_mu = 0.0;
+  double lognormal_sigma = 0.0;
+  Bytes min_bytes = 1;
+  Bytes max_bytes = 0;  // 0 = unclamped
+
+  /// ImageNet-1K-like catalog: mean sample ~105 KB, total ~135 GB at full
+  /// scale. `scale` divides the sample count (sizes keep their distribution).
+  static DatasetSpec imagenet1k(double scale = 1.0);
+
+  /// ImageNet-22K-like catalog: 14.2 M samples, most 10–50 KB.
+  static DatasetSpec imagenet22k(double scale = 1.0);
+
+  /// Uniform-size toy dataset for tests.
+  static DatasetSpec uniform(std::uint32_t samples, Bytes sample_bytes,
+                             std::string name = "uniform");
+};
+
+/// Materialized catalog: per-sample sizes, deterministic in (spec, seed).
+class SampleCatalog {
+ public:
+  SampleCatalog(const DatasetSpec& spec, std::uint64_t seed);
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(sizes_.size()); }
+  Bytes sample_bytes(SampleId id) const { return sizes_.at(id); }
+  Bytes total_bytes() const noexcept { return total_; }
+  double mean_bytes() const noexcept;
+
+  const std::vector<Bytes>& sizes() const noexcept { return sizes_; }
+
+ private:
+  std::string name_;
+  std::vector<Bytes> sizes_;
+  Bytes total_ = 0;
+};
+
+}  // namespace lobster::data

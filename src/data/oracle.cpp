@@ -1,0 +1,157 @@
+#include "data/oracle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lobster::data {
+
+FutureAccessOracle::FutureAccessOracle(const EpochSampler& sampler, std::uint32_t window_epochs)
+    : sampler_(sampler), window_(window_epochs) {
+  if (window_ == 0) throw std::invalid_argument("FutureAccessOracle: window must be >= 1");
+  slots_.resize(static_cast<std::size_t>(sampler_.config().num_samples) * window_);
+  build();
+}
+
+void FutureAccessOracle::build() {
+  std::fill(slots_.begin(), slots_.end(), Access{});
+  for (std::uint32_t k = 0; k < window_; ++k) index_epoch(first_epoch_ + k, k);
+}
+
+void FutureAccessOracle::index_epoch(std::uint32_t epoch, std::size_t slot) {
+  const auto& config = sampler_.config();
+  const std::uint32_t I = sampler_.iterations_per_epoch();
+  const std::uint32_t world = sampler_.world_size();
+  const auto& perm = sampler_.epoch_permutation(epoch);
+  // Walk the permutation in shard order: position q of the permutation is
+  // consumed by rank (q % world) at in-epoch iteration (q / world) / B.
+  const std::uint64_t used = static_cast<std::uint64_t>(I) * config.batch_size * world;
+  for (std::uint64_t q = 0; q < used; ++q) {
+    const SampleId sample = perm[q];
+    const auto rank = static_cast<std::uint32_t>(q % world);
+    const auto shard_pos = static_cast<std::uint32_t>(q / world);
+    const std::uint32_t h = shard_pos / config.batch_size;
+    Access& entry = slots_[static_cast<std::size_t>(sample) * window_ + slot];
+    entry.iter = sampler_.global_iter(epoch, h);
+    entry.node = static_cast<NodeId>(rank / config.gpus_per_node);
+    entry.gpu = static_cast<GpuId>(rank % config.gpus_per_node);
+  }
+}
+
+void FutureAccessOracle::rebase(std::uint32_t first_epoch) {
+  if (first_epoch == first_epoch_) return;
+  if (first_epoch == first_epoch_ + 1 && window_ > 1) {
+    // Common case: slide by one epoch — shift slots left, fill the last.
+    const std::uint32_t samples = sampler_.config().num_samples;
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      Access* row = &slots_[static_cast<std::size_t>(s) * window_];
+      std::copy(row + 1, row + window_, row);
+      row[window_ - 1] = Access{};
+    }
+    first_epoch_ = first_epoch;
+    index_epoch(first_epoch_ + window_ - 1, window_ - 1);
+    return;
+  }
+  first_epoch_ = first_epoch;
+  build();
+}
+
+std::optional<Access> FutureAccessOracle::next_access(SampleId sample, IterId after) const {
+  const Access* row = &slots_[static_cast<std::size_t>(sample) * window_];
+  for (std::uint32_t k = 0; k < window_; ++k) {
+    if (row[k].iter != kNeverIter && row[k].iter > after) return row[k];
+  }
+  return std::nullopt;
+}
+
+std::optional<Access> FutureAccessOracle::next_access_on_node(SampleId sample, NodeId node,
+                                                              IterId after) const {
+  const Access* row = &slots_[static_cast<std::size_t>(sample) * window_];
+  for (std::uint32_t k = 0; k < window_; ++k) {
+    if (row[k].iter != kNeverIter && row[k].iter > after && row[k].node == node) return row[k];
+  }
+  return std::nullopt;
+}
+
+IterId FutureAccessOracle::reuse_distance_on_node(SampleId sample, NodeId node, IterId now) const {
+  const auto next = next_access_on_node(sample, node, now);
+  return next ? next->iter - now : kNeverIter;
+}
+
+std::uint32_t FutureAccessOracle::remaining_uses_on_node(SampleId sample, NodeId node,
+                                                         IterId after) const {
+  const Access* row = &slots_[static_cast<std::size_t>(sample) * window_];
+  std::uint32_t count = 0;
+  for (std::uint32_t k = 0; k < window_; ++k) {
+    if (row[k].iter != kNeverIter && row[k].iter > after && row[k].node == node) ++count;
+  }
+  return count;
+}
+
+bool FutureAccessOracle::needed_by_other_node(SampleId sample, NodeId node, IterId after) const {
+  const Access* row = &slots_[static_cast<std::size_t>(sample) * window_];
+  for (std::uint32_t k = 0; k < window_; ++k) {
+    if (row[k].iter != kNeverIter && row[k].iter > after && row[k].node != node) return true;
+  }
+  return false;
+}
+
+std::vector<Access> FutureAccessOracle::accesses(SampleId sample) const {
+  const Access* row = &slots_[static_cast<std::size_t>(sample) * window_];
+  std::vector<Access> out;
+  for (std::uint32_t k = 0; k < window_; ++k) {
+    if (row[k].iter != kNeverIter) out.push_back(row[k]);
+  }
+  std::sort(out.begin(), out.end(), [](const Access& a, const Access& b) { return a.iter < b.iter; });
+  return out;
+}
+
+MergedAccessOracle::MergedAccessOracle(std::vector<const AccessOracle*> members)
+    : members_(std::move(members)) {
+  if (members_.empty()) throw std::invalid_argument("MergedAccessOracle: no members");
+  for (const auto* member : members_) {
+    if (member == nullptr) throw std::invalid_argument("MergedAccessOracle: null member");
+  }
+}
+
+std::optional<Access> MergedAccessOracle::next_access(SampleId sample, IterId after) const {
+  std::optional<Access> best;
+  for (const auto* member : members_) {
+    const auto access = member->next_access(sample, after);
+    if (access && (!best || access->iter < best->iter)) best = access;
+  }
+  return best;
+}
+
+std::optional<Access> MergedAccessOracle::next_access_on_node(SampleId sample, NodeId node,
+                                                              IterId after) const {
+  std::optional<Access> best;
+  for (const auto* member : members_) {
+    const auto access = member->next_access_on_node(sample, node, after);
+    if (access && (!best || access->iter < best->iter)) best = access;
+  }
+  return best;
+}
+
+IterId MergedAccessOracle::reuse_distance_on_node(SampleId sample, NodeId node,
+                                                  IterId now) const {
+  const auto next = next_access_on_node(sample, node, now);
+  return next ? next->iter - now : kNeverIter;
+}
+
+std::uint32_t MergedAccessOracle::remaining_uses_on_node(SampleId sample, NodeId node,
+                                                         IterId after) const {
+  std::uint32_t total = 0;
+  for (const auto* member : members_) {
+    total += member->remaining_uses_on_node(sample, node, after);
+  }
+  return total;
+}
+
+bool MergedAccessOracle::needed_by_other_node(SampleId sample, NodeId node, IterId after) const {
+  for (const auto* member : members_) {
+    if (member->needed_by_other_node(sample, node, after)) return true;
+  }
+  return false;
+}
+
+}  // namespace lobster::data

@@ -1,0 +1,39 @@
+#include "data/reuse.hpp"
+
+#include <unordered_map>
+
+namespace lobster::data {
+
+ReuseAnalysis analyze_reuse(const EpochSampler& sampler, std::uint32_t epochs, NodeId node) {
+  ReuseAnalysis analysis;
+  const std::uint32_t I = sampler.iterations_per_epoch();
+  std::unordered_map<SampleId, IterId> last_access;
+  last_access.reserve(sampler.config().num_samples / sampler.config().nodes + 1);
+
+  double sum = 0.0;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    for (std::uint32_t h = 0; h < I; ++h) {
+      const IterId now = sampler.global_iter(e, h);
+      for (const SampleId s : sampler.node_batch(e, h, node)) {
+        const auto it = last_access.find(s);
+        if (it != last_access.end()) {
+          const std::uint64_t distance = now - it->second;
+          analysis.histogram.add(distance);
+          sum += static_cast<double>(distance);
+          ++analysis.pairs;
+          it->second = now;
+        } else {
+          last_access.emplace(s, now);
+        }
+      }
+    }
+  }
+  if (analysis.pairs > 0) {
+    analysis.mean_distance = sum / static_cast<double>(analysis.pairs);
+    analysis.fraction_above_1000 = analysis.histogram.fraction_above(1000);
+    analysis.fraction_beyond_epoch = analysis.histogram.fraction_above(I - 1);
+  }
+  return analysis;
+}
+
+}  // namespace lobster::data

@@ -1,0 +1,68 @@
+#include "data/sampler.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace lobster::data {
+
+EpochSampler::EpochSampler(SamplerConfig config) : config_(config) {
+  if (config_.num_samples == 0) throw std::invalid_argument("EpochSampler: empty dataset");
+  if (config_.nodes == 0 || config_.gpus_per_node == 0 || config_.batch_size == 0) {
+    throw std::invalid_argument("EpochSampler: nodes/gpus/batch must be positive");
+  }
+  const std::uint64_t per_iter =
+      static_cast<std::uint64_t>(config_.batch_size) * world_size();
+  iterations_ = static_cast<std::uint32_t>(config_.num_samples / per_iter);
+  if (iterations_ == 0) {
+    throw std::invalid_argument("EpochSampler: dataset smaller than one global batch");
+  }
+}
+
+std::uint32_t EpochSampler::world_size() const noexcept {
+  return static_cast<std::uint32_t>(config_.nodes) * config_.gpus_per_node;
+}
+
+const std::vector<SampleId>& EpochSampler::epoch_permutation(std::uint32_t epoch) const {
+  for (auto& slot : cache_) {
+    if (slot.epoch == epoch && !slot.perm.empty()) return slot.perm;
+  }
+  auto& slot = cache_[cache_next_];
+  cache_next_ = (cache_next_ + 1) % 2;
+  Rng rng(derive_seed(config_.seed, 0x5A3B1EULL, epoch));
+  slot.perm = random_permutation(config_.num_samples, rng);
+  slot.epoch = epoch;
+  return slot.perm;
+}
+
+std::vector<SampleId> EpochSampler::minibatch(std::uint32_t epoch, std::uint32_t iteration,
+                                              NodeId node, GpuId gpu) const {
+  if (iteration >= iterations_) throw std::out_of_range("EpochSampler: iteration out of range");
+  if (node >= config_.nodes || gpu >= config_.gpus_per_node) {
+    throw std::out_of_range("EpochSampler: gpu out of range");
+  }
+  const auto& perm = epoch_permutation(epoch);
+  const std::uint32_t world = world_size();
+  const std::uint32_t rank = flat_gpu_rank({node, gpu}, config_.gpus_per_node);
+  std::vector<SampleId> batch;
+  batch.reserve(config_.batch_size);
+  for (std::uint32_t p = 0; p < config_.batch_size; ++p) {
+    // Shard element index within the rank's strided shard.
+    const std::uint64_t shard_pos = static_cast<std::uint64_t>(iteration) * config_.batch_size + p;
+    batch.push_back(perm[shard_pos * world + rank]);
+  }
+  return batch;
+}
+
+std::vector<SampleId> EpochSampler::node_batch(std::uint32_t epoch, std::uint32_t iteration,
+                                               NodeId node) const {
+  std::vector<SampleId> all;
+  all.reserve(static_cast<std::size_t>(config_.batch_size) * config_.gpus_per_node);
+  for (GpuId g = 0; g < config_.gpus_per_node; ++g) {
+    auto batch = minibatch(epoch, iteration, node, g);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  return all;
+}
+
+}  // namespace lobster::data

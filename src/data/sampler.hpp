@@ -1,0 +1,67 @@
+// Deterministic distributed epoch sampler.
+//
+// Mirrors PyTorch's DistributedSampler: each epoch gets one global
+// permutation (seed = f(global_seed, epoch)); GPU rank r takes the strided
+// shard perm[r], perm[r+W], perm[r+2W], … (W = world size) and consumes it
+// in order, |B| samples per iteration. Because the seed chain is fixed, the
+// full access pattern of every GPU for the rest of training is known in
+// advance — the property the paper's deterministic prefetching and
+// reuse-distance eviction rely on (§2, §4.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::data {
+
+struct SamplerConfig {
+  std::uint32_t num_samples = 0;   ///< |D|
+  std::uint16_t nodes = 1;         ///< N
+  std::uint16_t gpus_per_node = 1; ///< M
+  std::uint32_t batch_size = 32;   ///< |B|
+  std::uint64_t seed = 42;
+};
+
+class EpochSampler {
+ public:
+  explicit EpochSampler(SamplerConfig config);
+
+  /// Iterations per epoch: floor(|D| / (|B| * N * M)) — the trailing partial
+  /// iteration is dropped, as the paper's Section 4.3 allows.
+  std::uint32_t iterations_per_epoch() const noexcept { return iterations_; }
+
+  std::uint32_t world_size() const noexcept;
+  const SamplerConfig& config() const noexcept { return config_; }
+
+  /// The mini-batch B^{h,i,j} for iteration h of `epoch` on GPU (node, gpu).
+  std::vector<SampleId> minibatch(std::uint32_t epoch, std::uint32_t iteration,
+                                  NodeId node, GpuId gpu) const;
+
+  /// All samples touched by every GPU of `node` in iteration h (the set B^h
+  /// restricted to the node) — what the node's cache must deliver.
+  std::vector<SampleId> node_batch(std::uint32_t epoch, std::uint32_t iteration,
+                                   NodeId node) const;
+
+  /// The full permutation of one epoch (cached; two most recent epochs kept).
+  const std::vector<SampleId>& epoch_permutation(std::uint32_t epoch) const;
+
+  /// Converts (epoch, iteration) to a global iteration index.
+  IterId global_iter(std::uint32_t epoch, std::uint32_t iteration) const noexcept {
+    return static_cast<IterId>(epoch) * iterations_ + iteration;
+  }
+
+ private:
+  SamplerConfig config_;
+  std::uint32_t iterations_;
+
+  struct CachedEpoch {
+    std::uint32_t epoch = ~0U;
+    std::vector<SampleId> perm;
+  };
+  mutable CachedEpoch cache_[2];
+  mutable std::size_t cache_next_ = 0;
+};
+
+}  // namespace lobster::data

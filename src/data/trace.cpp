@@ -1,0 +1,75 @@
+#include "data/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace lobster::data {
+
+const char* served_by_name(ServedBy tier) noexcept {
+  switch (tier) {
+    case ServedBy::kMemory: return "memory";
+    case ServedBy::kSsd: return "ssd";
+    case ServedBy::kRemote: return "remote";
+    case ServedBy::kPfs: return "pfs";
+  }
+  return "?";
+}
+
+AccessTrace::TierCounts AccessTrace::tier_counts() const {
+  TierCounts counts;
+  for (const auto& record : records_) {
+    switch (record.served_by) {
+      case ServedBy::kMemory: ++counts.memory; break;
+      case ServedBy::kSsd: ++counts.ssd; break;
+      case ServedBy::kRemote: ++counts.remote; break;
+      case ServedBy::kPfs: ++counts.pfs; break;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> AccessTrace::pfs_misses_per_gpu(std::uint16_t nodes,
+                                                           std::uint16_t gpus_per_node) const {
+  std::vector<std::uint64_t> misses(static_cast<std::size_t>(nodes) * gpus_per_node, 0);
+  for (const auto& record : records_) {
+    if (record.served_by != ServedBy::kPfs) continue;
+    const std::size_t index = flat_gpu_rank({record.node, record.gpu}, gpus_per_node);
+    if (index < misses.size()) ++misses[index];
+  }
+  return misses;
+}
+
+double AccessTrace::pfs_skew(std::uint16_t nodes, std::uint16_t gpus_per_node) const {
+  const auto misses = pfs_misses_per_gpu(nodes, gpus_per_node);
+  if (misses.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const auto m : misses) {
+    total += m;
+    peak = std::max(peak, m);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(misses.size());
+  return static_cast<double>(peak) / mean;
+}
+
+std::string AccessTrace::to_csv() const {
+  std::string out = "iter,node,gpu,sample,served_by\n";
+  for (const auto& record : records_) {
+    out += strf("%llu,%u,%u,%u,%s\n", static_cast<unsigned long long>(record.iter), record.node,
+                record.gpu, record.sample, served_by_name(record.served_by));
+  }
+  return out;
+}
+
+void AccessTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("AccessTrace: cannot open " + path);
+  out << to_csv();
+  if (!out) throw std::runtime_error("AccessTrace: write failed for " + path);
+}
+
+}  // namespace lobster::data

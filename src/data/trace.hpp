@@ -1,0 +1,64 @@
+// Access-trace recording and summarization.
+//
+// The motivation study of §3 is built from exactly this kind of trace:
+// per-access records of which GPU touched which sample and which tier
+// served it. The simulator can record one (SimulationConfig::record_trace),
+// and this module summarizes it (per-tier counts over time, per-GPU skew)
+// and exports CSV for external analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::data {
+
+enum class ServedBy : std::uint8_t { kMemory, kSsd, kRemote, kPfs };
+
+struct TraceRecord {
+  IterId iter = 0;
+  NodeId node = 0;
+  GpuId gpu = 0;
+  SampleId sample = 0;
+  ServedBy served_by = ServedBy::kPfs;
+};
+
+class AccessTrace {
+ public:
+  void append(TraceRecord record) { records_.push_back(record); }
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+
+  /// Per-tier access counts.
+  struct TierCounts {
+    std::uint64_t memory = 0;
+    std::uint64_t ssd = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t pfs = 0;
+    std::uint64_t total() const noexcept { return memory + ssd + remote + pfs; }
+  };
+  TierCounts tier_counts() const;
+
+  /// Per-GPU PFS-miss counts (the §3 skew signal): index = node * M + gpu.
+  std::vector<std::uint64_t> pfs_misses_per_gpu(std::uint16_t nodes,
+                                                std::uint16_t gpus_per_node) const;
+
+  /// Max/mean ratio of per-GPU PFS misses — 1.0 means perfectly even load.
+  double pfs_skew(std::uint16_t nodes, std::uint16_t gpus_per_node) const;
+
+  /// CSV with header: iter,node,gpu,sample,served_by.
+  std::string to_csv() const;
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+const char* served_by_name(ServedBy tier) noexcept;
+
+}  // namespace lobster::data

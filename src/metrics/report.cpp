@@ -1,0 +1,46 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+
+namespace lobster::metrics {
+
+Table comparison_table(const std::vector<StrategyResult>& results, std::uint32_t warmup_epochs) {
+  Table table({"strategy", "warm_time_s", "speedup_vs_first", "hit_ratio", "imbalanced_frac",
+               "gpu_util", "samples_per_s"});
+  const double base_time =
+      results.empty() ? 0.0 : results.front().result.metrics.time_after_epoch(warmup_epochs);
+  for (const auto& entry : results) {
+    const auto& m = entry.result.metrics;
+    const double warm = m.time_after_epoch(warmup_epochs);
+    table.add_row({entry.strategy, Table::num(warm, 3),
+                   Table::num(warm > 0.0 ? base_time / warm : 0.0, 2), Table::num(m.hit_ratio(), 3),
+                   Table::num(m.imbalanced_fraction(), 3), Table::num(m.gpu_utilization(), 3),
+                   Table::num(entry.result.samples_per_second, 0)});
+  }
+  return table;
+}
+
+double warm_speedup(const pipeline::SimulationResult& baseline,
+                    const pipeline::SimulationResult& target, std::uint32_t warmup_epochs) {
+  const double target_time = target.metrics.time_after_epoch(warmup_epochs);
+  if (target_time <= 0.0) return 0.0;
+  return baseline.metrics.time_after_epoch(warmup_epochs) / target_time;
+}
+
+std::string render_series(const std::vector<double>& values, std::size_t width) {
+  if (values.empty()) return "(empty)";
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  const double peak = *std::max_element(values.begin(), values.end());
+  std::string out;
+  const std::size_t n = std::min(width, values.size());
+  const double stride = static_cast<double>(values.size()) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(static_cast<double>(i) * stride);
+    const double v = peak > 0.0 ? values[idx] / peak : 0.0;
+    const auto level = static_cast<std::size_t>(v * 9.0);
+    out += kLevels[std::min<std::size_t>(level, 9)];
+  }
+  return out;
+}
+
+}  // namespace lobster::metrics

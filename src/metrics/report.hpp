@@ -1,0 +1,33 @@
+// Rendering helpers shared by the figure benches: comparison tables,
+// speedup rows, simple ASCII series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "pipeline/simulator.hpp"
+
+namespace lobster::metrics {
+
+/// One strategy's results for a comparison row.
+struct StrategyResult {
+  std::string strategy;
+  pipeline::SimulationResult result;
+};
+
+/// Builds the canonical comparison table: strategy, warm epoch time,
+/// speedup vs the first row, hit ratio, imbalance fraction, GPU
+/// utilisation, samples/s. `warmup_epochs` are excluded from timing.
+Table comparison_table(const std::vector<StrategyResult>& results,
+                       std::uint32_t warmup_epochs = 1);
+
+/// Speedup of `baseline` over `target` on warm epochs (>1 means target is
+/// faster).
+double warm_speedup(const pipeline::SimulationResult& baseline,
+                    const pipeline::SimulationResult& target, std::uint32_t warmup_epochs = 1);
+
+/// ASCII sparkline-style series renderer (one line, scaled to max).
+std::string render_series(const std::vector<double>& values, std::size_t width = 60);
+
+}  // namespace lobster::metrics

@@ -1,0 +1,114 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lobster::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weights_(in_features, out_features),
+      bias_(1, out_features),
+      grad_weights_(in_features, out_features),
+      grad_bias_(1, out_features),
+      vel_weights_(in_features, out_features),
+      vel_bias_(1, out_features) {
+  // He initialization (ReLU-friendly), deterministic in the provided rng.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+Matrix Dense::forward(const Matrix& input) {
+  last_input_ = input;
+  Matrix out = Matrix::matmul(input, weights_);
+  out.add_row_vector(bias_);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  grad_weights_.add_scaled(Matrix::matmul_at_b(last_input_, grad_output), 1.0F);
+  grad_bias_.add_scaled(grad_output.column_sums(), 1.0F);
+  return Matrix::matmul_a_bt(grad_output, weights_);
+}
+
+void Dense::apply_gradients(float learning_rate, float momentum, std::size_t batch_size) {
+  const float scale = 1.0F / static_cast<float>(batch_size == 0 ? 1 : batch_size);
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    float& v = vel_weights_.data()[i];
+    v = momentum * v - learning_rate * grad_weights_.data()[i] * scale;
+    weights_.data()[i] += v;
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    float& v = vel_bias_.data()[i];
+    v = momentum * v - learning_rate * grad_bias_.data()[i] * scale;
+    bias_.data()[i] += v;
+  }
+  grad_weights_.fill(0.0F);
+  grad_bias_.fill(0.0F);
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  mask_ = Matrix(input.rows(), input.cols());
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] > 0.0F) {
+      mask_.data()[i] = 1.0F;
+    } else {
+      out.data()[i] = 0.0F;
+    }
+  }
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) const {
+  if (!grad_output.same_shape(mask_)) throw std::invalid_argument("Relu: shape mismatch");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad.data()[i] *= mask_.data()[i];
+  return grad;
+}
+
+float SoftmaxCrossEntropy::loss_and_grad(const Matrix& logits,
+                                         const std::vector<std::uint32_t>& labels, Matrix& grad) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  grad = Matrix(logits.rows(), logits.cols());
+  double total_loss = 0.0;
+  const float inv_batch = 1.0F / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.row(r);
+    float* out = grad.row(r);
+    float max_logit = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c) max_logit = std::max(max_logit, in[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) denom += std::exp(in[c] - max_logit);
+    const auto label = labels[r];
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double p = std::exp(in[c] - max_logit) / denom;
+      out[c] = static_cast<float>(p) * inv_batch;
+      if (c == label) {
+        out[c] -= inv_batch;
+        total_loss -= std::log(std::max(p, 1e-12));
+      }
+    }
+  }
+  return static_cast<float>(total_loss / static_cast<double>(logits.rows()));
+}
+
+double SoftmaxCrossEntropy::accuracy(const Matrix& logits,
+                                     const std::vector<std::uint32_t>& labels) {
+  if (labels.size() != logits.rows() || logits.rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (in[c] > in[best]) best = c;
+    }
+    if (best == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.rows());
+}
+
+}  // namespace lobster::nn

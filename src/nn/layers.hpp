@@ -1,0 +1,66 @@
+// Dense layer, ReLU, and softmax cross-entropy for the mini NN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace lobster::nn {
+
+/// Fully connected layer y = x W + b with cached activations for backward.
+class Dense {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  /// Forward for a batch (rows = samples).
+  Matrix forward(const Matrix& input);
+
+  /// Backward: consumes dL/dy, returns dL/dx; accumulates weight gradients.
+  Matrix backward(const Matrix& grad_output);
+
+  /// SGD step with momentum; clears accumulated gradients.
+  void apply_gradients(float learning_rate, float momentum, std::size_t batch_size);
+
+  /// Replaces accumulated gradients (for data-parallel averaging).
+  Matrix& weight_grad() noexcept { return grad_weights_; }
+  Matrix& bias_grad() noexcept { return grad_bias_; }
+  const Matrix& weights() const noexcept { return weights_; }
+  const Matrix& bias() const noexcept { return bias_; }
+
+  std::size_t in_features() const noexcept { return weights_.rows(); }
+  std::size_t out_features() const noexcept { return weights_.cols(); }
+
+ private:
+  Matrix weights_;       // in x out
+  Matrix bias_;          // 1 x out
+  Matrix grad_weights_;  // accumulated dL/dW
+  Matrix grad_bias_;
+  Matrix vel_weights_;   // momentum buffers
+  Matrix vel_bias_;
+  Matrix last_input_;
+};
+
+/// Elementwise ReLU with mask caching.
+class Relu {
+ public:
+  Matrix forward(const Matrix& input);
+  Matrix backward(const Matrix& grad_output) const;
+
+ private:
+  Matrix mask_;
+};
+
+/// Combined softmax + cross-entropy on integer labels.
+struct SoftmaxCrossEntropy {
+  /// Returns mean loss over the batch; fills `grad` with dL/dlogits
+  /// (already divided by batch size).
+  static float loss_and_grad(const Matrix& logits, const std::vector<std::uint32_t>& labels,
+                             Matrix& grad);
+
+  /// Fraction of rows whose argmax matches the label.
+  static double accuracy(const Matrix& logits, const std::vector<std::uint32_t>& labels);
+};
+
+}  // namespace lobster::nn

@@ -1,0 +1,87 @@
+#include "nn/model.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace lobster::nn {
+
+Mlp::Mlp(std::size_t in_features, std::size_t hidden, std::size_t classes, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0x313ACEULL));
+  layer1_ = std::make_unique<Dense>(in_features, hidden, rng);
+  layer2_ = std::make_unique<Dense>(hidden, classes, rng);
+}
+
+float Mlp::train_batch(const Matrix& features, const std::vector<std::uint32_t>& labels) {
+  Matrix hidden = relu_.forward(layer1_->forward(features));
+  Matrix logits = layer2_->forward(hidden);
+  Matrix grad_logits;
+  const float loss = SoftmaxCrossEntropy::loss_and_grad(logits, labels, grad_logits);
+  Matrix grad_hidden = relu_.backward(layer2_->backward(grad_logits));
+  layer1_->backward(grad_hidden);
+  return loss;
+}
+
+Matrix Mlp::predict(const Matrix& features) {
+  Matrix hidden = relu_.forward(layer1_->forward(features));
+  return layer2_->forward(hidden);
+}
+
+void Mlp::apply_gradients(float learning_rate, float momentum, std::size_t batch_size) {
+  layer1_->apply_gradients(learning_rate, momentum, batch_size);
+  layer2_->apply_gradients(learning_rate, momentum, batch_size);
+}
+
+TrainingCurve train_data_parallel(const SyntheticTask& task, std::uint32_t dataset_samples,
+                                  const DataParallelConfig& config) {
+  if (config.replicas == 0) throw std::invalid_argument("train_data_parallel: no replicas");
+
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = dataset_samples;
+  sampler_config.nodes = 1;
+  sampler_config.gpus_per_node = static_cast<std::uint16_t>(config.replicas);
+  sampler_config.batch_size = config.batch_size;
+  sampler_config.seed = config.sampler_seed;
+  const data::EpochSampler sampler(sampler_config);
+
+  // Data-parallel with synchronized updates: replicas share weights, so one
+  // model + sequential per-replica gradient accumulation is numerically
+  // identical to R replicas with an all-reduce. We keep a single model and
+  // accumulate each replica's batch before stepping.
+  Mlp model(task.features(), 64, task.classes(), config.model_seed);
+
+  // Held-out evaluation ids beyond the training range.
+  std::vector<SampleId> eval_ids(config.eval_samples);
+  std::iota(eval_ids.begin(), eval_ids.end(), dataset_samples + 1000);
+  const Matrix eval_features = task.batch_features(eval_ids);
+  const auto eval_labels = task.batch_labels(eval_ids);
+
+  TrainingCurve curve;
+  const std::uint32_t I = sampler.iterations_per_epoch();
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    double train_correct = 0.0;
+    std::uint64_t train_total = 0;
+    for (std::uint32_t h = 0; h < I; ++h) {
+      for (std::uint32_t r = 0; r < config.replicas; ++r) {
+        const auto batch =
+            sampler.minibatch(epoch, h, 0, static_cast<GpuId>(r));
+        const Matrix features = task.batch_features(batch);
+        const auto labels = task.batch_labels(batch);
+        loss_sum += model.train_batch(features, labels);
+        train_correct +=
+            SoftmaxCrossEntropy::accuracy(model.predict(features), labels) *
+            static_cast<double>(labels.size());
+        train_total += labels.size();
+      }
+      model.apply_gradients(config.learning_rate, config.momentum,
+                            static_cast<std::size_t>(config.batch_size) * config.replicas);
+    }
+    curve.loss.push_back(loss_sum / (static_cast<double>(I) * config.replicas));
+    curve.train_accuracy.push_back(train_correct / static_cast<double>(train_total));
+    curve.eval_accuracy.push_back(
+        SoftmaxCrossEntropy::accuracy(model.predict(eval_features), eval_labels));
+  }
+  return curve;
+}
+
+}  // namespace lobster::nn

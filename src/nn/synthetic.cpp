@@ -1,0 +1,53 @@
+#include "nn/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lobster::nn {
+
+SyntheticTask::SyntheticTask(std::uint32_t classes, std::uint32_t features, double noise_sigma,
+                             std::uint64_t seed)
+    : classes_(classes), features_(features), noise_sigma_(noise_sigma), seed_(seed) {
+  if (classes == 0 || features == 0) throw std::invalid_argument("SyntheticTask: bad dims");
+  centroids_.resize(static_cast<std::size_t>(classes) * features);
+  Rng rng(derive_seed(seed, 0xCE27801D5ULL));
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    double norm = 0.0;
+    float* row = &centroids_[static_cast<std::size_t>(c) * features];
+    for (std::uint32_t f = 0; f < features; ++f) {
+      row[f] = static_cast<float>(rng.normal());
+      norm += static_cast<double>(row[f]) * row[f];
+    }
+    const auto inv = static_cast<float>(1.0 / std::sqrt(std::max(norm, 1e-9)));
+    for (std::uint32_t f = 0; f < features; ++f) row[f] *= inv;
+  }
+}
+
+std::uint32_t SyntheticTask::label_of(SampleId sample) const {
+  return static_cast<std::uint32_t>(derive_seed(seed_, sample, 0x1ABE1ULL) % classes_);
+}
+
+void SyntheticTask::features_of(SampleId sample, float* out) const {
+  const std::uint32_t label = label_of(sample);
+  const float* centroid = &centroids_[static_cast<std::size_t>(label) * features_];
+  Rng rng(derive_seed(seed_, sample, 0xFEA7ULL));
+  for (std::uint32_t f = 0; f < features_; ++f) {
+    out[f] = centroid[f] + static_cast<float>(rng.normal(0.0, noise_sigma_));
+  }
+}
+
+Matrix SyntheticTask::batch_features(const std::vector<SampleId>& samples) const {
+  Matrix batch(samples.size(), features_);
+  for (std::size_t r = 0; r < samples.size(); ++r) features_of(samples[r], batch.row(r));
+  return batch;
+}
+
+std::vector<std::uint32_t> SyntheticTask::batch_labels(
+    const std::vector<SampleId>& samples) const {
+  std::vector<std::uint32_t> labels;
+  labels.reserve(samples.size());
+  for (const SampleId s : samples) labels.push_back(label_of(s));
+  return labels;
+}
+
+}  // namespace lobster::nn

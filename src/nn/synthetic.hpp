@@ -1,0 +1,46 @@
+// Synthetic classification data keyed by SampleId.
+//
+// The Fig. 9 experiment needs a dataset where a *sample id coming out of
+// the data-loading pipeline* maps deterministically to (features, label),
+// so the exact same training curve is reproducible under any loader. We
+// use a Gaussian-mixture classification task: each class has a random unit
+// centroid; a sample's features are its class centroid plus noise seeded by
+// the sample id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "nn/tensor.hpp"
+
+namespace lobster::nn {
+
+class SyntheticTask {
+ public:
+  SyntheticTask(std::uint32_t classes, std::uint32_t features, double noise_sigma,
+                std::uint64_t seed);
+
+  std::uint32_t classes() const noexcept { return classes_; }
+  std::uint32_t features() const noexcept { return features_; }
+
+  /// Label of a sample (uniform over classes, deterministic in the id).
+  std::uint32_t label_of(SampleId sample) const;
+
+  /// Writes the sample's feature vector into `out` (length >= features).
+  void features_of(SampleId sample, float* out) const;
+
+  /// Assembles a batch (rows = samples) plus its labels.
+  Matrix batch_features(const std::vector<SampleId>& samples) const;
+  std::vector<std::uint32_t> batch_labels(const std::vector<SampleId>& samples) const;
+
+ private:
+  std::uint32_t classes_;
+  std::uint32_t features_;
+  double noise_sigma_;
+  std::uint64_t seed_;
+  std::vector<float> centroids_;  // classes x features
+};
+
+}  // namespace lobster::nn

@@ -1,0 +1,83 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lobster::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dims differ");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0F) continue;
+      const float* brow = b.row(k);
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::matmul_at_b(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b: outer dims differ");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0F) continue;
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::matmul_a_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt: inner dims differ");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0F;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void Matrix::add_scaled(const Matrix& other, float scale) {
+  if (!same_shape(other)) throw std::invalid_argument("add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i] * scale;
+}
+
+void Matrix::add_row_vector(const Matrix& bias) {
+  if (bias.rows() != 1 || bias.cols() != cols_) {
+    throw std::invalid_argument("add_row_vector: bias must be 1 x cols");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* out = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += bias.at(0, c);
+  }
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* in = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out.at(0, c) += in[c];
+  }
+  return out;
+}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+}  // namespace lobster::nn

@@ -1,0 +1,58 @@
+// Minimal dense matrix for the Fig. 9 accuracy-equivalence experiment.
+//
+// Row-major float32, with just the operations an MLP needs: matmul,
+// transpose-matmul variants, elementwise ops, row reductions. Deliberately
+// simple and deterministic — no BLAS, no threads — so training runs are
+// bit-reproducible across machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lobster::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// C = A * B. Dimension-checked.
+  static Matrix matmul(const Matrix& a, const Matrix& b);
+  /// C = A^T * B.
+  static Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+  /// C = A * B^T.
+  static Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+  /// this += other * scale.
+  void add_scaled(const Matrix& other, float scale);
+  /// Adds `bias` (1 x cols) to every row.
+  void add_row_vector(const Matrix& bias);
+  /// Column sums -> 1 x cols.
+  Matrix column_sums() const;
+
+  void fill(float value);
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace lobster::nn

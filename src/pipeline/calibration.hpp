@@ -1,0 +1,83 @@
+// Cluster description and calibrated experiment presets.
+//
+// The free parameters of the simulated substrate (tier curves, PFS
+// aggregate, preprocessing knee, noise/burst magnitudes) live here, chosen
+// so the *baseline* (DALI) reproduces the paper's motivation numbers —
+// load imbalance in ~65 % of iterations, loading up to ~3× the training
+// stage during PFS bursts, preprocessing throughput peaking at 6 threads —
+// before any Lobster mechanism is enabled. All experiments then share one
+// calibration. See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/preproc_model.hpp"
+#include "data/dataset.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::pipeline {
+
+/// One compute node's shape and the cluster size (ThetaGPU-like: DGX A100,
+/// 8 GPUs, 2×AMD Rome = 128 hardware threads, 40 GB of DRAM used as the
+/// sample cache).
+struct ClusterSpec {
+  std::uint16_t nodes = 1;
+  std::uint16_t gpus_per_node = 8;
+  std::uint32_t cpu_threads = 128;  ///< usable by loading + preprocessing
+  Bytes cache_bytes = 0;            ///< node-local DRAM sample cache capacity
+  Bytes ssd_cache_bytes = 0;        ///< node-local SSD staging tier (0 = off)
+  /// Throughput retained on cross-socket memory paths (2-socket Rome nodes).
+  /// NUMA-unaware loaders scatter each GPU's pipeline threads, so ~half of
+  /// their local-read and preprocessing traffic crosses sockets.
+  double numa_remote_efficiency = 0.72;
+
+  std::uint32_t total_gpus() const noexcept {
+    return static_cast<std::uint32_t>(nodes) * gpus_per_node;
+  }
+};
+
+/// Stochastic I/O variability: multiplicative lognormal noise on measured
+/// load times plus rare node-level PFS "bursts" (external interference on
+/// the shared file system) that multiply remote/PFS components.
+struct NoiseSpec {
+  double io_sigma = 0.10;        ///< lognormal sigma of per-GPU load noise
+  double preproc_sigma = 0.05;   ///< preprocessing time noise
+  double burst_probability = 0.06;  ///< per (node, iteration)
+  double burst_multiplier = 3.5;    ///< remote/PFS slowdown during a burst
+};
+
+/// A fully-specified experiment: everything a simulation run needs except
+/// the loader strategy (which is the comparison axis).
+struct ExperimentPreset {
+  std::string id;
+  ClusterSpec cluster;
+  data::DatasetSpec dataset;
+  std::string model = "resnet50";
+  std::uint32_t epochs = 3;
+  std::uint32_t batch_size = 32;
+  std::uint64_t seed = 42;
+  storage::StorageModel::Params storage;
+  core::PreprocGroundTruth::Params preproc;
+  NoiseSpec noise;
+  /// An iteration counts as load-imbalanced when the max−min per-GPU
+  /// iteration-time gap exceeds this fraction of T_train.
+  double imbalance_threshold = 0.25;
+};
+
+/// The paper's experiments, scaled by `scale` (sample counts divided by it;
+/// cache sizes keep the paper's cache/dataset ratio). scale = 1 is the full
+/// ImageNet configuration; benches default to a scale that runs in seconds.
+ExperimentPreset preset_imagenet1k_single_node(double scale, const std::string& model = "resnet50");
+ExperimentPreset preset_imagenet22k_single_node(double scale, const std::string& model = "resnet50");
+ExperimentPreset preset_imagenet22k_multi_node(double scale, std::uint16_t nodes = 8,
+                                               const std::string& model = "resnet50");
+ExperimentPreset preset_imagenet1k_multi_node(double scale, std::uint16_t nodes = 8,
+                                              const std::string& model = "resnet50");
+
+/// The node-local cache capacity the paper uses: 40 GB of the 1 TB DDR4,
+/// i.e. ~29.6 % of ImageNet-1K. Applied per dataset at the given scale.
+Bytes scaled_cache_bytes(const data::DatasetSpec& dataset, std::uint64_t seed, double fraction);
+
+}  // namespace lobster::pipeline

@@ -1,0 +1,68 @@
+#include "pipeline/metrics.hpp"
+
+#include <stdexcept>
+
+namespace lobster::pipeline {
+
+RunMetrics::RunMetrics(std::uint32_t epochs, std::uint32_t iterations_per_epoch,
+                       std::uint32_t total_gpus, std::uint32_t detail_epoch_lo,
+                       std::uint32_t detail_epoch_hi)
+    : epochs_(epochs),
+      iterations_per_epoch_(iterations_per_epoch),
+      total_gpus_(total_gpus),
+      detail_lo_(detail_epoch_lo),
+      detail_hi_(detail_epoch_hi) {
+  if (epochs == 0 || iterations_per_epoch == 0 || total_gpus == 0) {
+    throw std::invalid_argument("RunMetrics: bad dimensions");
+  }
+  imbalanced_per_epoch_.resize(epochs, 0);
+  time_per_epoch_.resize(epochs, 0.0);
+  batch_times_.reserve(static_cast<std::size_t>(epochs) * iterations_per_epoch);
+}
+
+void RunMetrics::add(IterationRecord record) {
+  if (record.epoch >= epochs_) throw std::out_of_range("RunMetrics: epoch out of range");
+  ++iterations_;
+  total_time_ += record.duration;
+  time_per_epoch_[record.epoch] += record.duration;
+  batch_times_.add(record.duration);
+  if (record.imbalanced) ++imbalanced_per_epoch_[record.epoch];
+  if (record.loading_bottleneck) ++loading_bottleneck_;
+  for (const auto& gpu : record.gpus) train_time_sum_ += gpu.train;
+  if (record.epoch >= detail_lo_ && record.epoch < detail_hi_) {
+    details_.push_back(std::move(record));
+  }
+}
+
+void RunMetrics::set_cache_stats(const std::vector<cache::CacheStats>& per_node) {
+  cache_stats_ = {};
+  for (const auto& stats : per_node) {
+    cache_stats_.hits += stats.hits;
+    cache_stats_.misses += stats.misses;
+    cache_stats_.insertions += stats.insertions;
+    cache_stats_.evictions += stats.evictions;
+    cache_stats_.rejected_insertions += stats.rejected_insertions;
+  }
+}
+
+Seconds RunMetrics::time_after_epoch(std::uint32_t first_epoch) const {
+  Seconds total = 0.0;
+  for (std::uint32_t e = first_epoch; e < epochs_; ++e) total += time_per_epoch_[e];
+  return total;
+}
+
+double RunMetrics::imbalanced_fraction() const noexcept {
+  if (iterations_ == 0) return 0.0;
+  std::uint64_t imbalanced = 0;
+  for (const auto count : imbalanced_per_epoch_) imbalanced += count;
+  return static_cast<double>(imbalanced) / static_cast<double>(iterations_);
+}
+
+double RunMetrics::gpu_utilization() const noexcept {
+  if (total_time_ <= 0.0 || total_gpus_ == 0) return 0.0;
+  const double per_gpu_wall = total_time_;
+  const double per_gpu_train = train_time_sum_ / static_cast<double>(total_gpus_);
+  return per_gpu_train / per_gpu_wall;
+}
+
+}  // namespace lobster::pipeline

@@ -1,0 +1,110 @@
+// Run metrics: everything the paper's evaluation section reports.
+//
+// The simulator feeds one IterationRecord per iteration; RunMetrics
+// aggregates into the quantities behind each figure:
+//   Fig. 3  — per-GPU stage breakdowns (detailed records, windowed)
+//   Fig. 7  — end-to-end time / speedups
+//   Fig. 8  — imbalanced-iteration counts per epoch, batch-time distribution
+//   Fig. 10 — GPU utilisation
+//   §5.5    — cache hit ratios (merged from the NodeCache stats)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/node_cache.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::pipeline {
+
+/// One GPU's accounting for one iteration.
+struct GpuIterRecord {
+  Seconds load = 0.0;     ///< data loading (critical-path) time
+  Seconds preproc = 0.0;  ///< preprocessing time
+  Seconds train = 0.0;    ///< forward+backward
+  Seconds idle = 0.0;     ///< barrier wait (straggler-induced)
+  storage::TierBytes bytes;
+  std::uint32_t local_hits = 0;
+  std::uint32_t ssd_hits = 0;
+  std::uint32_t remote_hits = 0;
+  std::uint32_t pfs_misses = 0;
+  double load_threads = 0.0;
+  double preproc_threads = 0.0;
+};
+
+/// One training iteration across the whole cluster.
+struct IterationRecord {
+  IterId iter = 0;
+  std::uint32_t epoch = 0;
+  Seconds duration = 0.0;  ///< barrier-synchronized iteration time
+  Seconds t_max = 0.0;     ///< slowest GPU's pipeline time
+  Seconds t_min = 0.0;     ///< fastest GPU's pipeline time
+  bool imbalanced = false;
+  bool loading_bottleneck = false;  ///< some GPU had load+preproc > train
+  std::vector<GpuIterRecord> gpus;  ///< flat [node * M + gpu]
+};
+
+class RunMetrics {
+ public:
+  /// Empty metrics (no iterations recorded); useful as a placeholder.
+  RunMetrics() = default;
+
+  /// `detail_lo/hi`: epoch range [lo, hi) for which full per-GPU records are
+  /// retained (Fig. 3); outside it only aggregates are kept.
+  RunMetrics(std::uint32_t epochs, std::uint32_t iterations_per_epoch, std::uint32_t total_gpus,
+             std::uint32_t detail_epoch_lo = 0, std::uint32_t detail_epoch_hi = 0);
+
+  void add(IterationRecord record);
+
+  /// Merges the per-node cache stats (call once, after the run).
+  void set_cache_stats(const std::vector<cache::CacheStats>& per_node);
+
+  // ---- aggregates
+  std::uint64_t iterations() const noexcept { return iterations_; }
+  Seconds total_time() const noexcept { return total_time_; }
+  /// Wall time excluding the given warm-up epochs.
+  Seconds time_after_epoch(std::uint32_t first_epoch) const;
+
+  double imbalanced_fraction() const noexcept;
+  const std::vector<std::uint32_t>& imbalanced_per_epoch() const noexcept {
+    return imbalanced_per_epoch_;
+  }
+  std::uint64_t loading_bottleneck_iterations() const noexcept { return loading_bottleneck_; }
+
+  /// Batch (iteration) durations, for the Fig. 8(c) distribution.
+  const Series& batch_times() const noexcept { return batch_times_; }
+
+  /// Mean GPU utilisation: training time / wall time, averaged over GPUs.
+  double gpu_utilization() const noexcept;
+
+  /// Aggregated cache behaviour across nodes (local-memory hit ratio, §5.5).
+  const cache::CacheStats& cache_stats() const noexcept { return cache_stats_; }
+  double hit_ratio() const noexcept { return cache_stats_.hit_ratio(); }
+
+  /// Retained detailed records (empty outside the detail window).
+  const std::vector<IterationRecord>& details() const noexcept { return details_; }
+
+  std::uint32_t epochs() const noexcept { return epochs_; }
+  std::uint32_t iterations_per_epoch() const noexcept { return iterations_per_epoch_; }
+
+ private:
+  std::uint32_t epochs_ = 0;
+  std::uint32_t iterations_per_epoch_ = 0;
+  std::uint32_t total_gpus_ = 0;
+  std::uint32_t detail_lo_ = 0;
+  std::uint32_t detail_hi_ = 0;
+
+  std::uint64_t iterations_ = 0;
+  Seconds total_time_ = 0.0;
+  std::vector<Seconds> time_per_epoch_;
+  std::vector<std::uint32_t> imbalanced_per_epoch_;
+  std::uint64_t loading_bottleneck_ = 0;
+  Series batch_times_;
+  double train_time_sum_ = 0.0;  ///< across GPUs
+  std::vector<IterationRecord> details_;
+  cache::CacheStats cache_stats_;
+};
+
+}  // namespace lobster::pipeline

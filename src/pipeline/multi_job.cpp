@@ -1,0 +1,342 @@
+#include "pipeline/multi_job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "cache/prefetcher.hpp"
+#include "cache/tiered_cache.hpp"
+#include "common/rng.hpp"
+#include "core/perf_model.hpp"
+#include "core/preproc_model.hpp"
+#include "core/thread_allocator.hpp"
+#include "pipeline/trainer_model.hpp"
+
+namespace lobster::pipeline {
+
+namespace {
+
+using baselines::ThreadPolicy;
+
+double multi_io_noise(std::uint64_t seed, std::uint64_t slot, NodeId node, GpuId gpu,
+                      double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  Rng rng(derive_seed(seed, slot, (static_cast<std::uint64_t>(node) << 20) | gpu, 0x3027ULL));
+  return std::exp(rng.normal(0.0, sigma) - sigma * sigma / 2.0);
+}
+
+bool multi_burst(std::uint64_t seed, std::uint64_t slot, NodeId node, double probability) {
+  if (probability <= 0.0) return false;
+  Rng rng(derive_seed(seed, slot, node, 0xB0057ULL));
+  return rng.uniform() < probability;
+}
+
+/// Per-job state: its own deterministic sample stream and compute model.
+struct Job {
+  std::unique_ptr<data::EpochSampler> sampler;
+  std::unique_ptr<data::FutureAccessOracle> oracle;
+  std::unique_ptr<cache::Prefetcher> prefetcher;
+  TrainerModel trainer;
+  std::unique_ptr<RunMetrics> metrics;
+};
+
+}  // namespace
+
+MultiJobResult simulate_multi_job(const MultiJobConfig& config) {
+  const auto& preset = config.preset;
+  const auto& strategy = config.strategy;
+  if (config.jobs.empty()) throw std::invalid_argument("simulate_multi_job: no jobs");
+  if (preset.epochs == 0) throw std::invalid_argument("simulate_multi_job: epochs == 0");
+
+  const data::SampleCatalog catalog(preset.dataset, preset.seed);
+  const std::uint16_t gpus = preset.cluster.gpus_per_node;
+  const std::uint32_t total_gpus = preset.cluster.total_gpus();
+
+  // ---- per-job streams over the shared dataset
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs.size());
+  for (std::size_t j = 0; j < config.jobs.size(); ++j) {
+    Job job;
+    data::SamplerConfig sampler_config;
+    sampler_config.num_samples = catalog.size();
+    sampler_config.nodes = preset.cluster.nodes;
+    sampler_config.gpus_per_node = gpus;
+    sampler_config.batch_size = preset.batch_size;
+    sampler_config.seed = derive_seed(preset.seed, 0x10BB5ULL, config.jobs[j].sampler_stream + j);
+    job.sampler = std::make_unique<data::EpochSampler>(sampler_config);
+    job.oracle =
+        std::make_unique<data::FutureAccessOracle>(*job.sampler, config.oracle_window_epochs);
+    if (strategy.prefetching) {
+      job.prefetcher = std::make_unique<cache::Prefetcher>(*job.sampler, catalog,
+                                                           strategy.prefetch_lookahead);
+    }
+    job.trainer = TrainerModel::by_name(config.jobs[j].model);
+    jobs.push_back(std::move(job));
+  }
+  const std::uint32_t I = jobs.front().sampler->iterations_per_epoch();
+  for (auto& job : jobs) {
+    job.metrics = std::make_unique<RunMetrics>(preset.epochs, I, total_gpus);
+  }
+
+  // ---- shared substrate: merged oracle, directory, tiered caches
+  std::vector<const data::AccessOracle*> members;
+  for (const auto& job : jobs) members.push_back(job.oracle.get());
+  const data::MergedAccessOracle merged(members);
+
+  std::unique_ptr<cache::CacheDirectory> directory;
+  if (strategy.distributed_cache || strategy.eviction_policy == "lobster") {
+    directory = std::make_unique<cache::CacheDirectory>(preset.cluster.nodes);
+  }
+  std::vector<std::unique_ptr<cache::TieredNodeCache>> caches;
+  for (NodeId n = 0; n < preset.cluster.nodes; ++n) {
+    caches.push_back(std::make_unique<cache::TieredNodeCache>(
+        n, preset.cluster.cache_bytes, preset.cluster.ssd_cache_bytes, strategy.eviction_policy,
+        strategy.eviction_policy, catalog, directory.get(), &merged, I));
+  }
+
+  // ---- decision models (shared across jobs; T_train varies per job)
+  const storage::StorageModel storage(preset.storage);
+  const core::PreprocGroundTruth preproc_truth(preset.preproc);
+  const auto mean_bytes = static_cast<Bytes>(catalog.mean_bytes());
+  const core::PreprocModelPortfolio portfolio(
+      preproc_truth, {std::max<Bytes>(mean_bytes / 2, 1), mean_bytes, mean_bytes * 2},
+      std::max<std::uint32_t>(2, preset.cluster.cpu_threads / gpus), 3, preset.seed);
+  const std::uint32_t knee = portfolio.optimal_threads(mean_bytes);
+
+  MultiJobResult result;
+  result.iterations_per_epoch = I;
+
+  // ---- round-robin slots: slot s runs job (s % J) at iteration (s / J)
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(preset.epochs) * I * jobs.size();
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    const std::size_t j = slot % jobs.size();
+    Job& job = jobs[j];
+    const auto flat_iter = static_cast<std::uint32_t>(slot / jobs.size());
+    const std::uint32_t epoch = flat_iter / I;
+    const std::uint32_t h = flat_iter % I;
+    const IterId now = job.sampler->global_iter(epoch, h);
+
+    if (h == 0 && j == 0) {
+      for (auto& inner : jobs) inner.oracle->rebase(epoch);
+      for (auto& node_cache : caches) node_cache->on_epoch(now);
+    }
+
+    IterationRecord record;
+    record.iter = now;
+    record.epoch = epoch;
+    record.gpus.resize(total_gpus);
+
+    // ---- classification + cache fill (per node, this job's batches)
+    std::vector<std::vector<core::GpuDemand>> demands(caches.size());
+    storage::Contention contention;
+    contention.pfs_readers_cluster = 0;
+    for (NodeId n = 0; n < preset.cluster.nodes; ++n) {
+      demands[n].resize(gpus);
+      auto& node_cache = *caches[n];
+      std::vector<std::vector<SampleId>> batches(gpus);
+      for (GpuId g = 0; g < gpus; ++g) {
+        batches[g] = job.sampler->minibatch(epoch, h, n, g);
+        for (const SampleId s : batches[g]) node_cache.pin(s);
+      }
+      for (GpuId g = 0; g < gpus; ++g) {
+        auto& demand = demands[n][g];
+        auto& gpu_record = record.gpus[flat_gpu_rank({n, g}, gpus)];
+        demand.samples = static_cast<std::uint32_t>(batches[g].size());
+        for (const SampleId s : batches[g]) {
+          const Bytes size = catalog.sample_bytes(s);
+          const auto hit = node_cache.access(s, now);
+          if (hit == cache::TierHit::kMemory) {
+            demand.bytes.local += size;
+            ++gpu_record.local_hits;
+            continue;
+          }
+          if (hit == cache::TierHit::kSsd) {
+            demand.bytes.ssd += size;
+            ++gpu_record.ssd_hits;
+            continue;
+          }
+          const bool remote = strategy.distributed_cache && directory != nullptr &&
+                              directory->held_elsewhere(s, n);
+          if (remote) {
+            demand.bytes.remote += size;
+            ++gpu_record.remote_hits;
+          } else {
+            demand.bytes.pfs += size;
+            ++gpu_record.pfs_misses;
+          }
+          node_cache.insert(s, now, merged.reuse_distance_on_node(s, n, now));
+        }
+        demand.pending_requests = demand.bytes.remote + demand.bytes.pfs;
+        gpu_record.bytes = demand.bytes;
+        if (demand.bytes.pfs > 0) ++contention.pfs_readers_cluster;
+      }
+    }
+    contention.pfs_readers_cluster =
+        std::max<std::uint32_t>(contention.pfs_readers_cluster, 1);
+
+    // ---- per-node thread decision + stage times for this job's iteration
+    const core::PerfModel perf(storage, portfolio, job.trainer.t_train);
+    Seconds t_max = 0.0;
+    Seconds t_min = std::numeric_limits<Seconds>::infinity();
+    bool loading_bottleneck = false;
+
+    for (NodeId n = 0; n < preset.cluster.nodes; ++n) {
+      storage::Contention node_contention = contention;
+      node_contention.local_readers_node = node_contention.ssd_readers_node = 0;
+      node_contention.remote_readers_node = node_contention.pfs_readers_node = 0;
+      for (const auto& d : demands[n]) {
+        if (d.bytes.local > 0) ++node_contention.local_readers_node;
+        if (d.bytes.ssd > 0) ++node_contention.ssd_readers_node;
+        if (d.bytes.remote > 0) ++node_contention.remote_readers_node;
+        if (d.bytes.pfs > 0) ++node_contention.pfs_readers_node;
+      }
+      node_contention.local_readers_node =
+          std::max<std::uint32_t>(node_contention.local_readers_node, 1);
+      node_contention.ssd_readers_node =
+          std::max<std::uint32_t>(node_contention.ssd_readers_node, 1);
+      node_contention.remote_readers_node =
+          std::max<std::uint32_t>(node_contention.remote_readers_node, 1);
+      node_contention.pfs_readers_node =
+          std::max<std::uint32_t>(node_contention.pfs_readers_node, 1);
+
+      // Thread split: fixed strategies keep their constant split; Lobster
+      // runs Algorithm 1 against this job's T_train.
+      std::vector<double> load_threads(gpus, 1.0);
+      double preproc_per_gpu = 1.0;
+      if (strategy.thread_policy == ThreadPolicy::kFixed) {
+        const double load_total = strategy.fixed_load_threads;
+        std::fill(load_threads.begin(), load_threads.end(),
+                  load_total / static_cast<double>(gpus));
+        preproc_per_gpu =
+            std::max(1.0, (static_cast<double>(preset.cluster.cpu_threads) - load_total)) /
+            static_cast<double>(gpus);
+      } else {
+        const std::uint32_t budget =
+            preset.cluster.cpu_threads > knee * gpus + gpus
+                ? preset.cluster.cpu_threads - knee * gpus
+                : gpus;
+        core::AllocatorConfig alloc_config;
+        alloc_config.total_load_threads = budget;
+        const core::ThreadAllocator allocator(perf, alloc_config);
+        const auto alloc = strategy.thread_policy == ThreadPolicy::kProportional
+                               ? core::AllocationResult{
+                                     allocator.proportional_allocation(demands[n]),
+                                     {}, 0.0, false, 0}
+                               : allocator.allocate(demands[n], knee, node_contention);
+        for (GpuId g = 0; g < gpus; ++g) load_threads[g] = alloc.threads[g];
+        preproc_per_gpu = knee;
+      }
+
+      const bool burst =
+          multi_burst(preset.seed, slot, n, preset.noise.burst_probability);
+      Seconds node_pipeline_max = 0.0;
+      for (GpuId g = 0; g < gpus; ++g) {
+        auto& gpu_record = record.gpus[flat_gpu_rank({n, g}, gpus)];
+        const auto breakdown = storage.load_time_breakdown(
+            demands[n][g].bytes, storage::ThreadAlloc::uniform(load_threads[g]),
+            node_contention);
+        const double noise =
+            multi_io_noise(preset.seed, slot, n, g, preset.noise.io_sigma);
+        Seconds load = breakdown.local + breakdown.ssd +
+                       (breakdown.remote + breakdown.pfs) * noise;
+        if (burst) {
+          load = breakdown.local + breakdown.ssd +
+                 (breakdown.remote + breakdown.pfs) * noise * preset.noise.burst_multiplier;
+        }
+        const Seconds preproc = preproc_truth.batch_time(
+            preproc_per_gpu, demands[n][g].bytes.total(), demands[n][g].samples);
+        const Seconds train = job.trainer.iteration_time(preset.seed, now, n, g);
+        gpu_record.load = load;
+        gpu_record.preproc = preproc;
+        gpu_record.train = train;
+        gpu_record.load_threads = load_threads[g];
+        gpu_record.preproc_threads = preproc_per_gpu;
+        const Seconds pipeline = load + preproc;
+        if (pipeline > train) loading_bottleneck = true;
+        const Seconds gpu_time = std::max(pipeline, train);
+        t_max = std::max(t_max, gpu_time);
+        t_min = std::min(t_min, gpu_time);
+        node_pipeline_max = std::max(node_pipeline_max, pipeline);
+      }
+
+      // ---- post-iteration cache maintenance for this node
+      caches[n]->unpin_all();
+      if (strategy.reuse_sweep) {
+        for (const SampleId s : job.sampler->node_batch(epoch, h, n)) {
+          if (!caches[n]->peek(s)) continue;
+          // Reuse-count across ALL jobs (merged view).
+          if (merged.remaining_uses_on_node(s, n, now) == 0 &&
+              !(directory != nullptr && directory->sole_holder(s, n) &&
+                merged.needed_by_other_node(s, n, now))) {
+            caches[n]->evict(s);
+            continue;
+          }
+          const IterId distance = merged.reuse_distance_on_node(s, n, now);
+          if (distance != kNeverIter && distance > static_cast<IterId>(2 * I - h)) {
+            caches[n]->evict(s);
+          }
+        }
+      }
+      if (job.prefetcher != nullptr) {
+        const auto& params = storage.params();
+        const double derate =
+            config.prefetch_bandwidth_fraction * strategy.staging_efficiency;
+        const double cluster_share =
+            params.pfs_cluster_bps / static_cast<double>(preset.cluster.nodes);
+        double load_total = 0.0;
+        for (const double t : load_threads) load_total += t;
+        const double staging_threads =
+            std::min(load_total, static_cast<double>(params.pfs.knee_threads()));
+        const double pfs_bw =
+            std::min(params.pfs.aggregate_bps(staging_threads), cluster_share) * derate;
+        Bytes fetched_pfs = 0;
+        Bytes fetched_remote = 0;
+        for (const auto& d : demands[n]) {
+          fetched_pfs += d.bytes.pfs;
+          fetched_remote += d.bytes.remote;
+        }
+        const double pfs_capacity =
+            std::max(0.0, t_max * pfs_bw - static_cast<double>(fetched_pfs));
+        double remote_capacity = 0.0;
+        if (strategy.distributed_cache && preset.cluster.nodes > 1) {
+          remote_capacity = std::max(0.0, t_max * 0.5 * params.remote.peak_bps() * derate -
+                                              static_cast<double>(fetched_remote));
+        }
+        const auto plan = job.prefetcher->plan(n, epoch, h, *caches[n], directory.get(),
+                                               static_cast<Bytes>(remote_capacity),
+                                               static_cast<Bytes>(pfs_capacity), preset.epochs);
+        for (const auto& candidate : plan.fetches) {
+          const IterId reuse = candidate.first_use > now ? candidate.first_use - now : 0;
+          caches[n]->insert(candidate.sample, now, reuse);
+        }
+      }
+    }
+
+    record.duration = t_max;
+    record.t_max = t_max;
+    record.t_min = t_min;
+    record.imbalanced = (t_max - t_min) > preset.imbalance_threshold * t_max;
+    record.loading_bottleneck = loading_bottleneck;
+    for (auto& gpu_record : record.gpus) gpu_record.idle = record.duration - gpu_record.train;
+    result.total_time += record.duration;
+    job.metrics->add(std::move(record));
+  }
+
+  for (auto& job : jobs) {
+    result.per_job.push_back(std::move(*job.metrics));
+  }
+  result.combined_cache = {};
+  for (const auto& node_cache : caches) {
+    const auto& stats = node_cache->memory_stats();
+    result.combined_cache.hits += stats.hits;
+    result.combined_cache.misses += stats.misses;
+    result.combined_cache.insertions += stats.insertions;
+    result.combined_cache.evictions += stats.evictions;
+    result.combined_cache.rejected_insertions += stats.rejected_insertions;
+  }
+  return result;
+}
+
+}  // namespace lobster::pipeline

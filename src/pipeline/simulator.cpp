@@ -1,0 +1,593 @@
+#include "pipeline/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cache/policies.hpp"
+#include "cache/tiered_cache.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace lobster::pipeline {
+
+using baselines::LoaderStrategy;
+using baselines::ThreadPolicy;
+
+struct TrainingSimulator::NodeState {
+  NodeId id = 0;
+  std::unique_ptr<cache::TieredNodeCache> cache;
+  /// Max per-GPU pipeline (load+preproc) time of the last iteration — the
+  /// spare-time baseline for prefetching.
+  Seconds last_max_pipeline = 0.0;
+  /// Total loading threads the node used in the last iteration (staging bw).
+  double last_load_threads = 1.0;
+};
+
+namespace {
+
+/// Mean-one lognormal noise factor, deterministic in the stream ids.
+double io_noise(std::uint64_t seed, IterId iter, NodeId node, GpuId gpu, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  Rng rng(derive_seed(seed, iter, (static_cast<std::uint64_t>(node) << 20) | gpu, 0x10C0DEULL));
+  return std::exp(rng.normal(0.0, sigma) - sigma * sigma / 2.0);
+}
+
+bool pfs_burst(std::uint64_t seed, IterId iter, NodeId node, double probability) {
+  if (probability <= 0.0) return false;
+  Rng rng(derive_seed(seed, iter, node, 0xB5257ULL));
+  return rng.uniform() < probability;
+}
+
+}  // namespace
+
+TrainingSimulator::TrainingSimulator(SimulationConfig config)
+    : config_(std::move(config)), trainer_(TrainerModel::by_name(config_.preset.model)) {
+  const auto& preset = config_.preset;
+  if (preset.epochs == 0) throw std::invalid_argument("TrainingSimulator: epochs == 0");
+
+  catalog_ = std::make_unique<data::SampleCatalog>(preset.dataset, preset.seed);
+
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = catalog_->size();
+  sampler_config.nodes = preset.cluster.nodes;
+  sampler_config.gpus_per_node = preset.cluster.gpus_per_node;
+  sampler_config.batch_size = preset.batch_size;
+  sampler_config.seed = preset.seed;
+  sampler_ = std::make_unique<data::EpochSampler>(sampler_config);
+
+  oracle_ = std::make_unique<data::FutureAccessOracle>(*sampler_, config_.oracle_window_epochs);
+
+  const bool needs_directory =
+      config_.strategy.distributed_cache || config_.strategy.eviction_policy == "lobster";
+  if (needs_directory) directory_ = std::make_unique<cache::CacheDirectory>(preset.cluster.nodes);
+
+  storage_ = std::make_unique<storage::StorageModel>(preset.storage);
+  preproc_truth_ = std::make_unique<core::PreprocGroundTruth>(preset.preproc);
+
+  // Offline profiling of the preprocessing stage (§4.1): reference sizes at
+  // the dataset's quartiles.
+  const auto mean = static_cast<Bytes>(catalog_->mean_bytes());
+  std::vector<Bytes> reference_sizes = {std::max<Bytes>(mean / 2, 1), mean,
+                                        std::max<Bytes>(mean * 2, 2)};
+  const std::uint32_t max_preproc_threads =
+      std::max<std::uint32_t>(2, preset.cluster.cpu_threads / preset.cluster.gpus_per_node);
+  preproc_portfolio_ = std::make_unique<core::PreprocModelPortfolio>(
+      *preproc_truth_, reference_sizes, max_preproc_threads, /*repeats=*/3, preset.seed);
+  knee_preproc_threads_ = preproc_portfolio_->optimal_threads(mean);
+
+  perf_model_ = std::make_unique<core::PerfModel>(*storage_, *preproc_portfolio_,
+                                                  trainer_.t_train);
+
+  if (config_.strategy.prefetching) {
+    prefetcher_ = std::make_unique<cache::Prefetcher>(*sampler_, *catalog_,
+                                                      config_.strategy.prefetch_lookahead);
+  }
+
+  for (NodeId n = 0; n < preset.cluster.nodes; ++n) {
+    auto state = std::make_unique<NodeState>();
+    state->id = n;
+    state->cache = std::make_unique<cache::TieredNodeCache>(
+        n, preset.cluster.cache_bytes, preset.cluster.ssd_cache_bytes,
+        config_.strategy.eviction_policy, config_.strategy.eviction_policy, *catalog_,
+        directory_.get(), oracle_.get(), sampler_->iterations_per_epoch());
+    nodes_.push_back(std::move(state));
+  }
+}
+
+TrainingSimulator::~TrainingSimulator() = default;
+
+double TrainingSimulator::numa_factor() const noexcept {
+  if (config_.strategy.numa_aware) return 1.0;
+  // Half the traffic crosses sockets at the reduced efficiency.
+  const double efficiency = config_.preset.cluster.numa_remote_efficiency;
+  return 0.5 + 0.5 / std::max(efficiency, 0.1);
+}
+
+std::vector<core::GpuDemand> TrainingSimulator::classify_and_fetch(
+    NodeState& node, std::uint32_t epoch, std::uint32_t h,
+    std::vector<GpuIterRecord>& records, std::vector<std::vector<sim::Fetch>>* fetch_lists) {
+  const auto& preset = config_.preset;
+  const IterId now = sampler_->global_iter(epoch, h);
+  const std::uint16_t gpus = preset.cluster.gpus_per_node;
+  std::vector<core::GpuDemand> demands(gpus);
+
+  // Pin the whole node batch first: a co-located GPU's fetch must not evict
+  // samples another GPU needs this very iteration.
+  std::vector<std::vector<SampleId>> batches(gpus);
+  for (GpuId g = 0; g < gpus; ++g) {
+    batches[g] = sampler_->minibatch(epoch, h, node.id, g);
+    for (const SampleId s : batches[g]) node.cache->pin(s);
+  }
+
+  for (GpuId g = 0; g < gpus; ++g) {
+    auto& demand = demands[g];
+    auto& record = records[flat_gpu_rank({node.id, g}, gpus)];
+    demand.samples = static_cast<std::uint32_t>(batches[g].size());
+    for (const SampleId s : batches[g]) {
+      const Bytes size = catalog_->sample_bytes(s);
+      const auto hit = node.cache->access(s, now);
+      if (hit == cache::TierHit::kMemory) {
+        demand.bytes.local += size;
+        ++record.local_hits;
+        if (config_.record_trace != nullptr) {
+          config_.record_trace->append({now, node.id, g, s, data::ServedBy::kMemory});
+        }
+        if (fetch_lists != nullptr) (*fetch_lists)[g].push_back({size, sim::FetchTier::kLocal});
+        continue;
+      }
+      if (hit == cache::TierHit::kSsd) {
+        demand.bytes.ssd += size;
+        ++record.ssd_hits;
+        if (config_.record_trace != nullptr) {
+          config_.record_trace->append({now, node.id, g, s, data::ServedBy::kSsd});
+        }
+        if (fetch_lists != nullptr) (*fetch_lists)[g].push_back({size, sim::FetchTier::kSsd});
+        continue;
+      }
+      const bool remote = config_.strategy.distributed_cache && directory_ != nullptr &&
+                          directory_->held_elsewhere(s, node.id);
+      if (remote) {
+        demand.bytes.remote += size;
+        ++record.remote_hits;
+      } else {
+        demand.bytes.pfs += size;
+        ++record.pfs_misses;
+      }
+      if (config_.record_trace != nullptr) {
+        config_.record_trace->append(
+            {now, node.id, g, s, remote ? data::ServedBy::kRemote : data::ServedBy::kPfs});
+      }
+      if (fetch_lists != nullptr) {
+        (*fetch_lists)[g].push_back(
+            {size, remote ? sim::FetchTier::kRemote : sim::FetchTier::kPfs});
+      }
+      // The fetched sample lands in the local cache (staging), evicting via
+      // the policy. The newcomer's own next use feeds the coordination rule.
+      const IterId reuse = oracle_->reuse_distance_on_node(s, node.id, now);
+      node.cache->insert(s, now, reuse);
+    }
+    demand.pending_requests = demand.bytes.remote + demand.bytes.pfs;
+    record.bytes = demand.bytes;
+  }
+  return demands;
+}
+
+TrainingSimulator::ThreadDecision TrainingSimulator::decide_threads(
+    NodeState& node, const std::vector<core::GpuDemand>& demands,
+    const storage::Contention& contention) {
+  (void)node;
+  const auto& preset = config_.preset;
+  const auto& strategy = config_.strategy;
+  const std::uint16_t gpus = preset.cluster.gpus_per_node;
+  ThreadDecision decision;
+  decision.load_threads.resize(gpus, 1.0);
+
+  if (strategy.gpu_preprocessing) {
+    // §2: preprocessing on the GPU — every CPU thread can serve loading.
+    // Thread assignment across GPU queues still follows the strategy.
+    decision.preproc_threads_per_gpu = 0.0;
+    if (strategy.thread_policy == ThreadPolicy::kFixed) {
+      std::fill(decision.load_threads.begin(), decision.load_threads.end(),
+                static_cast<double>(preset.cluster.cpu_threads) / gpus);
+    } else {
+      core::AllocatorConfig alloc_config = config_.allocator;
+      alloc_config.total_load_threads = preset.cluster.cpu_threads;
+      const core::ThreadAllocator allocator(*perf_model_, alloc_config);
+      const auto alloc = strategy.thread_policy == ThreadPolicy::kProportional
+                             ? core::AllocationResult{allocator.proportional_allocation(demands),
+                                                      {}, 0.0, false, 0}
+                             : allocator.allocate(demands, /*preproc_threads=*/0.25, contention);
+      for (std::size_t j = 0; j < alloc.threads.size(); ++j) {
+        decision.load_threads[j] = alloc.threads[j];
+      }
+    }
+    return decision;
+  }
+
+  if (strategy.thread_policy == ThreadPolicy::kFixed) {
+    const double load_total = strategy.fixed_load_threads;
+    const double preproc_total =
+        strategy.fixed_preproc_threads > 0
+            ? strategy.fixed_preproc_threads
+            : std::max(1.0, static_cast<double>(preset.cluster.cpu_threads) - load_total);
+    // One shared pool, equal service per GPU (what the paper criticizes).
+    std::fill(decision.load_threads.begin(), decision.load_threads.end(),
+              load_total / static_cast<double>(gpus));
+    decision.preproc_threads_per_gpu = preproc_total / static_cast<double>(gpus);
+    return decision;
+  }
+
+  // Per-GPU queues. Preprocessing gets its knee allocation per GPU (§4.1
+  // step 1); the rest of the CPUs go to loading.
+  std::uint32_t preproc_per_gpu = knee_preproc_threads_;
+  auto load_budget = [&](std::uint32_t per_gpu_preproc) {
+    const std::uint32_t preproc_total = per_gpu_preproc * gpus;
+    return preset.cluster.cpu_threads > preproc_total + gpus
+               ? preset.cluster.cpu_threads - preproc_total
+               : static_cast<std::uint32_t>(gpus);  // floor: 1 loader per GPU
+  };
+
+  if (strategy.thread_policy == ThreadPolicy::kProportional) {
+    core::AllocatorConfig alloc_config = config_.allocator;
+    alloc_config.total_load_threads = load_budget(preproc_per_gpu);
+    const core::ThreadAllocator allocator(*perf_model_, alloc_config);
+    const auto alloc = allocator.proportional_allocation(demands);
+    for (std::size_t j = 0; j < alloc.size(); ++j) decision.load_threads[j] = alloc[j];
+    decision.preproc_threads_per_gpu = preproc_per_gpu;
+    return decision;
+  }
+
+  // Full Lobster: Algorithm 1, then §4.1 step 2 — steal preprocessing
+  // threads while loading remains the bottleneck and preprocessing would
+  // not become one.
+  core::AllocationResult best;
+  for (std::uint32_t steal = 0;; ++steal) {
+    core::AllocatorConfig alloc_config = config_.allocator;
+    alloc_config.total_load_threads = load_budget(preproc_per_gpu);
+    const core::ThreadAllocator allocator(*perf_model_, alloc_config);
+    best = allocator.allocate(demands, preproc_per_gpu, contention);
+
+    const double worst_dif =
+        *std::max_element(best.t_dif.begin(), best.t_dif.end());
+    if (worst_dif < config_.allocator.tau) break;            // goal (1) reached
+    if (steal >= config_.max_preproc_steals) break;          // steal budget
+    if (preproc_per_gpu <= 1) break;                         // nothing left
+    // Would preprocessing become the bottleneck with one thread fewer?
+    Bytes worst_batch = 0;
+    std::uint32_t worst_samples = 0;
+    for (const auto& d : demands) {
+      if (d.bytes.total() > worst_batch) {
+        worst_batch = d.bytes.total();
+        worst_samples = d.samples;
+      }
+    }
+    const Seconds preproc_after = preproc_portfolio_->predict_batch_time(
+        preproc_per_gpu - 1, worst_batch, worst_samples);
+    if (preproc_after >= trainer_.t_train) break;  // §4.1: preproc must not bottleneck
+    --preproc_per_gpu;
+  }
+  for (std::size_t j = 0; j < best.threads.size(); ++j) {
+    decision.load_threads[j] = best.threads[j];
+  }
+  decision.preproc_threads_per_gpu = preproc_per_gpu;
+  return decision;
+}
+
+void TrainingSimulator::reuse_sweep(NodeState& node, std::uint32_t epoch, std::uint32_t h) {
+  const IterId now = sampler_->global_iter(epoch, h);
+  const std::uint32_t I = sampler_->iterations_per_epoch();
+  // "after iteration h has finished, we can check the next reuse distance of
+  // each training sample d_k in B^h" (§4.4).
+  for (const SampleId s : sampler_->node_batch(epoch, h, node.id)) {
+    if (!node.cache->peek(s)) continue;
+    // Reuse count policy: no further uses on this node -> evict, unless this
+    // is the group's last copy of a sample some node still needs.
+    const std::uint32_t remaining = oracle_->remaining_uses_on_node(s, node.id, now);
+    if (remaining == 0) {
+      const bool last_needed_copy = directory_ != nullptr &&
+                                    directory_->sole_holder(s, node.id) &&
+                                    oracle_->needed_by_other_node(s, node.id, now);
+      if (!last_needed_copy) {
+        node.cache->evict(s);
+        if (plan_iter_ != nullptr) plan_iter_->nodes[node.id].evictions.push_back(s);
+        continue;
+      }
+    }
+    // Reuse distance policy: next use beyond 2I - h -> not needed next epoch.
+    const IterId distance = oracle_->reuse_distance_on_node(s, node.id, now);
+    if (distance != kNeverIter && distance > static_cast<IterId>(2 * I - h)) {
+      node.cache->evict(s);
+      if (plan_iter_ != nullptr) plan_iter_->nodes[node.id].evictions.push_back(s);
+    }
+  }
+}
+
+void TrainingSimulator::prefetch(NodeState& node, std::uint32_t epoch, std::uint32_t h,
+                                 Seconds iteration_duration, const storage::TierBytes& demand,
+                                 double total_load_threads) {
+  if (prefetcher_ == nullptr || iteration_duration <= 0.0) return;
+  const auto& params = storage_->params();
+  // Staging runs in the background for the whole iteration using the
+  // strategy's own loading threads (DALI's 3 threads stage slower than a
+  // 16-worker DataLoader), bounded by the node's PFS share. The capacity
+  // over `iteration_duration`, minus what this iteration's demand fetches
+  // already consumed on the same path, is available to stage future
+  // samples. Staging is bandwidth-bound, so thread counts past the curve's
+  // knee add nothing. The peer-cache path is budgeted separately — it only
+  // helps for samples some peer actually holds.
+  const double derate =
+      config_.prefetch_bandwidth_fraction * config_.strategy.staging_efficiency;
+  const double cluster_share =
+      params.pfs_cluster_bps / static_cast<double>(config_.preset.cluster.nodes);
+  const double staging_threads =
+      std::min(total_load_threads, static_cast<double>(params.pfs.knee_threads()));
+  const double pfs_bw =
+      std::min(params.pfs.aggregate_bps(staging_threads), cluster_share) * derate;
+  const double pfs_capacity =
+      std::max(0.0, iteration_duration * pfs_bw - static_cast<double>(demand.pfs));
+
+  double remote_capacity = 0.0;
+  if (config_.strategy.distributed_cache && config_.preset.cluster.nodes > 1) {
+    const double remote_bw = 0.5 * params.remote.peak_bps() * derate;
+    remote_capacity =
+        std::max(0.0, iteration_duration * remote_bw - static_cast<double>(demand.remote));
+  }
+  if (pfs_capacity <= 0.0 && remote_capacity <= 0.0) return;
+
+  const auto plan = prefetcher_->plan(node.id, epoch, h, *node.cache, directory_.get(),
+                                      static_cast<Bytes>(remote_capacity),
+                                      static_cast<Bytes>(pfs_capacity), config_.preset.epochs);
+  const IterId now = sampler_->global_iter(epoch, h);
+  for (const auto& candidate : plan.fetches) {
+    const IterId reuse = candidate.first_use > now ? candidate.first_use - now : 0;
+    node.cache->insert(candidate.sample, now, reuse);
+    if (plan_iter_ != nullptr) plan_iter_->nodes[node.id].prefetches.push_back(candidate.sample);
+  }
+}
+
+SimulationResult TrainingSimulator::run() {
+  const auto& preset = config_.preset;
+  const std::uint16_t gpus = preset.cluster.gpus_per_node;
+  const std::uint32_t total_gpus = preset.cluster.total_gpus();
+  const std::uint32_t I = sampler_->iterations_per_epoch();
+
+  RunMetrics metrics(preset.epochs, I, total_gpus, config_.detail_epoch_lo,
+                     config_.detail_epoch_hi);
+
+  if (config_.record_plan != nullptr) {
+    auto& plan = *config_.record_plan;
+    plan.cluster_nodes = preset.cluster.nodes;
+    plan.gpus_per_node = preset.cluster.gpus_per_node;
+    plan.epochs = preset.epochs;
+    plan.iterations_per_epoch = I;
+    plan.batch_size = preset.batch_size;
+    plan.seed = preset.seed;
+    plan.iterations.clear();
+    plan.iterations.reserve(static_cast<std::size_t>(preset.epochs) * I);
+  }
+
+  std::uint64_t samples_done = 0;
+
+  for (std::uint32_t epoch = 0; epoch < preset.epochs; ++epoch) {
+    oracle_->rebase(epoch);
+    for (auto& node : nodes_) node->cache->on_epoch(sampler_->global_iter(epoch, 0));
+
+    for (std::uint32_t h = 0; h < I; ++h) {
+      const IterId now = sampler_->global_iter(epoch, h);
+      IterationRecord record;
+      record.iter = now;
+      record.epoch = epoch;
+      record.gpus.resize(total_gpus);
+
+      if (config_.record_plan != nullptr) {
+        config_.record_plan->iterations.emplace_back();
+        plan_iter_ = &config_.record_plan->iterations.back();
+        plan_iter_->iter = now;
+        plan_iter_->nodes.resize(nodes_.size());
+      }
+
+      // ---- 1. classification + cache fill, per node
+      std::vector<std::vector<core::GpuDemand>> demands(nodes_.size());
+      std::vector<std::vector<std::vector<sim::Fetch>>> fetch_lists;
+      if (config_.des_loading) {
+        fetch_lists.assign(nodes_.size(), std::vector<std::vector<sim::Fetch>>(gpus));
+      }
+      for (auto& node : nodes_) {
+        demands[node->id] = classify_and_fetch(
+            *node, epoch, h, record.gpus,
+            config_.des_loading ? &fetch_lists[node->id] : nullptr);
+      }
+
+      // ---- 2. contention census
+      storage::Contention base;
+      base.pfs_readers_cluster = 0;
+      std::vector<storage::Contention> node_contention(nodes_.size());
+      for (auto& node : nodes_) {
+        auto& c = node_contention[node->id];
+        c.local_readers_node = c.ssd_readers_node = c.remote_readers_node = 0;
+        c.pfs_readers_node = 0;
+        for (const auto& d : demands[node->id]) {
+          if (d.bytes.local > 0) ++c.local_readers_node;
+          if (d.bytes.ssd > 0) ++c.ssd_readers_node;
+          if (d.bytes.remote > 0) ++c.remote_readers_node;
+          if (d.bytes.pfs > 0) {
+            ++c.pfs_readers_node;
+            ++base.pfs_readers_cluster;
+          }
+        }
+      }
+      for (auto& c : node_contention) {
+        c.pfs_readers_cluster = std::max<std::uint32_t>(base.pfs_readers_cluster, 1);
+        c.local_readers_node = std::max<std::uint32_t>(c.local_readers_node, 1);
+        c.ssd_readers_node = std::max<std::uint32_t>(c.ssd_readers_node, 1);
+        c.remote_readers_node = std::max<std::uint32_t>(c.remote_readers_node, 1);
+        c.pfs_readers_node = std::max<std::uint32_t>(c.pfs_readers_node, 1);
+      }
+
+      // ---- 3. per-node thread decisions + ground-truth stage times
+      Seconds t_max = 0.0;
+      Seconds t_min = std::numeric_limits<Seconds>::infinity();
+      bool loading_bottleneck = false;
+
+      for (auto& node : nodes_) {
+        const auto& contention = node_contention[node->id];
+        const auto decision = decide_threads(*node, demands[node->id], contention);
+
+        // DES loading mode: emergent per-GPU load times from the fetch
+        // replay (shared tier resources) replace the Eq. 1 pricing below.
+        sim::ReplayResult replay;
+        if (config_.des_loading) {
+          std::vector<sim::GpuWork> work(gpus);
+          for (GpuId g = 0; g < gpus; ++g) {
+            work[g].fetches = std::move(fetch_lists[node->id][g]);
+            work[g].threads =
+                std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                               decision.load_threads[g] + 0.5));
+          }
+          replay = sim::replay_node_iteration(work, storage_->params(),
+                                              contention.pfs_readers_cluster);
+        }
+        if (plan_iter_ != nullptr) {
+          auto& node_plan = plan_iter_->nodes[node->id];
+          node_plan.preproc_threads =
+              static_cast<std::uint32_t>(decision.preproc_threads_per_gpu + 0.5);
+          node_plan.load_threads.assign(decision.load_threads.size(), 0);
+          for (std::size_t j = 0; j < decision.load_threads.size(); ++j) {
+            node_plan.load_threads[j] =
+                std::max<std::uint32_t>(1, static_cast<std::uint32_t>(decision.load_threads[j] + 0.5));
+          }
+        }
+
+        double load_sum = 0.0;
+        Seconds max_pipeline = 0.0;
+        const bool burst =
+            pfs_burst(preset.seed, now, node->id, preset.noise.burst_probability);
+
+        for (GpuId g = 0; g < gpus; ++g) {
+          auto& gpu_record = record.gpus[flat_gpu_rank({node->id, g}, gpus)];
+          const auto& demand = demands[node->id][g];
+          const double threads = decision.load_threads[g];
+          load_sum += threads;
+
+          auto breakdown = storage_->load_time_breakdown(
+              demand.bytes, storage::ThreadAlloc::uniform(threads), contention);
+          const double noise =
+              io_noise(preset.seed, now, node->id, g, preset.noise.io_sigma);
+          const double numa = numa_factor();
+          breakdown.local *= numa;
+          Seconds load;
+          if (config_.des_loading) {
+            // Emergent base time; noise/bursts scale the network-bound share.
+            const Seconds base = replay.gpu_load_time[g];
+            const Bytes slow_bytes = demand.bytes.remote + demand.bytes.pfs;
+            const double slow_fraction =
+                demand.bytes.total() > 0
+                    ? static_cast<double>(slow_bytes) / static_cast<double>(demand.bytes.total())
+                    : 0.0;
+            double factor = 1.0 + slow_fraction * (noise - 1.0);
+            if (burst) factor *= 1.0 + slow_fraction * (preset.noise.burst_multiplier - 1.0);
+            load = base * factor;
+          } else {
+            load = breakdown.local + breakdown.ssd +
+                   (breakdown.remote + breakdown.pfs) * noise;
+            if (burst) {
+              load = breakdown.local + breakdown.ssd +
+                     (breakdown.remote + breakdown.pfs) * noise * preset.noise.burst_multiplier;
+            }
+          }
+          const double preproc_noise =
+              io_noise(preset.seed, now, node->id, g + 1024, preset.noise.preproc_sigma);
+          const bool on_gpu = config_.strategy.gpu_preprocessing;
+          const Seconds preproc =
+              (on_gpu ? preproc_truth_->gpu_batch_time(demand.bytes.total(), demand.samples)
+                      : preproc_truth_->batch_time(decision.preproc_threads_per_gpu,
+                                                   demand.bytes.total(), demand.samples) *
+                            numa) *
+              preproc_noise;
+          Seconds train = trainer_.iteration_time(preset.seed, now, node->id, g);
+          // GPU-side preprocessing serializes with the forward/backward pass
+          // on the same device, so it stretches the training stage instead
+          // of the CPU pipeline.
+          if (on_gpu) train += preproc;
+
+          gpu_record.load = load;
+          gpu_record.preproc = preproc;
+          gpu_record.train = train;
+          gpu_record.load_threads = threads;
+          gpu_record.preproc_threads = decision.preproc_threads_per_gpu;
+
+          const Seconds pipeline = on_gpu ? load : load + preproc;
+          const Seconds gpu_time = std::max(pipeline, train);
+          if (pipeline > train) loading_bottleneck = true;
+          t_max = std::max(t_max, gpu_time);
+          t_min = std::min(t_min, gpu_time);
+          max_pipeline = std::max(max_pipeline, pipeline);
+          samples_done += demand.samples;
+        }
+        node->last_max_pipeline = max_pipeline;
+        node->last_load_threads = load_sum;
+        thread_usage_load_ += load_sum;
+        thread_usage_preproc_ +=
+            decision.preproc_threads_per_gpu * static_cast<double>(gpus);
+        ++thread_usage_samples_;
+      }
+
+      // ---- 4. all-reduce barrier across the cluster
+      record.duration = t_max;
+      record.t_max = t_max;
+      record.t_min = t_min;
+      record.imbalanced = (t_max - t_min) > preset.imbalance_threshold * record.duration;
+      record.loading_bottleneck = loading_bottleneck;
+      for (auto& gpu_record : record.gpus) {
+        gpu_record.idle = record.duration - gpu_record.train;
+      }
+
+      // ---- 5. post-iteration cache maintenance + prefetching
+      for (auto& node : nodes_) {
+        node->cache->unpin_all();
+        if (config_.strategy.reuse_sweep) reuse_sweep(*node, epoch, h);
+        storage::TierBytes fetched;
+        for (const auto& d : demands[node->id]) {
+          fetched.remote += d.bytes.remote;
+          fetched.pfs += d.bytes.pfs;
+        }
+        prefetch(*node, epoch, h, record.duration, fetched, node->last_load_threads);
+      }
+
+      metrics.add(std::move(record));
+    }
+  }
+
+  SimulationResult result{std::move(metrics), {}, {}, I, 0.0, 0.0, 0.0};
+  for (const auto& node : nodes_) {
+    result.node_cache_stats.push_back(node->cache->memory_stats());
+    result.node_ssd_stats.push_back(node->cache->ssd_stats());
+  }
+  result.metrics.set_cache_stats(result.node_cache_stats);
+  if (result.metrics.total_time() > 0.0) {
+    result.samples_per_second =
+        static_cast<double>(samples_done) / result.metrics.total_time();
+  }
+  if (thread_usage_samples_ > 0) {
+    result.mean_load_threads =
+        thread_usage_load_ / static_cast<double>(thread_usage_samples_);
+    result.mean_preproc_threads =
+        thread_usage_preproc_ / static_cast<double>(thread_usage_samples_);
+  }
+  return result;
+}
+
+SimulationResult simulate(const ExperimentPreset& preset, const LoaderStrategy& strategy,
+                          std::uint32_t detail_epoch_lo, std::uint32_t detail_epoch_hi) {
+  SimulationConfig config;
+  config.preset = preset;
+  config.strategy = strategy;
+  config.detail_epoch_lo = detail_epoch_lo;
+  config.detail_epoch_hi = detail_epoch_hi;
+  TrainingSimulator simulator(std::move(config));
+  return simulator.run();
+}
+
+}  // namespace lobster::pipeline

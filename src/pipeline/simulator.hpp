@@ -1,0 +1,167 @@
+// The training-pipeline simulator.
+//
+// Replays data-parallel DNN training over the simulated cluster at
+// iteration granularity, with the full storage hierarchy, distributed
+// cache, prefetching and thread-management machinery in the loop:
+//
+//   for every iteration h and node i:
+//     1. classify each GPU's mini-batch against the node cache and the
+//        cluster directory (local / remote / PFS) and fetch the misses
+//        into the cache (evicting via the strategy's policy);
+//     2. allocate loading + preprocessing threads per the strategy —
+//        fixed splits for the baselines; the knee-seeking preprocessing
+//        allocation, Algorithm 1 loading allocation, and preprocessing→
+//        loading thread stealing (§4.1 step 2) for Lobster;
+//     3. obtain ground-truth stage durations from the storage and
+//        preprocessing models *with* stochastic I/O noise and node-level
+//        PFS bursts (Lobster planned on noise-free predictions, so residual
+//        imbalance survives, as in the paper's §5.3);
+//     4. synchronize all N×M GPUs on the all-reduce barrier; record
+//        per-GPU idle time, imbalance, bottleneck attribution;
+//     5. run the strategy's post-iteration cache maintenance: Lobster's
+//        reuse-count / reuse-distance eviction sweep, then deterministic
+//        prefetching into the spare capacity and spare loading time.
+//
+// Everything is deterministic in (preset.seed, strategy): noise streams are
+// keyed by (iteration, node, gpu).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/strategies.hpp"
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/prefetcher.hpp"
+#include "core/perf_model.hpp"
+#include "core/preproc_model.hpp"
+#include "core/thread_allocator.hpp"
+#include "data/dataset.hpp"
+#include "data/oracle.hpp"
+#include "data/trace.hpp"
+#include "sim/fetch_replay.hpp"
+#include "data/sampler.hpp"
+#include "pipeline/calibration.hpp"
+#include "pipeline/metrics.hpp"
+#include "pipeline/trainer_model.hpp"
+#include "runtime/plan.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::pipeline {
+
+struct SimulationConfig {
+  ExperimentPreset preset;
+  baselines::LoaderStrategy strategy;
+  /// Epoch window [lo, hi) for which detailed per-GPU records are retained.
+  std::uint32_t detail_epoch_lo = 0;
+  std::uint32_t detail_epoch_hi = 0;
+  /// Algorithm 1 parameters (total_load_threads is set per iteration by the
+  /// simulator; tau and the rest apply as given).
+  core::AllocatorConfig allocator;
+  /// Oracle lookahead in epochs (>= 3 covers the reuse-distance policy's
+  /// 2·I horizon).
+  std::uint32_t oracle_window_epochs = 3;
+  /// Fraction of the node's PFS/remote capacity usable for background
+  /// prefetching during spare pipeline time.
+  double prefetch_bandwidth_fraction = 0.8;
+  /// Max §4.1-step-2 preprocessing→loading thread steals per iteration.
+  std::uint32_t max_preproc_steals = 4;
+  /// When non-null, the run records every thread/prefetch/eviction decision
+  /// here — the offline planning mode of §4.5.
+  runtime::Plan* record_plan = nullptr;
+  /// When non-null, every sample access is appended with the tier that
+  /// served it (the §3 motivation-study instrumentation).
+  data::AccessTrace* record_trace = nullptr;
+  /// Ground-truth loading times from the discrete-event fetch replay instead
+  /// of the closed-form Eq. 1. Lobster's *decisions* still use the analytic
+  /// model either way — this separates the planner's model from the
+  /// simulated reality (slower; ~per-sample event costs).
+  bool des_loading = false;
+};
+
+struct SimulationResult {
+  RunMetrics metrics;
+  std::vector<cache::CacheStats> node_cache_stats;  ///< DRAM tier
+  std::vector<cache::CacheStats> node_ssd_stats;    ///< SSD tier (zeros when off)
+  std::uint32_t iterations_per_epoch = 0;
+  double samples_per_second = 0.0;
+  /// Mean loading threads per node actually used (diagnostics).
+  double mean_load_threads = 0.0;
+  double mean_preproc_threads = 0.0;
+};
+
+class TrainingSimulator {
+ public:
+  explicit TrainingSimulator(SimulationConfig config);
+  ~TrainingSimulator();
+
+  TrainingSimulator(const TrainingSimulator&) = delete;
+  TrainingSimulator& operator=(const TrainingSimulator&) = delete;
+
+  /// Runs the configured number of epochs and returns all metrics.
+  SimulationResult run();
+
+  const data::SampleCatalog& catalog() const noexcept { return *catalog_; }
+  const data::EpochSampler& sampler() const noexcept { return *sampler_; }
+
+ private:
+  struct NodeState;
+
+  /// Per-GPU tier classification + cache fill for one node-iteration.
+  /// When `fetch_lists` is non-null (DES loading mode), the per-sample
+  /// (bytes, tier) fetch list of each GPU is recorded there.
+  std::vector<core::GpuDemand> classify_and_fetch(NodeState& node, std::uint32_t epoch,
+                                                  std::uint32_t h,
+                                                  std::vector<GpuIterRecord>& records,
+                                                  std::vector<std::vector<sim::Fetch>>* fetch_lists);
+
+  /// Thread allocation for one node under the configured strategy.
+  struct ThreadDecision {
+    std::vector<double> load_threads;  ///< per GPU
+    double preproc_threads_per_gpu = 1.0;
+  };
+  ThreadDecision decide_threads(NodeState& node, const std::vector<core::GpuDemand>& demands,
+                                const storage::Contention& contention);
+
+  /// Lobster's post-iteration reuse-count / reuse-distance sweep.
+  void reuse_sweep(NodeState& node, std::uint32_t epoch, std::uint32_t h);
+
+  /// Slowdown multiplier for local reads / preprocessing when the strategy
+  /// is not NUMA-aware (§5.2(b)).
+  double numa_factor() const noexcept;
+
+  /// Deterministic prefetching: background staging with the node I/O
+  /// capacity left over after this iteration's demand fetches, using the
+  /// strategy's own loading threads.
+  void prefetch(NodeState& node, std::uint32_t epoch, std::uint32_t h,
+                Seconds iteration_duration, const storage::TierBytes& demand,
+                double total_load_threads);
+
+  SimulationConfig config_;
+  std::unique_ptr<data::SampleCatalog> catalog_;
+  std::unique_ptr<data::EpochSampler> sampler_;
+  std::unique_ptr<data::FutureAccessOracle> oracle_;
+  std::unique_ptr<cache::CacheDirectory> directory_;
+  std::unique_ptr<storage::StorageModel> storage_;
+  std::unique_ptr<core::PreprocGroundTruth> preproc_truth_;
+  std::unique_ptr<core::PreprocModelPortfolio> preproc_portfolio_;
+  std::unique_ptr<core::PerfModel> perf_model_;
+  std::unique_ptr<cache::Prefetcher> prefetcher_;
+  TrainerModel trainer_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  std::uint32_t knee_preproc_threads_ = 1;
+  runtime::IterationPlan* plan_iter_ = nullptr;  ///< recording hook (may be null)
+  double thread_usage_load_ = 0.0;
+  double thread_usage_preproc_ = 0.0;
+  std::uint64_t thread_usage_samples_ = 0;
+};
+
+/// Convenience: run one (preset, strategy) pair with default simulator
+/// settings and return the result.
+SimulationResult simulate(const ExperimentPreset& preset,
+                          const baselines::LoaderStrategy& strategy,
+                          std::uint32_t detail_epoch_lo = 0, std::uint32_t detail_epoch_hi = 0);
+
+}  // namespace lobster::pipeline

@@ -1,0 +1,51 @@
+#include "pipeline/trainer_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace lobster::pipeline {
+
+namespace {
+// Batch-32 per-iteration times on an A100-class GPU (mixed precision),
+// calibrated from public MLPerf-style throughput numbers. Small models
+// (ShuffleNet, SqueezeNet, ResNet32) train fast, which is exactly why the
+// paper finds eviction matters more for them (Fig. 11): the loading stage
+// has less training time to hide behind.
+struct ModelEntry {
+  const char* name;
+  Seconds t_train;
+};
+constexpr ModelEntry kModels[] = {
+    {"resnet50", 13.0e-3},  {"resnet32", 3.2e-3},  {"shufflenet", 4.6e-3},
+    {"alexnet", 4.0e-3},    {"squeezenet", 5.2e-3}, {"vgg11", 24.0e-3},
+};
+}  // namespace
+
+TrainerModel TrainerModel::by_name(const std::string& name) {
+  for (const auto& entry : kModels) {
+    if (name == entry.name) {
+      TrainerModel model;
+      model.name = entry.name;
+      model.t_train = entry.t_train;
+      return model;
+    }
+  }
+  throw std::invalid_argument("TrainerModel: unknown model '" + name + "'");
+}
+
+const std::vector<std::string>& TrainerModel::benchmark_names() {
+  static const std::vector<std::string> names = {"resnet50",  "resnet32",   "shufflenet",
+                                                 "alexnet",   "squeezenet", "vgg11"};
+  return names;
+}
+
+Seconds TrainerModel::iteration_time(std::uint64_t seed, IterId iter, NodeId node,
+                                     GpuId gpu) const {
+  Rng rng(derive_seed(seed, iter, static_cast<std::uint64_t>(node) << 16 | gpu, 0x7124A1ULL));
+  const double jitter = std::clamp(rng.normal(1.0, jitter_sigma), 0.9, 1.1);
+  return t_train * jitter;
+}
+
+}  // namespace lobster::pipeline

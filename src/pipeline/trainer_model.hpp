@@ -1,0 +1,35 @@
+// GPU training-stage model.
+//
+// The paper's performance model assumes the training stage duration T_train
+// is constant per model (§4.3); load imbalance enters through the all-reduce
+// barrier, which the simulator applies across all N×M GPUs. This module
+// carries per-DNN iteration times (batch 32 on an A100-class GPU) for the
+// six benchmark models of §5.1, plus a small jitter model (kernel launch /
+// clock variation) so training is not perfectly metronomic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::pipeline {
+
+struct TrainerModel {
+  std::string name;
+  Seconds t_train = 0.0;   ///< per-iteration forward+backward, batch 32
+  double jitter_sigma = 0.01;  ///< relative lognormal-ish jitter
+
+  /// Six models of §5.1. Throws std::invalid_argument on unknown names.
+  static TrainerModel by_name(const std::string& name);
+
+  /// All benchmark model names in the paper's order.
+  static const std::vector<std::string>& benchmark_names();
+
+  /// Training time for a specific (iter, node, gpu) with deterministic
+  /// jitter derived from `seed`.
+  Seconds iteration_time(std::uint64_t seed, IterId iter, NodeId node, GpuId gpu) const;
+};
+
+}  // namespace lobster::pipeline

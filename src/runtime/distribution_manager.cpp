@@ -1,0 +1,121 @@
+#include "runtime/distribution_manager.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace lobster::runtime {
+
+namespace {
+
+constexpr comm::Tag kFetchRequestTag = 0x0F00;
+constexpr comm::Tag kResponseTagBase = 0x80000000;
+
+struct FetchRequest {
+  std::uint32_t request_id;
+  SampleId sample;
+};
+
+struct ResponseHeader {
+  SampleId sample;
+  std::uint8_t found;
+};
+
+}  // namespace
+
+std::vector<std::byte> make_sample_payload(SampleId sample, Bytes size) {
+  std::vector<std::byte> payload(static_cast<std::size_t>(size));
+  std::size_t pattern_start = 0;
+  // Header authenticates both the id and the length, so truncated or padded
+  // payloads fail verification (not just corrupted ones).
+  if (payload.size() >= sizeof(SampleId)) {
+    std::memcpy(payload.data(), &sample, sizeof(SampleId));
+    pattern_start = sizeof(SampleId);
+  }
+  if (payload.size() >= sizeof(SampleId) + sizeof(std::uint64_t)) {
+    const std::uint64_t length = size;
+    std::memcpy(payload.data() + sizeof(SampleId), &length, sizeof(length));
+    pattern_start = sizeof(SampleId) + sizeof(std::uint64_t);
+  }
+  // Keyed pattern: cheap to generate and to verify at any offset.
+  std::uint64_t state = derive_seed(0xC0FFEEULL, sample);
+  for (std::size_t i = pattern_start; i < payload.size(); ++i) {
+    if (i % 8 == 0) state = splitmix64(state);
+    payload[i] = static_cast<std::byte>((state >> ((i % 8) * 8)) & 0xFF);
+  }
+  return payload;
+}
+
+bool verify_sample_payload(SampleId sample, const std::vector<std::byte>& payload) {
+  return payload == make_sample_payload(sample, payload.size());
+}
+
+DistributionManager::DistributionManager(comm::Endpoint& endpoint,
+                                         std::function<bool(SampleId)> has_sample,
+                                         std::function<Bytes(SampleId)> sample_size)
+    : endpoint_(endpoint),
+      has_sample_(std::move(has_sample)),
+      sample_size_(std::move(sample_size)) {}
+
+DistributionManager::~DistributionManager() { stop(); }
+
+void DistributionManager::start() {
+  if (running_.exchange(true)) return;
+  server_ = std::jthread([this] { serve_loop(); });
+}
+
+void DistributionManager::stop() {
+  if (!running_.exchange(false)) return;
+  // Poison request to our own server loop so it observes running_ == false.
+  FetchRequest poison{0, kInvalidSample};
+  std::vector<std::byte> bytes(sizeof(poison));
+  std::memcpy(bytes.data(), &poison, sizeof(poison));
+  endpoint_.send(endpoint_.rank(), kFetchRequestTag, std::move(bytes));
+  if (server_.joinable()) server_.join();
+}
+
+void DistributionManager::serve_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto message = endpoint_.recv(kFetchRequestTag);
+    if (!message.has_value()) return;  // bus shutdown
+    const auto request = comm::Endpoint::value_of<FetchRequest>(*message);
+    if (request.sample == kInvalidSample) continue;  // poison; loop re-checks running_
+
+    ResponseHeader header{request.sample, 0};
+    std::vector<std::byte> response(sizeof(header));
+    if (has_sample_ && has_sample_(request.sample)) {
+      header.found = 1;
+      const Bytes size = sample_size_ ? sample_size_(request.sample) : 64;
+      auto payload = make_sample_payload(request.sample, size);
+      response.resize(sizeof(header) + payload.size());
+      std::memcpy(response.data() + sizeof(header), payload.data(), payload.size());
+      ++served_;
+    } else {
+      ++failed_;
+    }
+    std::memcpy(response.data(), &header, sizeof(header));
+    endpoint_.send(message->source, kResponseTagBase + request.request_id, std::move(response));
+  }
+}
+
+std::optional<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample,
+                                                                        comm::Rank holder) {
+  const std::uint32_t request_id = next_request_id_.fetch_add(1);
+  FetchRequest request{request_id, sample};
+  std::vector<std::byte> bytes(sizeof(request));
+  std::memcpy(bytes.data(), &request, sizeof(request));
+  if (!endpoint_.send(holder, kFetchRequestTag, std::move(bytes))) return std::nullopt;
+
+  auto response = endpoint_.recv(kResponseTagBase + request_id);
+  if (!response.has_value()) return std::nullopt;
+  ResponseHeader header{};
+  std::memcpy(&header, response->payload.data(),
+              std::min(sizeof(header), response->payload.size()));
+  if (header.found == 0) return std::nullopt;
+  std::vector<std::byte> payload(response->payload.begin() + sizeof(header),
+                                 response->payload.end());
+  if (!verify_sample_payload(sample, payload)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace lobster::runtime

@@ -1,0 +1,73 @@
+// Distribution manager (§4.5).
+//
+// "A key part of the online runtime is the distribution manager,
+// responsible to handle the distributed operations across the compute nodes
+// using MPI. These operations provide locally cached training samples to
+// and request training samples from the remote compute nodes."
+//
+// One DistributionManager runs per node over the comm bus: a server thread
+// answers peers' fetch requests from the node's local store; fetch_remote()
+// performs a blocking request/response round-trip. Sample payloads are
+// synthesized deterministically from the sample id, so receivers can verify
+// integrity end to end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "comm/bus.hpp"
+#include "common/types.hpp"
+
+namespace lobster::runtime {
+
+/// Deterministic synthetic payload for a sample (first bytes carry the id
+/// and a checksum; the rest is a keyed byte pattern).
+std::vector<std::byte> make_sample_payload(SampleId sample, Bytes size);
+
+/// Validates a payload produced by make_sample_payload.
+bool verify_sample_payload(SampleId sample, const std::vector<std::byte>& payload);
+
+class DistributionManager {
+ public:
+  /// `has_sample` answers whether this node currently caches a sample;
+  /// `sample_size` gives its payload size. Both must be thread-safe.
+  DistributionManager(comm::Endpoint& endpoint,
+                      std::function<bool(SampleId)> has_sample,
+                      std::function<Bytes(SampleId)> sample_size);
+  ~DistributionManager();
+
+  DistributionManager(const DistributionManager&) = delete;
+  DistributionManager& operator=(const DistributionManager&) = delete;
+
+  /// Starts the server thread answering peers' requests.
+  void start();
+
+  /// Stops serving (idempotent). The comm bus must still be alive.
+  void stop();
+
+  /// Blocking fetch of `sample` from `holder`'s cache. Returns the verified
+  /// payload, or nullopt if the peer no longer holds the sample (raced with
+  /// an eviction) or the bus shut down.
+  std::optional<std::vector<std::byte>> fetch_remote(SampleId sample, comm::Rank holder);
+
+  std::uint64_t served_requests() const noexcept { return served_.load(); }
+  std::uint64_t failed_requests() const noexcept { return failed_.load(); }
+
+ private:
+  void serve_loop();
+
+  comm::Endpoint& endpoint_;
+  std::function<bool(SampleId)> has_sample_;
+  std::function<Bytes(SampleId)> sample_size_;
+  std::jthread server_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint32_t> next_request_id_{1};
+};
+
+}  // namespace lobster::runtime

@@ -1,0 +1,232 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace lobster::runtime {
+
+PlanExecutor::PlanExecutor(ExecutorConfig config, const data::SampleCatalog& catalog,
+                           const data::EpochSampler& sampler, const Plan& plan,
+                           DistributionManager* manager)
+    : config_(config), catalog_(catalog), sampler_(sampler), plan_(plan), manager_(manager) {
+  if (plan_.empty()) throw std::invalid_argument("PlanExecutor: empty plan");
+  if (config_.node >= plan_.cluster_nodes) {
+    throw std::invalid_argument("PlanExecutor: node not covered by plan");
+  }
+}
+
+bool PlanExecutor::has_sample(SampleId sample) const {
+  const std::scoped_lock lock(store_mutex_);
+  return store_.contains(sample);
+}
+
+std::unordered_set<SampleId> PlanExecutor::resident_samples() const {
+  const std::scoped_lock lock(store_mutex_);
+  return store_;
+}
+
+void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& accounting,
+                                   IterationExecution& stats) {
+  (void)stats;
+  const Bytes size = request.bytes;
+  if (request.tier == FetchTier::kLocal) {
+    accounting.local_bytes += size;
+    ++accounting.local_hits;
+    return;
+  }
+
+  std::vector<std::byte> payload;
+  bool remote_served = false;
+  if (request.tier == FetchTier::kRemote && kv_store_ != nullptr) {
+    if (auto fetched = kv_store_->get(request.sample)) {
+      payload = std::move(*fetched);
+      remote_served = true;
+    }
+  }
+  if (!remote_served && request.tier == FetchTier::kRemote && manager_ != nullptr) {
+    // Ask each peer in turn; the first holder answers.
+    const auto world = plan_.cluster_nodes;
+    for (comm::Rank peer = 0; peer < world && !remote_served; ++peer) {
+      if (peer == config_.node) continue;
+      if (auto fetched = manager_->fetch_remote(request.sample, peer)) {
+        payload = std::move(*fetched);
+        remote_served = true;
+      }
+    }
+  }
+  if (remote_served) {
+    accounting.remote_bytes += size;
+    ++accounting.remote_fetches;
+  } else {
+    // PFS path: materialize the sample content locally.
+    payload = make_sample_payload(request.sample, size);
+    accounting.pfs_bytes += size;
+    ++accounting.pfs_fetches;
+  }
+
+  if (config_.verify_payloads && !verify_sample_payload(request.sample, payload)) {
+    const std::scoped_lock lock(stats_mutex_);
+    ++payload_failures_;
+  }
+  {
+    const std::scoped_lock lock(store_mutex_);
+    store_.insert(request.sample);
+  }
+  if (kv_store_ != nullptr && !remote_served) kv_store_->put(request.sample, std::move(payload));
+}
+
+ExecutionReport PlanExecutor::run() {
+  ExecutionReport report;
+  const std::uint16_t gpus = plan_.gpus_per_node;
+  const std::uint32_t I = plan_.iterations_per_epoch;
+
+  ThreadPool loading_pool(1);
+  ThreadPool preproc_pool(1);
+
+  for (const auto& iteration : plan_.iterations) {
+    const auto& node_plan = iteration.nodes.at(config_.node);
+    const auto epoch = static_cast<std::uint32_t>(iteration.iter / I);
+    const auto h = static_cast<std::uint32_t>(iteration.iter % I);
+
+    IterationExecution stats;
+    stats.iter = iteration.iter;
+
+    // ---- enforce the plan's thread assignment
+    const std::uint32_t load_threads_total = std::max<std::uint32_t>(
+        1, std::accumulate(node_plan.load_threads.begin(), node_plan.load_threads.end(), 0U));
+    loading_pool.resize(load_threads_total);
+    preproc_pool.resize(std::max<std::uint32_t>(1, node_plan.preproc_threads));
+    stats.load_pool_size = load_threads_total;
+    stats.preproc_pool_size = std::max<std::uint32_t>(1, node_plan.preproc_threads);
+
+    // ---- enqueue demand requests per GPU queue
+    GpuRequestQueues queues(gpus, config_.queue_capacity);
+    std::vector<GpuAccounting> accounting(gpus);
+    std::unordered_set<SampleId> delivered;
+    std::mutex delivered_mutex;
+
+    for (GpuId g = 0; g < gpus; ++g) {
+      for (const SampleId s : sampler_.minibatch(epoch, h, config_.node, g)) {
+        LoadRequest request;
+        request.sample = s;
+        request.bytes = catalog_.sample_bytes(s);
+        request.iter = iteration.iter;
+        request.gpu = g;
+        request.tier = has_sample(s) ? FetchTier::kLocal
+                       : (manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs);
+        queues.push(g, request);
+        ++stats.demand_requests;
+      }
+    }
+
+    // ---- drain queues with the planned per-queue thread counts. Each
+    // worker accumulates privately and merges once, so workers sharing a
+    // queue never race on the accounting.
+    std::mutex merge_mutex;
+    std::uint64_t duplicates = 0;
+    std::vector<std::future<void>> futures;
+    for (GpuId g = 0; g < gpus; ++g) {
+      const std::uint32_t per_queue =
+          g < node_plan.load_threads.size() ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
+                                            : 1;
+      for (std::uint32_t t = 0; t < per_queue; ++t) {
+        futures.push_back(loading_pool.submit([this, g, &queues, &accounting, &stats, &delivered,
+                                               &delivered_mutex, &merge_mutex, &duplicates] {
+          GpuAccounting local;
+          std::uint64_t my_duplicates = 0;
+          while (auto request = queues.try_pop(g)) {
+            {
+              const std::scoped_lock lock(delivered_mutex);
+              if (!delivered.insert(request->sample).second) ++my_duplicates;
+            }
+            execute_request(*request, local, stats);
+          }
+          const std::scoped_lock lock(merge_mutex);
+          duplicates += my_duplicates;
+          accounting[g].local_bytes += local.local_bytes;
+          accounting[g].remote_bytes += local.remote_bytes;
+          accounting[g].pfs_bytes += local.pfs_bytes;
+          accounting[g].local_hits += local.local_hits;
+          accounting[g].remote_fetches += local.remote_fetches;
+          accounting[g].pfs_fetches += local.pfs_fetches;
+        }));
+      }
+    }
+    for (auto& f : futures) f.get();
+    report.duplicate_deliveries += duplicates;
+
+    // ---- preprocessing: one batch task per GPU on the preprocessing pool
+    std::vector<std::future<void>> preproc_futures;
+    std::atomic<std::uint64_t> preproc_checksum{0};
+    for (GpuId g = 0; g < gpus; ++g) {
+      preproc_futures.push_back(preproc_pool.submit([g, &preproc_checksum] {
+        // Token CPU work standing in for decode+augment.
+        std::uint64_t acc = g;
+        for (int i = 0; i < 256; ++i) acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+        preproc_checksum.fetch_add(acc, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& f : preproc_futures) f.get();
+
+    // ---- virtual-time accounting
+    Seconds load_max = 0.0;
+    Seconds preproc_max = 0.0;
+    Bytes node_bytes = 0;
+    for (GpuId g = 0; g < gpus; ++g) {
+      const auto& acct = accounting[g];
+      const double threads = g < node_plan.load_threads.size()
+                                 ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
+                                 : 1.0;
+      const Seconds load = (static_cast<double>(acct.local_bytes) / config_.local_bps +
+                            static_cast<double>(acct.remote_bytes) / config_.remote_bps +
+                            static_cast<double>(acct.pfs_bytes) / config_.pfs_bps) /
+                           threads;
+      load_max = std::max(load_max, load);
+      const Bytes gpu_bytes = acct.local_bytes + acct.remote_bytes + acct.pfs_bytes;
+      node_bytes += gpu_bytes;
+      const Seconds preproc =
+          static_cast<double>(gpu_bytes) /
+          (config_.preproc_bps * std::max<std::uint32_t>(node_plan.preproc_threads, 1));
+      preproc_max = std::max(preproc_max, preproc);
+      stats.local_hits += acct.local_hits;
+      stats.remote_fetches += acct.remote_fetches;
+      stats.pfs_fetches += acct.pfs_fetches;
+    }
+    stats.virtual_load = load_max;
+    stats.virtual_preproc = preproc_max;
+    stats.virtual_duration = std::max(config_.t_train, load_max + preproc_max);
+
+    report.samples_delivered += stats.demand_requests;
+    report.virtual_total += stats.virtual_duration;
+
+    // ---- plan-driven cache maintenance
+    {
+      const std::scoped_lock lock(store_mutex_);
+      for (const SampleId s : node_plan.evictions) store_.erase(s);
+    }
+    for (const SampleId s : node_plan.prefetches) {
+      LoadRequest request;
+      request.sample = s;
+      request.bytes = catalog_.sample_bytes(s);
+      request.iter = iteration.iter;
+      request.prefetch = true;
+      request.tier = manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs;
+      GpuAccounting prefetch_acct;
+      execute_request(request, prefetch_acct, stats);
+      ++stats.prefetch_requests;
+    }
+
+    report.iterations.push_back(stats);
+  }
+
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    report.payload_failures = payload_failures_;
+  }
+  return report;
+}
+
+}  // namespace lobster::runtime

@@ -1,0 +1,124 @@
+// Online plan executor (§4.5).
+//
+// Interprets a runtime::Plan for one node with *real* threads: per-GPU
+// request queues, a resizable loading pool whose size follows the plan's
+// per-iteration thread assignment, a preprocessing pool, plan-driven cache
+// maintenance (prefetches and evictions), and an optional distribution
+// manager for remote fetches. Payloads are materialized and verified
+// end-to-end, so the executor proves the enforcement machinery — queues,
+// pool resizing, distributed fetches, plan bookkeeping — delivers every
+// sample exactly once and in time.
+//
+// Stage timings are *accounted* in virtual time (bytes / tier rate) rather
+// than slept, so executor tests run in milliseconds; the performance story
+// lives in the pipeline simulator.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/kv_store.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "runtime/distribution_manager.hpp"
+#include "runtime/plan.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace lobster::runtime {
+
+struct ExecutorConfig {
+  NodeId node = 0;
+  std::size_t queue_capacity = 4096;
+  /// Virtual fetch rates (bytes/s) per tier and preprocessing rate.
+  double local_bps = 10e9;
+  double remote_bps = 2.0e9;
+  double pfs_bps = 0.8e9;
+  double preproc_bps = 0.9e9;
+  Seconds t_train = 13e-3;
+  /// Verify each fetched payload (integrity check; small CPU cost).
+  bool verify_payloads = true;
+};
+
+struct IterationExecution {
+  IterId iter = 0;
+  std::uint32_t load_pool_size = 0;     ///< enforced loading threads
+  std::uint32_t preproc_pool_size = 0;  ///< enforced preprocessing threads
+  std::uint32_t demand_requests = 0;
+  std::uint32_t prefetch_requests = 0;
+  std::uint32_t local_hits = 0;
+  std::uint32_t remote_fetches = 0;
+  std::uint32_t pfs_fetches = 0;
+  Seconds virtual_load = 0.0;     ///< modeled max per-GPU loading time
+  Seconds virtual_preproc = 0.0;  ///< modeled max per-GPU preprocessing time
+  Seconds virtual_duration = 0.0; ///< max(t_train, load + preproc)
+};
+
+struct ExecutionReport {
+  std::vector<IterationExecution> iterations;
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t payload_failures = 0;
+  std::uint64_t duplicate_deliveries = 0;
+  Seconds virtual_total = 0.0;
+
+  bool clean() const noexcept { return payload_failures == 0 && duplicate_deliveries == 0; }
+};
+
+class PlanExecutor {
+ public:
+  /// `manager` (optional) serves remote fetches; without it remote-planned
+  /// samples fall back to the PFS path.
+  PlanExecutor(ExecutorConfig config, const data::SampleCatalog& catalog,
+               const data::EpochSampler& sampler, const Plan& plan,
+               DistributionManager* manager = nullptr);
+
+  /// Wires in the remote-fetch path (may be set after construction, before
+  /// run(), to break the executor <-> manager construction cycle).
+  void set_manager(DistributionManager* manager) noexcept { manager_ = manager; }
+
+  /// Alternative remote tier (§2): a cluster KV store keyed by sample id.
+  /// When set, remote fetches query the store first (before the manager),
+  /// and every fetched sample is published to it.
+  void set_kv_store(cache::KvStore* store) noexcept { kv_store_ = store; }
+
+  /// Executes every iteration of the plan for this node.
+  ExecutionReport run();
+
+  /// Residency set after the run (for invariant checks in tests).
+  std::unordered_set<SampleId> resident_samples() const;
+
+  /// True if `sample` is currently resident (thread-safe; used by the
+  /// distribution manager's has_sample callback).
+  bool has_sample(SampleId sample) const;
+
+ private:
+  struct GpuAccounting {
+    std::uint64_t local_bytes = 0;
+    std::uint64_t remote_bytes = 0;
+    std::uint64_t pfs_bytes = 0;
+    std::uint32_t local_hits = 0;
+    std::uint32_t remote_fetches = 0;
+    std::uint32_t pfs_fetches = 0;
+  };
+
+  void execute_request(const LoadRequest& request, GpuAccounting& accounting,
+                       IterationExecution& stats);
+
+  ExecutorConfig config_;
+  const data::SampleCatalog& catalog_;
+  const data::EpochSampler& sampler_;
+  const Plan& plan_;
+  DistributionManager* manager_;
+  cache::KvStore* kv_store_ = nullptr;
+
+  mutable std::mutex store_mutex_;
+  std::unordered_set<SampleId> store_;
+
+  std::mutex stats_mutex_;
+  std::uint64_t payload_failures_ = 0;
+};
+
+}  // namespace lobster::runtime

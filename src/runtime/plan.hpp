@@ -1,0 +1,53 @@
+// Execution plans: the contract between Lobster's two components (§4.5).
+//
+// The offline component (core/planner.hpp, built on the pipeline simulator)
+// produces a Plan: per iteration and node, the loading-thread assignment for
+// each GPU queue, the preprocessing thread count, the samples to prefetch
+// and the samples the reuse policies chose to evict. The online runtime
+// (runtime/executor.hpp) interprets the plan and enforces it with real
+// thread pools and request queues.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::runtime {
+
+/// One node's decisions for one iteration.
+struct NodeIterationPlan {
+  std::vector<std::uint32_t> load_threads;  ///< per GPU queue
+  std::uint32_t preproc_threads = 1;        ///< per GPU pipeline
+  std::vector<SampleId> prefetches;         ///< staged after this iteration
+  std::vector<SampleId> evictions;          ///< reuse-sweep victims
+};
+
+struct IterationPlan {
+  IterId iter = 0;
+  std::vector<NodeIterationPlan> nodes;
+};
+
+struct Plan {
+  std::uint16_t cluster_nodes = 0;
+  std::uint16_t gpus_per_node = 0;
+  std::uint32_t epochs = 0;
+  std::uint32_t iterations_per_epoch = 0;
+  std::uint32_t batch_size = 0;
+  std::uint64_t seed = 0;
+  std::vector<IterationPlan> iterations;  ///< epochs * iterations_per_epoch
+
+  bool empty() const noexcept { return iterations.empty(); }
+  std::size_t total_iterations() const noexcept { return iterations.size(); }
+
+  /// Total planned prefetch volume (diagnostics).
+  std::uint64_t total_prefetches() const noexcept {
+    std::uint64_t count = 0;
+    for (const auto& it : iterations) {
+      for (const auto& node : it.nodes) count += node.prefetches.size();
+    }
+    return count;
+  }
+};
+
+}  // namespace lobster::runtime

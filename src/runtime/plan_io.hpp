@@ -1,0 +1,41 @@
+// Plan serialization: the artifact Lobster's offline component hands to the
+// online runtime (§4.5). A compact little-endian binary format with a magic
+// header and version, so plans survive process (and machine) boundaries:
+//
+//   [magic u32][version u32][nodes u16][gpus u16]
+//   [epochs u32][iters_per_epoch u32][batch u32][seed u64][iteration count u64]
+//   then per iteration:
+//     [iter u64]
+//     per node: [preproc u32][#load u32][load...u32]
+//               [#prefetch u32][prefetch...u32][#evict u32][evict...u32]
+//
+// Readers validate the header, every length field against the remaining
+// buffer, and structural invariants (node count, per-GPU arrays), so a
+// truncated or corrupted file fails loudly instead of yielding a bogus plan.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/plan.hpp"
+
+namespace lobster::runtime {
+
+inline constexpr std::uint32_t kPlanMagic = 0x4C425354;  // "LBST"
+inline constexpr std::uint32_t kPlanVersion = 1;
+
+/// Serializes a plan to bytes.
+std::vector<std::byte> serialize_plan(const Plan& plan);
+
+/// Parses a serialized plan. Throws std::runtime_error with a specific
+/// message on any structural problem (bad magic, version, truncation,
+/// inconsistent dimensions).
+Plan deserialize_plan(const std::vector<std::byte>& bytes);
+
+/// File convenience wrappers. Throw std::runtime_error on I/O failure.
+void save_plan(const Plan& plan, const std::string& path);
+Plan load_plan(const std::string& path);
+
+}  // namespace lobster::runtime

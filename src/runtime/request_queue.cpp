@@ -1,0 +1,46 @@
+#include "runtime/request_queue.hpp"
+
+#include <stdexcept>
+
+namespace lobster::runtime {
+
+GpuRequestQueues::GpuRequestQueues(std::uint16_t gpus, std::size_t capacity_per_queue) {
+  if (gpus == 0) throw std::invalid_argument("GpuRequestQueues: need >= 1 GPU");
+  queues_.reserve(gpus);
+  for (std::uint16_t g = 0; g < gpus; ++g) {
+    queues_.push_back(std::make_unique<MpmcQueue<LoadRequest>>(capacity_per_queue));
+  }
+}
+
+MpmcQueue<LoadRequest>& GpuRequestQueues::queue(GpuId gpu) {
+  if (gpu >= queues_.size()) throw std::out_of_range("GpuRequestQueues: gpu out of range");
+  return *queues_[gpu];
+}
+
+const MpmcQueue<LoadRequest>& GpuRequestQueues::queue(GpuId gpu) const {
+  if (gpu >= queues_.size()) throw std::out_of_range("GpuRequestQueues: gpu out of range");
+  return *queues_[gpu];
+}
+
+bool GpuRequestQueues::push(GpuId gpu, LoadRequest request) {
+  return queue(gpu).push(request);
+}
+
+std::optional<LoadRequest> GpuRequestQueues::pop(GpuId gpu) { return queue(gpu).pop(); }
+
+std::optional<LoadRequest> GpuRequestQueues::try_pop(GpuId gpu) { return queue(gpu).try_pop(); }
+
+std::size_t GpuRequestQueues::depth(GpuId gpu) const { return queue(gpu).size(); }
+
+std::vector<std::size_t> GpuRequestQueues::depths() const {
+  std::vector<std::size_t> out;
+  out.reserve(queues_.size());
+  for (const auto& q : queues_) out.push_back(q->size());
+  return out;
+}
+
+void GpuRequestQueues::close_all() {
+  for (auto& q : queues_) q->close();
+}
+
+}  // namespace lobster::runtime

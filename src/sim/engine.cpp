@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace lobster::sim {
+
+EventId Engine::schedule_at(Seconds at, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument(strf("Engine: schedule_at(%g) is before now (%g)", at, now_));
+  }
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventId Engine::schedule_in(Seconds delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("Engine: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::step() {
+  if (!queue_.next_time().has_value()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++fired_;
+  fired.fn();
+  return true;
+}
+
+std::uint64_t Engine::run(Seconds until) {
+  std::uint64_t count = 0;
+  for (;;) {
+    const auto next = queue_.next_time();
+    if (!next.has_value() || *next > until) break;
+    step();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace lobster::sim

@@ -1,0 +1,50 @@
+// Discrete-event simulation engine: virtual clock + event dispatch.
+//
+// Single-threaded by design — determinism is the whole point. Resources
+// (sim/resource.hpp) and higher-level models schedule callbacks here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace lobster::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Seconds now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (must be >= now()).
+  EventId schedule_at(Seconds at, EventFn fn);
+
+  /// Schedules `fn` after a non-negative delay.
+  EventId schedule_in(Seconds delay, EventFn fn);
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Fires the next event; returns false when none remain.
+  bool step();
+
+  /// Runs until the queue empties or `until` is passed (events at exactly
+  /// `until` still fire). Returns the number of events fired.
+  std::uint64_t run(Seconds until = std::numeric_limits<Seconds>::infinity());
+
+  bool idle() { return !queue_.next_time().has_value(); }
+  std::size_t pending_events() const noexcept { return queue_.live_count(); }
+  std::uint64_t fired_events() const noexcept { return fired_; }
+
+ private:
+  EventQueue queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace lobster::sim

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lobster::sim {
+
+EventId EventQueue::schedule(Seconds at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+  cancelled_.insert(id);
+  return true;
+}
+
+std::optional<Seconds> EventQueue::next_time() {
+  skip_dead();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_dead();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move via const_cast is the standard
+  // workaround (the entry is removed immediately after).
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+}  // namespace lobster::sim

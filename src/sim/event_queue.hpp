@@ -1,0 +1,71 @@
+// Priority event queue for the discrete-event engine.
+//
+// Events are ordered by (time, sequence) so same-time events fire in
+// scheduling order — this keeps every simulation fully deterministic.
+// Cancellation is lazy: cancelled ids are skipped at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`; returns a handle for cancel().
+  EventId schedule(Seconds at, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already fired / was
+  /// cancelled / never existed.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  bool empty() const noexcept { return pending_.empty(); }
+
+  /// Time of the earliest live event; nullopt when empty.
+  std::optional<Seconds> next_time();
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    Seconds time = 0.0;
+    EventId id = kInvalidEvent;
+    EventFn fn;
+  };
+  Fired pop();
+
+  std::size_t live_count() const noexcept { return pending_.size(); }
+
+ private:
+  struct Entry {
+    Seconds time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void skip_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not fired, not cancelled
+  std::unordered_set<EventId> cancelled_;  // tombstones still in the heap
+  EventId next_id_ = 1;
+};
+
+}  // namespace lobster::sim

@@ -1,0 +1,52 @@
+// Discrete-event replay of one iteration's data-loading phase.
+//
+// The pipeline simulator prices a GPU's batch with the closed-form Eq. 1
+// (per-tier bytes over contended rates). This module computes the same
+// quantity *emergently*: each fetch becomes a job on a processor-sharing
+// Resource (one per tier per node, plus one cluster-wide PFS resource), and
+// each GPU runs `threads_j` concurrent workers that pull fetches from its
+// queue. Contention then arises from the actual overlap of transfers rather
+// than from an analytic cap — an independent cross-check of the analytic
+// model (see bench/val_des_vs_analytic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::sim {
+
+enum class FetchTier : std::uint8_t { kLocal, kSsd, kRemote, kPfs };
+
+struct Fetch {
+  Bytes bytes = 0;
+  FetchTier tier = FetchTier::kLocal;
+};
+
+/// One GPU's work list and worker parallelism for the replay.
+struct GpuWork {
+  std::vector<Fetch> fetches;
+  std::uint32_t threads = 1;
+};
+
+struct ReplayResult {
+  /// Completion time of each GPU's last fetch (0 for an empty list).
+  std::vector<Seconds> gpu_load_time;
+  /// Max over GPUs — the node's loading makespan.
+  Seconds node_makespan = 0.0;
+  /// Total DES events fired (diagnostics).
+  std::uint64_t events = 0;
+};
+
+/// Replays one node's iteration. Tier resources are sized from
+/// `storage_params`: local/ssd/remote resources get their curve's peak as
+/// aggregate capacity and single-stream rate as the per-job cap; the PFS
+/// resource is capped by min(node view peak, cluster share for
+/// `pfs_reader_nodes` concurrently-reading nodes).
+ReplayResult replay_node_iteration(const std::vector<GpuWork>& gpus,
+                                   const storage::StorageModel::Params& storage_params,
+                                   std::uint32_t pfs_reader_nodes = 1);
+
+}  // namespace lobster::sim

@@ -1,0 +1,108 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lobster::sim {
+
+namespace {
+// Completion tolerance: treat jobs within half a byte of done as done, so
+// floating-point residue never schedules zero-length events forever.
+constexpr double kDoneEpsilonBytes = 0.5;
+}  // namespace
+
+Resource::Resource(Engine& engine, std::string name, double capacity_bps, double per_stream_bps)
+    : engine_(engine),
+      name_(std::move(name)),
+      capacity_bps_(capacity_bps),
+      per_stream_bps_(per_stream_bps),
+      last_update_(engine.now()) {
+  if (capacity_bps <= 0.0) throw std::invalid_argument("Resource: capacity must be positive");
+  if (per_stream_bps <= 0.0) throw std::invalid_argument("Resource: per-stream cap must be positive");
+}
+
+double Resource::rate_for(std::size_t n) const noexcept {
+  if (n == 0) return 0.0;
+  return std::min(capacity_bps_ / static_cast<double>(n), per_stream_bps_);
+}
+
+JobId Resource::submit(Bytes bytes, JobCompletion on_done) {
+  settle();
+  const JobId id = next_id_++;
+  jobs_.emplace(id, Job{static_cast<double>(bytes), bytes, std::move(on_done)});
+  reschedule();
+  return id;
+}
+
+bool Resource::abort(JobId id) {
+  settle();
+  const bool erased = jobs_.erase(id) > 0;
+  if (erased) reschedule();
+  return erased;
+}
+
+void Resource::settle() {
+  const Seconds now = engine_.now();
+  const Seconds elapsed = now - last_update_;
+  if (elapsed > 0.0 && !jobs_.empty()) {
+    const double rate = rate_for(jobs_.size());
+    const double progressed = rate * elapsed;
+    for (auto& [id, job] : jobs_) {
+      job.remaining_bytes = std::max(0.0, job.remaining_bytes - progressed);
+    }
+    busy_accum_ += elapsed;
+  }
+  last_update_ = now;
+  complete_due_jobs();
+}
+
+void Resource::complete_due_jobs() {
+  // Collect first (completions may re-enter submit()).
+  struct Done {
+    JobId id;
+    Bytes bytes;
+    JobCompletion cb;
+  };
+  std::vector<Done> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining_bytes <= kDoneEpsilonBytes) {
+      done.push_back({it->first, it->second.total_bytes, std::move(it->second.on_done)});
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Deterministic order: completions sorted by job id.
+  std::sort(done.begin(), done.end(), [](const Done& a, const Done& b) { return a.id < b.id; });
+  const Seconds now = engine_.now();
+  for (auto& d : done) {
+    bytes_completed_ += d.bytes;
+    if (d.cb) d.cb(d.id, now);
+  }
+}
+
+void Resource::reschedule() {
+  if (pending_event_ != kInvalidEvent) {
+    engine_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+  if (jobs_.empty()) return;
+  const double rate = rate_for(jobs_.size());
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) min_remaining = std::min(min_remaining, job.remaining_bytes);
+  const Seconds eta = std::max(0.0, min_remaining) / rate;
+  pending_event_ = engine_.schedule_in(eta, [this] {
+    pending_event_ = kInvalidEvent;
+    settle();
+    reschedule();
+  });
+}
+
+Seconds Resource::busy_time() const noexcept {
+  Seconds total = busy_accum_;
+  if (!jobs_.empty()) total += engine_.now() - last_update_;
+  return total;
+}
+
+}  // namespace lobster::sim

@@ -1,0 +1,86 @@
+// Processor-sharing bandwidth resource for the discrete-event engine.
+//
+// Models a shared channel (PFS aggregate bandwidth, a node's NIC, a memory
+// controller): all active transfer jobs share `capacity` bytes/s equally,
+// with an optional per-stream throughput ceiling (a single Lustre stream or
+// TCP flow cannot use the whole aggregate even when alone). This yields
+// emergent contention — exactly the effect behind the paper's Observation 2
+// (bursty remote I/O when many nodes hit the PFS at once).
+//
+// Implementation: classic PS bookkeeping. Whenever the active set changes,
+// every job's remaining bytes are advanced by elapsed_time * current_rate,
+// then the next completion event is (re)scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace lobster::sim {
+
+using JobId = std::uint64_t;
+using JobCompletion = std::function<void(JobId, Seconds /*finish_time*/)>;
+
+class Resource {
+ public:
+  /// `capacity_bps`: aggregate bytes/s shared by all active jobs.
+  /// `per_stream_bps`: ceiling for a single job's rate (default: unlimited).
+  Resource(Engine& engine, std::string name, double capacity_bps,
+           double per_stream_bps = std::numeric_limits<double>::infinity());
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Starts a transfer of `bytes`; `on_done` fires (via the engine) when it
+  /// completes. Zero-byte jobs complete at the current time via an event.
+  JobId submit(Bytes bytes, JobCompletion on_done);
+
+  /// Aborts a job; its completion never fires. False if unknown/finished.
+  bool abort(JobId id);
+
+  std::size_t active_jobs() const noexcept { return jobs_.size(); }
+  const std::string& name() const noexcept { return name_; }
+  double capacity_bps() const noexcept { return capacity_bps_; }
+  double per_stream_bps() const noexcept { return per_stream_bps_; }
+
+  /// Instantaneous per-job rate with `n` active jobs.
+  double rate_for(std::size_t n) const noexcept;
+
+  /// Total bytes fully transferred through this resource so far.
+  Bytes bytes_completed() const noexcept { return bytes_completed_; }
+
+  /// Busy time integral (seconds during which >= 1 job was active), for
+  /// utilisation reporting.
+  Seconds busy_time() const noexcept;
+
+ private:
+  struct Job {
+    double remaining_bytes;
+    Bytes total_bytes;
+    JobCompletion on_done;
+  };
+
+  /// Advances all jobs to engine.now() and reschedules the completion event.
+  void settle();
+  void reschedule();
+  void complete_due_jobs();
+
+  Engine& engine_;
+  std::string name_;
+  double capacity_bps_;
+  double per_stream_bps_;
+
+  std::unordered_map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  Seconds last_update_ = 0.0;
+  EventId pending_event_ = kInvalidEvent;
+  Bytes bytes_completed_ = 0;
+  Seconds busy_accum_ = 0.0;
+};
+
+}  // namespace lobster::sim

@@ -1,0 +1,65 @@
+// Thread-count-dependent tier throughput curves: T_l(α), T_r(β), T_PFS(γ).
+//
+// The paper's performance model (Table 1, Eq. 1) treats each storage tier's
+// read throughput as a function of the number of concurrent I/O threads.
+// Empirically such curves ramp ~linearly, saturate at a knee, and can
+// *decline* past it (memory-bandwidth or lock contention — the same shape as
+// the preprocessing curve of Fig. 6). We model exactly that: a linear ramp
+// to `knee_threads`, a plateau, and an optional per-thread decline with a
+// floor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lobster::storage {
+
+class ThroughputCurve {
+ public:
+  /// `single_stream_bps` — aggregate throughput with one thread.
+  /// `peak_bps` — saturated aggregate throughput.
+  /// `decline_per_thread` — fraction of peak lost per thread beyond the knee.
+  /// `floor_fraction` — decline never goes below floor_fraction * peak.
+  ThroughputCurve(std::string name, double single_stream_bps, double peak_bps,
+                  double decline_per_thread = 0.0, double floor_fraction = 0.5);
+
+  /// Aggregate throughput (bytes/s) with `threads` concurrent readers.
+  /// Fractional thread counts model equal-share service of a small pool
+  /// across many queues (e.g. DALI's 3 loading threads serving 8 GPUs give
+  /// each GPU 0.375 "threads" of service). aggregate(0) == 0.
+  double aggregate_bps(double threads) const noexcept;
+
+  /// Per-thread throughput T(k) = aggregate(k) / k — the paper's notation.
+  double per_thread_bps(double threads) const noexcept;
+
+  /// Smallest thread count reaching >= 99% of the maximum aggregate.
+  std::uint32_t knee_threads() const noexcept { return knee_; }
+
+  const std::string& name() const noexcept { return name_; }
+  double single_stream_bps() const noexcept { return single_bps_; }
+  double peak_bps() const noexcept { return peak_bps_; }
+
+  // ---- presets (calibration values documented in pipeline/calibration.cpp)
+
+  /// Node-local DRAM cache reads.
+  static ThroughputCurve local_memory();
+  /// Remote node cache over the interconnect (one NIC's worth).
+  static ThroughputCurve remote_cache();
+  /// Node-local NVMe SSD staging tier (between DRAM and the network).
+  static ThroughputCurve local_ssd();
+  /// Parallel file system, per-node view: small random reads; modest
+  /// per-stream rate, saturates quickly, declines under heavy concurrency.
+  static ThroughputCurve pfs();
+
+ private:
+  std::string name_;
+  double single_bps_;
+  double peak_bps_;
+  double decline_per_thread_;
+  double floor_fraction_;
+  std::uint32_t knee_;
+};
+
+}  // namespace lobster::storage

@@ -1,0 +1,65 @@
+#include "storage/hierarchy.hpp"
+
+#include <algorithm>
+
+namespace lobster::storage {
+
+namespace {
+// Floor applied to thread shares: even a starved queue eventually gets
+// serviced, so a share below this still makes progress at the minimum rate.
+constexpr double kMinThreadShare = 0.05;
+
+double share(double total, std::uint32_t readers) noexcept {
+  return total / static_cast<double>(std::max<std::uint32_t>(readers, 1));
+}
+}  // namespace
+
+double StorageModel::local_bps(double alpha, const Contention& contention) const noexcept {
+  const double own = params_.local.aggregate_bps(std::max(alpha, kMinThreadShare));
+  return std::min(own, share(params_.local.peak_bps(), contention.local_readers_node));
+}
+
+double StorageModel::ssd_bps(double alpha, const Contention& contention) const noexcept {
+  const double own = params_.ssd.aggregate_bps(std::max(alpha, kMinThreadShare));
+  return std::min(own, share(params_.ssd.peak_bps(), contention.ssd_readers_node));
+}
+
+double StorageModel::remote_bps(double beta, const Contention& contention) const noexcept {
+  const double own = params_.remote.aggregate_bps(std::max(beta, kMinThreadShare));
+  return std::min(own, share(params_.remote.peak_bps(), contention.remote_readers_node));
+}
+
+double StorageModel::pfs_bps(double gamma, const Contention& contention) const noexcept {
+  const double own = params_.pfs.aggregate_bps(std::max(gamma, kMinThreadShare));
+  const double node_cap = share(params_.pfs.peak_bps(), contention.pfs_readers_node);
+  const double cluster_cap = share(params_.pfs_cluster_bps, contention.pfs_readers_cluster);
+  return std::min({own, node_cap, cluster_cap});
+}
+
+StorageModel::LoadTimeBreakdown StorageModel::load_time_breakdown(
+    const TierBytes& bytes, const ThreadAlloc& alloc, const Contention& contention) const {
+  LoadTimeBreakdown breakdown;
+  if (bytes.local > 0) {
+    breakdown.local = static_cast<double>(bytes.local) / local_bps(alloc.alpha, contention);
+  }
+  if (bytes.ssd > 0) {
+    breakdown.ssd =
+        params_.ssd_latency + static_cast<double>(bytes.ssd) / ssd_bps(alloc.alpha, contention);
+  }
+  if (bytes.remote > 0) {
+    breakdown.remote =
+        params_.remote_latency + static_cast<double>(bytes.remote) / remote_bps(alloc.beta, contention);
+  }
+  if (bytes.pfs > 0) {
+    breakdown.pfs =
+        params_.pfs_latency + static_cast<double>(bytes.pfs) / pfs_bps(alloc.gamma, contention);
+  }
+  return breakdown;
+}
+
+Seconds StorageModel::load_time(const TierBytes& bytes, const ThreadAlloc& alloc,
+                                const Contention& contention) const {
+  return load_time_breakdown(bytes, alloc, contention).total();
+}
+
+}  // namespace lobster::storage

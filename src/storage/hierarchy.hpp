@@ -1,0 +1,110 @@
+// Storage hierarchy model — the substrate behind Eq. 1.
+//
+// Resolves a per-GPU batch, already classified by tier (local cache hit /
+// remote node cache hit / PFS miss), to a data-loading duration given the
+// GPU's thread allocation. On top of the per-GPU thread-count curves, two
+// levels of *sharing* are modeled, because a GPU never has a tier to
+// itself:
+//
+//   - intra-node: the co-located GPUs reading the same tier in the same
+//     iteration split that tier's node-level peak (memory controller, NIC,
+//     node→PFS link);
+//   - cluster-wide (PFS only): all nodes share the file system's aggregate
+//     bandwidth, so a GPU's PFS rate is also capped by
+//     cluster_bps / concurrent PFS-reading GPUs.
+//
+// The paper assumes T_PFS "globally stable on the average across the
+// compute nodes"; we keep the average stable but let concurrent demand
+// depress the instantaneous rate — that is what produces the bursty loading
+// of Observation 2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "storage/curves.hpp"
+
+namespace lobster::storage {
+
+/// Bytes a GPU must read in one iteration, split by the serving tier
+/// (B_HL / B_HR / B_M of §4.3).
+struct TierBytes {
+  Bytes local = 0;   ///< node-local DRAM cache hits
+  Bytes ssd = 0;     ///< node-local SSD tier hits (0 unless the tier is on)
+  Bytes remote = 0;  ///< peer-node cache hits
+  Bytes pfs = 0;     ///< parallel-file-system misses
+
+  Bytes total() const noexcept { return local + ssd + remote + pfs; }
+};
+
+/// Number of loading threads a GPU applies to each tier (α, β, γ). Lobster's
+/// Algorithm 1 searches a single per-GPU thread count; use `uniform()`.
+/// Fractional values model equal shares of a small shared pool.
+struct ThreadAlloc {
+  double alpha = 1.0;
+  double beta = 1.0;
+  double gamma = 1.0;
+
+  static ThreadAlloc uniform(double threads) noexcept {
+    return ThreadAlloc{threads, threads, threads};
+  }
+};
+
+/// Concurrent readers competing for each tier during the iteration.
+struct Contention {
+  std::uint32_t local_readers_node = 1;   ///< co-located GPUs reading locally
+  std::uint32_t ssd_readers_node = 1;     ///< co-located GPUs reading the SSD
+  std::uint32_t remote_readers_node = 1;  ///< co-located GPUs reading peers
+  std::uint32_t pfs_readers_node = 1;     ///< co-located GPUs reading the PFS
+  std::uint32_t pfs_readers_cluster = 1;  ///< GPUs cluster-wide reading the PFS
+};
+
+class StorageModel {
+ public:
+  struct Params {
+    ThroughputCurve local = ThroughputCurve::local_memory();
+    ThroughputCurve ssd = ThroughputCurve::local_ssd();
+    ThroughputCurve remote = ThroughputCurve::remote_cache();
+    ThroughputCurve pfs = ThroughputCurve::pfs();
+    /// Cluster-wide PFS aggregate bandwidth. Scaled (like the tier curves)
+    /// so that one node alone is bound by its own node-level cap while an
+    /// 8-node cluster sees real server-side contention.
+    double pfs_cluster_bps = 6.0e9;
+    /// Fixed per-batch overhead (metadata RPC, request setup) per tier.
+    Seconds ssd_latency = 60e-6;
+    Seconds remote_latency = 120e-6;
+    Seconds pfs_latency = 1.5e-3;
+  };
+
+  StorageModel() : StorageModel(Params{}) {}
+  explicit StorageModel(Params params) : params_(std::move(params)) {}
+
+  /// Eq. 1: duration for one GPU to load its batch split across tiers with
+  /// `alloc` threads under `contention`.
+  Seconds load_time(const TierBytes& bytes, const ThreadAlloc& alloc,
+                    const Contention& contention = {}) const;
+
+  /// Per-tier components of load_time (for breakdown figures).
+  struct LoadTimeBreakdown {
+    Seconds local = 0.0;
+    Seconds ssd = 0.0;
+    Seconds remote = 0.0;
+    Seconds pfs = 0.0;
+    Seconds total() const noexcept { return local + ssd + remote + pfs; }
+  };
+  LoadTimeBreakdown load_time_breakdown(const TierBytes& bytes, const ThreadAlloc& alloc,
+                                        const Contention& contention = {}) const;
+
+  /// Effective per-GPU rate on each tier under contention.
+  double local_bps(double alpha, const Contention& contention) const noexcept;
+  double ssd_bps(double alpha, const Contention& contention) const noexcept;
+  double remote_bps(double beta, const Contention& contention) const noexcept;
+  double pfs_bps(double gamma, const Contention& contention) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace lobster::storage

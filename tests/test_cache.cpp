@@ -1,0 +1,204 @@
+// Node cache: capacity invariants (property tests), hit/miss accounting,
+// pinning, directory synchronization, rejection paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/policies.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace lobster::cache {
+namespace {
+
+using data::DatasetSpec;
+using data::SampleCatalog;
+
+std::unique_ptr<NodeCache> make_cache(const SampleCatalog& catalog, Bytes capacity,
+                                      const std::string& policy = "lru",
+                                      CacheDirectory* directory = nullptr) {
+  return std::make_unique<NodeCache>(0, capacity, make_policy(policy), catalog, directory,
+                                     nullptr, 100);
+}
+
+TEST(NodeCache, RejectsNullPolicyAndZeroCapacity) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  EXPECT_THROW(NodeCache(0, 100, nullptr, catalog, nullptr, nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(NodeCache(0, 0, make_policy("lru"), catalog, nullptr, nullptr, 1),
+               std::invalid_argument);
+}
+
+TEST(NodeCache, InsertAndAccess) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  auto cache = make_cache(catalog, 1000);
+  EXPECT_FALSE(cache->access(3, 0));  // miss
+  EXPECT_TRUE(cache->insert(3, 0).inserted);
+  EXPECT_TRUE(cache->access(3, 1));  // hit
+  EXPECT_EQ(cache->stats().hits, 1U);
+  EXPECT_EQ(cache->stats().misses, 1U);
+  EXPECT_EQ(cache->used(), 100U);
+}
+
+TEST(NodeCache, DoubleInsertIsIdempotent) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  auto cache = make_cache(catalog, 1000);
+  EXPECT_TRUE(cache->insert(1, 0).inserted);
+  EXPECT_TRUE(cache->insert(1, 1).inserted);
+  EXPECT_EQ(cache->used(), 100U);
+  EXPECT_EQ(cache->stats().insertions, 1U);
+}
+
+TEST(NodeCache, OversizedSampleRejected) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 5000), 1);
+  auto cache = make_cache(catalog, 1000);
+  EXPECT_FALSE(cache->insert(0, 0).inserted);
+  EXPECT_EQ(cache->stats().rejected_insertions, 1U);
+}
+
+TEST(NodeCache, EvictsLruVictimWhenFull) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  auto cache = make_cache(catalog, 300);
+  cache->insert(0, 0);
+  cache->insert(1, 1);
+  cache->insert(2, 2);
+  cache->access(0, 3);  // 0 is now most recent; LRU is 1
+  const auto result = cache->insert(3, 4);
+  EXPECT_TRUE(result.inserted);
+  ASSERT_EQ(result.evicted.size(), 1U);
+  EXPECT_EQ(result.evicted[0], 1U);
+  EXPECT_TRUE(cache->contains(0));
+  EXPECT_FALSE(cache->contains(1));
+}
+
+TEST(NodeCache, PinnedSamplesSurviveEviction) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  auto cache = make_cache(catalog, 300);
+  cache->insert(0, 0);
+  cache->insert(1, 1);
+  cache->insert(2, 2);
+  cache->pin(0);
+  cache->pin(1);
+  const auto result = cache->insert(3, 3);
+  EXPECT_TRUE(result.inserted);
+  ASSERT_EQ(result.evicted.size(), 1U);
+  EXPECT_EQ(result.evicted[0], 2U);  // only unpinned resident
+}
+
+TEST(NodeCache, AllPinnedRejectsInsertion) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  auto cache = make_cache(catalog, 200);
+  cache->insert(0, 0);
+  cache->insert(1, 0);
+  cache->pin(0);
+  cache->pin(1);
+  EXPECT_FALSE(cache->insert(2, 1).inserted);
+  cache->unpin_all();
+  EXPECT_TRUE(cache->insert(2, 2).inserted);
+}
+
+TEST(NodeCache, ExplicitEvict) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  auto cache = make_cache(catalog, 1000);
+  cache->insert(5, 0);
+  EXPECT_TRUE(cache->evict(5));
+  EXPECT_FALSE(cache->evict(5));
+  EXPECT_EQ(cache->used(), 0U);
+  EXPECT_EQ(cache->stats().evictions, 1U);
+}
+
+TEST(NodeCache, DirectoryStaysInSync) {
+  const SampleCatalog catalog(DatasetSpec::uniform(10, 100), 1);
+  CacheDirectory directory(2);
+  NodeCache cache(1, 300, make_policy("lru"), catalog, &directory, nullptr, 10);
+  cache.insert(0, 0);
+  cache.insert(1, 0);
+  EXPECT_TRUE(directory.holds(0, 1));
+  EXPECT_TRUE(directory.holds(1, 1));
+  cache.insert(2, 1);
+  cache.insert(3, 1);  // evicts LRU (0)
+  EXPECT_FALSE(directory.holds(0, 1));
+  cache.evict(2);
+  EXPECT_FALSE(directory.holds(2, 1));
+}
+
+class CapacityInvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CapacityInvariantTest, NeverExceedsCapacityUnderRandomWorkload) {
+  const SampleCatalog catalog(DatasetSpec::imagenet22k(20000.0), 3);
+  const Bytes capacity = catalog.total_bytes() / 10;
+  auto cache = std::make_unique<NodeCache>(0, capacity, make_policy(GetParam()), catalog,
+                                           nullptr, nullptr, 50);
+  Rng rng(11);
+  std::uint64_t accounted = 0;
+  for (IterId now = 0; now < 3000; ++now) {
+    const auto s = static_cast<SampleId>(rng.bounded(catalog.size()));
+    if (!cache->access(s, now)) {
+      cache->insert(s, now);
+    }
+    ASSERT_LE(cache->used(), capacity) << "policy " << GetParam() << " iter " << now;
+    // used() must equal the sum of resident sample sizes.
+    if (now % 500 == 0) {
+      accounted = 0;
+      for (const SampleId r : cache->residents()) accounted += catalog.sample_bytes(r);
+      ASSERT_EQ(cache->used(), accounted);
+    }
+  }
+  const auto& stats = cache->stats();
+  EXPECT_EQ(stats.hits + stats.misses, 3000U);
+  EXPECT_GT(stats.evictions, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CapacityInvariantTest,
+                         ::testing::Values("lru", "fifo", "lobster"));
+
+TEST(CacheDirectory, HolderBookkeeping) {
+  CacheDirectory directory(4);
+  EXPECT_EQ(directory.holder_count(7), 0U);
+  directory.add(7, 0);
+  directory.add(7, 2);
+  EXPECT_EQ(directory.holder_count(7), 2U);
+  EXPECT_TRUE(directory.holds(7, 0));
+  EXPECT_FALSE(directory.holds(7, 1));
+  EXPECT_TRUE(directory.held_elsewhere(7, 0));
+  EXPECT_FALSE(directory.sole_holder(7, 0));
+  directory.remove(7, 2);
+  EXPECT_TRUE(directory.sole_holder(7, 0));
+  EXPECT_FALSE(directory.held_elsewhere(7, 0));
+  directory.remove(7, 0);
+  EXPECT_EQ(directory.holder_count(7), 0U);
+  EXPECT_EQ(directory.tracked_samples(), 0U);
+}
+
+TEST(CacheDirectory, PeerHolderIsDeterministicLowestRank) {
+  CacheDirectory directory(8);
+  directory.add(3, 5);
+  directory.add(3, 2);
+  directory.add(3, 7);
+  EXPECT_EQ(directory.peer_holder(3, 5), 2);
+  EXPECT_EQ(directory.peer_holder(3, 2), 5);
+  EXPECT_EQ(directory.peer_holder(99, 0), CacheDirectory::kInvalidNode);
+}
+
+TEST(CacheDirectory, AddIsIdempotent) {
+  CacheDirectory directory(2);
+  directory.add(1, 0);
+  directory.add(1, 0);
+  EXPECT_EQ(directory.holder_count(1), 1U);
+}
+
+TEST(CacheDirectory, RemoveUnknownIsNoop) {
+  CacheDirectory directory(2);
+  directory.remove(5, 1);
+  EXPECT_EQ(directory.holder_count(5), 0U);
+}
+
+TEST(CacheDirectory, RejectsBadNodeCounts) {
+  EXPECT_THROW(CacheDirectory(0), std::invalid_argument);
+  EXPECT_THROW(CacheDirectory(65), std::invalid_argument);
+  EXPECT_NO_THROW(CacheDirectory(64));
+}
+
+}  // namespace
+}  // namespace lobster::cache

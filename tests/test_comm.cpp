@@ -1,0 +1,178 @@
+// MPI-like message bus: tagged delivery order, collectives, shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "comm/bus.hpp"
+
+namespace lobster::comm {
+namespace {
+
+TEST(MessageBus, RejectsZeroWorld) {
+  EXPECT_THROW(MessageBus(0), std::invalid_argument);
+}
+
+TEST(MessageBus, EndpointRangeChecked) {
+  MessageBus bus(2);
+  EXPECT_THROW(bus.endpoint(2), std::out_of_range);
+  EXPECT_EQ(bus.endpoint(1).rank(), 1);
+  EXPECT_EQ(bus.endpoint(0).world_size(), 2);
+}
+
+TEST(MessageBus, SendRecvValueRoundTrip) {
+  MessageBus bus(2);
+  bus.endpoint(0).send_value<int>(1, /*tag=*/7, 42);
+  const auto message = bus.endpoint(1).recv(7);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->source, 0);
+  EXPECT_EQ(message->tag, 7U);
+  EXPECT_EQ(Endpoint::value_of<int>(*message), 42);
+}
+
+TEST(MessageBus, SameTagFifoOrder) {
+  MessageBus bus(2);
+  for (int i = 0; i < 10; ++i) bus.endpoint(0).send_value<int>(1, 1, i);
+  for (int i = 0; i < 10; ++i) {
+    const auto message = bus.endpoint(1).recv(1);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(Endpoint::value_of<int>(*message), i);
+  }
+}
+
+TEST(MessageBus, TagFilteringSkipsNonMatching) {
+  MessageBus bus(2);
+  bus.endpoint(0).send_value<int>(1, /*tag=*/5, 55);
+  bus.endpoint(0).send_value<int>(1, /*tag=*/9, 99);
+  const auto nine = bus.endpoint(1).recv(9);
+  ASSERT_TRUE(nine.has_value());
+  EXPECT_EQ(Endpoint::value_of<int>(*nine), 99);
+  const auto five = bus.endpoint(1).recv(5);
+  ASSERT_TRUE(five.has_value());
+  EXPECT_EQ(Endpoint::value_of<int>(*five), 55);
+}
+
+TEST(MessageBus, AnyTagMatchesEverything) {
+  MessageBus bus(2);
+  bus.endpoint(0).send_value<int>(1, 123, 1);
+  const auto message = bus.endpoint(1).recv(kAnyTag);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->tag, 123U);
+}
+
+TEST(MessageBus, TryRecvNonBlocking) {
+  MessageBus bus(2);
+  EXPECT_FALSE(bus.endpoint(1).try_recv().has_value());
+  bus.endpoint(0).send_value<int>(1, 1, 5);
+  EXPECT_TRUE(bus.endpoint(1).try_recv(1).has_value());
+}
+
+TEST(MessageBus, SelfSendWorks) {
+  MessageBus bus(1);
+  bus.endpoint(0).send_value<int>(0, 3, 33);
+  const auto message = bus.endpoint(0).recv(3);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(Endpoint::value_of<int>(*message), 33);
+}
+
+TEST(MessageBus, BlockingRecvWakesOnSend) {
+  MessageBus bus(2);
+  std::atomic<int> got{0};
+  std::thread receiver([&] {
+    const auto message = bus.endpoint(1).recv(1);
+    if (message) got.store(Endpoint::value_of<int>(*message));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  bus.endpoint(0).send_value<int>(1, 1, 77);
+  receiver.join();
+  EXPECT_EQ(got.load(), 77);
+}
+
+TEST(MessageBus, ShutdownUnblocksReceivers) {
+  MessageBus bus(2);
+  std::atomic<bool> unblocked{false};
+  std::thread receiver([&] {
+    const auto message = bus.endpoint(1).recv(1);
+    unblocked.store(!message.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  bus.shutdown();
+  receiver.join();
+  EXPECT_TRUE(unblocked.load());
+  EXPECT_FALSE(bus.endpoint(0).send(1, 1, {}));
+}
+
+TEST(MessageBus, BarrierSynchronizesAllRanks) {
+  constexpr std::uint16_t kWorld = 4;
+  MessageBus bus(kWorld);
+  std::atomic<int> before_barrier{0};
+  std::atomic<int> after_barrier{0};
+  std::atomic<bool> order_violated{false};
+  std::vector<std::thread> ranks;
+  for (std::uint16_t r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      before_barrier.fetch_add(1);
+      bus.endpoint(r).barrier();
+      if (before_barrier.load() != kWorld) order_violated.store(true);
+      after_barrier.fetch_add(1);
+    });
+  }
+  for (auto& t : ranks) t.join();
+  EXPECT_FALSE(order_violated.load());
+  EXPECT_EQ(after_barrier.load(), kWorld);
+}
+
+TEST(MessageBus, RepeatedBarriers) {
+  constexpr std::uint16_t kWorld = 3;
+  MessageBus bus(kWorld);
+  std::vector<std::thread> ranks;
+  std::atomic<int> rounds_done{0};
+  for (std::uint16_t r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      for (int round = 0; round < 20; ++round) bus.endpoint(r).barrier();
+      rounds_done.fetch_add(1);
+    });
+  }
+  for (auto& t : ranks) t.join();
+  EXPECT_EQ(rounds_done.load(), kWorld);
+}
+
+TEST(MessageBus, AllReduceSumsAcrossRanks) {
+  constexpr std::uint16_t kWorld = 4;
+  MessageBus bus(kWorld);
+  std::vector<std::vector<double>> results(kWorld);
+  std::vector<std::thread> ranks;
+  for (std::uint16_t r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      results[r] = bus.endpoint(r).allreduce_sum({static_cast<double>(r), 1.0});
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (std::uint16_t r = 0; r < kWorld; ++r) {
+    ASSERT_EQ(results[r].size(), 2U);
+    EXPECT_DOUBLE_EQ(results[r][0], 0.0 + 1.0 + 2.0 + 3.0);
+    EXPECT_DOUBLE_EQ(results[r][1], 4.0);
+  }
+}
+
+TEST(MessageBus, RepeatedAllReduces) {
+  constexpr std::uint16_t kWorld = 2;
+  MessageBus bus(kWorld);
+  std::vector<std::thread> ranks;
+  std::atomic<bool> mismatch{false};
+  for (std::uint16_t r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      for (int round = 1; round <= 50; ++round) {
+        const auto result = bus.endpoint(r).allreduce_sum({static_cast<double>(round)});
+        if (result.size() != 1 || result[0] != 2.0 * round) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+}  // namespace
+}  // namespace lobster::comm

@@ -1,0 +1,184 @@
+// Dataset catalogs and the deterministic distributed sampler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+
+namespace lobster::data {
+namespace {
+
+TEST(DatasetSpec, ImageNet1kShape) {
+  const auto spec = DatasetSpec::imagenet1k(1000.0);
+  EXPECT_EQ(spec.name, "imagenet1k");
+  EXPECT_EQ(spec.num_samples, 1281U);  // 1.28M / 1000
+}
+
+TEST(DatasetSpec, ScaleOneKeepsFullCount) {
+  EXPECT_EQ(DatasetSpec::imagenet1k(1.0).num_samples, 1'281'167U);
+  EXPECT_EQ(DatasetSpec::imagenet22k(1.0).num_samples, 14'197'103U);
+}
+
+TEST(DatasetSpec, RejectsNonPositiveScale) {
+  EXPECT_THROW(DatasetSpec::imagenet1k(0.0), std::invalid_argument);
+  EXPECT_THROW(DatasetSpec::imagenet22k(-2.0), std::invalid_argument);
+}
+
+TEST(SampleCatalog, DeterministicInSeed) {
+  const auto spec = DatasetSpec::imagenet1k(500.0);
+  const SampleCatalog a(spec, 42);
+  const SampleCatalog b(spec, 42);
+  const SampleCatalog c(spec, 43);
+  EXPECT_EQ(a.sizes(), b.sizes());
+  EXPECT_NE(a.sizes(), c.sizes());
+}
+
+TEST(SampleCatalog, SizesWithinClamps) {
+  const auto spec = DatasetSpec::imagenet22k(2000.0);
+  const SampleCatalog catalog(spec, 7);
+  for (SampleId s = 0; s < catalog.size(); ++s) {
+    EXPECT_GE(catalog.sample_bytes(s), spec.min_bytes);
+    EXPECT_LE(catalog.sample_bytes(s), spec.max_bytes);
+  }
+}
+
+TEST(SampleCatalog, MeanMatchesTargetBand) {
+  // ImageNet-1K full-scale total is ~135 GB over 1.28 M images (~105 KB each).
+  const SampleCatalog catalog(DatasetSpec::imagenet1k(100.0), 42);
+  EXPECT_GT(catalog.mean_bytes(), 85.0 * 1024);
+  EXPECT_LT(catalog.mean_bytes(), 125.0 * 1024);
+}
+
+TEST(SampleCatalog, UniformSpecIsExact) {
+  const SampleCatalog catalog(DatasetSpec::uniform(100, 4096), 1);
+  EXPECT_EQ(catalog.size(), 100U);
+  for (SampleId s = 0; s < 100; ++s) EXPECT_EQ(catalog.sample_bytes(s), 4096U);
+  EXPECT_EQ(catalog.total_bytes(), 409600U);
+}
+
+TEST(SampleCatalog, EmptyDatasetThrows) {
+  DatasetSpec spec = DatasetSpec::uniform(1, 10);
+  spec.num_samples = 0;
+  EXPECT_THROW(SampleCatalog(spec, 1), std::invalid_argument);
+}
+
+SamplerConfig make_config(std::uint32_t samples, std::uint16_t nodes, std::uint16_t gpus,
+                          std::uint32_t batch) {
+  SamplerConfig config;
+  config.num_samples = samples;
+  config.nodes = nodes;
+  config.gpus_per_node = gpus;
+  config.batch_size = batch;
+  config.seed = 42;
+  return config;
+}
+
+TEST(EpochSampler, IterationCountDropsPartial) {
+  const EpochSampler sampler(make_config(1000, 2, 4, 16));
+  // 1000 / (16 * 8) = 7.8 -> 7
+  EXPECT_EQ(sampler.iterations_per_epoch(), 7U);
+  EXPECT_EQ(sampler.world_size(), 8U);
+}
+
+TEST(EpochSampler, ThrowsWhenSmallerThanGlobalBatch) {
+  EXPECT_THROW(EpochSampler(make_config(10, 2, 4, 16)), std::invalid_argument);
+}
+
+TEST(EpochSampler, GlobalIterIndexing) {
+  const EpochSampler sampler(make_config(1000, 2, 4, 16));
+  EXPECT_EQ(sampler.global_iter(0, 0), 0U);
+  EXPECT_EQ(sampler.global_iter(1, 0), 7U);
+  EXPECT_EQ(sampler.global_iter(3, 2), 23U);
+}
+
+class SamplerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint16_t, std::uint16_t, std::uint32_t>> {};
+
+TEST_P(SamplerPropertyTest, BatchesAreDisjointAndCoverPrefixOfPermutation) {
+  const auto [nodes, gpus, batch] = GetParam();
+  const EpochSampler sampler(make_config(4096, nodes, gpus, batch));
+  const std::uint32_t I = sampler.iterations_per_epoch();
+
+  std::set<SampleId> seen;
+  for (std::uint32_t h = 0; h < I; ++h) {
+    for (std::uint16_t n = 0; n < nodes; ++n) {
+      for (std::uint16_t g = 0; g < gpus; ++g) {
+        const auto batch_ids = sampler.minibatch(0, h, n, g);
+        EXPECT_EQ(batch_ids.size(), batch);
+        for (const SampleId s : batch_ids) {
+          EXPECT_TRUE(seen.insert(s).second) << "duplicate sample " << s;
+        }
+      }
+    }
+  }
+  // Exactly I * world * batch distinct samples drawn from [0, 4096).
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(I) * sampler.world_size() * batch);
+  for (const SampleId s : seen) EXPECT_LT(s, 4096U);
+}
+
+TEST_P(SamplerPropertyTest, EpochsReshuffle) {
+  const auto [nodes, gpus, batch] = GetParam();
+  const EpochSampler sampler(make_config(4096, nodes, gpus, batch));
+  EXPECT_NE(sampler.epoch_permutation(0), sampler.epoch_permutation(1));
+}
+
+using SamplerShape = std::tuple<std::uint16_t, std::uint16_t, std::uint32_t>;
+INSTANTIATE_TEST_SUITE_P(Shapes, SamplerPropertyTest,
+                         ::testing::Values(SamplerShape{1, 1, 32}, SamplerShape{1, 8, 32},
+                                           SamplerShape{2, 4, 16}, SamplerShape{8, 8, 8}));
+
+TEST(EpochSampler, DeterministicAcrossInstances) {
+  const EpochSampler a(make_config(2048, 2, 2, 8));
+  const EpochSampler b(make_config(2048, 2, 2, 8));
+  for (std::uint32_t h = 0; h < a.iterations_per_epoch(); ++h) {
+    EXPECT_EQ(a.minibatch(3, h, 1, 0), b.minibatch(3, h, 1, 0));
+  }
+}
+
+TEST(EpochSampler, SeedChangesOrder) {
+  auto config = make_config(2048, 1, 2, 8);
+  const EpochSampler a(config);
+  config.seed = 43;
+  const EpochSampler b(config);
+  EXPECT_NE(a.minibatch(0, 0, 0, 0), b.minibatch(0, 0, 0, 0));
+}
+
+TEST(EpochSampler, MatchesStridedShardDefinition) {
+  // Rank r's batch at iteration h must be perm[(h*B + p) * W + r].
+  const EpochSampler sampler(make_config(512, 2, 2, 4));
+  const auto& perm = sampler.epoch_permutation(0);
+  const std::uint32_t W = sampler.world_size();
+  for (std::uint16_t n = 0; n < 2; ++n) {
+    for (std::uint16_t g = 0; g < 2; ++g) {
+      const std::uint32_t rank = flat_gpu_rank({n, g}, 2);
+      const auto batch = sampler.minibatch(0, 1, n, g);
+      for (std::uint32_t p = 0; p < 4; ++p) {
+        EXPECT_EQ(batch[p], perm[(1 * 4 + p) * W + rank]);
+      }
+    }
+  }
+}
+
+TEST(EpochSampler, NodeBatchConcatenatesGpuBatches) {
+  const EpochSampler sampler(make_config(512, 2, 2, 4));
+  const auto node_batch = sampler.node_batch(0, 0, 1);
+  const auto g0 = sampler.minibatch(0, 0, 1, 0);
+  const auto g1 = sampler.minibatch(0, 0, 1, 1);
+  ASSERT_EQ(node_batch.size(), g0.size() + g1.size());
+  EXPECT_TRUE(std::equal(g0.begin(), g0.end(), node_batch.begin()));
+  EXPECT_TRUE(std::equal(g1.begin(), g1.end(), node_batch.begin() + g0.size()));
+}
+
+TEST(EpochSampler, OutOfRangeArgumentsThrow) {
+  const EpochSampler sampler(make_config(512, 2, 2, 4));
+  EXPECT_THROW(sampler.minibatch(0, sampler.iterations_per_epoch(), 0, 0), std::out_of_range);
+  EXPECT_THROW(sampler.minibatch(0, 0, 2, 0), std::out_of_range);
+  EXPECT_THROW(sampler.minibatch(0, 0, 0, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lobster::data

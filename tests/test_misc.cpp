@@ -1,0 +1,72 @@
+// Coverage for the small utility surfaces: logging levels, strf formatting,
+// unit literals/formatting edge cases, report helpers.
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+#include "metrics/report.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+  EXPECT_EQ(strf("%.3f", 1.23456), "1.235");
+  EXPECT_EQ(strf("%%"), "%");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Strf, HandlesLongStrings) {
+  const std::string big(10'000, 'x');
+  const auto out = strf("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(Logging, LevelGateIsRespected) {
+  const auto previous = log::level();
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  // These must not crash (output is gated/discarded).
+  log::debug("dropped %d", 1);
+  log::info("dropped %s", "x");
+  log::warn("dropped");
+  log::set_level(log::Level::kOff);
+  log::error("also dropped at kOff %d", 2);
+  log::set_level(previous);
+}
+
+TEST(Units, ThroughputFormatting) {
+  EXPECT_EQ(format_throughput(2.0 * kGiB), "2.00 GiB/s");
+  EXPECT_EQ(format_throughput(5.0 * kMiB), "5.00 MiB/s");
+  EXPECT_EQ(format_throughput(100.0), "0.10 KiB/s");
+}
+
+TEST(Units, SubMicrosecondFormatting) {
+  EXPECT_EQ(format_seconds(5e-9), "5.00 ns");
+  EXPECT_EQ(format_seconds(0.0), "0.00 ns");
+}
+
+TEST(Report, WarmSpeedupHandlesZeroTime) {
+  pipeline::SimulationResult empty{};
+  EXPECT_EQ(metrics::warm_speedup(empty, empty), 0.0);
+}
+
+TEST(Report, RenderSeriesScalesToPeak) {
+  const auto flat = metrics::render_series({2.0, 2.0, 2.0}, 3);
+  EXPECT_EQ(flat.size(), 3U);
+  EXPECT_EQ(flat[0], flat[2]);
+  const auto ramp = metrics::render_series({0.0, 1.0}, 2);
+  EXPECT_NE(ramp[0], ramp[1]);
+}
+
+TEST(Report, ComparisonTableEmptyInput) {
+  const auto table = metrics::comparison_table({});
+  EXPECT_EQ(table.rows(), 0U);
+  EXPECT_EQ(table.columns(), 7U);
+}
+
+}  // namespace
+}  // namespace lobster

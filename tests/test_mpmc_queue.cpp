@@ -1,0 +1,124 @@
+// Bounded MPMC queue: FIFO order, capacity blocking, close semantics,
+// concurrent producers/consumers conservation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(MpmcQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(MpmcQueue, TryPushFailsWhenFull) {
+  MpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2U);
+}
+
+TEST(MpmcQueue, TryPopEmptyReturnsNullopt) {
+  MpmcQueue<int> queue(2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CloseDrainsThenSignalsEnd) {
+  MpmcQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(MpmcQueue, CloseUnblocksWaitingConsumer) {
+  MpmcQueue<int> queue(2);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    const auto v = queue.pop();
+    got_nullopt.store(!v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(MpmcQueue, BlockingPushWaitsForSpace) {
+  MpmcQueue<int> queue(1);
+  queue.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(2);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersConserveItems) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  MpmcQueue<int> queue(16);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = queue.pop()) {
+        consumed_sum.fetch_add(*v);
+        consumed_count.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+TEST(MpmcQueue, MoveOnlyPayloads) {
+  MpmcQueue<std::unique_ptr<int>> queue(2);
+  queue.push(std::make_unique<int>(7));
+  auto v = queue.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace
+}  // namespace lobster

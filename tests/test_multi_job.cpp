@@ -1,0 +1,168 @@
+// Shared-dataset multi-job training: the merged oracle and the multi-job
+// simulator (the §2 generality scenario).
+#include <gtest/gtest.h>
+
+#include "data/oracle.hpp"
+#include "data/sampler.hpp"
+#include "pipeline/multi_job.hpp"
+
+namespace lobster::data {
+namespace {
+
+SamplerConfig oracle_config(std::uint64_t seed) {
+  SamplerConfig config;
+  config.num_samples = 256;
+  config.nodes = 2;
+  config.gpus_per_node = 2;
+  config.batch_size = 8;
+  config.seed = seed;
+  return config;
+}
+
+struct MergedOracleFixture : public ::testing::Test {
+  MergedOracleFixture()
+      : sampler_a(oracle_config(1)),
+        sampler_b(oracle_config(2)),
+        oracle_a(sampler_a, 2),
+        oracle_b(sampler_b, 2),
+        merged({&oracle_a, &oracle_b}) {}
+
+  EpochSampler sampler_a;
+  EpochSampler sampler_b;
+  FutureAccessOracle oracle_a;
+  FutureAccessOracle oracle_b;
+  MergedAccessOracle merged;
+};
+
+TEST_F(MergedOracleFixture, RejectsEmptyAndNullMembers) {
+  EXPECT_THROW(MergedAccessOracle({}), std::invalid_argument);
+  EXPECT_THROW(MergedAccessOracle({&oracle_a, nullptr}), std::invalid_argument);
+}
+
+TEST_F(MergedOracleFixture, NextAccessIsEarliestAcrossJobs) {
+  for (SampleId s = 0; s < 256; s += 5) {
+    const auto a = oracle_a.next_access(s, 0);
+    const auto b = oracle_b.next_access(s, 0);
+    const auto m = merged.next_access(s, 0);
+    if (!a && !b) {
+      EXPECT_FALSE(m.has_value());
+      continue;
+    }
+    ASSERT_TRUE(m.has_value());
+    IterId expected = kNeverIter;
+    if (a) expected = std::min(expected, a->iter);
+    if (b) expected = std::min(expected, b->iter);
+    EXPECT_EQ(m->iter, expected);
+  }
+}
+
+TEST_F(MergedOracleFixture, RemainingUsesSumAcrossJobs) {
+  for (SampleId s = 0; s < 256; s += 9) {
+    for (NodeId n = 0; n < 2; ++n) {
+      EXPECT_EQ(merged.remaining_uses_on_node(s, n, 0),
+                oracle_a.remaining_uses_on_node(s, n, 0) +
+                    oracle_b.remaining_uses_on_node(s, n, 0));
+    }
+  }
+}
+
+TEST_F(MergedOracleFixture, NeededByOtherNodeIsAnyJob) {
+  for (SampleId s = 0; s < 256; s += 7) {
+    EXPECT_EQ(merged.needed_by_other_node(s, 0, 0),
+              oracle_a.needed_by_other_node(s, 0, 0) || oracle_b.needed_by_other_node(s, 0, 0));
+  }
+}
+
+TEST_F(MergedOracleFixture, ReuseDistanceIsMinAcrossJobs) {
+  for (SampleId s = 0; s < 256; s += 11) {
+    const IterId a = oracle_a.reuse_distance_on_node(s, 1, 2);
+    const IterId b = oracle_b.reuse_distance_on_node(s, 1, 2);
+    EXPECT_EQ(merged.reuse_distance_on_node(s, 1, 2), std::min(a, b));
+  }
+}
+
+TEST_F(MergedOracleFixture, SingleMemberIsTransparent) {
+  const MergedAccessOracle solo({&oracle_a});
+  for (SampleId s = 0; s < 64; ++s) {
+    EXPECT_EQ(solo.reuse_distance_on_node(s, 0, 0), oracle_a.reuse_distance_on_node(s, 0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace lobster::data
+
+namespace lobster::pipeline {
+namespace {
+
+MultiJobConfig small_config(std::size_t job_count) {
+  MultiJobConfig config;
+  config.preset = preset_imagenet1k_single_node(512.0);
+  config.preset.epochs = 2;
+  config.strategy = baselines::LoaderStrategy::lobster();
+  for (std::size_t j = 0; j < job_count; ++j) {
+    config.jobs.push_back({j % 2 == 0 ? "resnet50" : "shufflenet", j});
+  }
+  return config;
+}
+
+TEST(MultiJob, RejectsEmptyJobList) {
+  MultiJobConfig config = small_config(1);
+  config.jobs.clear();
+  EXPECT_THROW(simulate_multi_job(config), std::invalid_argument);
+}
+
+TEST(MultiJob, EveryJobCompletesEveryIteration) {
+  const auto config = small_config(2);
+  const auto result = simulate_multi_job(config);
+  ASSERT_EQ(result.per_job.size(), 2U);
+  for (const auto& metrics : result.per_job) {
+    EXPECT_EQ(metrics.iterations(),
+              static_cast<std::uint64_t>(config.preset.epochs) * result.iterations_per_epoch);
+  }
+  // Combined accesses: jobs * epochs * I * gpus * batch.
+  const std::uint64_t expected = 2ULL * config.preset.epochs * result.iterations_per_epoch *
+                                 config.preset.cluster.total_gpus() *
+                                 config.preset.batch_size;
+  EXPECT_EQ(result.combined_cache.hits + result.combined_cache.misses, expected);
+}
+
+TEST(MultiJob, Deterministic) {
+  const auto config = small_config(2);
+  const auto a = simulate_multi_job(config);
+  const auto b = simulate_multi_job(config);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.combined_cache.hits, b.combined_cache.hits);
+}
+
+TEST(MultiJob, SingleJobMatchesSharedCacheExpectations) {
+  // One job through the multi-job path must behave like a normal training
+  // run: nonzero hits after warm-up, every access accounted.
+  const auto config = small_config(1);
+  const auto result = simulate_multi_job(config);
+  EXPECT_GT(result.combined_cache.hit_ratio(), 0.1);
+}
+
+TEST(MultiJob, SharedCacheBeatsPrivateHalves) {
+  // Two jobs sharing the full cache should see a better combined hit ratio
+  // than one job confined to half the cache (the sharing benefit the
+  // DIESEL/Quiver line of work reports).
+  const auto shared = simulate_multi_job(small_config(2));
+
+  auto half = small_config(1);
+  half.preset.cluster.cache_bytes /= 2;
+  const auto private_half = simulate_multi_job(half);
+  EXPECT_GT(shared.combined_cache.hit_ratio() + 0.05, private_half.combined_cache.hit_ratio());
+}
+
+TEST(MultiJob, LobsterSharedCacheBeatsLru) {
+  auto lobster_config = small_config(2);
+  auto lru_config = lobster_config;
+  lru_config.strategy.eviction_policy = "lru";
+  lru_config.strategy.reuse_sweep = false;
+  const auto lobster = simulate_multi_job(lobster_config);
+  const auto lru = simulate_multi_job(lru_config);
+  EXPECT_GT(lobster.combined_cache.hit_ratio(), lru.combined_cache.hit_ratio());
+}
+
+}  // namespace
+}  // namespace lobster::pipeline

@@ -1,0 +1,301 @@
+// Future-access oracle vs brute force, window sliding, and the reuse
+// distance analysis behind Fig. 4.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "data/oracle.hpp"
+#include "data/reuse.hpp"
+#include "data/sampler.hpp"
+
+namespace lobster::data {
+namespace {
+
+SamplerConfig small_config() {
+  SamplerConfig config;
+  config.num_samples = 512;
+  config.nodes = 2;
+  config.gpus_per_node = 2;
+  config.batch_size = 8;
+  config.seed = 7;
+  return config;
+}
+
+/// Brute-force future access list built directly from the sampler.
+std::map<SampleId, std::vector<Access>> brute_force_accesses(const EpochSampler& sampler,
+                                                             std::uint32_t epochs) {
+  std::map<SampleId, std::vector<Access>> accesses;
+  const auto& config = sampler.config();
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    for (std::uint32_t h = 0; h < sampler.iterations_per_epoch(); ++h) {
+      for (NodeId n = 0; n < config.nodes; ++n) {
+        for (GpuId g = 0; g < config.gpus_per_node; ++g) {
+          for (const SampleId s : sampler.minibatch(e, h, n, g)) {
+            accesses[s].push_back({sampler.global_iter(e, h), n, g});
+          }
+        }
+      }
+    }
+  }
+  return accesses;
+}
+
+TEST(FutureAccessOracle, MatchesBruteForceNextAccess) {
+  const EpochSampler sampler(small_config());
+  const FutureAccessOracle oracle(sampler, 2);
+  const auto truth = brute_force_accesses(sampler, 2);
+
+  for (SampleId s = 0; s < sampler.config().num_samples; s += 7) {
+    const auto it = truth.find(s);
+    // Query from several vantage iterations.
+    for (const IterId after : {IterId{0}, IterId{5}, IterId{20}}) {
+      std::optional<Access> expected;
+      if (it != truth.end()) {
+        for (const auto& access : it->second) {
+          if (access.iter > after) {
+            expected = access;
+            break;
+          }
+        }
+      }
+      const auto actual = oracle.next_access(s, after);
+      ASSERT_EQ(actual.has_value(), expected.has_value()) << "sample " << s << " after " << after;
+      if (actual) {
+        EXPECT_EQ(actual->iter, expected->iter);
+        EXPECT_EQ(actual->node, expected->node);
+        EXPECT_EQ(actual->gpu, expected->gpu);
+      }
+    }
+  }
+}
+
+TEST(FutureAccessOracle, NodeFilteredQueriesMatchBruteForce) {
+  const EpochSampler sampler(small_config());
+  const FutureAccessOracle oracle(sampler, 3);
+  const auto truth = brute_force_accesses(sampler, 3);
+
+  for (SampleId s = 0; s < sampler.config().num_samples; s += 13) {
+    for (NodeId n = 0; n < 2; ++n) {
+      const IterId after = 3;
+      std::optional<Access> expected;
+      std::uint32_t expected_uses = 0;
+      bool other_node = false;
+      const auto it = truth.find(s);
+      if (it != truth.end()) {
+        for (const auto& access : it->second) {
+          if (access.iter <= after) continue;
+          if (access.node == n) {
+            ++expected_uses;
+            if (!expected) expected = access;
+          } else {
+            other_node = true;
+          }
+        }
+      }
+      const auto actual = oracle.next_access_on_node(s, n, after);
+      ASSERT_EQ(actual.has_value(), expected.has_value());
+      if (actual) {
+        EXPECT_EQ(actual->iter, expected->iter);
+      }
+      EXPECT_EQ(oracle.remaining_uses_on_node(s, n, after), expected_uses);
+      EXPECT_EQ(oracle.needed_by_other_node(s, n, after), other_node);
+      const IterId distance = oracle.reuse_distance_on_node(s, n, after);
+      if (expected) {
+        EXPECT_EQ(distance, expected->iter - after);
+      } else {
+        EXPECT_EQ(distance, kNeverIter);
+      }
+    }
+  }
+}
+
+TEST(FutureAccessOracle, EverySampleAccessedOncePerEpoch) {
+  SamplerConfig config = small_config();
+  config.num_samples = 256;  // exactly 8 iterations * 32 samples/iter
+  const EpochSampler sampler(config);
+  ASSERT_EQ(sampler.iterations_per_epoch() * sampler.world_size() * config.batch_size, 256U);
+  const FutureAccessOracle oracle(sampler, 1);
+  for (SampleId s = 0; s < 256; ++s) {
+    EXPECT_EQ(oracle.accesses(s).size(), 1U) << "sample " << s;
+  }
+}
+
+TEST(FutureAccessOracle, RebaseSlidesWindow) {
+  const EpochSampler sampler(small_config());
+  FutureAccessOracle oracle(sampler, 2);
+  const std::uint32_t I = sampler.iterations_per_epoch();
+
+  // Before rebase: epoch-2 accesses are invisible.
+  const IterId epoch2_start = static_cast<IterId>(2) * I;
+  std::uint32_t visible_before = 0;
+  for (SampleId s = 0; s < 64; ++s) {
+    if (oracle.next_access(s, epoch2_start - 1)) ++visible_before;
+  }
+  EXPECT_EQ(visible_before, 0U);
+
+  oracle.rebase(1);  // window now [1, 3)
+  EXPECT_EQ(oracle.first_epoch(), 1U);
+  std::uint32_t visible_after = 0;
+  for (SampleId s = 0; s < 64; ++s) {
+    if (oracle.next_access(s, epoch2_start - 1)) ++visible_after;
+  }
+  EXPECT_GT(visible_after, 0U);
+
+  // Slide-by-one must equal a fresh rebuild.
+  FutureAccessOracle fresh(sampler, 2);
+  fresh.rebase(1);
+  for (SampleId s = 0; s < sampler.config().num_samples; s += 17) {
+    const auto a = oracle.next_access(s, 0);
+    const auto b = fresh.next_access(s, 0);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->iter, b->iter);
+    }
+  }
+}
+
+TEST(FutureAccessOracle, RebaseJumpRebuilds) {
+  const EpochSampler sampler(small_config());
+  FutureAccessOracle oracle(sampler, 2);
+  oracle.rebase(5);
+  EXPECT_EQ(oracle.first_epoch(), 5U);
+  const std::uint32_t I = sampler.iterations_per_epoch();
+  // All next accesses now land in epochs [5, 7).
+  for (SampleId s = 0; s < 64; ++s) {
+    const auto access = oracle.next_access(s, 0);
+    if (access) {
+      EXPECT_GE(access->iter, static_cast<IterId>(5) * I);
+      EXPECT_LT(access->iter, static_cast<IterId>(7) * I);
+    }
+  }
+}
+
+TEST(FutureAccessOracle, RejectsZeroWindow) {
+  const EpochSampler sampler(small_config());
+  EXPECT_THROW(FutureAccessOracle(sampler, 0), std::invalid_argument);
+}
+
+TEST(ReuseAnalysis, SingleNodeDistanceIsOnePermutationApart) {
+  SamplerConfig config;
+  config.num_samples = 256;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  config.batch_size = 8;
+  config.seed = 3;
+  const EpochSampler sampler(config);
+  const auto analysis = analyze_reuse(sampler, 4, 0);
+  // One node sees every sample once per epoch: 3 reuse pairs per sample.
+  EXPECT_EQ(analysis.pairs, 3U * 256U);
+  // Distances average about I (one epoch apart).
+  const double I = sampler.iterations_per_epoch();
+  EXPECT_NEAR(analysis.mean_distance, I, I * 0.2);
+}
+
+TEST(ReuseAnalysis, MultiNodeDistancesAreLong) {
+  SamplerConfig config;
+  config.num_samples = 4096;
+  config.nodes = 8;
+  config.gpus_per_node = 2;
+  config.batch_size = 8;
+  config.seed = 3;
+  const EpochSampler sampler(config);
+  const auto analysis = analyze_reuse(sampler, 6, 1);
+  ASSERT_GT(analysis.pairs, 0U);
+  // With 8 nodes a sample returns to the *same* node rarely; most node-level
+  // reuse distances exceed one epoch (the paper's Observation 4).
+  EXPECT_GT(analysis.fraction_beyond_epoch, 0.5);
+  EXPECT_GT(analysis.mean_distance, static_cast<double>(sampler.iterations_per_epoch()));
+}
+
+TEST(ReuseAnalysis, HistogramTotalsMatchPairs) {
+  SamplerConfig config;
+  config.num_samples = 512;
+  config.nodes = 2;
+  config.gpus_per_node = 2;
+  config.batch_size = 8;
+  config.seed = 11;
+  const EpochSampler sampler(config);
+  const auto analysis = analyze_reuse(sampler, 3, 0);
+  EXPECT_EQ(analysis.histogram.total(), analysis.pairs);
+}
+
+}  // namespace
+}  // namespace lobster::data
+
+// ---- access-trace recording and analysis (appended coverage).
+
+#include "baselines/strategies.hpp"
+#include "data/trace.hpp"
+#include "pipeline/simulator.hpp"
+
+namespace lobster::data {
+namespace {
+
+TEST(AccessTrace, TierCountsAndCsv) {
+  AccessTrace trace;
+  trace.append({0, 0, 0, 1, ServedBy::kMemory});
+  trace.append({0, 0, 1, 2, ServedBy::kPfs});
+  trace.append({1, 1, 0, 3, ServedBy::kRemote});
+  trace.append({1, 0, 0, 4, ServedBy::kSsd});
+  const auto counts = trace.tier_counts();
+  EXPECT_EQ(counts.memory, 1U);
+  EXPECT_EQ(counts.ssd, 1U);
+  EXPECT_EQ(counts.remote, 1U);
+  EXPECT_EQ(counts.pfs, 1U);
+  EXPECT_EQ(counts.total(), 4U);
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("iter,node,gpu,sample,served_by"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,1,2,pfs"), std::string::npos);
+}
+
+TEST(AccessTrace, PfsSkewMeasuresImbalance) {
+  AccessTrace trace;
+  // GPU 0 takes 3 misses, GPU 1 takes 1: skew = 3 / 2 = 1.5.
+  for (int i = 0; i < 3; ++i) trace.append({0, 0, 0, SampleId(i), ServedBy::kPfs});
+  trace.append({0, 0, 1, 9, ServedBy::kPfs});
+  EXPECT_NEAR(trace.pfs_skew(1, 2), 1.5, 1e-9);
+  // All-memory trace: neutral skew.
+  AccessTrace warm;
+  warm.append({0, 0, 0, 1, ServedBy::kMemory});
+  EXPECT_EQ(warm.pfs_skew(1, 2), 1.0);
+}
+
+TEST(AccessTrace, SimulatorRecordsEveryAccess) {
+  auto preset = pipeline::preset_imagenet1k_single_node(2000.0);
+  preset.epochs = 2;
+  AccessTrace trace;
+  pipeline::SimulationConfig config;
+  config.preset = preset;
+  config.strategy = baselines::LoaderStrategy::nopfs();
+  config.record_trace = &trace;
+  pipeline::TrainingSimulator simulator(std::move(config));
+  const auto result = simulator.run();
+
+  const std::uint64_t expected = static_cast<std::uint64_t>(preset.epochs) *
+                                 result.iterations_per_epoch *
+                                 preset.cluster.total_gpus() * preset.batch_size;
+  EXPECT_EQ(trace.size(), expected);
+  // Trace tier counts must agree with the cache statistics.
+  const auto counts = trace.tier_counts();
+  const auto& stats = result.metrics.cache_stats();
+  EXPECT_EQ(counts.memory, stats.hits);
+  EXPECT_EQ(counts.remote + counts.pfs + counts.ssd, stats.misses);
+}
+
+TEST(AccessTrace, SaveCsvWritesFile) {
+  AccessTrace trace;
+  trace.append({0, 0, 0, 1, ServedBy::kMemory});
+  const std::string path = ::testing::TempDir() + "/trace.csv";
+  trace.save_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "iter,node,gpu,sample,served_by");
+}
+
+}  // namespace
+}  // namespace lobster::data

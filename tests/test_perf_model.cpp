@@ -1,0 +1,115 @@
+// Holistic performance model (Eq. 1–3): composition, signs, monotonicity.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hpp"
+#include "core/preproc_model.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::core {
+namespace {
+
+struct PerfModelFixture : public ::testing::Test {
+  PerfModelFixture()
+      : storage(make_storage()),
+        portfolio(PreprocGroundTruth(), {100'000}, 16, 3, 1),
+        model(storage, portfolio, /*t_train=*/13e-3) {}
+
+  static storage::StorageModel make_storage() {
+    storage::StorageModel::Params params;
+    params.remote_latency = 0.0;
+    params.pfs_latency = 0.0;
+    return storage::StorageModel(params);
+  }
+
+  static GpuDemand demand_of(Bytes local, Bytes remote, Bytes pfs, std::uint32_t samples = 32) {
+    GpuDemand demand;
+    demand.bytes.local = local;
+    demand.bytes.remote = remote;
+    demand.bytes.pfs = pfs;
+    demand.samples = samples;
+    demand.pending_requests = remote + pfs;
+    return demand;
+  }
+
+  storage::StorageModel storage;
+  PreprocModelPortfolio portfolio;
+  PerfModel model;
+};
+
+TEST_F(PerfModelFixture, RejectsNonPositiveTrainTime) {
+  EXPECT_THROW(PerfModel(storage, portfolio, 0.0), std::invalid_argument);
+}
+
+TEST_F(PerfModelFixture, LoadTimeMatchesStorageModel) {
+  const auto demand = demand_of(1'000'000, 500'000, 100'000);
+  const Seconds direct =
+      storage.load_time(demand.bytes, storage::ThreadAlloc::uniform(4.0));
+  EXPECT_DOUBLE_EQ(model.load_time(demand, 4.0), direct);
+}
+
+TEST_F(PerfModelFixture, PreprocTimeZeroForEmptyBatch) {
+  GpuDemand empty;
+  EXPECT_EQ(model.preproc_time(empty, 6.0), 0.0);
+}
+
+TEST_F(PerfModelFixture, TDifIsLoadPlusPreprocMinusTrain) {
+  const auto demand = demand_of(3'000'000, 0, 0);
+  const Seconds t_dif = model.t_dif(demand, 4.0, 6.0);
+  const Seconds expected =
+      model.load_time(demand, 4.0) + model.preproc_time(demand, 6.0) - 13e-3;
+  EXPECT_DOUBLE_EQ(t_dif, expected);
+}
+
+TEST_F(PerfModelFixture, MoreLoadThreadsShrinkTDifUpToKnee) {
+  const auto demand = demand_of(0, 0, 3'000'000);
+  const std::uint32_t knee = storage.params().pfs.knee_threads();
+  Seconds prev = 1e9;
+  for (std::uint32_t threads = 1; threads <= knee; ++threads) {
+    const Seconds dif = model.t_dif(demand, threads, 6.0);
+    EXPECT_LE(dif, prev + 1e-12);
+    prev = dif;
+  }
+  // Past the knee the curve declines, so T_dif may *rise* slightly — the
+  // very effect that makes blindly adding threads counterproductive.
+  const Seconds at_knee = model.t_dif(demand, knee, 6.0);
+  const Seconds way_past = model.t_dif(demand, knee * 4, 6.0);
+  EXPECT_GE(way_past, at_knee - 1e-9);
+}
+
+TEST_F(PerfModelFixture, GpuIterationTimeIsPipelinedMax) {
+  // Tiny batch: pipeline hides under training.
+  const auto small = demand_of(10'000, 0, 0, 1);
+  EXPECT_DOUBLE_EQ(model.gpu_iteration_time(small, 8.0, 6.0), 13e-3);
+  // Huge PFS batch: pipeline dominates.
+  const auto big = demand_of(0, 0, 50'000'000, 32);
+  EXPECT_GT(model.gpu_iteration_time(big, 1.0, 6.0), 13e-3);
+}
+
+TEST_F(PerfModelFixture, NodeImbalanceIsMaxMinusMin) {
+  const std::vector<GpuDemand> demands = {demand_of(100'000, 0, 0),
+                                          demand_of(0, 0, 10'000'000)};
+  const std::vector<double> threads = {2.0, 2.0};
+  const Seconds gap = model.node_imbalance(demands, threads, 6.0);
+  const Seconds fast = model.gpu_iteration_time(demands[0], 2.0, 6.0);
+  const Seconds slow = model.gpu_iteration_time(demands[1], 2.0, 6.0);
+  EXPECT_DOUBLE_EQ(gap, slow - fast);
+  EXPECT_GT(gap, 0.0);
+}
+
+TEST_F(PerfModelFixture, NodeImbalanceValidatesArguments) {
+  const std::vector<GpuDemand> demands = {demand_of(1, 0, 0)};
+  EXPECT_THROW(model.node_imbalance(demands, {}, 6.0), std::invalid_argument);
+  EXPECT_THROW(model.node_imbalance({}, {}, 6.0), std::invalid_argument);
+}
+
+TEST_F(PerfModelFixture, ContentionRaisesLoadTime) {
+  const auto demand = demand_of(0, 0, 1'000'000);
+  storage::Contention light;
+  storage::Contention heavy;
+  heavy.pfs_readers_node = 8;
+  heavy.pfs_readers_cluster = 64;
+  EXPECT_GT(model.load_time(demand, 2.0, heavy), model.load_time(demand, 2.0, light));
+}
+
+}  // namespace
+}  // namespace lobster::core

@@ -1,0 +1,158 @@
+// Piecewise linear regression: exact recovery of known lines, breakpoint
+// discovery, extrapolation, goodness of fit, argmin/argmax.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/piecewise_linear.hpp"
+#include "common/rng.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const auto line = fit_line(xs, ys);
+  EXPECT_NEAR(line.slope, 3.0, 1e-9);
+  EXPECT_NEAR(line.intercept, -7.0, 1e-9);
+  EXPECT_EQ(line.x_lo, 0.0);
+  EXPECT_EQ(line.x_hi, 19.0);
+}
+
+TEST(FitLine, HandlesUnsortedInput) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const std::vector<double> ys = {10.0, 2.0, 6.0, 4.0, 8.0};  // y = 2x
+  const auto line = fit_line(xs, ys);
+  EXPECT_NEAR(line.slope, 2.0, 1e-9);
+  EXPECT_NEAR(line.intercept, 0.0, 1e-9);
+}
+
+TEST(FitLine, RejectsTooFewPoints) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+}
+
+TEST(FitLine, VerticalDataFallsBackToMean) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const auto line = fit_line(xs, ys);
+  EXPECT_NEAR(line.eval(2.0), 2.0, 1e-9);
+}
+
+double vee(double x) { return x < 10.0 ? 20.0 - 2.0 * x : 0.5 * (x - 10.0); }
+
+TEST(PiecewiseFit, RecoversVeeShape) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(vee(i));
+  }
+  const auto model = fit_piecewise_linear(xs, ys, 2);
+  EXPECT_LE(model.segments().size(), 2U);
+  for (int i = 0; i <= 20; ++i) EXPECT_NEAR(model.eval(i), vee(i), 0.35);
+  EXPECT_GT(r_squared(model, xs, ys), 0.99);
+}
+
+TEST(PiecewiseFit, SingleSegmentWhenLimited) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(vee(i));
+  }
+  const auto model = fit_piecewise_linear(xs, ys, 1);
+  EXPECT_EQ(model.segments().size(), 1U);
+}
+
+TEST(PiecewiseFit, MoreSegmentsNeverFitWorse) {
+  Rng rng(77);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 30; ++i) {
+    xs.push_back(i);
+    ys.push_back(vee(i) + rng.normal(0.0, 0.1));
+  }
+  double prev_r2 = -1.0;
+  for (std::size_t segments = 1; segments <= 4; ++segments) {
+    const auto model = fit_piecewise_linear(xs, ys, segments);
+    const double r2 = r_squared(model, xs, ys);
+    EXPECT_GE(r2, prev_r2 - 1e-9) << "segments=" << segments;
+    prev_r2 = r2;
+  }
+}
+
+TEST(PiecewiseFit, SegmentPenaltyReducesSegmentCount) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  Rng rng(3);
+  for (int i = 0; i <= 40; ++i) {
+    xs.push_back(i);
+    ys.push_back(vee(i) + rng.normal(0.0, 0.02));
+  }
+  const auto cheap = fit_piecewise_linear(xs, ys, 8, 0.0);
+  const auto penalized = fit_piecewise_linear(xs, ys, 8, 1e6);
+  EXPECT_LE(penalized.segments().size(), cheap.segments().size());
+  EXPECT_EQ(penalized.segments().size(), 1U);
+}
+
+TEST(PiecewiseModel, ExtrapolatesWithEdgeSegments) {
+  PiecewiseLinearModel model({{0.0, 10.0, 1.0, 0.0}, {10.0, 20.0, -1.0, 20.0}});
+  EXPECT_NEAR(model.eval(-5.0), -5.0, 1e-12);   // first segment extended
+  EXPECT_NEAR(model.eval(25.0), -5.0, 1e-12);   // last segment extended
+  EXPECT_NEAR(model.eval(5.0), 5.0, 1e-12);
+  EXPECT_NEAR(model.eval(15.0), 5.0, 1e-12);
+}
+
+TEST(PiecewiseModel, ArgminArgmaxAtSegmentEndpoints) {
+  PiecewiseLinearModel model({{0.0, 10.0, -2.0, 20.0}, {10.0, 20.0, 1.0, -10.0}});
+  // y: 20 -> 0 on [0,10], 0 -> 10 on [10,20]: min at x=10, max at x=0.
+  EXPECT_DOUBLE_EQ(model.argmin(), 10.0);
+  EXPECT_DOUBLE_EQ(model.argmax(), 0.0);
+}
+
+TEST(PiecewiseModel, EmptyEvalsToZero) {
+  PiecewiseLinearModel model;
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(model.eval(123.0), 0.0);
+}
+
+class NoiseFitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseFitTest, FitQualityDegradesGracefully) {
+  const double sigma = GetParam();
+  Rng rng(derive_seed(5, static_cast<std::uint64_t>(sigma * 1000)));
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 32; ++i) {
+    xs.push_back(i);
+    ys.push_back(vee(i) * (1.0 + rng.normal(0.0, sigma)));
+  }
+  const auto model = fit_piecewise_linear(xs, ys, 4);
+  EXPECT_GT(r_squared(model, xs, ys), sigma < 0.005 ? 0.98 : 0.90);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseFitTest, ::testing::Values(0.0, 0.01, 0.03, 0.1));
+
+TEST(RSquared, PerfectAndMeanFits) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {2, 4, 6, 8};
+  const auto good = fit_piecewise_linear(xs, ys, 1);
+  EXPECT_NEAR(r_squared(good, xs, ys), 1.0, 1e-9);
+  // Constant model on constant data: defined as 1 (zero residual).
+  std::vector<double> flat = {5, 5, 5, 5};
+  const auto flat_model = fit_piecewise_linear(xs, flat, 1);
+  EXPECT_NEAR(r_squared(flat_model, xs, flat), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lobster

@@ -1,0 +1,350 @@
+// Eviction policies: LRU/FIFO victim orders, and the Lobster reuse policy's
+// furthest-first choice, prefetch coordination refusal, sole-copy guard,
+// and epoch rekeying.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/policies.hpp"
+#include "data/dataset.hpp"
+#include "data/oracle.hpp"
+#include "data/sampler.hpp"
+
+namespace lobster::cache {
+namespace {
+
+EvictionContext plain_context(IterId now = 0) {
+  EvictionContext context;
+  context.now = now;
+  context.iterations_per_epoch = 8;
+  return context;
+}
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed) {
+  LruPolicy policy;
+  policy.on_insert(1, 0);
+  policy.on_insert(2, 1);
+  policy.on_insert(3, 2);
+  policy.on_access(1, 3);
+  EXPECT_EQ(policy.pick_victim(plain_context()), 2U);
+}
+
+TEST(LruPolicy, RespectsCanEvict) {
+  LruPolicy policy;
+  policy.on_insert(1, 0);
+  policy.on_insert(2, 1);
+  auto context = plain_context();
+  context.can_evict = [](SampleId s) { return s != 1; };
+  EXPECT_EQ(policy.pick_victim(context), 2U);
+  context.can_evict = [](SampleId) { return false; };
+  EXPECT_EQ(policy.pick_victim(context), kInvalidSample);
+}
+
+TEST(LruPolicy, EvictNotifiedRemovesTracking) {
+  LruPolicy policy;
+  policy.on_insert(1, 0);
+  policy.on_insert(2, 1);
+  policy.on_evict(1);
+  EXPECT_EQ(policy.pick_victim(plain_context()), 2U);
+  policy.on_evict(2);
+  EXPECT_EQ(policy.pick_victim(plain_context()), kInvalidSample);
+}
+
+TEST(FifoPolicy, EvictsOldestInsertionRegardlessOfAccess) {
+  FifoPolicy policy;
+  policy.on_insert(1, 0);
+  policy.on_insert(2, 1);
+  policy.on_access(1, 5);  // FIFO ignores recency
+  EXPECT_EQ(policy.pick_victim(plain_context()), 1U);
+}
+
+TEST(MakePolicy, KnownNamesAndErrors) {
+  EXPECT_NE(make_policy("lru"), nullptr);
+  EXPECT_NE(make_policy("fifo"), nullptr);
+  EXPECT_NE(make_policy("lobster"), nullptr);
+  EXPECT_THROW(make_policy("clock-pro"), std::invalid_argument);
+}
+
+// ---- LobsterReusePolicy against a real sampler-backed oracle.
+
+struct LobsterFixture : public ::testing::Test {
+  LobsterFixture()
+      : sampler(make_sampler_config()), oracle(sampler, 2) {}
+
+  static data::SamplerConfig make_sampler_config() {
+    data::SamplerConfig config;
+    config.num_samples = 256;
+    config.nodes = 2;
+    config.gpus_per_node = 2;
+    config.batch_size = 8;
+    config.seed = 21;
+    return config;
+  }
+
+  EvictionContext context(IterId now, CacheDirectory* directory = nullptr) const {
+    EvictionContext ctx;
+    ctx.node = 0;
+    ctx.now = now;
+    ctx.iterations_per_epoch = sampler.iterations_per_epoch();
+    ctx.oracle = &oracle;
+    ctx.directory = directory;
+    return ctx;
+  }
+
+  data::EpochSampler sampler;
+  data::FutureAccessOracle oracle;
+};
+
+TEST_F(LobsterFixture, PicksFurthestNextUse) {
+  LobsterReusePolicy policy;
+  policy.bind(&oracle, 0);
+
+  // Insert three samples whose next use on node 0 we know.
+  const auto batch0 = sampler.minibatch(0, 2, 0, 0);
+  const auto batch1 = sampler.minibatch(0, 5, 0, 0);
+  const SampleId soon = batch0[0];   // used at iteration 2
+  const SampleId later = batch1[0];  // used at iteration 5
+  policy.on_insert(soon, 0);
+  policy.on_insert(later, 0);
+
+  const SampleId victim = policy.pick_victim(context(0));
+  // Victim must be whichever is used later on node 0 (or never in-window).
+  const IterId soon_dist = oracle.reuse_distance_on_node(soon, 0, 0);
+  const IterId later_dist = oracle.reuse_distance_on_node(later, 0, 0);
+  if (soon_dist < later_dist) {
+    EXPECT_EQ(victim, later);
+  } else {
+    EXPECT_EQ(victim, soon);
+  }
+}
+
+TEST_F(LobsterFixture, NeverBucketPreferred) {
+  LobsterReusePolicy policy;
+  policy.bind(&oracle, 0);
+  // A sample only ever used by node 1 has no in-window use on node 0.
+  SampleId other_node_sample = kInvalidSample;
+  SampleId our_sample = kInvalidSample;
+  for (SampleId s = 0; s < 256; ++s) {
+    const bool ours = oracle.next_access_on_node(s, 0, 0).has_value();
+    const bool theirs = oracle.next_access_on_node(s, 1, 0).has_value();
+    if (!ours && theirs && other_node_sample == kInvalidSample) other_node_sample = s;
+    if (ours && our_sample == kInvalidSample) our_sample = s;
+  }
+  ASSERT_NE(other_node_sample, kInvalidSample);
+  ASSERT_NE(our_sample, kInvalidSample);
+
+  policy.on_insert(our_sample, 0);
+  policy.on_insert(other_node_sample, 0);
+  EXPECT_EQ(policy.pick_victim(context(0)), other_node_sample);
+}
+
+TEST_F(LobsterFixture, CoordinationRefusesEvictingSoonerNeeded) {
+  LobsterReusePolicy policy;
+  policy.bind(&oracle, 0);
+  // Resident used soon; incoming sample needed much later -> refuse.
+  SampleId soon = kInvalidSample;
+  for (SampleId s = 0; s < 256; ++s) {
+    const auto d = oracle.reuse_distance_on_node(s, 0, 0);
+    if (d != kNeverIter && d <= 3) {
+      soon = s;
+      break;
+    }
+  }
+  ASSERT_NE(soon, kInvalidSample);
+  policy.on_insert(soon, 0);
+
+  auto ctx = context(0);
+  ctx.incoming_reuse_distance = 1000;  // newcomer needed far in the future
+  EXPECT_EQ(policy.pick_victim(ctx), kInvalidSample);
+
+  // Incoming needed sooner than the resident -> eviction proceeds.
+  ctx.incoming_reuse_distance = 0;
+  EXPECT_EQ(policy.pick_victim(ctx), soon);
+}
+
+TEST_F(LobsterFixture, SoleCopyGuardPrefersOtherVictims) {
+  LobsterReusePolicy policy;
+  policy.bind(&oracle, 0);
+  CacheDirectory directory(2);
+
+  // Find a sample needed by node 1 in-window, and one needed by nobody else.
+  SampleId guarded = kInvalidSample;
+  for (SampleId s = 0; s < 256 && guarded == kInvalidSample; ++s) {
+    if (!oracle.next_access_on_node(s, 0, 0).has_value() &&
+        oracle.needed_by_other_node(s, 0, 0)) {
+      guarded = s;
+    }
+  }
+  ASSERT_NE(guarded, kInvalidSample);
+
+  // Both samples keyed "never" on node 0 and needed by node 1; the guarded
+  // one is node 0's sole copy, the other is replicated on node 1 (so
+  // evicting it costs the group nothing).
+  SampleId unguarded = kInvalidSample;
+  for (SampleId s = 0; s < 256 && unguarded == kInvalidSample; ++s) {
+    if (s != guarded && !oracle.next_access_on_node(s, 0, 0).has_value() &&
+        oracle.needed_by_other_node(s, 0, 0)) {
+      unguarded = s;
+    }
+  }
+  ASSERT_NE(unguarded, kInvalidSample);
+
+  directory.add(guarded, 0);    // sole holder
+  directory.add(unguarded, 0);
+  directory.add(unguarded, 1);  // replicated
+
+  policy.on_insert(guarded, 0);
+  policy.on_insert(unguarded, 0);
+  EXPECT_EQ(policy.pick_victim(context(0, &directory)), unguarded);
+}
+
+TEST_F(LobsterFixture, GuardFallsBackWhenEveryCandidateGuarded) {
+  LobsterReusePolicy policy;
+  policy.bind(&oracle, 0);
+  CacheDirectory directory(2);
+  // One resident, guarded: sole copy + needed by node 1. Eviction must still
+  // succeed (second pass) rather than deadlock the cache.
+  SampleId guarded = kInvalidSample;
+  for (SampleId s = 0; s < 256; ++s) {
+    if (oracle.needed_by_other_node(s, 0, 0)) {
+      guarded = s;
+      break;
+    }
+  }
+  ASSERT_NE(guarded, kInvalidSample);
+  directory.add(guarded, 0);
+  policy.on_insert(guarded, 0);
+  EXPECT_EQ(policy.pick_victim(context(0, &directory)), guarded);
+}
+
+TEST_F(LobsterFixture, OnEpochRekeysNeverBucket) {
+  LobsterReusePolicy policy;
+  policy.bind(&oracle, 0);
+  const std::uint32_t I = sampler.iterations_per_epoch();
+
+  // Sample whose next node-0 use is in epoch 2 (outside window [0,2)).
+  SampleId future_sample = kInvalidSample;
+  data::FutureAccessOracle wide(sampler, 3);
+  for (SampleId s = 0; s < 256; ++s) {
+    const auto next = wide.next_access_on_node(s, 0, 2ULL * I - 1);
+    if (next && !oracle.next_access_on_node(s, 0, 0).has_value()) {
+      future_sample = s;
+      break;
+    }
+  }
+  if (future_sample == kInvalidSample) GTEST_SKIP() << "no suitable sample in this seed";
+
+  policy.on_insert(future_sample, 0);
+  // Initially keyed "never" -> is the preferred victim.
+  EXPECT_EQ(policy.pick_victim(context(0)), future_sample);
+
+  // Slide the oracle window so the future use becomes visible, rekey.
+  oracle.rebase(1);
+  auto ctx = context(static_cast<IterId>(I));
+  policy.on_epoch(ctx);
+  // Now the sample has a known next use; with incoming_reuse_distance very
+  // large the coordination rule should refuse to evict it... unless its use
+  // is still beyond the window. Just assert the key is no longer "never":
+  ctx.incoming_reuse_distance = kNeverIter - 1;  // effectively infinite
+  // A "never" bucket would still evict; a keyed bucket refuses because the
+  // resident is needed sooner than the (infinitely later) newcomer.
+  EXPECT_EQ(policy.pick_victim(ctx), kInvalidSample);
+}
+
+}  // namespace
+}  // namespace lobster::cache
+
+// ---- RandomPolicy and the extended factory names (appended coverage).
+
+namespace lobster::cache {
+namespace {
+
+TEST(RandomPolicy, TracksResidentsAndRespectsPins) {
+  RandomPolicy policy(7);
+  for (SampleId s = 0; s < 10; ++s) policy.on_insert(s, 0);
+  EvictionContext context;
+  context.can_evict = [](SampleId s) { return s == 4; };
+  EXPECT_EQ(policy.pick_victim(context), 4U);  // only candidate allowed
+  context.can_evict = [](SampleId) { return false; };
+  EXPECT_EQ(policy.pick_victim(context), kInvalidSample);
+}
+
+TEST(RandomPolicy, EvictedSamplesNeverChosenAgain) {
+  RandomPolicy policy(9);
+  policy.on_insert(1, 0);
+  policy.on_insert(2, 0);
+  policy.on_evict(1);
+  EvictionContext context;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(policy.pick_victim(context), 2U);
+  policy.on_evict(2);
+  EXPECT_EQ(policy.pick_victim(context), kInvalidSample);
+}
+
+TEST(RandomPolicy, DeterministicInSeed) {
+  RandomPolicy a(3);
+  RandomPolicy b(3);
+  for (SampleId s = 0; s < 100; ++s) {
+    a.on_insert(s, 0);
+    b.on_insert(s, 0);
+  }
+  EvictionContext context;
+  for (int i = 0; i < 10; ++i) {
+    const SampleId va = a.pick_victim(context);
+    EXPECT_EQ(va, b.pick_victim(context));
+    a.on_evict(va);
+    b.on_evict(va);
+  }
+}
+
+TEST(MakePolicy, ExtendedNames) {
+  EXPECT_NE(make_policy("random"), nullptr);
+  EXPECT_NE(make_policy("belady"), nullptr);
+  EXPECT_NE(make_policy("lobster-nocoord"), nullptr);
+}
+
+TEST_F(LobsterFixture, BeladyIgnoresCoordination) {
+  // "belady" = LobsterReusePolicy with coordination off: it always evicts
+  // the furthest-next-use resident even for a later-needed newcomer.
+  auto policy = make_policy("belady");
+  auto* reuse = dynamic_cast<LobsterReusePolicy*>(policy.get());
+  ASSERT_NE(reuse, nullptr);
+  reuse->bind(&oracle, 0);
+
+  SampleId soon = kInvalidSample;
+  for (SampleId s = 0; s < 256; ++s) {
+    const auto d = oracle.reuse_distance_on_node(s, 0, 0);
+    if (d != kNeverIter && d <= 3) {
+      soon = s;
+      break;
+    }
+  }
+  ASSERT_NE(soon, kInvalidSample);
+  policy->on_insert(soon, 0);
+  auto ctx = context(0);
+  ctx.incoming_reuse_distance = 1000;
+  EXPECT_EQ(policy->pick_victim(ctx), soon);  // full Lobster would refuse
+}
+
+TEST_F(LobsterFixture, NocoordKeepsGuardButEvictsForLaterNewcomers) {
+  auto policy = make_policy("lobster-nocoord");
+  auto* reuse = dynamic_cast<LobsterReusePolicy*>(policy.get());
+  ASSERT_NE(reuse, nullptr);
+  reuse->bind(&oracle, 0);
+  SampleId any = kInvalidSample;
+  for (SampleId s = 0; s < 256; ++s) {
+    if (oracle.reuse_distance_on_node(s, 0, 0) != kNeverIter) {
+      any = s;
+      break;
+    }
+  }
+  ASSERT_NE(any, kInvalidSample);
+  policy->on_insert(any, 0);
+  auto ctx = context(0);
+  ctx.incoming_reuse_distance = kNeverIter - 1;
+  EXPECT_EQ(policy->pick_victim(ctx), any);
+}
+
+}  // namespace
+}  // namespace lobster::cache

@@ -1,0 +1,147 @@
+// Deterministic prefetch planning: nearest-first order, per-source budgets,
+// resident skipping, GPU interleaving, end-of-training bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/policies.hpp"
+#include "cache/prefetcher.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+
+namespace lobster::cache {
+namespace {
+
+struct PrefetcherFixture : public ::testing::Test {
+  PrefetcherFixture()
+      : catalog(data::DatasetSpec::uniform(512, 1000), 1),
+        sampler(make_config()),
+        cache(0, 500'000, make_policy("lru"), catalog, nullptr, nullptr,
+              sampler.iterations_per_epoch()) {}
+
+  static data::SamplerConfig make_config() {
+    data::SamplerConfig config;
+    config.num_samples = 512;
+    config.nodes = 2;
+    config.gpus_per_node = 2;
+    config.batch_size = 8;
+    config.seed = 5;
+    return config;
+  }
+
+  data::SampleCatalog catalog;
+  data::EpochSampler sampler;
+  NodeCache cache;
+};
+
+TEST_F(PrefetcherFixture, RejectsZeroLookahead) {
+  EXPECT_THROW(Prefetcher(sampler, catalog, 0), std::invalid_argument);
+}
+
+TEST_F(PrefetcherFixture, PlansNearestIterationsFirst) {
+  const Prefetcher prefetcher(sampler, catalog, 4);
+  const auto plan = prefetcher.plan(0, 0, 0, cache, nullptr, 0, 1'000'000, 10);
+  ASSERT_FALSE(plan.fetches.empty());
+  IterId prev = 0;
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_GE(fetch.first_use, prev);
+    prev = fetch.first_use;
+  }
+  // First planned samples belong to iteration 1 (the very next one).
+  EXPECT_EQ(plan.fetches.front().first_use, 1U);
+}
+
+TEST_F(PrefetcherFixture, BudgetTruncatesPlan) {
+  const Prefetcher prefetcher(sampler, catalog, 4);
+  // Each sample is 1000 bytes; budget for exactly 5 samples.
+  const auto plan = prefetcher.plan(0, 0, 0, cache, nullptr, 0, 5000, 10);
+  EXPECT_EQ(plan.fetches.size(), 5U);
+  EXPECT_EQ(plan.total_bytes, 5000U);
+  EXPECT_EQ(plan.pfs_bytes, 5000U);
+  EXPECT_EQ(plan.remote_bytes, 0U);
+}
+
+TEST_F(PrefetcherFixture, ZeroBudgetsPlanNothing) {
+  const Prefetcher prefetcher(sampler, catalog, 4);
+  const auto plan = prefetcher.plan(0, 0, 0, cache, nullptr, 0, 0, 10);
+  EXPECT_TRUE(plan.fetches.empty());
+}
+
+TEST_F(PrefetcherFixture, SkipsResidentSamples) {
+  const Prefetcher prefetcher(sampler, catalog, 2);
+  // Make everything the node needs next iteration resident.
+  for (const SampleId s : sampler.node_batch(0, 1, 0)) cache.insert(s, 0);
+  const auto plan = prefetcher.plan(0, 0, 0, cache, nullptr, 0, 1'000'000, 10);
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_FALSE(cache.peek(fetch.sample));
+    EXPECT_EQ(fetch.first_use, 2U);  // iteration 1 fully resident
+  }
+}
+
+TEST_F(PrefetcherFixture, NoDuplicateSamplesInPlan) {
+  const Prefetcher prefetcher(sampler, catalog, 8);
+  const auto plan = prefetcher.plan(0, 0, 0, cache, nullptr, 0, 1'000'000, 10);
+  std::set<SampleId> unique;
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_TRUE(unique.insert(fetch.sample).second);
+  }
+}
+
+TEST_F(PrefetcherFixture, StopsAtEndOfTraining) {
+  const Prefetcher prefetcher(sampler, catalog, 100);
+  const std::uint32_t I = sampler.iterations_per_epoch();
+  // Plan from the second-to-last iteration of the final epoch.
+  const auto plan =
+      prefetcher.plan(0, /*epoch=*/1, /*iteration=*/I - 2, cache, nullptr, 0, 1'000'000,
+                      /*total_epochs=*/2);
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_LT(fetch.first_use, static_cast<IterId>(2) * I);
+  }
+  // Only the final iteration remains plannable.
+  for (const auto& fetch : plan.fetches) EXPECT_EQ(fetch.first_use, 2ULL * I - 1);
+}
+
+TEST_F(PrefetcherFixture, InterleavesAcrossGpus) {
+  const Prefetcher prefetcher(sampler, catalog, 1);
+  // Budget for 4 samples; with interleaving the plan must cover both GPUs
+  // rather than exhausting GPU 0's batch first.
+  const auto plan = prefetcher.plan(0, 0, 0, cache, nullptr, 0, 4000, 10);
+  ASSERT_EQ(plan.fetches.size(), 4U);
+  const auto g0 = sampler.minibatch(0, 1, 0, 0);
+  const auto g1 = sampler.minibatch(0, 1, 0, 1);
+  int from_g0 = 0;
+  int from_g1 = 0;
+  for (const auto& fetch : plan.fetches) {
+    if (std::find(g0.begin(), g0.end(), fetch.sample) != g0.end()) ++from_g0;
+    if (std::find(g1.begin(), g1.end(), fetch.sample) != g1.end()) ++from_g1;
+  }
+  EXPECT_EQ(from_g0, 2);
+  EXPECT_EQ(from_g1, 2);
+}
+
+TEST_F(PrefetcherFixture, DirectoryRoutesToRemoteWithSeparateBudget) {
+  const Prefetcher prefetcher(sampler, catalog, 1);
+  CacheDirectory directory(2);
+  const auto next_batch = sampler.node_batch(0, 1, 0);
+  // First two next-iteration samples live on node 1.
+  directory.add(next_batch[0], 1);
+  directory.add(next_batch[1], 1);
+
+  const auto plan =
+      prefetcher.plan(0, 0, 0, cache, &directory, /*remote_budget=*/1000, /*pfs_budget=*/2000, 10);
+  // Remote budget fits one sample; PFS budget two.
+  EXPECT_EQ(plan.remote_bytes, 1000U);
+  EXPECT_EQ(plan.pfs_bytes, 2000U);
+  int remote = 0;
+  for (const auto& fetch : plan.fetches) {
+    if (fetch.source == FetchSource::kRemoteCache) ++remote;
+  }
+  EXPECT_EQ(remote, 1);
+}
+
+}  // namespace
+}  // namespace lobster::cache

@@ -1,0 +1,137 @@
+// Preprocessing ground truth (Fig. 6 shape) and the piecewise regression
+// portfolio (§4.1): fit quality, knee detection, size scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/preproc_model.hpp"
+
+namespace lobster::core {
+namespace {
+
+TEST(PreprocGroundTruth, ThroughputPeaksAtKnee) {
+  PreprocGroundTruth truth;  // knee at 6 threads
+  const double peak = truth.throughput_bps(6);
+  EXPECT_DOUBLE_EQ(peak, truth.params().peak_bps);
+  EXPECT_LT(truth.throughput_bps(3), peak);
+  EXPECT_LE(truth.throughput_bps(12), peak);  // declines past the knee
+  EXPECT_LT(truth.throughput_bps(20), truth.throughput_bps(7));
+}
+
+TEST(PreprocGroundTruth, ThroughputRampIsLinear) {
+  PreprocGroundTruth truth;
+  EXPECT_NEAR(truth.throughput_bps(3), truth.params().peak_bps * 0.5, 1e-6);
+  EXPECT_NEAR(truth.throughput_bps(1.5), truth.params().peak_bps * 0.25, 1e-6);
+}
+
+TEST(PreprocGroundTruth, DeclineRespectsFloor) {
+  PreprocGroundTruth::Params params;
+  params.decline_per_thread = 0.1;
+  params.floor_fraction = 0.7;
+  const PreprocGroundTruth truth(params);
+  EXPECT_NEAR(truth.throughput_bps(1000), params.peak_bps * 0.7, 1e-6);
+}
+
+TEST(PreprocGroundTruth, TimePerSampleHasFixedOverhead) {
+  PreprocGroundTruth truth;
+  const Seconds tiny = truth.time_per_sample(6, 1);
+  EXPECT_GE(tiny, truth.params().per_sample_overhead);
+}
+
+TEST(PreprocGroundTruth, ZeroThreadsIsInfinite) {
+  PreprocGroundTruth truth;
+  EXPECT_TRUE(std::isinf(truth.time_per_sample(0, 1000)));
+  EXPECT_TRUE(std::isinf(truth.batch_time(0, 1000, 10)));
+}
+
+TEST(PreprocGroundTruth, MeasurementNoiseIsDeterministicAndBounded) {
+  PreprocGroundTruth truth;
+  const Seconds a = truth.measure_time_per_sample(4, 100'000, 7);
+  const Seconds b = truth.measure_time_per_sample(4, 100'000, 7);
+  EXPECT_EQ(a, b);
+  const Seconds ideal = truth.time_per_sample(4, 100'000);
+  EXPECT_GT(a, ideal * 0.84);
+  EXPECT_LT(a, ideal * 1.16);
+}
+
+TEST(PreprocGroundTruth, RejectsBadParams) {
+  PreprocGroundTruth::Params bad_peak;
+  bad_peak.peak_bps = 0.0;
+  EXPECT_THROW(PreprocGroundTruth{bad_peak}, std::invalid_argument);
+  PreprocGroundTruth::Params bad_knee;
+  bad_knee.knee_threads = 0;
+  EXPECT_THROW(PreprocGroundTruth{bad_knee}, std::invalid_argument);
+}
+
+PreprocModelPortfolio make_portfolio(std::uint32_t max_threads = 16) {
+  const PreprocGroundTruth truth;
+  return PreprocModelPortfolio(truth, {50'000, 100'000, 200'000}, max_threads, 3, 42);
+}
+
+TEST(PreprocModelPortfolio, FitsGroundTruthWell) {
+  const auto portfolio = make_portfolio();
+  EXPECT_EQ(portfolio.models(), 3U);
+  for (const Bytes size : {50'000ULL, 100'000ULL, 200'000ULL}) {
+    EXPECT_GT(portfolio.fit_r_squared(size), 0.95) << "size " << size;
+  }
+}
+
+TEST(PreprocModelPortfolio, PredictionsTrackGroundTruth) {
+  const PreprocGroundTruth truth;
+  const auto portfolio = make_portfolio();
+  for (std::uint32_t threads = 1; threads <= 16; ++threads) {
+    const Seconds predicted = portfolio.predict_time_per_sample(threads, 100'000);
+    const Seconds actual = truth.time_per_sample(threads, 100'000);
+    EXPECT_NEAR(predicted, actual, actual * 0.15) << "threads " << threads;
+  }
+}
+
+TEST(PreprocModelPortfolio, ClosestSizeModelChosenAndRescaled) {
+  const PreprocGroundTruth truth;
+  const auto portfolio = make_portfolio();
+  // 90 KB is nearest the 100 KB reference; prediction rescales by 0.9.
+  const Seconds p90 = portfolio.predict_time_per_sample(6, 90'000);
+  const Seconds p100 = portfolio.predict_time_per_sample(6, 100'000);
+  EXPECT_NEAR(p90 / p100, 0.9, 1e-9);
+}
+
+TEST(PreprocModelPortfolio, OptimalThreadsNearTrueKnee) {
+  const auto portfolio = make_portfolio();
+  const auto knee = portfolio.optimal_threads(100'000);
+  EXPECT_GE(knee, 4U);
+  EXPECT_LE(knee, 8U);  // true knee is 6; the fitted model may be off by ~2
+}
+
+TEST(PreprocModelPortfolio, OptimalThreadsIsMinimalWithinTolerance) {
+  const auto portfolio = make_portfolio();
+  // Huge tolerance -> fewest threads acceptable.
+  EXPECT_EQ(portfolio.optimal_threads(100'000, 0.99), 1U);
+}
+
+TEST(PreprocModelPortfolio, BatchTimeScalesWithSamples) {
+  const auto portfolio = make_portfolio();
+  const Seconds one = portfolio.predict_batch_time(6, 100'000, 1);
+  const Seconds ten = portfolio.predict_batch_time(6, 1'000'000, 10);
+  EXPECT_NEAR(ten, one * 10.0, one * 0.5);
+  EXPECT_EQ(portfolio.predict_batch_time(6, 0, 0), 0.0);
+}
+
+TEST(PreprocModelPortfolio, RejectsBadConstruction) {
+  const PreprocGroundTruth truth;
+  EXPECT_THROW(PreprocModelPortfolio(truth, {}, 8, 3, 1), std::invalid_argument);
+  EXPECT_THROW(PreprocModelPortfolio(truth, {1000}, 0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(PreprocModelPortfolio(truth, {1000}, 8, 0, 1), std::invalid_argument);
+}
+
+TEST(PreprocModelPortfolio, DeterministicInSeed) {
+  const PreprocGroundTruth truth;
+  const PreprocModelPortfolio a(truth, {100'000}, 8, 3, 9);
+  const PreprocModelPortfolio b(truth, {100'000}, 8, 3, 9);
+  for (std::uint32_t t = 1; t <= 8; ++t) {
+    EXPECT_EQ(a.predict_time_per_sample(t, 100'000), b.predict_time_per_sample(t, 100'000));
+  }
+}
+
+}  // namespace
+}  // namespace lobster::core

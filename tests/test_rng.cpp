@@ -1,0 +1,170 @@
+// Deterministic RNG: reproducibility, seed derivation independence,
+// distribution sanity, unbiased bounded sampling, permutation validity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(SplitMix, AdvancesStateAndDiffers) {
+  std::uint64_t state = 1;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 1;
+  EXPECT_EQ(splitmix64(state2), a);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  EXPECT_EQ(derive_seed(42, 7, 9), derive_seed(42, 7, 9));
+  EXPECT_EQ(derive_seed(42, 7, 9, 11), derive_seed(42, 7, 9, 11));
+}
+
+TEST(DeriveSeed, OrderSensitive) {
+  EXPECT_NE(derive_seed(42, 7, 9), derive_seed(42, 9, 7));
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) seeds.insert(derive_seed(42, s));
+  EXPECT_EQ(seeds.size(), 1000U);  // no collisions across 1000 streams
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(123);
+  Rng b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(9);
+  const auto first = rng();
+  rng.reseed(9);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, BoundedStaysBelowBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.bounded(0), 0U);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBound)];
+  // Each bucket expects 10000; allow 5% deviation (chi-square would be
+  // stricter; this catches gross modulo bias).
+  for (const int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+class PermutationTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PermutationTest, IsAValidPermutation) {
+  const std::uint32_t n = GetParam();
+  Rng rng(derive_seed(3, n));
+  const auto perm = random_permutation(n, rng);
+  ASSERT_EQ(perm.size(), n);
+  std::vector<std::uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST_P(PermutationTest, DifferentSeedsGiveDifferentOrders) {
+  const std::uint32_t n = GetParam();
+  if (n < 8) GTEST_SKIP() << "tiny permutations can collide legitimately";
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(random_permutation(n, a), random_permutation(n, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationTest,
+                         ::testing::Values(1U, 2U, 3U, 8U, 64U, 1000U, 4096U));
+
+TEST(Shuffle, EmptyAndSingleAreNoops) {
+  Rng rng(1);
+  std::vector<int> empty;
+  shuffle(std::span<int>(empty), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  shuffle(std::span<int>(one), rng);
+  EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace lobster

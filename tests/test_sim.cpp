@@ -1,0 +1,350 @@
+// Discrete-event engine and processor-sharing resources: deterministic
+// ordering, cancellation, exact PS completion times, per-stream caps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace lobster::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(2.0, [&] { fired.push_back(2); });
+  queue.schedule(1.0, [&] { fired.push_back(1); });
+  queue.schedule(1.0, [&] { fired.push_back(11); });  // same time, later seq
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 11, 2}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  int fired = 0;
+  const auto id = queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // double cancel
+  EXPECT_EQ(queue.live_count(), 1U);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(12345));
+  EXPECT_FALSE(queue.cancel(kInvalidEvent));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const auto early = queue.schedule(1.0, [] {});
+  queue.schedule(5.0, [] {});
+  queue.cancel(early);
+  ASSERT_TRUE(queue.next_time().has_value());
+  EXPECT_DOUBLE_EQ(*queue.next_time(), 5.0);
+}
+
+TEST(Engine, ClockAdvancesToEventTimes) {
+  Engine engine;
+  std::vector<Seconds> times;
+  engine.schedule_at(1.5, [&] { times.push_back(engine.now()); });
+  engine.schedule_in(0.5, [&] { times.push_back(engine.now()); });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<Seconds>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(engine.now(), 1.5);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int chain = 0;
+  engine.schedule_in(1.0, [&] {
+    ++chain;
+    engine.schedule_in(1.0, [&] {
+      ++chain;
+      engine.schedule_in(1.0, [&] { ++chain; });
+    });
+  });
+  const auto fired = engine.run();
+  EXPECT_EQ(fired, 3U);
+  EXPECT_EQ(chain, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, RunUntilStopsAtBound) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) engine.schedule_at(i, [&] { ++fired; });
+  engine.run(5.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.pending_events(), 5U);
+  engine.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Resource, SingleJobTakesBytesOverRate) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);  // 100 B/s
+  Seconds done_at = -1.0;
+  resource.submit(500, [&](JobId, Seconds t) { done_at = t; });
+  engine.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  EXPECT_EQ(resource.bytes_completed(), 500U);
+}
+
+TEST(Resource, TwoEqualJobsShareBandwidth) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);
+  std::vector<Seconds> completions;
+  resource.submit(500, [&](JobId, Seconds t) { completions.push_back(t); });
+  resource.submit(500, [&](JobId, Seconds t) { completions.push_back(t); });
+  engine.run();
+  ASSERT_EQ(completions.size(), 2U);
+  // Both progress at 50 B/s -> both finish at 10 s.
+  EXPECT_NEAR(completions[0], 10.0, 1e-9);
+  EXPECT_NEAR(completions[1], 10.0, 1e-9);
+}
+
+TEST(Resource, LateArrivalSlowsFirstJob) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);
+  Seconds first_done = -1.0;
+  Seconds second_done = -1.0;
+  resource.submit(500, [&](JobId, Seconds t) { first_done = t; });
+  // At t=2 the first job has 300 B left; a second job arrives.
+  engine.schedule_at(2.0, [&] {
+    resource.submit(500, [&](JobId, Seconds t) { second_done = t; });
+  });
+  engine.run();
+  // From t=2: both at 50 B/s. First finishes 300/50 = 6 s later (t=8);
+  // second then runs alone: at t=8 it has 500-300=200 left at 100 B/s -> t=10.
+  EXPECT_NEAR(first_done, 8.0, 1e-6);
+  EXPECT_NEAR(second_done, 10.0, 1e-6);
+}
+
+TEST(Resource, PerStreamCapLimitsLoneJob) {
+  Engine engine;
+  Resource resource(engine, "pfs", 1000.0, /*per_stream_bps=*/100.0);
+  Seconds done_at = -1.0;
+  resource.submit(500, [&](JobId, Seconds t) { done_at = t; });
+  engine.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);  // capped at 100 B/s despite 1000 capacity
+}
+
+TEST(Resource, ManyJobsRespectAggregateCapacity) {
+  Engine engine;
+  Resource resource(engine, "pfs", 1000.0, 100.0);
+  std::vector<Seconds> completions;
+  for (int i = 0; i < 20; ++i) {
+    resource.submit(100, [&](JobId, Seconds t) { completions.push_back(t); });
+  }
+  engine.run();
+  ASSERT_EQ(completions.size(), 20U);
+  // 20 jobs share 1000 B/s -> 50 B/s each -> 2 s.
+  for (const Seconds t : completions) EXPECT_NEAR(t, 2.0, 1e-6);
+}
+
+TEST(Resource, AbortCancelsCompletion) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);
+  bool fired = false;
+  const auto id = resource.submit(500, [&](JobId, Seconds) { fired = true; });
+  Seconds other_done = -1.0;
+  resource.submit(500, [&](JobId, Seconds t) { other_done = t; });
+  engine.schedule_at(1.0, [&] { EXPECT_TRUE(resource.abort(id)); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  // Other job: 1 s shared (50 B), then alone: 450/100 = 4.5 s -> t = 5.5.
+  EXPECT_NEAR(other_done, 5.5, 1e-6);
+  EXPECT_FALSE(resource.abort(id));  // already gone
+}
+
+TEST(Resource, ZeroByteJobCompletesImmediatelyViaEvent) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);
+  Seconds done_at = -1.0;
+  resource.submit(0, [&](JobId, Seconds t) { done_at = t; });
+  EXPECT_LT(done_at, 0.0);  // not yet: completion is event-driven
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(Resource, BusyTimeTracksActivePeriods) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);
+  resource.submit(200, [](JobId, Seconds) {});
+  engine.run();  // busy 0..2
+  EXPECT_NEAR(resource.busy_time(), 2.0, 1e-9);
+  engine.schedule_at(5.0, [&] { resource.submit(100, [](JobId, Seconds) {}); });
+  engine.run();  // idle 2..5, busy 5..6
+  EXPECT_NEAR(resource.busy_time(), 3.0, 1e-9);
+}
+
+TEST(Resource, CompletionCanResubmit) {
+  Engine engine;
+  Resource resource(engine, "disk", 100.0);
+  int completions = 0;
+  std::function<void(JobId, Seconds)> again = [&](JobId, Seconds) {
+    if (++completions < 3) resource.submit(100, again);
+  };
+  resource.submit(100, again);
+  engine.run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_NEAR(engine.now(), 3.0, 1e-6);
+}
+
+TEST(Resource, RejectsBadParameters) {
+  Engine engine;
+  EXPECT_THROW(Resource(engine, "x", 0.0), std::invalid_argument);
+  EXPECT_THROW(Resource(engine, "x", 100.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lobster::sim
+
+// ---- randomized conservation property (appended coverage).
+
+#include "common/rng.hpp"
+
+namespace lobster::sim {
+namespace {
+
+class ResourceConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResourceConservation, AllBytesEventuallyComplete) {
+  Engine engine;
+  Resource resource(engine, "r", 1000.0, 250.0);
+  Rng rng(GetParam());
+  Bytes submitted = 0;
+  std::uint64_t completions = 0;
+  // Jobs arrive over a schedule; sizes and times random but deterministic.
+  for (int i = 0; i < 50; ++i) {
+    const Seconds at = rng.uniform(0.0, 10.0);
+    const Bytes size = 1 + rng.bounded(5000);
+    submitted += size;
+    engine.schedule_at(at, [&, size] {
+      resource.submit(size, [&](JobId, Seconds) { ++completions; });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completions, 50U);
+  EXPECT_EQ(resource.bytes_completed(), submitted);
+  EXPECT_EQ(resource.active_jobs(), 0U);
+  // Throughput sanity: busy time is at least total bytes / capacity.
+  EXPECT_GE(resource.busy_time() + 1e-9, static_cast<double>(submitted) / 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceConservation, ::testing::Values(1ULL, 7ULL, 42ULL, 99ULL));
+
+}  // namespace
+}  // namespace lobster::sim
+
+// ---- fetch replay (appended coverage).
+
+#include "sim/fetch_replay.hpp"
+
+namespace lobster::sim {
+namespace {
+
+storage::StorageModel::Params replay_params() {
+  storage::StorageModel::Params params;
+  params.local = storage::ThroughputCurve("local", 100.0, 800.0);
+  params.ssd = storage::ThroughputCurve("ssd", 50.0, 400.0);
+  params.remote = storage::ThroughputCurve("remote", 50.0, 200.0);
+  params.pfs = storage::ThroughputCurve("pfs", 10.0, 40.0);
+  params.pfs_cluster_bps = 100.0;
+  params.ssd_latency = 0.0;
+  params.remote_latency = 0.0;
+  params.pfs_latency = 0.0;
+  return params;
+}
+
+TEST(FetchReplay, SingleFetchMatchesSingleStreamRate) {
+  std::vector<GpuWork> gpus(1);
+  gpus[0].threads = 1;
+  gpus[0].fetches = {{500, FetchTier::kLocal}};
+  const auto result = replay_node_iteration(gpus, replay_params());
+  // Lone local fetch: per-stream cap 100 B/s -> 5 s.
+  EXPECT_NEAR(result.gpu_load_time[0], 5.0, 1e-9);
+  EXPECT_NEAR(result.node_makespan, 5.0, 1e-9);
+}
+
+TEST(FetchReplay, ParallelWorkersOverlapFetches) {
+  std::vector<GpuWork> gpus(1);
+  gpus[0].fetches = {{100, FetchTier::kLocal}, {100, FetchTier::kLocal},
+                     {100, FetchTier::kLocal}, {100, FetchTier::kLocal}};
+  gpus[0].threads = 1;
+  const Seconds serial = replay_node_iteration(gpus, replay_params()).node_makespan;
+  gpus[0].threads = 4;
+  const Seconds parallel = replay_node_iteration(gpus, replay_params()).node_makespan;
+  EXPECT_NEAR(serial, 4.0, 1e-6);    // 4 x 1 s back-to-back
+  EXPECT_NEAR(parallel, 1.0, 1e-6);  // 4 workers, each 100 B at 100 B/s
+  EXPECT_LT(parallel, serial);
+}
+
+TEST(FetchReplay, SharedPfsCreatesCrossGpuContention) {
+  std::vector<GpuWork> gpus(2);
+  for (auto& gpu : gpus) {
+    gpu.threads = 4;
+    for (int i = 0; i < 4; ++i) gpu.fetches.push_back({40, FetchTier::kPfs});
+  }
+  // 8 concurrent PFS jobs share min(40, 100) = 40 B/s -> 5 B/s each -> 8 s.
+  const auto result = replay_node_iteration(gpus, replay_params(), 1);
+  EXPECT_NEAR(result.gpu_load_time[0], 8.0, 1e-6);
+  EXPECT_NEAR(result.gpu_load_time[1], 8.0, 1e-6);
+}
+
+TEST(FetchReplay, ClusterShareCapsPfs) {
+  std::vector<GpuWork> gpus(1);
+  gpus[0].threads = 1;
+  gpus[0].fetches = {{10, FetchTier::kPfs}};
+  // 10 reader nodes -> cluster share 100/10 = 10 B/s -> 1 s.
+  const auto shared = replay_node_iteration(gpus, replay_params(), 10);
+  EXPECT_NEAR(shared.node_makespan, 1.0, 1e-9);
+}
+
+TEST(FetchReplay, LatencyDelaysSubmission) {
+  auto params = replay_params();
+  params.pfs_latency = 2.0;
+  std::vector<GpuWork> gpus(1);
+  gpus[0].threads = 1;
+  gpus[0].fetches = {{10, FetchTier::kPfs}};
+  const auto result = replay_node_iteration(gpus, params);
+  EXPECT_NEAR(result.node_makespan, 3.0, 1e-9);  // 2 s latency + 1 s transfer
+}
+
+TEST(FetchReplay, EmptyWorkCompletesAtZero) {
+  std::vector<GpuWork> gpus(3);
+  const auto result = replay_node_iteration(gpus, replay_params());
+  EXPECT_EQ(result.node_makespan, 0.0);
+  for (const auto t : result.gpu_load_time) EXPECT_EQ(t, 0.0);
+}
+
+TEST(FetchReplay, AgreesWithAnalyticModelOnSimpleMix) {
+  // One GPU, one tier, enough threads that the per-stream cap binds in both
+  // models: DES and Eq. 1 must agree exactly.
+  const auto params = replay_params();
+  const storage::StorageModel model(params);
+  std::vector<GpuWork> gpus(1);
+  gpus[0].threads = 2;
+  for (int i = 0; i < 8; ++i) gpus[0].fetches.push_back({100, FetchTier::kLocal});
+  const auto replay = replay_node_iteration(gpus, params);
+  storage::TierBytes bytes;
+  bytes.local = 800;
+  const Seconds analytic = model.load_time(bytes, storage::ThreadAlloc::uniform(2.0));
+  EXPECT_NEAR(replay.node_makespan, analytic, analytic * 0.05);
+}
+
+}  // namespace
+}  // namespace lobster::sim

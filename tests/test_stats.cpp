@@ -1,0 +1,187 @@
+// Statistics: Welford accumulators vs direct formulas, merge correctness,
+// exact percentiles, histogram binning and rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0U);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1U);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.sum(), 5.0);
+}
+
+class RunningStatsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RunningStatsRandom, MatchesDirectComputation) {
+  Rng rng(GetParam());
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 7.0);
+    values.push_back(v);
+    stats.add(v);
+  }
+  const double mean = std::accumulate(values.begin(), values.end(), 0.0) / values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-6);
+  EXPECT_EQ(stats.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(stats.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(RunningStatsRandom, MergeEqualsConcatenation) {
+  Rng rng(derive_seed(GetParam(), 1));
+  RunningStats left;
+  RunningStats right;
+  RunningStats whole;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    left.add(v);
+    whole.add(v);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    right.add(v);
+    whole.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatsRandom, ::testing::Values(1ULL, 2ULL, 3ULL, 99ULL));
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Series, PercentileEdgeCases) {
+  Series series;
+  EXPECT_EQ(series.percentile(50), 0.0);
+  series.add(10.0);
+  EXPECT_EQ(series.percentile(0), 10.0);
+  EXPECT_EQ(series.percentile(100), 10.0);
+  EXPECT_EQ(series.percentile(50), 10.0);
+}
+
+TEST(Series, PercentilesOfKnownSequence) {
+  Series series;
+  for (int i = 1; i <= 100; ++i) series.add(i);
+  EXPECT_DOUBLE_EQ(series.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(series.percentile(100), 100.0);
+  EXPECT_NEAR(series.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(series.percentile(25), 25.75, 1e-9);
+  EXPECT_NEAR(series.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Series, PercentileCacheInvalidatedOnAdd) {
+  Series series;
+  series.add(1.0);
+  series.add(2.0);
+  EXPECT_NEAR(series.percentile(100), 2.0, 1e-12);
+  series.add(10.0);
+  EXPECT_NEAR(series.percentile(100), 10.0, 1e-12);
+}
+
+TEST(Series, MomentsAreConsistent) {
+  Series series;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) series.add(v);
+  EXPECT_DOUBLE_EQ(series.mean(), 5.0);
+  EXPECT_NEAR(series.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_EQ(series.min(), 2.0);
+  EXPECT_EQ(series.max(), 9.0);
+  EXPECT_EQ(series.sum(), 40.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(-5.0);   // clamps to bin 0
+  hist.add(0.5);    // bin 0
+  hist.add(9.99);   // bin 9
+  hist.add(100.0);  // clamps to bin 9
+  hist.add(5.0);    // bin 5
+  EXPECT_EQ(hist.total(), 5U);
+  EXPECT_EQ(hist.bin_count(0), 2U);
+  EXPECT_EQ(hist.bin_count(5), 1U);
+  EXPECT_EQ(hist.bin_count(9), 2U);
+}
+
+TEST(Histogram, FractionAbove) {
+  Histogram hist(0.0, 100.0, 10);
+  for (int i = 0; i < 80; ++i) hist.add(5.0);
+  for (int i = 0; i < 20; ++i) hist.add(95.0);
+  EXPECT_NEAR(hist.fraction_above(90.0), 0.2, 1e-12);
+  EXPECT_NEAR(hist.fraction_above(0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+  Histogram hist(0.0, 4.0, 4);
+  hist.add(1.0);
+  const std::string out = hist.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram hist;
+  EXPECT_EQ(hist.bucket_lo(0), 0U);
+  EXPECT_EQ(hist.bucket_lo(1), 1U);
+  EXPECT_EQ(hist.bucket_lo(2), 2U);
+  EXPECT_EQ(hist.bucket_lo(3), 4U);
+  EXPECT_EQ(hist.bucket_lo(11), 1024U);
+}
+
+TEST(Log2Histogram, CountsAndFraction) {
+  Log2Histogram hist;
+  hist.add(0);
+  hist.add(1);
+  hist.add(2);
+  hist.add(1500);
+  hist.add(3000);
+  EXPECT_EQ(hist.total(), 5U);
+  EXPECT_NEAR(hist.fraction_above(1000), 0.4, 1e-12);
+  EXPECT_NEAR(hist.fraction_above(0), 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace lobster

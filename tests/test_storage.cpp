@@ -1,0 +1,166 @@
+// Throughput curves and the Eq. 1 storage model with contention.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/curves.hpp"
+#include "storage/hierarchy.hpp"
+
+namespace lobster::storage {
+namespace {
+
+TEST(ThroughputCurve, RampsLinearlyBelowKnee) {
+  const ThroughputCurve curve("t", 100.0, 400.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(1), 100.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(2), 200.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(4), 400.0);
+  EXPECT_EQ(curve.knee_threads(), 4U);
+}
+
+TEST(ThroughputCurve, PlateausWithoutDecline) {
+  const ThroughputCurve curve("t", 100.0, 400.0, 0.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(10), 400.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(100), 400.0);
+}
+
+TEST(ThroughputCurve, DeclinesWithFloor) {
+  const ThroughputCurve curve("t", 100.0, 400.0, /*decline=*/0.1, /*floor=*/0.5);
+  // knee = 4; at 6 threads: 400 * (1 - 0.1*2) = 320.
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(6), 320.0);
+  // Far past the knee the floor holds: 0.5 * 400.
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(100), 200.0);
+}
+
+TEST(ThroughputCurve, FractionalThreads) {
+  const ThroughputCurve curve("t", 100.0, 400.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(curve.aggregate_bps(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.per_thread_bps(0.5), 100.0);
+}
+
+TEST(ThroughputCurve, PerThreadDecreasesAtSaturation) {
+  const ThroughputCurve curve("t", 100.0, 300.0);
+  EXPECT_DOUBLE_EQ(curve.per_thread_bps(1), 100.0);
+  EXPECT_DOUBLE_EQ(curve.per_thread_bps(6), 50.0);
+}
+
+TEST(ThroughputCurve, RejectsBadParams) {
+  EXPECT_THROW(ThroughputCurve("x", 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputCurve("x", 200.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputCurve("x", 1.0, 2.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(ThroughputCurve("x", 1.0, 2.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(ThroughputCurve, PresetsAreOrderedByLocality) {
+  const auto local = ThroughputCurve::local_memory();
+  const auto remote = ThroughputCurve::remote_cache();
+  const auto pfs = ThroughputCurve::pfs();
+  EXPECT_GT(local.peak_bps(), remote.peak_bps());
+  EXPECT_GT(remote.peak_bps(), pfs.peak_bps());
+  EXPECT_GT(local.single_stream_bps(), pfs.single_stream_bps());
+}
+
+StorageModel::Params simple_params() {
+  StorageModel::Params params;
+  params.local = ThroughputCurve("local", 100.0, 800.0);
+  params.remote = ThroughputCurve("remote", 50.0, 200.0);
+  params.pfs = ThroughputCurve("pfs", 10.0, 40.0);
+  params.pfs_cluster_bps = 100.0;
+  params.remote_latency = 0.0;
+  params.pfs_latency = 0.0;
+  return params;
+}
+
+TEST(StorageModel, Eq1SingleTierExact) {
+  const StorageModel model(simple_params());
+  TierBytes bytes;
+  bytes.local = 800;
+  // 800 bytes at aggregate(2 threads) = 200 B/s -> 4 s.
+  EXPECT_NEAR(model.load_time(bytes, ThreadAlloc::uniform(2.0)), 4.0, 1e-9);
+}
+
+TEST(StorageModel, Eq1SumsAcrossTiers) {
+  const StorageModel model(simple_params());
+  TierBytes bytes;
+  bytes.local = 100;   // at 100 B/s (1 thread) -> 1 s
+  bytes.remote = 100;  // at 50 B/s -> 2 s
+  bytes.pfs = 10;      // at 10 B/s -> 1 s
+  const auto breakdown = model.load_time_breakdown(bytes, ThreadAlloc::uniform(1.0));
+  EXPECT_NEAR(breakdown.local, 1.0, 1e-9);
+  EXPECT_NEAR(breakdown.remote, 2.0, 1e-9);
+  EXPECT_NEAR(breakdown.pfs, 1.0, 1e-9);
+  EXPECT_NEAR(breakdown.total(), 4.0, 1e-9);
+}
+
+TEST(StorageModel, LatenciesAddOncePerTier) {
+  auto params = simple_params();
+  params.remote_latency = 0.5;
+  params.pfs_latency = 1.5;
+  const StorageModel model(params);
+  TierBytes bytes;
+  bytes.remote = 50;  // 1 s transfer + 0.5 latency
+  bytes.pfs = 10;     // 1 s transfer + 1.5 latency
+  EXPECT_NEAR(model.load_time(bytes, ThreadAlloc::uniform(1.0)), 4.0, 1e-9);
+}
+
+TEST(StorageModel, EmptyTiersPayNoLatency) {
+  auto params = simple_params();
+  params.pfs_latency = 99.0;
+  const StorageModel model(params);
+  TierBytes bytes;
+  bytes.local = 100;
+  EXPECT_NEAR(model.load_time(bytes, ThreadAlloc::uniform(1.0)), 1.0, 1e-9);
+}
+
+TEST(StorageModel, IntraNodeContentionCapsTierRate) {
+  const StorageModel model(simple_params());
+  Contention contention;
+  contention.local_readers_node = 8;  // local peak 800 / 8 = 100 B/s cap
+  // 4 threads would give 400 B/s alone; contention caps at 100.
+  EXPECT_NEAR(model.local_bps(4.0, contention), 100.0, 1e-9);
+}
+
+TEST(StorageModel, ClusterPfsShareCaps) {
+  const StorageModel model(simple_params());
+  Contention contention;
+  contention.pfs_readers_cluster = 10;  // 100 / 10 = 10 B/s
+  contention.pfs_readers_node = 1;
+  EXPECT_NEAR(model.pfs_bps(4.0, contention), 10.0, 1e-9);
+}
+
+TEST(StorageModel, TightestCapWins) {
+  const StorageModel model(simple_params());
+  Contention contention;
+  contention.pfs_readers_node = 2;      // node view 40/2 = 20
+  contention.pfs_readers_cluster = 2;   // cluster 100/2 = 50
+  // Own threads: aggregate(1) = 10 — the tightest.
+  EXPECT_NEAR(model.pfs_bps(1.0, contention), 10.0, 1e-9);
+  // With 8 threads own aggregate = 40; node cap 20 binds.
+  EXPECT_NEAR(model.pfs_bps(8.0, contention), 20.0, 1e-9);
+}
+
+TEST(StorageModel, MoreThreadsNeverSlower) {
+  const StorageModel model(simple_params());
+  TierBytes bytes;
+  bytes.local = 1000;
+  bytes.remote = 500;
+  bytes.pfs = 100;
+  double prev = 1e18;
+  for (double threads = 0.5; threads <= 16.0; threads += 0.5) {
+    const double t = model.load_time(bytes, ThreadAlloc::uniform(threads));
+    EXPECT_LE(t, prev + 1e-12) << "threads=" << threads;
+    prev = t;
+  }
+}
+
+TEST(StorageModel, ZeroThreadShareStillProgresses) {
+  const StorageModel model(simple_params());
+  TierBytes bytes;
+  bytes.pfs = 10;
+  const double t = model.load_time(bytes, ThreadAlloc::uniform(0.0));
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GT(t, 0.0);
+}
+
+}  // namespace
+}  // namespace lobster::storage

@@ -1,0 +1,109 @@
+// Table rendering / CSV escaping and key=value config parsing.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(Table, RejectsEmptyColumnsAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string text = table.render_text();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = table.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Units, ByteFormatting) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024ULL), "3.00 MiB");
+  EXPECT_EQ(format_bytes(5ULL << 30), "5.00 GiB");
+}
+
+TEST(Units, TimeFormatting) {
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+  EXPECT_EQ(format_seconds(0.0035), "3.50 ms");
+  EXPECT_EQ(format_seconds(42e-6), "42.00 us");
+}
+
+TEST(Units, Literals) {
+  EXPECT_EQ(4_KiB, 4096ULL);
+  EXPECT_EQ(1_MiB, 1048576ULL);
+  EXPECT_EQ(2_GiB, 2147483648ULL);
+}
+
+TEST(Config, ParsesArgvStyleTokens) {
+  const char* argv[] = {"prog", "--nodes=8", "scale=64", "--strategy=lobster"};
+  const auto config = Config::from_args(4, argv);
+  EXPECT_EQ(config.get_int("nodes", 0), 8);
+  EXPECT_EQ(config.get_int("scale", 0), 64);
+  EXPECT_EQ(config.get_string("strategy", ""), "lobster");
+}
+
+TEST(Config, FallbacksWhenAbsent) {
+  const Config config;
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_EQ(config.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(config.get_string("missing", "x"), "x");
+  EXPECT_TRUE(config.get_bool("missing", true));
+}
+
+TEST(Config, BooleanSpellings) {
+  auto config = Config::from_tokens({"a=true", "b=0", "c=YES", "d=off"});
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+}
+
+TEST(Config, BadBooleanThrows) {
+  auto config = Config::from_tokens({"a=maybe"});
+  EXPECT_THROW(config.get_bool("a", false), std::invalid_argument);
+}
+
+TEST(Config, MissingEqualsThrows) {
+  EXPECT_THROW(Config::from_tokens({"--flag"}), std::invalid_argument);
+}
+
+TEST(Config, TracksUnconsumedKeys) {
+  auto config = Config::from_tokens({"used=1", "typo_key=2"});
+  (void)config.get_int("used", 0);
+  const auto leftover = config.unconsumed();
+  ASSERT_EQ(leftover.size(), 1U);
+  EXPECT_EQ(leftover[0], "typo_key");
+}
+
+TEST(Config, DoubleParsing) {
+  auto config = Config::from_tokens({"x=2.5e-3"});
+  EXPECT_DOUBLE_EQ(config.get_double("x", 0.0), 2.5e-3);
+}
+
+}  // namespace
+}  // namespace lobster

@@ -1,0 +1,231 @@
+// Algorithm 1: proportional apportionment, binary search improvement,
+// budget repair, Eq. 3 rebalancing, IsConsistent window.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/perf_model.hpp"
+#include "core/preproc_model.hpp"
+#include "core/thread_allocator.hpp"
+
+namespace lobster::core {
+namespace {
+
+struct AllocatorFixture : public ::testing::Test {
+  AllocatorFixture()
+      : storage(make_storage()),
+        portfolio(PreprocGroundTruth(), {100'000}, 16, 3, 1),
+        model(storage, portfolio, /*t_train=*/13e-3) {}
+
+  static storage::StorageModel make_storage() {
+    storage::StorageModel::Params params;
+    params.remote_latency = 0.0;
+    params.pfs_latency = 0.0;
+    return storage::StorageModel(params);
+  }
+
+  static GpuDemand demand_of(Bytes local, Bytes pfs, std::uint64_t pending = 0) {
+    GpuDemand demand;
+    demand.bytes.local = local;
+    demand.bytes.pfs = pfs;
+    demand.samples = 32;
+    demand.pending_requests = pending != 0 ? pending : pfs;
+    return demand;
+  }
+
+  AllocatorConfig config_with(std::uint32_t budget, Seconds tau = 0.5e-3) {
+    AllocatorConfig config;
+    config.total_load_threads = budget;
+    config.tau = tau;
+    return config;
+  }
+
+  storage::StorageModel storage;
+  PreprocModelPortfolio portfolio;
+  PerfModel model;
+};
+
+TEST_F(AllocatorFixture, RejectsBadConfig) {
+  EXPECT_THROW(ThreadAllocator(model, config_with(0)), std::invalid_argument);
+  AllocatorConfig bad = config_with(8);
+  bad.tau = 0.0;
+  EXPECT_THROW(ThreadAllocator(model, bad), std::invalid_argument);
+}
+
+TEST_F(AllocatorFixture, ProportionalSumsToBudgetAndFollowsWeights) {
+  const ThreadAllocator allocator(model, config_with(16));
+  const std::vector<GpuDemand> demands = {demand_of(0, 0, 100), demand_of(0, 0, 300),
+                                          demand_of(0, 0, 100), demand_of(0, 0, 300)};
+  const auto alloc = allocator.proportional_allocation(demands);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0U), 16U);
+  // Largest-remainder ties break deterministically by index, so equal
+  // weights may differ by one thread — never more.
+  EXPECT_LE(std::abs(static_cast<int>(alloc[1]) - static_cast<int>(alloc[3])), 1);
+  EXPECT_LE(std::abs(static_cast<int>(alloc[0]) - static_cast<int>(alloc[2])), 1);
+  EXPECT_GT(alloc[1], alloc[0]);  // 3x the pending requests
+  EXPECT_GT(alloc[3], alloc[2]);
+}
+
+TEST_F(AllocatorFixture, ProportionalGuaranteesFloor) {
+  const ThreadAllocator allocator(model, config_with(8));
+  const std::vector<GpuDemand> demands = {demand_of(0, 0, 1'000'000), demand_of(0, 0, 1),
+                                          demand_of(0, 0, 1), demand_of(0, 0, 1)};
+  const auto alloc = allocator.proportional_allocation(demands);
+  for (const auto threads : alloc) EXPECT_GE(threads, 1U);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0U), 8U);
+}
+
+TEST_F(AllocatorFixture, ProportionalHandlesNoInformation) {
+  const ThreadAllocator allocator(model, config_with(6));
+  const std::vector<GpuDemand> demands(4);  // all-zero weights
+  const auto alloc = allocator.proportional_allocation(demands);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0U), 6U);
+}
+
+TEST_F(AllocatorFixture, ProportionalRejectsEmpty) {
+  const ThreadAllocator allocator(model, config_with(4));
+  EXPECT_THROW(allocator.proportional_allocation({}), std::invalid_argument);
+}
+
+TEST_F(AllocatorFixture, AllocateRespectsBudget) {
+  const ThreadAllocator allocator(model, config_with(12));
+  const std::vector<GpuDemand> demands = {demand_of(0, 5'000'000), demand_of(0, 500'000),
+                                          demand_of(2'000'000, 0), demand_of(0, 2'000'000)};
+  const auto result = allocator.allocate(demands, 6.0);
+  EXPECT_LE(std::accumulate(result.threads.begin(), result.threads.end(), 0U), 12U);
+  for (const auto threads : result.threads) EXPECT_GE(threads, 1U);
+}
+
+TEST_F(AllocatorFixture, AllocateImprovesOnProportionalImbalance) {
+  AllocatorConfig config = config_with(16, /*tau=*/0.2e-3);
+  const ThreadAllocator allocator(model, config);
+  // One GPU with a heavy PFS batch, three light ones.
+  const std::vector<GpuDemand> demands = {demand_of(0, 6'000'000), demand_of(800'000, 0),
+                                          demand_of(800'000, 0), demand_of(800'000, 0)};
+  const auto proportional = allocator.proportional_allocation(demands);
+  const std::vector<double> prop_d(proportional.begin(), proportional.end());
+  const Seconds before = model.node_imbalance(demands, prop_d, 6.0);
+
+  const auto result = allocator.allocate(demands, 6.0);
+  EXPECT_TRUE(result.straggler_predicted);
+  EXPECT_LE(result.imbalance, before + 1e-9);
+  // The straggler got at least its proportional share.
+  EXPECT_GE(result.threads[0], proportional[0]);
+}
+
+TEST_F(AllocatorFixture, NoStragglerKeepsProportional) {
+  // Tiny demands: everything hides under training; |T_dif| < tau is
+  // unreachable (t_dif ~ -t_train), so use a huge tau to mark "balanced".
+  AllocatorConfig config = config_with(8, /*tau=*/1.0);
+  const ThreadAllocator allocator(model, config);
+  const std::vector<GpuDemand> demands = {demand_of(10'000, 0), demand_of(10'000, 0)};
+  const auto result = allocator.allocate(demands, 6.0);
+  EXPECT_FALSE(result.straggler_predicted);
+  const auto proportional = allocator.proportional_allocation(demands);
+  EXPECT_EQ(result.threads, proportional);
+}
+
+TEST_F(AllocatorFixture, ReportsResidualsAndEvaluationCost) {
+  const ThreadAllocator allocator(model, config_with(8));
+  const std::vector<GpuDemand> demands = {demand_of(0, 4'000'000), demand_of(500'000, 0)};
+  const auto result = allocator.allocate(demands, 6.0);
+  ASSERT_EQ(result.t_dif.size(), 2U);
+  EXPECT_GT(result.model_evaluations, 2U);
+  // Residuals are consistent with the returned allocation.
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(result.t_dif[j], model.t_dif(demands[j], result.threads[j], 6.0), 1e-12);
+  }
+}
+
+TEST_F(AllocatorFixture, DeterministicAcrossCalls) {
+  const ThreadAllocator allocator(model, config_with(16));
+  const std::vector<GpuDemand> demands = {demand_of(0, 3'000'000), demand_of(0, 1'000'000),
+                                          demand_of(1'000'000, 0), demand_of(0, 500'000)};
+  const auto a = allocator.allocate(demands, 6.0);
+  const auto b = allocator.allocate(demands, 6.0);
+  EXPECT_EQ(a.threads, b.threads);
+}
+
+TEST(IsConsistentWindow, DetectsCyclesOnly) {
+  // Too short.
+  EXPECT_FALSE(is_consistent_window({1.0, 1.0}));
+  // Improving trajectory: last is strictly best.
+  EXPECT_FALSE(is_consistent_window({5.0, 3.0, 1.0}));
+  // Revisit without improvement.
+  EXPECT_TRUE(is_consistent_window({5.0, 3.0, 5.0}));
+  // Non-improving but new value: not a proven cycle.
+  EXPECT_FALSE(is_consistent_window({5.0, 3.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace lobster::core
+
+// ---- per-tier split optimizer (appended coverage).
+
+#include "common/rng.hpp"
+#include "core/tier_split.hpp"
+
+namespace lobster::core {
+namespace {
+
+TEST(TierSplit, RejectsZeroThreads) {
+  const storage::StorageModel model;
+  storage::TierBytes bytes;
+  bytes.local = 1000;
+  EXPECT_THROW(optimize_tier_split(model, bytes, 0), std::invalid_argument);
+}
+
+TEST(TierSplit, SingleTierKeepsUniform) {
+  const storage::StorageModel model;
+  storage::TierBytes bytes;
+  bytes.pfs = 1'000'000;
+  const auto result = optimize_tier_split(model, bytes, 8);
+  EXPECT_DOUBLE_EQ(result.load_time, result.uniform_time);
+  EXPECT_NEAR(result.improvement(), 1.0, 1e-12);
+}
+
+TEST(TierSplit, NeverWorseThanUniform) {
+  const storage::StorageModel model;
+  lobster::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    storage::TierBytes bytes;
+    bytes.local = rng.bounded(5'000'000);
+    bytes.remote = rng.bounded(3'000'000);
+    bytes.pfs = rng.bounded(3'000'000);
+    if (bytes.total() == 0) continue;
+    const auto result = optimize_tier_split(model, bytes, 8);
+    // The even feasible split is in the search space, so the optimum can
+    // never be worse.
+    EXPECT_LE(result.load_time, result.uniform_time + 1e-12);
+    const double total = result.alloc.alpha + result.alloc.beta + result.alloc.gamma;
+    EXPECT_LE(total, 8.0 + 1e-9);
+    EXPECT_GT(result.evaluations, 0U);
+    EXPECT_TRUE(std::isfinite(result.load_time));
+  }
+}
+
+TEST(TierSplit, AllocatesOnlyToDemandedTiers) {
+  const storage::StorageModel model;
+  storage::TierBytes bytes;
+  bytes.local = 2'000'000;
+  bytes.pfs = 500'000;
+  const auto result = optimize_tier_split(model, bytes, 6);
+  EXPECT_GE(result.alloc.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(result.alloc.beta, 0.0);
+  EXPECT_GE(result.alloc.gamma, 1.0);
+  EXPECT_DOUBLE_EQ(result.alloc.alpha + result.alloc.gamma, 6.0);
+}
+
+TEST(TierSplit, FavorsTheSlowTier) {
+  // Heavy PFS + tiny local: gamma should get the bulk of the grant.
+  const storage::StorageModel model;
+  storage::TierBytes bytes;
+  bytes.local = 100'000;
+  bytes.pfs = 8'000'000;
+  const auto result = optimize_tier_split(model, bytes, 8);
+  EXPECT_GE(result.alloc.gamma, result.alloc.alpha);  // ties allowed past the PFS knee
+}
+
+}  // namespace
+}  // namespace lobster::core

@@ -1,0 +1,125 @@
+// Resizable thread pool: execution, live resizing (the §4.1 requirement),
+// idle waiting, shutdown, exception propagation via futures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace lobster {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ZeroWorkersHoldTasksUntilGrown) {
+  ThreadPool pool(0);
+  std::atomic<bool> ran{false};
+  auto future = pool.submit([&ran] { ran.store(true); });
+  EXPECT_EQ(pool.pending(), 1U);
+  EXPECT_FALSE(ran.load());
+  pool.resize(1);
+  future.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ResizeUpIncreasesParallelism) {
+  ThreadPool pool(1);
+  pool.resize(4);
+  EXPECT_EQ(pool.size(), 4U);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, ResizeDownStillCompletesWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++counter;
+    }));
+  }
+  pool.resize(1);
+  EXPECT_EQ(pool.size(), 1U);
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RepeatedResizeCycles) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    pool.resize(cycle % 2 == 0 ? 3 : 1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++counter;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_EQ(pool.pending(), 0U);
+}
+
+TEST(ThreadPool, FuturePropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // Pool stays usable after a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, SubmitAfterDestructionIsImpossibleByDesign) {
+  // Destructor joins; tasks submitted before destruction complete or are
+  // dropped only if never started — here we just check clean teardown under
+  // pending load.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(2000);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 2000ULL * 1999ULL / 2ULL);
+}
+
+}  // namespace
+}  // namespace lobster

@@ -1,0 +1,151 @@
+// Two-level (DRAM + SSD) node cache: demotion, promotion, directory
+// ownership on the union residency, and the simulator integration.
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.hpp"
+#include "cache/tiered_cache.hpp"
+#include "pipeline/simulator.hpp"
+
+namespace lobster::cache {
+namespace {
+
+struct TieredFixture : public ::testing::Test {
+  TieredFixture() : catalog(data::DatasetSpec::uniform(100, 100), 1) {}
+
+  std::unique_ptr<TieredNodeCache> make(Bytes memory, Bytes ssd,
+                                        CacheDirectory* directory = nullptr) {
+    return std::make_unique<TieredNodeCache>(0, memory, ssd, "lru", "lru", catalog, directory,
+                                             nullptr, 10);
+  }
+
+  data::SampleCatalog catalog;
+};
+
+TEST_F(TieredFixture, SsdDisabledBehavesLikePlainCache) {
+  auto cache = make(300, 0);
+  EXPECT_FALSE(cache->has_ssd());
+  cache->insert(1, 0);
+  EXPECT_EQ(cache->access(1, 1), TierHit::kMemory);
+  EXPECT_EQ(cache->access(2, 1), TierHit::kMiss);
+  EXPECT_EQ(cache->ssd_stats().hits, 0U);
+}
+
+TEST_F(TieredFixture, DramEvicteesDemoteToSsd) {
+  auto cache = make(300, 500);
+  cache->insert(0, 0);
+  cache->insert(1, 1);
+  cache->insert(2, 2);
+  cache->insert(3, 3);  // DRAM full: LRU victim (0) demotes
+  EXPECT_TRUE(cache->peek_memory(3));
+  EXPECT_FALSE(cache->peek_memory(0));
+  EXPECT_TRUE(cache->peek_ssd(0));
+  EXPECT_EQ(cache->demotions(), 1U);
+  EXPECT_TRUE(cache->peek(0));  // union residency
+}
+
+TEST_F(TieredFixture, SsdHitPromotesBackToDram) {
+  auto cache = make(300, 500);
+  for (SampleId s = 0; s < 4; ++s) cache->insert(s, s);  // 0 demoted
+  EXPECT_EQ(cache->access(0, 5), TierHit::kSsd);
+  EXPECT_TRUE(cache->peek_memory(0));
+  EXPECT_FALSE(cache->peek_ssd(0));  // no double residency after promotion
+  EXPECT_EQ(cache->promotions(), 1U);
+  EXPECT_GE(cache->demotions(), 2U);  // the promotion demoted a DRAM victim
+  EXPECT_EQ(cache->access(0, 6), TierHit::kMemory);
+}
+
+TEST_F(TieredFixture, CombinedHitRatioCountsBothTiers) {
+  auto cache = make(300, 500);
+  for (SampleId s = 0; s < 4; ++s) cache->insert(s, s);
+  (void)cache->access(3, 5);   // memory hit
+  (void)cache->access(0, 6);   // ssd hit (promotes)
+  (void)cache->access(50, 7);  // miss
+  EXPECT_NEAR(cache->combined_hit_ratio(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(cache->ssd_hits(), 1U);
+}
+
+TEST_F(TieredFixture, DirectoryTracksUnionResidency) {
+  CacheDirectory directory(2);
+  auto cache = make(300, 500, &directory);
+  cache->insert(7, 0);
+  EXPECT_TRUE(directory.holds(7, 0));
+  // Fill DRAM so 7 demotes: still on-node.
+  cache->insert(8, 1);
+  cache->insert(9, 2);
+  cache->insert(10, 3);
+  EXPECT_FALSE(cache->peek_memory(7));
+  EXPECT_TRUE(directory.holds(7, 0)) << "demoted sample must stay visible to peers";
+  // Promotion must not clear the bit either.
+  (void)cache->access(7, 4);
+  EXPECT_TRUE(cache->peek_memory(7));
+  EXPECT_TRUE(directory.holds(7, 0));
+  // Full eviction clears it.
+  cache->evict(7);
+  EXPECT_FALSE(directory.holds(7, 0));
+}
+
+TEST_F(TieredFixture, SsdOverflowDropsSamples) {
+  // SSD fits 2 samples; demote 3 -> oldest demotee falls off entirely.
+  auto cache = make(100, 200);
+  for (SampleId s = 0; s < 5; ++s) cache->insert(s, s);
+  // DRAM holds 1 sample (the newest); SSD holds at most 2.
+  int resident = 0;
+  for (SampleId s = 0; s < 5; ++s) {
+    if (cache->peek(s)) ++resident;
+  }
+  EXPECT_EQ(resident, 3);
+}
+
+TEST_F(TieredFixture, PinsApplyToBothTiers) {
+  auto cache = make(100, 100);
+  cache->insert(1, 0);
+  cache->pin(1);
+  // DRAM full and pinned; insert falls through to the SSD tier.
+  EXPECT_TRUE(cache->insert(2, 1));
+  EXPECT_TRUE(cache->peek_ssd(2));
+  cache->unpin_all();
+}
+
+TEST_F(TieredFixture, EvictRemovesFromBothTiers) {
+  auto cache = make(300, 500);
+  for (SampleId s = 0; s < 4; ++s) cache->insert(s, s);
+  cache->evict(0);  // was on SSD
+  cache->evict(3);  // was in DRAM
+  EXPECT_FALSE(cache->peek(0));
+  EXPECT_FALSE(cache->peek(3));
+}
+
+}  // namespace
+}  // namespace lobster::cache
+
+namespace lobster::pipeline {
+namespace {
+
+TEST(SimulatorSsdTier, SsdRaisesCombinedHitsAndNeverHurts) {
+  auto preset = preset_imagenet1k_single_node(512.0);
+  preset.epochs = 3;
+  const auto base = simulate(preset, baselines::LoaderStrategy::nopfs());
+
+  auto with_ssd = preset;
+  with_ssd.cluster.ssd_cache_bytes = preset.cluster.cache_bytes * 3;
+  const auto tiered = simulate(with_ssd, baselines::LoaderStrategy::nopfs());
+
+  // SSD absorbs DRAM evictees: PFS misses can only go down.
+  std::uint64_t base_ssd_hits = 0;
+  for (const auto& stats : tiered.node_ssd_stats) base_ssd_hits += stats.hits;
+  EXPECT_GT(base_ssd_hits, 0U);
+  EXPECT_LE(tiered.metrics.time_after_epoch(1), base.metrics.time_after_epoch(1) * 1.05);
+}
+
+TEST(SimulatorSsdTier, DisabledTierReportsZeroStats) {
+  auto preset = preset_imagenet1k_single_node(1024.0);
+  preset.epochs = 2;
+  const auto result = simulate(preset, baselines::LoaderStrategy::lobster());
+  for (const auto& stats : result.node_ssd_stats) {
+    EXPECT_EQ(stats.hits, 0U);
+    EXPECT_EQ(stats.insertions, 0U);
+  }
+}
+
+}  // namespace
+}  // namespace lobster::pipeline
