@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_reuse_distance.dir/fig04_reuse_distance.cpp.o"
+  "CMakeFiles/fig04_reuse_distance.dir/fig04_reuse_distance.cpp.o.d"
+  "fig04_reuse_distance"
+  "fig04_reuse_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_preproc_threads.dir/fig06_preproc_threads.cpp.o"
+  "CMakeFiles/fig06_preproc_threads.dir/fig06_preproc_threads.cpp.o.d"
+  "fig06_preproc_threads"
+  "fig06_preproc_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_preproc_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_imbalance.dir/fig08_imbalance.cpp.o"
+  "CMakeFiles/fig08_imbalance.dir/fig08_imbalance.cpp.o.d"
+  "fig08_imbalance"
+  "fig08_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_accuracy.dir/fig09_accuracy.cpp.o"
+  "CMakeFiles/fig09_accuracy.dir/fig09_accuracy.cpp.o.d"
+  "fig09_accuracy"
+  "fig09_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

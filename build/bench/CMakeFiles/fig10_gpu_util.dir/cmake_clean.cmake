@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gpu_util.dir/fig10_gpu_util.cpp.o"
+  "CMakeFiles/fig10_gpu_util.dir/fig10_gpu_util.cpp.o.d"
+  "fig10_gpu_util"
+  "fig10_gpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cache_hit_ratio.dir/tab_cache_hit_ratio.cpp.o"
+  "CMakeFiles/tab_cache_hit_ratio.dir/tab_cache_hit_ratio.cpp.o.d"
+  "tab_cache_hit_ratio"
+  "tab_cache_hit_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cache_hit_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_cache_hit_ratio.
+# This may be replaced when dependencies are built.

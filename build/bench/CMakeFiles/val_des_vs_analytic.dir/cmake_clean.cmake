@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/val_des_vs_analytic.dir/val_des_vs_analytic.cpp.o"
+  "CMakeFiles/val_des_vs_analytic.dir/val_des_vs_analytic.cpp.o.d"
+  "val_des_vs_analytic"
+  "val_des_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_des_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for val_des_vs_analytic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_allreduce_training.dir/allreduce_training.cpp.o"
+  "CMakeFiles/example_allreduce_training.dir/allreduce_training.cpp.o.d"
+  "allreduce_training"
+  "allreduce_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_allreduce_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

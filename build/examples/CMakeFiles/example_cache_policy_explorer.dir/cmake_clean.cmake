@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cache_policy_explorer.dir/cache_policy_explorer.cpp.o"
+  "CMakeFiles/example_cache_policy_explorer.dir/cache_policy_explorer.cpp.o.d"
+  "cache_policy_explorer"
+  "cache_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cache_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offline_online_pipeline.dir/offline_online_pipeline.cpp.o"
+  "CMakeFiles/example_offline_online_pipeline.dir/offline_online_pipeline.cpp.o.d"
+  "offline_online_pipeline"
+  "offline_online_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offline_online_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shared_dataset_jobs.dir/shared_dataset_jobs.cpp.o"
+  "CMakeFiles/example_shared_dataset_jobs.dir/shared_dataset_jobs.cpp.o.d"
+  "shared_dataset_jobs"
+  "shared_dataset_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shared_dataset_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_shared_dataset_jobs.
+# This may be replaced when dependencies are built.

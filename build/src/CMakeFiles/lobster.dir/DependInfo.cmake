@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/strategies.cpp" "src/CMakeFiles/lobster.dir/baselines/strategies.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/baselines/strategies.cpp.o.d"
+  "/root/repo/src/cache/directory.cpp" "src/CMakeFiles/lobster.dir/cache/directory.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/cache/directory.cpp.o.d"
+  "/root/repo/src/cache/kv_store.cpp" "src/CMakeFiles/lobster.dir/cache/kv_store.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/cache/kv_store.cpp.o.d"
+  "/root/repo/src/cache/node_cache.cpp" "src/CMakeFiles/lobster.dir/cache/node_cache.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/cache/node_cache.cpp.o.d"
+  "/root/repo/src/cache/policies.cpp" "src/CMakeFiles/lobster.dir/cache/policies.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/cache/policies.cpp.o.d"
+  "/root/repo/src/cache/prefetcher.cpp" "src/CMakeFiles/lobster.dir/cache/prefetcher.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/cache/prefetcher.cpp.o.d"
+  "/root/repo/src/cache/tiered_cache.cpp" "src/CMakeFiles/lobster.dir/cache/tiered_cache.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/cache/tiered_cache.cpp.o.d"
+  "/root/repo/src/comm/bus.cpp" "src/CMakeFiles/lobster.dir/comm/bus.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/comm/bus.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/lobster.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/lobster.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/piecewise_linear.cpp" "src/CMakeFiles/lobster.dir/common/piecewise_linear.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/piecewise_linear.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/lobster.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/lobster.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/lobster.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/lobster.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/lobster.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/common/units.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/CMakeFiles/lobster.dir/core/perf_model.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/core/perf_model.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/lobster.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/preproc_model.cpp" "src/CMakeFiles/lobster.dir/core/preproc_model.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/core/preproc_model.cpp.o.d"
+  "/root/repo/src/core/thread_allocator.cpp" "src/CMakeFiles/lobster.dir/core/thread_allocator.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/core/thread_allocator.cpp.o.d"
+  "/root/repo/src/core/tier_split.cpp" "src/CMakeFiles/lobster.dir/core/tier_split.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/core/tier_split.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/lobster.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/oracle.cpp" "src/CMakeFiles/lobster.dir/data/oracle.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/data/oracle.cpp.o.d"
+  "/root/repo/src/data/reuse.cpp" "src/CMakeFiles/lobster.dir/data/reuse.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/data/reuse.cpp.o.d"
+  "/root/repo/src/data/sampler.cpp" "src/CMakeFiles/lobster.dir/data/sampler.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/data/sampler.cpp.o.d"
+  "/root/repo/src/data/trace.cpp" "src/CMakeFiles/lobster.dir/data/trace.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/data/trace.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/lobster.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/lobster.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/lobster.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/synthetic.cpp" "src/CMakeFiles/lobster.dir/nn/synthetic.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/nn/synthetic.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/lobster.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/pipeline/calibration.cpp" "src/CMakeFiles/lobster.dir/pipeline/calibration.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/pipeline/calibration.cpp.o.d"
+  "/root/repo/src/pipeline/metrics.cpp" "src/CMakeFiles/lobster.dir/pipeline/metrics.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/pipeline/metrics.cpp.o.d"
+  "/root/repo/src/pipeline/multi_job.cpp" "src/CMakeFiles/lobster.dir/pipeline/multi_job.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/pipeline/multi_job.cpp.o.d"
+  "/root/repo/src/pipeline/simulator.cpp" "src/CMakeFiles/lobster.dir/pipeline/simulator.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/pipeline/simulator.cpp.o.d"
+  "/root/repo/src/pipeline/trainer_model.cpp" "src/CMakeFiles/lobster.dir/pipeline/trainer_model.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/pipeline/trainer_model.cpp.o.d"
+  "/root/repo/src/runtime/distribution_manager.cpp" "src/CMakeFiles/lobster.dir/runtime/distribution_manager.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/runtime/distribution_manager.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/lobster.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/plan_io.cpp" "src/CMakeFiles/lobster.dir/runtime/plan_io.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/runtime/plan_io.cpp.o.d"
+  "/root/repo/src/runtime/request_queue.cpp" "src/CMakeFiles/lobster.dir/runtime/request_queue.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/runtime/request_queue.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/lobster.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/lobster.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fetch_replay.cpp" "src/CMakeFiles/lobster.dir/sim/fetch_replay.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/sim/fetch_replay.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/lobster.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/storage/curves.cpp" "src/CMakeFiles/lobster.dir/storage/curves.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/storage/curves.cpp.o.d"
+  "/root/repo/src/storage/hierarchy.cpp" "src/CMakeFiles/lobster.dir/storage/hierarchy.cpp.o" "gcc" "src/CMakeFiles/lobster.dir/storage/hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_sampler.dir/test_dataset_sampler.cpp.o"
+  "CMakeFiles/test_dataset_sampler.dir/test_dataset_sampler.cpp.o.d"
+  "test_dataset_sampler"
+  "test_dataset_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

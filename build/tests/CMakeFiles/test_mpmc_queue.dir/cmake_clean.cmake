@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpmc_queue.dir/test_mpmc_queue.cpp.o"
+  "CMakeFiles/test_mpmc_queue.dir/test_mpmc_queue.cpp.o.d"
+  "test_mpmc_queue"
+  "test_mpmc_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpmc_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc_model.dir/test_preproc_model.cpp.o"
+  "CMakeFiles/test_preproc_model.dir/test_preproc_model.cpp.o.d"
+  "test_preproc_model"
+  "test_preproc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

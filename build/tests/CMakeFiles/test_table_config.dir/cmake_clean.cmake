@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_config.dir/test_table_config.cpp.o"
+  "CMakeFiles/test_table_config.dir/test_table_config.cpp.o.d"
+  "test_table_config"
+  "test_table_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_allocator.dir/test_thread_allocator.cpp.o"
+  "CMakeFiles/test_thread_allocator.dir/test_thread_allocator.cpp.o.d"
+  "test_thread_allocator"
+  "test_thread_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

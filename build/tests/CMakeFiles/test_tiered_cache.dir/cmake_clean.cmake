@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiered_cache.dir/test_tiered_cache.cpp.o"
+  "CMakeFiles/test_tiered_cache.dir/test_tiered_cache.cpp.o.d"
+  "test_tiered_cache"
+  "test_tiered_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiered_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
