@@ -5,19 +5,79 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/strfmt.hpp"
 #include "common/table.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lobster::bench {
 
 /// Parses key=value CLI arguments. Every bench accepts `csv_dir=<path>` to
-/// additionally dump each printed table as CSV.
+/// additionally dump each printed table as CSV, and `--trace <out.json>`
+/// (or `trace=out.json`) to record a Chrome trace of the run (see
+/// TraceSession).
 inline Config parse_args(int argc, char** argv) {
-  return Config::from_args(argc, argv);
+  // `--trace out.json` is the one space-separated flag benches accept; fold
+  // it into key=value form before the strict '='-only parser sees it.
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc &&
+        std::string_view(argv[i + 1]).find('=') == std::string_view::npos) {
+      tokens.push_back(std::string("trace=") + argv[++i]);
+      continue;
+    }
+    tokens.emplace_back(arg);
+  }
+  return Config::from_tokens(tokens);
 }
+
+/// Turns tracing on for the bench's lifetime when `--trace <out.json>` was
+/// given; on destruction exports the Chrome trace plus a
+/// `<out.json>.counters.csv` metric dump. `trace_buffer=<records>`
+/// optionally sizes the per-thread ring buffers (default 1<<14).
+class TraceSession {
+ public:
+  explicit TraceSession(const Config& config) : path_(config.get_string("trace", "")) {
+    const auto capacity = config.get_int("trace_buffer", 0);
+    if (path_.empty()) return;
+    auto& tracer = telemetry::Tracer::instance();
+    if (capacity > 0) tracer.set_buffer_capacity(static_cast<std::size_t>(capacity));
+    tracer.set_enabled(true);
+#if defined(LOBSTER_TELEMETRY_DISABLED)
+    std::fprintf(stderr,
+                 "warning: --trace given but built with LOBSTER_TELEMETRY=OFF; "
+                 "only directly-instrumented events will be recorded\n");
+#endif
+  }
+
+  ~TraceSession() {
+    if (path_.empty()) return;
+    auto& tracer = telemetry::Tracer::instance();
+    tracer.set_enabled(false);
+    if (telemetry::write_chrome_trace_file(path_)) {
+      std::printf("(trace written to %s — load in chrome://tracing or ui.perfetto.dev)\n",
+                  path_.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write trace %s\n", path_.c_str());
+    }
+    const std::string counters_path = path_ + ".counters.csv";
+    if (telemetry::MetricRegistry::instance().write_csv_file(counters_path)) {
+      std::printf("(counters written to %s)\n", counters_path.c_str());
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+};
 
 inline void print_header(const std::string& title, const std::string& paper_claim) {
   std::printf("==============================================================\n");

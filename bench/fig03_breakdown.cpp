@@ -16,6 +16,7 @@ using namespace lobster;
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const double scale = config.get_double("scale", 16.0);
   const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 8));
   bench::warn_unconsumed(config);

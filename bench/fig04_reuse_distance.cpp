@@ -13,6 +13,7 @@ using namespace lobster;
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const double scale = config.get_double("scale", 64.0);
   const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 8));
   const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 30));

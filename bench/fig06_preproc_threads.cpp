@@ -14,6 +14,7 @@ using namespace lobster;
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const auto max_threads = static_cast<std::uint32_t>(config.get_int("max_threads", 16));
   const auto sample_bytes = static_cast<Bytes>(config.get_int("sample_bytes", 105 * 1024));
   bench::warn_unconsumed(config);

@@ -51,6 +51,7 @@ void run_panel(const Config& config, const char* csv_name, const char* title, co
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const double scale1k = config.get_double("scale1k", 256.0);
   const double scale22k = config.get_double("scale22k", 1024.0);
   const double scale22k_multi = config.get_double("scale22k_multi", 256.0);

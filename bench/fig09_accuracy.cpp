@@ -20,6 +20,7 @@ using namespace lobster;
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 40));
   const auto samples = static_cast<std::uint32_t>(config.get_int("samples", 4096));
   const auto classes = static_cast<std::uint32_t>(config.get_int("classes", 10));

@@ -13,6 +13,7 @@ using baselines::LoaderStrategy;
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const double scale = config.get_double("scale", 256.0);
   const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 6));
   bench::warn_unconsumed(config);

@@ -22,6 +22,7 @@ using namespace lobster;
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
   const auto trials = static_cast<std::uint32_t>(config.get_int("trials", 200));
   const auto gpus = static_cast<std::uint32_t>(config.get_int("gpus", 8));
   bench::warn_unconsumed(config);

@@ -7,7 +7,7 @@
 //      pools and per-GPU request queues, fetching remote samples from each
 //      other through distribution managers over the MPI-like message bus.
 //
-//   $ ./offline_online_pipeline [scale=4000] [epochs=2]
+//   $ ./offline_online_pipeline [scale=4000] [epochs=2] [trace=out.json]
 #include <cstdio>
 #include <thread>
 
@@ -17,6 +17,8 @@
 #include "core/planner.hpp"
 #include "runtime/distribution_manager.hpp"
 #include "runtime/executor.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace lobster;
 
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
   const auto config = Config::from_args(argc, argv);
   const double scale = config.get_double("scale", 4000.0);
   const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 2));
+  const std::string trace_path = config.get_string("trace", "");
+  if (!trace_path.empty()) telemetry::Tracer::instance().set_enabled(true);
 
   // ---- offline component: plan a 2-node run under the full Lobster strategy.
   auto preset = pipeline::preset_imagenet1k_multi_node(scale, 2);
@@ -99,5 +103,15 @@ int main(int argc, char** argv) {
   std::printf("[online ] distribution managers served %llu + %llu remote requests\n",
               static_cast<unsigned long long>(managers[0]->served_requests()),
               static_cast<unsigned long long>(managers[1]->served_requests()));
+
+  if (!trace_path.empty()) {
+    telemetry::Tracer::instance().set_enabled(false);
+    if (telemetry::write_chrome_trace_file(trace_path)) {
+      std::printf("[trace  ] written to %s — load in chrome://tracing or ui.perfetto.dev\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write trace %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "telemetry/registry.hpp"
 
 namespace lobster::cache {
 
@@ -25,8 +26,10 @@ void KvStore::put(SampleId sample, std::vector<std::byte> payload) {
   auto [it, inserted] = shard.entries.try_emplace(sample);
   if (!inserted) shard.bytes -= it->second.size();
   shard.bytes += payload.size();
+  LOBSTER_METRIC_COUNT("kv.put_bytes", payload.size());
   it->second = std::move(payload);
   ++shard.stats.puts;
+  LOBSTER_METRIC_COUNT("kv.puts", 1);
 }
 
 std::optional<std::vector<std::byte>> KvStore::get(SampleId sample) const {
@@ -35,9 +38,11 @@ std::optional<std::vector<std::byte>> KvStore::get(SampleId sample) const {
   const auto it = shard.entries.find(sample);
   if (it == shard.entries.end()) {
     ++shard.stats.get_misses;
+    LOBSTER_METRIC_COUNT("kv.get_misses", 1);
     return std::nullopt;
   }
   ++shard.stats.get_hits;
+  LOBSTER_METRIC_COUNT("kv.get_hits", 1);
   return it->second;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lobster::cache {
 
@@ -37,10 +39,12 @@ EvictionContext NodeCache::make_context(IterId now, IterId incoming_reuse) const
 bool NodeCache::access(SampleId sample, IterId now) {
   if (resident_.contains(sample)) {
     ++stats_.hits;
+    LOBSTER_METRIC_COUNT("cache.hits", 1);
     policy_->on_access(sample, now);
     return true;
   }
   ++stats_.misses;
+  LOBSTER_METRIC_COUNT("cache.misses", 1);
   return false;
 }
 
@@ -73,6 +77,9 @@ NodeCache::InsertResult NodeCache::insert(SampleId sample, IterId now, IterId re
   resident_.insert(sample);
   used_ += size;
   ++stats_.insertions;
+  LOBSTER_TRACE_INSTANT(kCache, "insert", sample);
+  LOBSTER_METRIC_COUNT("cache.insertions", 1);
+  LOBSTER_METRIC_COUNT("cache.bytes_inserted", size);
   policy_->on_insert(sample, now);
   if (directory_ != nullptr) directory_->add(sample, node_);
   result.inserted = true;
@@ -83,6 +90,8 @@ bool NodeCache::evict(SampleId sample) {
   if (resident_.erase(sample) == 0) return false;
   used_ -= catalog_.sample_bytes(sample);
   ++stats_.evictions;
+  LOBSTER_TRACE_INSTANT(kCache, "evict", sample);
+  LOBSTER_METRIC_COUNT("cache.evictions", 1);
   policy_->on_evict(sample);
   if (directory_ != nullptr) directory_->remove(sample, node_);
   return true;

@@ -3,7 +3,23 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace lobster::cache {
+
+namespace {
+
+void trace_plan(const PrefetchPlan& plan) {
+  if (plan.fetches.empty()) return;
+  LOBSTER_TRACE_INSTANT(kPrefetch, "plan", plan.fetches.size());
+  LOBSTER_METRIC_COUNT("prefetch.samples", plan.fetches.size());
+  LOBSTER_METRIC_COUNT("prefetch.bytes", plan.total_bytes);
+  LOBSTER_METRIC_COUNT("prefetch.remote_bytes", plan.remote_bytes);
+  LOBSTER_METRIC_COUNT("prefetch.pfs_bytes", plan.pfs_bytes);
+}
+
+}  // namespace
 
 Prefetcher::Prefetcher(const data::EpochSampler& sampler, const data::SampleCatalog& catalog,
                        std::uint32_t lookahead_iterations)
@@ -15,18 +31,22 @@ PrefetchPlan Prefetcher::plan(NodeId node, std::uint32_t epoch, std::uint32_t it
                               const NodeCache& node_cache, const CacheDirectory* directory,
                               Bytes remote_budget, Bytes pfs_budget,
                               std::uint32_t total_epochs) const {
-  return plan_impl(node, epoch, iteration,
-                   [&node_cache](SampleId s) { return node_cache.peek(s); }, directory,
-                   remote_budget, pfs_budget, total_epochs);
+  auto result = plan_impl(node, epoch, iteration,
+                          [&node_cache](SampleId s) { return node_cache.peek(s); }, directory,
+                          remote_budget, pfs_budget, total_epochs);
+  trace_plan(result);
+  return result;
 }
 
 PrefetchPlan Prefetcher::plan(NodeId node, std::uint32_t epoch, std::uint32_t iteration,
                               const TieredNodeCache& node_cache, const CacheDirectory* directory,
                               Bytes remote_budget, Bytes pfs_budget,
                               std::uint32_t total_epochs) const {
-  return plan_impl(node, epoch, iteration,
-                   [&node_cache](SampleId s) { return node_cache.peek(s); }, directory,
-                   remote_budget, pfs_budget, total_epochs);
+  auto result = plan_impl(node, epoch, iteration,
+                          [&node_cache](SampleId s) { return node_cache.peek(s); }, directory,
+                          remote_budget, pfs_budget, total_epochs);
+  trace_plan(result);
+  return result;
 }
 
 PrefetchPlan Prefetcher::plan_impl(NodeId node, std::uint32_t epoch, std::uint32_t iteration,

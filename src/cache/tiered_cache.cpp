@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace lobster::cache {
 
 namespace {
@@ -43,17 +46,28 @@ void TieredNodeCache::sync_directory(SampleId sample) {
 }
 
 TierHit TieredNodeCache::access(SampleId sample, IterId now) {
-  if (memory_->access(sample, now)) return TierHit::kMemory;
+  if (memory_->access(sample, now)) {
+    LOBSTER_TRACE_INSTANT(kCache, "hit", sample);
+    return TierHit::kMemory;
+  }
   if (ssd_ != nullptr && ssd_->access(sample, now)) {
     ++ssd_hits_;
+    LOBSTER_TRACE_INSTANT(kCache, "ssd_hit", sample);
+    LOBSTER_METRIC_COUNT("cache.ssd_hits", 1);
     // Promote into DRAM; the SSD copy is dropped once DRAM holds it. If DRAM
     // refuses (everything pinned), the sample simply stays on the SSD.
     const auto promoted = memory_->insert(sample, now);
     if (promoted.inserted) {
       ++promotions_;
+      LOBSTER_TRACE_INSTANT(kCache, "promote", sample);
+      LOBSTER_METRIC_COUNT("cache.promotions", 1);
       for (const SampleId victim : promoted.evicted) {
         // DRAM victims demote to the SSD (may displace there in turn).
-        if (ssd_->insert(victim, now).inserted) ++demotions_;
+        if (ssd_->insert(victim, now).inserted) {
+          ++demotions_;
+          LOBSTER_TRACE_INSTANT(kCache, "demote", victim);
+          LOBSTER_METRIC_COUNT("cache.demotions", 1);
+        }
         sync_directory(victim);
       }
       ssd_->evict(sample);
@@ -61,6 +75,7 @@ TierHit TieredNodeCache::access(SampleId sample, IterId now) {
     }
     return TierHit::kSsd;
   }
+  LOBSTER_TRACE_INSTANT(kCache, "miss", sample);
   return TierHit::kMiss;
 }
 
@@ -73,7 +88,11 @@ bool TieredNodeCache::insert(SampleId sample, IterId now, IterId reuse_distance)
   if (result.inserted) {
     for (const SampleId victim : result.evicted) {
       if (ssd_ != nullptr && victim != sample) {
-        if (ssd_->insert(victim, now).inserted) ++demotions_;
+        if (ssd_->insert(victim, now).inserted) {
+          ++demotions_;
+          LOBSTER_TRACE_INSTANT(kCache, "demote", victim);
+          LOBSTER_METRIC_COUNT("cache.demotions", 1);
+        }
       }
       sync_directory(victim);
     }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace lobster {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -28,6 +31,8 @@ void ThreadPool::spawn_locked(std::size_t count) {
 }
 
 void ThreadPool::resize(std::size_t threads) {
+  LOBSTER_TRACE_INSTANT(kPool, "resize", threads);
+  LOBSTER_METRIC_COUNT("pool.resizes", 1);
   {
     const std::scoped_lock lock(mutex_);
     if (stopping_) return;

@@ -1,6 +1,7 @@
 #include "pipeline/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -9,6 +10,8 @@
 #include "cache/tiered_cache.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/strfmt.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lobster::pipeline {
 
@@ -39,6 +42,44 @@ bool pfs_burst(std::uint64_t seed, IterId iter, NodeId node, double probability)
   Rng rng(derive_seed(seed, iter, node, 0xB5257ULL));
   return rng.uniform() < probability;
 }
+
+/// Distinguishes the virtual-time tracks of successive simulate() calls in
+/// one process (a fig bench runs dozens of runs back to back).
+std::atomic<std::uint32_t> trace_run_counter{0};
+
+/// Per-run tracing state: a "pipeline" and a "train" virtual track per node
+/// plus the interned stage names. Empty (and never consulted) when tracing
+/// was off at run() entry.
+struct RunTrace {
+  bool on = false;
+  std::vector<std::uint32_t> io_tracks;   ///< load/preproc/iteration spans
+  std::vector<std::uint32_t> gpu_tracks;  ///< train spans
+  std::uint32_t name_iteration = 0;
+  std::uint32_t name_load = 0;
+  std::uint32_t name_preproc = 0;
+  std::uint32_t name_train = 0;
+  std::uint32_t name_load_threads = 0;
+  std::uint32_t name_cache_used = 0;
+
+  static RunTrace begin(std::uint16_t nodes) {
+    RunTrace trace;
+    auto& tracer = telemetry::Tracer::instance();
+    if (!tracer.enabled()) return trace;
+    trace.on = true;
+    const auto run_id = trace_run_counter.fetch_add(1, std::memory_order_relaxed);
+    for (std::uint16_t n = 0; n < nodes; ++n) {
+      trace.io_tracks.push_back(tracer.new_track(strf("sim%u/node%u/pipeline", run_id, n)));
+      trace.gpu_tracks.push_back(tracer.new_track(strf("sim%u/node%u/train", run_id, n)));
+    }
+    trace.name_iteration = tracer.intern("iteration");
+    trace.name_load = tracer.intern("load");
+    trace.name_preproc = tracer.intern("preproc");
+    trace.name_train = tracer.intern("train");
+    trace.name_load_threads = tracer.intern("load_threads");
+    trace.name_cache_used = tracer.intern("cache_used_bytes");
+    return trace;
+  }
+};
 
 }  // namespace
 
@@ -353,6 +394,12 @@ SimulationResult TrainingSimulator::run() {
   const std::uint32_t total_gpus = preset.cluster.total_gpus();
   const std::uint32_t I = sampler_->iterations_per_epoch();
 
+  LOBSTER_TRACE_SPAN_ARG(kPipeline, "simulate", preset.cluster.nodes);
+  const RunTrace trace = RunTrace::begin(preset.cluster.nodes);
+  // Virtual-time start of the current iteration; the cluster barrier keeps
+  // all nodes on one clock.
+  Seconds trace_cursor = 0.0;
+
   RunMetrics metrics(preset.epochs, I, total_gpus, config_.detail_epoch_lo,
                      config_.detail_epoch_hi);
 
@@ -395,6 +442,10 @@ SimulationResult TrainingSimulator::run() {
         fetch_lists.assign(nodes_.size(), std::vector<std::vector<sim::Fetch>>(gpus));
       }
       for (auto& node : nodes_) {
+        // Cache hits/misses/evictions inside classify land on this node's
+        // virtual track at the iteration start.
+        const telemetry::VirtualTimeScope vt_scope(
+            trace.on ? trace.io_tracks[node->id] : 0, trace_cursor);
         demands[node->id] = classify_and_fetch(
             *node, epoch, h, record.gpus,
             config_.des_loading ? &fetch_lists[node->id] : nullptr);
@@ -462,6 +513,9 @@ SimulationResult TrainingSimulator::run() {
 
         double load_sum = 0.0;
         Seconds max_pipeline = 0.0;
+        Seconds node_load_max = 0.0;
+        Seconds node_preproc_max = 0.0;
+        Seconds node_train_max = 0.0;
         const bool burst =
             pfs_burst(preset.seed, now, node->id, preset.noise.burst_probability);
 
@@ -524,7 +578,32 @@ SimulationResult TrainingSimulator::run() {
           t_max = std::max(t_max, gpu_time);
           t_min = std::min(t_min, gpu_time);
           max_pipeline = std::max(max_pipeline, pipeline);
+          node_load_max = std::max(node_load_max, load);
+          node_preproc_max = std::max(node_preproc_max, preproc);
+          node_train_max = std::max(node_train_max, train);
           samples_done += demand.samples;
+        }
+        if (trace.on) {
+          // Slowest-GPU stage spans on the node's virtual tracks: the
+          // load→preproc chain on the pipeline track, training on its own.
+          auto& tracer = telemetry::Tracer::instance();
+          const auto io_track = trace.io_tracks[node->id];
+          Bytes node_bytes = 0;
+          for (const auto& d : demands[node->id]) node_bytes += d.bytes.total();
+          tracer.complete_at(telemetry::Category::kPipeline, trace.name_load, io_track,
+                             trace_cursor, trace_cursor + node_load_max, node_bytes);
+          if (!config_.strategy.gpu_preprocessing) {
+            tracer.complete_at(telemetry::Category::kPipeline, trace.name_preproc, io_track,
+                               trace_cursor + node_load_max,
+                               trace_cursor + node_load_max + node_preproc_max);
+          }
+          tracer.complete_at(telemetry::Category::kPipeline, trace.name_train,
+                             trace.gpu_tracks[node->id], trace_cursor,
+                             trace_cursor + node_train_max);
+          tracer.counter_at(telemetry::Category::kPipeline, trace.name_load_threads, io_track,
+                            trace_cursor, load_sum);
+          tracer.counter_at(telemetry::Category::kCache, trace.name_cache_used, io_track,
+                            trace_cursor, static_cast<double>(node->cache->memory().used()));
         }
         node->last_max_pipeline = max_pipeline;
         node->last_load_threads = load_sum;
@@ -544,8 +623,20 @@ SimulationResult TrainingSimulator::run() {
         gpu_record.idle = record.duration - gpu_record.train;
       }
 
+      if (trace.on) {
+        auto& tracer = telemetry::Tracer::instance();
+        for (const auto& node : nodes_) {
+          tracer.complete_at(telemetry::Category::kPipeline, trace.name_iteration,
+                             trace.io_tracks[node->id], trace_cursor,
+                             trace_cursor + record.duration, now);
+        }
+      }
+
       // ---- 5. post-iteration cache maintenance + prefetching
       for (auto& node : nodes_) {
+        // Sweep evictions and prefetch-plan events stamp at iteration end.
+        const telemetry::VirtualTimeScope vt_scope(
+            trace.on ? trace.io_tracks[node->id] : 0, trace_cursor + record.duration);
         node->cache->unpin_all();
         if (config_.strategy.reuse_sweep) reuse_sweep(*node, epoch, h);
         storage::TierBytes fetched;
@@ -556,6 +647,7 @@ SimulationResult TrainingSimulator::run() {
         prefetch(*node, epoch, h, record.duration, fetched, node->last_load_threads);
       }
 
+      trace_cursor += record.duration;
       metrics.add(std::move(record));
     }
   }

@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/strfmt.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lobster::runtime {
 
@@ -35,6 +38,8 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
   if (request.tier == FetchTier::kLocal) {
     accounting.local_bytes += size;
     ++accounting.local_hits;
+    LOBSTER_TRACE_INSTANT(kExecutor, "fetch_local", size);
+    LOBSTER_METRIC_COUNT("executor.local_bytes", size);
     return;
   }
 
@@ -60,11 +65,15 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
   if (remote_served) {
     accounting.remote_bytes += size;
     ++accounting.remote_fetches;
+    LOBSTER_TRACE_INSTANT(kExecutor, "fetch_remote", size);
+    LOBSTER_METRIC_COUNT("executor.remote_bytes", size);
   } else {
     // PFS path: materialize the sample content locally.
     payload = make_sample_payload(request.sample, size);
     accounting.pfs_bytes += size;
     ++accounting.pfs_fetches;
+    LOBSTER_TRACE_INSTANT(kExecutor, "fetch_pfs", size);
+    LOBSTER_METRIC_COUNT("executor.pfs_bytes", size);
   }
 
   if (config_.verify_payloads && !verify_sample_payload(request.sample, payload)) {
@@ -79,6 +88,7 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
 }
 
 ExecutionReport PlanExecutor::run() {
+  LOBSTER_TRACE_SPAN_ARG(kExecutor, "executor.run", config_.node);
   ExecutionReport report;
   const std::uint16_t gpus = plan_.gpus_per_node;
   const std::uint32_t I = plan_.iterations_per_epoch;
@@ -87,6 +97,7 @@ ExecutionReport PlanExecutor::run() {
   ThreadPool preproc_pool(1);
 
   for (const auto& iteration : plan_.iterations) {
+    LOBSTER_TRACE_SPAN_ARG(kExecutor, "iteration", iteration.iter);
     const auto& node_plan = iteration.nodes.at(config_.node);
     const auto epoch = static_cast<std::uint32_t>(iteration.iter / I);
     const auto h = static_cast<std::uint32_t>(iteration.iter % I);
@@ -97,8 +108,14 @@ ExecutionReport PlanExecutor::run() {
     // ---- enforce the plan's thread assignment
     const std::uint32_t load_threads_total = std::max<std::uint32_t>(
         1, std::accumulate(node_plan.load_threads.begin(), node_plan.load_threads.end(), 0U));
-    loading_pool.resize(load_threads_total);
-    preproc_pool.resize(std::max<std::uint32_t>(1, node_plan.preproc_threads));
+    {
+      LOBSTER_TRACE_SPAN_ARG(kExecutor, "resize_pools", load_threads_total);
+      loading_pool.resize(load_threads_total);
+      preproc_pool.resize(std::max<std::uint32_t>(1, node_plan.preproc_threads));
+      LOBSTER_TRACE_COUNTER(kPool, "load_pool_size", load_threads_total);
+      LOBSTER_TRACE_COUNTER(kPool, "preproc_pool_size",
+                            std::max<std::uint32_t>(1, node_plan.preproc_threads));
+    }
     stats.load_pool_size = load_threads_total;
     stats.preproc_pool_size = std::max<std::uint32_t>(1, node_plan.preproc_threads);
 
@@ -108,23 +125,40 @@ ExecutionReport PlanExecutor::run() {
     std::unordered_set<SampleId> delivered;
     std::mutex delivered_mutex;
 
-    for (GpuId g = 0; g < gpus; ++g) {
-      for (const SampleId s : sampler_.minibatch(epoch, h, config_.node, g)) {
-        LoadRequest request;
-        request.sample = s;
-        request.bytes = catalog_.sample_bytes(s);
-        request.iter = iteration.iter;
-        request.gpu = g;
-        request.tier = has_sample(s) ? FetchTier::kLocal
-                       : (manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs);
-        queues.push(g, request);
-        ++stats.demand_requests;
+    {
+      LOBSTER_TRACE_SPAN(kExecutor, "enqueue");
+      for (GpuId g = 0; g < gpus; ++g) {
+        for (const SampleId s : sampler_.minibatch(epoch, h, config_.node, g)) {
+          LoadRequest request;
+          request.sample = s;
+          request.bytes = catalog_.sample_bytes(s);
+          request.iter = iteration.iter;
+          request.gpu = g;
+          request.tier = has_sample(s) ? FetchTier::kLocal
+                         : (manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs);
+          queues.push(g, request);
+          ++stats.demand_requests;
+        }
       }
     }
+#if !defined(LOBSTER_TELEMETRY_DISABLED)
+    // Sample the per-GPU queue depths at their peak (the §4.2 load signal).
+    if (telemetry::active()) {
+      auto& tracer = telemetry::Tracer::instance();
+      const auto depths = queues.depths();
+      for (GpuId g = 0; g < gpus; ++g) {
+        tracer.counter_wall(telemetry::Category::kQueue,
+                            tracer.intern(strf("queue_depth/gpu%u", g)),
+                            static_cast<double>(depths[g]));
+      }
+    }
+#endif
 
     // ---- drain queues with the planned per-queue thread counts. Each
     // worker accumulates privately and merges once, so workers sharing a
     // queue never race on the accounting.
+    {
+    LOBSTER_TRACE_SPAN_ARG(kExecutor, "drain", stats.demand_requests);
     std::mutex merge_mutex;
     std::uint64_t duplicates = 0;
     std::vector<std::future<void>> futures;
@@ -157,8 +191,11 @@ ExecutionReport PlanExecutor::run() {
     }
     for (auto& f : futures) f.get();
     report.duplicate_deliveries += duplicates;
+    }
 
     // ---- preprocessing: one batch task per GPU on the preprocessing pool
+    {
+    LOBSTER_TRACE_SPAN(kExecutor, "preproc");
     std::vector<std::future<void>> preproc_futures;
     std::atomic<std::uint64_t> preproc_checksum{0};
     for (GpuId g = 0; g < gpus; ++g) {
@@ -170,6 +207,7 @@ ExecutionReport PlanExecutor::run() {
       }));
     }
     for (auto& f : preproc_futures) f.get();
+    }
 
     // ---- virtual-time accounting
     Seconds load_max = 0.0;
@@ -203,9 +241,12 @@ ExecutionReport PlanExecutor::run() {
     report.virtual_total += stats.virtual_duration;
 
     // ---- plan-driven cache maintenance
+    LOBSTER_TRACE_SPAN_ARG(kExecutor, "cache_maintenance",
+                           node_plan.evictions.size() + node_plan.prefetches.size());
     {
       const std::scoped_lock lock(store_mutex_);
       for (const SampleId s : node_plan.evictions) store_.erase(s);
+      LOBSTER_METRIC_COUNT("executor.plan_evictions", node_plan.evictions.size());
     }
     for (const SampleId s : node_plan.prefetches) {
       LoadRequest request;
@@ -226,6 +267,7 @@ ExecutionReport PlanExecutor::run() {
     const std::scoped_lock lock(stats_mutex_);
     report.payload_failures = payload_failures_;
   }
+  LOBSTER_METRIC_COUNT("executor.samples_delivered", report.samples_delivered);
   return report;
 }
 

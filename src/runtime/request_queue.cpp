@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace lobster::runtime {
 
 GpuRequestQueues::GpuRequestQueues(std::uint16_t gpus, std::size_t capacity_per_queue) {
@@ -23,12 +25,22 @@ const MpmcQueue<LoadRequest>& GpuRequestQueues::queue(GpuId gpu) const {
 }
 
 bool GpuRequestQueues::push(GpuId gpu, LoadRequest request) {
-  return queue(gpu).push(request);
+  const bool accepted = queue(gpu).push(request);
+  if (accepted) LOBSTER_METRIC_COUNT("queue.pushes", 1);
+  return accepted;
 }
 
-std::optional<LoadRequest> GpuRequestQueues::pop(GpuId gpu) { return queue(gpu).pop(); }
+std::optional<LoadRequest> GpuRequestQueues::pop(GpuId gpu) {
+  auto request = queue(gpu).pop();
+  if (request.has_value()) LOBSTER_METRIC_COUNT("queue.pops", 1);
+  return request;
+}
 
-std::optional<LoadRequest> GpuRequestQueues::try_pop(GpuId gpu) { return queue(gpu).try_pop(); }
+std::optional<LoadRequest> GpuRequestQueues::try_pop(GpuId gpu) {
+  auto request = queue(gpu).try_pop();
+  if (request.has_value()) LOBSTER_METRIC_COUNT("queue.pops", 1);
+  return request;
+}
 
 std::size_t GpuRequestQueues::depth(GpuId gpu) const { return queue(gpu).size(); }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "common/strfmt.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lobster::sim {
 
@@ -23,8 +25,29 @@ bool Engine::step() {
   auto fired = queue_.pop();
   now_ = fired.time;
   ++fired_;
+#if !defined(LOBSTER_TELEMETRY_DISABLED)
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    if (trace_track_ == 0) tracer_register_track();
+    tracer.instant_at(telemetry::Category::kSim, LOBSTER_TRACE_NAME_ID("dispatch"),
+                      trace_track_, now_, fired.id);
+    LOBSTER_METRIC_COUNT("sim.events_fired", 1);
+    // Callbacks run "at" the engine's virtual now: auto-domain events they
+    // emit (cache touches, resource grants) land on this engine's timeline.
+    const telemetry::VirtualTimeScope scope(trace_track_, now_);
+    fired.fn();
+    return true;
+  }
+#endif
   fired.fn();
   return true;
+}
+
+void Engine::tracer_register_track() {
+#if !defined(LOBSTER_TELEMETRY_DISABLED)
+  trace_track_ = telemetry::Tracer::instance().new_track(
+      strf("sim.engine@%p", static_cast<const void*>(this)));
+#endif
 }
 
 std::uint64_t Engine::run(Seconds until) {

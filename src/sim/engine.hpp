@@ -37,14 +37,19 @@ class Engine {
   /// `until` still fire). Returns the number of events fired.
   std::uint64_t run(Seconds until = std::numeric_limits<Seconds>::infinity());
 
-  bool idle() { return !queue_.next_time().has_value(); }
+  /// True when no live events remain. (`empty()` already excludes cancelled
+  /// tombstones, so this needs no heap cleanup and stays const.)
+  bool idle() const noexcept { return queue_.empty(); }
   std::size_t pending_events() const noexcept { return queue_.live_count(); }
   std::uint64_t fired_events() const noexcept { return fired_; }
 
  private:
+  void tracer_register_track();
+
   EventQueue queue_;
   Seconds now_ = 0.0;
   std::uint64_t fired_ = 0;
+  std::uint32_t trace_track_ = 0;  ///< lazily-allocated virtual timeline
 };
 
 }  // namespace lobster::sim

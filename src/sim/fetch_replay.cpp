@@ -6,6 +6,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lobster::sim {
 
@@ -25,6 +26,7 @@ struct GpuRunner {
 ReplayResult replay_node_iteration(const std::vector<GpuWork>& gpus,
                                    const storage::StorageModel::Params& storage_params,
                                    std::uint32_t pfs_reader_nodes) {
+  LOBSTER_TRACE_SPAN_ARG(kSim, "replay_node_iteration", gpus.size());
   Engine engine;
 
   const auto& p = storage_params;

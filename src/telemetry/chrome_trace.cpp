@@ -1,0 +1,148 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/strfmt.hpp"
+
+namespace lobster::telemetry {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_string(const std::string& s) {
+  std::string out;
+  append_json_string(out, s);
+  return out;
+}
+
+int pid_of(Domain domain) noexcept {
+  return domain == Domain::kWall ? kWallPid : kVirtualPid;
+}
+
+const std::string& name_of(const std::vector<std::string>& table, std::uint32_t id) {
+  static const std::string unknown = "<unknown>";
+  return id < table.size() ? table[id] : unknown;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceSnapshot& snapshot) {
+  out << "{\n\"displayTimeUnit\": \"ms\",\n";
+  out << strf("\"otherData\": {\"emitted_events\": %llu, \"dropped_events\": %llu},\n",
+              static_cast<unsigned long long>(snapshot.emitted),
+              static_cast<unsigned long long>(snapshot.dropped));
+  out << "\"traceEvents\": [\n";
+
+  bool first = true;
+  auto comma = [&]() {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  // Metadata: name the two processes and every track that carries events.
+  comma();
+  out << strf("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 0, "
+              "\"args\": {\"name\": \"wall clock\"}}",
+              kWallPid);
+  comma();
+  out << strf("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 0, "
+              "\"args\": {\"name\": \"virtual time\"}}",
+              kVirtualPid);
+
+  std::set<std::pair<int, std::uint32_t>> used_tracks;
+  for (const auto& event : snapshot.events) {
+    used_tracks.emplace(pid_of(event.domain), event.track);
+  }
+  for (const auto& [pid, track] : used_tracks) {
+    comma();
+    out << strf("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": %u, "
+                "\"args\": {\"name\": %s}}",
+                pid, track, json_string(name_of(snapshot.tracks, track)).c_str());
+  }
+
+  // Events, sorted by (pid, track, ts) for stable output.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(snapshot.events.size());
+  for (const auto& event : snapshot.events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(), [](const TraceEvent* a, const TraceEvent* b) {
+    if (a->domain != b->domain) return a->domain < b->domain;
+    if (a->track != b->track) return a->track < b->track;
+    return a->ts_us < b->ts_us;
+  });
+
+  for (const TraceEvent* event : ordered) {
+    comma();
+    const std::string name = json_string(name_of(snapshot.names, event->name_id));
+    const char* cat = category_name(event->category);
+    const int pid = pid_of(event->domain);
+    switch (event->phase) {
+      case Phase::kComplete:
+        out << strf("{\"name\": %s, \"cat\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %u, "
+                    "\"ts\": %llu, \"dur\": %llu, \"args\": {\"arg\": %llu}}",
+                    name.c_str(), cat, pid, event->track,
+                    static_cast<unsigned long long>(event->ts_us),
+                    static_cast<unsigned long long>(event->dur_us),
+                    static_cast<unsigned long long>(event->arg));
+        break;
+      case Phase::kInstant:
+        out << strf("{\"name\": %s, \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \"pid\": %d, "
+                    "\"tid\": %u, \"ts\": %llu, \"args\": {\"arg\": %llu}}",
+                    name.c_str(), cat, pid, event->track,
+                    static_cast<unsigned long long>(event->ts_us),
+                    static_cast<unsigned long long>(event->arg));
+        break;
+      case Phase::kCounter:
+        out << strf("{\"name\": %s, \"cat\": \"%s\", \"ph\": \"C\", \"pid\": %d, \"tid\": %u, "
+                    "\"ts\": %llu, \"args\": {\"value\": %.17g}}",
+                    name.c_str(), cat, pid, event->track,
+                    static_cast<unsigned long long>(event->ts_us), event->value);
+        break;
+    }
+  }
+
+  out << "\n]\n}\n";
+}
+
+std::string chrome_trace_json(const TraceSnapshot& snapshot) {
+  std::ostringstream out;
+  write_chrome_trace(out, snapshot);
+  return out.str();
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, Tracer::instance().snapshot());
+  return static_cast<bool>(out);
+}
+
+}  // namespace lobster::telemetry

@@ -1,0 +1,32 @@
+// Chrome trace_event JSON exporter.
+//
+// Produces the "JSON object format" understood by chrome://tracing and
+// ui.perfetto.dev: {"traceEvents": [...], "displayTimeUnit": "ms"}. The two
+// time domains are exported as separate processes — pid 1 = wall clock
+// (thread tracks), pid 2 = virtual time (sim/pipeline tracks) — so the
+// viewer never draws simulated seconds against elapsed seconds.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace lobster::telemetry {
+
+/// Wall-domain process id in the exported trace.
+inline constexpr int kWallPid = 1;
+/// Virtual-domain process id in the exported trace.
+inline constexpr int kVirtualPid = 2;
+
+/// Serializes a snapshot as Chrome trace JSON.
+void write_chrome_trace(std::ostream& out, const TraceSnapshot& snapshot);
+
+/// Convenience: snapshot -> string (tests).
+std::string chrome_trace_json(const TraceSnapshot& snapshot);
+
+/// Snapshots the global Tracer and writes `path` (parent dirs created).
+/// Returns false on I/O failure.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace lobster::telemetry

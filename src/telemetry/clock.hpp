@@ -1,0 +1,31 @@
+// Time domains for the tracing subsystem.
+//
+// Lobster runs in two worlds at once: the online runtime (`src/runtime`,
+// `src/comm`, thread pools) lives on the wall clock, while the simulator
+// (`src/sim`, `src/pipeline`) advances a virtual clock that has no relation
+// to elapsed real time. Every trace event therefore carries a Domain tag;
+// the Chrome-trace exporter keeps the two domains on separate "processes"
+// so their timelines never interleave.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace lobster::telemetry {
+
+enum class Domain : std::uint8_t {
+  kWall = 0,     ///< real elapsed time (std::chrono::steady_clock)
+  kVirtual = 1,  ///< simulated Seconds (sim::Engine / pipeline iteration time)
+};
+
+/// Converts virtual Seconds to the microsecond ticks stored in trace records.
+inline std::uint64_t to_micros(Seconds s) noexcept {
+  return s <= 0.0 ? 0 : static_cast<std::uint64_t>(s * 1e6 + 0.5);
+}
+
+/// Monotonic wall clock used for the kWall domain.
+using WallClock = std::chrono::steady_clock;
+
+}  // namespace lobster::telemetry

@@ -1,0 +1,89 @@
+#include "telemetry/registry.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strfmt.hpp"
+
+namespace lobster::telemetry {
+
+void MetricHistogram::reset() noexcept {
+  const std::scoped_lock lock(mutex_);
+  histogram_ = Histogram(lo_, hi_, bins_);
+  running_.reset();
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>()).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+MetricHistogram& MetricRegistry::histogram(std::string_view name, double lo, double hi,
+                                           std::size_t bins) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<MetricHistogram>(lo, hi, bins))
+              .first->second;
+}
+
+std::string MetricRegistry::render_csv() const {
+  std::ostringstream out;
+  write_csv(out);
+  return out.str();
+}
+
+void MetricRegistry::write_csv(std::ostream& out) const {
+  const std::scoped_lock lock(mutex_);
+  out << "kind,name,count,value,mean,min,max\n";
+  for (const auto& [name, counter] : counters_) {
+    const auto v = counter->value();
+    out << strf("counter,%s,%llu,%llu,,,\n", name.c_str(),
+                static_cast<unsigned long long>(v), static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << strf("gauge,%s,1,%.17g,,,\n", name.c_str(), gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const auto stats = histogram->running();
+    out << strf("histogram,%s,%llu,%.17g,%.17g,%.17g,%.17g\n", name.c_str(),
+                static_cast<unsigned long long>(stats.count()), stats.sum(), stats.mean(),
+                stats.min(), stats.max());
+  }
+}
+
+bool MetricRegistry::write_csv_file(const std::string& path) const {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+void MetricRegistry::reset() noexcept {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace lobster::telemetry

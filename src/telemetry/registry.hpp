@@ -1,0 +1,152 @@
+// Process-wide registry of named counters, gauges and histograms.
+//
+// Complements the event tracer with cheap aggregates: cache hits/misses/
+// evictions, queue depths, pool resizes, bytes moved per tier. Histograms
+// and running statistics reuse common/stats (Welford + fixed-bin bins), so
+// the CSV dump lines up with the rest of the repo's reporting.
+//
+// References returned by counter()/gauge()/histogram() are stable for the
+// process lifetime — hot call sites cache them in function-local statics
+// (see the LOBSTER_METRIC_* macros). reset() zeroes values but never
+// removes entries, so cached references stay valid across test cases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+
+namespace lobster::telemetry {
+
+/// Monotonic event count (atomic add).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins sampled value (queue depth, pool size, bytes resident).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Mutex-guarded distribution: fixed-bin histogram + running moments.
+class MetricHistogram {
+ public:
+  MetricHistogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins), histogram_(lo, hi, bins) {}
+
+  void observe(double x) noexcept {
+    const std::scoped_lock lock(mutex_);
+    histogram_.add(x);
+    running_.add(x);
+  }
+
+  RunningStats running() const {
+    const std::scoped_lock lock(mutex_);
+    return running_;
+  }
+  Histogram snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return histogram_;
+  }
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+  RunningStats running_;
+};
+
+class MetricRegistry {
+ public:
+  static MetricRegistry& instance();
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bin layout; later calls return it as-is.
+  MetricHistogram& histogram(std::string_view name, double lo, double hi, std::size_t bins);
+
+  /// `kind,name,count,value,mean,min,max` rows; counters report count=value.
+  std::string render_csv() const;
+  void write_csv(std::ostream& out) const;
+  bool write_csv_file(const std::string& path) const;
+
+  /// Zeroes all values; entries (and references to them) survive.
+  void reset() noexcept;
+
+ private:
+  MetricRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>, std::less<>> histograms_;
+};
+
+}  // namespace lobster::telemetry
+
+// Metric macros share the tracer's kill switches: compiled out with
+// LOBSTER_TELEMETRY_DISABLED, branch-on-disabled at run time, and a cached
+// registry lookup per call site.
+#if !defined(LOBSTER_TELEMETRY_DISABLED)
+
+#include "telemetry/telemetry.hpp"
+
+#define LOBSTER_METRIC_COUNT(literal, n)                                                  \
+  do {                                                                                    \
+    if (::lobster::telemetry::active()) {                                                 \
+      static auto& lobster_metric_ =                                                      \
+          ::lobster::telemetry::MetricRegistry::instance().counter(literal);              \
+      lobster_metric_.add(static_cast<std::uint64_t>(n));                                 \
+    }                                                                                     \
+  } while (0)
+
+#define LOBSTER_METRIC_GAUGE(literal, v)                                                  \
+  do {                                                                                    \
+    if (::lobster::telemetry::active()) {                                                 \
+      static auto& lobster_metric_ =                                                      \
+          ::lobster::telemetry::MetricRegistry::instance().gauge(literal);                \
+      lobster_metric_.set(static_cast<double>(v));                                        \
+    }                                                                                     \
+  } while (0)
+
+#define LOBSTER_METRIC_OBSERVE(literal, lo, hi, bins, v)                                  \
+  do {                                                                                    \
+    if (::lobster::telemetry::active()) {                                                 \
+      static auto& lobster_metric_ =                                                      \
+          ::lobster::telemetry::MetricRegistry::instance().histogram(literal, lo, hi,     \
+                                                                     bins);               \
+      lobster_metric_.observe(static_cast<double>(v));                                    \
+    }                                                                                     \
+  } while (0)
+
+#else  // LOBSTER_TELEMETRY_DISABLED
+
+#define LOBSTER_METRIC_COUNT(literal, n) do {} while (0)
+#define LOBSTER_METRIC_GAUGE(literal, v) do {} while (0)
+#define LOBSTER_METRIC_OBSERVE(literal, lo, hi, bins, v) do {} while (0)
+
+#endif  // LOBSTER_TELEMETRY_DISABLED

@@ -1,0 +1,208 @@
+#include "telemetry/telemetry.hpp"
+
+namespace lobster::telemetry {
+
+thread_local TraceBuffer* Tracer::tls_buffer_ = nullptr;
+thread_local std::uint32_t Tracer::tls_track_ = 0;
+thread_local Tracer::VirtualContext Tracer::tls_virtual_{};
+
+namespace {
+/// Default per-thread ring: 16Ki records x 48B = 768KiB. Benches can raise
+/// it (bench_common's trace_buffer=<n>) for long timelines.
+constexpr std::size_t kDefaultBufferCapacity = std::size_t{1} << 14;
+}  // namespace
+
+Tracer::Tracer() : buffer_capacity_(kDefaultBufferCapacity), epoch_(WallClock::now()) {
+  // Name id 0 / track id 0 are reserved so "unset" never aliases a real name.
+  names_.emplace_back("<none>");
+  name_ids_.emplace("<none>", 0);
+  tracks_.emplace_back("<none>");
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;  // leaked-on-exit singleton semantics via static storage
+  return tracer;
+}
+
+std::uint32_t Tracer::intern(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t Tracer::new_track(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto id = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.emplace_back(name);
+  return id;
+}
+
+void Tracer::set_buffer_capacity(std::size_t events) noexcept {
+  buffer_capacity_.store(events < 8 ? 8 : events, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::wall_now_us() const noexcept {
+  const auto elapsed = WallClock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+TraceBuffer& Tracer::thread_buffer() {
+  TraceBuffer* buffer = tls_buffer_;
+  if (buffer != nullptr) return *buffer;
+  // First event from this thread: allocate its ring and a named track.
+  // Buffers are owned by the tracer and never freed, so events emitted by
+  // pool workers survive the workers themselves.
+  std::uint32_t track = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    track = static_cast<std::uint32_t>(tracks_.size());
+    tracks_.push_back("thread-" + std::to_string(buffers_.size()));
+    buffers_.push_back(
+        std::make_unique<TraceBuffer>(buffer_capacity_.load(std::memory_order_relaxed)));
+    buffer = buffers_.back().get();
+  }
+  tls_buffer_ = buffer;
+  tls_track_ = track;
+  return *buffer;
+}
+
+void Tracer::instant_wall(Category category, std::uint32_t name, std::uint64_t arg) noexcept {
+  TraceEvent event;
+  event.ts_us = wall_now_us();
+  event.arg = arg;
+  event.name_id = name;
+  event.category = category;
+  event.phase = Phase::kInstant;
+  event.domain = Domain::kWall;
+  thread_buffer();  // ensure registration so tls_track_ is set
+  event.track = tls_track_;
+  emit(event);
+}
+
+void Tracer::complete_wall(Category category, std::uint32_t name, std::uint64_t begin_us,
+                           std::uint64_t end_us, std::uint64_t arg) noexcept {
+  TraceEvent event;
+  event.ts_us = begin_us;
+  event.dur_us = end_us > begin_us ? end_us - begin_us : 0;
+  event.arg = arg;
+  event.name_id = name;
+  event.category = category;
+  event.phase = Phase::kComplete;
+  event.domain = Domain::kWall;
+  thread_buffer();
+  event.track = tls_track_;
+  emit(event);
+}
+
+void Tracer::counter_wall(Category category, std::uint32_t name, double value) noexcept {
+  TraceEvent event;
+  event.ts_us = wall_now_us();
+  event.value = value;
+  event.name_id = name;
+  event.category = category;
+  event.phase = Phase::kCounter;
+  event.domain = Domain::kWall;
+  thread_buffer();
+  event.track = tls_track_;
+  emit(event);
+}
+
+void Tracer::instant_at(Category category, std::uint32_t name, std::uint32_t track, Seconds at,
+                        std::uint64_t arg) noexcept {
+  TraceEvent event;
+  event.ts_us = to_micros(at);
+  event.arg = arg;
+  event.name_id = name;
+  event.track = track;
+  event.category = category;
+  event.phase = Phase::kInstant;
+  event.domain = Domain::kVirtual;
+  emit(event);
+}
+
+void Tracer::complete_at(Category category, std::uint32_t name, std::uint32_t track,
+                         Seconds begin, Seconds end, std::uint64_t arg) noexcept {
+  TraceEvent event;
+  event.ts_us = to_micros(begin);
+  const std::uint64_t end_us = to_micros(end);
+  event.dur_us = end_us > event.ts_us ? end_us - event.ts_us : 0;
+  event.arg = arg;
+  event.name_id = name;
+  event.track = track;
+  event.category = category;
+  event.phase = Phase::kComplete;
+  event.domain = Domain::kVirtual;
+  emit(event);
+}
+
+void Tracer::counter_at(Category category, std::uint32_t name, std::uint32_t track, Seconds at,
+                        double value) noexcept {
+  TraceEvent event;
+  event.ts_us = to_micros(at);
+  event.value = value;
+  event.name_id = name;
+  event.track = track;
+  event.category = category;
+  event.phase = Phase::kCounter;
+  event.domain = Domain::kVirtual;
+  emit(event);
+}
+
+void Tracer::instant_auto(Category category, std::uint32_t name, std::uint64_t arg) noexcept {
+  const VirtualContext& ctx = tls_virtual_;
+  if (ctx.active) {
+    TraceEvent event;
+    event.ts_us = ctx.ts_us;
+    event.arg = arg;
+    event.name_id = name;
+    event.track = ctx.track;
+    event.category = category;
+    event.phase = Phase::kInstant;
+    event.domain = Domain::kVirtual;
+    emit(event);
+  } else {
+    instant_wall(category, name, arg);
+  }
+}
+
+void Tracer::counter_auto(Category category, std::uint32_t name, double value) noexcept {
+  const VirtualContext& ctx = tls_virtual_;
+  if (ctx.active) {
+    TraceEvent event;
+    event.ts_us = ctx.ts_us;
+    event.value = value;
+    event.name_id = name;
+    event.track = ctx.track;
+    event.category = category;
+    event.phase = Phase::kCounter;
+    event.domain = Domain::kVirtual;
+    emit(event);
+  } else {
+    counter_wall(category, name, value);
+  }
+}
+
+TraceSnapshot Tracer::snapshot() const {
+  TraceSnapshot snap;
+  const std::scoped_lock lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    buffer->snapshot(snap.events);
+    snap.dropped += buffer->dropped();
+    snap.emitted += buffer->emitted();
+  }
+  snap.names = names_;
+  snap.tracks = tracks_;
+  return snap;
+}
+
+void Tracer::reset() noexcept {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& buffer : buffers_) buffer->clear();
+}
+
+}  // namespace lobster::telemetry
