@@ -1,9 +1,11 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,25 +13,36 @@
 #include "common/config.hpp"
 #include "common/strfmt.hpp"
 #include "common/table.hpp"
+#include "pipeline/simulator.hpp"
+#include "telemetry/analysis/json.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/monitor.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace lobster::bench {
 
 /// Parses key=value CLI arguments. Every bench accepts `csv_dir=<path>` to
-/// additionally dump each printed table as CSV, and `--trace <out.json>`
+/// additionally dump each printed table as CSV, `--trace <out.json>`
 /// (or `trace=out.json`) to record a Chrome trace of the run (see
-/// TraceSession).
+/// TraceSession), `--metrics-json <out.json>` (or `metrics_json=...`) for a
+/// structured result record (see MetricsJson), and `heartbeat=<ms>` /
+/// `heartbeat_jsonl=<path>` for the live monitor.
 inline Config parse_args(int argc, char** argv) {
-  // `--trace out.json` is the one space-separated flag benches accept; fold
-  // it into key=value form before the strict '='-only parser sees it.
+  // `--trace out.json` / `--metrics-json out.json` are the space-separated
+  // flags benches accept; fold them into key=value form before the strict
+  // '='-only parser sees them.
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--trace" && i + 1 < argc &&
-        std::string_view(argv[i + 1]).find('=') == std::string_view::npos) {
+    const bool has_value =
+        i + 1 < argc && std::string_view(argv[i + 1]).find('=') == std::string_view::npos;
+    if (arg == "--trace" && has_value) {
       tokens.push_back(std::string("trace=") + argv[++i]);
+      continue;
+    }
+    if (arg == "--metrics-json" && has_value) {
+      tokens.push_back(std::string("metrics_json=") + argv[++i]);
       continue;
     }
     tokens.emplace_back(arg);
@@ -37,29 +50,58 @@ inline Config parse_args(int argc, char** argv) {
   return Config::from_tokens(tokens);
 }
 
-/// Turns tracing on for the bench's lifetime when `--trace <out.json>` was
-/// given; on destruction exports the Chrome trace plus a
-/// `<out.json>.counters.csv` metric dump. `trace_buffer=<records>`
-/// optionally sizes the per-thread ring buffers (default 1<<14).
+/// Turns tracing on for the bench's lifetime when `--trace <out.json>`
+/// and/or a heartbeat was requested; on destruction stops the monitor and
+/// exports the Chrome trace plus a `<out.json>.counters.csv` metric dump.
+///
+/// Options: `trace_buffer=<records>` sizes the per-thread ring buffers
+/// (default 1<<14); `heartbeat=<ms>` starts the live monitor on that
+/// interval; `heartbeat_jsonl=<path>` adds its JSONL sink;
+/// `heartbeat_gap_threshold=<frac>` tunes the straggler flag (default 0.1).
 class TraceSession {
  public:
   explicit TraceSession(const Config& config) : path_(config.get_string("trace", "")) {
     const auto capacity = config.get_int("trace_buffer", 0);
-    if (path_.empty()) return;
+    const auto heartbeat_ms = config.get_int("heartbeat", 0);
+    const std::string heartbeat_jsonl = config.get_string("heartbeat_jsonl", "");
+    const double gap_threshold = config.get_double("heartbeat_gap_threshold", 0.10);
+    const bool monitor_wanted = heartbeat_ms > 0 || !heartbeat_jsonl.empty();
+    if (path_.empty() && !monitor_wanted) return;
+
+    // A trace request arms full event recording; a heartbeat-only request
+    // arms just the LOBSTER_METRIC_* aggregates (metrics-only mode), which
+    // keeps the monitor's overhead to atomic counter updates.
     auto& tracer = telemetry::Tracer::instance();
     if (capacity > 0) tracer.set_buffer_capacity(static_cast<std::size_t>(capacity));
-    tracer.set_enabled(true);
+    if (!path_.empty()) {
+      tracer.set_enabled(true);
+    } else {
+      tracer.set_metrics_enabled(true);
+    }
+    enabled_ = true;
 #if defined(LOBSTER_TELEMETRY_DISABLED)
     std::fprintf(stderr,
-                 "warning: --trace given but built with LOBSTER_TELEMETRY=OFF; "
+                 "warning: --trace/heartbeat given but built with LOBSTER_TELEMETRY=OFF; "
                  "only directly-instrumented events will be recorded\n");
 #endif
+    if (monitor_wanted) {
+      telemetry::MonitorConfig monitor_config;
+      monitor_config.interval =
+          std::chrono::milliseconds(heartbeat_ms > 0 ? heartbeat_ms : 1000);
+      monitor_config.jsonl_path = heartbeat_jsonl;
+      monitor_config.straggler_gap_threshold = gap_threshold;
+      monitor_ = std::make_unique<telemetry::Monitor>(monitor_config);
+      monitor_->start();
+    }
   }
 
   ~TraceSession() {
-    if (path_.empty()) return;
+    if (!enabled_) return;
+    if (monitor_ != nullptr) monitor_->stop();  // final heartbeat while live
     auto& tracer = telemetry::Tracer::instance();
     tracer.set_enabled(false);
+    tracer.set_metrics_enabled(false);
+    if (path_.empty()) return;
     if (telemetry::write_chrome_trace_file(path_)) {
       std::printf("(trace written to %s — load in chrome://tracing or ui.perfetto.dev)\n",
                   path_.c_str());
@@ -77,6 +119,131 @@ class TraceSession {
 
  private:
   std::string path_;
+  bool enabled_ = false;
+  std::unique_ptr<telemetry::Monitor> monitor_;
+};
+
+/// One comparison row for the structured metrics artifact.
+struct MetricsRecord {
+  std::string panel;     ///< e.g. "fig07a"
+  std::string workload;  ///< e.g. "imagenet1k scale=64"
+  std::string strategy;  ///< e.g. "lobster"
+  double warm_epoch_time_s = 0.0;
+  double speedup_vs_baseline = 1.0;
+  double hit_ratio = 0.0;
+  double imbalanced_fraction = 0.0;
+  double gpu_utilization = 0.0;
+  double samples_per_s = 0.0;
+};
+
+/// Fills a MetricsRecord from a simulation result, using the same
+/// aggregates as metrics::comparison_table (warm-epoch timing, hit ratio,
+/// imbalanced fraction, GPU utilisation, samples/s).
+inline MetricsRecord make_record(std::string panel, std::string workload, std::string strategy,
+                                 const pipeline::SimulationResult& result,
+                                 double baseline_warm_time_s,
+                                 std::uint32_t warmup_epochs = 1) {
+  MetricsRecord record;
+  record.panel = std::move(panel);
+  record.workload = std::move(workload);
+  record.strategy = std::move(strategy);
+  record.warm_epoch_time_s = result.metrics.time_after_epoch(warmup_epochs);
+  record.speedup_vs_baseline =
+      record.warm_epoch_time_s > 0.0 ? baseline_warm_time_s / record.warm_epoch_time_s : 0.0;
+  record.hit_ratio = result.metrics.hit_ratio();
+  record.imbalanced_fraction = result.metrics.imbalanced_fraction();
+  record.gpu_utilization = result.metrics.gpu_utilization();
+  record.samples_per_s = result.samples_per_second;
+  return record;
+}
+
+/// Collects bench results and writes one schema-versioned JSON document
+/// ("lobster.bench_metrics.v1") on destruction when `--metrics-json <path>`
+/// was given; inert otherwise. CI jobs diff these instead of scraping
+/// stdout tables.
+class MetricsJson {
+ public:
+  MetricsJson(const Config& config, std::string bench_name)
+      : path_(config.get_string("metrics_json", "")), bench_(std::move(bench_name)) {}
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  void add(const MetricsRecord& record) {
+    if (enabled()) records_.push_back(record);
+  }
+  /// Free-form top-level scalar (wall time, monitor overhead, ...).
+  void set_scalar(const std::string& key, double value) {
+    if (enabled()) scalars_.emplace_back(key, value);
+  }
+
+  ~MetricsJson() {
+    if (!enabled()) return;
+    namespace aj = telemetry::analysis;
+    std::string out;
+    out.reserve(1024);
+    out += "{\n  ";
+    aj::append_json_quoted(out, "schema");
+    out += ": ";
+    aj::append_json_quoted(out, "lobster.bench_metrics.v1");
+    out += ",\n  ";
+    aj::append_json_quoted(out, "bench");
+    out += ": ";
+    aj::append_json_quoted(out, bench_);
+    for (const auto& [key, value] : scalars_) {
+      out += ",\n  ";
+      aj::append_json_quoted(out, key);
+      out += strf(": %.9g", value);
+    }
+    out += ",\n  ";
+    aj::append_json_quoted(out, "records");
+    out += ": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const MetricsRecord& r = records_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {";
+      auto field = [&out](const char* key, bool first = false) {
+        if (!first) out += ", ";
+        aj::append_json_quoted(out, key);
+        out += ": ";
+      };
+      field("panel", true);
+      aj::append_json_quoted(out, r.panel);
+      field("workload");
+      aj::append_json_quoted(out, r.workload);
+      field("strategy");
+      aj::append_json_quoted(out, r.strategy);
+      field("warm_epoch_time_s");
+      out += strf("%.9g", r.warm_epoch_time_s);
+      field("speedup_vs_baseline");
+      out += strf("%.9g", r.speedup_vs_baseline);
+      field("hit_ratio");
+      out += strf("%.9g", r.hit_ratio);
+      field("imbalanced_fraction");
+      out += strf("%.9g", r.imbalanced_fraction);
+      field("gpu_utilization");
+      out += strf("%.9g", r.gpu_utilization);
+      field("samples_per_s");
+      out += strf("%.9g", r.samples_per_s);
+      out += '}';
+    }
+    out += records_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    std::ofstream file(path_);
+    if (!file) {
+      std::fprintf(stderr, "warning: cannot write metrics json %s\n", path_.c_str());
+      return;
+    }
+    file << out;
+    std::printf("(metrics json written to %s)\n", path_.c_str());
+  }
+
+  MetricsJson(const MetricsJson&) = delete;
+  MetricsJson& operator=(const MetricsJson&) = delete;
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::vector<MetricsRecord> records_;
+  std::vector<std::pair<std::string, double>> scalars_;
 };
 
 inline void print_header(const std::string& title, const std::string& paper_claim) {

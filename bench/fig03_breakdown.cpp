@@ -17,6 +17,7 @@ using namespace lobster;
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
   const bench::TraceSession trace_session(config);
+  bench::MetricsJson metrics_json(config, "fig03_breakdown");
   const double scale = config.get_double("scale", 16.0);
   const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 8));
   bench::warn_unconsumed(config);
@@ -89,5 +90,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(loading_bottleneck), details.size());
   std::printf("Observation 2: worst (load+preproc)/train ratio: %.2fx  [paper: up to 3x]\n",
               worst_ratio);
+
+  metrics_json.add(bench::make_record("fig03", strf("imagenet1k/%unodes", nodes), "dali",
+                                      result, result.metrics.time_after_epoch(1)));
+  metrics_json.set_scalar(
+      "imbalanced_pct_epoch1",
+      100.0 * static_cast<double>(imbalanced) / static_cast<double>(details.size()));
+  metrics_json.set_scalar("worst_load_train_ratio", worst_ratio);
   return 0;
 }

@@ -26,7 +26,8 @@ namespace {
 
 const char* kStrategies[] = {"pytorch", "dali", "nopfs", "lobster"};
 
-void run_panel(const Config& config, const char* csv_name, const char* title, const char* claim,
+void run_panel(const Config& config, bench::MetricsJson& metrics_json, const char* csv_name,
+               const char* title, const char* claim,
                const std::vector<std::pair<std::string, pipeline::ExperimentPreset>>& rows) {
   bench::print_header(title, claim);
   Table table({"workload", "pytorch_s", "dali_s", "nopfs_s", "lobster_s", "vs_pytorch",
@@ -43,6 +44,10 @@ void run_panel(const Config& config, const char* csv_name, const char* title, co
                    Table::num(time_of("pytorch") / lobster, 2),
                    Table::num(time_of("dali") / lobster, 2),
                    Table::num(time_of("nopfs") / lobster, 2)});
+    for (const char* strategy : kStrategies) {
+      metrics_json.add(bench::make_record(csv_name, label, strategy, results.at(strategy),
+                                          time_of("pytorch")));
+    }
   }
   bench::emit(config, csv_name, table);
 }
@@ -52,6 +57,7 @@ void run_panel(const Config& config, const char* csv_name, const char* title, co
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
   const bench::TraceSession trace_session(config);
+  bench::MetricsJson metrics_json(config, "fig07_speedup");
   const double scale1k = config.get_double("scale1k", 256.0);
   const double scale22k = config.get_double("scale22k", 1024.0);
   const double scale22k_multi = config.get_double("scale22k_multi", 256.0);
@@ -71,7 +77,7 @@ int main(int argc, char** argv) {
       preset.epochs = epochs;
       rows.emplace_back(model, std::move(preset));
     }
-    run_panel(config, "fig07a", "Fig. 7(a): single node (8 GPUs), ImageNet-1K",
+    run_panel(config, metrics_json, "fig07a", "Fig. 7(a): single node (8 GPUs), ImageNet-1K",
               "Lobster 1.6x vs PyTorch, 1.7x vs DALI, 1.2x vs NoPFS", rows);
   }
 
@@ -83,7 +89,7 @@ int main(int argc, char** argv) {
       preset.epochs = epochs;
       rows.emplace_back(model, std::move(preset));
     }
-    run_panel(config, "fig07b", "Fig. 7(b): single node (8 GPUs), ImageNet-22K",
+    run_panel(config, metrics_json, "fig07b", "Fig. 7(b): single node (8 GPUs), ImageNet-22K",
               "Lobster 1.8x vs PyTorch (larger dataset amplifies the gain)", rows);
   }
 
@@ -93,7 +99,7 @@ int main(int argc, char** argv) {
     auto preset = pipeline::preset_imagenet22k_multi_node(scale22k_multi, 8);
     preset.epochs = epochs;
     rows.emplace_back("resnet50/8nodes", std::move(preset));
-    run_panel(config, "fig07c", "Fig. 7(c): 8 nodes x 8 GPUs, ImageNet-22K",
+    run_panel(config, metrics_json, "fig07c", "Fig. 7(c): 8 nodes x 8 GPUs, ImageNet-22K",
               "Lobster 2.0x vs PyTorch, 1.4x vs DALI, 1.2x vs NoPFS", rows);
   }
 
@@ -115,10 +121,15 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(nodes), Table::num(pytorch.metrics.time_after_epoch(1), 3),
                      Table::num(lobster.metrics.time_after_epoch(1), 3),
                      Table::num(speedup, 2)});
+      const std::string workload = strf("imagenet22k/%unodes", nodes);
+      const double base_warm = pytorch.metrics.time_after_epoch(1);
+      metrics_json.add(bench::make_record("fig07d", workload, "pytorch", pytorch, base_warm));
+      metrics_json.add(bench::make_record("fig07d", workload, "lobster", lobster, base_warm));
     }
     bench::emit(config, "fig07d", table);
     std::printf("average speedup vs PyTorch: %.2fx  [paper: 1.53x average, up to 1.9x]\n",
                 speedup_sum / speedup_count);
+    metrics_json.set_scalar("fig07d_avg_speedup", speedup_sum / speedup_count);
   }
   return 0;
 }

@@ -14,6 +14,7 @@ using baselines::LoaderStrategy;
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
   const bench::TraceSession trace_session(config);
+  bench::MetricsJson metrics_json(config, "tab_cache_hit_ratio");
   const double scale = config.get_double("scale", 256.0);
   const auto epochs = static_cast<std::uint32_t>(config.get_int("epochs", 6));
   bench::warn_unconsumed(config);
@@ -32,12 +33,16 @@ int main(int argc, char** argv) {
       {"pytorch", 24.5}, {"dali", 32.6}, {"nopfs", 48.9}, {"lobster", 63.2}};
 
   Table table({"strategy", "hit_ratio_%", "paper_%", "evictions", "insertions", "rejected"});
+  double pytorch_warm = 0.0;
   for (const auto& row : rows) {
     const auto result = pipeline::simulate(preset, LoaderStrategy::by_name(row.strategy));
     const auto& stats = result.metrics.cache_stats();
     table.add_row({row.strategy, Table::num(100.0 * stats.hit_ratio(), 1),
                    Table::num(row.paper_percent, 1), std::to_string(stats.evictions),
                    std::to_string(stats.insertions), std::to_string(stats.rejected_insertions)});
+    if (pytorch_warm == 0.0) pytorch_warm = result.metrics.time_after_epoch(1);
+    metrics_json.add(bench::make_record("tab_cache_hit_ratio", "imagenet1k/1node",
+                                        row.strategy, result, pytorch_warm));
   }
   bench::emit(config, "tab_cache_hit_ratio", table);
   return 0;

@@ -36,15 +36,16 @@ EvictionContext NodeCache::make_context(IterId now, IterId incoming_reuse) const
   return context;
 }
 
+// The access/insert/evict hot paths only bump plain counters in stats_;
+// publish_metrics() forwards deltas to the (atomic) metric registry in
+// batch, so per-sample work stays free of atomic RMWs.
 bool NodeCache::access(SampleId sample, IterId now) {
   if (resident_.contains(sample)) {
     ++stats_.hits;
-    LOBSTER_METRIC_COUNT("cache.hits", 1);
     policy_->on_access(sample, now);
     return true;
   }
   ++stats_.misses;
-  LOBSTER_METRIC_COUNT("cache.misses", 1);
   return false;
 }
 
@@ -77,9 +78,8 @@ NodeCache::InsertResult NodeCache::insert(SampleId sample, IterId now, IterId re
   resident_.insert(sample);
   used_ += size;
   ++stats_.insertions;
+  stats_.bytes_inserted += size;
   LOBSTER_TRACE_INSTANT(kCache, "insert", sample);
-  LOBSTER_METRIC_COUNT("cache.insertions", 1);
-  LOBSTER_METRIC_COUNT("cache.bytes_inserted", size);
   policy_->on_insert(sample, now);
   if (directory_ != nullptr) directory_->add(sample, node_);
   result.inserted = true;
@@ -91,7 +91,6 @@ bool NodeCache::evict(SampleId sample) {
   used_ -= catalog_.sample_bytes(sample);
   ++stats_.evictions;
   LOBSTER_TRACE_INSTANT(kCache, "evict", sample);
-  LOBSTER_METRIC_COUNT("cache.evictions", 1);
   policy_->on_evict(sample);
   if (directory_ != nullptr) directory_->remove(sample, node_);
   return true;
@@ -99,6 +98,28 @@ bool NodeCache::evict(SampleId sample) {
 
 void NodeCache::on_epoch(IterId now) {
   policy_->on_epoch(make_context(now, kNeverIter));
+}
+
+void NodeCache::publish_metrics() {
+#if !defined(LOBSTER_TELEMETRY_DISABLED)
+  if (!telemetry::metrics_active()) return;
+  // The registry never deletes entries, so references stay valid forever.
+  static auto& hits = telemetry::MetricRegistry::instance().counter("cache.hits");
+  static auto& misses = telemetry::MetricRegistry::instance().counter("cache.misses");
+  static auto& insertions = telemetry::MetricRegistry::instance().counter("cache.insertions");
+  static auto& evictions = telemetry::MetricRegistry::instance().counter("cache.evictions");
+  static auto& bytes_inserted =
+      telemetry::MetricRegistry::instance().counter("cache.bytes_inserted");
+  if (stats_.hits != published_.hits) hits.add(stats_.hits - published_.hits);
+  if (stats_.misses != published_.misses) misses.add(stats_.misses - published_.misses);
+  if (stats_.insertions != published_.insertions)
+    insertions.add(stats_.insertions - published_.insertions);
+  if (stats_.evictions != published_.evictions)
+    evictions.add(stats_.evictions - published_.evictions);
+  if (stats_.bytes_inserted != published_.bytes_inserted)
+    bytes_inserted.add(stats_.bytes_inserted - published_.bytes_inserted);
+  published_ = stats_;
+#endif
 }
 
 }  // namespace lobster::cache

@@ -25,6 +25,7 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t rejected_insertions = 0;  ///< policy refused to make room
+  std::uint64_t bytes_inserted = 0;
 
   double hit_ratio() const noexcept {
     const auto total = hits + misses;
@@ -75,12 +76,18 @@ class NodeCache {
   /// Epoch boundary: lets the clairvoyant policy refresh oracle-keyed state.
   void on_epoch(IterId now);
 
+  /// Pushes the stats delta since the last call into the metric registry
+  /// (cache.hits, cache.misses, ...). Batched so the per-access hot path
+  /// stays free of atomics; callers invoke this once per iteration.
+  void publish_metrics();
+
   Bytes capacity() const noexcept { return capacity_; }
   Bytes used() const noexcept { return used_; }
   Bytes free_bytes() const noexcept { return capacity_ - used_; }
   std::size_t resident_count() const noexcept { return resident_.size(); }
   NodeId node() const noexcept { return node_; }
   const CacheStats& stats() const noexcept { return stats_; }
+  const CacheStats& published_stats() const noexcept { return published_; }
   EvictionPolicy& policy() noexcept { return *policy_; }
   const std::unordered_set<SampleId>& residents() const noexcept { return resident_; }
 
@@ -99,6 +106,7 @@ class NodeCache {
   std::unordered_set<SampleId> resident_;
   std::unordered_set<SampleId> pinned_;
   CacheStats stats_;
+  CacheStats published_;  ///< registry state as of the last publish_metrics()
 };
 
 }  // namespace lobster::cache

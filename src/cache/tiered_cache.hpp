@@ -62,6 +62,11 @@ class TieredNodeCache {
   void unpin_all();
   void on_epoch(IterId now);
 
+  /// Batched registry update (see NodeCache::publish_metrics). Publishes
+  /// the DRAM tier only — `cache.*` mirrors RunMetrics::hit_ratio, which is
+  /// defined over memory-tier accesses.
+  void publish_metrics() { memory_->publish_metrics(); }
+
   const CacheStats& memory_stats() const noexcept { return memory_->stats(); }
   const CacheStats& ssd_stats() const;
   NodeCache& memory() noexcept { return *memory_; }

@@ -73,4 +73,35 @@ std::string Table::render_csv() const {
   return out;
 }
 
+namespace {
+std::string md_escape(const std::string& cell) {
+  std::string out;
+  for (char ch : cell) {
+    if (ch == '|') out += "\\|";
+    else if (ch == '\n') out += ' ';
+    else out += ch;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Table::render_markdown() const {
+  std::string out;
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    out += '|';
+    for (const auto& cell : cells) {
+      out += ' ';
+      out += md_escape(cell);
+      out += " |";
+    }
+    out += '\n';
+  };
+  render_cells(columns_);
+  out += '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) render_cells(row);
+  return out;
+}
+
 }  // namespace lobster

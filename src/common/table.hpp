@@ -25,6 +25,9 @@ class Table {
   /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
   std::string render_csv() const;
 
+  /// GitHub-flavoured Markdown pipe table (escapes '|' in cells).
+  std::string render_markdown() const;
+
   std::size_t rows() const noexcept { return rows_.size(); }
   std::size_t columns() const noexcept { return columns_.size(); }
   const std::vector<std::string>& column_names() const noexcept { return columns_; }

@@ -30,13 +30,18 @@ double warm_speedup(const pipeline::SimulationResult& baseline,
 std::string render_series(const std::vector<double>& values, std::size_t width) {
   if (values.empty()) return "(empty)";
   static constexpr char kLevels[] = " .:-=+*#%@";
-  const double peak = *std::max_element(values.begin(), values.end());
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double span = *hi_it - lo;
   std::string out;
   const std::size_t n = std::min(width, values.size());
   const double stride = static_cast<double>(values.size()) / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto idx = static_cast<std::size_t>(static_cast<double>(i) * stride);
-    const double v = peak > 0.0 ? values[idx] / peak : 0.0;
+    // Scale against the min..max span and clamp to [0, 1] before the size_t
+    // conversion: casting a negative double is undefined behaviour.
+    const double v =
+        span > 0.0 ? std::clamp((values[idx] - lo) / span, 0.0, 1.0) : 0.0;
     const auto level = static_cast<std::size_t>(v * 9.0);
     out += kLevels[std::min<std::size_t>(level, 9)];
   }

@@ -27,7 +27,9 @@ Table comparison_table(const std::vector<StrategyResult>& results,
 double warm_speedup(const pipeline::SimulationResult& baseline,
                     const pipeline::SimulationResult& target, std::uint32_t warmup_epochs = 1);
 
-/// ASCII sparkline-style series renderer (one line, scaled to max).
+/// ASCII sparkline-style series renderer (one line). Values are scaled
+/// against the series' min..max span; any input range (including negative
+/// values) is safe.
 std::string render_series(const std::vector<double>& values, std::size_t width = 60);
 
 }  // namespace lobster::metrics

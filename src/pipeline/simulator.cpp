@@ -11,6 +11,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/strfmt.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace lobster::pipeline {
@@ -47,19 +48,33 @@ bool pfs_burst(std::uint64_t seed, IterId iter, NodeId node, double probability)
 /// one process (a fig bench runs dozens of runs back to back).
 std::atomic<std::uint32_t> trace_run_counter{0};
 
-/// Per-run tracing state: a "pipeline" and a "train" virtual track per node
-/// plus the interned stage names. Empty (and never consulted) when tracing
-/// was off at run() entry.
+/// Per-run tracing state: a "pipeline" and a "train" virtual track per node,
+/// one cluster-wide track for barrier-level signals (Eq. 2-3 gap series,
+/// imbalance flags, epoch markers), plus the interned stage names. Empty
+/// (and never consulted) when tracing was off at run() entry.
 struct RunTrace {
   bool on = false;
   std::vector<std::uint32_t> io_tracks;   ///< load/preproc/iteration spans
   std::vector<std::uint32_t> gpu_tracks;  ///< train spans
+  std::uint32_t cluster_track = 0;        ///< t_max/t_min counters, markers
   std::uint32_t name_iteration = 0;
   std::uint32_t name_load = 0;
   std::uint32_t name_preproc = 0;
   std::uint32_t name_train = 0;
   std::uint32_t name_load_threads = 0;
   std::uint32_t name_cache_used = 0;
+  std::uint32_t name_t_max = 0;
+  std::uint32_t name_t_min = 0;
+  std::uint32_t name_imbalanced = 0;
+  std::uint32_t name_epoch_begin = 0;
+  std::uint32_t name_fetch_local = 0;
+  std::uint32_t name_fetch_ssd = 0;
+  std::uint32_t name_fetch_remote = 0;
+  std::uint32_t name_fetch_pfs = 0;
+  std::uint32_t name_hits_local = 0;
+  std::uint32_t name_hits_ssd = 0;
+  std::uint32_t name_hits_remote = 0;
+  std::uint32_t name_miss_pfs = 0;
 
   static RunTrace begin(std::uint16_t nodes) {
     RunTrace trace;
@@ -71,12 +86,25 @@ struct RunTrace {
       trace.io_tracks.push_back(tracer.new_track(strf("sim%u/node%u/pipeline", run_id, n)));
       trace.gpu_tracks.push_back(tracer.new_track(strf("sim%u/node%u/train", run_id, n)));
     }
+    trace.cluster_track = tracer.new_track(strf("sim%u/cluster", run_id));
     trace.name_iteration = tracer.intern("iteration");
     trace.name_load = tracer.intern("load");
     trace.name_preproc = tracer.intern("preproc");
     trace.name_train = tracer.intern("train");
     trace.name_load_threads = tracer.intern("load_threads");
     trace.name_cache_used = tracer.intern("cache_used_bytes");
+    trace.name_t_max = tracer.intern("t_max");
+    trace.name_t_min = tracer.intern("t_min");
+    trace.name_imbalanced = tracer.intern("imbalanced");
+    trace.name_epoch_begin = tracer.intern("epoch_begin");
+    trace.name_fetch_local = tracer.intern("fetch_local_s");
+    trace.name_fetch_ssd = tracer.intern("fetch_ssd_s");
+    trace.name_fetch_remote = tracer.intern("fetch_remote_s");
+    trace.name_fetch_pfs = tracer.intern("fetch_pfs_s");
+    trace.name_hits_local = tracer.intern("hits_local");
+    trace.name_hits_ssd = tracer.intern("hits_ssd");
+    trace.name_hits_remote = tracer.intern("hits_remote");
+    trace.name_miss_pfs = tracer.intern("miss_pfs");
     return trace;
   }
 };
@@ -420,6 +448,14 @@ SimulationResult TrainingSimulator::run() {
   for (std::uint32_t epoch = 0; epoch < preset.epochs; ++epoch) {
     oracle_->rebase(epoch);
     for (auto& node : nodes_) node->cache->on_epoch(sampler_->global_iter(epoch, 0));
+    if (trace.on) {
+      // Epoch boundary marker: lets the analyzer segment the virtual
+      // timeline into epochs (warm-up exclusion, per-epoch breakdowns)
+      // without knowing the sampler's iteration count.
+      telemetry::Tracer::instance().instant_at(telemetry::Category::kPipeline,
+                                               trace.name_epoch_begin, trace.cluster_track,
+                                               trace_cursor, epoch);
+    }
 
     for (std::uint32_t h = 0; h < I; ++h) {
       const IterId now = sampler_->global_iter(epoch, h);
@@ -516,6 +552,11 @@ SimulationResult TrainingSimulator::run() {
         Seconds node_load_max = 0.0;
         Seconds node_preproc_max = 0.0;
         Seconds node_train_max = 0.0;
+        // Tier decomposition of the node's slowest load (traced so the
+        // analyzer can reconstruct the Fig. 3 fetch-tier shares).
+        struct TierSeconds {
+          Seconds local = 0.0, ssd = 0.0, remote = 0.0, pfs = 0.0;
+        } node_tier;
         const bool burst =
             pfs_burst(preset.seed, now, node->id, preset.noise.burst_probability);
 
@@ -578,7 +619,27 @@ SimulationResult TrainingSimulator::run() {
           t_max = std::max(t_max, gpu_time);
           t_min = std::min(t_min, gpu_time);
           max_pipeline = std::max(max_pipeline, pipeline);
-          node_load_max = std::max(node_load_max, load);
+          if (load > node_load_max) {
+            node_load_max = load;
+            if (trace.on) {
+              // Decompose the slowest GPU's load exactly as billed above; in
+              // DES mode the analytic components only set the proportions.
+              const double slow_noise =
+                  burst ? noise * preset.noise.burst_multiplier : noise;
+              node_tier = {breakdown.local, breakdown.ssd, breakdown.remote * slow_noise,
+                           breakdown.pfs * slow_noise};
+              const Seconds analytic =
+                  node_tier.local + node_tier.ssd + node_tier.remote + node_tier.pfs;
+              if (config_.des_loading) {
+                const double rescale = analytic > 0.0 ? load / analytic : 0.0;
+                node_tier.local *= rescale;
+                node_tier.ssd *= rescale;
+                node_tier.remote *= rescale;
+                node_tier.pfs *= rescale;
+                if (analytic <= 0.0) node_tier.local = load;
+              }
+            }
+          }
           node_preproc_max = std::max(node_preproc_max, preproc);
           node_train_max = std::max(node_train_max, train);
           samples_done += demand.samples;
@@ -604,6 +665,33 @@ SimulationResult TrainingSimulator::run() {
                             trace_cursor, load_sum);
           tracer.counter_at(telemetry::Category::kCache, trace.name_cache_used, io_track,
                             trace_cursor, static_cast<double>(node->cache->memory().used()));
+          // Slowest-GPU fetch-tier decomposition (seconds) and this node's
+          // per-iteration tier hit counts, for the analyzer's Fig. 3 shares
+          // and windowed hit-ratio series.
+          tracer.counter_at(telemetry::Category::kPipeline, trace.name_fetch_local, io_track,
+                            trace_cursor, node_tier.local);
+          tracer.counter_at(telemetry::Category::kPipeline, trace.name_fetch_ssd, io_track,
+                            trace_cursor, node_tier.ssd);
+          tracer.counter_at(telemetry::Category::kPipeline, trace.name_fetch_remote, io_track,
+                            trace_cursor, node_tier.remote);
+          tracer.counter_at(telemetry::Category::kPipeline, trace.name_fetch_pfs, io_track,
+                            trace_cursor, node_tier.pfs);
+          std::uint64_t hits_local = 0, hits_ssd = 0, hits_remote = 0, miss_pfs = 0;
+          for (GpuId g = 0; g < gpus; ++g) {
+            const auto& gpu_record = record.gpus[flat_gpu_rank({node->id, g}, gpus)];
+            hits_local += gpu_record.local_hits;
+            hits_ssd += gpu_record.ssd_hits;
+            hits_remote += gpu_record.remote_hits;
+            miss_pfs += gpu_record.pfs_misses;
+          }
+          tracer.counter_at(telemetry::Category::kCache, trace.name_hits_local, io_track,
+                            trace_cursor, static_cast<double>(hits_local));
+          tracer.counter_at(telemetry::Category::kCache, trace.name_hits_ssd, io_track,
+                            trace_cursor, static_cast<double>(hits_ssd));
+          tracer.counter_at(telemetry::Category::kCache, trace.name_hits_remote, io_track,
+                            trace_cursor, static_cast<double>(hits_remote));
+          tracer.counter_at(telemetry::Category::kCache, trace.name_miss_pfs, io_track,
+                            trace_cursor, static_cast<double>(miss_pfs));
         }
         node->last_max_pipeline = max_pipeline;
         node->last_load_threads = load_sum;
@@ -630,6 +718,28 @@ SimulationResult TrainingSimulator::run() {
                              trace.io_tracks[node->id], trace_cursor,
                              trace_cursor + record.duration, now);
         }
+        // Cluster-level Eq. 2-3 signals: the analyzer reconstructs the
+        // per-iteration gap series and the imbalanced fraction from these
+        // without re-deriving per-GPU times.
+        tracer.counter_at(telemetry::Category::kPipeline, trace.name_t_max,
+                          trace.cluster_track, trace_cursor, t_max);
+        tracer.counter_at(telemetry::Category::kPipeline, trace.name_t_min,
+                          trace.cluster_track, trace_cursor, t_min);
+        if (record.imbalanced) {
+          tracer.instant_at(telemetry::Category::kPipeline, trace.name_imbalanced,
+                            trace.cluster_track, trace_cursor, now);
+        }
+      }
+
+      // Registry signals sampled by the live monitor's heartbeat thread.
+      LOBSTER_METRIC_COUNT("pipeline.iterations", 1);
+      if (record.imbalanced) LOBSTER_METRIC_COUNT("pipeline.imbalanced_iterations", 1);
+      LOBSTER_METRIC_GAUGE("pipeline.gap_frac",
+                           record.duration > 0.0 ? (t_max - t_min) / record.duration : 0.0);
+      {
+        Bytes consumed = 0;
+        for (const auto& gpu_record : record.gpus) consumed += gpu_record.bytes.total();
+        LOBSTER_METRIC_COUNT("pipeline.bytes_consumed", consumed);
       }
 
       // ---- 5. post-iteration cache maintenance + prefetching
@@ -645,6 +755,7 @@ SimulationResult TrainingSimulator::run() {
           fetched.pfs += d.bytes.pfs;
         }
         prefetch(*node, epoch, h, record.duration, fetched, node->last_load_threads);
+        node->cache->publish_metrics();
       }
 
       trace_cursor += record.duration;

@@ -1,0 +1,401 @@
+#include "telemetry/analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "telemetry/chrome_trace.hpp"
+
+namespace lobster::telemetry::analysis {
+
+namespace {
+
+// Matching events to iterations compares integer-microsecond timestamps that
+// the exporter rounded identically, so a half-microsecond slack is enough.
+constexpr double kTsSlackUs = 0.5;
+
+enum class TrackKind { kNodePipeline, kNodeTrain, kCluster };
+
+struct TrackId {
+  std::uint32_t run = 0;
+  std::uint32_t node = 0;
+  TrackKind kind = TrackKind::kCluster;
+};
+
+bool parse_uint(std::string_view& s, std::uint32_t& out) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    ++i;
+  }
+  s.remove_prefix(i);
+  out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+bool eat(std::string_view& s, std::string_view prefix) {
+  if (s.substr(0, prefix.size()) != prefix) return false;
+  s.remove_prefix(prefix.size());
+  return true;
+}
+
+/// Recognizes "sim<run>/cluster" and "sim<run>/node<n>/(pipeline|train)".
+bool parse_track_name(std::string_view name, TrackId& out) {
+  if (!eat(name, "sim") || !parse_uint(name, out.run) || !eat(name, "/")) return false;
+  if (name == "cluster") {
+    out.kind = TrackKind::kCluster;
+    return true;
+  }
+  if (!eat(name, "node") || !parse_uint(name, out.node) || !eat(name, "/")) return false;
+  if (name == "pipeline") {
+    out.kind = TrackKind::kNodePipeline;
+    return true;
+  }
+  if (name == "train") {
+    out.kind = TrackKind::kNodeTrain;
+    return true;
+  }
+  return false;
+}
+
+struct NodeSeries {
+  // All vectors are indexed by iteration; filled with zeros up front.
+  std::vector<double> load_s, preproc_s, train_s, iter_dur_s;
+  std::vector<double> fetch_local_s, fetch_ssd_s, fetch_remote_s, fetch_pfs_s;
+  std::vector<double> cache_used;
+  std::vector<std::uint64_t> hits_local, hits_ssd, hits_remote, miss_pfs;
+
+  void resize(std::size_t n) {
+    load_s.assign(n, 0.0);
+    preproc_s.assign(n, 0.0);
+    train_s.assign(n, 0.0);
+    iter_dur_s.assign(n, 0.0);
+    fetch_local_s.assign(n, 0.0);
+    fetch_ssd_s.assign(n, 0.0);
+    fetch_remote_s.assign(n, 0.0);
+    fetch_pfs_s.assign(n, 0.0);
+    cache_used.assign(n, 0.0);
+    hits_local.assign(n, 0);
+    hits_ssd.assign(n, 0);
+    hits_remote.assign(n, 0);
+    miss_pfs.assign(n, 0);
+  }
+};
+
+struct RunEvents {
+  std::map<std::uint32_t, std::vector<const TraceLogEvent*>> node_pipeline;
+  std::map<std::uint32_t, std::vector<const TraceLogEvent*>> node_train;
+  std::vector<const TraceLogEvent*> cluster;
+};
+
+/// Index of the iteration whose [start, next-start) window contains `ts_us`,
+/// or npos when `ts_us` precedes the first iteration.
+std::size_t iteration_index(const std::vector<double>& starts_us, double ts_us) {
+  const auto it =
+      std::upper_bound(starts_us.begin(), starts_us.end(), ts_us + kTsSlackUs);
+  if (it == starts_us.begin()) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - starts_us.begin()) - 1;
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kLoad: return "load";
+    case Stage::kPreproc: return "preproc";
+    case Stage::kTrain: return "train";
+  }
+  return "?";
+}
+
+std::vector<RunAnalysis> analyze_runs(const TraceLog& log, const AnalyzeOptions& options) {
+  // ---- 1. map virtual tracks to (run, node, kind) and bucket events
+  std::map<std::uint32_t, TrackId> tracks;  // tid -> identity (virtual pid only)
+  for (const auto& [key, name] : log.track_names) {
+    if (key.first != kVirtualPid) continue;
+    TrackId id;
+    if (parse_track_name(name, id)) tracks.emplace(key.second, id);
+  }
+
+  std::map<std::uint32_t, RunEvents> runs;
+  for (const auto& event : log.events) {
+    if (event.pid != kVirtualPid) continue;
+    const auto it = tracks.find(event.tid);
+    if (it == tracks.end()) continue;
+    const TrackId& id = it->second;
+    auto& run = runs[id.run];
+    switch (id.kind) {
+      case TrackKind::kNodePipeline: run.node_pipeline[id.node].push_back(&event); break;
+      case TrackKind::kNodeTrain: run.node_train[id.node].push_back(&event); break;
+      case TrackKind::kCluster: run.cluster.push_back(&event); break;
+    }
+  }
+
+  std::vector<RunAnalysis> analyses;
+  for (const auto& [run_id, run] : runs) {
+    if (run.node_pipeline.empty()) continue;
+
+    // ---- 2. canonical iteration timeline from the lowest node's track
+    // (the barrier keeps every node's iteration spans identical).
+    std::vector<double> starts_us;
+    std::vector<double> span_dur_us;
+    std::vector<std::uint64_t> global_iters;
+    for (const auto* event : run.node_pipeline.begin()->second) {
+      if (event->phase == 'X' && event->name == "iteration") {
+        starts_us.push_back(event->ts_us);
+        span_dur_us.push_back(event->dur_us);
+        global_iters.push_back(event->arg);
+      }
+    }
+    const std::size_t n = starts_us.size();
+    if (n == 0) continue;
+
+    RunAnalysis out;
+    out.run_id = run_id;
+    out.nodes = static_cast<std::uint32_t>(run.node_pipeline.size());
+    out.warmup_epochs = options.warmup_epochs;
+    out.iterations = n;
+
+    // ---- 3. cluster signals: epoch markers, exact t_max/t_min, imbalance
+    std::vector<std::pair<double, std::uint32_t>> epoch_begins;  // (ts, epoch)
+    std::vector<std::pair<double, double>> t_max_points;
+    std::vector<std::pair<double, double>> t_min_points;
+    std::vector<double> imbalanced_ts;
+    for (const auto* event : run.cluster) {
+      if (event->phase == 'i' && event->name == "epoch_begin") {
+        epoch_begins.emplace_back(event->ts_us, static_cast<std::uint32_t>(event->arg));
+      } else if (event->phase == 'C' && event->name == "t_max") {
+        t_max_points.emplace_back(event->ts_us, event->value);
+      } else if (event->phase == 'C' && event->name == "t_min") {
+        t_min_points.emplace_back(event->ts_us, event->value);
+      } else if (event->phase == 'i' && event->name == "imbalanced") {
+        imbalanced_ts.push_back(event->ts_us);
+      }
+    }
+
+    auto counter_for = [&](const std::vector<std::pair<double, double>>& points,
+                           std::size_t idx, double fallback) {
+      // Index-matched when the series is complete; ts-matched otherwise
+      // (a truncated ring can lose a prefix of the cluster counters).
+      if (points.size() == n) return points[idx].second;
+      const auto it = std::lower_bound(
+          points.begin(), points.end(), starts_us[idx] - kTsSlackUs,
+          [](const std::pair<double, double>& p, double ts) { return p.first < ts; });
+      if (it != points.end() && std::abs(it->first - starts_us[idx]) <= kTsSlackUs) {
+        return it->second;
+      }
+      return fallback;
+    };
+
+    out.iteration_samples.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& sample = out.iteration_samples[i];
+      sample.start_s = starts_us[i] / 1e6;
+      sample.global_iter = global_iters[i];
+      // Prefer the exact barrier duration (full double precision) over the
+      // micro-rounded span length.
+      sample.t_max_s = counter_for(t_max_points, i, span_dur_us[i] / 1e6);
+      sample.duration_s = sample.t_max_s;
+      sample.t_min_s = counter_for(t_min_points, i, sample.t_max_s);
+      const auto eb = std::upper_bound(
+          epoch_begins.begin(), epoch_begins.end(),
+          std::make_pair(starts_us[i] + kTsSlackUs, std::numeric_limits<std::uint32_t>::max()));
+      sample.epoch = eb == epoch_begins.begin() ? 0 : std::prev(eb)->second;
+    }
+    for (const double ts : imbalanced_ts) {
+      const std::size_t idx = iteration_index(starts_us, ts);
+      if (idx < n) out.iteration_samples[idx].imbalanced = true;
+    }
+    out.epochs = epoch_begins.empty()
+                     ? 1
+                     : std::max_element(epoch_begins.begin(), epoch_begins.end(),
+                                        [](const auto& a, const auto& b) {
+                                          return a.second < b.second;
+                                        })->second + 1;
+
+    // ---- 4. per-node stage series, bucketed by iteration window
+    std::map<std::uint32_t, NodeSeries> series;
+    for (const auto& [node, events] : run.node_pipeline) {
+      NodeSeries& s = series[node];
+      s.resize(n);
+      for (const auto* event : events) {
+        const std::size_t idx = iteration_index(starts_us, event->ts_us);
+        if (idx >= n) continue;
+        if (event->phase == 'X') {
+          if (event->name == "load") s.load_s[idx] += event->dur_us / 1e6;
+          else if (event->name == "preproc") s.preproc_s[idx] += event->dur_us / 1e6;
+          else if (event->name == "iteration") s.iter_dur_s[idx] = event->dur_us / 1e6;
+        } else if (event->phase == 'C') {
+          if (event->name == "fetch_local_s") s.fetch_local_s[idx] = event->value;
+          else if (event->name == "fetch_ssd_s") s.fetch_ssd_s[idx] = event->value;
+          else if (event->name == "fetch_remote_s") s.fetch_remote_s[idx] = event->value;
+          else if (event->name == "fetch_pfs_s") s.fetch_pfs_s[idx] = event->value;
+          else if (event->name == "cache_used_bytes") s.cache_used[idx] = event->value;
+          else if (event->name == "hits_local")
+            s.hits_local[idx] = static_cast<std::uint64_t>(event->value);
+          else if (event->name == "hits_ssd")
+            s.hits_ssd[idx] = static_cast<std::uint64_t>(event->value);
+          else if (event->name == "hits_remote")
+            s.hits_remote[idx] = static_cast<std::uint64_t>(event->value);
+          else if (event->name == "miss_pfs")
+            s.miss_pfs[idx] = static_cast<std::uint64_t>(event->value);
+        }
+      }
+    }
+    for (const auto& [node, events] : run.node_train) {
+      auto it = series.find(node);
+      if (it == series.end()) continue;
+      for (const auto* event : events) {
+        if (event->phase != 'X' || event->name != "train") continue;
+        const std::size_t idx = iteration_index(starts_us, event->ts_us);
+        if (idx < n) it->second.train_s[idx] += event->dur_us / 1e6;
+      }
+    }
+
+    // ---- 5. per-iteration attribution, gaps, warm/all aggregation
+    // (GPU-preproc runs emit no preproc spans; their cost rides inside the
+    // train span, so attribution naturally lands on train.)
+    std::map<std::uint32_t, std::uint64_t> slowest_counts;
+    std::uint64_t imbalanced_all = 0, imbalanced_warm = 0;
+    std::uint64_t hits_local_all = 0, samples_all = 0;
+    out.gap_frac_series.resize(n, 0.0);
+    out.cache_used_series.resize(n, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& sample = out.iteration_samples[i];
+      double slowest_time = -1.0;
+      double slow_load = 0.0, slow_preproc = 0.0, slow_train = 0.0;
+      for (const auto& [node, s] : series) {
+        const double pipeline = s.load_s[i] + s.preproc_s[i];
+        const double gpu_time = std::max(pipeline, s.train_s[i]);
+        if (gpu_time > slowest_time) {
+          slowest_time = gpu_time;
+          sample.slowest_node = node;
+          slow_load = s.load_s[i];
+          slow_preproc = s.preproc_s[i];
+          slow_train = s.train_s[i];
+        }
+        out.cache_used_series[i] += s.cache_used[i];
+        hits_local_all += s.hits_local[i];
+        samples_all += s.hits_local[i] + s.hits_ssd[i] + s.hits_remote[i] + s.miss_pfs[i];
+      }
+      if (slow_train >= slow_load + slow_preproc) {
+        sample.bounded_by = Stage::kTrain;
+      } else {
+        sample.bounded_by = slow_load >= slow_preproc ? Stage::kLoad : Stage::kPreproc;
+      }
+      out.gap_frac_series[i] = sample.gap_frac();
+
+      out.total_time_s += sample.duration_s;
+      if (sample.imbalanced) ++imbalanced_all;
+
+      const bool warm = sample.epoch >= options.warmup_epochs;
+      if (!warm) continue;
+      ++out.warm_iterations;
+      out.warm_time_s += sample.duration_s;
+      if (sample.imbalanced) ++imbalanced_warm;
+      out.mean_gap_s += sample.gap_s();
+      out.mean_gap_frac += sample.gap_frac();
+      out.max_gap_s = std::max(out.max_gap_s, sample.gap_s());
+      ++slowest_counts[sample.slowest_node];
+      switch (sample.bounded_by) {
+        case Stage::kLoad: ++out.bounded_by_load; break;
+        case Stage::kPreproc: ++out.bounded_by_preproc; break;
+        case Stage::kTrain: ++out.bounded_by_train; break;
+      }
+
+      for (const auto& [node, s] : series) {
+        StageTotals& totals = out.per_node[node];
+        totals.load_s += s.load_s[i];
+        totals.preproc_s += s.preproc_s[i];
+        totals.train_s += s.train_s[i];
+        totals.idle_s += std::max(0.0, sample.duration_s - s.train_s[i]);
+        totals.iteration_s += sample.duration_s;
+        totals.fetch_local_s += s.fetch_local_s[i];
+        totals.fetch_ssd_s += s.fetch_ssd_s[i];
+        totals.fetch_remote_s += s.fetch_remote_s[i];
+        totals.fetch_pfs_s += s.fetch_pfs_s[i];
+        totals.hits_local += s.hits_local[i];
+        totals.hits_ssd += s.hits_ssd[i];
+        totals.hits_remote += s.hits_remote[i];
+        totals.miss_pfs += s.miss_pfs[i];
+        ++totals.iterations;
+      }
+    }
+
+    out.imbalanced_fraction = static_cast<double>(imbalanced_all) / static_cast<double>(n);
+    if (out.warm_iterations > 0) {
+      const auto warm_n = static_cast<double>(out.warm_iterations);
+      out.warm_imbalanced_fraction = static_cast<double>(imbalanced_warm) / warm_n;
+      out.mean_gap_s /= warm_n;
+      out.mean_gap_frac /= warm_n;
+      const auto slowest = std::max_element(
+          slowest_counts.begin(), slowest_counts.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      out.straggler_node = slowest->first;
+      out.straggler_share = static_cast<double>(slowest->second) / warm_n;
+      out.straggler_index = out.straggler_share * static_cast<double>(out.nodes);
+    } else {
+      out.mean_gap_s = out.mean_gap_frac = 0.0;
+    }
+    if (samples_all > 0) {
+      out.local_hit_ratio =
+          static_cast<double>(hits_local_all) / static_cast<double>(samples_all);
+    }
+    for (const auto& [node, totals] : out.per_node) {
+      out.cluster.load_s += totals.load_s;
+      out.cluster.preproc_s += totals.preproc_s;
+      out.cluster.train_s += totals.train_s;
+      out.cluster.idle_s += totals.idle_s;
+      out.cluster.iteration_s += totals.iteration_s;
+      out.cluster.fetch_local_s += totals.fetch_local_s;
+      out.cluster.fetch_ssd_s += totals.fetch_ssd_s;
+      out.cluster.fetch_remote_s += totals.fetch_remote_s;
+      out.cluster.fetch_pfs_s += totals.fetch_pfs_s;
+      out.cluster.hits_local += totals.hits_local;
+      out.cluster.hits_ssd += totals.hits_ssd;
+      out.cluster.hits_remote += totals.hits_remote;
+      out.cluster.miss_pfs += totals.miss_pfs;
+    }
+    out.cluster.iterations = out.warm_iterations;
+
+    // ---- 6. windowed tier hit ratios over the whole run
+    const std::size_t window_count =
+        std::min<std::size_t>(std::max<std::uint32_t>(options.tier_windows, 1), n);
+    out.tier_windows.resize(window_count);
+    for (std::size_t w = 0; w < window_count; ++w) {
+      TierWindow& window = out.tier_windows[w];
+      window.iter_lo = w * n / window_count;
+      window.iter_hi = (w + 1) * n / window_count;
+      for (std::size_t i = window.iter_lo; i < window.iter_hi; ++i) {
+        for (const auto& [node, s] : series) {
+          window.hits_local += s.hits_local[i];
+          window.hits_ssd += s.hits_ssd[i];
+          window.hits_remote += s.hits_remote[i];
+          window.miss_pfs += s.miss_pfs[i];
+        }
+      }
+    }
+
+    analyses.push_back(std::move(out));
+  }
+  return analyses;
+}
+
+std::vector<std::pair<double, double>> wall_counter_series(const TraceLog& log,
+                                                           const std::string& name) {
+  std::vector<std::pair<double, double>> series;
+  for (const auto& event : log.events) {
+    if (event.pid == kWallPid && event.phase == 'C' && event.name == name) {
+      series.emplace_back(event.ts_us, event.value);
+    }
+  }
+  std::sort(series.begin(), series.end());
+  return series;
+}
+
+}  // namespace lobster::telemetry::analysis

@@ -1,0 +1,150 @@
+// Derived-quantity computation over a TraceLog: everything the paper's
+// evaluation reads off a timeline, reconstructed from the recorded events
+// instead of re-running the simulator.
+//
+// Per simulator run (one `sim<id>/...` track family) the analyzer computes:
+//  * the per-stage time breakdown per node and cluster-wide — load /
+//    preproc / train / idle plus the slowest-GPU fetch-tier decomposition
+//    (fetch-local / fetch-SSD / fetch-remote / fetch-PFS), i.e. Fig. 3
+//    recovered from a trace;
+//  * the per-iteration critical-stage attribution: which stage bounded the
+//    cluster barrier in each iteration (Observation 2's shifting
+//    bottleneck);
+//  * the Eq. 2-3 gap series — t_max, t_min, max-min gap and gap fraction
+//    per iteration — with a straggler index: which node was slowest, how
+//    often, normalized so 1.0 means "slowest role rotates evenly" and N
+//    means "one node always straggles";
+//  * the imbalanced-iteration fraction (both all-epochs, matching
+//    pipeline::RunMetrics::imbalanced_fraction, and warm-only);
+//  * windowed tier hit-ratio series and the cache-occupancy time series.
+//
+// Warm-up handling mirrors the paper: epochs below `warmup_epochs` are
+// excluded from breakdowns/gap statistics; fractions marked "all" cover
+// the whole run for parity with metrics::comparison_table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "telemetry/analysis/trace_log.hpp"
+
+namespace lobster::telemetry::analysis {
+
+/// Which pipeline stage bounded an iteration (set the barrier time).
+enum class Stage : std::uint8_t { kLoad = 0, kPreproc = 1, kTrain = 2 };
+
+const char* stage_name(Stage stage) noexcept;
+
+/// Accumulated stage seconds / tier counts over a set of iterations.
+struct StageTotals {
+  double load_s = 0.0;
+  double preproc_s = 0.0;
+  double train_s = 0.0;
+  double idle_s = 0.0;       ///< barrier wait: iteration span - train span
+  double iteration_s = 0.0;  ///< sum of iteration-span durations
+  double fetch_local_s = 0.0;
+  double fetch_ssd_s = 0.0;
+  double fetch_remote_s = 0.0;
+  double fetch_pfs_s = 0.0;
+  std::uint64_t hits_local = 0;
+  std::uint64_t hits_ssd = 0;
+  std::uint64_t hits_remote = 0;
+  std::uint64_t miss_pfs = 0;
+  std::uint64_t iterations = 0;
+
+  std::uint64_t samples() const noexcept {
+    return hits_local + hits_ssd + hits_remote + miss_pfs;
+  }
+};
+
+/// One iteration's barrier-level record, reconstructed from the trace.
+struct IterationSample {
+  double start_s = 0.0;
+  double duration_s = 0.0;  ///< barrier time (== t_max when recorded)
+  double t_max_s = 0.0;
+  double t_min_s = 0.0;
+  std::uint32_t epoch = 0;
+  std::uint64_t global_iter = 0;
+  bool imbalanced = false;
+  Stage bounded_by = Stage::kTrain;
+  std::uint32_t slowest_node = 0;
+
+  double gap_s() const noexcept { return t_max_s - t_min_s; }
+  double gap_frac() const noexcept {
+    return duration_s > 0.0 ? (t_max_s - t_min_s) / duration_s : 0.0;
+  }
+};
+
+/// Tier hit counts over one window of consecutive iterations.
+struct TierWindow {
+  std::uint64_t iter_lo = 0;  ///< first iteration index (inclusive)
+  std::uint64_t iter_hi = 0;  ///< last iteration index (exclusive)
+  std::uint64_t hits_local = 0;
+  std::uint64_t hits_ssd = 0;
+  std::uint64_t hits_remote = 0;
+  std::uint64_t miss_pfs = 0;
+
+  std::uint64_t samples() const noexcept {
+    return hits_local + hits_ssd + hits_remote + miss_pfs;
+  }
+  /// DRAM hit ratio within the window (CacheStats::hit_ratio parity).
+  double local_hit_ratio() const noexcept {
+    const auto n = samples();
+    return n > 0 ? static_cast<double>(hits_local) / static_cast<double>(n) : 0.0;
+  }
+};
+
+struct RunAnalysis {
+  std::uint32_t run_id = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t epochs = 0;
+  std::uint32_t warmup_epochs = 1;  ///< as analyzed (copied from options)
+
+  std::uint64_t iterations = 0;
+  std::uint64_t warm_iterations = 0;
+  double total_time_s = 0.0;
+  double warm_time_s = 0.0;  ///< pipeline::RunMetrics::time_after_epoch parity
+
+  /// Over all iterations — matches RunMetrics::imbalanced_fraction.
+  double imbalanced_fraction = 0.0;
+  double warm_imbalanced_fraction = 0.0;
+  /// DRAM hits / samples over all iterations (CacheStats::hit_ratio parity).
+  double local_hit_ratio = 0.0;
+
+  // Eq. 2-3 gap statistics over warm iterations.
+  double mean_gap_s = 0.0;
+  double mean_gap_frac = 0.0;
+  double max_gap_s = 0.0;
+  std::uint32_t straggler_node = 0;
+  double straggler_share = 0.0;  ///< fraction of warm iterations it bound
+  double straggler_index = 0.0;  ///< share * nodes; 1 = rotating, N = pinned
+
+  // Critical-stage attribution over warm iterations.
+  std::uint64_t bounded_by_load = 0;
+  std::uint64_t bounded_by_preproc = 0;
+  std::uint64_t bounded_by_train = 0;
+
+  std::vector<IterationSample> iteration_samples;  ///< all iterations, in order
+  std::map<std::uint32_t, StageTotals> per_node;   ///< warm iterations only
+  StageTotals cluster;                             ///< sum of per_node
+  std::vector<TierWindow> tier_windows;            ///< all iterations
+  std::vector<double> gap_frac_series;             ///< per iteration, in order
+  std::vector<double> cache_used_series;           ///< total bytes per iteration
+};
+
+struct AnalyzeOptions {
+  std::uint32_t warmup_epochs = 1;  ///< epochs excluded from warm statistics
+  std::uint32_t tier_windows = 8;   ///< windows in the hit-ratio series
+};
+
+/// Analyzes every simulator run recorded in the log, ordered by run id.
+/// Runs whose tracks carry no iteration spans are skipped.
+std::vector<RunAnalysis> analyze_runs(const TraceLog& log, const AnalyzeOptions& options = {});
+
+/// Merged time series of a named counter across all wall-clock tracks
+/// (queue depths, pool sizes); (ts_us, value) pairs sorted by time.
+std::vector<std::pair<double, double>> wall_counter_series(const TraceLog& log,
+                                                           const std::string& name);
+
+}  // namespace lobster::telemetry::analysis

@@ -1,0 +1,138 @@
+#include "telemetry/analysis/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strfmt.hpp"
+
+namespace lobster::telemetry::analysis {
+
+namespace {
+
+std::string ms(double seconds) { return Table::num(seconds * 1e3, 3); }
+
+double per_iter(double total, std::uint64_t iterations) {
+  return iterations > 0 ? total / static_cast<double>(iterations) : 0.0;
+}
+
+}  // namespace
+
+bool parse_format(const std::string& name, Format& out) {
+  if (name == "table" || name == "text") {
+    out = Format::kText;
+  } else if (name == "csv") {
+    out = Format::kCsv;
+  } else if (name == "md" || name == "markdown") {
+    out = Format::kMarkdown;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string render_table(const Table& table, Format format) {
+  switch (format) {
+    case Format::kText: return table.render_text();
+    case Format::kCsv: return table.render_csv();
+    case Format::kMarkdown: return table.render_markdown();
+  }
+  return {};
+}
+
+Table summary_table(const std::vector<RunAnalysis>& runs) {
+  Table table({"run", "nodes", "epochs", "iters", "total_s", "warm_s", "imbalanced_frac",
+               "mean_gap_frac", "max_gap_ms", "straggler", "hit_ratio"});
+  for (const auto& run : runs) {
+    table.add_row({strf("%u", run.run_id), strf("%u", run.nodes), strf("%u", run.epochs),
+                   strf("%llu", static_cast<unsigned long long>(run.iterations)),
+                   Table::num(run.total_time_s), Table::num(run.warm_time_s),
+                   Table::num(run.imbalanced_fraction), Table::num(run.mean_gap_frac),
+                   ms(run.max_gap_s),
+                   strf("node%u (%s)", run.straggler_node,
+                        Table::num(run.straggler_share, 2).c_str()),
+                   Table::num(run.local_hit_ratio)});
+  }
+  return table;
+}
+
+Table breakdown_table(const RunAnalysis& run) {
+  Table table({"node", "iters", "load_ms", "preproc_ms", "train_ms", "idle_ms",
+               "fetch_local_ms", "fetch_ssd_ms", "fetch_remote_ms", "fetch_pfs_ms"});
+  auto add = [&](const std::string& label, const StageTotals& t) {
+    table.add_row({label, strf("%llu", static_cast<unsigned long long>(t.iterations)),
+                   ms(per_iter(t.load_s, t.iterations)),
+                   ms(per_iter(t.preproc_s, t.iterations)),
+                   ms(per_iter(t.train_s, t.iterations)),
+                   ms(per_iter(t.idle_s, t.iterations)),
+                   ms(per_iter(t.fetch_local_s, t.iterations)),
+                   ms(per_iter(t.fetch_ssd_s, t.iterations)),
+                   ms(per_iter(t.fetch_remote_s, t.iterations)),
+                   ms(per_iter(t.fetch_pfs_s, t.iterations))});
+  };
+  for (const auto& [node, totals] : run.per_node) add(strf("node%u", node), totals);
+  // Cluster row: totals across nodes, still normalized per iteration so the
+  // row reads as "summed node-seconds each iteration".
+  add("cluster", run.cluster);
+  return table;
+}
+
+Table gap_table(const RunAnalysis& run) {
+  Table table({"epoch", "iters", "mean_gap_ms", "max_gap_ms", "mean_gap_frac",
+               "imbalanced_frac", "warm"});
+  struct EpochAccumulator {
+    std::uint64_t iters = 0, imbalanced = 0;
+    double gap_sum = 0.0, gap_frac_sum = 0.0, gap_max = 0.0;
+  };
+  std::map<std::uint32_t, EpochAccumulator> epochs;
+  for (const auto& sample : run.iteration_samples) {
+    auto& acc = epochs[sample.epoch];
+    ++acc.iters;
+    if (sample.imbalanced) ++acc.imbalanced;
+    acc.gap_sum += sample.gap_s();
+    acc.gap_frac_sum += sample.gap_frac();
+    acc.gap_max = std::max(acc.gap_max, sample.gap_s());
+  }
+  for (const auto& [epoch, acc] : epochs) {
+    const auto iters = static_cast<double>(acc.iters);
+    table.add_row({strf("%u", epoch), strf("%llu", static_cast<unsigned long long>(acc.iters)),
+                   ms(acc.gap_sum / iters), ms(acc.gap_max),
+                   Table::num(acc.gap_frac_sum / iters),
+                   Table::num(static_cast<double>(acc.imbalanced) / iters),
+                   epoch >= run.warmup_epochs ? "yes" : "no"});
+  }
+  return table;
+}
+
+Table attribution_table(const RunAnalysis& run) {
+  Table table({"bounding_stage", "iterations", "fraction"});
+  const auto total = run.bounded_by_load + run.bounded_by_preproc + run.bounded_by_train;
+  auto add = [&](const char* stage, std::uint64_t count) {
+    table.add_row({stage, strf("%llu", static_cast<unsigned long long>(count)),
+                   Table::num(total > 0 ? static_cast<double>(count) /
+                                              static_cast<double>(total)
+                                        : 0.0)});
+  };
+  add(stage_name(Stage::kLoad), run.bounded_by_load);
+  add(stage_name(Stage::kPreproc), run.bounded_by_preproc);
+  add(stage_name(Stage::kTrain), run.bounded_by_train);
+  return table;
+}
+
+Table tier_table(const RunAnalysis& run) {
+  Table table({"window", "iter_lo", "iter_hi", "hits_local", "hits_ssd", "hits_remote",
+               "miss_pfs", "local_hit_ratio"});
+  for (std::size_t w = 0; w < run.tier_windows.size(); ++w) {
+    const TierWindow& window = run.tier_windows[w];
+    table.add_row({strf("%zu", w),
+                   strf("%llu", static_cast<unsigned long long>(window.iter_lo)),
+                   strf("%llu", static_cast<unsigned long long>(window.iter_hi)),
+                   strf("%llu", static_cast<unsigned long long>(window.hits_local)),
+                   strf("%llu", static_cast<unsigned long long>(window.hits_ssd)),
+                   strf("%llu", static_cast<unsigned long long>(window.hits_remote)),
+                   strf("%llu", static_cast<unsigned long long>(window.miss_pfs)),
+                   Table::num(window.local_hit_ratio())});
+  }
+  return table;
+}
+
+}  // namespace lobster::telemetry::analysis

@@ -1,0 +1,46 @@
+// Table renderings of RunAnalysis results — the presentation half of the
+// analysis library, shared by tools/trace_report and the tests.
+//
+// Every section is a lobster::Table so one switch renders it as aligned
+// text, CSV, or Markdown; the CLI composes sections, this header only
+// builds them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "telemetry/analysis/analyzer.hpp"
+
+namespace lobster::telemetry::analysis {
+
+enum class Format { kText, kCsv, kMarkdown };
+
+/// Parses "table"/"text", "csv", "md"/"markdown"; returns false on others.
+bool parse_format(const std::string& name, Format& out);
+
+/// Renders `table` in the requested format.
+std::string render_table(const Table& table, Format format);
+
+/// One row per run: iterations, warm time, imbalanced fraction, gap
+/// statistics, straggler and DRAM hit ratio — the comparison_table view
+/// recovered from a trace.
+Table summary_table(const std::vector<RunAnalysis>& runs);
+
+/// Per-node warm-epoch stage breakdown (Fig. 3): mean per-iteration load /
+/// preproc / train / idle seconds plus the fetch-tier decomposition of the
+/// slowest GPU's load time. Ends with a cluster-total row.
+Table breakdown_table(const RunAnalysis& run);
+
+/// Per-epoch gap statistics (Eq. 2-3): mean/max max-min gap, mean gap
+/// fraction and imbalanced share for each epoch of the run.
+Table gap_table(const RunAnalysis& run);
+
+/// Critical-stage attribution over warm iterations: how often each stage
+/// bounded the cluster barrier.
+Table attribution_table(const RunAnalysis& run);
+
+/// Windowed tier hit counts and DRAM hit ratio across the run.
+Table tier_table(const RunAnalysis& run);
+
+}  // namespace lobster::telemetry::analysis

@@ -1,0 +1,122 @@
+#include "telemetry/analysis/trace_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/analysis/json.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace lobster::telemetry::analysis {
+
+namespace {
+
+void sort_events(std::vector<TraceLogEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceLogEvent& a, const TraceLogEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+}
+
+}  // namespace
+
+const std::string& TraceLog::track_name(int pid, std::uint32_t tid) const {
+  static const std::string unknown = "<unknown>";
+  const auto it = track_names.find({pid, tid});
+  return it == track_names.end() ? unknown : it->second;
+}
+
+TraceLog load_trace_text(std::string_view text) {
+  const JsonValue root = parse_json(text);
+  if (!root.is_object() || !root.has("traceEvents") || !root.at("traceEvents").is_array()) {
+    throw std::runtime_error("trace: no traceEvents array (not a Chrome trace?)");
+  }
+
+  TraceLog log;
+  if (root.has("otherData")) {
+    const auto& other = root.at("otherData");
+    log.emitted = static_cast<std::uint64_t>(other.get_number("emitted_events"));
+    log.dropped = static_cast<std::uint64_t>(other.get_number("dropped_events"));
+  }
+
+  for (const auto& record : root.at("traceEvents").array) {
+    if (!record.is_object()) continue;
+    const std::string ph = record.get_string("ph");
+    const int pid = static_cast<int>(record.get_number("pid"));
+    const auto tid = static_cast<std::uint32_t>(record.get_number("tid"));
+    if (ph == "M") {
+      if (record.get_string("name") == "thread_name" && record.has("args")) {
+        log.track_names[{pid, tid}] = record.at("args").get_string("name");
+      }
+      continue;
+    }
+    if (ph != "X" && ph != "i" && ph != "C") continue;
+    TraceLogEvent event;
+    event.name = record.get_string("name");
+    event.category = record.get_string("cat");
+    event.phase = ph[0];
+    event.pid = pid;
+    event.tid = tid;
+    event.ts_us = record.get_number("ts");
+    event.dur_us = record.get_number("dur");
+    if (record.has("args")) {
+      event.arg = static_cast<std::uint64_t>(record.at("args").get_number("arg"));
+      event.value = record.at("args").get_number("value");
+    }
+    log.events.push_back(std::move(event));
+  }
+  sort_events(log.events);
+  return log;
+}
+
+TraceLog load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_trace_text(buffer.str());
+}
+
+TraceLog from_snapshot(const TraceSnapshot& snapshot) {
+  TraceLog log;
+  log.emitted = snapshot.emitted;
+  log.dropped = snapshot.dropped;
+
+  auto name_of = [](const std::vector<std::string>& table,
+                    std::uint32_t id) -> const std::string& {
+    static const std::string unknown = "<unknown>";
+    return id < table.size() ? table[id] : unknown;
+  };
+
+  log.events.reserve(snapshot.events.size());
+  for (const auto& event : snapshot.events) {
+    TraceLogEvent out;
+    out.name = name_of(snapshot.names, event.name_id);
+    out.category = category_name(event.category);
+    out.pid = event.domain == Domain::kWall ? kWallPid : kVirtualPid;
+    out.tid = event.track;
+    out.ts_us = static_cast<double>(event.ts_us);
+    switch (event.phase) {
+      case Phase::kComplete:
+        out.phase = 'X';
+        out.dur_us = static_cast<double>(event.dur_us);
+        break;
+      case Phase::kInstant: out.phase = 'i'; break;
+      case Phase::kCounter:
+        out.phase = 'C';
+        out.value = event.value;
+        break;
+    }
+    out.arg = event.arg;
+    log.track_names.try_emplace({out.pid, out.tid},
+                                name_of(snapshot.tracks, event.track));
+    log.events.push_back(std::move(out));
+  }
+  sort_events(log.events);
+  return log;
+}
+
+}  // namespace lobster::telemetry::analysis

@@ -1,0 +1,66 @@
+// Normalized trace representation for offline analysis.
+//
+// A TraceLog is the analyzer-facing view of one recording session,
+// obtainable two ways that yield identical results:
+//  * round-tripping a Chrome-trace JSON artifact written by
+//    telemetry/chrome_trace (the `--trace out.json` path), or
+//  * consuming an in-memory TraceSnapshot straight from the Tracer
+//    (tests, in-process diagnostics — no serialization detour).
+//
+// Events keep their exporter-assigned (pid, tid) coordinates; track names
+// come from the "thread_name" metadata records. Drop accounting survives
+// the round trip, so consumers can refuse to present a truncated timeline
+// as a complete one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace lobster::telemetry::analysis {
+
+/// One normalized event. Phases mirror the exporter: 'X' complete span,
+/// 'i' instant, 'C' counter (metadata records are folded into track names
+/// and never appear here).
+struct TraceLogEvent {
+  std::string name;
+  std::string category;
+  char phase = 'i';
+  int pid = 0;             ///< kWallPid or kVirtualPid
+  std::uint32_t tid = 0;   ///< track id within the pid
+  double ts_us = 0.0;      ///< begin timestamp, microseconds
+  double dur_us = 0.0;     ///< 'X' only
+  double value = 0.0;      ///< 'C' only
+  std::uint64_t arg = 0;   ///< free payload
+};
+
+struct TraceLog {
+  std::vector<TraceLogEvent> events;  ///< sorted by (pid, tid, ts_us)
+  /// (pid, tid) -> human-readable track name ("sim0/node1/pipeline", ...).
+  std::map<std::pair<int, std::uint32_t>, std::string> track_names;
+  std::uint64_t emitted = 0;  ///< records ever written by the producers
+  std::uint64_t dropped = 0;  ///< records lost to ring overwrite
+
+  bool complete() const noexcept { return dropped == 0; }
+  bool empty() const noexcept { return events.empty(); }
+
+  const std::string& track_name(int pid, std::uint32_t tid) const;
+};
+
+/// Parses exporter JSON text into a TraceLog. Throws std::runtime_error on
+/// malformed JSON or a document without a traceEvents array.
+TraceLog load_trace_text(std::string_view text);
+
+/// Reads and parses a `--trace` artifact. Throws std::runtime_error when
+/// the file is unreadable or malformed.
+TraceLog load_trace_file(const std::string& path);
+
+/// Builds the same view directly from a live snapshot (no JSON detour).
+TraceLog from_snapshot(const TraceSnapshot& snapshot);
+
+}  // namespace lobster::telemetry::analysis

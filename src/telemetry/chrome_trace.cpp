@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/strfmt.hpp"
+#include "telemetry/registry.hpp"
 
 namespace lobster::telemetry {
 
@@ -52,9 +53,14 @@ const std::string& name_of(const std::vector<std::string>& table, std::uint32_t 
 
 void write_chrome_trace(std::ostream& out, const TraceSnapshot& snapshot) {
   out << "{\n\"displayTimeUnit\": \"ms\",\n";
-  out << strf("\"otherData\": {\"emitted_events\": %llu, \"dropped_events\": %llu},\n",
+  // `trace_complete: false` marks a truncated timeline (ring overwrite):
+  // consumers (tools/trace_report, CI checks) must not treat per-stage sums
+  // from an incomplete trace as whole-run totals.
+  out << strf("\"otherData\": {\"emitted_events\": %llu, \"dropped_events\": %llu, "
+              "\"buffers\": %u, \"trace_complete\": %s},\n",
               static_cast<unsigned long long>(snapshot.emitted),
-              static_cast<unsigned long long>(snapshot.dropped));
+              static_cast<unsigned long long>(snapshot.dropped), snapshot.buffers,
+              snapshot.complete() ? "true" : "false");
   out << "\"traceEvents\": [\n";
 
   bool first = true;
@@ -141,7 +147,14 @@ bool write_chrome_trace_file(const std::string& path) {
   }
   std::ofstream out(path);
   if (!out) return false;
-  write_chrome_trace(out, Tracer::instance().snapshot());
+  const auto snapshot = Tracer::instance().snapshot();
+  // Mirror the drop accounting into the metric registry so truncation shows
+  // up in the counters CSV and the live monitor, not just the JSON header.
+  MetricRegistry::instance().gauge("telemetry.dropped_events")
+      .set(static_cast<double>(snapshot.dropped));
+  MetricRegistry::instance().gauge("telemetry.emitted_events")
+      .set(static_cast<double>(snapshot.emitted));
+  write_chrome_trace(out, snapshot);
   return static_cast<bool>(out);
 }
 

@@ -1,0 +1,119 @@
+// Live pipeline monitor: a background reporter thread that samples the
+// metric registry on a fixed interval and emits heartbeats while a run is
+// in flight — the "is this experiment healthy?" channel, complementing the
+// post-hoc trace analysis in telemetry/analysis.
+//
+// Each heartbeat goes to two sinks: a human-readable line through the
+// logger, and a machine-readable JSONL record (schema
+// "lobster.heartbeat.v1") appended to a file. Samples carry anomaly flags:
+//  * straggler_gap     — pipeline.gap_frac above the configured threshold
+//                        (Eq. 2-3 imbalance visible live);
+//  * prefetch_outrun   — prefetched bytes grew faster than consumed bytes
+//                        over the interval (§4.4: prefetcher outrunning
+//                        training wastes cache);
+//  * queue_starved     — consumers popped during the interval but the
+//                        push/pop balance is zero (pipeline waits on I/O);
+//  * trace_ring_overflow — the tracer dropped events, so any exported
+//                        trace is truncated.
+//
+// sample_once() is public and synchronous so tests (and one-shot CLI use)
+// can exercise the exact code path the thread runs, without timing games.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace lobster::telemetry {
+
+struct MonitorConfig {
+  /// Sampling period for the background thread.
+  std::chrono::milliseconds interval{1000};
+  /// Heartbeat JSONL sink; empty disables the file sink.
+  std::string jsonl_path;
+  /// Emit the human-readable line through log::info.
+  bool log_text = true;
+  /// gap_frac above this raises straggler_gap (paper's 10% threshold).
+  double straggler_gap_threshold = 0.10;
+};
+
+/// One registry sample with interval deltas and derived anomaly flags.
+struct MonitorSample {
+  std::uint64_t seq = 0;
+  double uptime_s = 0.0;
+
+  // Absolute values at sample time.
+  std::uint64_t iterations = 0;
+  std::uint64_t imbalanced_iterations = 0;
+  double gap_frac = 0.0;
+  std::uint64_t bytes_consumed = 0;
+  std::uint64_t prefetch_bytes = 0;
+  std::uint64_t queue_pushes = 0;
+  std::uint64_t queue_pops = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t trace_emitted = 0;
+  std::uint64_t trace_dropped = 0;
+
+  // Deltas since the previous sample (== absolutes on the first one).
+  std::uint64_t d_iterations = 0;
+  std::uint64_t d_bytes_consumed = 0;
+  std::uint64_t d_prefetch_bytes = 0;
+  std::uint64_t d_queue_pops = 0;
+
+  bool straggler_gap = false;
+  bool prefetch_outrun = false;
+  bool queue_starved = false;
+  bool trace_ring_overflow = false;
+
+  bool any_flag() const noexcept {
+    return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow;
+  }
+  double cache_hit_ratio() const noexcept {
+    const auto total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class Monitor {
+ public:
+  explicit Monitor(MonitorConfig config = {});
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Launches the reporter thread; no-op when already running.
+  void start();
+  /// Stops and joins the thread, emitting one final sample; no-op when idle.
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  /// Takes one sample, updates delta state, emits to the configured sinks,
+  /// and returns it. Thread-safe; this is exactly what the thread does.
+  MonitorSample sample_once();
+
+  /// Heartbeats emitted so far (thread + manual sample_once calls).
+  std::uint64_t samples_emitted() const noexcept { return seq_; }
+
+ private:
+  void emit(const MonitorSample& sample);
+
+  MonitorConfig config_;
+  std::mutex mutex_;  ///< guards prev_/out_ against thread + manual races
+  MonitorSample prev_;
+  bool has_prev_ = false;
+  std::ofstream out_;
+  bool out_open_ = false;
+  std::chrono::steady_clock::time_point started_at_;
+  std::uint64_t seq_ = 0;
+  bool running_ = false;
+  std::condition_variable_any cv_;
+  std::jthread thread_;
+};
+
+}  // namespace lobster::telemetry

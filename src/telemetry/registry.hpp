@@ -117,7 +117,7 @@ class MetricRegistry {
 
 #define LOBSTER_METRIC_COUNT(literal, n)                                                  \
   do {                                                                                    \
-    if (::lobster::telemetry::active()) {                                                 \
+    if (::lobster::telemetry::metrics_active()) {                                                 \
       static auto& lobster_metric_ =                                                      \
           ::lobster::telemetry::MetricRegistry::instance().counter(literal);              \
       lobster_metric_.add(static_cast<std::uint64_t>(n));                                 \
@@ -126,7 +126,7 @@ class MetricRegistry {
 
 #define LOBSTER_METRIC_GAUGE(literal, v)                                                  \
   do {                                                                                    \
-    if (::lobster::telemetry::active()) {                                                 \
+    if (::lobster::telemetry::metrics_active()) {                                                 \
       static auto& lobster_metric_ =                                                      \
           ::lobster::telemetry::MetricRegistry::instance().gauge(literal);                \
       lobster_metric_.set(static_cast<double>(v));                                        \
@@ -135,7 +135,7 @@ class MetricRegistry {
 
 #define LOBSTER_METRIC_OBSERVE(literal, lo, hi, bins, v)                                  \
   do {                                                                                    \
-    if (::lobster::telemetry::active()) {                                                 \
+    if (::lobster::telemetry::metrics_active()) {                                                 \
       static auto& lobster_metric_ =                                                      \
           ::lobster::telemetry::MetricRegistry::instance().histogram(literal, lo, hi,     \
                                                                      bins);               \

@@ -197,7 +197,22 @@ TraceSnapshot Tracer::snapshot() const {
   }
   snap.names = names_;
   snap.tracks = tracks_;
+  snap.buffers = static_cast<std::uint32_t>(buffers_.size());
   return snap;
+}
+
+std::uint64_t Tracer::dropped_events() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) dropped += buffer->dropped();
+  return dropped;
+}
+
+std::uint64_t Tracer::emitted_events() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t emitted = 0;
+  for (const auto& buffer : buffers_) emitted += buffer->emitted();
+  return emitted;
 }
 
 void Tracer::reset() noexcept {

@@ -38,6 +38,10 @@ struct TraceSnapshot {
   std::vector<std::string> tracks;   ///< track names by track id
   std::uint64_t dropped = 0;         ///< records lost to ring overwrite
   std::uint64_t emitted = 0;         ///< records ever written
+  std::uint32_t buffers = 0;         ///< per-thread rings merged into `events`
+
+  /// True when no ring overwrote a record — the snapshot is the whole run.
+  bool complete() const noexcept { return dropped == 0; }
 };
 
 class Tracer {
@@ -49,6 +53,16 @@ class Tracer {
 
   bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Metrics-only mode: LOBSTER_METRIC_* aggregation stays live without
+  /// paying for trace-event recording — what the live monitor needs when no
+  /// trace artifact was requested. Event macros still require enabled().
+  bool metrics_enabled() const noexcept {
+    return metrics_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_metrics_enabled(bool on) noexcept {
+    metrics_enabled_.store(on, std::memory_order_relaxed);
+  }
 
   /// Interns `name`, returning a stable id. Cheap after the first call for a
   /// given string; hot call sites cache the id in a function-local static.
@@ -85,6 +99,12 @@ class Tracer {
   /// Copies out all events + string tables. Call with producers quiescent.
   TraceSnapshot snapshot() const;
 
+  /// Records lost to ring overwrite across all per-thread buffers. Cheap
+  /// enough for the live monitor's heartbeat sampling.
+  std::uint64_t dropped_events() const noexcept;
+  /// Records ever emitted across all per-thread buffers.
+  std::uint64_t emitted_events() const noexcept;
+
   /// Drops recorded events and overflow counts. Interned names, tracks and
   /// thread registrations survive (call sites cache ids in statics).
   void reset() noexcept;
@@ -108,6 +128,7 @@ class Tracer {
   static thread_local VirtualContext tls_virtual_;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> metrics_enabled_{false};
   std::atomic<std::size_t> buffer_capacity_;
   WallClock::time_point epoch_;
 
@@ -120,6 +141,13 @@ class Tracer {
 
 /// True when tracing is compiled in and runtime-enabled.
 inline bool active() noexcept { return Tracer::instance().enabled(); }
+
+/// True when metric aggregation should run: full tracing or metrics-only
+/// mode. The LOBSTER_METRIC_* macros gate on this, not on active().
+inline bool metrics_active() noexcept {
+  auto& tracer = Tracer::instance();
+  return tracer.enabled() || tracer.metrics_enabled();
+}
 
 /// RAII wall-clock span: records begin on construction, emits a kComplete
 /// record on destruction. No-op (and no timestamp read) when tracing is off

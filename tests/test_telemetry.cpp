@@ -493,6 +493,27 @@ TEST(MetricRegistry, MacrosRespectRuntimeSwitch) {
   LOBSTER_METRIC_COUNT("test.reg.switched", 5);
   EXPECT_EQ(MetricRegistry::instance().counter("test.reg.switched").value(), 5U);
 }
+
+TEST(MetricRegistry, MetricsOnlyModeAggregatesWithoutRecordingEvents) {
+  auto& tracer = Tracer::instance();
+  tracer.reset();
+  MetricRegistry::instance().reset();
+  tracer.set_enabled(false);
+  tracer.set_metrics_enabled(true);
+  EXPECT_FALSE(active());
+  EXPECT_TRUE(metrics_active());
+
+  const std::uint64_t emitted_before = tracer.emitted_events();
+  LOBSTER_METRIC_COUNT("test.reg.metrics_only", 3);
+  LOBSTER_TRACE_INSTANT(kTest, "metrics_only_instant", 0);
+  EXPECT_EQ(MetricRegistry::instance().counter("test.reg.metrics_only").value(), 3U);
+  EXPECT_EQ(tracer.emitted_events(), emitted_before);  // no event recorded
+
+  tracer.set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_active());
+  LOBSTER_METRIC_COUNT("test.reg.metrics_only", 3);
+  EXPECT_EQ(MetricRegistry::instance().counter("test.reg.metrics_only").value(), 3U);
+}
 #endif  // LOBSTER_TELEMETRY_DISABLED
 
 }  // namespace

@@ -1,0 +1,205 @@
+// trace_report: offline analysis of `--trace` Chrome-trace artifacts.
+//
+// Reads a trace written by any bench/example run with tracing enabled,
+// reconstructs the per-run pipeline statistics (telemetry/analysis), and
+// renders them as aligned text, CSV, or Markdown:
+//
+//   trace_report --trace fig07_trace.json
+//   trace_report --trace out.json --format md --section breakdown
+//   trace_report --trace out.json --section counters --warmup 2
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/malformed trace,
+// 3 trace parsed but holds no analyzable simulator run.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.hpp"
+#include "metrics/report.hpp"
+#include "telemetry/analysis/report.hpp"
+#include "telemetry/analysis/trace_log.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace {
+
+using lobster::Table;
+using lobster::strf;
+namespace analysis = lobster::telemetry::analysis;
+
+struct Options {
+  std::string trace_path;
+  analysis::Format format = analysis::Format::kText;
+  std::string section = "all";
+  analysis::AnalyzeOptions analyze;
+  bool have_run_filter = false;
+  std::uint32_t run_filter = 0;
+};
+
+constexpr const char* kSections[] = {"all",   "summary",     "breakdown", "gaps",
+                                     "tiers", "attribution", "counters"};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --trace <out.json> [--format table|csv|md]\n"
+               "          [--section all|summary|breakdown|gaps|tiers|attribution|counters]\n"
+               "          [--warmup <epochs>] [--windows <n>] [--run <id>]\n",
+               argv0);
+  return 1;
+}
+
+bool parse_options(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.trace_path = v;
+    } else if (arg == "--format") {
+      const char* v = value();
+      if (v == nullptr || !analysis::parse_format(v, options.format)) return false;
+    } else if (arg == "--section") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.section = v;
+      bool known = false;
+      for (const char* s : kSections) known = known || options.section == s;
+      if (!known) return false;
+    } else if (arg == "--warmup") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.analyze.warmup_epochs = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--windows") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.analyze.tier_windows = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--run") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.have_run_filter = true;
+      options.run_filter = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else {
+      return false;
+    }
+  }
+  return !options.trace_path.empty();
+}
+
+bool wants(const Options& options, const char* section) {
+  return options.section == "all" || options.section == section;
+}
+
+void print_heading(const Options& options, const char* title) {
+  switch (options.format) {
+    case analysis::Format::kText: std::printf("== %s ==\n", title); break;
+    case analysis::Format::kCsv: std::printf("# section: %s\n", title); break;
+    case analysis::Format::kMarkdown: std::printf("## %s\n\n", title); break;
+  }
+}
+
+void print_table(const Options& options, const char* title, const Table& table) {
+  print_heading(options, title);
+  std::fputs(analysis::render_table(table, options.format).c_str(), stdout);
+  std::printf("\n");
+}
+
+Table counters_table(const analysis::TraceLog& log) {
+  // Distinct wall-clock counters (queue depths, pool sizes, cache bytes):
+  // sample count plus min/max/last of each series.
+  std::vector<std::string> names;
+  for (const auto& event : log.events) {
+    if (event.pid != lobster::telemetry::kWallPid || event.phase != 'C') continue;
+    bool seen = false;
+    for (const auto& name : names) seen = seen || name == event.name;
+    if (!seen) names.push_back(event.name);
+  }
+  Table table({"counter", "samples", "min", "max", "last"});
+  for (const auto& name : names) {
+    const auto series = analysis::wall_counter_series(log, name);
+    double lo = series.front().second, hi = lo;
+    for (const auto& [ts, v] : series) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    table.add_row({name, strf("%zu", series.size()), Table::num(lo), Table::num(hi),
+                   Table::num(series.back().second)});
+  }
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_options(argc, argv, options)) return usage(argv[0]);
+
+  analysis::TraceLog log;
+  try {
+    log = analysis::load_trace_file(options.trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s\n", e.what());
+    return 2;
+  }
+  if (log.empty()) {
+    std::fprintf(stderr, "trace_report: %s holds no events\n", options.trace_path.c_str());
+    return 3;
+  }
+  if (!log.complete()) {
+    std::fprintf(stderr,
+                 "trace_report: warning: %llu of %llu events were dropped (ring "
+                 "overflow) — the timeline is truncated; rerun with a larger "
+                 "trace_buffer\n",
+                 static_cast<unsigned long long>(log.dropped),
+                 static_cast<unsigned long long>(log.emitted));
+  }
+
+  auto runs = analysis::analyze_runs(log, options.analyze);
+  if (options.have_run_filter) {
+    std::erase_if(runs, [&](const analysis::RunAnalysis& run) {
+      return run.run_id != options.run_filter;
+    });
+  }
+  if (runs.empty() && options.section != "counters") {
+    std::fprintf(stderr, "trace_report: no analyzable simulator runs in %s\n",
+                 options.trace_path.c_str());
+    return 3;
+  }
+
+  if (wants(options, "summary")) {
+    print_table(options, "summary", analysis::summary_table(runs));
+  }
+  for (const auto& run : runs) {
+    const std::string tag = strf("run %u", run.run_id);
+    if (wants(options, "breakdown")) {
+      print_table(options, strf("%s: warm-epoch stage breakdown (per iteration)",
+                                tag.c_str()).c_str(),
+                  analysis::breakdown_table(run));
+    }
+    if (wants(options, "gaps")) {
+      print_table(options, strf("%s: iteration gap (Eq. 2-3)", tag.c_str()).c_str(),
+                  analysis::gap_table(run));
+      if (options.format == analysis::Format::kText && !run.gap_frac_series.empty()) {
+        std::printf("gap_frac  %s\n", lobster::metrics::render_series(run.gap_frac_series).c_str());
+        std::printf("cache_use %s\n\n",
+                    lobster::metrics::render_series(run.cache_used_series).c_str());
+      }
+    }
+    if (wants(options, "attribution")) {
+      print_table(options, strf("%s: critical-stage attribution", tag.c_str()).c_str(),
+                  analysis::attribution_table(run));
+    }
+    if (wants(options, "tiers")) {
+      print_table(options, strf("%s: windowed tier hits", tag.c_str()).c_str(),
+                  analysis::tier_table(run));
+    }
+  }
+  if (wants(options, "counters")) {
+    Table table = counters_table(log);
+    if (table.rows() > 0) print_table(options, "wall-clock counters", table);
+  }
+  return 0;
+}
