@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "telemetry/registry.hpp"
@@ -21,25 +22,30 @@ KvStore::Shard& KvStore::shard_for(SampleId sample) const {
 }
 
 void KvStore::put(SampleId sample, std::vector<std::byte> payload) {
+  put(sample, std::make_shared<const std::vector<std::byte>>(std::move(payload)));
+}
+
+void KvStore::put(SampleId sample, PayloadPtr payload) {
+  if (payload == nullptr) throw std::invalid_argument("KvStore::put: null payload");
   Shard& shard = shard_for(sample);
   const std::scoped_lock lock(shard.mutex);
   auto [it, inserted] = shard.entries.try_emplace(sample);
-  if (!inserted) shard.bytes -= it->second.size();
-  shard.bytes += payload.size();
-  LOBSTER_METRIC_COUNT("kv.put_bytes", payload.size());
+  if (!inserted) shard.bytes -= it->second->size();
+  shard.bytes += payload->size();
+  LOBSTER_METRIC_COUNT("kv.put_bytes", payload->size());
   it->second = std::move(payload);
   ++shard.stats.puts;
   LOBSTER_METRIC_COUNT("kv.puts", 1);
 }
 
-std::optional<std::vector<std::byte>> KvStore::get(SampleId sample) const {
+KvStore::PayloadPtr KvStore::get(SampleId sample) const {
   Shard& shard = shard_for(sample);
   const std::scoped_lock lock(shard.mutex);
   const auto it = shard.entries.find(sample);
   if (it == shard.entries.end()) {
     ++shard.stats.get_misses;
     LOBSTER_METRIC_COUNT("kv.get_misses", 1);
-    return std::nullopt;
+    return nullptr;
   }
   ++shard.stats.get_hits;
   LOBSTER_METRIC_COUNT("kv.get_hits", 1);
@@ -57,7 +63,7 @@ bool KvStore::erase(SampleId sample) {
   const std::scoped_lock lock(shard.mutex);
   const auto it = shard.entries.find(sample);
   if (it == shard.entries.end()) return false;
-  shard.bytes -= it->second.size();
+  shard.bytes -= it->second->size();
   shard.entries.erase(it);
   ++shard.stats.erases;
   return true;

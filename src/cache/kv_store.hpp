@@ -7,11 +7,17 @@
 // runtime can use as its remote tier (PlanExecutor::set_kv_store): demand
 // misses check the store before falling back to the PFS, and fetched
 // samples are published for the other nodes.
+//
+// Payloads are held as shared_ptr<const vector<byte>>: get() hands out a
+// reference to the immutable payload instead of copying it, so a remote hit
+// costs one shard-lock plus a refcount bump no matter how large the sample
+// is. Overwrites and erases drop the store's reference; readers holding the
+// old payload keep it alive until they're done.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +27,9 @@ namespace lobster::cache {
 
 class KvStore {
  public:
+  /// Immutable, shareable payload handle (nullptr == miss).
+  using PayloadPtr = std::shared_ptr<const std::vector<std::byte>>;
+
   /// `shards` must be a power of two (lock striping).
   explicit KvStore(std::size_t shards = 16);
 
@@ -30,8 +39,11 @@ class KvStore {
   /// Inserts or overwrites a sample's payload.
   void put(SampleId sample, std::vector<std::byte> payload);
 
-  /// Returns a copy of the payload, or nullopt.
-  std::optional<std::vector<std::byte>> get(SampleId sample) const;
+  /// Zero-copy insert of an already-shared payload (must be non-null).
+  void put(SampleId sample, PayloadPtr payload);
+
+  /// Returns a shared reference to the payload, or nullptr on miss.
+  PayloadPtr get(SampleId sample) const;
 
   bool contains(SampleId sample) const;
   bool erase(SampleId sample);
@@ -50,7 +62,7 @@ class KvStore {
  private:
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<SampleId, std::vector<std::byte>> entries;
+    std::unordered_map<SampleId, PayloadPtr> entries;
     Bytes bytes = 0;
     Stats stats;
   };

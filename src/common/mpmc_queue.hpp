@@ -5,6 +5,7 @@
 // queue depth here is small and operations are coarse).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -12,6 +13,7 @@
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace lobster {
 
@@ -44,6 +46,22 @@ class MpmcQueue {
     return true;
   }
 
+  /// Non-blocking bulk push under one lock: moves the leading items of
+  /// [first, first + count) into the queue up to the free capacity. Returns
+  /// the number accepted (0 when closed); the caller keeps the rest.
+  std::size_t try_push_batch(T* first, std::size_t count) {
+    std::size_t accepted = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) return 0;
+      const std::size_t free = capacity_ - std::min(items_.size(), capacity_);
+      accepted = std::min(count, free);
+      for (std::size_t i = 0; i < accepted; ++i) items_.push_back(std::move(first[i]));
+    }
+    if (accepted > 0) not_empty_.notify_all();
+    return accepted;
+  }
+
   /// Blocks while empty; returns nullopt once the queue is closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
@@ -54,6 +72,23 @@ class MpmcQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  /// Non-blocking bulk pop under one lock: appends up to `max_count` items
+  /// to `out` and returns how many were taken. Amortizes the mutex over the
+  /// batch — the consumer hot path of the executor drain.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max_count) {
+    std::size_t taken = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      taken = std::min(max_count, items_.size());
+      for (std::size_t i = 0; i < taken; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
   }
 
   /// Non-blocking pop.

@@ -1,0 +1,102 @@
+// Mutex-striped hash set for hot-path membership tracking.
+//
+// The online executor probes and mutates its resident-sample set from every
+// loading thread on every request; a single mutex there serializes the whole
+// drain (§4.2's scarce loading threads burned on lock handoffs). This set
+// stripes the key space over independently-locked shards — the same scheme
+// as cache::KvStore — so concurrent probes of different samples never
+// contend. Operations on a single key are linearizable; cross-shard
+// aggregates (size, snapshot) are only weakly consistent under concurrent
+// writers, which is all the executor's diagnostics need.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lobster {
+
+template <typename Key>
+class StripedSet {
+ public:
+  /// `stripes` must be a power of two (mask-based shard selection).
+  explicit StripedSet(std::size_t stripes = 16) : shards_(stripes), mask_(stripes - 1) {
+    if (stripes == 0 || !std::has_single_bit(stripes)) {
+      throw std::invalid_argument("StripedSet: stripe count must be a power of two");
+    }
+  }
+
+  StripedSet(const StripedSet&) = delete;
+  StripedSet& operator=(const StripedSet&) = delete;
+
+  /// Returns true if the key was newly inserted.
+  bool insert(Key key) {
+    Shard& shard = shard_for(key);
+    const std::scoped_lock lock(shard.mutex);
+    return shard.keys.insert(key).second;
+  }
+
+  bool contains(Key key) const {
+    const Shard& shard = shard_for(key);
+    const std::scoped_lock lock(shard.mutex);
+    return shard.keys.contains(key);
+  }
+
+  /// Returns true if the key was present.
+  bool erase(Key key) {
+    Shard& shard = shard_for(key);
+    const std::scoped_lock lock(shard.mutex);
+    return shard.keys.erase(key) > 0;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      const std::scoped_lock lock(shard.mutex);
+      total += shard.keys.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (auto& shard : shards_) {
+      const std::scoped_lock lock(shard.mutex);
+      shard.keys.clear();
+    }
+  }
+
+  /// Union of all shards (shards are locked one at a time).
+  std::unordered_set<Key> snapshot() const {
+    std::unordered_set<Key> out;
+    for (const auto& shard : shards_) {
+      const std::scoped_lock lock(shard.mutex);
+      out.insert(shard.keys.begin(), shard.keys.end());
+    }
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_set<Key> keys;
+  };
+
+  Shard& shard_for(Key key) { return shards_[index_of(key)]; }
+  const Shard& shard_for(Key key) const { return shards_[index_of(key)]; }
+
+  std::size_t index_of(Key key) const {
+    // Mix so sequential ids spread across stripes (same as KvStore).
+    std::uint64_t state = static_cast<std::uint64_t>(key);
+    return static_cast<std::size_t>(splitmix64(state)) & mask_;
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t mask_;
+};
+
+}  // namespace lobster

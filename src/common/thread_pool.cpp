@@ -31,11 +31,10 @@ void ThreadPool::spawn_locked(std::size_t count) {
 }
 
 void ThreadPool::resize(std::size_t threads) {
-  LOBSTER_TRACE_INSTANT(kPool, "resize", threads);
-  LOBSTER_METRIC_COUNT("pool.resizes", 1);
+  bool shrank = false;
   {
     const std::scoped_lock lock(mutex_);
-    if (stopping_) return;
+    if (stopping_ || threads == target_size_) return;  // no-op: no wakeups
     if (threads > target_size_) {
       // Spawn the difference between requested and currently-live workers;
       // retired-but-not-yet-joined entries stay in workers_ harmlessly.
@@ -44,9 +43,14 @@ void ThreadPool::resize(std::size_t threads) {
       spawn_locked(to_spawn);
     } else {
       target_size_ = threads;
+      shrank = true;
     }
   }
-  cv_.notify_all();
+  LOBSTER_TRACE_INSTANT(kPool, "resize", threads);
+  LOBSTER_METRIC_COUNT("pool.resizes", 1);
+  // Only a shrink needs to wake idle workers (so surplus ones retire);
+  // spawned workers check the queue before their first wait.
+  if (shrank) cv_.notify_all();
 }
 
 std::size_t ThreadPool::size() const {
@@ -72,15 +76,10 @@ void ThreadPool::worker_loop(std::size_t /*worker_id*/) {
       cv_.wait(lock, [this] {
         return stopping_ || !tasks_.empty() || live_workers_ > target_size_;
       });
-      if (stopping_ || (live_workers_ > target_size_ && tasks_.empty())) {
-        // Retire: shutdown, or surplus worker with nothing left to do.
-        --live_workers_;
-        idle_cv_.notify_all();
-        return;
-      }
-      if (live_workers_ > target_size_) {
-        // Surplus worker but tasks remain: retire anyway so resize() is
-        // prompt; remaining workers (or future growth) will drain the queue.
+      if (stopping_ || live_workers_ > target_size_) {
+        // Retire on shutdown or as a surplus worker. Surplus workers retire
+        // even with tasks queued so resize() is prompt; remaining workers
+        // (or future growth) drain the queue.
         --live_workers_;
         idle_cv_.notify_all();
         return;

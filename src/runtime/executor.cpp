@@ -1,8 +1,13 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <future>
+#include <thread>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/strfmt.hpp"
@@ -10,6 +15,12 @@
 #include "telemetry/telemetry.hpp"
 
 namespace lobster::runtime {
+
+namespace {
+/// Requests popped per queue-lock acquisition in the drain loop. Amortizes
+/// the queue mutex without starving sibling workers of the same queue.
+constexpr std::size_t kDrainBatch = 32;
+}  // namespace
 
 PlanExecutor::PlanExecutor(ExecutorConfig config, const data::SampleCatalog& catalog,
                            const data::EpochSampler& sampler, const Plan& plan,
@@ -21,19 +32,11 @@ PlanExecutor::PlanExecutor(ExecutorConfig config, const data::SampleCatalog& cat
   }
 }
 
-bool PlanExecutor::has_sample(SampleId sample) const {
-  const std::scoped_lock lock(store_mutex_);
-  return store_.contains(sample);
-}
+bool PlanExecutor::has_sample(SampleId sample) const { return store_.contains(sample); }
 
-std::unordered_set<SampleId> PlanExecutor::resident_samples() const {
-  const std::scoped_lock lock(store_mutex_);
-  return store_;
-}
+std::unordered_set<SampleId> PlanExecutor::resident_samples() const { return store_.snapshot(); }
 
-void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& accounting,
-                                   IterationExecution& stats) {
-  (void)stats;
+void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& accounting) {
   const Bytes size = request.bytes;
   if (request.tier == FetchTier::kLocal) {
     accounting.local_bytes += size;
@@ -43,22 +46,31 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     return;
   }
 
-  std::vector<std::byte> payload;
-  bool remote_served = false;
+  cache::KvStore::PayloadPtr payload;
   if (request.tier == FetchTier::kRemote && kv_store_ != nullptr) {
-    if (auto fetched = kv_store_->get(request.sample)) {
-      payload = std::move(*fetched);
-      remote_served = true;
-    }
+    payload = kv_store_->get(request.sample);  // zero-copy: shared reference
   }
+  const bool kv_hit = payload != nullptr;
+  bool remote_served = kv_hit;
   if (!remote_served && request.tier == FetchTier::kRemote && manager_ != nullptr) {
-    // Ask each peer in turn; the first holder answers.
-    const auto world = plan_.cluster_nodes;
-    for (comm::Rank peer = 0; peer < world && !remote_served; ++peer) {
-      if (peer == config_.node) continue;
-      if (auto fetched = manager_->fetch_remote(request.sample, peer)) {
-        payload = std::move(*fetched);
-        remote_served = true;
+    if (directory_ != nullptr) {
+      // O(1) routing: ask the directory-recorded holder, nobody else.
+      const NodeId holder = directory_->peer_holder(request.sample, config_.node);
+      if (holder != cache::CacheDirectory::kInvalidNode) {
+        if (auto fetched = manager_->fetch_remote(request.sample, holder)) {
+          payload = std::make_shared<const std::vector<std::byte>>(std::move(*fetched));
+          remote_served = true;
+        }
+      }
+    } else {
+      // No directory wired in: legacy O(world) poll in rank order.
+      const auto world = plan_.cluster_nodes;
+      for (comm::Rank peer = 0; peer < world && !remote_served; ++peer) {
+        if (peer == config_.node) continue;
+        if (auto fetched = manager_->fetch_remote(request.sample, peer)) {
+          payload = std::make_shared<const std::vector<std::byte>>(std::move(*fetched));
+          remote_served = true;
+        }
       }
     }
   }
@@ -69,21 +81,18 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     LOBSTER_METRIC_COUNT("executor.remote_bytes", size);
   } else {
     // PFS path: materialize the sample content locally.
-    payload = make_sample_payload(request.sample, size);
+    payload = std::make_shared<const std::vector<std::byte>>(
+        make_sample_payload(request.sample, size));
     accounting.pfs_bytes += size;
     ++accounting.pfs_fetches;
     LOBSTER_TRACE_INSTANT(kExecutor, "fetch_pfs", size);
     LOBSTER_METRIC_COUNT("executor.pfs_bytes", size);
   }
 
-  if (config_.verify_payloads && !verify_sample_payload(request.sample, payload)) {
-    const std::scoped_lock lock(stats_mutex_);
-    ++payload_failures_;
+  if (config_.verify_payloads && !verify_sample_payload(request.sample, *payload)) {
+    payload_failures_.fetch_add(1, std::memory_order_relaxed);
   }
-  {
-    const std::scoped_lock lock(store_mutex_);
-    store_.insert(request.sample);
-  }
+  store_.insert(request.sample);
   if (kv_store_ != nullptr && !remote_served) kv_store_->put(request.sample, std::move(payload));
 }
 
@@ -93,8 +102,31 @@ ExecutionReport PlanExecutor::run() {
   const std::uint16_t gpus = plan_.gpus_per_node;
   const std::uint32_t I = plan_.iterations_per_epoch;
 
+  const std::uint32_t hw_threads =
+      config_.max_pool_threads > 0
+          ? config_.max_pool_threads
+          : std::max(1U, std::thread::hardware_concurrency());
   ThreadPool loading_pool(1);
   ThreadPool preproc_pool(1);
+
+  // Hoisted across iterations: the queues are fully drained every iteration,
+  // so one construction serves the whole run; vectors below are reused to
+  // avoid per-iteration allocation churn.
+  GpuRequestQueues queues(gpus, config_.queue_capacity);
+  std::vector<GpuAccounting> accounting(gpus);
+  std::vector<std::future<void>> futures;
+  std::vector<std::future<void>> preproc_futures;
+  std::vector<std::future<void>> prefetch_futures;
+  std::vector<LoadRequest> enqueue_buffer;
+  // Queue-overflow spill: filled single-threaded at enqueue, claimed by the
+  // drain workers via a per-GPU atomic cursor (contention-free when empty).
+  std::vector<std::vector<LoadRequest>> spill(gpus);
+  const std::unique_ptr<std::atomic<std::size_t>[]> spill_next(
+      new std::atomic<std::size_t>[gpus]);
+  // Worker-local delivery logs, merged per GPU and dedup-checked once per
+  // drain (the old global delivered-set mutex was taken per request).
+  std::mutex merge_mutex;
+  std::vector<std::vector<SampleId>> delivered(gpus);
 
   for (const auto& iteration : plan_.iterations) {
     LOBSTER_TRACE_SPAN_ARG(kExecutor, "iteration", iteration.iter);
@@ -105,40 +137,51 @@ ExecutionReport PlanExecutor::run() {
     IterationExecution stats;
     stats.iter = iteration.iter;
 
-    // ---- enforce the plan's thread assignment
+    // ---- enforce the plan's thread assignment (resize is a no-op when the
+    // planned size is unchanged — no thundering-herd wakeups). Planned
+    // threads are enforced as per-queue drain-task shares and in the
+    // virtual-time model; the OS-thread count is additionally capped at the
+    // core budget so oversubscription never turns planned bandwidth into
+    // context-switch overhead.
     const std::uint32_t load_threads_total = std::max<std::uint32_t>(
         1, std::accumulate(node_plan.load_threads.begin(), node_plan.load_threads.end(), 0U));
+    const std::uint32_t preproc_threads = std::max<std::uint32_t>(1, node_plan.preproc_threads);
     {
       LOBSTER_TRACE_SPAN_ARG(kExecutor, "resize_pools", load_threads_total);
-      loading_pool.resize(load_threads_total);
-      preproc_pool.resize(std::max<std::uint32_t>(1, node_plan.preproc_threads));
+      loading_pool.resize(std::min(load_threads_total, hw_threads));
+      preproc_pool.resize(std::min(preproc_threads, hw_threads));
       LOBSTER_TRACE_COUNTER(kPool, "load_pool_size", load_threads_total);
-      LOBSTER_TRACE_COUNTER(kPool, "preproc_pool_size",
-                            std::max<std::uint32_t>(1, node_plan.preproc_threads));
+      LOBSTER_TRACE_COUNTER(kPool, "preproc_pool_size", preproc_threads);
     }
     stats.load_pool_size = load_threads_total;
-    stats.preproc_pool_size = std::max<std::uint32_t>(1, node_plan.preproc_threads);
+    stats.preproc_pool_size = preproc_threads;
 
-    // ---- enqueue demand requests per GPU queue
-    GpuRequestQueues queues(gpus, config_.queue_capacity);
-    std::vector<GpuAccounting> accounting(gpus);
-    std::unordered_set<SampleId> delivered;
-    std::mutex delivered_mutex;
-
+    // ---- enqueue demand requests per GPU queue (bulk push; overflow spills
+    // loudly instead of blocking or dropping)
     {
       LOBSTER_TRACE_SPAN(kExecutor, "enqueue");
       for (GpuId g = 0; g < gpus; ++g) {
+        enqueue_buffer.clear();
         for (const SampleId s : sampler_.minibatch(epoch, h, config_.node, g)) {
           LoadRequest request;
           request.sample = s;
           request.bytes = catalog_.sample_bytes(s);
           request.iter = iteration.iter;
           request.gpu = g;
-          request.tier = has_sample(s) ? FetchTier::kLocal
+          request.tier = store_.contains(s) ? FetchTier::kLocal
                          : (manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs);
-          queues.push(g, request);
-          ++stats.demand_requests;
+          enqueue_buffer.push_back(request);
         }
+        stats.demand_requests += static_cast<std::uint32_t>(enqueue_buffer.size());
+        const std::size_t accepted = queues.try_push_batch(g, enqueue_buffer);
+        if (accepted < enqueue_buffer.size()) {
+          spill[g].assign(enqueue_buffer.begin() + static_cast<std::ptrdiff_t>(accepted),
+                          enqueue_buffer.end());
+          stats.spilled_requests +=
+              static_cast<std::uint32_t>(enqueue_buffer.size() - accepted);
+          LOBSTER_METRIC_COUNT("executor.spilled_requests", enqueue_buffer.size() - accepted);
+        }
+        spill_next[g].store(0, std::memory_order_relaxed);
       }
     }
 #if !defined(LOBSTER_TELEMETRY_DISABLED)
@@ -154,59 +197,111 @@ ExecutionReport PlanExecutor::run() {
     }
 #endif
 
-    // ---- drain queues with the planned per-queue thread counts. Each
-    // worker accumulates privately and merges once, so workers sharing a
-    // queue never race on the accounting.
+    // The previous iteration's prefetches ran on the loading pool overlapped
+    // with the enqueue above; join them before draining so plan residency
+    // ordering (prefetches land before the next eviction sweep) holds.
+    for (auto& f : prefetch_futures) f.get();
+    prefetch_futures.clear();
+
+    // ---- drain queues with the planned per-queue thread counts. Workers
+    // pop in batches, accumulate accounting and delivery logs privately,
+    // and merge once per task — no shared state is touched per request.
     {
-    LOBSTER_TRACE_SPAN_ARG(kExecutor, "drain", stats.demand_requests);
-    std::mutex merge_mutex;
-    std::uint64_t duplicates = 0;
-    std::vector<std::future<void>> futures;
-    for (GpuId g = 0; g < gpus; ++g) {
-      const std::uint32_t per_queue =
-          g < node_plan.load_threads.size() ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
-                                            : 1;
-      for (std::uint32_t t = 0; t < per_queue; ++t) {
-        futures.push_back(loading_pool.submit([this, g, &queues, &accounting, &stats, &delivered,
-                                               &delivered_mutex, &merge_mutex, &duplicates] {
-          GpuAccounting local;
-          std::uint64_t my_duplicates = 0;
-          while (auto request = queues.try_pop(g)) {
-            {
-              const std::scoped_lock lock(delivered_mutex);
-              if (!delivered.insert(request->sample).second) ++my_duplicates;
-            }
-            execute_request(*request, local, stats);
-          }
-          const std::scoped_lock lock(merge_mutex);
-          duplicates += my_duplicates;
-          accounting[g].local_bytes += local.local_bytes;
-          accounting[g].remote_bytes += local.remote_bytes;
-          accounting[g].pfs_bytes += local.pfs_bytes;
-          accounting[g].local_hits += local.local_hits;
-          accounting[g].remote_fetches += local.remote_fetches;
-          accounting[g].pfs_fetches += local.pfs_fetches;
-        }));
+      LOBSTER_TRACE_SPAN_ARG(kExecutor, "drain", stats.demand_requests);
+      futures.clear();
+      // Surplus drain tasks beyond the pool's OS threads never run
+      // concurrently — they'd only wake a worker to find the queue already
+      // empty — so cap the per-queue task count at the real pool size. The
+      // planned share still drives the virtual-time model and stats.
+      const std::uint32_t pool_threads = std::min(load_threads_total, hw_threads);
+      for (GpuId g = 0; g < gpus; ++g) {
+        const std::uint32_t per_queue = std::min(
+            pool_threads,
+            g < node_plan.load_threads.size()
+                ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
+                : 1);
+        for (std::uint32_t t = 0; t < per_queue; ++t) {
+          futures.push_back(loading_pool.submit(
+              [this, g, &queues, &spill, &spill_next, &accounting, &merge_mutex, &delivered] {
+                GpuAccounting local;
+                std::vector<SampleId> my_delivered;
+                std::vector<LoadRequest> batch;
+                batch.reserve(kDrainBatch);
+                while (queues.try_pop_batch(g, batch, kDrainBatch) > 0) {
+                  Bytes batch_local_bytes = 0;
+                  for (const auto& request : batch) {
+                    my_delivered.push_back(request.sample);
+                    // Local-tier fast path inlined: pure accounting, with
+                    // telemetry batched below so the warm drain pays one
+                    // metric-gate check per batch instead of per sample.
+                    if (request.tier == FetchTier::kLocal) {
+                      local.local_bytes += request.bytes;
+                      ++local.local_hits;
+                      batch_local_bytes += request.bytes;
+                    } else {
+                      execute_request(request, local);
+                    }
+                  }
+                  if (batch_local_bytes > 0) {
+                    LOBSTER_TRACE_INSTANT(kExecutor, "fetch_local", batch_local_bytes);
+                    LOBSTER_METRIC_COUNT("executor.local_bytes", batch_local_bytes);
+                  }
+                  batch.clear();
+                }
+                // Claim spilled requests (if any) via the atomic cursor.
+                const auto& overflow = spill[g];
+                while (true) {
+                  const std::size_t idx =
+                      spill_next[g].fetch_add(1, std::memory_order_relaxed);
+                  if (idx >= overflow.size()) break;
+                  my_delivered.push_back(overflow[idx].sample);
+                  execute_request(overflow[idx], local);
+                }
+                const std::scoped_lock lock(merge_mutex);
+                accounting[g].merge(local);
+                delivered[g].insert(delivered[g].end(), my_delivered.begin(),
+                                    my_delivered.end());
+              }));
+        }
       }
-    }
-    for (auto& f : futures) f.get();
-    report.duplicate_deliveries += duplicates;
+      for (auto& f : futures) f.get();
+
+      // Dedup check per GPU (the same sample legitimately goes to two GPUs;
+      // within one queue it must be delivered exactly once).
+      std::uint64_t delivered_total = 0;
+      for (GpuId g = 0; g < gpus; ++g) {
+        auto& log = delivered[g];
+        std::sort(log.begin(), log.end());
+        for (std::size_t i = 1; i < log.size(); ++i) {
+          if (log[i] == log[i - 1]) ++report.duplicate_deliveries;
+        }
+        delivered_total += log.size();
+        log.clear();
+        spill[g].clear();
+      }
+      report.samples_delivered += delivered_total;
+      if (delivered_total < stats.demand_requests) {
+        report.lost_deliveries += stats.demand_requests - delivered_total;
+        log::warn("executor: iteration %llu lost %llu deliveries",
+                  static_cast<unsigned long long>(iteration.iter),
+                  static_cast<unsigned long long>(stats.demand_requests - delivered_total));
+      }
     }
 
     // ---- preprocessing: one batch task per GPU on the preprocessing pool
     {
-    LOBSTER_TRACE_SPAN(kExecutor, "preproc");
-    std::vector<std::future<void>> preproc_futures;
-    std::atomic<std::uint64_t> preproc_checksum{0};
-    for (GpuId g = 0; g < gpus; ++g) {
-      preproc_futures.push_back(preproc_pool.submit([g, &preproc_checksum] {
-        // Token CPU work standing in for decode+augment.
-        std::uint64_t acc = g;
-        for (int i = 0; i < 256; ++i) acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
-        preproc_checksum.fetch_add(acc, std::memory_order_relaxed);
-      }));
-    }
-    for (auto& f : preproc_futures) f.get();
+      LOBSTER_TRACE_SPAN(kExecutor, "preproc");
+      preproc_futures.clear();
+      std::atomic<std::uint64_t> preproc_checksum{0};
+      for (GpuId g = 0; g < gpus; ++g) {
+        preproc_futures.push_back(preproc_pool.submit([g, &preproc_checksum] {
+          // Token CPU work standing in for decode+augment.
+          std::uint64_t acc = g;
+          for (int i = 0; i < 256; ++i) acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+          preproc_checksum.fetch_add(acc, std::memory_order_relaxed);
+        }));
+      }
+      for (auto& f : preproc_futures) f.get();
     }
 
     // ---- virtual-time accounting
@@ -226,28 +321,29 @@ ExecutionReport PlanExecutor::run() {
       const Bytes gpu_bytes = acct.local_bytes + acct.remote_bytes + acct.pfs_bytes;
       node_bytes += gpu_bytes;
       const Seconds preproc =
-          static_cast<double>(gpu_bytes) /
-          (config_.preproc_bps * std::max<std::uint32_t>(node_plan.preproc_threads, 1));
+          static_cast<double>(gpu_bytes) / (config_.preproc_bps * preproc_threads);
       preproc_max = std::max(preproc_max, preproc);
       stats.local_hits += acct.local_hits;
       stats.remote_fetches += acct.remote_fetches;
       stats.pfs_fetches += acct.pfs_fetches;
+      accounting[g] = GpuAccounting{};  // reset for the next iteration
     }
     stats.virtual_load = load_max;
     stats.virtual_preproc = preproc_max;
     stats.virtual_duration = std::max(config_.t_train, load_max + preproc_max);
 
-    report.samples_delivered += stats.demand_requests;
+    report.spilled_requests += stats.spilled_requests;
     report.virtual_total += stats.virtual_duration;
 
     // ---- plan-driven cache maintenance
     LOBSTER_TRACE_SPAN_ARG(kExecutor, "cache_maintenance",
                            node_plan.evictions.size() + node_plan.prefetches.size());
-    {
-      const std::scoped_lock lock(store_mutex_);
-      for (const SampleId s : node_plan.evictions) store_.erase(s);
-      LOBSTER_METRIC_COUNT("executor.plan_evictions", node_plan.evictions.size());
-    }
+    for (const SampleId s : node_plan.evictions) store_.erase(s);
+    LOBSTER_METRIC_COUNT("executor.plan_evictions", node_plan.evictions.size());
+
+    // Prefetches go to the loading pool and overlap the next iteration's
+    // enqueue (joined there); their tier accounting is background work and
+    // deliberately not part of the demand-path virtual time.
     for (const SampleId s : node_plan.prefetches) {
       LoadRequest request;
       request.sample = s;
@@ -255,18 +351,18 @@ ExecutionReport PlanExecutor::run() {
       request.iter = iteration.iter;
       request.prefetch = true;
       request.tier = manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs;
-      GpuAccounting prefetch_acct;
-      execute_request(request, prefetch_acct, stats);
       ++stats.prefetch_requests;
+      prefetch_futures.push_back(loading_pool.submit([this, request] {
+        GpuAccounting prefetch_acct;
+        execute_request(request, prefetch_acct);
+      }));
     }
 
     report.iterations.push_back(stats);
   }
+  for (auto& f : prefetch_futures) f.get();
 
-  {
-    const std::scoped_lock lock(stats_mutex_);
-    report.payload_failures = payload_failures_;
-  }
+  report.payload_failures = payload_failures_.load(std::memory_order_relaxed);
   LOBSTER_METRIC_COUNT("executor.samples_delivered", report.samples_delivered);
   return report;
 }

@@ -9,17 +9,26 @@
 // pool resizing, distributed fetches, plan bookkeeping — delivers every
 // sample exactly once and in time.
 //
+// Hot-path concurrency (DESIGN.md §8): the resident-sample set is striped
+// (no global store mutex), delivery dedup is worker-local and merged once
+// per drain (no per-request lock), queue operations are batched, remote
+// misses are routed to the directory-recorded holder in O(1), and plan
+// prefetches run on the loading pool overlapped with the next iteration's
+// enqueue.
+//
 // Stage timings are *accounted* in virtual time (bytes / tier rate) rather
 // than slept, so executor tests run in milliseconds; the performance story
 // lives in the pipeline simulator.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "cache/directory.hpp"
 #include "cache/kv_store.hpp"
+#include "common/striped_set.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "data/dataset.hpp"
@@ -41,6 +50,13 @@ struct ExecutorConfig {
   Seconds t_train = 13e-3;
   /// Verify each fetched payload (integrity check; small CPU cost).
   bool verify_payloads = true;
+  /// Ceiling on concurrent loader/preproc OS threads; 0 = hardware
+  /// concurrency. The plan's per-queue thread assignment is still enforced
+  /// as drain-task shares and in the virtual-time model; the cap only stops
+  /// oversubscribing physical cores, where surplus threads buy context
+  /// switches instead of bandwidth. Tests pin it explicitly to force real
+  /// multi-threaded drains regardless of the host.
+  std::uint32_t max_pool_threads = 0;
 };
 
 struct IterationExecution {
@@ -49,6 +65,7 @@ struct IterationExecution {
   std::uint32_t preproc_pool_size = 0;  ///< enforced preprocessing threads
   std::uint32_t demand_requests = 0;
   std::uint32_t prefetch_requests = 0;
+  std::uint32_t spilled_requests = 0;   ///< demand requests that overflowed a queue
   std::uint32_t local_hits = 0;
   std::uint32_t remote_fetches = 0;
   std::uint32_t pfs_fetches = 0;
@@ -62,9 +79,13 @@ struct ExecutionReport {
   std::uint64_t samples_delivered = 0;
   std::uint64_t payload_failures = 0;
   std::uint64_t duplicate_deliveries = 0;
+  std::uint64_t lost_deliveries = 0;    ///< enqueued but never drained
+  std::uint64_t spilled_requests = 0;   ///< delivered via the spill path (full queue)
   Seconds virtual_total = 0.0;
 
-  bool clean() const noexcept { return payload_failures == 0 && duplicate_deliveries == 0; }
+  bool clean() const noexcept {
+    return payload_failures == 0 && duplicate_deliveries == 0 && lost_deliveries == 0;
+  }
 };
 
 class PlanExecutor {
@@ -84,6 +105,13 @@ class PlanExecutor {
   /// and every fetched sample is published to it.
   void set_kv_store(cache::KvStore* store) noexcept { kv_store_ = store; }
 
+  /// Residency directory for remote-fetch routing (§4.4: deterministic
+  /// prefetching makes residency a global property). When set, a remote miss
+  /// asks the directory-recorded holder directly — O(1) instead of polling
+  /// every peer in rank order. The directory must not be mutated while run()
+  /// is in flight (the executor only reads it).
+  void set_directory(const cache::CacheDirectory* directory) noexcept { directory_ = directory; }
+
   /// Executes every iteration of the plan for this node.
   ExecutionReport run();
 
@@ -102,10 +130,18 @@ class PlanExecutor {
     std::uint32_t local_hits = 0;
     std::uint32_t remote_fetches = 0;
     std::uint32_t pfs_fetches = 0;
+
+    void merge(const GpuAccounting& other) noexcept {
+      local_bytes += other.local_bytes;
+      remote_bytes += other.remote_bytes;
+      pfs_bytes += other.pfs_bytes;
+      local_hits += other.local_hits;
+      remote_fetches += other.remote_fetches;
+      pfs_fetches += other.pfs_fetches;
+    }
   };
 
-  void execute_request(const LoadRequest& request, GpuAccounting& accounting,
-                       IterationExecution& stats);
+  void execute_request(const LoadRequest& request, GpuAccounting& accounting);
 
   ExecutorConfig config_;
   const data::SampleCatalog& catalog_;
@@ -113,12 +149,14 @@ class PlanExecutor {
   const Plan& plan_;
   DistributionManager* manager_;
   cache::KvStore* kv_store_ = nullptr;
+  const cache::CacheDirectory* directory_ = nullptr;
 
-  mutable std::mutex store_mutex_;
-  std::unordered_set<SampleId> store_;
+  /// Resident-sample set, striped so loading threads probing or inserting
+  /// different samples never contend (the old single store mutex serialized
+  /// every enqueue probe and every fetch).
+  StripedSet<SampleId> store_{64};
 
-  std::mutex stats_mutex_;
-  std::uint64_t payload_failures_ = 0;
+  std::atomic<std::uint64_t> payload_failures_{0};
 };
 
 }  // namespace lobster::runtime

@@ -30,6 +30,18 @@ bool GpuRequestQueues::push(GpuId gpu, LoadRequest request) {
   return accepted;
 }
 
+bool GpuRequestQueues::try_push(GpuId gpu, LoadRequest request) {
+  const bool accepted = queue(gpu).try_push(request);
+  if (accepted) LOBSTER_METRIC_COUNT("queue.pushes", 1);
+  return accepted;
+}
+
+std::size_t GpuRequestQueues::try_push_batch(GpuId gpu, std::vector<LoadRequest>& requests) {
+  const std::size_t accepted = queue(gpu).try_push_batch(requests.data(), requests.size());
+  if (accepted > 0) LOBSTER_METRIC_COUNT("queue.pushes", accepted);
+  return accepted;
+}
+
 std::optional<LoadRequest> GpuRequestQueues::pop(GpuId gpu) {
   auto request = queue(gpu).pop();
   if (request.has_value()) LOBSTER_METRIC_COUNT("queue.pops", 1);
@@ -40,6 +52,13 @@ std::optional<LoadRequest> GpuRequestQueues::try_pop(GpuId gpu) {
   auto request = queue(gpu).try_pop();
   if (request.has_value()) LOBSTER_METRIC_COUNT("queue.pops", 1);
   return request;
+}
+
+std::size_t GpuRequestQueues::try_pop_batch(GpuId gpu, std::vector<LoadRequest>& out,
+                                            std::size_t max_count) {
+  const std::size_t taken = queue(gpu).try_pop_batch(out, max_count);
+  if (taken > 0) LOBSTER_METRIC_COUNT("queue.pops", taken);
+  return taken;
 }
 
 std::size_t GpuRequestQueues::depth(GpuId gpu) const { return queue(gpu).size(); }

@@ -38,9 +38,22 @@ class GpuRequestQueues {
   /// Blocking push to a GPU's queue; false once closed.
   bool push(GpuId gpu, LoadRequest request);
 
+  /// Non-blocking push; false when the queue is full or closed. Callers must
+  /// handle the overflow (the executor spills and counts it) — a dropped
+  /// return value here loses samples silently.
+  [[nodiscard]] bool try_push(GpuId gpu, LoadRequest request);
+
+  /// Non-blocking bulk push under one queue lock; returns how many leading
+  /// requests were accepted (the rest stay with the caller).
+  [[nodiscard]] std::size_t try_push_batch(GpuId gpu, std::vector<LoadRequest>& requests);
+
   /// Blocking pop from a GPU's queue; nullopt once closed and drained.
   std::optional<LoadRequest> pop(GpuId gpu);
   std::optional<LoadRequest> try_pop(GpuId gpu);
+
+  /// Non-blocking bulk pop under one queue lock; appends up to `max_count`
+  /// requests to `out` and returns how many were taken.
+  std::size_t try_pop_batch(GpuId gpu, std::vector<LoadRequest>& out, std::size_t max_count);
 
   /// Pending request count of one queue (the §4.2 proportional signal).
   std::size_t depth(GpuId gpu) const;

@@ -432,11 +432,11 @@ namespace {
 
 TEST(KvStore, PutGetEraseRoundTrip) {
   cache::KvStore store(4);
-  EXPECT_FALSE(store.get(7).has_value());
+  EXPECT_EQ(store.get(7), nullptr);
   store.put(7, make_sample_payload(7, 128));
   ASSERT_TRUE(store.contains(7));
   const auto payload = store.get(7);
-  ASSERT_TRUE(payload.has_value());
+  ASSERT_NE(payload, nullptr);
   EXPECT_TRUE(verify_sample_payload(7, *payload));
   EXPECT_EQ(store.size(), 1U);
   EXPECT_EQ(store.bytes(), 128U);

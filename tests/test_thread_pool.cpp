@@ -109,6 +109,37 @@ TEST(ThreadPool, SubmitAfterDestructionIsImpossibleByDesign) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPool, GrowShrinkGrowUnderLoadStress) {
+  // Resize storm while tasks are in flight: every submitted task must still
+  // run exactly once, wait_idle() must return with an empty queue, and the
+  // pool must land on the last requested size. Exercises the merged retire
+  // path (shutdown + surplus-worker) in worker_loop.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  const std::size_t sizes[] = {4, 1, 6, 2, 8, 1, 3};
+  int expected = 0;
+  for (const std::size_t target : sizes) {
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        ++counter;
+      }));
+      ++expected;
+    }
+    pool.resize(target);
+    EXPECT_EQ(pool.size(), target);
+    // Redundant resize to the same size must be a harmless no-op.
+    pool.resize(target);
+    EXPECT_EQ(pool.size(), target);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.pending(), 0U);
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), expected);
+  EXPECT_EQ(pool.size(), sizes[std::size(sizes) - 1]);
+}
+
 TEST(ThreadPool, ManySmallTasksStress) {
   ThreadPool pool(3);
   std::atomic<std::uint64_t> sum{0};
