@@ -1,0 +1,271 @@
+// Fault-injection harness: a 4-node online run that survives one node death.
+//
+// DESIGN.md §9: when a peer dies mid-epoch the executor must notice (fetch
+// timeout → circuit breaker), mark the node down in the cache directory,
+// and detour every affected fetch to a surviving replica or the PFS — with
+// zero lost or duplicated deliveries and a bounded slowdown. This harness
+// runs the same cluster twice, fault-free and with `victim` killed at
+// iteration `kill_at`, and reports both runs side by side. It exits
+// non-zero when any invariant breaks, so CI can gate on it directly.
+//
+// Results are emitted as a `lobster.bench_metrics.v1` JSON so CI can
+// schema-check and archive them (`BENCH_fault.json`); see EXPERIMENTS.md
+// "Fault-injection harness".
+//
+//   $ ./fault_injection [nodes=4] [gpus=2] [iters=8] [batch=16] [bytes=2048]
+//       [victim=2] [kill_at=4] --metrics-json BENCH_fault.json
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/directory.hpp"
+#include "comm/bus.hpp"
+#include "comm/fault.hpp"
+#include "common/table.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "runtime/distribution_manager.hpp"
+#include "runtime/executor.hpp"
+
+using namespace lobster;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClusterShape {
+  std::uint16_t nodes = 4;
+  std::uint16_t gpus = 2;
+  std::uint32_t iters = 8;
+  std::uint32_t batch = 16;
+  Bytes bytes = 2048;
+  comm::Rank victim = 2;
+  IterId kill_at = 4;
+};
+
+runtime::Plan make_plan(const ClusterShape& shape) {
+  runtime::Plan plan;
+  plan.cluster_nodes = shape.nodes;
+  plan.gpus_per_node = shape.gpus;
+  plan.epochs = 1;
+  plan.iterations_per_epoch = shape.iters;
+  plan.batch_size = shape.batch;
+  plan.seed = 7;
+  for (IterId i = 0; i < shape.iters; ++i) {
+    runtime::IterationPlan iteration;
+    iteration.iter = i;
+    iteration.nodes.resize(shape.nodes);
+    for (auto& node : iteration.nodes) {
+      node.preproc_threads = 1;
+      node.load_threads.assign(shape.gpus, 2);
+    }
+    plan.iterations.push_back(std::move(iteration));
+  }
+  return plan;
+}
+
+struct RunOutcome {
+  runtime::ExecutionReport report;
+  double wall_s = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+/// Runs node 0's plan against `nodes - 1` serving peers. Samples are owned
+/// by rank (s % nodes); the victim's set is replicated on the highest rank
+/// so degraded routing has a surviving holder to detour to. When `inject`
+/// is set, the victim stops answering from iteration `kill_at` on.
+RunOutcome run_cluster(const ClusterShape& shape, bool inject) {
+  const runtime::Plan plan = make_plan(shape);
+  const std::uint32_t num_samples = shape.nodes * shape.iters * shape.gpus * shape.batch;
+  const data::SampleCatalog catalog(data::DatasetSpec::uniform(num_samples, shape.bytes),
+                                    plan.seed);
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = num_samples;
+  sampler_config.nodes = shape.nodes;
+  sampler_config.gpus_per_node = shape.gpus;
+  sampler_config.batch_size = shape.batch;
+  sampler_config.seed = 7;
+  const data::EpochSampler sampler(sampler_config);
+  const auto backup = static_cast<std::uint16_t>(shape.nodes - 1);
+
+  cache::CacheDirectory directory(shape.nodes);
+  for (SampleId s = 0; s < catalog.size(); ++s) {
+    const auto owner = static_cast<std::uint16_t>(s % shape.nodes);
+    directory.add(s, owner);
+    if (owner == shape.victim) directory.add(s, backup);
+  }
+
+  comm::MessageBus bus(shape.nodes);
+  comm::FaultPlan fault(shape.nodes);
+  bus.set_fault_plan(&fault);
+  if (inject) fault.spec(shape.victim).kill_at_iter = shape.kill_at;
+
+  const auto sizes = [&catalog](SampleId s) { return catalog.sample_bytes(s); };
+  runtime::FetchPolicy policy;
+  policy.timeout = 0.05;
+  policy.max_retries = 1;
+  policy.backoff_base = 0.005;
+  policy.backoff_cap = 0.02;
+  policy.breaker_threshold = 1;    // first timeout declares the peer dead
+  policy.breaker_cooldown = 600.0; // no half-open probes during the run
+  std::vector<std::unique_ptr<runtime::DistributionManager>> peers;
+  for (std::uint16_t r = 1; r < shape.nodes; ++r) {
+    auto has = [r, &shape, backup](SampleId s) {
+      const auto owner = static_cast<std::uint16_t>(s % shape.nodes);
+      if (owner == r) return true;
+      return r == backup && owner == shape.victim;  // replica of the victim's set
+    };
+    peers.push_back(std::make_unique<runtime::DistributionManager>(bus.endpoint(r), has,
+                                                                   sizes, policy));
+    peers.back()->start();
+  }
+  runtime::DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+
+  runtime::ExecutorConfig config;
+  config.node = 0;
+  config.max_pool_threads = 4;
+  config.verify_payloads = true;
+  config.iteration_hook = [&fault](IterId iter) { fault.on_iteration(iter); };
+  runtime::PlanExecutor executor(config, catalog, sampler, plan);
+  executor.set_manager(&client);
+  executor.set_directory(&directory);
+
+  RunOutcome outcome;
+  const auto start = Clock::now();
+  outcome.report = executor.run();
+  outcome.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  for (auto& peer : peers) peer->stop();
+  outcome.timeouts = client.timeouts();
+  outcome.retries = client.retries();
+  outcome.breaker_opens = client.breaker_opens();
+  outcome.messages_dropped = fault.dropped_messages();
+  return outcome;
+}
+
+template <typename Field>
+std::uint64_t tier_sum(const runtime::ExecutionReport& report,
+                       Field runtime::IterationExecution::* field) {
+  std::uint64_t total = 0;
+  for (const auto& iteration : report.iterations) total += iteration.*field;
+  return total;
+}
+
+bench::MetricsRecord record_for(const std::string& workload, const char* strategy,
+                                const RunOutcome& outcome) {
+  bench::MetricsRecord record;
+  record.panel = "fault_injection";
+  record.workload = workload;
+  record.strategy = strategy;
+  record.warm_epoch_time_s = outcome.report.virtual_total;
+  record.samples_per_s =
+      outcome.wall_s > 0.0
+          ? static_cast<double>(outcome.report.samples_delivered) / outcome.wall_s
+          : 0.0;
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const bench::TraceSession trace_session(config);
+  bench::MetricsJson metrics(config, "fault_injection");
+  ClusterShape shape;
+  shape.nodes = static_cast<std::uint16_t>(config.get_int("nodes", 4));
+  shape.gpus = static_cast<std::uint16_t>(config.get_int("gpus", 2));
+  shape.iters = static_cast<std::uint32_t>(config.get_int("iters", 8));
+  shape.batch = static_cast<std::uint32_t>(config.get_int("batch", 16));
+  shape.bytes = static_cast<Bytes>(config.get_int("bytes", 2048));
+  shape.victim = static_cast<comm::Rank>(config.get_int("victim", 2));
+  shape.kill_at = static_cast<IterId>(config.get_int("kill_at", shape.iters / 2));
+  bench::warn_unconsumed(config);
+
+  if (shape.nodes < 3 || shape.victim == 0 || shape.victim >= shape.nodes ||
+      shape.victim == shape.nodes - 1U) {
+    std::fprintf(stderr,
+                 "error: need nodes>=3 and 0 < victim < nodes-1 (rank 0 runs the "
+                 "plan, the highest rank is the replica holder)\n");
+    return 2;
+  }
+
+  bench::print_header(
+      "fault_injection: node death mid-epoch, degraded routing keeps delivering",
+      "DESIGN.md §9 — breaker + directory down-mask bound the damage of a dead peer");
+  std::printf("cluster: %u nodes x %u gpus, %u iters x batch %u, %llu B samples; "
+              "kill node %u at iteration %llu\n\n",
+              shape.nodes, shape.gpus, shape.iters, shape.batch,
+              static_cast<unsigned long long>(shape.bytes), shape.victim,
+              static_cast<unsigned long long>(shape.kill_at));
+
+  const auto baseline = run_cluster(shape, /*inject=*/false);
+  const auto faulted = run_cluster(shape, /*inject=*/true);
+
+  const std::string workload =
+      strf("nodes=%u gpus=%u iters=%u batch=%u bytes=%llu victim=%u kill_at=%llu",
+           shape.nodes, shape.gpus, shape.iters, shape.batch,
+           static_cast<unsigned long long>(shape.bytes), shape.victim,
+           static_cast<unsigned long long>(shape.kill_at));
+
+  Table table({"run", "delivered", "remote", "pfs", "degraded", "timeouts", "retries",
+               "virtual_s", "wall_ms", "clean"});
+  const auto add_row = [&table](const char* name, const RunOutcome& outcome) {
+    const auto& report = outcome.report;
+    table.add_row({name, std::to_string(report.samples_delivered),
+                   std::to_string(tier_sum(report, &runtime::IterationExecution::remote_fetches)),
+                   std::to_string(tier_sum(report, &runtime::IterationExecution::pfs_fetches)),
+                   std::to_string(report.degraded_fetches), std::to_string(outcome.timeouts),
+                   std::to_string(outcome.retries), Table::num(report.virtual_total, 4),
+                   Table::num(outcome.wall_s * 1e3, 1), report.clean() ? "yes" : "NO"});
+  };
+  add_row("fault-free", baseline);
+  add_row("node-death", faulted);
+  bench::emit(config, "fault_injection", table);
+
+  const double slowdown = baseline.report.virtual_total > 0.0
+                              ? faulted.report.virtual_total / baseline.report.virtual_total
+                              : 0.0;
+  std::printf("modeled slowdown under one node death: %.2fx "
+              "(breaker opened %llu time(s), fabric dropped %llu message(s))\n\n",
+              slowdown, static_cast<unsigned long long>(faulted.breaker_opens),
+              static_cast<unsigned long long>(faulted.messages_dropped));
+
+  metrics.add(record_for(workload, "fault_free", baseline));
+  metrics.add(record_for(workload, "node_death", faulted));
+  metrics.set_scalar("slowdown_vs_fault_free", slowdown);
+  metrics.set_scalar("degraded_fetches", static_cast<double>(faulted.report.degraded_fetches));
+  metrics.set_scalar("payload_failures", static_cast<double>(faulted.report.payload_failures));
+  metrics.set_scalar("lost_deliveries", static_cast<double>(faulted.report.lost_deliveries));
+  metrics.set_scalar("duplicate_deliveries",
+                     static_cast<double>(faulted.report.duplicate_deliveries));
+  metrics.set_scalar("fetch_timeouts", static_cast<double>(faulted.timeouts));
+  metrics.set_scalar("fetch_retries", static_cast<double>(faulted.retries));
+  metrics.set_scalar("breaker_opens", static_cast<double>(faulted.breaker_opens));
+  metrics.set_scalar("messages_dropped", static_cast<double>(faulted.messages_dropped));
+
+  // ---- invariants (the CI gate).
+  bool ok = true;
+  const auto require = [&ok](bool condition, const char* what) {
+    if (!condition) {
+      std::fprintf(stderr, "FAIL: %s\n", what);
+      ok = false;
+    }
+  };
+  require(baseline.report.clean(), "fault-free run must be clean");
+  require(baseline.report.degraded_fetches == 0, "fault-free run must not degrade");
+  require(faulted.report.payload_failures == 0, "no payload may fail verification");
+  require(faulted.report.lost_deliveries == 0, "no delivery may be lost");
+  require(faulted.report.duplicate_deliveries == 0, "no delivery may duplicate");
+  require(faulted.report.samples_delivered == baseline.report.samples_delivered,
+          "every planned sample must still be delivered");
+  require(faulted.report.degraded_fetches > 0,
+          "the death must be noticed and routed around, not absorbed silently");
+  require(faulted.report.virtual_total <= 2.0 * baseline.report.virtual_total,
+          "modeled slowdown must stay within 2x of the fault-free run");
+  if (ok) std::printf("all fault-injection invariants hold\n");
+  return ok ? 0 : 1;
+}

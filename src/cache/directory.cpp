@@ -34,20 +34,61 @@ bool CacheDirectory::holds(SampleId sample, NodeId node) const {
 
 bool CacheDirectory::held_elsewhere(SampleId sample, NodeId node) const {
   const auto it = holders_.find(sample);
-  return it != holders_.end() && (it->second & ~(1ULL << node)) != 0;
+  return it != holders_.end() && (it->second & ~(1ULL << node) & up_mask()) != 0;
 }
 
 bool CacheDirectory::sole_holder(SampleId sample, NodeId node) const {
   const auto it = holders_.find(sample);
-  return it != holders_.end() && it->second == (1ULL << node);
+  return it != holders_.end() && (it->second & up_mask()) == (1ULL << node);
 }
 
 NodeId CacheDirectory::peer_holder(SampleId sample, NodeId node) const {
   const auto it = holders_.find(sample);
   if (it == holders_.end()) return kInvalidNode;
-  const std::uint64_t others = it->second & ~(1ULL << node);
+  const std::uint64_t others = it->second & ~(1ULL << node) & up_mask();
   if (others == 0) return kInvalidNode;
   return static_cast<NodeId>(std::countr_zero(others));
+}
+
+void CacheDirectory::mark_node_down(NodeId node) {
+  if (node >= nodes_) return;
+  down_mask_.fetch_or(1ULL << node, std::memory_order_acq_rel);
+}
+
+void CacheDirectory::revive_node(NodeId node) {
+  if (node >= nodes_) return;
+  down_mask_.fetch_and(~(1ULL << node), std::memory_order_acq_rel);
+}
+
+bool CacheDirectory::node_down(NodeId node) const {
+  if (node >= nodes_) return false;
+  return (down_mask_.load(std::memory_order_acquire) & (1ULL << node)) != 0;
+}
+
+std::uint32_t CacheDirectory::down_count() const {
+  return static_cast<std::uint32_t>(
+      std::popcount(down_mask_.load(std::memory_order_acquire)));
+}
+
+std::vector<SampleId> CacheDirectory::drop_node(NodeId node) {
+  std::vector<SampleId> orphaned;
+  if (node >= nodes_) return orphaned;
+  mark_node_down(node);
+  const std::uint64_t bit = 1ULL << node;
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    if ((it->second & bit) == 0) {
+      ++it;
+      continue;
+    }
+    it->second &= ~bit;
+    if (it->second == 0) {
+      orphaned.push_back(it->first);
+      it = holders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return orphaned;
 }
 
 }  // namespace lobster::cache

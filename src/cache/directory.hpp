@@ -6,8 +6,18 @@
 // global property, §4.4). The reuse-count eviction policy also needs it:
 // a node must not evict the *last* cached copy in the group if the sample
 // is still needed by anyone (§4.4).
+//
+// Failure handling (DESIGN.md §9): a node that stops answering can be taken
+// out of routing two ways. mark_node_down() flips an atomic down-mask —
+// lock-free, callable from any executor worker mid-iteration — after which
+// every routing query (peer_holder / held_elsewhere / sole_holder) skips
+// that node while the residency map itself stays untouched. drop_node()
+// additionally removes the node's entries from the map and returns the
+// samples it was the last holder of (now orphaned to the PFS); it mutates
+// the map, so call it only from quiesced/single-threaded contexts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -23,31 +33,56 @@ class CacheDirectory {
   void add(SampleId sample, NodeId node);
   void remove(SampleId sample, NodeId node);
 
-  /// Number of nodes currently caching the sample.
+  /// Number of nodes currently caching the sample (down nodes included —
+  /// residency is what is physically cached, not what is reachable).
   std::uint32_t holder_count(SampleId sample) const;
 
   /// True if `node` holds the sample.
   bool holds(SampleId sample, NodeId node) const;
 
-  /// True if some node *other than* `node` holds the sample.
+  /// True if some *reachable* node other than `node` holds the sample.
   bool held_elsewhere(SampleId sample, NodeId node) const;
 
-  /// True if `node` is the only holder.
+  /// True if `node` is the only reachable holder.
   bool sole_holder(SampleId sample, NodeId node) const;
 
-  /// Any holder other than `node` (for remote fetch routing); returns the
-  /// lowest-ranked holder for determinism. kInvalidNode if none.
+  /// Any reachable holder other than `node` (for remote fetch routing);
+  /// returns the lowest-ranked holder for determinism. kInvalidNode if none.
   static constexpr NodeId kInvalidNode = static_cast<NodeId>(~0U);
   NodeId peer_holder(SampleId sample, NodeId node) const;
+
+  /// Marks `node` unreachable for routing. Lock-free; safe to call from
+  /// concurrent executor workers while others are querying. Idempotent.
+  void mark_node_down(NodeId node);
+
+  /// Clears a down mark (peer recovered).
+  void revive_node(NodeId node);
+
+  bool node_down(NodeId node) const;
+
+  /// Number of nodes currently marked down.
+  std::uint32_t down_count() const;
+
+  /// Removes every directory entry held by `node` and marks it down.
+  /// Returns the samples for which `node` was the last holder — those now
+  /// exist only on the PFS and any prefetch plan should re-source them.
+  /// Mutates the residency map: callers must quiesce concurrent queries.
+  std::vector<SampleId> drop_node(NodeId node);
 
   std::uint16_t nodes() const noexcept { return nodes_; }
   std::size_t tracked_samples() const noexcept { return holders_.size(); }
 
  private:
+  std::uint64_t up_mask() const noexcept {
+    return ~down_mask_.load(std::memory_order_acquire);
+  }
+
   std::uint16_t nodes_;
   // Bitmask of holder nodes per sample (nodes <= 64 in every experiment;
   // checked in the constructor).
   std::unordered_map<SampleId, std::uint64_t> holders_;
+  // Bit i set => node i is down (excluded from routing queries).
+  std::atomic<std::uint64_t> down_mask_{0};
 };
 
 }  // namespace lobster::cache

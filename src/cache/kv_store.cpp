@@ -21,31 +21,56 @@ KvStore::Shard& KvStore::shard_for(SampleId sample) const {
   return shards_[splitmix64(state) & mask_];
 }
 
-void KvStore::put(SampleId sample, std::vector<std::byte> payload) {
-  put(sample, std::make_shared<const std::vector<std::byte>>(std::move(payload)));
+void KvStore::set_capacity(Bytes capacity) {
+  capacity_.store(capacity, std::memory_order_relaxed);
 }
 
-void KvStore::put(SampleId sample, PayloadPtr payload) {
+Bytes KvStore::capacity() const noexcept {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+Status KvStore::put(SampleId sample, std::vector<std::byte> payload) {
+  return put(sample, std::make_shared<const std::vector<std::byte>>(std::move(payload)));
+}
+
+Status KvStore::put(SampleId sample, PayloadPtr payload) {
   if (payload == nullptr) throw std::invalid_argument("KvStore::put: null payload");
   Shard& shard = shard_for(sample);
   const std::scoped_lock lock(shard.mutex);
-  auto [it, inserted] = shard.entries.try_emplace(sample);
-  if (!inserted) shard.bytes -= it->second->size();
-  shard.bytes += payload->size();
-  LOBSTER_METRIC_COUNT("kv.put_bytes", payload->size());
-  it->second = std::move(payload);
+  const auto existing = shard.entries.find(sample);
+  const Bytes old_size = existing == shard.entries.end() ? 0 : existing->second->size();
+  const Bytes new_size = payload->size();
+  const Bytes cap = capacity_.load(std::memory_order_relaxed);
+  if (cap != 0 && new_size > old_size) {
+    const Bytes growth = new_size - old_size;
+    if (total_bytes_.load(std::memory_order_relaxed) + growth > cap) {
+      ++shard.stats.rejected_puts;
+      LOBSTER_METRIC_COUNT("kv.rejected_puts", 1);
+      return Status::overflow("kv store at capacity");
+    }
+  }
+  shard.bytes += new_size - old_size;
+  total_bytes_.fetch_add(new_size, std::memory_order_relaxed);
+  total_bytes_.fetch_sub(old_size, std::memory_order_relaxed);
+  LOBSTER_METRIC_COUNT("kv.put_bytes", new_size);
+  if (existing == shard.entries.end()) {
+    shard.entries.emplace(sample, std::move(payload));
+  } else {
+    existing->second = std::move(payload);
+  }
   ++shard.stats.puts;
   LOBSTER_METRIC_COUNT("kv.puts", 1);
+  return Status{};
 }
 
-KvStore::PayloadPtr KvStore::get(SampleId sample) const {
+Result<KvStore::PayloadPtr> KvStore::get(SampleId sample) const {
   Shard& shard = shard_for(sample);
   const std::scoped_lock lock(shard.mutex);
   const auto it = shard.entries.find(sample);
   if (it == shard.entries.end()) {
     ++shard.stats.get_misses;
     LOBSTER_METRIC_COUNT("kv.get_misses", 1);
-    return nullptr;
+    return Status::not_found();  // hot path: no detail string allocation
   }
   ++shard.stats.get_hits;
   LOBSTER_METRIC_COUNT("kv.get_hits", 1);
@@ -64,6 +89,7 @@ bool KvStore::erase(SampleId sample) {
   const auto it = shard.entries.find(sample);
   if (it == shard.entries.end()) return false;
   shard.bytes -= it->second->size();
+  total_bytes_.fetch_sub(it->second->size(), std::memory_order_relaxed);
   shard.entries.erase(it);
   ++shard.stats.erases;
   return true;
@@ -95,6 +121,7 @@ KvStore::Stats KvStore::stats() const {
     total.get_hits += shard.stats.get_hits;
     total.get_misses += shard.stats.get_misses;
     total.erases += shard.stats.erases;
+    total.rejected_puts += shard.stats.rejected_puts;
   }
   return total;
 }

@@ -13,21 +13,28 @@
 // costs one shard-lock plus a refcount bump no matter how large the sample
 // is. Overwrites and erases drop the store's reference; readers holding the
 // old payload keep it alive until they're done.
+//
+// Typed API: get() returns Result<PayloadPtr> (kNotFound on miss, never a
+// null pointer on success) and put() returns Status (kOverflow once an
+// optional capacity is exhausted) — the causes the runtime's degraded
+// routing branches on, instead of a bare nullptr/void.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace lobster::cache {
 
 class KvStore {
  public:
-  /// Immutable, shareable payload handle (nullptr == miss).
+  /// Immutable, shareable payload handle; non-null whenever get() is ok.
   using PayloadPtr = std::shared_ptr<const std::vector<std::byte>>;
 
   /// `shards` must be a power of two (lock striping).
@@ -36,14 +43,20 @@ class KvStore {
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
 
+  /// Optional capacity ceiling; 0 (default) = unbounded. A put that would
+  /// push the store past the ceiling is rejected with StatusCode::kOverflow
+  /// (overwrites that shrink or keep the footprint always succeed).
+  void set_capacity(Bytes capacity);
+  Bytes capacity() const noexcept;
+
   /// Inserts or overwrites a sample's payload.
-  void put(SampleId sample, std::vector<std::byte> payload);
+  Status put(SampleId sample, std::vector<std::byte> payload);
 
   /// Zero-copy insert of an already-shared payload (must be non-null).
-  void put(SampleId sample, PayloadPtr payload);
+  Status put(SampleId sample, PayloadPtr payload);
 
-  /// Returns a shared reference to the payload, or nullptr on miss.
-  PayloadPtr get(SampleId sample) const;
+  /// Shared reference to the payload; StatusCode::kNotFound on miss.
+  Result<PayloadPtr> get(SampleId sample) const;
 
   bool contains(SampleId sample) const;
   bool erase(SampleId sample);
@@ -56,6 +69,7 @@ class KvStore {
     std::uint64_t get_hits = 0;
     std::uint64_t get_misses = 0;
     std::uint64_t erases = 0;
+    std::uint64_t rejected_puts = 0;  ///< puts refused by the capacity ceiling
   };
   Stats stats() const;
 
@@ -71,6 +85,10 @@ class KvStore {
 
   mutable std::vector<Shard> shards_;
   std::size_t mask_;
+  std::atomic<Bytes> capacity_{0};
+  // Store-wide footprint, maintained alongside the per-shard byte counts so
+  // the capacity check stays a single relaxed load on the put fast path.
+  mutable std::atomic<Bytes> total_bytes_{0};
 };
 
 }  // namespace lobster::cache

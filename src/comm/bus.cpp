@@ -4,17 +4,42 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "comm/fault.hpp"
+
 namespace lobster::comm {
 
 std::uint16_t Endpoint::world_size() const noexcept { return bus_->world_size(); }
 
-bool Endpoint::send(Rank to, Tag tag, std::vector<std::byte> payload) {
+Status Endpoint::send(Rank to, Tag tag, std::vector<std::byte> payload) {
   return bus_->do_send(to, Message{rank_, tag, std::move(payload)});
 }
 
-std::optional<Message> Endpoint::recv(Tag tag) { return bus_->do_recv(rank_, tag, true); }
+Result<Message> Endpoint::recv(Tag tag) {
+  return bus_->do_recv(rank_, tag, true, std::nullopt);
+}
 
-std::optional<Message> Endpoint::try_recv(Tag tag) { return bus_->do_recv(rank_, tag, false); }
+Result<Message> Endpoint::recv_for(Tag tag, Seconds timeout) {
+  const auto deadline = MessageBus::Clock::now() +
+      std::chrono::duration_cast<MessageBus::Clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, timeout)));
+  return bus_->do_recv(rank_, tag, true, deadline);
+}
+
+Result<Message> Endpoint::try_recv(Tag tag) {
+  return bus_->do_recv(rank_, tag, false, std::nullopt);
+}
+
+std::optional<Message> Endpoint::recv_opt(Tag tag) {
+  auto result = bus_->do_recv(rank_, tag, true, std::nullopt);
+  if (!result.ok()) return std::nullopt;
+  return result.take();
+}
+
+std::optional<Message> Endpoint::try_recv_opt(Tag tag) {
+  auto result = bus_->do_recv(rank_, tag, false, std::nullopt);
+  if (!result.ok()) return std::nullopt;
+  return result.take();
+}
 
 void Endpoint::barrier() { bus_->do_barrier(); }
 
@@ -36,6 +61,14 @@ Endpoint& MessageBus::endpoint(Rank rank) {
   return endpoints_[rank];
 }
 
+void MessageBus::set_fault_plan(FaultPlan* plan) {
+  {
+    const std::scoped_lock lock(mutex_);
+    fault_plan_ = plan;
+  }
+  cv_.notify_all();
+}
+
 void MessageBus::shutdown() {
   {
     const std::scoped_lock lock(mutex_);
@@ -49,35 +82,69 @@ bool MessageBus::is_shutdown() const {
   return shutdown_;
 }
 
-bool MessageBus::do_send(Rank to, Message message) {
+Status MessageBus::do_send(Rank to, Message message) {
   if (to >= world_size_) throw std::out_of_range("MessageBus: destination rank out of range");
   {
     const std::scoped_lock lock(mutex_);
-    if (shutdown_) return false;
-    mailboxes_[to].push_back(std::move(message));
+    if (shutdown_) return Status::shutdown("bus is shut down");
+    Envelope envelope{std::move(message), {}};
+    if (fault_plan_ != nullptr) {
+      const FaultPlan::Verdict verdict = fault_plan_->on_message(envelope.message.source, to);
+      // Fire-and-forget: a dropped message still reports ok to the sender,
+      // exactly as a real NIC gives no delivery receipt.
+      if (verdict.drop) return Status{};
+      if (verdict.delay_s > 0.0) {
+        envelope.deliver_at = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(verdict.delay_s));
+      }
+    }
+    mailboxes_[to].push_back(std::move(envelope));
   }
   cv_.notify_all();
-  return true;
+  return Status{};
 }
 
-std::optional<Message> MessageBus::do_recv(Rank me, Tag tag, bool blocking) {
+Result<Message> MessageBus::do_recv(Rank me, Tag tag, bool blocking,
+                                    std::optional<Clock::time_point> deadline) {
   std::unique_lock lock(mutex_);
-  auto find_match = [&]() -> std::optional<Message> {
+  // Scans the mailbox for the first deliverable match; if matching messages
+  // exist but are still in flight (fault-injected delay), reports the
+  // earliest time one becomes visible so the wait can use it.
+  auto find_match = [&](Clock::time_point now,
+                        std::optional<Clock::time_point>& next_ready) -> std::optional<Message> {
+    next_ready.reset();
     auto& box = mailboxes_[me];
-    const auto it = std::find_if(box.begin(), box.end(), [&](const Message& m) {
-      return tag == kAnyTag || m.tag == tag;
-    });
-    if (it == box.end()) return std::nullopt;
-    Message found = std::move(*it);
-    box.erase(it);
-    return found;
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (tag != kAnyTag && it->message.tag != tag) continue;
+      if (it->deliver_at > now) {
+        if (!next_ready || it->deliver_at < *next_ready) next_ready = it->deliver_at;
+        continue;
+      }
+      Message found = std::move(it->message);
+      box.erase(it);
+      return found;
+    }
+    return std::nullopt;
   };
 
-  if (!blocking) return find_match();
   for (;;) {
-    if (auto found = find_match()) return found;
-    if (shutdown_) return std::nullopt;
-    cv_.wait(lock);
+    const Clock::time_point now = Clock::now();
+    std::optional<Clock::time_point> next_ready;
+    if (auto found = find_match(now, next_ready)) return std::move(*found);
+    if (shutdown_) return Status::shutdown("bus is shut down");
+    if (!blocking) return Status::not_found("no matching message");
+    if (deadline && now >= *deadline) return Status::timeout("recv deadline expired");
+
+    // Wake at whichever comes first: the caller's deadline or the moment an
+    // in-flight (delayed) matching message becomes deliverable.
+    std::optional<Clock::time_point> wake = deadline;
+    if (next_ready && (!wake || *next_ready < *wake)) wake = next_ready;
+    if (wake) {
+      cv_.wait_until(lock, *wake);
+    } else {
+      cv_.wait(lock);
+    }
   }
 }
 

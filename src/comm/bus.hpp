@@ -9,17 +9,29 @@
 //
 // Semantics:
 //   - send() is asynchronous and never blocks (unbounded per-rank mailbox);
+//     it returns Status::shutdown after shutdown and ok otherwise — a
+//     dropped or delayed message (fault injection) still reports ok,
+//     exactly as a real NIC gives no delivery receipt;
 //   - recv() blocks until a message with a matching tag arrives (tag
 //     kAnyTag matches everything); messages with the same (source, tag)
-//     arrive in send order;
+//     arrive in send order; recv_for() additionally gives up with
+//     StatusCode::kTimeout once the deadline passes — the primitive the
+//     fault-tolerant fetch path is built on;
 //   - barrier() blocks until all ranks arrive (generation-counted, so
-//     repeated barriers work);
+//     repeated barriers work); collectives are NOT fault-aware — do not
+//     barrier against a killed rank;
 //   - allreduce_sum() element-wise sums a vector across all ranks and
 //     returns the result to every caller (barrier-style collective);
-//   - shutdown() releases all blocked receivers with std::nullopt.
+//   - shutdown() releases all blocked receivers with StatusCode::kShutdown.
+//
+// Fault injection: set_fault_plan() attaches a comm::FaultPlan that is
+// consulted on every send — it may drop the message or delay its delivery
+// (the message sits invisibly in the mailbox until its deliver-at time).
+// Null plan (the default) costs nothing.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -28,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace lobster::comm {
@@ -44,6 +57,7 @@ struct Message {
 };
 
 class MessageBus;
+class FaultPlan;
 
 /// A rank's handle onto the bus. Thread-compatible: one owning thread per
 /// endpoint (matching MPI's single-threaded-rank model); the bus itself is
@@ -53,23 +67,36 @@ class Endpoint {
   Rank rank() const noexcept { return rank_; }
   std::uint16_t world_size() const noexcept;
 
-  /// Asynchronous tagged send. Returns false after shutdown.
-  bool send(Rank to, Tag tag, std::vector<std::byte> payload);
+  /// Asynchronous tagged send. StatusCode::kShutdown after shutdown; ok
+  /// otherwise (fire-and-forget: injected drops still report ok).
+  Status send(Rank to, Tag tag, std::vector<std::byte> payload);
 
   /// Convenience: sends a trivially-copyable value.
   template <typename T>
-  bool send_value(Rank to, Tag tag, const T& value) {
+  Status send_value(Rank to, Tag tag, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> bytes(sizeof(T));
     std::memcpy(bytes.data(), &value, sizeof(T));
     return send(to, tag, std::move(bytes));
   }
 
-  /// Blocking tagged receive; nullopt after shutdown (and drained mailbox).
-  std::optional<Message> recv(Tag tag = kAnyTag);
+  /// Blocking tagged receive; StatusCode::kShutdown after shutdown (and
+  /// drained mailbox).
+  Result<Message> recv(Tag tag = kAnyTag);
 
-  /// Non-blocking receive.
-  std::optional<Message> try_recv(Tag tag = kAnyTag);
+  /// Blocking receive with a deadline: StatusCode::kTimeout if no matching
+  /// message becomes deliverable within `timeout`, kShutdown on shutdown.
+  Result<Message> recv_for(Tag tag, Seconds timeout);
+
+  /// Non-blocking receive; StatusCode::kNotFound when nothing matches.
+  Result<Message> try_recv(Tag tag = kAnyTag);
+
+  // -- deprecated optional-shaped shims (one release; migrate to the typed
+  //    API above, which distinguishes timeout / shutdown / empty).
+  [[deprecated("use recv() -> Result<Message>")]]
+  std::optional<Message> recv_opt(Tag tag = kAnyTag);
+  [[deprecated("use try_recv() -> Result<Message>")]]
+  std::optional<Message> try_recv_opt(Tag tag = kAnyTag);
 
   template <typename T>
   static T value_of(const Message& message) {
@@ -106,6 +133,10 @@ class MessageBus {
   /// The endpoint for `rank`; valid for the bus's lifetime.
   Endpoint& endpoint(Rank rank);
 
+  /// Attaches (or detaches, with nullptr) a fault injector consulted on
+  /// every send. The plan must outlive the bus or be detached first.
+  void set_fault_plan(FaultPlan* plan);
+
   /// Releases every blocked receiver / collective.
   void shutdown();
   bool is_shutdown() const;
@@ -113,8 +144,18 @@ class MessageBus {
  private:
   friend class Endpoint;
 
-  bool do_send(Rank to, Message message);
-  std::optional<Message> do_recv(Rank me, Tag tag, bool blocking);
+  using Clock = std::chrono::steady_clock;
+
+  /// A mailbox entry; deliver_at in the future means the message is in
+  /// flight (fault-injected delay) and invisible to receivers until then.
+  struct Envelope {
+    Message message;
+    Clock::time_point deliver_at{};  // epoch == immediately deliverable
+  };
+
+  Status do_send(Rank to, Message message);
+  Result<Message> do_recv(Rank me, Tag tag, bool blocking,
+                          std::optional<Clock::time_point> deadline);
   void do_barrier();
   std::vector<double> do_allreduce(Rank me, std::vector<double> values);
 
@@ -123,7 +164,8 @@ class MessageBus {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::deque<Message>> mailboxes_;
+  std::vector<std::deque<Envelope>> mailboxes_;
+  FaultPlan* fault_plan_ = nullptr;
   bool shutdown_ = false;
 
   // Barrier state (generation counting).

@@ -1,0 +1,43 @@
+// Virtual fetch/preprocess rates per storage tier.
+//
+// The executor's virtual-time model and the fault/perf benches all price a
+// byte by where it came from (node-local cache, a peer's cache over the
+// NIC, the PFS) plus the preprocessing rate. These four numbers used to be
+// duplicated field-by-field across ExecutorConfig and every bench config,
+// which let them drift; TierRates is the single shared struct, and the
+// named presets below are the only sanctioned value sets, so an executor
+// test and a fault bench claiming "default rates" provably mean the same
+// numbers.
+#pragma once
+
+namespace lobster {
+
+struct TierRates {
+  double local_bps = 10e9;    ///< node-local cache (DRAM/NVMe) bytes/s
+  double remote_bps = 2.0e9;  ///< peer cache over the interconnect bytes/s
+  double pfs_bps = 0.8e9;     ///< parallel file system bytes/s
+  double preproc_bps = 0.9e9; ///< decode+augment throughput bytes/s
+
+  /// The historical executor defaults (10 GB/s local, 2 GB/s remote,
+  /// 0.8 GB/s PFS, 0.9 GB/s preprocessing).
+  static constexpr TierRates defaults() noexcept { return {}; }
+
+  /// A congested interconnect: remote fetches barely beat the PFS. Used by
+  /// fault benches to price degraded routing pessimistically.
+  static constexpr TierRates congested_network() noexcept {
+    return {10e9, 1.0e9, 0.8e9, 0.9e9};
+  }
+
+  /// PFS-starved cluster: falling back to the PFS is 4x worse than a peer
+  /// fetch, so degraded routing visibly stretches virtual time.
+  static constexpr TierRates pfs_starved() noexcept {
+    return {10e9, 2.0e9, 0.5e9, 0.9e9};
+  }
+
+  friend constexpr bool operator==(const TierRates& a, const TierRates& b) noexcept {
+    return a.local_bps == b.local_bps && a.remote_bps == b.remote_bps &&
+           a.pfs_bps == b.pfs_bps && a.preproc_bps == b.preproc_bps;
+  }
+};
+
+}  // namespace lobster

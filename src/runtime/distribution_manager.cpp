@@ -1,8 +1,12 @@
 #include "runtime/distribution_manager.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/rng.hpp"
+#include "telemetry/registry.hpp"
 
 namespace lobster::runtime {
 
@@ -20,6 +24,12 @@ struct ResponseHeader {
   SampleId sample;
   std::uint8_t found;
 };
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -52,10 +62,13 @@ bool verify_sample_payload(SampleId sample, const std::vector<std::byte>& payloa
 
 DistributionManager::DistributionManager(comm::Endpoint& endpoint,
                                          std::function<bool(SampleId)> has_sample,
-                                         std::function<Bytes(SampleId)> sample_size)
+                                         std::function<Bytes(SampleId)> sample_size,
+                                         FetchPolicy policy)
     : endpoint_(endpoint),
       has_sample_(std::move(has_sample)),
-      sample_size_(std::move(sample_size)) {}
+      sample_size_(std::move(sample_size)),
+      policy_(policy),
+      breakers_(endpoint.world_size()) {}
 
 DistributionManager::~DistributionManager() { stop(); }
 
@@ -67,10 +80,12 @@ void DistributionManager::start() {
 void DistributionManager::stop() {
   if (!running_.exchange(false)) return;
   // Poison request to our own server loop so it observes running_ == false.
+  // A self-send never crosses the (possibly faulty) fabric, so this works
+  // even when this node has been killed by a FaultPlan.
   FetchRequest poison{0, kInvalidSample};
   std::vector<std::byte> bytes(sizeof(poison));
   std::memcpy(bytes.data(), &poison, sizeof(poison));
-  endpoint_.send(endpoint_.rank(), kFetchRequestTag, std::move(bytes));
+  (void)endpoint_.send(endpoint_.rank(), kFetchRequestTag, std::move(bytes));
   if (server_.joinable()) server_.join();
 }
 
@@ -94,28 +109,117 @@ void DistributionManager::serve_loop() {
       ++failed_;
     }
     std::memcpy(response.data(), &header, sizeof(header));
-    endpoint_.send(message->source, kResponseTagBase + request.request_id, std::move(response));
+    (void)endpoint_.send(message->source, kResponseTagBase + request.request_id,
+                         std::move(response));
   }
 }
 
-std::optional<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample,
-                                                                        comm::Rank holder) {
+bool DistributionManager::breaker_open(comm::Rank holder) const {
+  if (holder >= breakers_.size()) return false;
+  const std::int64_t until = breakers_[holder].open_until_ns.load(std::memory_order_acquire);
+  return until != 0 && steady_now_ns() < until;
+}
+
+void DistributionManager::record_success(comm::Rank holder) {
+  Breaker& breaker = breakers_[holder];
+  breaker.consecutive_timeouts.store(0, std::memory_order_relaxed);
+  // Half-open probe succeeded (or the peer was healthy all along): close.
+  if (breaker.open_until_ns.exchange(0, std::memory_order_acq_rel) != 0) {
+    ++breaker_closes_;
+    LOBSTER_METRIC_COUNT("dm.breaker_closes", 1);
+  }
+}
+
+void DistributionManager::record_timeout(comm::Rank holder) {
+  ++timeouts_;
+  LOBSTER_METRIC_COUNT("comm.timeouts", 1);
+  Breaker& breaker = breakers_[holder];
+  const std::uint32_t run = breaker.consecutive_timeouts.fetch_add(1) + 1;
+  if (policy_.breaker_threshold > 0 && run >= policy_.breaker_threshold) {
+    const std::int64_t until =
+        steady_now_ns() +
+        static_cast<std::int64_t>(policy_.breaker_cooldown * 1e9);
+    if (breaker.open_until_ns.exchange(until, std::memory_order_acq_rel) == 0) {
+      ++breaker_opens_;
+      LOBSTER_METRIC_COUNT("dm.breaker_opens", 1);
+    }
+  }
+}
+
+Result<std::vector<std::byte>> DistributionManager::fetch_once(SampleId sample,
+                                                               comm::Rank holder) {
   const std::uint32_t request_id = next_request_id_.fetch_add(1);
   FetchRequest request{request_id, sample};
   std::vector<std::byte> bytes(sizeof(request));
   std::memcpy(bytes.data(), &request, sizeof(request));
-  if (!endpoint_.send(holder, kFetchRequestTag, std::move(bytes))) return std::nullopt;
+  if (Status sent = endpoint_.send(holder, kFetchRequestTag, std::move(bytes)); !sent.ok()) {
+    return sent;
+  }
 
-  auto response = endpoint_.recv(kResponseTagBase + request_id);
-  if (!response.has_value()) return std::nullopt;
+  auto response = endpoint_.recv_for(kResponseTagBase + request_id, policy_.timeout);
+  if (!response.ok()) return response.status();
   ResponseHeader header{};
   std::memcpy(&header, response->payload.data(),
               std::min(sizeof(header), response->payload.size()));
-  if (header.found == 0) return std::nullopt;
-  std::vector<std::byte> payload(response->payload.begin() + sizeof(header),
+  if (header.found == 0) return Status::not_found("peer no longer holds sample");
+  std::vector<std::byte> payload(response->payload.begin() +
+                                     static_cast<std::ptrdiff_t>(sizeof(header)),
                                  response->payload.end());
-  if (!verify_sample_payload(sample, payload)) return std::nullopt;
+  if (!verify_sample_payload(sample, payload)) {
+    return Status::corrupt("payload failed verification");
+  }
   return payload;
+}
+
+Result<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample,
+                                                                 comm::Rank holder) {
+  if (breaker_open(holder)) {
+    LOBSTER_METRIC_COUNT("comm.peer_down", 1);
+    return Status::peer_down("circuit breaker open for peer " + std::to_string(holder));
+  }
+
+  Seconds backoff = policy_.backoff_base;
+  const std::uint32_t attempts = 1 + policy_.max_retries;
+  Status last = Status::timeout("no attempt made");
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      LOBSTER_METRIC_COUNT("comm.retries", 1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, policy_.backoff_cap);
+    }
+    auto result = fetch_once(sample, holder);
+    if (result.ok()) {
+      record_success(holder);
+      return result;
+    }
+    last = result.status();
+    switch (last.code()) {
+      case StatusCode::kTimeout:
+        record_timeout(holder);
+        // The timeout that trips the breaker still reports kTimeout — only
+        // later fetches that find it already open get the instant kPeerDown.
+        // But once open there is no point burning the rest of the budget.
+        if (breaker_open(holder)) return last;
+        break;  // retry
+      case StatusCode::kNotFound:
+        // Authoritative answer from a live peer: reset its failure run.
+        record_success(holder);
+        return last;
+      case StatusCode::kShutdown:
+        return last;
+      default:
+        return last;  // corrupt / peer_down / unexpected — not retryable here
+    }
+  }
+  return last;
+}
+
+std::optional<std::vector<std::byte>> DistributionManager::fetch_remote_opt(SampleId sample,
+                                                                            comm::Rank holder) {
+  auto result = fetch_remote(sample, holder);
+  if (!result.ok()) return std::nullopt;
+  return result.take();
 }
 
 }  // namespace lobster::runtime

@@ -7,9 +7,18 @@
 //
 // One DistributionManager runs per node over the comm bus: a server thread
 // answers peers' fetch requests from the node's local store; fetch_remote()
-// performs a blocking request/response round-trip. Sample payloads are
-// synthesized deterministically from the sample id, so receivers can verify
-// integrity end to end.
+// performs a request/response round-trip. Sample payloads are synthesized
+// deterministically from the sample id, so receivers can verify integrity
+// end to end.
+//
+// Fault tolerance (DESIGN.md §9): fetch_remote() is deadline-based — each
+// attempt waits FetchPolicy::timeout for the reply, then retries with
+// bounded exponential backoff, and finally reports StatusCode::kTimeout. A
+// per-peer circuit breaker turns repeated timeouts into an immediate
+// StatusCode::kPeerDown (no waiting at all) until a cooldown elapses; the
+// first successful round-trip after that re-closes the breaker. Every retry
+// uses a fresh request id, so a late reply to an abandoned attempt lands on
+// an orphaned tag and can never satisfy a newer request.
 #pragma once
 
 #include <atomic>
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "comm/bus.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace lobster::runtime {
@@ -31,13 +41,34 @@ std::vector<std::byte> make_sample_payload(SampleId sample, Bytes size);
 /// Validates a payload produced by make_sample_payload.
 bool verify_sample_payload(SampleId sample, const std::vector<std::byte>& payload);
 
+/// Timeout / retry / circuit-breaker knobs for fetch_remote. The defaults
+/// suit the in-process bus (microsecond round-trips): generous enough that
+/// a healthy-but-busy peer never trips the breaker, tight enough that a
+/// dead peer costs well under a second before degraded routing kicks in.
+struct FetchPolicy {
+  /// Per-attempt reply deadline.
+  Seconds timeout = 0.25;
+  /// Extra attempts after the first (total attempts = 1 + max_retries).
+  std::uint32_t max_retries = 2;
+  /// First retry waits backoff_base; each further retry doubles it...
+  Seconds backoff_base = 0.01;
+  /// ...capped here.
+  Seconds backoff_cap = 0.2;
+  /// Consecutive timeouts to one peer that open its circuit breaker.
+  std::uint32_t breaker_threshold = 3;
+  /// While open, fetches to that peer fail instantly with kPeerDown; after
+  /// the cooldown one probe attempt is allowed through (half-open).
+  Seconds breaker_cooldown = 1.0;
+};
+
 class DistributionManager {
  public:
   /// `has_sample` answers whether this node currently caches a sample;
   /// `sample_size` gives its payload size. Both must be thread-safe.
   DistributionManager(comm::Endpoint& endpoint,
                       std::function<bool(SampleId)> has_sample,
-                      std::function<Bytes(SampleId)> sample_size);
+                      std::function<Bytes(SampleId)> sample_size,
+                      FetchPolicy policy = {});
   ~DistributionManager();
 
   DistributionManager(const DistributionManager&) = delete;
@@ -49,24 +80,59 @@ class DistributionManager {
   /// Stops serving (idempotent). The comm bus must still be alive.
   void stop();
 
-  /// Blocking fetch of `sample` from `holder`'s cache. Returns the verified
-  /// payload, or nullopt if the peer no longer holds the sample (raced with
-  /// an eviction) or the bus shut down.
-  std::optional<std::vector<std::byte>> fetch_remote(SampleId sample, comm::Rank holder);
+  /// Fetch of `sample` from `holder`'s cache with timeout/retry per the
+  /// policy. Failure causes:
+  ///   kNotFound  — the peer answered: it no longer holds the sample
+  ///                (raced with an eviction); authoritative, do not retry;
+  ///   kTimeout   — no reply within the retry budget (peer slow or dead);
+  ///   kPeerDown  — this peer's circuit breaker is open: failed instantly;
+  ///   kShutdown  — the bus is shutting down;
+  ///   kCorrupt   — a reply arrived but failed payload verification.
+  Result<std::vector<std::byte>> fetch_remote(SampleId sample, comm::Rank holder);
+
+  [[deprecated("use fetch_remote() -> Result and branch on status().code()")]]
+  std::optional<std::vector<std::byte>> fetch_remote_opt(SampleId sample, comm::Rank holder);
+
+  const FetchPolicy& policy() const noexcept { return policy_; }
+
+  /// True while `holder`'s circuit breaker is open (fetches fail fast).
+  bool breaker_open(comm::Rank holder) const;
 
   std::uint64_t served_requests() const noexcept { return served_.load(); }
   std::uint64_t failed_requests() const noexcept { return failed_.load(); }
+  // Fault-path accounting (process-lifetime, also mirrored to telemetry).
+  std::uint64_t retries() const noexcept { return retries_.load(); }
+  std::uint64_t timeouts() const noexcept { return timeouts_.load(); }
+  std::uint64_t breaker_opens() const noexcept { return breaker_opens_.load(); }
+  std::uint64_t breaker_closes() const noexcept { return breaker_closes_.load(); }
 
  private:
+  /// Per-peer failure state. Lock-free: fetches from worker threads race
+  /// only on these atomics. `open_until_ns` is a steady_clock deadline in
+  /// nanoseconds (0 = closed).
+  struct Breaker {
+    std::atomic<std::uint32_t> consecutive_timeouts{0};
+    std::atomic<std::int64_t> open_until_ns{0};
+  };
+
   void serve_loop();
+  Result<std::vector<std::byte>> fetch_once(SampleId sample, comm::Rank holder);
+  void record_success(comm::Rank holder);
+  void record_timeout(comm::Rank holder);
 
   comm::Endpoint& endpoint_;
   std::function<bool(SampleId)> has_sample_;
   std::function<Bytes(SampleId)> sample_size_;
+  FetchPolicy policy_;
+  std::vector<Breaker> breakers_;  // sized world_size, never resized
   std::jthread server_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> breaker_closes_{0};
   std::atomic<std::uint32_t> next_request_id_{1};
 };
 

@@ -48,31 +48,56 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
 
   cache::KvStore::PayloadPtr payload;
   if (request.tier == FetchTier::kRemote && kv_store_ != nullptr) {
-    payload = kv_store_->get(request.sample);  // zero-copy: shared reference
+    auto kv = kv_store_->get(request.sample);  // zero-copy: shared reference
+    if (kv.ok()) payload = kv.take();
   }
   const bool kv_hit = payload != nullptr;
   bool remote_served = kv_hit;
+  // Degraded routing (DESIGN.md §9): a holder that times out or trips its
+  // circuit breaker is marked down in the directory — taking it out of
+  // *every* subsequent routing decision, not just this request — and the
+  // fetch detours to the next surviving holder, else falls to the PFS.
+  bool failure_detour = false;
   if (!remote_served && request.tier == FetchTier::kRemote && manager_ != nullptr) {
     if (directory_ != nullptr) {
       // O(1) routing: ask the directory-recorded holder, nobody else.
-      const NodeId holder = directory_->peer_holder(request.sample, config_.node);
-      if (holder != cache::CacheDirectory::kInvalidNode) {
-        if (auto fetched = manager_->fetch_remote(request.sample, holder)) {
-          payload = std::make_shared<const std::vector<std::byte>>(std::move(*fetched));
+      NodeId holder = directory_->peer_holder(request.sample, config_.node);
+      while (holder != cache::CacheDirectory::kInvalidNode) {
+        auto fetched = manager_->fetch_remote(request.sample, holder);
+        if (fetched.ok()) {
+          payload = std::make_shared<const std::vector<std::byte>>(fetched.take());
           remote_served = true;
+          break;
         }
+        const StatusCode cause = fetched.status().code();
+        if (cause == StatusCode::kTimeout || cause == StatusCode::kPeerDown) {
+          directory_->mark_node_down(holder);
+          failure_detour = true;
+          LOBSTER_METRIC_COUNT("executor.peer_down_reroutes", 1);
+          holder = directory_->peer_holder(request.sample, config_.node);
+          continue;  // next surviving holder (or kInvalidNode -> PFS)
+        }
+        break;  // authoritative miss / corrupt / shutdown: PFS fallback
       }
     } else {
       // No directory wired in: legacy O(world) poll in rank order.
       const auto world = plan_.cluster_nodes;
       for (comm::Rank peer = 0; peer < world && !remote_served; ++peer) {
         if (peer == config_.node) continue;
-        if (auto fetched = manager_->fetch_remote(request.sample, peer)) {
-          payload = std::make_shared<const std::vector<std::byte>>(std::move(*fetched));
+        auto fetched = manager_->fetch_remote(request.sample, peer);
+        if (fetched.ok()) {
+          payload = std::make_shared<const std::vector<std::byte>>(fetched.take());
           remote_served = true;
+        } else if (fetched.status().code() == StatusCode::kTimeout ||
+                   fetched.status().code() == StatusCode::kPeerDown) {
+          failure_detour = true;
         }
       }
     }
+  }
+  if (failure_detour) {
+    ++accounting.degraded_fetches;
+    LOBSTER_METRIC_COUNT("executor.degraded_fetches", 1);
   }
   if (remote_served) {
     accounting.remote_bytes += size;
@@ -93,7 +118,11 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     payload_failures_.fetch_add(1, std::memory_order_relaxed);
   }
   store_.insert(request.sample);
-  if (kv_store_ != nullptr && !remote_served) kv_store_->put(request.sample, std::move(payload));
+  if (kv_store_ != nullptr && !remote_served) {
+    // Best-effort publication: a capacity-bounded store may refuse (the
+    // sample is still delivered locally either way).
+    (void)kv_store_->put(request.sample, std::move(payload));
+  }
 }
 
 ExecutionReport PlanExecutor::run() {
@@ -130,6 +159,7 @@ ExecutionReport PlanExecutor::run() {
 
   for (const auto& iteration : plan_.iterations) {
     LOBSTER_TRACE_SPAN_ARG(kExecutor, "iteration", iteration.iter);
+    if (config_.iteration_hook) config_.iteration_hook(iteration.iter);
     const auto& node_plan = iteration.nodes.at(config_.node);
     const auto epoch = static_cast<std::uint32_t>(iteration.iter / I);
     const auto h = static_cast<std::uint32_t>(iteration.iter % I);
@@ -313,19 +343,20 @@ ExecutionReport PlanExecutor::run() {
       const double threads = g < node_plan.load_threads.size()
                                  ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
                                  : 1.0;
-      const Seconds load = (static_cast<double>(acct.local_bytes) / config_.local_bps +
-                            static_cast<double>(acct.remote_bytes) / config_.remote_bps +
-                            static_cast<double>(acct.pfs_bytes) / config_.pfs_bps) /
+      const Seconds load = (static_cast<double>(acct.local_bytes) / config_.rates.local_bps +
+                            static_cast<double>(acct.remote_bytes) / config_.rates.remote_bps +
+                            static_cast<double>(acct.pfs_bytes) / config_.rates.pfs_bps) /
                            threads;
       load_max = std::max(load_max, load);
       const Bytes gpu_bytes = acct.local_bytes + acct.remote_bytes + acct.pfs_bytes;
       node_bytes += gpu_bytes;
       const Seconds preproc =
-          static_cast<double>(gpu_bytes) / (config_.preproc_bps * preproc_threads);
+          static_cast<double>(gpu_bytes) / (config_.rates.preproc_bps * preproc_threads);
       preproc_max = std::max(preproc_max, preproc);
       stats.local_hits += acct.local_hits;
       stats.remote_fetches += acct.remote_fetches;
       stats.pfs_fetches += acct.pfs_fetches;
+      stats.degraded_fetches += acct.degraded_fetches;
       accounting[g] = GpuAccounting{};  // reset for the next iteration
     }
     stats.virtual_load = load_max;
@@ -333,6 +364,7 @@ ExecutionReport PlanExecutor::run() {
     stats.virtual_duration = std::max(config_.t_train, load_max + preproc_max);
 
     report.spilled_requests += stats.spilled_requests;
+    report.degraded_fetches += stats.degraded_fetches;
     report.virtual_total += stats.virtual_duration;
 
     // ---- plan-driven cache maintenance

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "cache/kv_store.hpp"
 #include "common/striped_set.hpp"
 #include "common/thread_pool.hpp"
+#include "common/tier_rates.hpp"
 #include "common/types.hpp"
 #include "data/dataset.hpp"
 #include "data/sampler.hpp"
@@ -43,10 +45,7 @@ struct ExecutorConfig {
   NodeId node = 0;
   std::size_t queue_capacity = 4096;
   /// Virtual fetch rates (bytes/s) per tier and preprocessing rate.
-  double local_bps = 10e9;
-  double remote_bps = 2.0e9;
-  double pfs_bps = 0.8e9;
-  double preproc_bps = 0.9e9;
+  TierRates rates = TierRates::defaults();
   Seconds t_train = 13e-3;
   /// Verify each fetched payload (integrity check; small CPU cost).
   bool verify_payloads = true;
@@ -57,6 +56,11 @@ struct ExecutorConfig {
   /// switches instead of bandwidth. Tests pin it explicitly to force real
   /// multi-threaded drains regardless of the host.
   std::uint32_t max_pool_threads = 0;
+  /// Called at the top of every iteration (before enqueue) with the global
+  /// iteration id. Fault harnesses hang FaultPlan::on_iteration here so
+  /// "kill node 2 at iteration 5" fires at a deterministic point in the
+  /// execution, not at an arbitrary wall-clock moment.
+  std::function<void(IterId)> iteration_hook;
 };
 
 struct IterationExecution {
@@ -69,6 +73,9 @@ struct IterationExecution {
   std::uint32_t local_hits = 0;
   std::uint32_t remote_fetches = 0;
   std::uint32_t pfs_fetches = 0;
+  /// Requests that hit a dead/unreachable holder and were re-routed (to a
+  /// surviving holder or the PFS) instead of failing.
+  std::uint32_t degraded_fetches = 0;
   Seconds virtual_load = 0.0;     ///< modeled max per-GPU loading time
   Seconds virtual_preproc = 0.0;  ///< modeled max per-GPU preprocessing time
   Seconds virtual_duration = 0.0; ///< max(t_train, load + preproc)
@@ -81,6 +88,7 @@ struct ExecutionReport {
   std::uint64_t duplicate_deliveries = 0;
   std::uint64_t lost_deliveries = 0;    ///< enqueued but never drained
   std::uint64_t spilled_requests = 0;   ///< delivered via the spill path (full queue)
+  std::uint64_t degraded_fetches = 0;   ///< re-routed around a dead peer
   Seconds virtual_total = 0.0;
 
   bool clean() const noexcept {
@@ -108,9 +116,11 @@ class PlanExecutor {
   /// Residency directory for remote-fetch routing (§4.4: deterministic
   /// prefetching makes residency a global property). When set, a remote miss
   /// asks the directory-recorded holder directly — O(1) instead of polling
-  /// every peer in rank order. The directory must not be mutated while run()
-  /// is in flight (the executor only reads it).
-  void set_directory(const cache::CacheDirectory* directory) noexcept { directory_ = directory; }
+  /// every peer in rank order. The residency *map* must not be mutated while
+  /// run() is in flight; the executor itself only flips the directory's
+  /// atomic down-mask (mark_node_down) when a holder stops answering, which
+  /// is safe under concurrent queries.
+  void set_directory(cache::CacheDirectory* directory) noexcept { directory_ = directory; }
 
   /// Executes every iteration of the plan for this node.
   ExecutionReport run();
@@ -130,6 +140,7 @@ class PlanExecutor {
     std::uint32_t local_hits = 0;
     std::uint32_t remote_fetches = 0;
     std::uint32_t pfs_fetches = 0;
+    std::uint32_t degraded_fetches = 0;
 
     void merge(const GpuAccounting& other) noexcept {
       local_bytes += other.local_bytes;
@@ -138,6 +149,7 @@ class PlanExecutor {
       local_hits += other.local_hits;
       remote_fetches += other.remote_fetches;
       pfs_fetches += other.pfs_fetches;
+      degraded_fetches += other.degraded_fetches;
     }
   };
 
@@ -149,7 +161,7 @@ class PlanExecutor {
   const Plan& plan_;
   DistributionManager* manager_;
   cache::KvStore* kv_store_ = nullptr;
-  const cache::CacheDirectory* directory_ = nullptr;
+  cache::CacheDirectory* directory_ = nullptr;
 
   /// Resident-sample set, striped so loading threads probing or inserting
   /// different samples never contend (the old single store mutex serialized

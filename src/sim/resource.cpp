@@ -24,7 +24,16 @@ Resource::Resource(Engine& engine, std::string name, double capacity_bps, double
 
 double Resource::rate_for(std::size_t n) const noexcept {
   if (n == 0) return 0.0;
-  return std::min(capacity_bps_ / static_cast<double>(n), per_stream_bps_);
+  return std::min(capacity_bps_ * scale_ / static_cast<double>(n), per_stream_bps_);
+}
+
+void Resource::set_capacity_scale(double scale) {
+  if (scale < 0.0 || scale > 1.0) {
+    throw std::invalid_argument("Resource: capacity scale must be in [0, 1]");
+  }
+  settle();  // in-flight bytes advance at the old rate up to now()
+  scale_ = scale;
+  reschedule();
 }
 
 JobId Resource::submit(Bytes bytes, JobCompletion on_done) {
@@ -89,6 +98,7 @@ void Resource::reschedule() {
   }
   if (jobs_.empty()) return;
   const double rate = rate_for(jobs_.size());
+  if (rate <= 0.0) return;  // stalled (capacity scaled to 0): no completion event
   double min_remaining = std::numeric_limits<double>::infinity();
   for (const auto& [id, job] : jobs_) min_remaining = std::min(min_remaining, job.remaining_bytes);
   const Seconds eta = std::max(0.0, min_remaining) / rate;

@@ -48,6 +48,15 @@ class Resource {
   double capacity_bps() const noexcept { return capacity_bps_; }
   double per_stream_bps() const noexcept { return per_stream_bps_; }
 
+  /// Degrades (or restores) the channel mid-simulation: effective capacity
+  /// becomes capacity_bps * scale. The fault model's virtual-time analogue
+  /// of killing or throttling a NIC — 0.5 is a half-speed link, 0.0 stalls
+  /// every in-flight job until the scale is raised again. In-flight progress
+  /// is settled at the old rate first, so the change takes effect exactly at
+  /// the current virtual time. Scale must be in [0, 1].
+  void set_capacity_scale(double scale);
+  double capacity_scale() const noexcept { return scale_; }
+
   /// Instantaneous per-job rate with `n` active jobs.
   double rate_for(std::size_t n) const noexcept;
 
@@ -74,6 +83,7 @@ class Resource {
   std::string name_;
   double capacity_bps_;
   double per_stream_bps_;
+  double scale_ = 1.0;
 
   std::unordered_map<JobId, Job> jobs_;
   JobId next_id_ = 1;

@@ -93,6 +93,8 @@ MonitorSample Monitor::sample_once() {
   sample.cache_misses = registry.counter("cache.misses").value();
   sample.trace_emitted = tracer.emitted_events();
   sample.trace_dropped = tracer.dropped_events();
+  sample.peer_down_events = registry.counter("comm.peer_down").value();
+  sample.retries = registry.counter("comm.retries").value();
 
   {
     const std::scoped_lock lock(mutex_);
@@ -102,11 +104,15 @@ MonitorSample Monitor::sample_once() {
       sample.d_bytes_consumed = saturating_sub(sample.bytes_consumed, prev_.bytes_consumed);
       sample.d_prefetch_bytes = saturating_sub(sample.prefetch_bytes, prev_.prefetch_bytes);
       sample.d_queue_pops = saturating_sub(sample.queue_pops, prev_.queue_pops);
+      sample.d_peer_down_events = saturating_sub(sample.peer_down_events, prev_.peer_down_events);
+      sample.d_retries = saturating_sub(sample.retries, prev_.retries);
     } else {
       sample.d_iterations = sample.iterations;
       sample.d_bytes_consumed = sample.bytes_consumed;
       sample.d_prefetch_bytes = sample.prefetch_bytes;
       sample.d_queue_pops = sample.queue_pops;
+      sample.d_peer_down_events = sample.peer_down_events;
+      sample.d_retries = sample.retries;
     }
 
     sample.straggler_gap = sample.gap_frac > config_.straggler_gap_threshold;
@@ -117,6 +123,10 @@ MonitorSample Monitor::sample_once() {
     sample.queue_starved = sample.d_queue_pops > 0 &&
                            saturating_sub(sample.queue_pushes, sample.queue_pops) == 0;
     sample.trace_ring_overflow = sample.trace_dropped > 0;
+    // Delta-based: the flags clear on the first healthy interval after the
+    // fault, instead of latching for the rest of the run.
+    sample.peer_down = sample.d_peer_down_events > 0;
+    sample.retry_storm = sample.d_retries > config_.retry_storm_threshold;
 
     prev_ = sample;
     has_prev_ = true;
@@ -136,6 +146,8 @@ void Monitor::emit(const MonitorSample& sample) {
     if (sample.prefetch_outrun) flags += " prefetch_outrun";
     if (sample.queue_starved) flags += " queue_starved";
     if (sample.trace_ring_overflow) flags += " trace_ring_overflow";
+    if (sample.peer_down) flags += " peer_down";
+    if (sample.retry_storm) flags += " retry_storm";
     log::info("heartbeat #%llu t=%.1fs iters=%llu(+%llu) gap=%.3f hit=%.3f "
               "consumed=%.1fMB prefetch=%.1fMB flags=[%s]",
               static_cast<unsigned long long>(sample.seq), sample.uptime_s,
@@ -170,12 +182,16 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "queue_pops", sample.queue_pops); line += ',';
   append_kv(line, "trace_emitted", sample.trace_emitted); line += ',';
   append_kv(line, "trace_dropped", sample.trace_dropped); line += ',';
+  append_kv(line, "peer_down_events", sample.peer_down_events); line += ',';
+  append_kv(line, "retries", sample.retries); line += ',';
   analysis::append_json_quoted(line, "flags");
   line += ":{";
   append_kv(line, "straggler_gap", sample.straggler_gap); line += ',';
   append_kv(line, "prefetch_outrun", sample.prefetch_outrun); line += ',';
   append_kv(line, "queue_starved", sample.queue_starved); line += ',';
-  append_kv(line, "trace_ring_overflow", sample.trace_ring_overflow);
+  append_kv(line, "trace_ring_overflow", sample.trace_ring_overflow); line += ',';
+  append_kv(line, "peer_down", sample.peer_down); line += ',';
+  append_kv(line, "retry_storm", sample.retry_storm);
   line += "}}\n";
   out_ << line;
 }

@@ -14,7 +14,13 @@
 //  * queue_starved     — consumers popped during the interval but the
 //                        push/pop balance is zero (pipeline waits on I/O);
 //  * trace_ring_overflow — the tracer dropped events, so any exported
-//                        trace is truncated.
+//                        trace is truncated;
+//  * peer_down         — the runtime declared at least one peer dead since
+//                        the last sample (comm.peer_down grew): remote
+//                        fetches are detouring around a node (DESIGN.md §9);
+//  * retry_storm       — remote-fetch retries during the interval exceeded
+//                        retry_storm_threshold: the fabric is degraded
+//                        enough that the retry budget is burning hot.
 //
 // sample_once() is public and synchronous so tests (and one-shot CLI use)
 // can exercise the exact code path the thread runs, without timing games.
@@ -39,6 +45,8 @@ struct MonitorConfig {
   bool log_text = true;
   /// gap_frac above this raises straggler_gap (paper's 10% threshold).
   double straggler_gap_threshold = 0.10;
+  /// Remote-fetch retries per interval above this raise retry_storm.
+  std::uint64_t retry_storm_threshold = 32;
 };
 
 /// One registry sample with interval deltas and derived anomaly flags.
@@ -58,20 +66,27 @@ struct MonitorSample {
   std::uint64_t cache_misses = 0;
   std::uint64_t trace_emitted = 0;
   std::uint64_t trace_dropped = 0;
+  std::uint64_t peer_down_events = 0;  ///< comm.peer_down counter
+  std::uint64_t retries = 0;           ///< comm.retries counter
 
   // Deltas since the previous sample (== absolutes on the first one).
   std::uint64_t d_iterations = 0;
   std::uint64_t d_bytes_consumed = 0;
   std::uint64_t d_prefetch_bytes = 0;
   std::uint64_t d_queue_pops = 0;
+  std::uint64_t d_peer_down_events = 0;
+  std::uint64_t d_retries = 0;
 
   bool straggler_gap = false;
   bool prefetch_outrun = false;
   bool queue_starved = false;
   bool trace_ring_overflow = false;
+  bool peer_down = false;
+  bool retry_storm = false;
 
   bool any_flag() const noexcept {
-    return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow;
+    return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow ||
+           peer_down || retry_storm;
   }
   double cache_hit_ratio() const noexcept {
     const auto total = cache_hits + cache_misses;

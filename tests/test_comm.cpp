@@ -101,7 +101,9 @@ TEST(MessageBus, ShutdownUnblocksReceivers) {
   bus.shutdown();
   receiver.join();
   EXPECT_TRUE(unblocked.load());
-  EXPECT_FALSE(bus.endpoint(0).send(1, 1, {}));
+  const Status rejected = bus.endpoint(0).send(1, 1, {});
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kShutdown);
 }
 
 TEST(MessageBus, BarrierSynchronizesAllRanks) {

@@ -5,6 +5,7 @@
 // These tests are the payload of the TSan CI job (LOBSTER_SANITIZE=thread).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "cache/directory.hpp"
 #include "cache/kv_store.hpp"
 #include "comm/bus.hpp"
+#include "comm/fault.hpp"
 #include "common/striped_set.hpp"
 #include "data/dataset.hpp"
 #include "data/sampler.hpp"
@@ -61,17 +63,17 @@ TEST(KvStoreConcurrency, PutGetEraseHammer) {
       }
       for (SampleId i = 0; i < kPerThread; ++i) {
         const auto payload = store.get(base + i);
-        ASSERT_NE(payload, nullptr);
-        EXPECT_EQ(payload->size(), 64 + (i % 7));
-        EXPECT_EQ((*payload)[0], static_cast<std::byte>((base + i) & 0xFF));
+        ASSERT_TRUE(payload.ok());
+        EXPECT_EQ((*payload)->size(), 64 + (i % 7));
+        EXPECT_EQ((**payload)[0], static_cast<std::byte>((base + i) & 0xFF));
       }
       for (SampleId i = 1; i < kPerThread; i += 2) EXPECT_TRUE(store.erase(base + i));
-      // Cross-range reads race with the owner's writes: nullptr or a fully
+      // Cross-range reads race with the owner's writes: a miss or a fully
       // formed payload are both acceptable, torn state is not.
       const SampleId neighbour = ((t + 1) % kThreads) * kPerThread;
       for (SampleId i = 0; i < 128; ++i) {
         if (const auto payload = store.get(neighbour + i)) {
-          EXPECT_EQ((*payload)[0], static_cast<std::byte>((neighbour + i) & 0xFF));
+          EXPECT_EQ((**payload)[0], static_cast<std::byte>((neighbour + i) & 0xFF));
         }
       }
     });
@@ -88,14 +90,15 @@ TEST(KvStoreConcurrency, GetIsZeroCopy) {
   store.put(7, payload_for(7, 4096));
   const auto a = store.get(7);
   const auto b = store.get(7);
-  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
   // Both handles alias the one stored payload — a hit is a refcount bump,
   // never a byte copy.
-  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ((*a).get(), (*b).get());
   // An erase drops the store's reference but readers keep theirs alive.
   EXPECT_TRUE(store.erase(7));
-  EXPECT_EQ(store.get(7), nullptr);
-  EXPECT_EQ(a->size(), 4096U);
+  EXPECT_FALSE(store.get(7).ok());
+  EXPECT_EQ((*a)->size(), 4096U);
 }
 
 /// Single-node plan with `threads_per_gpu` planned loading threads per queue
@@ -267,6 +270,90 @@ TEST(ExecutorConcurrency, WithoutDirectoryLegacyPollContactsLowerRanksFirst) {
   EXPECT_TRUE(report.clean());
   EXPECT_GT(peer1.served_requests(), 0U);
   EXPECT_EQ(peer2.served_requests(), 0U);
+}
+
+TEST(DirectoryConcurrency, DownMaskFlipsRaceWithRoutingQueries) {
+  // The down-mask is the only directory state the executor mutates from
+  // loading threads (mark_node_down on a timed-out peer), so flips must be
+  // safe against concurrent peer_holder/held_elsewhere readers. Any answer a
+  // reader gets is fine — it must just never be a torn one, and it must never
+  // name the permanently-down node once the writer has marked it.
+  constexpr std::uint16_t kNodes = 8;
+  constexpr SampleId kSamples = 512;
+  cache::CacheDirectory directory(kNodes);
+  for (SampleId s = 0; s < kSamples; ++s) {
+    directory.add(s, static_cast<std::uint16_t>(s % kNodes));
+    directory.add(s, static_cast<std::uint16_t>((s + 1) % kNodes));
+  }
+  directory.mark_node_down(3);  // down before any reader starts
+
+  std::vector<std::jthread> workers;
+  workers.emplace_back([&directory] {
+    for (int round = 0; round < 2000; ++round) {
+      directory.mark_node_down(static_cast<std::uint16_t>(round % 3 + 4));
+      directory.revive_node(static_cast<std::uint16_t>(round % 3 + 4));
+    }
+  });
+  for (unsigned t = 0; t < 3; ++t) {
+    workers.emplace_back([&directory, t] {
+      for (SampleId s = 0; s < kSamples * 4; ++s) {
+        const auto holder =
+            directory.peer_holder(s % kSamples, static_cast<std::uint16_t>(t));
+        EXPECT_NE(holder, 3);  // never routed to the permanently-down node
+        (void)directory.held_elsewhere(s % kSamples, static_cast<std::uint16_t>(t));
+        (void)directory.sole_holder(s % kSamples, static_cast<std::uint16_t>(t));
+      }
+    });
+  }
+  workers.clear();  // join
+  EXPECT_TRUE(directory.node_down(3));
+  EXPECT_EQ(directory.down_count(), 1U);  // every flapped node was revived
+}
+
+TEST(FetchConcurrency, SharedManagerSurvivesConcurrentFetchesFromADeadPeer) {
+  // Several loading threads discover the same dead peer at once: every fetch
+  // must fail with kTimeout or kPeerDown (never hang, never a torn breaker),
+  // and the shared breaker must end up open.
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  fault.kill(1);
+
+  FetchPolicy policy;
+  policy.timeout = 0.02;
+  policy.max_retries = 1;
+  policy.backoff_base = 0.002;
+  policy.backoff_cap = 0.005;
+  policy.breaker_threshold = 2;
+  policy.breaker_cooldown = 60.0;
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+
+  constexpr unsigned kThreads = 6;
+  std::atomic<unsigned> timeouts{0};
+  std::atomic<unsigned> peer_down{0};
+  std::atomic<unsigned> other{0};
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (SampleId s = 0; s < 4; ++s) {
+          const auto result = client.fetch_remote(t * 100 + s, 1);
+          ASSERT_FALSE(result.ok());
+          switch (result.status().code()) {
+            case StatusCode::kTimeout: timeouts.fetch_add(1); break;
+            case StatusCode::kPeerDown: peer_down.fetch_add(1); break;
+            default: other.fetch_add(1); break;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(other.load(), 0U);
+  EXPECT_EQ(timeouts.load() + peer_down.load(), kThreads * 4);
+  EXPECT_GT(timeouts.load(), 0U);   // somebody burned a real timeout
+  EXPECT_GT(peer_down.load(), 0U);  // the opened breaker failed others fast
+  EXPECT_TRUE(client.breaker_open(1));
+  EXPECT_GE(client.timeouts(), policy.breaker_threshold);
 }
 
 }  // namespace

@@ -1,0 +1,496 @@
+// Failure model & degraded routing (DESIGN.md §9): fault injection at the
+// bus, deadline recv, retry/backoff with a per-peer circuit breaker,
+// directory down-masking, KV-store capacity overflow, the sim NIC's
+// capacity scaling — and the headline acceptance run: a 4-node cluster
+// surviving one node death mid-epoch with every sample still delivered and
+// bounded slowdown.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/directory.hpp"
+#include "cache/kv_store.hpp"
+#include "comm/bus.hpp"
+#include "comm/fault.hpp"
+#include "common/status.hpp"
+#include "common/tier_rates.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "runtime/distribution_manager.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/plan.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/registry.hpp"
+
+namespace lobster::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- Status / Result surface.
+
+TEST(Status, DefaultIsOkAndFactoriesCarryCause) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  const Status t = Status::timeout("deadline");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.code(), StatusCode::kTimeout);
+  EXPECT_EQ(t.to_string(), "timeout: deadline");
+  EXPECT_EQ(Status::peer_down().code(), StatusCode::kPeerDown);
+  EXPECT_EQ(Status::overflow().code(), StatusCode::kOverflow);
+  // Equality compares the cause only — detail is advisory.
+  EXPECT_EQ(Status::timeout("a"), Status::timeout("b"));
+}
+
+TEST(Status, ResultHoldsValueOrCause) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.value_or(0), 7);
+  Result<int> bad(Status::timeout());
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW(*bad, std::logic_error);
+  EXPECT_THROW(Result<int>(Status{}), std::logic_error);  // ok needs a value
+}
+
+// ---- Bus-level primitives: deadline recv and fault verdicts.
+
+TEST(FaultBus, RecvForTimesOutWithoutTraffic) {
+  comm::MessageBus bus(2);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = bus.endpoint(0).recv_for(1, 0.05);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(elapsed, 45ms);  // honoured the deadline...
+  EXPECT_LT(elapsed, 2s);    // ...without hanging
+}
+
+TEST(FaultBus, DelayedMessageArrivesAfterItsLatency) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan plan(2);
+  plan.spec(0).delay_s = 0.05;
+  bus.set_fault_plan(&plan);
+  EXPECT_TRUE(bus.endpoint(0).send_value<int>(1, 1, 42).ok());
+  // The message is in flight: invisible now, delivered once its latency
+  // elapses — recv_for must wake for it before the caller's deadline.
+  EXPECT_EQ(bus.endpoint(1).try_recv(1).status().code(), StatusCode::kNotFound);
+  const auto result = bus.endpoint(1).recv_for(1, 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(comm::Endpoint::value_of<int>(*result), 42);
+  EXPECT_EQ(plan.delayed_messages(), 1U);
+}
+
+TEST(FaultBus, DroppedMessagesNeverArriveButSendReportsOk) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan plan(2);
+  plan.spec(0).drop_fraction = 1.0;
+  bus.set_fault_plan(&plan);
+  // Fire-and-forget: the sender gets no delivery receipt, like a real NIC.
+  EXPECT_TRUE(bus.endpoint(0).send_value<int>(1, 1, 1).ok());
+  EXPECT_EQ(bus.endpoint(1).recv_for(1, 0.02).status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(plan.dropped_messages(), 1U);
+}
+
+TEST(FaultBus, KilledNodeTrafficDropsBothWaysButSelfSendsPass) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan plan(2);
+  bus.set_fault_plan(&plan);
+  plan.kill(1);
+  EXPECT_TRUE(plan.is_down(1));
+  // To and from the dead rank: dropped.
+  EXPECT_TRUE(bus.endpoint(0).send_value<int>(1, 1, 1).ok());
+  EXPECT_TRUE(bus.endpoint(1).send_value<int>(0, 1, 2).ok());
+  EXPECT_EQ(bus.endpoint(1).recv_for(1, 0.02).status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(bus.endpoint(0).recv_for(1, 0.02).status().code(), StatusCode::kTimeout);
+  // Self-send on the dead rank: local delivery never crosses the fabric —
+  // this is what keeps DistributionManager::stop()'s poison pill working.
+  EXPECT_TRUE(bus.endpoint(1).send_value<int>(1, 9, 3).ok());
+  ASSERT_TRUE(bus.endpoint(1).recv_for(9, 1.0).ok());
+  EXPECT_EQ(plan.nodes_killed(), 1U);
+}
+
+TEST(FaultBus, KillAtIterationFiresOnTheIterationClock) {
+  comm::FaultPlan plan(3);
+  plan.spec(2).kill_at_iter = 5;
+  plan.on_iteration(4);
+  EXPECT_FALSE(plan.is_down(2));
+  plan.on_iteration(5);
+  EXPECT_TRUE(plan.is_down(2));
+  plan.revive(2);
+  EXPECT_FALSE(plan.is_down(2));
+}
+
+// ---- DistributionManager: timeout, retry budget, circuit breaker.
+
+FetchPolicy tight_policy() {
+  FetchPolicy policy;
+  policy.timeout = 0.02;
+  policy.max_retries = 2;
+  policy.backoff_base = 0.002;
+  policy.backoff_cap = 0.01;
+  policy.breaker_threshold = 100;  // effectively off unless a test lowers it
+  policy.breaker_cooldown = 0.05;
+  return policy;
+}
+
+TEST(FaultFetch, RetryGivesUpAfterTheCapAgainstADeadPeer) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  fault.kill(1);
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, tight_policy());
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = client.fetch_remote(7, 1);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(client.retries(), 2U);   // exactly max_retries extra attempts
+  EXPECT_EQ(client.timeouts(), 3U);  // every attempt timed out
+  // Bounded: 3 x 20ms timeouts + 2 backoffs, nowhere near unbounded blocking.
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST(FaultFetch, BreakerOpensAfterThresholdAndFailsFast) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  fault.kill(1);
+  auto policy = tight_policy();
+  policy.max_retries = 0;
+  policy.breaker_threshold = 2;
+  policy.breaker_cooldown = 60.0;  // stays open for the rest of the test
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+
+  EXPECT_EQ(client.fetch_remote(1, 1).status().code(), StatusCode::kTimeout);
+  EXPECT_FALSE(client.breaker_open(1));
+  EXPECT_EQ(client.fetch_remote(2, 1).status().code(), StatusCode::kTimeout);
+  EXPECT_TRUE(client.breaker_open(1));
+  EXPECT_EQ(client.breaker_opens(), 1U);
+
+  // Open breaker: instant peer_down, no 20ms wait, no extra timeout.
+  const auto start = std::chrono::steady_clock::now();
+  const auto fast = client.fetch_remote(3, 1);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(fast.status().code(), StatusCode::kPeerDown);
+  EXPECT_LT(elapsed, 15ms);
+  EXPECT_EQ(client.timeouts(), 2U);
+}
+
+TEST(FaultFetch, BreakerReclosesAfterPeerRecovers) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  auto policy = tight_policy();
+  policy.max_retries = 0;
+  policy.breaker_threshold = 1;
+  policy.breaker_cooldown = 0.03;
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+  DistributionManager server(bus.endpoint(1), [](SampleId) { return true; },
+                             [](SampleId) { return Bytes{64}; });
+  server.start();
+
+  fault.kill(1);
+  EXPECT_EQ(client.fetch_remote(1, 1).status().code(), StatusCode::kTimeout);
+  EXPECT_TRUE(client.breaker_open(1));
+
+  fault.revive(1);
+  std::this_thread::sleep_for(50ms);  // past the cooldown: half-open
+  const auto probe = client.fetch_remote(2, 1);
+  ASSERT_TRUE(probe.ok()) << probe.status().to_string();
+  EXPECT_TRUE(verify_sample_payload(2, *probe));
+  EXPECT_FALSE(client.breaker_open(1));  // success re-closed it
+  EXPECT_EQ(client.breaker_closes(), 1U);
+  server.stop();
+}
+
+TEST(FaultFetch, DeadNodesOwnServerStopsCleanly) {
+  // stop() must join the server thread even after the node was killed —
+  // the poison pill is a self-send and bypasses the fault plan.
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  DistributionManager server(bus.endpoint(1), [](SampleId) { return true; },
+                             [](SampleId) { return Bytes{32}; });
+  server.start();
+  fault.kill(1);
+  server.stop();  // must not hang
+}
+
+// ---- CacheDirectory: down-mask routing and drop_node.
+
+TEST(FaultDirectory, DownNodesAreSkippedByRoutingQueries) {
+  cache::CacheDirectory directory(4);
+  directory.add(5, 1);
+  directory.add(5, 2);
+  EXPECT_EQ(directory.peer_holder(5, 0), 1);
+  directory.mark_node_down(1);
+  EXPECT_TRUE(directory.node_down(1));
+  EXPECT_EQ(directory.down_count(), 1U);
+  EXPECT_EQ(directory.peer_holder(5, 0), 2);  // detours past the dead holder
+  EXPECT_TRUE(directory.held_elsewhere(5, 0));
+  EXPECT_TRUE(directory.sole_holder(5, 2));  // node 2 is the only live holder
+  directory.mark_node_down(2);
+  EXPECT_EQ(directory.peer_holder(5, 0), cache::CacheDirectory::kInvalidNode);
+  EXPECT_FALSE(directory.held_elsewhere(5, 0));
+  // Residency is unchanged underneath: revive restores routing.
+  EXPECT_EQ(directory.holder_count(5), 2U);
+  directory.revive_node(1);
+  EXPECT_EQ(directory.peer_holder(5, 0), 1);
+}
+
+TEST(FaultDirectory, DropNodeReturnsOrphanedSamples) {
+  cache::CacheDirectory directory(4);
+  directory.add(1, 2);               // only on node 2 -> orphaned
+  directory.add(2, 2);               // only on node 2 -> orphaned
+  directory.add(3, 2);
+  directory.add(3, 0);               // replicated -> survives
+  directory.add(4, 1);               // elsewhere -> untouched
+  auto orphaned = directory.drop_node(2);
+  std::sort(orphaned.begin(), orphaned.end());
+  EXPECT_EQ(orphaned, (std::vector<SampleId>{1, 2}));
+  EXPECT_TRUE(directory.node_down(2));
+  EXPECT_EQ(directory.holder_count(1), 0U);
+  EXPECT_EQ(directory.holder_count(3), 1U);
+  EXPECT_TRUE(directory.holds(3, 0));
+  EXPECT_EQ(directory.tracked_samples(), 2U);
+}
+
+// ---- KvStore: typed get/put and the capacity ceiling.
+
+TEST(FaultKvStore, PutOverflowsAtTheCapacityCeiling) {
+  cache::KvStore store(4);
+  store.set_capacity(256);
+  EXPECT_TRUE(store.put(1, std::vector<std::byte>(200)).ok());
+  const Status rejected = store.put(2, std::vector<std::byte>(100));
+  EXPECT_EQ(rejected.code(), StatusCode::kOverflow);
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_EQ(store.stats().rejected_puts, 1U);
+  // Shrinking overwrites always fit; freed space admits new entries again.
+  EXPECT_TRUE(store.put(1, std::vector<std::byte>(50)).ok());
+  EXPECT_TRUE(store.put(2, std::vector<std::byte>(100)).ok());
+  EXPECT_EQ(store.bytes(), 150U);
+}
+
+TEST(FaultKvStore, GetReportsNotFoundAsTheCause) {
+  cache::KvStore store(2);
+  EXPECT_EQ(store.get(9).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.put(9, std::vector<std::byte>(16)).ok());
+  const auto hit = store.get(9);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ((*hit)->size(), 16U);
+}
+
+// ---- TierRates presets.
+
+TEST(TierRatesPresets, NamedPresetsAreTheSanctionedValueSets) {
+  constexpr TierRates defaults = TierRates::defaults();
+  EXPECT_DOUBLE_EQ(defaults.local_bps, 10e9);
+  EXPECT_DOUBLE_EQ(defaults.remote_bps, 2.0e9);
+  EXPECT_DOUBLE_EQ(defaults.pfs_bps, 0.8e9);
+  EXPECT_DOUBLE_EQ(defaults.preproc_bps, 0.9e9);
+  // ExecutorConfig's default rates are exactly the shared preset — the
+  // numbers can no longer drift between executor and bench configs.
+  EXPECT_EQ(ExecutorConfig{}.rates, TierRates::defaults());
+  EXPECT_LT(TierRates::congested_network().remote_bps, defaults.remote_bps);
+  EXPECT_LT(TierRates::pfs_starved().pfs_bps, defaults.pfs_bps);
+}
+
+// ---- sim::Resource capacity scaling (virtual-time fault analogue).
+
+TEST(FaultSimResource, CapacityScaleStretchesAndStallsTransfers) {
+  sim::Engine engine;
+  sim::Resource nic(engine, "nic", 100.0);  // 100 B/s
+  Seconds done_at = -1.0;
+  nic.submit(100, [&](sim::JobId, Seconds t) { done_at = t; });
+  // Rescale as a scheduled event so it happens at virtual t=0.2, not at
+  // whatever time the engine last fired something.
+  engine.schedule_at(0.2, [&] { nic.set_capacity_scale(0.5); });
+  engine.run();
+  // 0.2s at full rate moved 20 bytes; the remaining 80 at 50 B/s take 1.6s.
+  EXPECT_NEAR(done_at, 0.2 + 80.0 / 50.0, 1e-9);
+
+  // Scale 0 stalls: no completion event is ever scheduled.
+  Seconds second_done = -1.0;
+  nic.submit(50, [&](sim::JobId, Seconds t) { second_done = t; });
+  nic.set_capacity_scale(0.0);
+  engine.run();
+  EXPECT_LT(second_done, 0.0);  // still stalled
+  EXPECT_EQ(nic.active_jobs(), 1U);
+  nic.set_capacity_scale(1.0);  // link restored
+  engine.run();
+  EXPECT_GT(second_done, 0.0);
+  EXPECT_EQ(nic.active_jobs(), 0U);
+}
+
+// ---- Monitor: peer_down / retry_storm anomaly flags.
+
+TEST(FaultMonitor, PeerDownAndRetryStormFlagsFollowCounterDeltas) {
+  auto& registry = telemetry::MetricRegistry::instance();
+  registry.reset();
+  telemetry::MonitorConfig config;
+  config.log_text = false;
+  config.retry_storm_threshold = 10;
+  telemetry::Monitor monitor(config);
+
+  EXPECT_FALSE(monitor.sample_once().any_flag());
+
+  registry.counter("comm.peer_down").add(1);
+  registry.counter("comm.retries").add(50);
+  const auto flagged = monitor.sample_once();
+  EXPECT_TRUE(flagged.peer_down);
+  EXPECT_TRUE(flagged.retry_storm);
+  EXPECT_TRUE(flagged.any_flag());
+
+  // Delta-based: the next healthy interval clears both flags.
+  const auto recovered = monitor.sample_once();
+  EXPECT_FALSE(recovered.peer_down);
+  EXPECT_FALSE(recovered.retry_storm);
+}
+
+// ---- Acceptance: a 4-node run survives one node death mid-epoch.
+
+Plan fault_plan_for(std::uint16_t nodes, std::uint16_t gpus, std::uint32_t iters,
+                    std::uint32_t batch) {
+  Plan plan;
+  plan.cluster_nodes = nodes;
+  plan.gpus_per_node = gpus;
+  plan.epochs = 1;
+  plan.iterations_per_epoch = iters;
+  plan.batch_size = batch;
+  plan.seed = 7;
+  for (IterId i = 0; i < iters; ++i) {
+    IterationPlan iteration;
+    iteration.iter = i;
+    iteration.nodes.resize(nodes);
+    for (auto& node : iteration.nodes) {
+      node.preproc_threads = 1;
+      node.load_threads.assign(gpus, 2);
+    }
+    plan.iterations.push_back(iteration);
+  }
+  return plan;
+}
+
+data::EpochSampler fault_sampler(std::uint32_t num_samples, std::uint16_t nodes,
+                                 std::uint16_t gpus, std::uint32_t batch) {
+  data::SamplerConfig config;
+  config.num_samples = num_samples;
+  config.nodes = nodes;
+  config.gpus_per_node = gpus;
+  config.batch_size = batch;
+  config.seed = 7;
+  return data::EpochSampler(config);
+}
+
+struct FaultRunResult {
+  ExecutionReport report;
+  std::uint64_t reroutes = 0;
+};
+
+/// Runs node 0's plan on a `nodes`-wide cluster where every peer serves the
+/// samples the directory credits to it; optionally kills `victim` at
+/// iteration `kill_at`. Samples are owned by rank (s % nodes); the victim's
+/// samples are additionally replicated on the highest rank so degraded
+/// routing has a surviving holder to detour to.
+FaultRunResult run_fault_cluster(std::uint16_t nodes, std::uint32_t iters,
+                                 comm::Rank victim, IterId kill_at, bool inject) {
+  constexpr std::uint16_t kGpus = 2;
+  constexpr std::uint32_t kBatch = 8;
+  const Plan plan = fault_plan_for(nodes, kGpus, iters, kBatch);
+  const data::SampleCatalog catalog(
+      data::DatasetSpec::uniform(nodes * iters * kGpus * kBatch, 512), plan.seed);
+  const auto sampler = fault_sampler(catalog.size(), nodes, kGpus, kBatch);
+  const std::uint16_t backup = static_cast<std::uint16_t>(nodes - 1);
+
+  cache::CacheDirectory directory(nodes);
+  for (SampleId s = 0; s < catalog.size(); ++s) {
+    const auto owner = static_cast<std::uint16_t>(s % nodes);
+    directory.add(s, owner);
+    if (owner == victim) directory.add(s, backup);
+  }
+
+  comm::MessageBus bus(nodes);
+  comm::FaultPlan fault(nodes);
+  bus.set_fault_plan(&fault);
+  if (inject) fault.spec(victim).kill_at_iter = kill_at;
+
+  const auto sizes = [&catalog](SampleId s) { return catalog.sample_bytes(s); };
+  std::vector<std::unique_ptr<DistributionManager>> peers;
+  FetchPolicy policy = tight_policy();
+  policy.max_retries = 1;
+  policy.breaker_threshold = 1;   // first timeout declares the peer dead
+  policy.breaker_cooldown = 60.0; // no half-open probes during the run
+  for (std::uint16_t r = 1; r < nodes; ++r) {
+    auto has = [r, nodes, victim, backup](SampleId s) {
+      const auto owner = static_cast<std::uint16_t>(s % nodes);
+      if (owner == r) return true;
+      return r == backup && owner == victim;  // replica of the victim's set
+    };
+    peers.push_back(std::make_unique<DistributionManager>(
+        bus.endpoint(r), has, sizes, policy));
+    peers.back()->start();
+  }
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+
+  ExecutorConfig config;
+  config.node = 0;
+  config.max_pool_threads = 4;
+  config.iteration_hook = [&fault](IterId iter) { fault.on_iteration(iter); };
+  PlanExecutor executor(config, catalog, sampler, plan);
+  executor.set_manager(&client);
+  executor.set_directory(&directory);
+
+  FaultRunResult result;
+  result.report = executor.run();
+  for (auto& peer : peers) peer->stop();
+  result.reroutes = client.timeouts();
+  return result;
+}
+
+TEST(FaultAcceptance, FourNodeRunSurvivesNodeDeathMidEpoch) {
+  constexpr std::uint16_t kNodes = 4;
+  constexpr std::uint32_t kIters = 6;
+  constexpr comm::Rank kVictim = 2;
+
+  const auto baseline = run_fault_cluster(kNodes, kIters, kVictim, 0, /*inject=*/false);
+  ASSERT_TRUE(baseline.report.clean());
+  EXPECT_EQ(baseline.report.degraded_fetches, 0U);
+
+  const auto faulted = run_fault_cluster(kNodes, kIters, kVictim, kIters / 2, /*inject=*/true);
+
+  // Every sample still delivered, verified, exactly once.
+  EXPECT_EQ(faulted.report.payload_failures, 0U);
+  EXPECT_EQ(faulted.report.lost_deliveries, 0U);
+  EXPECT_EQ(faulted.report.duplicate_deliveries, 0U);
+  EXPECT_TRUE(faulted.report.clean());
+  EXPECT_EQ(faulted.report.samples_delivered, baseline.report.samples_delivered);
+
+  // The death was noticed and routed around, not absorbed silently.
+  EXPECT_GT(faulted.report.degraded_fetches, 0U);
+
+  // Bounded slowdown: the detour (replica or PFS) costs at most 2x the
+  // fault-free run in modeled time.
+  EXPECT_GT(faulted.report.virtual_total, 0.0);
+  EXPECT_LE(faulted.report.virtual_total, 2.0 * baseline.report.virtual_total);
+
+  // Degraded iterations still recorded per-iteration stats.
+  std::uint64_t degraded = 0;
+  for (const auto& iteration : faulted.report.iterations) degraded += iteration.degraded_fetches;
+  EXPECT_EQ(degraded, faulted.report.degraded_fetches);
+}
+
+}  // namespace
+}  // namespace lobster::runtime

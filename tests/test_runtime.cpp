@@ -78,6 +78,7 @@ TEST(DistributionManager, ServesHeldSamples) {
 
   const auto missing = client.fetch_remote(7, 1);
   EXPECT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);  // authoritative miss, not a timeout
   EXPECT_EQ(server.failed_requests(), 1U);
   server.stop();
 }
@@ -432,12 +433,15 @@ namespace {
 
 TEST(KvStore, PutGetEraseRoundTrip) {
   cache::KvStore store(4);
-  EXPECT_EQ(store.get(7), nullptr);
-  store.put(7, make_sample_payload(7, 128));
+  const auto miss = store.get(7);
+  EXPECT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.put(7, make_sample_payload(7, 128)).ok());
   ASSERT_TRUE(store.contains(7));
   const auto payload = store.get(7);
-  ASSERT_NE(payload, nullptr);
-  EXPECT_TRUE(verify_sample_payload(7, *payload));
+  ASSERT_TRUE(payload.ok());
+  ASSERT_NE(*payload, nullptr);
+  EXPECT_TRUE(verify_sample_payload(7, **payload));
   EXPECT_EQ(store.size(), 1U);
   EXPECT_EQ(store.bytes(), 128U);
   EXPECT_TRUE(store.erase(7));
