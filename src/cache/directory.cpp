@@ -1,6 +1,7 @@
 #include "cache/directory.hpp"
 
 #include <bit>
+#include <mutex>
 #include <stdexcept>
 
 namespace lobster::cache {
@@ -12,10 +13,12 @@ CacheDirectory::CacheDirectory(std::uint16_t nodes) : nodes_(nodes) {
 }
 
 void CacheDirectory::add(SampleId sample, NodeId node) {
+  const std::unique_lock lock(map_mutex_);
   holders_[sample] |= (1ULL << node);
 }
 
 void CacheDirectory::remove(SampleId sample, NodeId node) {
+  const std::unique_lock lock(map_mutex_);
   const auto it = holders_.find(sample);
   if (it == holders_.end()) return;
   it->second &= ~(1ULL << node);
@@ -23,29 +26,39 @@ void CacheDirectory::remove(SampleId sample, NodeId node) {
 }
 
 std::uint32_t CacheDirectory::holder_count(SampleId sample) const {
+  const std::shared_lock lock(map_mutex_);
   const auto it = holders_.find(sample);
   return it == holders_.end() ? 0U : static_cast<std::uint32_t>(std::popcount(it->second));
 }
 
 bool CacheDirectory::holds(SampleId sample, NodeId node) const {
+  const std::shared_lock lock(map_mutex_);
   const auto it = holders_.find(sample);
   return it != holders_.end() && (it->second & (1ULL << node)) != 0;
 }
 
 bool CacheDirectory::held_elsewhere(SampleId sample, NodeId node) const {
+  const std::shared_lock lock(map_mutex_);
   const auto it = holders_.find(sample);
   return it != holders_.end() && (it->second & ~(1ULL << node) & up_mask()) != 0;
 }
 
 bool CacheDirectory::sole_holder(SampleId sample, NodeId node) const {
+  const std::shared_lock lock(map_mutex_);
   const auto it = holders_.find(sample);
   return it != holders_.end() && (it->second & up_mask()) == (1ULL << node);
 }
 
 NodeId CacheDirectory::peer_holder(SampleId sample, NodeId node) const {
+  return peer_holder(sample, node, 0);
+}
+
+NodeId CacheDirectory::peer_holder(SampleId sample, NodeId node,
+                                   std::uint64_t exclude_mask) const {
+  const std::shared_lock lock(map_mutex_);
   const auto it = holders_.find(sample);
   if (it == holders_.end()) return kInvalidNode;
-  const std::uint64_t others = it->second & ~(1ULL << node) & up_mask();
+  const std::uint64_t others = it->second & ~(1ULL << node) & up_mask() & ~exclude_mask;
   if (others == 0) return kInvalidNode;
   return static_cast<NodeId>(std::countr_zero(others));
 }
@@ -74,6 +87,7 @@ std::vector<SampleId> CacheDirectory::drop_node(NodeId node) {
   std::vector<SampleId> orphaned;
   if (node >= nodes_) return orphaned;
   mark_node_down(node);
+  const std::unique_lock lock(map_mutex_);
   const std::uint64_t bit = 1ULL << node;
   for (auto it = holders_.begin(); it != holders_.end();) {
     if ((it->second & bit) == 0) {
@@ -89,6 +103,22 @@ std::vector<SampleId> CacheDirectory::drop_node(NodeId node) {
     }
   }
   return orphaned;
+}
+
+std::vector<SampleId> CacheDirectory::sole_holder_samples(NodeId node) const {
+  std::vector<SampleId> samples;
+  if (node >= nodes_) return samples;
+  const std::shared_lock lock(map_mutex_);
+  const std::uint64_t bit = 1ULL << node;
+  for (const auto& [sample, mask] : holders_) {
+    if (mask == bit) samples.push_back(sample);
+  }
+  return samples;
+}
+
+std::size_t CacheDirectory::tracked_samples() const {
+  const std::shared_lock lock(map_mutex_);
+  return holders_.size();
 }
 
 }  // namespace lobster::cache

@@ -13,12 +13,19 @@
 // every routing query (peer_holder / held_elsewhere / sole_holder) skips
 // that node while the residency map itself stays untouched. drop_node()
 // additionally removes the node's entries from the map and returns the
-// samples it was the last holder of (now orphaned to the PFS); it mutates
-// the map, so call it only from quiesced/single-threaded contexts.
+// samples it was the last holder of (now orphaned to the PFS).
+//
+// Thread-safety: fully thread-safe. Routing queries take a shared lock on
+// the residency map; mutations (add / remove / drop_node) take it
+// exclusively, so the self-healing layer (RecoveryManager replaying a
+// revived node's inventory, background re-replication re-adding entries)
+// can run concurrently with executor workers routing remote misses. The
+// down-mask stays a lock-free atomic on top.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -51,11 +58,17 @@ class CacheDirectory {
   static constexpr NodeId kInvalidNode = static_cast<NodeId>(~0U);
   NodeId peer_holder(SampleId sample, NodeId node) const;
 
+  /// As peer_holder, but additionally skips every node whose bit is set in
+  /// `exclude_mask`. The corruption-quarantine path uses this to route a
+  /// retry to the *next* holder after a peer served a bad payload, without
+  /// declaring that peer dead for everyone.
+  NodeId peer_holder(SampleId sample, NodeId node, std::uint64_t exclude_mask) const;
+
   /// Marks `node` unreachable for routing. Lock-free; safe to call from
   /// concurrent executor workers while others are querying. Idempotent.
   void mark_node_down(NodeId node);
 
-  /// Clears a down mark (peer recovered).
+  /// Clears a down mark (peer recovered / rejoined).
   void revive_node(NodeId node);
 
   bool node_down(NodeId node) const;
@@ -65,12 +78,16 @@ class CacheDirectory {
 
   /// Removes every directory entry held by `node` and marks it down.
   /// Returns the samples for which `node` was the last holder — those now
-  /// exist only on the PFS and any prefetch plan should re-source them.
-  /// Mutates the residency map: callers must quiesce concurrent queries.
+  /// exist only on the PFS until the re-replication pass re-homes them.
   std::vector<SampleId> drop_node(NodeId node);
 
+  /// Samples whose *only* holder (up or down) is `node`. While that node is
+  /// down every fetch of these detours to the PFS — the re-replication pass
+  /// walks this list to restore cache locality.
+  std::vector<SampleId> sole_holder_samples(NodeId node) const;
+
   std::uint16_t nodes() const noexcept { return nodes_; }
-  std::size_t tracked_samples() const noexcept { return holders_.size(); }
+  std::size_t tracked_samples() const;
 
  private:
   std::uint64_t up_mask() const noexcept {
@@ -78,6 +95,8 @@ class CacheDirectory {
   }
 
   std::uint16_t nodes_;
+  // Guards holders_ (shared for queries, exclusive for mutation).
+  mutable std::shared_mutex map_mutex_;
   // Bitmask of holder nodes per sample (nodes <= 64 in every experiment;
   // checked in the constructor).
   std::unordered_map<SampleId, std::uint64_t> holders_;

@@ -29,18 +29,6 @@ Result<Message> Endpoint::try_recv(Tag tag) {
   return bus_->do_recv(rank_, tag, false, std::nullopt);
 }
 
-std::optional<Message> Endpoint::recv_opt(Tag tag) {
-  auto result = bus_->do_recv(rank_, tag, true, std::nullopt);
-  if (!result.ok()) return std::nullopt;
-  return result.take();
-}
-
-std::optional<Message> Endpoint::try_recv_opt(Tag tag) {
-  auto result = bus_->do_recv(rank_, tag, false, std::nullopt);
-  if (!result.ok()) return std::nullopt;
-  return result.take();
-}
-
 void Endpoint::barrier() { bus_->do_barrier(); }
 
 std::vector<double> Endpoint::allreduce_sum(std::vector<double> values) {
@@ -93,6 +81,20 @@ Status MessageBus::do_send(Rank to, Message message) {
       // Fire-and-forget: a dropped message still reports ok to the sender,
       // exactly as a real NIC gives no delivery receipt.
       if (verdict.drop) return Status{};
+      if (verdict.corrupt && !envelope.message.payload.empty()) {
+        // Flip bytes spread across the payload tail. The tail is where
+        // response *content* lives (headers sit at the front), so a
+        // corrupted reply passes superficial parsing and only end-to-end
+        // payload verification catches it — the scenario the quarantine
+        // path exists for. Small messages get their last byte flipped,
+        // which garbles request ids / sample ids instead.
+        auto& bytes = envelope.message.payload;
+        const std::size_t n = bytes.size();
+        const std::size_t flips = n >= 64 ? 4 : 1;
+        for (std::size_t i = 0; i < flips; ++i) {
+          bytes[n - 1 - i * (n / (flips * 2 + 1))] ^= std::byte{0xA5};
+        }
+      }
       if (verdict.delay_s > 0.0) {
         envelope.deliver_at = Clock::now() +
             std::chrono::duration_cast<Clock::duration>(

@@ -25,8 +25,10 @@
 //   - shutdown() releases all blocked receivers with StatusCode::kShutdown.
 //
 // Fault injection: set_fault_plan() attaches a comm::FaultPlan that is
-// consulted on every send — it may drop the message or delay its delivery
-// (the message sits invisibly in the mailbox until its deliver-at time).
+// consulted on every send — it may drop the message, delay its delivery
+// (the message sits invisibly in the mailbox until its deliver-at time),
+// or corrupt its payload in flight (bytes flipped; the receiver sees a
+// well-formed message whose content fails end-to-end verification).
 // Null plan (the default) costs nothing.
 #pragma once
 
@@ -90,13 +92,6 @@ class Endpoint {
 
   /// Non-blocking receive; StatusCode::kNotFound when nothing matches.
   Result<Message> try_recv(Tag tag = kAnyTag);
-
-  // -- deprecated optional-shaped shims (one release; migrate to the typed
-  //    API above, which distinguishes timeout / shutdown / empty).
-  [[deprecated("use recv() -> Result<Message>")]]
-  std::optional<Message> recv_opt(Tag tag = kAnyTag);
-  [[deprecated("use try_recv() -> Result<Message>")]]
-  std::optional<Message> try_recv_opt(Tag tag = kAnyTag);
 
   template <typename T>
   static T value_of(const Message& message) {

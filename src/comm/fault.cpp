@@ -35,6 +35,8 @@ void FaultPlan::revive(Rank rank) {
   const std::scoped_lock lock(mutex_);
   if (!down_[rank]) return;
   down_[rank] = false;
+  ++revived_;
+  LOBSTER_METRIC_COUNT("fault.nodes_revived", 1);
   log::info("fault: node %u revived", static_cast<unsigned>(rank));
 }
 
@@ -46,13 +48,22 @@ bool FaultPlan::is_down(Rank rank) const {
 
 void FaultPlan::on_iteration(IterId iter) {
   for (Rank rank = 0; rank < world_size_; ++rank) {
-    bool fire = false;
+    bool fire_kill = false;
+    bool fire_revive = false;
     {
       const std::scoped_lock lock(mutex_);
-      fire = specs_[rank].kill_at_iter != kNeverIter && iter >= specs_[rank].kill_at_iter &&
-             !down_[rank];
+      const FaultSpec& spec = specs_[rank];
+      // A spec with both events is a kill window: revive wins once the
+      // clock passes revive_at_iter, so "kill at 4, revive at 8" composes.
+      fire_revive = spec.revive_at_iter != kNeverIter && iter >= spec.revive_at_iter &&
+                    down_[rank];
+      fire_kill = !fire_revive && spec.kill_at_iter != kNeverIter &&
+                  iter >= spec.kill_at_iter &&
+                  (spec.revive_at_iter == kNeverIter || iter < spec.revive_at_iter) &&
+                  !down_[rank];
     }
-    if (fire) kill(rank);
+    if (fire_kill) kill(rank);
+    if (fire_revive) revive(rank);
   }
 }
 
@@ -73,6 +84,11 @@ FaultPlan::Verdict FaultPlan::on_message(Rank from, Rank to) {
     LOBSTER_METRIC_COUNT("fault.dropped_messages", 1);
     return verdict;
   }
+  if (spec.corrupt_fraction > 0.0 && rng_.uniform() < spec.corrupt_fraction) {
+    verdict.corrupt = true;
+    ++corrupted_;
+    LOBSTER_METRIC_COUNT("fault.corrupted_messages", 1);
+  }
   if (spec.delay_s > 0.0 || spec.delay_jitter_s > 0.0) {
     verdict.delay_s = spec.delay_s;
     if (spec.delay_jitter_s > 0.0) verdict.delay_s += rng_.uniform(0.0, spec.delay_jitter_s);
@@ -92,9 +108,19 @@ std::uint64_t FaultPlan::delayed_messages() const {
   return delayed_;
 }
 
+std::uint64_t FaultPlan::corrupted_messages() const {
+  const std::scoped_lock lock(mutex_);
+  return corrupted_;
+}
+
 std::uint64_t FaultPlan::nodes_killed() const {
   const std::scoped_lock lock(mutex_);
   return killed_;
+}
+
+std::uint64_t FaultPlan::nodes_revived() const {
+  const std::scoped_lock lock(mutex_);
+  return revived_;
 }
 
 }  // namespace lobster::comm

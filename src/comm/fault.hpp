@@ -2,11 +2,14 @@
 //
 // A FaultPlan describes what goes wrong and when: kill a node at iteration
 // k (all traffic to/from it is silently dropped, exactly as a crashed
-// process looks to its peers), delay one rank's outgoing messages by a
-// fixed latency plus uniform jitter (a stalling peer), or drop a fraction
-// of a rank's traffic (a flaky link). The plan plugs into comm::MessageBus
-// (set_fault_plan) which consults it on every send; the discrete-event side
-// uses sim::Resource::set_capacity_scale for the same scenarios on the
+// process looks to its peers) and optionally revive it at a later
+// iteration (recovery scenarios), delay one rank's outgoing messages by a
+// fixed latency plus uniform jitter (a stalling peer), drop a fraction
+// of a rank's traffic (a flaky link), or corrupt a fraction of its
+// outgoing payloads (bit rot on the wire; receivers must quarantine, not
+// deliver). The plan plugs into comm::MessageBus (set_fault_plan) which
+// consults it on every send; the discrete-event side uses
+// sim::Resource::set_capacity_scale for the same scenarios on the
 // virtual-time NIC.
 //
 // Self-sends always pass untouched: local delivery (including the
@@ -34,6 +37,11 @@ using Rank = std::uint16_t;
 struct FaultSpec {
   /// Fraction of this rank's *outgoing* messages dropped, [0, 1].
   double drop_fraction = 0.0;
+  /// Fraction of this rank's *outgoing* messages whose payload bytes are
+  /// flipped in flight, [0, 1]. The message still arrives on time — only
+  /// its content lies, which is exactly what end-to-end verification and
+  /// the corruption-quarantine path must catch.
+  double corrupt_fraction = 0.0;
   /// Added delivery latency on this rank's outgoing messages.
   Seconds delay_s = 0.0;
   /// Uniform extra latency in [0, delay_jitter_s) on top of delay_s.
@@ -41,6 +49,10 @@ struct FaultSpec {
   /// Kill this rank when the iteration clock reaches this value
   /// (FaultPlan::on_iteration); kNeverIter = never.
   IterId kill_at_iter = kNeverIter;
+  /// Revive this rank when the iteration clock reaches this value
+  /// (rejoin scenarios: the RecoveryManager's probe must then succeed and
+  /// re-admit the node); kNeverIter = stays dead.
+  IterId revive_at_iter = kNeverIter;
 };
 
 class FaultPlan {
@@ -66,12 +78,14 @@ class FaultPlan {
   bool is_down(Rank rank) const;
 
   /// Advances the iteration clock; applies every spec whose kill_at_iter
-  /// has been reached. Harnesses call this from an executor iteration hook.
+  /// or revive_at_iter has been reached. Harnesses call this from an
+  /// executor iteration hook.
   void on_iteration(IterId iter);
 
   /// Verdict for one message, consumed by MessageBus::do_send.
   struct Verdict {
     bool drop = false;
+    bool corrupt = false;
     Seconds delay_s = 0.0;
   };
   Verdict on_message(Rank from, Rank to);
@@ -79,7 +93,9 @@ class FaultPlan {
   // Injection accounting (what the plan actually did, for reports/tests).
   std::uint64_t dropped_messages() const;
   std::uint64_t delayed_messages() const;
+  std::uint64_t corrupted_messages() const;
   std::uint64_t nodes_killed() const;
+  std::uint64_t nodes_revived() const;
 
  private:
   const std::uint16_t world_size_;
@@ -89,7 +105,9 @@ class FaultPlan {
   Rng rng_;
   std::uint64_t dropped_ = 0;
   std::uint64_t delayed_ = 0;
+  std::uint64_t corrupted_ = 0;
   std::uint64_t killed_ = 0;
+  std::uint64_t revived_ = 0;
 };
 
 }  // namespace lobster::comm

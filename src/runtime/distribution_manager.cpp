@@ -15,6 +15,11 @@ namespace {
 constexpr comm::Tag kFetchRequestTag = 0x0F00;
 constexpr comm::Tag kResponseTagBase = 0x80000000;
 
+/// Sentinel sample id: a FetchRequest carrying it is an inventory request
+/// (same tag and server loop as demand fetches, so one serve thread handles
+/// both and a killed node's poison pill still works unchanged).
+constexpr SampleId kInventorySample = kInvalidSample - 1;
+
 struct FetchRequest {
   std::uint32_t request_id;
   SampleId sample;
@@ -24,6 +29,18 @@ struct ResponseHeader {
   SampleId sample;
   std::uint8_t found;
 };
+
+/// Order-independent checksum over an inventory id list. The inventory
+/// message drives directory mutations on rejoin, so a corrupted list must
+/// be detected end to end like any sample payload.
+std::uint64_t inventory_checksum(const std::vector<SampleId>& samples) {
+  std::uint64_t hash = 0x1AB5'7E12'D00D'F00DULL ^ samples.size();
+  for (const SampleId s : samples) {
+    std::uint64_t state = s;
+    hash ^= splitmix64(state);
+  }
+  return hash;
+}
 
 std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -95,6 +112,10 @@ void DistributionManager::serve_loop() {
     if (!message.has_value()) return;  // bus shutdown
     const auto request = comm::Endpoint::value_of<FetchRequest>(*message);
     if (request.sample == kInvalidSample) continue;  // poison; loop re-checks running_
+    if (request.sample == kInventorySample) {
+      serve_inventory(message->source, request.request_id);
+      continue;
+    }
 
     ResponseHeader header{request.sample, 0};
     std::vector<std::byte> response(sizeof(header));
@@ -114,6 +135,28 @@ void DistributionManager::serve_loop() {
   }
 }
 
+void DistributionManager::serve_inventory(comm::Rank requester, std::uint32_t request_id) {
+  const std::vector<SampleId> samples =
+      inventory_source_ ? inventory_source_() : std::vector<SampleId>{};
+  const ResponseHeader header{kInventorySample, 1};
+  const std::uint64_t count = samples.size();
+  const std::uint64_t checksum = inventory_checksum(samples);
+  std::vector<std::byte> response(sizeof(header) + sizeof(count) +
+                                  samples.size() * sizeof(SampleId) + sizeof(checksum));
+  std::size_t offset = 0;
+  std::memcpy(response.data(), &header, sizeof(header));
+  offset += sizeof(header);
+  std::memcpy(response.data() + offset, &count, sizeof(count));
+  offset += sizeof(count);
+  if (!samples.empty()) {
+    std::memcpy(response.data() + offset, samples.data(), samples.size() * sizeof(SampleId));
+    offset += samples.size() * sizeof(SampleId);
+  }
+  std::memcpy(response.data() + offset, &checksum, sizeof(checksum));
+  ++served_;
+  (void)endpoint_.send(requester, kResponseTagBase + request_id, std::move(response));
+}
+
 bool DistributionManager::breaker_open(comm::Rank holder) const {
   if (holder >= breakers_.size()) return false;
   const std::int64_t until = breakers_[holder].open_until_ns.load(std::memory_order_acquire);
@@ -123,10 +166,22 @@ bool DistributionManager::breaker_open(comm::Rank holder) const {
 void DistributionManager::record_success(comm::Rank holder) {
   Breaker& breaker = breakers_[holder];
   breaker.consecutive_timeouts.store(0, std::memory_order_relaxed);
-  // Half-open probe succeeded (or the peer was healthy all along): close.
+  breaker.consecutive_corrupts.store(0, std::memory_order_relaxed);
+  // Half-open probe succeeded (or the peer was healthy all along): close,
+  // and tell the recovery layer the peer is answering again.
   if (breaker.open_until_ns.exchange(0, std::memory_order_acq_rel) != 0) {
     ++breaker_closes_;
     LOBSTER_METRIC_COUNT("dm.breaker_closes", 1);
+    if (on_breaker_close_) on_breaker_close_(holder);
+  }
+}
+
+void DistributionManager::open_breaker(Breaker& breaker) {
+  const std::int64_t until =
+      steady_now_ns() + static_cast<std::int64_t>(policy_.breaker_cooldown * 1e9);
+  if (breaker.open_until_ns.exchange(until, std::memory_order_acq_rel) == 0) {
+    ++breaker_opens_;
+    LOBSTER_METRIC_COUNT("dm.breaker_opens", 1);
   }
 }
 
@@ -136,13 +191,19 @@ void DistributionManager::record_timeout(comm::Rank holder) {
   Breaker& breaker = breakers_[holder];
   const std::uint32_t run = breaker.consecutive_timeouts.fetch_add(1) + 1;
   if (policy_.breaker_threshold > 0 && run >= policy_.breaker_threshold) {
-    const std::int64_t until =
-        steady_now_ns() +
-        static_cast<std::int64_t>(policy_.breaker_cooldown * 1e9);
-    if (breaker.open_until_ns.exchange(until, std::memory_order_acq_rel) == 0) {
-      ++breaker_opens_;
-      LOBSTER_METRIC_COUNT("dm.breaker_opens", 1);
-    }
+    open_breaker(breaker);
+  }
+}
+
+void DistributionManager::record_corrupt(comm::Rank holder) {
+  ++corrupt_replies_;
+  LOBSTER_METRIC_COUNT("comm.corrupt_replies", 1);
+  ++corrupt_strikes_;
+  LOBSTER_METRIC_COUNT("dm.corrupt_strikes", 1);
+  Breaker& breaker = breakers_[holder];
+  const std::uint32_t run = breaker.consecutive_corrupts.fetch_add(1) + 1;
+  if (policy_.corrupt_strike_threshold > 0 && run >= policy_.corrupt_strike_threshold) {
+    open_breaker(breaker);
   }
 }
 
@@ -206,20 +267,68 @@ Result<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample
         // Authoritative answer from a live peer: reset its failure run.
         record_success(holder);
         return last;
+      case StatusCode::kCorrupt:
+        // The peer answered with garbage: strike it and report immediately.
+        // Retrying the same peer would re-fetch the same bad copy — the
+        // caller must route to the next holder (or the PFS) instead.
+        record_corrupt(holder);
+        return last;
       case StatusCode::kShutdown:
         return last;
       default:
-        return last;  // corrupt / peer_down / unexpected — not retryable here
+        return last;  // peer_down / unexpected — not retryable here
     }
   }
   return last;
 }
 
-std::optional<std::vector<std::byte>> DistributionManager::fetch_remote_opt(SampleId sample,
-                                                                            comm::Rank holder) {
-  auto result = fetch_remote(sample, holder);
-  if (!result.ok()) return std::nullopt;
-  return result.take();
+Result<std::vector<SampleId>> DistributionManager::fetch_inventory(comm::Rank holder) {
+  // No breaker_open fast-fail: this call IS the half-open probe a down
+  // peer's recovery depends on. It still records the outcome, so success
+  // re-closes the breaker and failure keeps it open.
+  const std::uint32_t request_id = next_request_id_.fetch_add(1);
+  const FetchRequest request{request_id, kInventorySample};
+  std::vector<std::byte> bytes(sizeof(request));
+  std::memcpy(bytes.data(), &request, sizeof(request));
+  if (Status sent = endpoint_.send(holder, kFetchRequestTag, std::move(bytes)); !sent.ok()) {
+    return sent;
+  }
+
+  auto response = endpoint_.recv_for(kResponseTagBase + request_id, policy_.timeout);
+  if (!response.ok()) {
+    if (response.status().code() == StatusCode::kTimeout) record_timeout(holder);
+    return response.status();
+  }
+  const auto& payload = response->payload;
+  ResponseHeader header{};
+  std::uint64_t count = 0;
+  if (payload.size() < sizeof(header) + sizeof(count) + sizeof(std::uint64_t)) {
+    record_corrupt(holder);
+    return Status::corrupt("inventory reply truncated");
+  }
+  std::memcpy(&header, payload.data(), sizeof(header));
+  std::memcpy(&count, payload.data() + sizeof(header), sizeof(count));
+  const std::size_t ids_offset = sizeof(header) + sizeof(count);
+  const std::size_t expected =
+      ids_offset + count * sizeof(SampleId) + sizeof(std::uint64_t);
+  if (header.sample != kInventorySample || header.found != 1 ||
+      payload.size() != expected) {
+    record_corrupt(holder);
+    return Status::corrupt("inventory reply malformed");
+  }
+  std::vector<SampleId> samples(static_cast<std::size_t>(count));
+  if (count > 0) {
+    std::memcpy(samples.data(), payload.data() + ids_offset, count * sizeof(SampleId));
+  }
+  std::uint64_t checksum = 0;
+  std::memcpy(&checksum, payload.data() + ids_offset + count * sizeof(SampleId),
+              sizeof(checksum));
+  if (checksum != inventory_checksum(samples)) {
+    record_corrupt(holder);
+    return Status::corrupt("inventory checksum mismatch");
+  }
+  record_success(holder);
+  return samples;
 }
 
 }  // namespace lobster::runtime

@@ -19,12 +19,25 @@
 // first successful round-trip after that re-closes the breaker. Every retry
 // uses a fresh request id, so a late reply to an abandoned attempt lands on
 // an orphaned tag and can never satisfy a newer request.
+//
+// Corruption quarantine: a reply that fails payload verification reports
+// StatusCode::kCorrupt immediately — never retried against the same peer
+// (the caller routes to the *next* holder instead) — and charges a strike
+// against that peer; corrupt_strike_threshold consecutive strikes open its
+// breaker exactly like timeouts do, so a peer serving garbage is fenced
+// off, not polled forever.
+//
+// Recovery (DESIGN.md §9 "Recovery model"): fetch_inventory() asks a peer
+// for the full list of samples it currently serves. It deliberately
+// bypasses the open-breaker fast-fail — it *is* the half-open probe the
+// RecoveryManager uses to detect a rejoined node — while still feeding the
+// breaker accounting, so a successful inventory round-trip re-closes the
+// breaker and fires the on_breaker_close callback.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <thread>
 #include <vector>
 
@@ -56,6 +69,10 @@ struct FetchPolicy {
   Seconds backoff_cap = 0.2;
   /// Consecutive timeouts to one peer that open its circuit breaker.
   std::uint32_t breaker_threshold = 3;
+  /// Consecutive corrupt replies from one peer that open its breaker (a
+  /// separate strike counter: one flaky payload re-routes, a pattern of
+  /// them fences the peer off).
+  std::uint32_t corrupt_strike_threshold = 2;
   /// While open, fetches to that peer fail instantly with kPeerDown; after
   /// the cooldown one probe attempt is allowed through (half-open).
   Seconds breaker_cooldown = 1.0;
@@ -87,11 +104,32 @@ class DistributionManager {
   ///   kTimeout   — no reply within the retry budget (peer slow or dead);
   ///   kPeerDown  — this peer's circuit breaker is open: failed instantly;
   ///   kShutdown  — the bus is shutting down;
-  ///   kCorrupt   — a reply arrived but failed payload verification.
+  ///   kCorrupt   — a reply arrived but failed payload verification; the
+  ///                peer got a strike and this fetch must be routed to a
+  ///                *different* holder (or the PFS), never retried here.
   Result<std::vector<std::byte>> fetch_remote(SampleId sample, comm::Rank holder);
 
-  [[deprecated("use fetch_remote() -> Result and branch on status().code()")]]
-  std::optional<std::vector<std::byte>> fetch_remote_opt(SampleId sample, comm::Rank holder);
+  /// The samples `holder` currently serves, checksummed end to end. Used by
+  /// the RecoveryManager both as the half-open liveness probe for a down
+  /// peer (this call skips the open-breaker fast-fail) and to replay the
+  /// peer's residency into the CacheDirectory on rejoin. Same failure
+  /// causes as fetch_remote; success re-closes the peer's breaker.
+  Result<std::vector<SampleId>> fetch_inventory(comm::Rank holder);
+
+  /// Serve-side source for fetch_inventory replies (e.g. the node's
+  /// KvStore / resident-set snapshot). Unset => peers get an empty
+  /// inventory, which still proves liveness. Set before start().
+  void set_inventory_source(std::function<std::vector<SampleId>()> source) {
+    inventory_source_ = std::move(source);
+  }
+
+  /// Invoked (from the fetching thread) whenever a peer's breaker
+  /// transitions open -> closed, i.e. a half-open probe succeeded. The
+  /// RecoveryManager hangs its rejoin pipeline here. Keep it cheap; it runs
+  /// on the fetch hot path. Set before start().
+  void set_on_breaker_close(std::function<void(comm::Rank)> callback) {
+    on_breaker_close_ = std::move(callback);
+  }
 
   const FetchPolicy& policy() const noexcept { return policy_; }
 
@@ -105,6 +143,11 @@ class DistributionManager {
   std::uint64_t timeouts() const noexcept { return timeouts_.load(); }
   std::uint64_t breaker_opens() const noexcept { return breaker_opens_.load(); }
   std::uint64_t breaker_closes() const noexcept { return breaker_closes_.load(); }
+  /// Replies that arrived but failed verification (any peer).
+  std::uint64_t corrupt_replies() const noexcept { return corrupt_replies_.load(); }
+  /// Strikes charged against peers for corrupt replies (== corrupt_replies
+  /// today; kept separate so future policies can forgive isolated flips).
+  std::uint64_t corrupt_strikes() const noexcept { return corrupt_strikes_.load(); }
 
  private:
   /// Per-peer failure state. Lock-free: fetches from worker threads race
@@ -112,17 +155,23 @@ class DistributionManager {
   /// nanoseconds (0 = closed).
   struct Breaker {
     std::atomic<std::uint32_t> consecutive_timeouts{0};
+    std::atomic<std::uint32_t> consecutive_corrupts{0};
     std::atomic<std::int64_t> open_until_ns{0};
   };
 
   void serve_loop();
+  void serve_inventory(comm::Rank requester, std::uint32_t request_id);
   Result<std::vector<std::byte>> fetch_once(SampleId sample, comm::Rank holder);
   void record_success(comm::Rank holder);
   void record_timeout(comm::Rank holder);
+  void record_corrupt(comm::Rank holder);
+  void open_breaker(Breaker& breaker);
 
   comm::Endpoint& endpoint_;
   std::function<bool(SampleId)> has_sample_;
   std::function<Bytes(SampleId)> sample_size_;
+  std::function<std::vector<SampleId>()> inventory_source_;
+  std::function<void(comm::Rank)> on_breaker_close_;
   FetchPolicy policy_;
   std::vector<Breaker> breakers_;  // sized world_size, never resized
   std::jthread server_;
@@ -133,6 +182,8 @@ class DistributionManager {
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> breaker_opens_{0};
   std::atomic<std::uint64_t> breaker_closes_{0};
+  std::atomic<std::uint64_t> corrupt_replies_{0};
+  std::atomic<std::uint64_t> corrupt_strikes_{0};
   std::atomic<std::uint32_t> next_request_id_{1};
 };
 

@@ -11,6 +11,7 @@
 
 #include "common/logging.hpp"
 #include "common/strfmt.hpp"
+#include "runtime/watchdog.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -49,19 +50,33 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
   cache::KvStore::PayloadPtr payload;
   if (request.tier == FetchTier::kRemote && kv_store_ != nullptr) {
     auto kv = kv_store_->get(request.sample);  // zero-copy: shared reference
-    if (kv.ok()) payload = kv.take();
+    if (kv.ok()) {
+      payload = kv.take();
+      if (config_.verify_payloads && !verify_sample_payload(request.sample, *payload)) {
+        // Corruption quarantine (DESIGN.md §9): evict the bad entry so no
+        // other worker is served it, then fall through to a fresh fetch.
+        (void)kv_store_->erase(request.sample);
+        payload.reset();
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+      }
+    }
   }
   const bool kv_hit = payload != nullptr;
   bool remote_served = kv_hit;
   // Degraded routing (DESIGN.md §9): a holder that times out or trips its
   // circuit breaker is marked down in the directory — taking it out of
   // *every* subsequent routing decision, not just this request — and the
-  // fetch detours to the next surviving holder, else falls to the PFS.
+  // fetch detours to the next surviving holder, else falls to the PFS. A
+  // holder that answers with a *corrupt* payload is only excluded from this
+  // request's routing (the manager's strike counter handles repeat
+  // offenders) and the retry goes to the next holder.
   bool failure_detour = false;
   if (!remote_served && request.tier == FetchTier::kRemote && manager_ != nullptr) {
     if (directory_ != nullptr) {
       // O(1) routing: ask the directory-recorded holder, nobody else.
-      NodeId holder = directory_->peer_holder(request.sample, config_.node);
+      std::uint64_t exclude_mask = 0;
+      NodeId holder = directory_->peer_holder(request.sample, config_.node, exclude_mask);
       while (holder != cache::CacheDirectory::kInvalidNode) {
         auto fetched = manager_->fetch_remote(request.sample, holder);
         if (fetched.ok()) {
@@ -74,10 +89,19 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
           directory_->mark_node_down(holder);
           failure_detour = true;
           LOBSTER_METRIC_COUNT("executor.peer_down_reroutes", 1);
-          holder = directory_->peer_holder(request.sample, config_.node);
+          holder = directory_->peer_holder(request.sample, config_.node, exclude_mask);
           continue;  // next surviving holder (or kInvalidNode -> PFS)
         }
-        break;  // authoritative miss / corrupt / shutdown: PFS fallback
+        if (cause == StatusCode::kCorrupt) {
+          quarantined_.fetch_add(1, std::memory_order_relaxed);
+          LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+          LOBSTER_METRIC_COUNT("executor.corrupt_reroutes", 1);
+          failure_detour = true;
+          exclude_mask |= 1ULL << holder;
+          holder = directory_->peer_holder(request.sample, config_.node, exclude_mask);
+          continue;  // next holder with a (hopefully) clean copy
+        }
+        break;  // authoritative miss / shutdown: PFS fallback
       }
     } else {
       // No directory wired in: legacy O(world) poll in rank order.
@@ -91,9 +115,24 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
         } else if (fetched.status().code() == StatusCode::kTimeout ||
                    fetched.status().code() == StatusCode::kPeerDown) {
           failure_detour = true;
+        } else if (fetched.status().code() == StatusCode::kCorrupt) {
+          quarantined_.fetch_add(1, std::memory_order_relaxed);
+          LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+          failure_detour = true;  // loop naturally tries the next peer
         }
       }
     }
+  }
+  // Last-line verification: every remote tier above already verified, so a
+  // failure here means a bad payload slipped past tier-level quarantine.
+  // Never deliver, insert, or publish it — drop it and re-materialize from
+  // the PFS below.
+  if (remote_served && config_.verify_payloads &&
+      !verify_sample_payload(request.sample, *payload)) {
+    payload.reset();
+    remote_served = false;
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
   }
   if (failure_detour) {
     ++accounting.degraded_fetches;
@@ -105,7 +144,8 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     LOBSTER_TRACE_INSTANT(kExecutor, "fetch_remote", size);
     LOBSTER_METRIC_COUNT("executor.remote_bytes", size);
   } else {
-    // PFS path: materialize the sample content locally.
+    // PFS path: materialize the sample content locally (by construction
+    // this payload verifies — it is the same generator the check uses).
     payload = std::make_shared<const std::vector<std::byte>>(
         make_sample_payload(request.sample, size));
     accounting.pfs_bytes += size;
@@ -114,13 +154,11 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     LOBSTER_METRIC_COUNT("executor.pfs_bytes", size);
   }
 
-  if (config_.verify_payloads && !verify_sample_payload(request.sample, *payload)) {
-    payload_failures_.fetch_add(1, std::memory_order_relaxed);
-  }
   store_.insert(request.sample);
   if (kv_store_ != nullptr && !remote_served) {
     // Best-effort publication: a capacity-bounded store may refuse (the
-    // sample is still delivered locally either way).
+    // sample is still delivered locally either way). Only verified payloads
+    // reach this point, so the KV tier never redistributes garbage.
     (void)kv_store_->put(request.sample, std::move(payload));
   }
 }
@@ -160,6 +198,7 @@ ExecutionReport PlanExecutor::run() {
   for (const auto& iteration : plan_.iterations) {
     LOBSTER_TRACE_SPAN_ARG(kExecutor, "iteration", iteration.iter);
     if (config_.iteration_hook) config_.iteration_hook(iteration.iter);
+    if (watchdog_ != nullptr) watchdog_->begin_iteration(iteration.iter);
     const auto& node_plan = iteration.nodes.at(config_.node);
     const auto epoch = static_cast<std::uint32_t>(iteration.iter / I);
     const auto h = static_cast<std::uint32_t>(iteration.iter % I);
@@ -390,11 +429,13 @@ ExecutionReport PlanExecutor::run() {
       }));
     }
 
+    if (watchdog_ != nullptr) watchdog_->end_iteration();
     report.iterations.push_back(stats);
   }
   for (auto& f : prefetch_futures) f.get();
 
   report.payload_failures = payload_failures_.load(std::memory_order_relaxed);
+  report.quarantined_payloads = quarantined_.load(std::memory_order_relaxed);
   LOBSTER_METRIC_COUNT("executor.samples_delivered", report.samples_delivered);
   return report;
 }

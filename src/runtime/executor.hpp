@@ -41,6 +41,8 @@
 
 namespace lobster::runtime {
 
+class IterationWatchdog;
+
 struct ExecutorConfig {
   NodeId node = 0;
   std::size_t queue_capacity = 4096;
@@ -84,11 +86,17 @@ struct IterationExecution {
 struct ExecutionReport {
   std::vector<IterationExecution> iterations;
   std::uint64_t samples_delivered = 0;
+  /// Bad payloads *delivered* — with quarantine in place this must be 0;
+  /// intercepted ones land in quarantined_payloads instead.
   std::uint64_t payload_failures = 0;
   std::uint64_t duplicate_deliveries = 0;
   std::uint64_t lost_deliveries = 0;    ///< enqueued but never drained
   std::uint64_t spilled_requests = 0;   ///< delivered via the spill path (full queue)
   std::uint64_t degraded_fetches = 0;   ///< re-routed around a dead peer
+  /// Payloads that failed verification and were intercepted (KV entry
+  /// evicted / corrupt reply re-routed / re-materialized from the PFS).
+  /// Recoverable by design, so not part of clean().
+  std::uint64_t quarantined_payloads = 0;
   Seconds virtual_total = 0.0;
 
   bool clean() const noexcept {
@@ -121,6 +129,12 @@ class PlanExecutor {
   /// atomic down-mask (mark_node_down) when a holder stops answering, which
   /// is safe under concurrent queries.
   void set_directory(cache::CacheDirectory* directory) noexcept { directory_ = directory; }
+
+  /// Iteration watchdog (DESIGN.md §9): when set, run() brackets every
+  /// iteration with begin_iteration/end_iteration so the watchdog's
+  /// deadline thread can flag iterations that exceed k× the trailing
+  /// median wall-clock duration.
+  void set_watchdog(IterationWatchdog* watchdog) noexcept { watchdog_ = watchdog; }
 
   /// Executes every iteration of the plan for this node.
   ExecutionReport run();
@@ -162,6 +176,7 @@ class PlanExecutor {
   DistributionManager* manager_;
   cache::KvStore* kv_store_ = nullptr;
   cache::CacheDirectory* directory_ = nullptr;
+  IterationWatchdog* watchdog_ = nullptr;
 
   /// Resident-sample set, striped so loading threads probing or inserting
   /// different samples never contend (the old single store mutex serialized
@@ -169,6 +184,7 @@ class PlanExecutor {
   StripedSet<SampleId> store_{64};
 
   std::atomic<std::uint64_t> payload_failures_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
 };
 
 }  // namespace lobster::runtime

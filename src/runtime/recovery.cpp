@@ -1,0 +1,158 @@
+#include "runtime/recovery.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "telemetry/registry.hpp"
+
+namespace lobster::runtime {
+
+RecoveryManager::RecoveryManager(cache::CacheDirectory& directory, DistributionManager& manager,
+                                 std::function<Bytes(SampleId)> sample_size,
+                                 RecoveryPolicy policy)
+    : directory_(directory),
+      manager_(manager),
+      sample_size_(std::move(sample_size)),
+      policy_(policy) {}
+
+RecoveryManager::~RecoveryManager() { stop(); }
+
+void RecoveryManager::start() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::jthread([this](const std::stop_token& token) {
+    std::unique_lock lock(mutex_);
+    while (!token.stop_requested()) {
+      const auto interval = std::chrono::duration<double>(policy_.poll_interval);
+      cv_.wait_for(lock, token, interval, [this] { return nudged_; });
+      nudged_ = false;
+      if (token.stop_requested()) break;
+      lock.unlock();
+      poll_once();
+      lock.lock();
+    }
+  });
+}
+
+void RecoveryManager::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  thread_.request_stop();
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (replication_future_.valid()) replication_future_.wait();
+}
+
+void RecoveryManager::note_orphans(const std::vector<SampleId>& orphans) {
+  const std::scoped_lock lock(mutex_);
+  orphans_.insert(orphans.begin(), orphans.end());
+}
+
+void RecoveryManager::notify_peer(comm::Rank /*rank*/) {
+  {
+    const std::scoped_lock lock(mutex_);
+    nudged_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RecoveryManager::try_rejoin(NodeId node) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  LOBSTER_METRIC_COUNT("recovery.probes", 1);
+  auto inventory = manager_.fetch_inventory(static_cast<comm::Rank>(node));
+  if (!inventory.ok()) return false;  // still dead (or reply was corrupt)
+
+  // The peer answered with a verified inventory: bring it back. Revive
+  // before the replay so replayed entries are immediately routable.
+  directory_.revive_node(node);
+  const auto samples = inventory.take();
+  for (const SampleId sample : samples) directory_.add(sample, node);
+  rejoins_.fetch_add(1, std::memory_order_relaxed);
+  restored_.fetch_add(samples.size(), std::memory_order_relaxed);
+  LOBSTER_METRIC_COUNT("recovery.rejoins", 1);
+  LOBSTER_METRIC_COUNT("recovery.inventory_samples_restored", samples.size());
+  log::warn("recovery: node %u rejoined, %zu residency entries replayed",
+            static_cast<unsigned>(node), samples.size());
+  return true;
+}
+
+void RecoveryManager::schedule_replication() {
+  if (kv_store_ == nullptr) return;
+  // One batch in flight at a time: a slow KV store back-pressures the pass
+  // instead of queueing unbounded work.
+  if (replication_future_.valid() &&
+      replication_future_.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    return;
+  }
+
+  std::vector<SampleId> batch;
+  batch.reserve(policy_.max_replications_per_poll);
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto it = orphans_.begin();
+         it != orphans_.end() && batch.size() < policy_.max_replications_per_poll;) {
+      batch.push_back(*it);
+      it = orphans_.erase(it);
+    }
+  }
+  // Samples whose only holder is still down detour to the PFS on every
+  // fetch until re-homed; top the batch up with them. Already-published
+  // ones are skipped inside replicate_batch, so this converges.
+  for (NodeId node = 0; node < directory_.nodes(); ++node) {
+    if (batch.size() >= policy_.max_replications_per_poll) break;
+    if (!directory_.node_down(node)) continue;
+    for (const SampleId sample : directory_.sole_holder_samples(node)) {
+      if (batch.size() >= policy_.max_replications_per_poll) break;
+      batch.push_back(sample);
+    }
+  }
+  if (batch.empty()) return;
+
+  if (pool_ != nullptr) {
+    replication_future_ =
+        pool_->submit([this, moved = std::move(batch)] { replicate_batch(moved); });
+  } else {
+    replicate_batch(batch);
+  }
+}
+
+void RecoveryManager::replicate_batch(const std::vector<SampleId>& batch) {
+  std::uint64_t published = 0;
+  for (const SampleId sample : batch) {
+    if (kv_store_->get(sample).ok()) continue;  // someone already re-homed it
+    const Bytes size = sample_size_ ? sample_size_(sample) : 0;
+    if (size == 0) continue;
+    if (kv_store_->put(sample, make_sample_payload(sample, size)).ok()) ++published;
+  }
+  if (published > 0) {
+    replicated_.fetch_add(published, std::memory_order_relaxed);
+    LOBSTER_METRIC_COUNT("recovery.replicated_samples", published);
+  }
+}
+
+bool RecoveryManager::poll_once() {
+  bool any_rejoin = false;
+  for (NodeId node = 0; node < directory_.nodes(); ++node) {
+    if (directory_.node_down(node)) any_rejoin |= try_rejoin(node);
+  }
+  schedule_replication();
+  return any_rejoin;
+}
+
+RecoveryStats RecoveryManager::stats() const {
+  RecoveryStats stats;
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.rejoins = rejoins_.load(std::memory_order_relaxed);
+  stats.inventory_samples_restored = restored_.load(std::memory_order_relaxed);
+  stats.replicated_samples = replicated_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace lobster::runtime

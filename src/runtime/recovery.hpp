@@ -1,0 +1,131 @@
+// Self-healing runtime: node rejoin and background re-replication
+// (DESIGN.md §9 "Recovery model").
+//
+// Degraded routing (executor + circuit breaker) makes a dead peer cheap to
+// route around, but nothing brings it *back*: demand fetches never target a
+// directory-down node, so the half-open probe that would discover recovery
+// never fires organically, and every sample the dead node solely held
+// detours to the PFS forever. The RecoveryManager closes both gaps with a
+// background poll thread:
+//
+//   1. Rejoin: for every node the directory marks down, it issues a
+//      DistributionManager::fetch_inventory() probe (which deliberately
+//      bypasses the open-breaker fast-fail — it IS the half-open probe).
+//      A successful, checksummed inventory round-trip re-closes the
+//      breaker, revives the node in the directory, and replays the node's
+//      inventory into the residency map — so the very next remote miss
+//      routes to the rejoined peer again.
+//
+//   2. Re-replication: samples orphaned by drop_node() (note_orphans) and
+//      samples whose only holder is still down are re-materialized and
+//      re-published into the cluster KV store — restoring cache locality
+//      for them while (and after) the holder is gone. Runs as a bounded
+//      low-priority batch per poll, optionally on a caller-provided pool.
+//
+// poll_once() exposes one synchronous round for deterministic tests; the
+// chaos soak runs the thread. Wire DistributionManager::set_on_breaker_close
+// to notify_peer() so an organic breaker close (a probe racing a revive)
+// nudges the poll thread immediately instead of waiting out the interval.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/directory.hpp"
+#include "cache/kv_store.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "runtime/distribution_manager.hpp"
+
+namespace lobster::runtime {
+
+struct RecoveryPolicy {
+  /// Pause between poll rounds (a notify_peer() cuts it short).
+  Seconds poll_interval = 0.02;
+  /// Re-replication batch ceiling per poll round (keeps the background
+  /// pass from monopolizing the KV store or the pool).
+  std::size_t max_replications_per_poll = 64;
+};
+
+struct RecoveryStats {
+  std::uint64_t probes = 0;              ///< inventory probes issued to down nodes
+  std::uint64_t rejoins = 0;             ///< nodes revived after a successful probe
+  std::uint64_t inventory_samples_restored = 0;  ///< residency entries replayed
+  std::uint64_t replicated_samples = 0;  ///< orphans/sole-holder samples re-published
+};
+
+class RecoveryManager {
+ public:
+  /// `sample_size` must be thread-safe (payload re-materialization needs
+  /// each sample's byte size). The directory and manager must outlive this.
+  RecoveryManager(cache::CacheDirectory& directory, DistributionManager& manager,
+                  std::function<Bytes(SampleId)> sample_size, RecoveryPolicy policy = {});
+  ~RecoveryManager();
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Target for re-replication (unset => re-replication is a no-op and
+  /// only rejoin runs). Set before start().
+  void set_kv_store(cache::KvStore* store) noexcept { kv_store_ = store; }
+
+  /// Pool for the re-replication batches (unset => they run inline on the
+  /// poll thread). Must outlive stop(). Set before start().
+  void set_replication_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
+  /// Starts the background poll thread (idempotent).
+  void start();
+
+  /// Stops polling and drains any in-flight replication batch (idempotent).
+  void stop();
+
+  /// Records samples drop_node() orphaned so the re-replication pass can
+  /// re-home them. Thread-safe; duplicates are coalesced.
+  void note_orphans(const std::vector<SampleId>& orphans);
+
+  /// Nudges the poll thread to run a round now (e.g. from
+  /// DistributionManager::set_on_breaker_close). Cheap and thread-safe.
+  void notify_peer(comm::Rank rank);
+
+  /// One synchronous recovery round: probe every down node, then schedule
+  /// one re-replication batch. Returns true if a node rejoined. For tests;
+  /// do not mix with a running poll thread.
+  bool poll_once();
+
+  RecoveryStats stats() const;
+
+ private:
+  bool try_rejoin(NodeId node);
+  void schedule_replication();
+  void replicate_batch(const std::vector<SampleId>& batch);
+
+  cache::CacheDirectory& directory_;
+  DistributionManager& manager_;
+  std::function<Bytes(SampleId)> sample_size_;
+  RecoveryPolicy policy_;
+  cache::KvStore* kv_store_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+
+  std::mutex mutex_;  // guards orphans_, nudged_, running_
+  std::condition_variable_any cv_;
+  std::unordered_set<SampleId> orphans_;
+  bool nudged_ = false;
+  bool running_ = false;
+  std::future<void> replication_future_;
+
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> rejoins_{0};
+  std::atomic<std::uint64_t> restored_{0};
+  std::atomic<std::uint64_t> replicated_{0};
+
+  std::jthread thread_;
+};
+
+}  // namespace lobster::runtime

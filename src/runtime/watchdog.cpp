@@ -1,0 +1,104 @@
+#include "runtime/watchdog.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "telemetry/registry.hpp"
+
+namespace lobster::runtime {
+
+IterationWatchdog::IterationWatchdog(WatchdogConfig config) : config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  window_.reserve(config_.window);
+}
+
+IterationWatchdog::~IterationWatchdog() { stop(); }
+
+void IterationWatchdog::start() {
+  const std::scoped_lock lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::jthread([this](const std::stop_token& token) { watch_loop(token); });
+}
+
+void IterationWatchdog::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    armed_ = false;
+  }
+  thread_.request_stop();
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Seconds IterationWatchdog::trailing_median_locked() const {
+  if (window_.empty()) return 0.0;
+  std::vector<Seconds> sorted(window_);
+  const auto mid = sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2);
+  std::nth_element(sorted.begin(), mid, sorted.end());
+  return *mid;
+}
+
+Seconds IterationWatchdog::deadline_locked() const {
+  return std::max(config_.min_deadline, config_.multiplier * trailing_median_locked());
+}
+
+Seconds IterationWatchdog::next_deadline() const {
+  const std::scoped_lock lock(mutex_);
+  return deadline_locked();
+}
+
+void IterationWatchdog::begin_iteration(IterId iter) {
+  const std::scoped_lock lock(mutex_);
+  iter_ = iter;
+  started_ = Clock::now();
+  deadline_s_ = deadline_locked();
+  flagged_ = false;
+  armed_ = true;
+  cv_.notify_all();
+}
+
+void IterationWatchdog::end_iteration() {
+  const std::scoped_lock lock(mutex_);
+  if (!armed_) return;
+  armed_ = false;
+  const Seconds elapsed =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  if (window_.size() < config_.window) {
+    window_.push_back(elapsed);
+  } else {
+    window_[window_next_] = elapsed;
+    window_next_ = (window_next_ + 1) % config_.window;
+  }
+  cv_.notify_all();
+}
+
+void IterationWatchdog::watch_loop(const std::stop_token& token) {
+  std::unique_lock lock(mutex_);
+  while (!token.stop_requested()) {
+    if (!armed_ || flagged_) {
+      // Nothing to time: sleep until an arm / disarm / stop pokes us.
+      cv_.wait(lock, token, [this] { return armed_ && !flagged_; });
+      continue;
+    }
+    const IterId watching = iter_;
+    const auto wake_at =
+        started_ + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(deadline_s_));
+    // Woken early by end_iteration() (disarm) or a new begin_iteration().
+    cv_.wait_until(lock, token, wake_at,
+                   [this, watching] { return !armed_ || iter_ != watching; });
+    if (token.stop_requested()) break;
+    if (armed_ && iter_ == watching && !flagged_ && Clock::now() >= wake_at) {
+      flagged_ = true;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      LOBSTER_METRIC_COUNT("executor.iteration_stalls", 1);
+      log::warn("watchdog: iteration %llu exceeded deadline %.3fs",
+                static_cast<unsigned long long>(watching), deadline_s_);
+    }
+  }
+}
+
+}  // namespace lobster::runtime

@@ -1,0 +1,95 @@
+// Iteration watchdog (DESIGN.md §9 "Recovery model").
+//
+// A slow-but-not-dead failure (a peer stuck in retry storms, a saturated
+// PFS detour, a livelocked drain) does not trip any breaker — every call
+// eventually succeeds, the run just silently stops making progress. The
+// watchdog turns that into a visible signal: the executor brackets every
+// iteration with begin_iteration()/end_iteration(), and a deadline thread
+// flags any iteration whose wall-clock duration exceeds
+// multiplier × the trailing-median iteration time (floored at
+// min_deadline so cold-start jitter never false-positives).
+//
+// A stall bumps the `executor.iteration_stalls` telemetry counter — which
+// the Monitor heartbeat surfaces as the `iteration_stalled` anomaly flag —
+// and is counted in stalls(). The watchdog never intervenes (no cancel, no
+// kill): detection is its whole job, the operator or harness decides.
+//
+// Thread-safety: begin/end must come from one thread (the executor's run
+// loop); stalls()/armed() are safe from anywhere.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lobster::runtime {
+
+struct WatchdogConfig {
+  /// An iteration is stalled once it runs longer than
+  /// multiplier × trailing-median duration.
+  double multiplier = 4.0;
+  /// Deadline floor: protects the first iterations (empty history) and
+  /// micro-benchmarks whose median is so small that scheduler noise alone
+  /// would cross the multiplier.
+  Seconds min_deadline = 0.05;
+  /// Trailing iterations the median is computed over.
+  std::size_t window = 32;
+};
+
+class IterationWatchdog {
+ public:
+  explicit IterationWatchdog(WatchdogConfig config = {});
+  ~IterationWatchdog();
+
+  IterationWatchdog(const IterationWatchdog&) = delete;
+  IterationWatchdog& operator=(const IterationWatchdog&) = delete;
+
+  /// Starts the deadline thread (idempotent).
+  void start();
+
+  /// Stops the deadline thread (idempotent); pending arm is cleared.
+  void stop();
+
+  /// Arms the deadline for iteration `iter`, starting the clock now.
+  void begin_iteration(IterId iter);
+
+  /// Disarms and records the iteration's duration into the trailing window.
+  void end_iteration();
+
+  /// Iterations flagged as stalled so far (each flagged at most once).
+  std::uint64_t stalls() const noexcept { return stalls_.load(std::memory_order_relaxed); }
+
+  /// The deadline the *next* begin_iteration() would arm (for tests).
+  Seconds next_deadline() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Seconds trailing_median_locked() const;
+  Seconds deadline_locked() const;
+  void watch_loop(const std::stop_token& token);
+
+  WatchdogConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::vector<Seconds> window_;   // ring buffer of recent durations
+  std::size_t window_next_ = 0;
+  bool armed_ = false;
+  bool flagged_ = false;          // current iteration already counted
+  IterId iter_ = 0;
+  Clock::time_point started_{};
+  Seconds deadline_s_ = 0.0;
+  bool running_ = false;
+
+  std::atomic<std::uint64_t> stalls_{0};
+  std::jthread thread_;
+};
+
+}  // namespace lobster::runtime

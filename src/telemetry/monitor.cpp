@@ -95,6 +95,8 @@ MonitorSample Monitor::sample_once() {
   sample.trace_dropped = tracer.dropped_events();
   sample.peer_down_events = registry.counter("comm.peer_down").value();
   sample.retries = registry.counter("comm.retries").value();
+  sample.iteration_stalls = registry.counter("executor.iteration_stalls").value();
+  sample.corrupt_replies = registry.counter("comm.corrupt_replies").value();
 
   {
     const std::scoped_lock lock(mutex_);
@@ -106,6 +108,8 @@ MonitorSample Monitor::sample_once() {
       sample.d_queue_pops = saturating_sub(sample.queue_pops, prev_.queue_pops);
       sample.d_peer_down_events = saturating_sub(sample.peer_down_events, prev_.peer_down_events);
       sample.d_retries = saturating_sub(sample.retries, prev_.retries);
+      sample.d_iteration_stalls = saturating_sub(sample.iteration_stalls, prev_.iteration_stalls);
+      sample.d_corrupt_replies = saturating_sub(sample.corrupt_replies, prev_.corrupt_replies);
     } else {
       sample.d_iterations = sample.iterations;
       sample.d_bytes_consumed = sample.bytes_consumed;
@@ -113,6 +117,8 @@ MonitorSample Monitor::sample_once() {
       sample.d_queue_pops = sample.queue_pops;
       sample.d_peer_down_events = sample.peer_down_events;
       sample.d_retries = sample.retries;
+      sample.d_iteration_stalls = sample.iteration_stalls;
+      sample.d_corrupt_replies = sample.corrupt_replies;
     }
 
     sample.straggler_gap = sample.gap_frac > config_.straggler_gap_threshold;
@@ -127,6 +133,8 @@ MonitorSample Monitor::sample_once() {
     // fault, instead of latching for the rest of the run.
     sample.peer_down = sample.d_peer_down_events > 0;
     sample.retry_storm = sample.d_retries > config_.retry_storm_threshold;
+    sample.iteration_stalled = sample.d_iteration_stalls > 0;
+    sample.corruption_detected = sample.d_corrupt_replies > 0;
 
     prev_ = sample;
     has_prev_ = true;
@@ -148,6 +156,8 @@ void Monitor::emit(const MonitorSample& sample) {
     if (sample.trace_ring_overflow) flags += " trace_ring_overflow";
     if (sample.peer_down) flags += " peer_down";
     if (sample.retry_storm) flags += " retry_storm";
+    if (sample.iteration_stalled) flags += " iteration_stalled";
+    if (sample.corruption_detected) flags += " corruption_detected";
     log::info("heartbeat #%llu t=%.1fs iters=%llu(+%llu) gap=%.3f hit=%.3f "
               "consumed=%.1fMB prefetch=%.1fMB flags=[%s]",
               static_cast<unsigned long long>(sample.seq), sample.uptime_s,
@@ -184,6 +194,8 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "trace_dropped", sample.trace_dropped); line += ',';
   append_kv(line, "peer_down_events", sample.peer_down_events); line += ',';
   append_kv(line, "retries", sample.retries); line += ',';
+  append_kv(line, "iteration_stalls", sample.iteration_stalls); line += ',';
+  append_kv(line, "corrupt_replies", sample.corrupt_replies); line += ',';
   analysis::append_json_quoted(line, "flags");
   line += ":{";
   append_kv(line, "straggler_gap", sample.straggler_gap); line += ',';
@@ -191,7 +203,9 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "queue_starved", sample.queue_starved); line += ',';
   append_kv(line, "trace_ring_overflow", sample.trace_ring_overflow); line += ',';
   append_kv(line, "peer_down", sample.peer_down); line += ',';
-  append_kv(line, "retry_storm", sample.retry_storm);
+  append_kv(line, "retry_storm", sample.retry_storm); line += ',';
+  append_kv(line, "iteration_stalled", sample.iteration_stalled); line += ',';
+  append_kv(line, "corruption_detected", sample.corruption_detected);
   line += "}}\n";
   out_ << line;
 }

@@ -20,7 +20,15 @@
 //                        fetches are detouring around a node (DESIGN.md §9);
 //  * retry_storm       — remote-fetch retries during the interval exceeded
 //                        retry_storm_threshold: the fabric is degraded
-//                        enough that the retry budget is burning hot.
+//                        enough that the retry budget is burning hot;
+//  * iteration_stalled — the iteration watchdog flagged at least one
+//                        iteration since the last sample
+//                        (executor.iteration_stalls grew): the run is
+//                        slow-but-not-dead (DESIGN.md §9);
+//  * corruption_detected — at least one remote reply failed end-to-end
+//                        verification since the last sample
+//                        (comm.corrupt_replies grew): payloads are being
+//                        quarantined and re-routed.
 //
 // sample_once() is public and synchronous so tests (and one-shot CLI use)
 // can exercise the exact code path the thread runs, without timing games.
@@ -68,6 +76,8 @@ struct MonitorSample {
   std::uint64_t trace_dropped = 0;
   std::uint64_t peer_down_events = 0;  ///< comm.peer_down counter
   std::uint64_t retries = 0;           ///< comm.retries counter
+  std::uint64_t iteration_stalls = 0;  ///< executor.iteration_stalls counter
+  std::uint64_t corrupt_replies = 0;   ///< comm.corrupt_replies counter
 
   // Deltas since the previous sample (== absolutes on the first one).
   std::uint64_t d_iterations = 0;
@@ -76,6 +86,8 @@ struct MonitorSample {
   std::uint64_t d_queue_pops = 0;
   std::uint64_t d_peer_down_events = 0;
   std::uint64_t d_retries = 0;
+  std::uint64_t d_iteration_stalls = 0;
+  std::uint64_t d_corrupt_replies = 0;
 
   bool straggler_gap = false;
   bool prefetch_outrun = false;
@@ -83,10 +95,12 @@ struct MonitorSample {
   bool trace_ring_overflow = false;
   bool peer_down = false;
   bool retry_storm = false;
+  bool iteration_stalled = false;
+  bool corruption_detected = false;
 
   bool any_flag() const noexcept {
     return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow ||
-           peer_down || retry_storm;
+           peer_down || retry_storm || iteration_stalled || corruption_detected;
   }
   double cache_hit_ratio() const noexcept {
     const auto total = cache_hits + cache_misses;
