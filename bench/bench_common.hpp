@@ -22,6 +22,12 @@
 
 namespace lobster::bench {
 
+/// Schema identifiers for every machine-readable artifact the benches
+/// write. CI and tools/validate_metrics.py match on these exact strings,
+/// so they are defined once here instead of scattered as literals.
+inline constexpr const char* kBenchMetricsSchema = "lobster.bench_metrics.v1";
+inline constexpr const char* kClusterMetricsSchema = "lobster.cluster_metrics.v1";
+
 /// Parses key=value CLI arguments. Every bench accepts `csv_dir=<path>` to
 /// additionally dump each printed table as CSV, `--trace <out.json>`
 /// (or `trace=out.json`) to record a Chrome trace of the run (see
@@ -158,13 +164,16 @@ inline MetricsRecord make_record(std::string panel, std::string workload, std::s
 }
 
 /// Collects bench results and writes one schema-versioned JSON document
-/// ("lobster.bench_metrics.v1") on destruction when `--metrics-json <path>`
-/// was given; inert otherwise. CI jobs diff these instead of scraping
-/// stdout tables.
+/// (kBenchMetricsSchema unless overridden) on destruction when
+/// `--metrics-json <path>` was given; inert otherwise. CI jobs diff these
+/// instead of scraping stdout tables.
 class MetricsJson {
  public:
-  MetricsJson(const Config& config, std::string bench_name)
-      : path_(config.get_string("metrics_json", "")), bench_(std::move(bench_name)) {}
+  MetricsJson(const Config& config, std::string bench_name,
+              std::string schema = kBenchMetricsSchema)
+      : path_(config.get_string("metrics_json", "")),
+        bench_(std::move(bench_name)),
+        schema_(std::move(schema)) {}
 
   bool enabled() const noexcept { return !path_.empty(); }
 
@@ -184,7 +193,7 @@ class MetricsJson {
     out += "{\n  ";
     aj::append_json_quoted(out, "schema");
     out += ": ";
-    aj::append_json_quoted(out, "lobster.bench_metrics.v1");
+    aj::append_json_quoted(out, schema_);
     out += ",\n  ";
     aj::append_json_quoted(out, "bench");
     out += ": ";
@@ -242,6 +251,7 @@ class MetricsJson {
  private:
   std::string path_;
   std::string bench_;
+  std::string schema_;
   std::vector<MetricsRecord> records_;
   std::vector<std::pair<std::string, double>> scalars_;
 };

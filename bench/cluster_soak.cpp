@@ -1,0 +1,316 @@
+// Multi-tenant cluster soak (DESIGN.md §10): a mixed fleet of training jobs
+// — different models, node-block sizes, epoch budgets and arrival times,
+// with several tenants training over the SAME dataset — driven through the
+// shared cluster runtime (job scheduler + namespaced KV tier + budget
+// arbiter + fairness tracker) until every job finishes.
+//
+// The harness exits non-zero unless the multi-tenant invariants hold:
+//   1. every submitted job runs to completion (nothing rejected or stuck);
+//   2. exactly-once delivery per job (samples delivered == expected);
+//   3. no job starves in the queue (fairness tracker flags none);
+//   4. worst-case slowdown vs the job's isolated run stays <= `max_slowdown`
+//      (default 3x) — queueing plus PFS interference is bounded;
+//   5. cross-job dedup is real: aggregate PFS reads on the shared cluster
+//      are strictly below the sum of the isolated runs' PFS reads, because
+//      jobs over one dataset share a KV namespace.
+//
+// Results are emitted as a `lobster.cluster_metrics.v1` JSON so CI can
+// schema-validate the committed BENCH_cluster.json artifact.
+//
+//   $ ./cluster_soak [jobs=8] [nodes=64] [scale=1.0] [policy=fair|fifo]
+//                    [kv_budget_mb=0] [t_train_ms=4] [starvation_rounds=64]
+//                    [max_slowdown=3] [--metrics-json BENCH_cluster.json]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster_runtime.hpp"
+#include "common/table.hpp"
+#include "telemetry/analysis/json.hpp"
+
+using namespace lobster;
+
+namespace {
+
+// One tenant template: node share of the cluster, epochs, how many
+// iterations one epoch should take on its block, and whether it trains
+// over the fleet-shared dataset (equal fingerprints share a namespace).
+struct JobTemplate {
+  const char* name;
+  const char* model;
+  double node_frac;       ///< fraction of the cluster's nodes
+  std::uint32_t epochs;
+  std::uint32_t iters_per_epoch;
+  bool shared_dataset;
+  double weight;
+  std::uint64_t arrival_round;
+};
+
+constexpr JobTemplate kTemplates[] = {
+    {"shared-a", "resnet50", 0.2500, 2, 24, true, 1.0, 0},
+    {"solo-vgg", "vgg16", 0.2500, 2, 8, false, 1.0, 0},
+    {"shared-b", "resnet18", 0.1875, 2, 32, true, 1.0, 2},
+    {"solo-alex", "alexnet", 0.1250, 3, 10, false, 0.5, 4},
+    {"solo-r18", "resnet18", 0.1875, 2, 10, false, 1.0, 6},
+    {"shared-c", "resnet50", 0.1250, 2, 48, true, 2.0, 8},
+    {"solo-r50", "resnet50", 0.2500, 2, 14, false, 1.0, 10},
+    {"solo-small", "alexnet", 0.0625, 3, 12, false, 1.0, 12},
+};
+constexpr std::size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
+constexpr Bytes kSampleBytes = 48 * 1024;
+constexpr std::uint32_t kGpusPerNode = 2;
+constexpr std::uint32_t kBatchSize = 16;
+
+void append_field(std::string& out, const char* key, bool first = false) {
+  if (!first) out += ", ";
+  telemetry::analysis::append_json_quoted(out, key);
+  out += ": ";
+}
+
+void scalar(std::string& out, const char* key, double value) {
+  out += ",\n  ";
+  telemetry::analysis::append_json_quoted(out, key);
+  out += strf(": %.9g", value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const auto jobs = static_cast<std::uint32_t>(config.get_int("jobs", 8));
+  const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 64));
+  const double scale = config.get_double("scale", 1.0);
+  const std::string policy_arg = config.get_string("policy", "fair");
+  const auto kv_budget_mb = static_cast<Bytes>(config.get_int("kv_budget_mb", 0));
+  const double t_train_ms = config.get_double("t_train_ms", 4.0);
+  const auto starvation_rounds =
+      static_cast<std::uint64_t>(config.get_int("starvation_rounds", 64));
+  const double max_slowdown_gate = config.get_double("max_slowdown", 3.0);
+  const std::string metrics_path = config.get_string("metrics_json", "");
+  bench::warn_unconsumed(config);
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = nodes;
+  cluster_config.policy = policy_arg == "fifo" ? cluster::SchedulerPolicy::kFifo
+                                               : cluster::SchedulerPolicy::kFairShare;
+  cluster_config.kv_budget = kv_budget_mb * 1024 * 1024;
+  cluster_config.t_train_s = t_train_ms * 1e-3;
+  cluster_config.starvation_rounds = starvation_rounds;
+
+  bench::print_header(
+      strf("cluster_soak — %u jobs on %u nodes, %s scheduling", jobs, nodes,
+           cluster::scheduler_policy_name(cluster_config.policy)),
+      "multi-tenant shared I/O tier: fair admission, bounded slowdown, "
+      "cross-job dedup on shared datasets");
+
+  // The shared dataset is identical across its tenants by construction —
+  // equal (spec, seed) fingerprints mint one KV namespace.
+  const auto shared_samples = static_cast<std::uint32_t>(
+      std::max(1.0, scale * 24.0 * nodes * kGpusPerNode * kBatchSize / 4.0));
+  const auto shared_dataset =
+      data::DatasetSpec::uniform(shared_samples, kSampleBytes, "fleet-shared");
+
+  std::vector<cluster::JobSpec> specs;
+  cluster::ClusterRuntime runtime(cluster_config);
+  for (std::uint32_t i = 0; i < jobs; ++i) {
+    const JobTemplate& t = kTemplates[i % kTemplateCount];
+    cluster::JobSpec spec;
+    spec.name = i < kTemplateCount
+                    ? t.name
+                    : strf("%s-%u", t.name, static_cast<unsigned>(i / kTemplateCount));
+    spec.model = t.model;
+    spec.nodes = static_cast<std::uint16_t>(
+        std::max(1.0, t.node_frac * nodes));
+    spec.gpus_per_node = kGpusPerNode;
+    spec.batch_size = kBatchSize;
+    spec.epochs = t.epochs;
+    spec.weight = t.weight;
+    // Later template cycles arrive progressively later: a rolling workload
+    // with mid-run arrivals while earlier jobs are finishing.
+    spec.arrival_round = t.arrival_round + 16ull * (i / kTemplateCount);
+    spec.sampler_seed = 42 + i;
+    if (t.shared_dataset) {
+      spec.dataset = shared_dataset;
+      spec.dataset_seed = 7;
+    } else {
+      const auto samples = static_cast<std::uint32_t>(std::max(
+          1.0, scale * t.iters_per_epoch * spec.nodes * kGpusPerNode * kBatchSize));
+      spec.dataset = data::DatasetSpec::uniform(samples, kSampleBytes,
+                                                strf("solo-%u", i));
+      spec.dataset_seed = 100 + i;
+    }
+    specs.push_back(spec);
+    runtime.submit(spec);
+  }
+
+  const auto result = runtime.run();
+
+  Table table({"job", "model", "nodes", "arrive", "admit", "finish", "wait_s",
+               "turnaround_s", "isolated_s", "slowdown", "shared", "kv_hits",
+               "pfs_reads", "delivered"});
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const auto& job = result.jobs[i];
+    const auto& spec = specs[i];
+    table.add_row({job.name, spec.model, strf("%u", spec.nodes),
+                   strf("%llu", static_cast<unsigned long long>(job.submit_round)),
+                   strf("%llu", static_cast<unsigned long long>(job.admit_round)),
+                   strf("%llu", static_cast<unsigned long long>(job.finish_round)),
+                   strf("%.3f", job.queue_wait_s), strf("%.3f", job.turnaround_s),
+                   strf("%.3f", job.isolated_s), strf("%.2fx", job.slowdown),
+                   job.shared_namespace ? "yes" : "no",
+                   strf("%llu", static_cast<unsigned long long>(job.kv_hits)),
+                   strf("%llu", static_cast<unsigned long long>(job.pfs_reads)),
+                   strf("%llu/%llu", static_cast<unsigned long long>(job.samples_delivered),
+                        static_cast<unsigned long long>(job.samples_expected))});
+  }
+  bench::emit(config, "cluster_soak", table);
+
+  const double dedup_saving =
+      result.isolated_pfs_reads_sum > 0
+          ? 1.0 - static_cast<double>(result.total_pfs_reads) /
+                      static_cast<double>(result.isolated_pfs_reads_sum)
+          : 0.0;
+  std::printf("rounds=%llu makespan=%.3fs max_slowdown=%.2fx starvations=%llu\n",
+              static_cast<unsigned long long>(result.rounds), result.makespan_s,
+              result.max_slowdown, static_cast<unsigned long long>(result.starvation_events));
+  std::printf("pfs_reads=%llu (isolated sum %llu, dedup saves %.1f%%) kv_hits=%llu "
+              "peak_namespaces=%zu evictions=%llu\n",
+              static_cast<unsigned long long>(result.total_pfs_reads),
+              static_cast<unsigned long long>(result.isolated_pfs_reads_sum),
+              100.0 * dedup_saving, static_cast<unsigned long long>(result.total_kv_hits),
+              result.peak_live_namespaces,
+              static_cast<unsigned long long>(result.arbiter.evictions));
+
+  // ---- invariant gates -----------------------------------------------------
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  };
+  std::printf("gates:\n");
+  bool all_finished = true;
+  bool exactly_once = true;
+  for (const auto& job : result.jobs) {
+    if (job.state != cluster::JobState::kFinished) all_finished = false;
+    if (job.samples_delivered != job.samples_expected) exactly_once = false;
+  }
+  gate(all_finished, "every job ran to completion");
+  gate(exactly_once, "exactly-once delivery per job");
+  gate(result.starvation_events == 0,
+       strf("no job starved (starvations=%llu)",
+            static_cast<unsigned long long>(result.starvation_events)));
+  gate(result.max_slowdown <= max_slowdown_gate,
+       strf("max slowdown %.2fx <= %.2fx", result.max_slowdown, max_slowdown_gate));
+  gate(result.total_pfs_reads < result.isolated_pfs_reads_sum,
+       strf("shared-dataset dedup: %llu aggregate PFS reads < %llu isolated sum",
+            static_cast<unsigned long long>(result.total_pfs_reads),
+            static_cast<unsigned long long>(result.isolated_pfs_reads_sum)));
+
+  // ---- structured metrics artifact ----------------------------------------
+  if (!metrics_path.empty()) {
+    namespace aj = telemetry::analysis;
+    std::string out;
+    out.reserve(4096);
+    out += "{\n  ";
+    aj::append_json_quoted(out, "schema");
+    out += ": ";
+    aj::append_json_quoted(out, bench::kClusterMetricsSchema);
+    out += ",\n  ";
+    aj::append_json_quoted(out, "bench");
+    out += ": ";
+    aj::append_json_quoted(out, "cluster_soak");
+    out += ",\n  ";
+    aj::append_json_quoted(out, "policy");
+    out += ": ";
+    aj::append_json_quoted(out, cluster::scheduler_policy_name(cluster_config.policy));
+    scalar(out, "jobs_submitted", static_cast<double>(result.jobs.size()));
+    scalar(out, "nodes", static_cast<double>(nodes));
+    scalar(out, "kv_budget_bytes", static_cast<double>(cluster_config.kv_budget));
+    scalar(out, "rounds", static_cast<double>(result.rounds));
+    scalar(out, "makespan_s", result.makespan_s);
+    scalar(out, "max_slowdown", result.max_slowdown);
+    scalar(out, "starvation_events", static_cast<double>(result.starvation_events));
+    scalar(out, "total_pfs_reads", static_cast<double>(result.total_pfs_reads));
+    scalar(out, "total_pfs_bytes", static_cast<double>(result.total_pfs_bytes));
+    scalar(out, "total_kv_hits", static_cast<double>(result.total_kv_hits));
+    scalar(out, "isolated_pfs_reads_sum", static_cast<double>(result.isolated_pfs_reads_sum));
+    scalar(out, "pfs_dedup_saving_frac", dedup_saving);
+    scalar(out, "peak_live_namespaces", static_cast<double>(result.peak_live_namespaces));
+    scalar(out, "arbiter_evictions", static_cast<double>(result.arbiter.evictions));
+    scalar(out, "arbiter_rejected_publishes",
+           static_cast<double>(result.arbiter.rejected_publishes));
+    scalar(out, "arbiter_protected_entries",
+           static_cast<double>(result.arbiter.protected_entries));
+    scalar(out, "kv_get_hits", static_cast<double>(result.kv.get_hits));
+    scalar(out, "kv_puts", static_cast<double>(result.kv.puts));
+    scalar(out, "exactly_once", exactly_once ? 1.0 : 0.0);
+    out += ",\n  ";
+    aj::append_json_quoted(out, "jobs");
+    out += ": [";
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+      const auto& job = result.jobs[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {";
+      append_field(out, "name", true);
+      aj::append_json_quoted(out, job.name);
+      append_field(out, "model");
+      aj::append_json_quoted(out, specs[i].model);
+      append_field(out, "state");
+      aj::append_json_quoted(out, cluster::job_state_name(job.state));
+      append_field(out, "nodes");
+      out += strf("%u", specs[i].nodes);
+      append_field(out, "shared_namespace");
+      out += job.shared_namespace ? "true" : "false";
+      append_field(out, "starved");
+      out += job.starved ? "true" : "false";
+      append_field(out, "submit_round");
+      out += strf("%llu", static_cast<unsigned long long>(job.submit_round));
+      append_field(out, "admit_round");
+      out += strf("%llu", static_cast<unsigned long long>(job.admit_round));
+      append_field(out, "finish_round");
+      out += strf("%llu", static_cast<unsigned long long>(job.finish_round));
+      append_field(out, "queue_wait_s");
+      out += strf("%.9g", job.queue_wait_s);
+      append_field(out, "turnaround_s");
+      out += strf("%.9g", job.turnaround_s);
+      append_field(out, "isolated_s");
+      out += strf("%.9g", job.isolated_s);
+      append_field(out, "slowdown");
+      out += strf("%.9g", job.slowdown);
+      append_field(out, "iterations");
+      out += strf("%llu", static_cast<unsigned long long>(job.iterations));
+      append_field(out, "samples_expected");
+      out += strf("%llu", static_cast<unsigned long long>(job.samples_expected));
+      append_field(out, "samples_delivered");
+      out += strf("%llu", static_cast<unsigned long long>(job.samples_delivered));
+      append_field(out, "local_hits");
+      out += strf("%llu", static_cast<unsigned long long>(job.local_hits));
+      append_field(out, "kv_hits");
+      out += strf("%llu", static_cast<unsigned long long>(job.kv_hits));
+      append_field(out, "pfs_reads");
+      out += strf("%llu", static_cast<unsigned long long>(job.pfs_reads));
+      append_field(out, "isolated_pfs_reads");
+      out += strf("%llu", static_cast<unsigned long long>(job.isolated_pfs_reads));
+      out += '}';
+    }
+    out += result.jobs.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    std::ofstream file(metrics_path);
+    if (!file) {
+      std::fprintf(stderr, "warning: cannot write metrics json %s\n", metrics_path.c_str());
+    } else {
+      file << out;
+      std::printf("(metrics json written to %s)\n", metrics_path.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "cluster_soak: %d gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("cluster_soak: all gates passed\n");
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "baselines/strategies.hpp"
+#include "cache/directory.hpp"
 #include "comm/bus.hpp"
 #include "common/config.hpp"
 #include "core/planner.hpp"
@@ -56,6 +57,19 @@ int main(int argc, char** argv) {
 
   comm::MessageBus bus(preset.cluster.nodes);
 
+  // Residency directory for O(1) remote routing: the sampler is
+  // deterministic, so which node first stages each sample (its epoch-0
+  // shard) is known to everyone in advance — the §4.4 global property.
+  // Later epochs reshuffle, and that is exactly when a node's miss routes
+  // to the epoch-0 owner's cache instead of the PFS.
+  cache::CacheDirectory directory(preset.cluster.nodes);
+  const std::uint32_t iterations = sampler.iterations_per_epoch();
+  for (NodeId n = 0; n < preset.cluster.nodes; ++n) {
+    for (std::uint32_t h = 0; h < iterations; ++h) {
+      for (const SampleId s : sampler.node_batch(0, h, n)) directory.add(s, n);
+    }
+  }
+
   std::vector<std::unique_ptr<runtime::PlanExecutor>> executors;
   std::vector<std::unique_ptr<runtime::DistributionManager>> managers;
   for (NodeId n = 0; n < preset.cluster.nodes; ++n) {
@@ -70,6 +84,7 @@ int main(int argc, char** argv) {
         bus.endpoint(n), [executor](SampleId s) { return executor->has_sample(s); },
         [&catalog](SampleId s) { return catalog.sample_bytes(s); }));
     executor->set_manager(managers.back().get());
+    executor->set_directory(&directory);
     managers.back()->start();
   }
 

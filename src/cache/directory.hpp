@@ -15,6 +15,12 @@
 // additionally removes the node's entries from the map and returns the
 // samples it was the last holder of (now orphaned to the PFS).
 //
+// Multi-tenancy (DESIGN.md §10): the directory treats SampleId as opaque,
+// so namespaced keys (cache/namespace.hpp — dataset namespace packed into
+// the high bits) index it directly. One directory therefore serves every
+// job of a shared cluster at once; two jobs over the same dataset share
+// keys, and with them each other's recorded residency.
+//
 // Thread-safety: fully thread-safe. Routing queries take a shared lock on
 // the residency map; mutations (add / remove / drop_node) take it
 // exclusively, so the self-healing layer (RecoveryManager replaying a

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cache/namespace.hpp"
 #include "common/rng.hpp"
 #include "telemetry/registry.hpp"
 
@@ -111,6 +112,36 @@ Bytes KvStore::bytes() const {
     total += shard.bytes;
   }
   return total;
+}
+
+Bytes KvStore::bytes_in_namespace(std::uint32_t ns) const {
+  Bytes total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    for (const auto& [key, payload] : shard.entries) {
+      if (namespace_of(key) == ns) total += payload->size();
+    }
+  }
+  return total;
+}
+
+std::size_t KvStore::erase_namespace(std::uint32_t ns) {
+  std::size_t erased = 0;
+  for (auto& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (namespace_of(it->first) != ns) {
+        ++it;
+        continue;
+      }
+      shard.bytes -= it->second->size();
+      total_bytes_.fetch_sub(it->second->size(), std::memory_order_relaxed);
+      it = shard.entries.erase(it);
+      ++shard.stats.erases;
+      ++erased;
+    }
+  }
+  return erased;
 }
 
 KvStore::Stats KvStore::stats() const {

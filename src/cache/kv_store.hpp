@@ -64,6 +64,15 @@ class KvStore {
   std::size_t size() const;
   Bytes bytes() const;
 
+  /// Multi-tenant accounting (DESIGN.md §10): bytes held under one dataset
+  /// namespace (keys whose high bits match, see cache/namespace.hpp).
+  /// Aggregates over shards — not a hot-path call.
+  Bytes bytes_in_namespace(std::uint32_t ns) const;
+
+  /// Drops every entry of a namespace (a dataset's last job released it).
+  /// Returns the number of entries erased.
+  std::size_t erase_namespace(std::uint32_t ns);
+
   struct Stats {
     std::uint64_t puts = 0;
     std::uint64_t get_hits = 0;

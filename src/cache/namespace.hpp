@@ -1,0 +1,60 @@
+// Per-job directory namespaces for the KV tier (DESIGN.md §10).
+//
+// A shared cluster runs many jobs against one KvStore / CacheDirectory, so
+// keys must carry *whose dataset* a sample id belongs to. Rather than a
+// second key field (which would ripple through every map, message and
+// directory API), the namespace is packed into the high bits of the
+// existing 32-bit SampleId: 8 bits of namespace, 24 bits of sample.
+//
+//   key = (namespace << 24) | sample        sample < 2^24, namespace < 2^8
+//
+// Namespace 0 is the default: a plain SampleId *is* its own namespaced key,
+// so every single-job code path (executor, recovery, benches) keeps working
+// unchanged. Namespaces are minted per *dataset*, not per job — two jobs
+// training over the same dataset share a namespace, which is exactly what
+// makes cross-job dedup work: a sample staged by job A is, key-for-key, a
+// KV hit for job B (see cluster::NamespaceRegistry).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace lobster::cache {
+
+/// Identifies one dataset namespace in the shared KV tier. 0 = default
+/// (un-namespaced single-job keys).
+using NamespaceId = std::uint32_t;
+
+inline constexpr std::uint32_t kNamespaceShift = 24;
+inline constexpr SampleId kNamespaceSampleMask = (SampleId{1} << kNamespaceShift) - 1;
+/// Largest mintable namespace (255 datasets in flight at once).
+inline constexpr NamespaceId kMaxNamespace =
+    (NamespaceId{1} << (32 - kNamespaceShift)) - 1;
+
+/// Packs (namespace, sample) into a shared-tier key. Throws on overflow —
+/// a dataset larger than 2^24 samples cannot share the cluster KV tier at
+/// this key width (the single-job paths, namespace 0, are unaffected up to
+/// the same bound).
+inline SampleId make_namespaced_key(NamespaceId ns, SampleId sample) {
+  if (sample > kNamespaceSampleMask) {
+    throw std::invalid_argument("make_namespaced_key: sample id exceeds 24 bits");
+  }
+  if (ns > kMaxNamespace) {
+    throw std::invalid_argument("make_namespaced_key: namespace exceeds 8 bits");
+  }
+  return (static_cast<SampleId>(ns) << kNamespaceShift) | sample;
+}
+
+/// The namespace a key belongs to (0 for plain single-job sample ids).
+inline constexpr NamespaceId namespace_of(SampleId key) noexcept {
+  return static_cast<NamespaceId>(key >> kNamespaceShift);
+}
+
+/// The dataset-local sample id inside a namespaced key.
+inline constexpr SampleId sample_of(SampleId key) noexcept {
+  return key & kNamespaceSampleMask;
+}
+
+}  // namespace lobster::cache

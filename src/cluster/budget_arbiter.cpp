@@ -1,0 +1,130 @@
+#include "cluster/budget_arbiter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace lobster::cluster {
+
+KvBudgetArbiter::KvBudgetArbiter(cache::KvStore& store, Bytes budget, ImminenceFn imminence)
+    : store_(store), imminence_(std::move(imminence)), budget_(budget) {
+  if (!imminence_) throw std::invalid_argument("KvBudgetArbiter: imminence fn required");
+}
+
+bool KvBudgetArbiter::make_room_locked(Bytes needed, Bytes target,
+                                       cache::CacheDirectory* directory) {
+  if (tracked_bytes_ + needed <= target) return true;
+  // One sweep builds the victim list farthest-first; evicting from the back
+  // keeps the sort ascending-by-imminence so we pop the most distant entry.
+  struct Victim {
+    SampleId key;
+    Bytes bytes;
+    IterId distance;
+  };
+  std::vector<Victim> victims;
+  victims.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    const IterId distance = imminence_(key);
+    if (distance == 0) {
+      ++stats_.protected_entries;
+      continue;  // needed this round by some job: never a victim
+    }
+    victims.push_back({key, entry.bytes, distance});
+  }
+  std::sort(victims.begin(), victims.end(), [](const Victim& a, const Victim& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.key < b.key;
+  });
+  while (tracked_bytes_ + needed > target && !victims.empty()) {
+    const Victim victim = victims.back();
+    victims.pop_back();
+    const auto it = entries_.find(victim.key);
+    tracked_bytes_ -= it->second.bytes;
+    per_namespace_[cache::namespace_of(victim.key)] -= it->second.bytes;
+    if (directory != nullptr) directory->remove(victim.key, it->second.holder);
+    entries_.erase(it);
+    (void)store_.erase(victim.key);
+    ++stats_.evictions;
+    LOBSTER_METRIC_COUNT("cluster.arbiter.evictions", 1);
+  }
+  return tracked_bytes_ + needed <= target;
+}
+
+Status KvBudgetArbiter::publish(SampleId key, cache::KvStore::PayloadPtr payload,
+                                NodeId holder, cache::CacheDirectory* directory) {
+  if (payload == nullptr) throw std::invalid_argument("KvBudgetArbiter::publish: null payload");
+  const Bytes size = payload->size();
+  const std::scoped_lock lock(mutex_);
+  ++stats_.publishes;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    // Already cached (another node of the same namespace published first, or
+    // a re-publish after rejoin): keep the existing holder, count nothing.
+    return Status{};
+  }
+  if (budget_ != 0 && !make_room_locked(size, budget_, directory)) {
+    ++stats_.rejected_publishes;
+    LOBSTER_METRIC_COUNT("cluster.arbiter.rejected_publishes", 1);
+    return Status::overflow("cluster KV budget: room would need an imminent victim");
+  }
+  const Status put = store_.put(key, std::move(payload));
+  if (!put.ok()) return put;
+  entries_.emplace(key, Entry{size, holder});
+  tracked_bytes_ += size;
+  per_namespace_[cache::namespace_of(key)] += size;
+  if (directory != nullptr) directory->add(key, holder);
+  return Status{};
+}
+
+void KvBudgetArbiter::set_budget(Bytes budget, cache::CacheDirectory* directory) {
+  const std::scoped_lock lock(mutex_);
+  const bool shrinking = budget != 0 && (budget_ == 0 || budget < budget_);
+  budget_ = budget;
+  if (!shrinking) return;
+  ++stats_.shrinks;
+  (void)make_room_locked(0, budget_, directory);
+  stats_.deficit_bytes = tracked_bytes_ > budget_ ? tracked_bytes_ - budget_ : 0;
+  LOBSTER_METRIC_GAUGE("cluster.arbiter.deficit_bytes", stats_.deficit_bytes);
+}
+
+Bytes KvBudgetArbiter::budget() const {
+  const std::scoped_lock lock(mutex_);
+  return budget_;
+}
+
+Bytes KvBudgetArbiter::bytes_tracked() const {
+  const std::scoped_lock lock(mutex_);
+  return tracked_bytes_;
+}
+
+Bytes KvBudgetArbiter::namespace_bytes(cache::NamespaceId ns) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = per_namespace_.find(ns);
+  return it == per_namespace_.end() ? 0 : it->second;
+}
+
+Bytes KvBudgetArbiter::drop_namespace(cache::NamespaceId ns,
+                                      cache::CacheDirectory* directory) {
+  const std::scoped_lock lock(mutex_);
+  Bytes freed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (cache::namespace_of(it->first) != ns) {
+      ++it;
+      continue;
+    }
+    freed += it->second.bytes;
+    if (directory != nullptr) directory->remove(it->first, it->second.holder);
+    it = entries_.erase(it);
+  }
+  tracked_bytes_ -= freed;
+  per_namespace_.erase(ns);
+  (void)store_.erase_namespace(ns);
+  return freed;
+}
+
+KvBudgetArbiter::Stats KvBudgetArbiter::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace lobster::cluster

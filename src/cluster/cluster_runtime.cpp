@@ -1,0 +1,461 @@
+#include "cluster/cluster_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/registry.hpp"
+
+namespace lobster::cluster {
+
+namespace {
+
+/// Relative compute cost per iteration of the models the paper evaluates;
+/// scales ClusterConfig::t_train_s so mixed-model tenants desynchronize.
+double model_train_scale(const std::string& model) {
+  if (model == "alexnet") return 0.55;
+  if (model == "resnet18") return 0.75;
+  if (model == "vgg16") return 1.6;
+  return 1.0;  // resnet50 and unknown models
+}
+
+struct IsolatedRun {
+  double run_s = 0.0;
+  std::uint64_t pfs_reads = 0;
+  Bytes pfs_bytes = 0;
+};
+
+/// The job alone on its block: private KV tier, full PFS bandwidth. Same
+/// per-iteration cost model as the shared run, so slowdown isolates the
+/// effect of co-tenancy rather than of the model itself.
+IsolatedRun run_isolated(const JobSpec& spec, const data::SampleCatalog& catalog,
+                         const TierRates& rates, double t_train) {
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = catalog.size();
+  sampler_config.nodes = spec.nodes;
+  sampler_config.gpus_per_node = spec.gpus_per_node;
+  sampler_config.batch_size = spec.batch_size;
+  sampler_config.seed = spec.sampler_seed;
+  const data::EpochSampler sampler(sampler_config);
+  const std::uint32_t iterations = sampler.iterations_per_epoch();
+
+  cache::KvStore kv(4);
+  cache::CacheDirectory directory(spec.nodes);
+  KvBudgetArbiter arbiter(kv, 0, [](SampleId) { return kNeverIter; });
+
+  IsolatedRun result;
+  for (std::uint32_t epoch = 0; epoch < spec.epochs; ++epoch) {
+    for (std::uint32_t h = 0; h < iterations; ++h) {
+      double slowest = 0.0;
+      for (NodeId node = 0; node < spec.nodes; ++node) {
+        Bytes local = 0, remote = 0, pfs = 0;
+        for (const SampleId sample : sampler.node_batch(epoch, h, node)) {
+          const Bytes size = catalog.sample_bytes(sample);
+          if (directory.holds(sample, node)) {
+            local += size;
+          } else if (kv.get(sample).ok()) {
+            remote += size;
+          } else {
+            pfs += size;
+            ++result.pfs_reads;
+            result.pfs_bytes += size;
+            auto payload = std::make_shared<std::vector<std::byte>>(size);
+            (void)arbiter.publish(sample, std::move(payload), node, &directory);
+          }
+        }
+        const double io = static_cast<double>(local) / rates.local_bps +
+                          static_cast<double>(remote) / rates.remote_bps +
+                          static_cast<double>(pfs) / rates.pfs_bps +
+                          static_cast<double>(local + remote + pfs) / rates.preproc_bps;
+        slowest = std::max(slowest, std::max(t_train, io));
+      }
+      result.run_s += slowest;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---- JobWindowOracle ------------------------------------------------------
+
+std::optional<data::Access> JobWindowOracle::next_access(SampleId sample,
+                                                         IterId after) const {
+  for (const data::Access& a : inner_.accesses(sample)) {
+    if (a.iter == kNeverIter) continue;  // dropped by a partial final iteration
+    const IterId at = offset_ + a.iter;
+    if (at > after) {
+      return data::Access{at, static_cast<NodeId>(block_.first + a.node), a.gpu};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<data::Access> JobWindowOracle::next_access_on_node(SampleId sample, NodeId node,
+                                                                 IterId after) const {
+  if (!block_.contains(node)) return std::nullopt;
+  const NodeId local = static_cast<NodeId>(node - block_.first);
+  for (const data::Access& a : inner_.accesses(sample)) {
+    if (a.iter == kNeverIter || a.node != local) continue;
+    const IterId at = offset_ + a.iter;
+    if (at > after) return data::Access{at, node, a.gpu};
+  }
+  return std::nullopt;
+}
+
+IterId JobWindowOracle::reuse_distance_on_node(SampleId sample, NodeId node,
+                                               IterId now) const {
+  const auto a = next_access_on_node(sample, node, now);
+  return a.has_value() ? a->iter - now : kNeverIter;
+}
+
+std::uint32_t JobWindowOracle::remaining_uses_on_node(SampleId sample, NodeId node,
+                                                      IterId after) const {
+  if (!block_.contains(node)) return 0;
+  const NodeId local = static_cast<NodeId>(node - block_.first);
+  std::uint32_t uses = 0;
+  for (const data::Access& a : inner_.accesses(sample)) {
+    if (a.iter == kNeverIter || a.node != local) continue;
+    if (offset_ + a.iter > after) ++uses;
+  }
+  return uses;
+}
+
+bool JobWindowOracle::needed_by_other_node(SampleId sample, NodeId node,
+                                           IterId after) const {
+  for (const data::Access& a : inner_.accesses(sample)) {
+    if (a.iter == kNeverIter) continue;
+    const NodeId global = static_cast<NodeId>(block_.first + a.node);
+    if (global != node && offset_ + a.iter > after) return true;
+  }
+  return false;
+}
+
+// ---- ClusterRuntime -------------------------------------------------------
+
+struct ClusterRuntime::RunningJob {
+  JobId id = kInvalidJob;
+  cache::NamespaceId ns = 0;
+  std::uint64_t fingerprint = 0;
+  NodeBlock block;
+  std::shared_ptr<const data::SampleCatalog> catalog;
+  std::unique_ptr<data::EpochSampler> sampler;
+  std::unique_ptr<data::FutureAccessOracle> oracle;
+  std::unique_ptr<JobWindowOracle> window;
+  std::uint32_t iterations_per_epoch = 0;
+  std::uint64_t total_iters = 0;
+  std::uint64_t done = 0;
+  double t_train = 0.0;
+
+  struct Demand {
+    Bytes local = 0, remote = 0, pfs = 0;
+  };
+  std::vector<Demand> demands;  ///< per local node, refilled every round
+};
+
+ClusterRuntime::ClusterRuntime(ClusterConfig config)
+    : config_(config),
+      kv_(16),
+      directory_(config.nodes),
+      arbiter_(kv_, config.kv_budget, [this](SampleId key) { return imminence(key); }),
+      manager_(config.nodes, config.policy),
+      fairness_(config.starvation_rounds) {}
+
+ClusterRuntime::~ClusterRuntime() = default;
+
+JobId ClusterRuntime::submit(JobSpec spec) {
+  if (ran_) throw std::logic_error("ClusterRuntime::submit: run() already started");
+  const std::uint64_t arrival = spec.arrival_round;
+  const JobId id = manager_.submit(std::move(spec), arrival);
+  JobOutcome outcome;
+  outcome.id = id;
+  outcome.name = manager_.record(id).spec.name;
+  outcome.state = manager_.record(id).state;
+  outcome.submit_round = arrival;
+  outcomes_.push_back(std::move(outcome));
+  return id;
+}
+
+std::shared_ptr<const data::SampleCatalog> ClusterRuntime::catalog_for(
+    const JobSpec& spec, std::uint64_t fingerprint) {
+  auto& slot = catalogs_[fingerprint];
+  if (slot == nullptr) {
+    slot = std::make_shared<const data::SampleCatalog>(spec.dataset, spec.dataset_seed);
+  }
+  return slot;
+}
+
+bool ClusterRuntime::budget_gate(const JobSpec& spec) {
+  if (config_.kv_budget == 0) return true;
+  const std::uint64_t fingerprint = dataset_fingerprint(spec);
+  // A live namespace means the dataset is already (being) staged; admitting
+  // another job over it adds no KV footprint.
+  for (const auto& [id, job] : active_) {
+    if (job->fingerprint == fingerprint) return true;
+  }
+  const Bytes need = catalog_for(spec, fingerprint)->total_bytes();
+  // A dataset the budget can never hold won't fit better later: admit it
+  // and let the arbiter spill — queueing forever would be starvation.
+  if (need >= config_.kv_budget) return true;
+  return arbiter_.bytes_tracked() + need <= config_.kv_budget;
+}
+
+void ClusterRuntime::rebuild_merged(cache::NamespaceId ns) {
+  NamespaceOracles oracles;
+  for (const auto& [id, job] : active_) {
+    if (job->ns == ns && job->window != nullptr) oracles.members.push_back(job->window.get());
+  }
+  if (oracles.members.empty()) {
+    merged_.erase(ns);
+    return;
+  }
+  oracles.merged = std::make_unique<data::MergedAccessOracle>(oracles.members);
+  merged_[ns] = std::move(oracles);
+}
+
+IterId ClusterRuntime::imminence(SampleId key) const {
+  const auto it = merged_.find(cache::namespace_of(key));
+  if (it == merged_.end() || it->second.merged == nullptr) return kNeverIter;
+  // JobWindowOracle reports job iteration i at cluster time admit+i+1, so
+  // strictly-after round_ includes the current round's accesses at distance
+  // (reported - round_ - 1) == 0.
+  const auto access = it->second.merged->next_access(cache::sample_of(key), round_);
+  return access.has_value() ? access->iter - round_ - 1 : kNeverIter;
+}
+
+void ClusterRuntime::start_job(JobId id, std::uint64_t round) {
+  JobRecord& record = manager_.record_mutable(id);
+  auto job = std::make_unique<RunningJob>();
+  job->id = id;
+  job->fingerprint = dataset_fingerprint(record.spec);
+  job->catalog = catalog_for(record.spec, job->fingerprint);
+  job->ns = registry_.acquire(job->fingerprint);
+  record.ns = job->ns;
+  job->block = record.block;
+
+  data::SamplerConfig sampler_config;
+  sampler_config.num_samples = job->catalog->size();
+  sampler_config.nodes = record.spec.nodes;
+  sampler_config.gpus_per_node = record.spec.gpus_per_node;
+  sampler_config.batch_size = record.spec.batch_size;
+  sampler_config.seed = record.spec.sampler_seed;
+  job->sampler = std::make_unique<data::EpochSampler>(sampler_config);
+  job->iterations_per_epoch = job->sampler->iterations_per_epoch();
+  job->total_iters =
+      static_cast<std::uint64_t>(record.spec.epochs) * job->iterations_per_epoch;
+  job->oracle = std::make_unique<data::FutureAccessOracle>(
+      *job->sampler, std::max<std::uint32_t>(1, record.spec.oracle_window_epochs));
+  job->window = std::make_unique<JobWindowOracle>(*job->oracle, round, job->block);
+  job->t_train = config_.t_train_s * model_train_scale(record.spec.model);
+  job->demands.resize(record.spec.nodes);
+
+  JobOutcome& outcome = outcomes_[id];
+  outcome.ns = job->ns;
+  outcome.samples_expected = job->total_iters * job->sampler->world_size() *
+                             record.spec.batch_size;
+  if (registry_.refcount(job->ns) > 1) {
+    outcome.shared_namespace = true;
+    for (const auto& [other_id, other] : active_) {
+      if (other->ns == job->ns) outcomes_[other_id].shared_namespace = true;
+    }
+  }
+
+  const cache::NamespaceId ns = job->ns;
+  active_.emplace(id, std::move(job));
+  rebuild_merged(ns);
+}
+
+void ClusterRuntime::finish_job(RunningJob& job, std::uint64_t round) {
+  manager_.finish(job.id, round);
+  const JobRecord& record = manager_.record(job.id);
+  JobOutcome& outcome = outcomes_[job.id];
+
+  auto& registry = telemetry::MetricRegistry::instance();
+  const std::string prefix = job_metric_prefix(record.spec.name);
+  registry.counter(prefix + "pfs_reads").add(outcome.pfs_reads);
+  registry.counter(prefix + "kv_hits").add(outcome.kv_hits);
+  registry.counter(prefix + "samples_delivered").add(outcome.samples_delivered);
+  LOBSTER_METRIC_COUNT("cluster.pfs_reads", outcome.pfs_reads);
+  LOBSTER_METRIC_COUNT("cluster.kv_hits", outcome.kv_hits);
+}
+
+void ClusterRuntime::collect_demands(RunningJob& job, std::uint32_t epoch,
+                                     std::uint32_t iter) {
+  JobOutcome& outcome = outcomes_[job.id];
+  for (auto& demand : job.demands) demand = {};
+  for (std::uint16_t local_node = 0; local_node < job.block.count; ++local_node) {
+    const NodeId global = static_cast<NodeId>(job.block.first + local_node);
+    auto& demand = job.demands[local_node];
+    const auto batch = job.sampler->node_batch(epoch, iter, local_node);
+    for (const SampleId sample : batch) {
+      const SampleId key = cache::make_namespaced_key(job.ns, sample);
+      const Bytes size = job.catalog->sample_bytes(sample);
+      if (directory_.holds(key, global)) {
+        demand.local += size;
+        ++outcome.local_hits;
+      } else if (kv_.get(key).ok()) {
+        // Cluster-tier hit: published earlier by this job's peers or by
+        // another job over the same dataset (the dedup win).
+        demand.remote += size;
+        ++outcome.kv_hits;
+      } else {
+        demand.pfs += size;
+        ++outcome.pfs_reads;
+        outcome.pfs_bytes += size;
+        auto payload = std::make_shared<std::vector<std::byte>>(size);
+        // Best-effort: a rejected publish (kOverflow: room would need an
+        // imminent victim) still delivers the sample, just uncached.
+        (void)arbiter_.publish(key, std::move(payload), global, &directory_);
+      }
+    }
+    outcome.samples_delivered += batch.size();
+  }
+}
+
+double ClusterRuntime::iteration_time(const RunningJob& job,
+                                      double pfs_bps_effective) const {
+  const TierRates& rates = config_.rates;
+  double slowest = 0.0;
+  for (const auto& demand : job.demands) {
+    const Bytes total = demand.local + demand.remote + demand.pfs;
+    const double io = static_cast<double>(demand.local) / rates.local_bps +
+                      static_cast<double>(demand.remote) / rates.remote_bps +
+                      static_cast<double>(demand.pfs) / pfs_bps_effective +
+                      static_cast<double>(total) / rates.preproc_bps;
+    slowest = std::max(slowest, std::max(job.t_train, io));
+  }
+  return slowest;
+}
+
+ClusterResult ClusterRuntime::run() {
+  if (ran_) throw std::logic_error("ClusterRuntime::run: already ran");
+  ran_ = true;
+
+  std::vector<double> submit_clock(outcomes_.size(), 0.0);
+  std::vector<double> admit_clock(outcomes_.size(), 0.0);
+
+  ClusterResult result;
+  std::size_t open = 0;
+  for (JobOutcome& outcome : outcomes_) {
+    if (outcome.state == JobState::kRejected) continue;
+    ++open;
+    if (config_.run_isolated_baselines) {
+      const JobSpec& spec = manager_.record(outcome.id).spec;
+      const auto catalog = catalog_for(spec, dataset_fingerprint(spec));
+      const IsolatedRun isolated = run_isolated(
+          spec, *catalog, config_.rates, config_.t_train_s * model_train_scale(spec.model));
+      outcome.isolated_s = isolated.run_s;
+      outcome.isolated_pfs_reads = isolated.pfs_reads;
+      result.isolated_pfs_reads_sum += isolated.pfs_reads;
+      fairness_.set_isolated_baseline(outcome.id, outcome.name, isolated.run_s);
+    }
+  }
+
+  while (open > 0) {
+    if (round_ > config_.max_rounds) {
+      throw std::runtime_error("ClusterRuntime::run: exceeded max_rounds — scheduling livelock?");
+    }
+    for (JobOutcome& outcome : outcomes_) {
+      if (outcome.submit_round == round_ && outcome.state != JobState::kRejected) {
+        submit_clock[outcome.id] = clock_s_;
+      }
+    }
+    const auto admitted =
+        manager_.admit(round_, [this](const JobSpec& spec) { return budget_gate(spec); });
+    for (const JobId id : admitted) {
+      admit_clock[id] = clock_s_;
+      start_job(id, round_);
+    }
+    fairness_.observe_round(manager_, round_);
+    result.peak_live_namespaces =
+        std::max(result.peak_live_namespaces, registry_.live_namespaces());
+
+    // One lockstep iteration per running job. Pass 1 walks the shared tier
+    // (publishes included) and classifies demand; the PFS split needs every
+    // job's demand before any job's time can be priced.
+    std::vector<RunningJob*> executing;
+    std::vector<RunningJob*> finished;
+    for (JobOutcome& outcome : outcomes_) {
+      const auto it = active_.find(outcome.id);
+      if (it == active_.end()) continue;
+      RunningJob& job = *it->second;
+      if (job.done >= job.total_iters) {
+        finished.push_back(&job);  // zero-iteration job: finishes untouched
+        continue;
+      }
+      const auto epoch = static_cast<std::uint32_t>(job.done / job.iterations_per_epoch);
+      const auto h = static_cast<std::uint32_t>(job.done % job.iterations_per_epoch);
+      if (h == 0 && epoch != job.oracle->first_epoch()) job.oracle->rebase(epoch);
+      collect_demands(job, epoch, h);
+      executing.push_back(&job);
+    }
+    std::uint32_t pfs_jobs = 0;
+    for (const RunningJob* job : executing) {
+      for (const auto& demand : job->demands) {
+        if (demand.pfs > 0) {
+          ++pfs_jobs;
+          break;
+        }
+      }
+    }
+    const double pfs_bps_effective =
+        config_.rates.pfs_bps / std::max<std::uint32_t>(pfs_jobs, 1);
+
+    double round_time = 0.0;
+    for (RunningJob* job : executing) {
+      round_time = std::max(round_time, iteration_time(*job, pfs_bps_effective));
+    }
+    clock_s_ += round_time;
+
+    for (RunningJob* job : executing) {
+      ++job->done;
+      JobRecord& record = manager_.record_mutable(job->id);
+      ++record.iterations_done;
+      ++outcomes_[job->id].iterations;
+      if (job->done >= job->total_iters) finished.push_back(job);
+    }
+    for (RunningJob* job : finished) {
+      finish_job(*job, round_);
+      fairness_.on_finish(manager_.record(job->id), submit_clock[job->id],
+                          admit_clock[job->id], clock_s_);
+      const cache::NamespaceId ns = job->ns;
+      const JobId id = job->id;
+      active_.erase(id);
+      rebuild_merged(ns);
+      if (registry_.release(ns)) {
+        // Last job over this dataset: drop its cached payloads so the
+        // namespace id can be recycled without aliasing stale entries.
+        arbiter_.drop_namespace(ns, &directory_);
+      }
+      --open;
+    }
+    ++round_;
+  }
+
+  for (JobOutcome& outcome : outcomes_) {
+    const JobRecord& record = manager_.record(outcome.id);
+    outcome.state = record.state;
+    outcome.admit_round = record.admit_round;
+    outcome.finish_round = record.finish_round;
+    outcome.queue_wait_rounds = record.queue_wait_rounds();
+    if (fairness_.known(outcome.id)) {
+      const auto& fair = fairness_.job(outcome.id);
+      outcome.queue_wait_s = fair.queue_wait_s;
+      outcome.turnaround_s = fair.turnaround_s;
+      outcome.slowdown = fair.slowdown;
+      outcome.starved = fair.starved;
+    }
+    result.total_pfs_reads += outcome.pfs_reads;
+    result.total_pfs_bytes += outcome.pfs_bytes;
+    result.total_kv_hits += outcome.kv_hits;
+  }
+  result.jobs = outcomes_;
+  result.rounds = round_;
+  result.makespan_s = clock_s_;
+  result.starvation_events = fairness_.starvation_events();
+  result.max_slowdown = fairness_.max_slowdown();
+  result.arbiter = arbiter_.stats();
+  result.kv = kv_.stats();
+  return result;
+}
+
+}  // namespace lobster::cluster

@@ -1,0 +1,194 @@
+// Multi-tenant cluster driver (DESIGN.md §10): many jobs, one shared I/O
+// substrate.
+//
+// Runs a round-based lockstep simulation over the real runtime pieces:
+// every scheduler round, (1) newly arrived jobs are submitted, (2) the
+// JobManager admits what fits (node block + KV budget), (3) every running
+// job executes ONE iteration of its own deterministic sampler against the
+// SHARED cluster KV tier — namespaced keys, one CacheDirectory, every
+// publish through the KvBudgetArbiter — and (4) the cluster's virtual clock
+// advances by the slowest job's iteration time (jobs are synchronized by
+// the shared tier, so the round barrier is the honest model). PFS bandwidth
+// is a cluster-wide resource: jobs reading the PFS in the same round divide
+// it evenly, which is where inter-job interference (and slowdown) comes
+// from.
+//
+// Cross-job sharing: namespaces are minted per dataset fingerprint, so two
+// jobs over the same dataset hit each other's published samples (aggregate
+// PFS traffic strictly below the sum of isolated runs — the bench gates on
+// it). Eviction consults a per-namespace data::MergedAccessOracle over
+// every running job of that dataset, each job's FutureAccessOracle lifted
+// onto the cluster timeline by JobWindowOracle.
+//
+// Optionally runs each spec in isolation first (full PFS bandwidth, private
+// KV) to establish the per-job fairness baseline: slowdown = shared-cluster
+// turnaround / isolated run time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/directory.hpp"
+#include "cache/kv_store.hpp"
+#include "cache/namespace.hpp"
+#include "cluster/budget_arbiter.hpp"
+#include "cluster/fairness.hpp"
+#include "cluster/job.hpp"
+#include "cluster/namespace_registry.hpp"
+#include "cluster/scheduler.hpp"
+#include "common/tier_rates.hpp"
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "data/oracle.hpp"
+#include "data/sampler.hpp"
+
+namespace lobster::cluster {
+
+/// Lifts one running job's FutureAccessOracle onto the cluster timeline so
+/// per-namespace MergedAccessOracles can merge jobs admitted at different
+/// rounds: the access of job-local iteration i is reported at cluster time
+/// `admit_round + i + 1` on global node rank `block.first + local_node`.
+/// The +1 keeps "accessed in the current round" representable: querying
+/// strictly-after `current_round` returns this round's accesses at distance
+/// 1, so imminence = reported_time - current_round - 1 (0 = needed now).
+class JobWindowOracle final : public data::AccessOracle {
+ public:
+  JobWindowOracle(const data::FutureAccessOracle& inner, std::uint64_t admit_round,
+                  NodeBlock block)
+      : inner_(inner), offset_(admit_round + 1), block_(block) {}
+
+  std::optional<data::Access> next_access(SampleId sample, IterId after) const override;
+  std::optional<data::Access> next_access_on_node(SampleId sample, NodeId node,
+                                                  IterId after) const override;
+  IterId reuse_distance_on_node(SampleId sample, NodeId node, IterId now) const override;
+  std::uint32_t remaining_uses_on_node(SampleId sample, NodeId node,
+                                       IterId after) const override;
+  bool needed_by_other_node(SampleId sample, NodeId node, IterId after) const override;
+
+ private:
+  const data::FutureAccessOracle& inner_;
+  std::uint64_t offset_;
+  NodeBlock block_;
+};
+
+struct ClusterConfig {
+  std::uint16_t nodes = 64;              ///< simulated cluster size (<= 64)
+  SchedulerPolicy policy = SchedulerPolicy::kFairShare;
+  Bytes kv_budget = 0;                   ///< global KV byte budget; 0 = unbounded
+  TierRates rates = TierRates::defaults();
+  double t_train_s = 4e-3;               ///< base per-iteration compute time
+  std::uint64_t starvation_rounds = 64;  ///< queue wait that flags starvation
+  std::uint64_t max_rounds = 1u << 20;   ///< safety valve for the round loop
+  bool run_isolated_baselines = true;    ///< compute per-job slowdown baselines
+};
+
+/// Everything the fairness gates need about one job after the run.
+struct JobOutcome {
+  JobId id = kInvalidJob;
+  std::string name;
+  JobState state = JobState::kQueued;
+  cache::NamespaceId ns = 0;
+  bool shared_namespace = false;   ///< another job used the same dataset
+  std::uint64_t submit_round = 0;
+  std::uint64_t admit_round = 0;
+  std::uint64_t finish_round = 0;
+  std::uint64_t queue_wait_rounds = 0;
+  double queue_wait_s = 0.0;
+  double turnaround_s = 0.0;       ///< submit -> finish on the cluster clock
+  double isolated_s = 0.0;         ///< run time alone (0 when baselines off)
+  double slowdown = 0.0;           ///< turnaround_s / isolated_s
+  bool starved = false;
+  std::uint64_t iterations = 0;
+  std::uint64_t samples_expected = 0;   ///< epochs x iters x world x batch
+  std::uint64_t samples_delivered = 0;  ///< exactly-once gate: must match
+  std::uint64_t local_hits = 0;
+  std::uint64_t kv_hits = 0;
+  std::uint64_t pfs_reads = 0;
+  Bytes pfs_bytes = 0;
+  std::uint64_t isolated_pfs_reads = 0;
+};
+
+struct ClusterResult {
+  std::vector<JobOutcome> jobs;
+  std::uint64_t rounds = 0;
+  double makespan_s = 0.0;
+  std::uint64_t total_pfs_reads = 0;
+  Bytes total_pfs_bytes = 0;
+  std::uint64_t total_kv_hits = 0;
+  std::uint64_t isolated_pfs_reads_sum = 0;
+  std::uint64_t starvation_events = 0;
+  double max_slowdown = 0.0;
+  std::size_t peak_live_namespaces = 0;
+  KvBudgetArbiter::Stats arbiter;
+  cache::KvStore::Stats kv;
+};
+
+class ClusterRuntime {
+ public:
+  explicit ClusterRuntime(ClusterConfig config);
+  ~ClusterRuntime();
+
+  ClusterRuntime(const ClusterRuntime&) = delete;
+  ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+  /// Registers a job; it arrives at spec.arrival_round. Call before run().
+  JobId submit(JobSpec spec);
+
+  /// Drives rounds until every submitted job is finished (or rejected).
+  ClusterResult run();
+
+  const FairnessTracker& fairness() const noexcept { return fairness_; }
+  const NamespaceRegistry& namespaces() const noexcept { return registry_; }
+
+ private:
+  struct RunningJob;
+
+  std::shared_ptr<const data::SampleCatalog> catalog_for(const JobSpec& spec,
+                                                         std::uint64_t fingerprint);
+  bool budget_gate(const JobSpec& spec);
+  void start_job(JobId id, std::uint64_t round);
+  void finish_job(RunningJob& job, std::uint64_t round);
+  void rebuild_merged(cache::NamespaceId ns);
+  IterId imminence(SampleId key) const;
+
+  /// One job, one iteration: walks every node's batch against the shared
+  /// tier, publishing PFS fetches through the arbiter. Returns whether the
+  /// job read the PFS (for the contention split); fills per-node byte
+  /// demands into `job.node_local/remote/pfs`.
+  void collect_demands(RunningJob& job, std::uint32_t epoch, std::uint32_t iter);
+  double iteration_time(const RunningJob& job, double pfs_bps_effective) const;
+
+  ClusterConfig config_;
+  cache::KvStore kv_;
+  cache::CacheDirectory directory_;
+  NamespaceRegistry registry_;
+  KvBudgetArbiter arbiter_;
+  JobManager manager_;
+  FairnessTracker fairness_;
+
+  struct PendingSubmit {
+    JobSpec spec;
+    JobId id = kInvalidJob;
+  };
+  std::vector<PendingSubmit> pending_;
+  bool ran_ = false;
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<const data::SampleCatalog>> catalogs_;
+  std::unordered_map<JobId, std::unique_ptr<RunningJob>> active_;
+  /// Per-namespace merged view of every running job's future accesses.
+  struct NamespaceOracles {
+    std::vector<const data::AccessOracle*> members;
+    std::unique_ptr<data::MergedAccessOracle> merged;
+  };
+  std::unordered_map<cache::NamespaceId, NamespaceOracles> merged_;
+
+  std::vector<JobOutcome> outcomes_;
+  std::uint64_t round_ = 0;
+  double clock_s_ = 0.0;
+};
+
+}  // namespace lobster::cluster

@@ -1,0 +1,90 @@
+#include "cluster/fairness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/registry.hpp"
+
+namespace lobster::cluster {
+
+std::string job_metric_prefix(const std::string& job_name) {
+  return "cluster.job/" + job_name + "/";
+}
+
+FairnessTracker::FairnessTracker(std::uint64_t starvation_rounds)
+    : starvation_rounds_(starvation_rounds) {}
+
+FairnessTracker::JobFairness& FairnessTracker::slot(JobId id, const std::string& name) {
+  JobFairness& entry = jobs_[id];
+  if (entry.name.empty()) entry.name = name;
+  return entry;
+}
+
+void FairnessTracker::set_isolated_baseline(JobId id, const std::string& name,
+                                            double isolated_s) {
+  slot(id, name).isolated_s = isolated_s;
+}
+
+void FairnessTracker::observe_round(const JobManager& manager, std::uint64_t round) {
+  auto& registry = telemetry::MetricRegistry::instance();
+  std::size_t waiting = 0;
+  for (const JobId id : manager.queued()) {
+    const JobRecord& record = manager.record(id);
+    if (record.submit_round > round) continue;  // arrival still in the future
+    ++waiting;
+    if (round - record.submit_round < starvation_rounds_) continue;
+    JobFairness& entry = slot(id, record.spec.name);
+    if (entry.starved) continue;  // flag once per job
+    entry.starved = true;
+    ++starvation_events_;
+    LOBSTER_METRIC_COUNT("cluster.job_starvations", 1);
+    registry.counter(job_metric_prefix(record.spec.name) + "starved").add(1);
+  }
+  LOBSTER_METRIC_GAUGE("cluster.jobs_running", manager.running().size());
+  LOBSTER_METRIC_GAUGE("cluster.jobs_queued", waiting);
+  LOBSTER_METRIC_GAUGE("cluster.nodes_busy", manager.total_nodes() - manager.free_nodes());
+}
+
+void FairnessTracker::on_finish(const JobRecord& job, double submit_clock_s,
+                                double admit_clock_s, double finish_clock_s) {
+  JobFairness& entry = slot(job.id, job.spec.name);
+  entry.queue_wait_s = admit_clock_s - submit_clock_s;
+  entry.queue_wait_rounds = job.queue_wait_rounds();
+  entry.turnaround_s = finish_clock_s - submit_clock_s;
+  entry.slowdown = entry.isolated_s > 0.0 ? entry.turnaround_s / entry.isolated_s : 0.0;
+  entry.finished = true;
+
+  // Per-tenant slice: dynamic names go through the registry directly (the
+  // LOBSTER_METRIC_* macros cache per-literal and can't take these).
+  auto& registry = telemetry::MetricRegistry::instance();
+  const std::string prefix = job_metric_prefix(job.spec.name);
+  registry.counter(prefix + "iterations").add(job.iterations_done);
+  registry.counter(prefix + "queue_wait_rounds").add(entry.queue_wait_rounds);
+  registry.gauge(prefix + "turnaround_s").set(entry.turnaround_s);
+  registry.gauge(prefix + "slowdown").set(entry.slowdown);
+}
+
+const FairnessTracker::JobFairness& FairnessTracker::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("FairnessTracker: unknown job id");
+  return it->second;
+}
+
+double FairnessTracker::max_slowdown() const {
+  double worst = 0.0;
+  for (const auto& [id, entry] : jobs_) {
+    if (entry.finished) worst = std::max(worst, entry.slowdown);
+  }
+  return worst;
+}
+
+std::vector<FairnessTracker::JobFairness> FairnessTracker::all() const {
+  std::vector<JobFairness> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, entry] : jobs_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const JobFairness& a, const JobFairness& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace lobster::cluster

@@ -1,0 +1,76 @@
+// Fairness telemetry for the multi-tenant cluster (DESIGN.md §10).
+//
+// Answers the two questions a cluster operator asks of a shared I/O tier:
+//  * slowdown — how much slower did each job run than it would have alone?
+//    (turnaround on the cluster's virtual clock / the job's isolated run
+//    time, the classic shared-cluster metric; 1.0 = no interference)
+//  * starvation — did any queued job wait beyond the threshold while later
+//    arrivals ran? Each such job is flagged once and counted on the
+//    `cluster.job_starvations` counter the Monitor watches.
+//
+// Per-job aggregates are published under `cluster.job/<name>/...` so the
+// registry CSV and the trace analyzer can slice by tenant; cluster-wide
+// occupancy lands on `cluster.jobs_running` / `cluster.jobs_queued` /
+// `cluster.nodes_busy` gauges for the heartbeat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/scheduler.hpp"
+
+namespace lobster::cluster {
+
+/// Registry prefix for one job's metrics: "cluster.job/<name>/".
+std::string job_metric_prefix(const std::string& job_name);
+
+class FairnessTracker {
+ public:
+  struct JobFairness {
+    std::string name;
+    double isolated_s = 0.0;          ///< baseline run time alone (0 = unknown)
+    double queue_wait_s = 0.0;        ///< submit -> admit on the cluster clock
+    double turnaround_s = 0.0;        ///< submit -> finish on the cluster clock
+    std::uint64_t queue_wait_rounds = 0;
+    double slowdown = 0.0;            ///< turnaround_s / isolated_s (0 = unknown)
+    bool starved = false;             ///< queue wait crossed the threshold
+    bool finished = false;
+  };
+
+  /// `starvation_rounds`: queued longer than this flags the job as starved.
+  explicit FairnessTracker(std::uint64_t starvation_rounds = 64);
+
+  /// Baseline from an isolated run of the same spec; enables slowdown.
+  void set_isolated_baseline(JobId id, const std::string& name, double isolated_s);
+
+  /// Per-round sweep at the scheduling barrier: flags newly starved queued
+  /// jobs and refreshes the occupancy gauges.
+  void observe_round(const JobManager& manager, std::uint64_t round);
+
+  /// Records a finished job's timeline and publishes its per-job metrics.
+  void on_finish(const JobRecord& job, double submit_clock_s, double admit_clock_s,
+                 double finish_clock_s);
+
+  const JobFairness& job(JobId id) const;
+  bool known(JobId id) const { return jobs_.count(id) != 0; }
+
+  /// Worst slowdown across finished jobs with a baseline (0 when none).
+  double max_slowdown() const;
+  /// Jobs flagged starved so far.
+  std::uint64_t starvation_events() const noexcept { return starvation_events_; }
+  std::uint64_t starvation_rounds() const noexcept { return starvation_rounds_; }
+
+  std::vector<JobFairness> all() const;
+
+ private:
+  JobFairness& slot(JobId id, const std::string& name);
+
+  std::uint64_t starvation_rounds_;
+  std::uint64_t starvation_events_ = 0;
+  std::unordered_map<JobId, JobFairness> jobs_;
+};
+
+}  // namespace lobster::cluster

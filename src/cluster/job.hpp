@@ -1,0 +1,84 @@
+// Multi-tenant job model (DESIGN.md §10).
+//
+// A "job" is one independent training run — its own model, dataset, epoch
+// budget and deterministic sampler stream — carved onto a contiguous block
+// of the shared cluster's simulated nodes (LBANN's trainer concept: a
+// block-assignment of ranks to an independent model + data-reader group).
+// The JobManager owns the lifecycle; everything here is plain data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/namespace.hpp"
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+
+namespace lobster::cluster {
+
+using JobId = std::uint32_t;
+inline constexpr JobId kInvalidJob = static_cast<JobId>(~0U);
+
+/// Lifecycle: kQueued -> kRunning -> kFinished, with kRejected terminal for
+/// specs that can never be admitted (e.g. more nodes than the cluster has).
+/// The JobManager validates every transition; anything else throws.
+enum class JobState : std::uint8_t { kQueued = 0, kRunning, kFinished, kRejected };
+
+const char* job_state_name(JobState state) noexcept;
+
+/// What a tenant submits.
+struct JobSpec {
+  std::string name;              ///< unique label; also the metric prefix
+  std::string model = "resnet50";
+
+  // Dataset identity. Jobs whose (dataset, dataset_seed) match share one KV
+  // namespace — the cross-job dedup the shared tier exists for.
+  data::DatasetSpec dataset;
+  std::uint64_t dataset_seed = 42;
+
+  std::uint16_t nodes = 4;         ///< requested contiguous node-block size
+  std::uint16_t gpus_per_node = 2;
+  std::uint32_t batch_size = 16;
+  std::uint32_t epochs = 2;
+  std::uint64_t sampler_seed = 42; ///< per-job shuffle stream
+  std::uint32_t oracle_window_epochs = 2;
+  /// Fair-share weight: a queued job accumulates deficit at this rate, so
+  /// heavier tenants are admitted ahead of equally-old lighter ones.
+  double weight = 1.0;
+  /// Scheduler round at which the job arrives (the cluster driver submits
+  /// it then; jobs with round 0 are present from the start).
+  std::uint64_t arrival_round = 0;
+};
+
+/// Deterministic identity of the dataset a job trains over; equal
+/// fingerprints share a KV namespace (see NamespaceRegistry).
+std::uint64_t dataset_fingerprint(const JobSpec& spec) noexcept;
+
+/// A contiguous block of node ranks [first, first + count).
+struct NodeBlock {
+  NodeId first = 0;
+  std::uint16_t count = 0;
+
+  bool contains(NodeId node) const noexcept {
+    return node >= first && node < first + count;
+  }
+};
+
+/// The JobManager's book entry for one job.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  NodeBlock block;                       ///< valid while kRunning/kFinished
+  cache::NamespaceId ns = 0;             ///< valid while kRunning/kFinished
+  std::uint64_t submit_round = 0;
+  std::uint64_t admit_round = 0;         ///< valid once kRunning
+  std::uint64_t finish_round = 0;        ///< valid once kFinished
+  std::uint64_t iterations_done = 0;
+
+  std::uint64_t queue_wait_rounds() const noexcept {
+    return state == JobState::kQueued ? 0 : admit_round - submit_round;
+  }
+};
+
+}  // namespace lobster::cluster

@@ -1,0 +1,77 @@
+#include "cluster/namespace_registry.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "cluster/job.hpp"
+
+namespace lobster::cluster {
+
+std::uint64_t dataset_fingerprint(const JobSpec& spec) noexcept {
+  // Order-sensitive splitmix chain over the fields that define catalog
+  // contents (data::SampleCatalog is deterministic in (spec, seed)).
+  std::uint64_t h = 0x10b57e7aULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    std::uint64_t state = h;
+    h = splitmix64(state);
+  };
+  for (const char c : spec.dataset.name) mix(static_cast<std::uint64_t>(c));
+  mix(spec.dataset.num_samples);
+  mix(static_cast<std::uint64_t>(spec.dataset.lognormal_mu * 1e9));
+  mix(static_cast<std::uint64_t>(spec.dataset.lognormal_sigma * 1e9));
+  mix(spec.dataset.min_bytes);
+  mix(spec.dataset.max_bytes);
+  mix(spec.dataset_seed);
+  return h;
+}
+
+cache::NamespaceId NamespaceRegistry::acquire(std::uint64_t fingerprint) {
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = by_fingerprint_.find(fingerprint); it != by_fingerprint_.end()) {
+    ++live_.at(it->second).refs;
+    return it->second;
+  }
+  cache::NamespaceId ns;
+  if (!free_ids_.empty()) {
+    ns = free_ids_.back();
+    free_ids_.pop_back();
+  } else if (next_fresh_ <= cache::kMaxNamespace) {
+    ns = next_fresh_++;
+  } else {
+    throw std::runtime_error("NamespaceRegistry: all namespace ids live");
+  }
+  by_fingerprint_.emplace(fingerprint, ns);
+  live_.emplace(ns, Entry{fingerprint, 1});
+  return ns;
+}
+
+bool NamespaceRegistry::release(cache::NamespaceId ns) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = live_.find(ns);
+  if (it == live_.end()) throw std::invalid_argument("NamespaceRegistry: release of dead namespace");
+  if (--it->second.refs > 0) return false;
+  by_fingerprint_.erase(it->second.fingerprint);
+  live_.erase(it);
+  free_ids_.push_back(ns);
+  return true;
+}
+
+bool NamespaceRegistry::shared(cache::NamespaceId ns) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = live_.find(ns);
+  return it != live_.end() && it->second.refs > 1;
+}
+
+std::uint32_t NamespaceRegistry::refcount(cache::NamespaceId ns) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = live_.find(ns);
+  return it == live_.end() ? 0 : it->second.refs;
+}
+
+std::size_t NamespaceRegistry::live_namespaces() const {
+  const std::scoped_lock lock(mutex_);
+  return live_.size();
+}
+
+}  // namespace lobster::cluster

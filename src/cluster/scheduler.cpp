@@ -1,0 +1,167 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/registry.hpp"
+
+namespace lobster::cluster {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kFinished:
+      return "finished";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+const char* scheduler_policy_name(SchedulerPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return "fifo";
+    case SchedulerPolicy::kFairShare:
+      return "fair_share";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(std::uint16_t total_nodes, SchedulerPolicy policy)
+    : total_nodes_(total_nodes), policy_(policy), node_busy_(total_nodes, false) {
+  if (total_nodes == 0) throw std::invalid_argument("JobManager: cluster has zero nodes");
+}
+
+JobId JobManager::submit(JobSpec spec, std::uint64_t round) {
+  const JobId id = static_cast<JobId>(jobs_.size());
+  JobRecord record;
+  record.id = id;
+  record.spec = std::move(spec);
+  record.submit_round = round;
+  const bool impossible =
+      record.spec.nodes == 0 || record.spec.nodes > total_nodes_;
+  record.state = impossible ? JobState::kRejected : JobState::kQueued;
+  jobs_.push_back(std::move(record));
+  if (impossible) {
+    LOBSTER_METRIC_COUNT("cluster.jobs_rejected", 1);
+  } else {
+    LOBSTER_METRIC_COUNT("cluster.jobs_submitted", 1);
+  }
+  return id;
+}
+
+std::optional<NodeBlock> JobManager::find_block(std::uint16_t count) const {
+  // First-fit over the contiguous free runs. Cluster sizes here are small
+  // (<= a few hundred simulated nodes), so the linear scan is fine.
+  std::uint16_t run = 0;
+  for (std::uint16_t node = 0; node < total_nodes_; ++node) {
+    run = node_busy_[node] ? 0 : run + 1;
+    if (run == count) {
+      return NodeBlock{static_cast<NodeId>(node + 1 - count), count};
+    }
+  }
+  return std::nullopt;
+}
+
+void JobManager::occupy(NodeBlock block, bool value) {
+  for (std::uint16_t i = 0; i < block.count; ++i) node_busy_[block.first + i] = value;
+}
+
+bool JobManager::try_admit(JobRecord& job, std::uint64_t round, const BudgetGate& gate) {
+  const auto block = find_block(job.spec.nodes);
+  if (!block.has_value()) return false;
+  if (gate && !gate(job.spec)) return false;
+  job.state = JobState::kRunning;
+  job.block = *block;
+  job.admit_round = round;
+  occupy(*block, true);
+  LOBSTER_METRIC_COUNT("cluster.jobs_admitted", 1);
+  return true;
+}
+
+std::vector<JobId> JobManager::admit(std::uint64_t round, const BudgetGate& gate) {
+  std::vector<JobRecord*> waiting;
+  for (JobRecord& job : jobs_) {
+    if (job.state == JobState::kQueued && job.submit_round <= round) waiting.push_back(&job);
+  }
+  // jobs_ is in submission order, so `waiting` already is FIFO. Fair-share
+  // re-ranks by accumulated deficit (wait x weight), oldest-heaviest first;
+  // ties fall back to arrival order for determinism.
+  if (policy_ == SchedulerPolicy::kFairShare) {
+    std::stable_sort(waiting.begin(), waiting.end(),
+                     [round](const JobRecord* a, const JobRecord* b) {
+                       const double da = static_cast<double>(round - a->submit_round) * a->spec.weight;
+                       const double db = static_cast<double>(round - b->submit_round) * b->spec.weight;
+                       return da > db;
+                     });
+  }
+  std::vector<JobId> admitted;
+  for (JobRecord* job : waiting) {
+    if (try_admit(*job, round, gate)) {
+      admitted.push_back(job->id);
+    } else if (policy_ == SchedulerPolicy::kFifo) {
+      break;  // strict head-of-line: nothing younger may jump the queue
+    }
+    // kFairShare: keep scanning — backfill smaller jobs into leftover nodes.
+  }
+  return admitted;
+}
+
+void JobManager::finish(JobId id, std::uint64_t round) {
+  JobRecord& job = record_mutable(id);
+  if (job.state != JobState::kRunning) {
+    throw std::logic_error(std::string("JobManager::finish: job is ") +
+                           job_state_name(job.state) + ", not running");
+  }
+  job.state = JobState::kFinished;
+  job.finish_round = round;
+  occupy(job.block, false);
+  LOBSTER_METRIC_COUNT("cluster.jobs_finished", 1);
+}
+
+const JobRecord& JobManager::record(JobId id) const {
+  if (id >= jobs_.size()) throw std::out_of_range("JobManager::record: unknown job id");
+  return jobs_[id];
+}
+
+JobRecord& JobManager::record_mutable(JobId id) {
+  if (id >= jobs_.size()) throw std::out_of_range("JobManager::record: unknown job id");
+  return jobs_[id];
+}
+
+std::vector<JobId> JobManager::running() const {
+  std::vector<JobId> out;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::kRunning) out.push_back(job.id);
+  }
+  return out;
+}
+
+std::vector<JobId> JobManager::queued() const {
+  std::vector<JobId> out;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::kQueued) out.push_back(job.id);
+  }
+  return out;
+}
+
+std::uint16_t JobManager::free_nodes() const {
+  return static_cast<std::uint16_t>(
+      std::count(node_busy_.begin(), node_busy_.end(), false));
+}
+
+std::uint64_t JobManager::oldest_queued_wait(std::uint64_t round) const {
+  std::uint64_t worst = 0;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::kQueued && job.submit_round <= round) {
+      worst = std::max(worst, round - job.submit_round);
+    }
+  }
+  return worst;
+}
+
+}  // namespace lobster::cluster

@@ -1,0 +1,90 @@
+// Job admission and node-block scheduling over the shared cluster
+// (DESIGN.md §10).
+//
+// The JobManager owns the job table and the node free-list. Submission
+// queues a job; each scheduler round, admit() walks the queue under the
+// configured policy and starts every job for which BOTH resources are
+// available: a contiguous node block of the requested size (LBANN-style
+// rank-block assignment) and KV-budget headroom (an admission callback the
+// cluster driver binds to the arbiter). Finishing a job releases its block
+// and re-runs nothing — the next admit() round picks up the freed capacity.
+//
+// Policies:
+//  * kFifo       — strict arrival order with head-of-line blocking: if the
+//                  oldest queued job does not fit, nothing behind it runs.
+//                  Predictable, but a wide job can idle the cluster.
+//  * kFairShare  — weighted-deficit order with backfill: queued jobs are
+//                  ranked by wait_rounds x weight (descending) and every
+//                  one that fits is admitted. No head-of-line blocking, and
+//                  a job's claim grows the longer it waits, so nothing
+//                  starves behind a stream of later arrivals.
+//
+// Single-threaded by design: the cluster driver calls it between rounds
+// (jobs' iterations run inside a round; scheduling happens at the barrier).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cluster/job.hpp"
+
+namespace lobster::cluster {
+
+enum class SchedulerPolicy : std::uint8_t { kFifo = 0, kFairShare };
+
+const char* scheduler_policy_name(SchedulerPolicy policy) noexcept;
+
+class JobManager {
+ public:
+  /// Admission gate beyond node capacity: the driver binds this to the KV
+  /// budget arbiter ("is there headroom to admit this job's working set?").
+  using BudgetGate = std::function<bool(const JobSpec&)>;
+
+  JobManager(std::uint16_t total_nodes, SchedulerPolicy policy);
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Queues a job (state kQueued). A spec that can never run on this
+  /// cluster (nodes == 0 or > total) is recorded as kRejected instead.
+  /// `round` may be in the future: the job is registered now but invisible
+  /// to admit() (and to queue-wait accounting) until that round arrives —
+  /// how the cluster driver pre-loads an arrival schedule.
+  JobId submit(JobSpec spec, std::uint64_t round);
+
+  /// Runs one admission round: admits queued jobs per the policy while a
+  /// node block and budget headroom are available. Returns admitted ids in
+  /// admission order. `gate` may be null (node capacity only).
+  std::vector<JobId> admit(std::uint64_t round, const BudgetGate& gate = nullptr);
+
+  /// kRunning -> kFinished; releases the node block.
+  void finish(JobId id, std::uint64_t round);
+
+  const JobRecord& record(JobId id) const;
+  JobRecord& record_mutable(JobId id);
+
+  std::vector<JobId> running() const;
+  std::vector<JobId> queued() const;  ///< in arrival order
+  std::size_t jobs() const noexcept { return jobs_.size(); }
+  std::uint16_t total_nodes() const noexcept { return total_nodes_; }
+  std::uint16_t free_nodes() const;
+  SchedulerPolicy policy() const noexcept { return policy_; }
+
+  /// Longest current queue wait in rounds (0 when the queue is empty) —
+  /// the starvation signal the fairness tracker samples.
+  std::uint64_t oldest_queued_wait(std::uint64_t round) const;
+
+ private:
+  std::optional<NodeBlock> find_block(std::uint16_t count) const;
+  void occupy(NodeBlock block, bool value);
+  bool try_admit(JobRecord& job, std::uint64_t round, const BudgetGate& gate);
+
+  std::uint16_t total_nodes_;
+  SchedulerPolicy policy_;
+  std::vector<bool> node_busy_;
+  std::vector<JobRecord> jobs_;  ///< indexed by JobId
+};
+
+}  // namespace lobster::cluster

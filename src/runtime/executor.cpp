@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cache/namespace.hpp"
 #include "common/logging.hpp"
 #include "common/strfmt.hpp"
 #include "runtime/watchdog.hpp"
@@ -47,15 +48,21 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     return;
   }
 
+  // Multi-tenant runs address the shared KV tier and directory with keys
+  // namespaced to the job's dataset (namespace 0 leaves the key untouched,
+  // so single-job runs are byte-identical). The manager's peer fetches stay
+  // in raw sample space: peers serve their own job's samples.
+  const SampleId key = job_.ns == 0 ? request.sample
+                                    : cache::make_namespaced_key(job_.ns, request.sample);
   cache::KvStore::PayloadPtr payload;
   if (request.tier == FetchTier::kRemote && kv_store_ != nullptr) {
-    auto kv = kv_store_->get(request.sample);  // zero-copy: shared reference
+    auto kv = kv_store_->get(key);  // zero-copy: shared reference
     if (kv.ok()) {
       payload = kv.take();
       if (config_.verify_payloads && !verify_sample_payload(request.sample, *payload)) {
         // Corruption quarantine (DESIGN.md §9): evict the bad entry so no
         // other worker is served it, then fall through to a fresh fetch.
-        (void)kv_store_->erase(request.sample);
+        (void)kv_store_->erase(key);
         payload.reset();
         quarantined_.fetch_add(1, std::memory_order_relaxed);
         LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
@@ -72,55 +79,39 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
   // request's routing (the manager's strike counter handles repeat
   // offenders) and the retry goes to the next holder.
   bool failure_detour = false;
-  if (!remote_served && request.tier == FetchTier::kRemote && manager_ != nullptr) {
-    if (directory_ != nullptr) {
-      // O(1) routing: ask the directory-recorded holder, nobody else.
-      std::uint64_t exclude_mask = 0;
-      NodeId holder = directory_->peer_holder(request.sample, config_.node, exclude_mask);
-      while (holder != cache::CacheDirectory::kInvalidNode) {
-        auto fetched = manager_->fetch_remote(request.sample, holder);
-        if (fetched.ok()) {
-          payload = std::make_shared<const std::vector<std::byte>>(fetched.take());
-          remote_served = true;
-          break;
-        }
-        const StatusCode cause = fetched.status().code();
-        if (cause == StatusCode::kTimeout || cause == StatusCode::kPeerDown) {
-          directory_->mark_node_down(holder);
-          failure_detour = true;
-          LOBSTER_METRIC_COUNT("executor.peer_down_reroutes", 1);
-          holder = directory_->peer_holder(request.sample, config_.node, exclude_mask);
-          continue;  // next surviving holder (or kInvalidNode -> PFS)
-        }
-        if (cause == StatusCode::kCorrupt) {
-          quarantined_.fetch_add(1, std::memory_order_relaxed);
-          LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
-          LOBSTER_METRIC_COUNT("executor.corrupt_reroutes", 1);
-          failure_detour = true;
-          exclude_mask |= 1ULL << holder;
-          holder = directory_->peer_holder(request.sample, config_.node, exclude_mask);
-          continue;  // next holder with a (hopefully) clean copy
-        }
-        break;  // authoritative miss / shutdown: PFS fallback
+  if (!remote_served && request.tier == FetchTier::kRemote && manager_ != nullptr &&
+      directory_ != nullptr) {
+    // O(1) routing: ask the directory-recorded holder, nobody else. (The
+    // old directory-less fallback — polling every peer in rank order — is
+    // gone: without a residency map a "remote" request goes straight to the
+    // KV tier above and then the PFS below.)
+    std::uint64_t exclude_mask = 0;
+    NodeId holder = directory_->peer_holder(key, config_.node, exclude_mask);
+    while (holder != cache::CacheDirectory::kInvalidNode) {
+      auto fetched = manager_->fetch_remote(request.sample, holder);
+      if (fetched.ok()) {
+        payload = std::make_shared<const std::vector<std::byte>>(fetched.take());
+        remote_served = true;
+        break;
       }
-    } else {
-      // No directory wired in: legacy O(world) poll in rank order.
-      const auto world = plan_.cluster_nodes;
-      for (comm::Rank peer = 0; peer < world && !remote_served; ++peer) {
-        if (peer == config_.node) continue;
-        auto fetched = manager_->fetch_remote(request.sample, peer);
-        if (fetched.ok()) {
-          payload = std::make_shared<const std::vector<std::byte>>(fetched.take());
-          remote_served = true;
-        } else if (fetched.status().code() == StatusCode::kTimeout ||
-                   fetched.status().code() == StatusCode::kPeerDown) {
-          failure_detour = true;
-        } else if (fetched.status().code() == StatusCode::kCorrupt) {
-          quarantined_.fetch_add(1, std::memory_order_relaxed);
-          LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
-          failure_detour = true;  // loop naturally tries the next peer
-        }
+      const StatusCode cause = fetched.status().code();
+      if (cause == StatusCode::kTimeout || cause == StatusCode::kPeerDown) {
+        directory_->mark_node_down(holder);
+        failure_detour = true;
+        LOBSTER_METRIC_COUNT("executor.peer_down_reroutes", 1);
+        holder = directory_->peer_holder(key, config_.node, exclude_mask);
+        continue;  // next surviving holder (or kInvalidNode -> PFS)
       }
+      if (cause == StatusCode::kCorrupt) {
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+        LOBSTER_METRIC_COUNT("executor.corrupt_reroutes", 1);
+        failure_detour = true;
+        exclude_mask |= 1ULL << holder;
+        holder = directory_->peer_holder(key, config_.node, exclude_mask);
+        continue;  // next holder with a (hopefully) clean copy
+      }
+      break;  // authoritative miss / shutdown: PFS fallback
     }
   }
   // Last-line verification: every remote tier above already verified, so a
@@ -159,7 +150,7 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     // Best-effort publication: a capacity-bounded store may refuse (the
     // sample is still delivered locally either way). Only verified payloads
     // reach this point, so the KV tier never redistributes garbage.
-    (void)kv_store_->put(request.sample, std::move(payload));
+    (void)kv_store_->put(key, std::move(payload));
   }
 }
 
@@ -238,7 +229,8 @@ ExecutionReport PlanExecutor::run() {
           request.iter = iteration.iter;
           request.gpu = g;
           request.tier = store_.contains(s) ? FetchTier::kLocal
-                         : (manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs);
+                         : (manager_ != nullptr || kv_store_ != nullptr ? FetchTier::kRemote
+                                                                        : FetchTier::kPfs);
           enqueue_buffer.push_back(request);
         }
         stats.demand_requests += static_cast<std::uint32_t>(enqueue_buffer.size());
@@ -421,7 +413,8 @@ ExecutionReport PlanExecutor::run() {
       request.bytes = catalog_.sample_bytes(s);
       request.iter = iteration.iter;
       request.prefetch = true;
-      request.tier = manager_ != nullptr ? FetchTier::kRemote : FetchTier::kPfs;
+      request.tier = manager_ != nullptr || kv_store_ != nullptr ? FetchTier::kRemote
+                                                                 : FetchTier::kPfs;
       ++stats.prefetch_requests;
       prefetch_futures.push_back(loading_pool.submit([this, request] {
         GpuAccounting prefetch_acct;
@@ -437,6 +430,15 @@ ExecutionReport PlanExecutor::run() {
   report.payload_failures = payload_failures_.load(std::memory_order_relaxed);
   report.quarantined_payloads = quarantined_.load(std::memory_order_relaxed);
   LOBSTER_METRIC_COUNT("executor.samples_delivered", report.samples_delivered);
+  if (!job_.metric_prefix.empty()) {
+    // Per-tenant slice of the same aggregates (dynamic names can't use the
+    // per-literal metric macros).
+    auto& registry = telemetry::MetricRegistry::instance();
+    registry.counter(job_.metric_prefix + "samples_delivered").add(report.samples_delivered);
+    registry.counter(job_.metric_prefix + "degraded_fetches").add(report.degraded_fetches);
+    registry.counter(job_.metric_prefix + "quarantined_payloads")
+        .add(report.quarantined_payloads);
+  }
   return report;
 }
 

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -63,6 +64,18 @@ struct ExecutorConfig {
   /// "kill node 2 at iteration 5" fires at a deterministic point in the
   /// execution, not at an arbitrary wall-clock moment.
   std::function<void(IterId)> iteration_hook;
+};
+
+/// Multi-tenant job context (DESIGN.md §10). When a job context is set,
+/// every shared-tier operation — KV gets/puts/erases and directory routing
+/// — addresses keys namespaced to the job's dataset, so several executors
+/// serving different jobs can share one KvStore/CacheDirectory without key
+/// collisions (and executors of jobs over the SAME dataset share entries on
+/// purpose). `metric_prefix` slices the run's registry aggregates by tenant
+/// (convention: "cluster.job/<name>/", see cluster::job_metric_prefix).
+struct JobContext {
+  std::uint32_t ns = 0;       ///< cache::NamespaceId; 0 = single-job default
+  std::string metric_prefix;  ///< empty = no per-job metrics
 };
 
 struct IterationExecution {
@@ -123,12 +136,22 @@ class PlanExecutor {
 
   /// Residency directory for remote-fetch routing (§4.4: deterministic
   /// prefetching makes residency a global property). When set, a remote miss
-  /// asks the directory-recorded holder directly — O(1) instead of polling
-  /// every peer in rank order. The residency *map* must not be mutated while
-  /// run() is in flight; the executor itself only flips the directory's
-  /// atomic down-mask (mark_node_down) when a holder stops answering, which
-  /// is safe under concurrent queries.
+  /// asks the directory-recorded holder directly in O(1). Without a
+  /// directory there is no peer routing at all — remote-planned samples are
+  /// served by the KV tier (if wired) or fall to the PFS. (The historical
+  /// fallback of polling every peer in rank order is gone: it hid O(world)
+  /// traffic behind a default, and every production path wires a directory.)
+  /// The residency *map* must not be mutated while run() is in flight; the
+  /// executor itself only flips the directory's atomic down-mask
+  /// (mark_node_down) when a holder stops answering, which is safe under
+  /// concurrent queries.
   void set_directory(cache::CacheDirectory* directory) noexcept { directory_ = directory; }
+
+  /// Tags this executor with a tenant (DESIGN.md §10): shared-tier keys are
+  /// namespaced, and end-of-run aggregates are additionally published under
+  /// the job's metric prefix. Must be set before run().
+  void set_job_context(JobContext context) { job_ = std::move(context); }
+  const JobContext& job_context() const noexcept { return job_; }
 
   /// Iteration watchdog (DESIGN.md §9): when set, run() brackets every
   /// iteration with begin_iteration/end_iteration so the watchdog's
@@ -177,6 +200,7 @@ class PlanExecutor {
   cache::KvStore* kv_store_ = nullptr;
   cache::CacheDirectory* directory_ = nullptr;
   IterationWatchdog* watchdog_ = nullptr;
+  JobContext job_;
 
   /// Resident-sample set, striped so loading threads probing or inserting
   /// different samples never contend (the old single store mutex serialized

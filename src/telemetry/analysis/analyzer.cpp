@@ -398,4 +398,31 @@ std::vector<std::pair<double, double>> wall_counter_series(const TraceLog& log,
   return series;
 }
 
+std::vector<JobMetricsSummary> per_job_metrics(const MetricRegistry& registry) {
+  constexpr std::string_view kPrefix = "cluster.job/";
+  std::map<std::string, JobMetricsSummary> by_job;
+  const auto slot = [&](std::string_view full) -> JobMetricsSummary* {
+    const auto rest = full.substr(kPrefix.size());
+    const auto slash = rest.find('/');
+    if (slash == std::string_view::npos || slash == 0 || slash + 1 == rest.size()) return nullptr;
+    auto& entry = by_job[std::string(rest.substr(0, slash))];
+    if (entry.job.empty()) entry.job = std::string(rest.substr(0, slash));
+    return &entry;
+  };
+  for (const auto& [name, value] : registry.counters_with_prefix(kPrefix)) {
+    if (auto* entry = slot(name)) {
+      entry->counters.emplace(name.substr(kPrefix.size() + entry->job.size() + 1), value);
+    }
+  }
+  for (const auto& [name, value] : registry.gauges_with_prefix(kPrefix)) {
+    if (auto* entry = slot(name)) {
+      entry->gauges.emplace(name.substr(kPrefix.size() + entry->job.size() + 1), value);
+    }
+  }
+  std::vector<JobMetricsSummary> out;
+  out.reserve(by_job.size());
+  for (auto& [job, summary] : by_job) out.push_back(std::move(summary));
+  return out;
+}
+
 }  // namespace lobster::telemetry::analysis

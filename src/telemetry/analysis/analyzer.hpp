@@ -25,9 +25,11 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "telemetry/analysis/trace_log.hpp"
+#include "telemetry/registry.hpp"
 
 namespace lobster::telemetry::analysis {
 
@@ -146,5 +148,19 @@ std::vector<RunAnalysis> analyze_runs(const TraceLog& log, const AnalyzeOptions&
 /// (queue depths, pool sizes); (ts_us, value) pairs sorted by time.
 std::vector<std::pair<double, double>> wall_counter_series(const TraceLog& log,
                                                            const std::string& name);
+
+/// Per-tenant registry slice (DESIGN.md §10): every counter/gauge published
+/// under "cluster.job/<job>/<metric>" (see cluster::job_metric_prefix),
+/// keyed by the metric suffix with the prefix stripped.
+struct JobMetricsSummary {
+  std::string job;
+  std::map<std::string, std::uint64_t> counters;  ///< metric suffix -> value
+  std::map<std::string, double> gauges;           ///< metric suffix -> value
+};
+
+/// Groups the registry's "cluster.job/..." namespace by job name (sorted).
+/// Jobs that published nothing are absent; names without a metric suffix
+/// are skipped rather than guessed at.
+std::vector<JobMetricsSummary> per_job_metrics(const MetricRegistry& registry);
 
 }  // namespace lobster::telemetry::analysis

@@ -97,6 +97,9 @@ MonitorSample Monitor::sample_once() {
   sample.retries = registry.counter("comm.retries").value();
   sample.iteration_stalls = registry.counter("executor.iteration_stalls").value();
   sample.corrupt_replies = registry.counter("comm.corrupt_replies").value();
+  sample.job_starvations = registry.counter("cluster.job_starvations").value();
+  sample.jobs_running = registry.gauge("cluster.jobs_running").value();
+  sample.jobs_queued = registry.gauge("cluster.jobs_queued").value();
 
   {
     const std::scoped_lock lock(mutex_);
@@ -110,6 +113,7 @@ MonitorSample Monitor::sample_once() {
       sample.d_retries = saturating_sub(sample.retries, prev_.retries);
       sample.d_iteration_stalls = saturating_sub(sample.iteration_stalls, prev_.iteration_stalls);
       sample.d_corrupt_replies = saturating_sub(sample.corrupt_replies, prev_.corrupt_replies);
+      sample.d_job_starvations = saturating_sub(sample.job_starvations, prev_.job_starvations);
     } else {
       sample.d_iterations = sample.iterations;
       sample.d_bytes_consumed = sample.bytes_consumed;
@@ -119,6 +123,7 @@ MonitorSample Monitor::sample_once() {
       sample.d_retries = sample.retries;
       sample.d_iteration_stalls = sample.iteration_stalls;
       sample.d_corrupt_replies = sample.corrupt_replies;
+      sample.d_job_starvations = sample.job_starvations;
     }
 
     sample.straggler_gap = sample.gap_frac > config_.straggler_gap_threshold;
@@ -135,6 +140,7 @@ MonitorSample Monitor::sample_once() {
     sample.retry_storm = sample.d_retries > config_.retry_storm_threshold;
     sample.iteration_stalled = sample.d_iteration_stalls > 0;
     sample.corruption_detected = sample.d_corrupt_replies > 0;
+    sample.job_starved = sample.d_job_starvations > 0;
 
     prev_ = sample;
     has_prev_ = true;
@@ -158,6 +164,7 @@ void Monitor::emit(const MonitorSample& sample) {
     if (sample.retry_storm) flags += " retry_storm";
     if (sample.iteration_stalled) flags += " iteration_stalled";
     if (sample.corruption_detected) flags += " corruption_detected";
+    if (sample.job_starved) flags += " job_starved";
     log::info("heartbeat #%llu t=%.1fs iters=%llu(+%llu) gap=%.3f hit=%.3f "
               "consumed=%.1fMB prefetch=%.1fMB flags=[%s]",
               static_cast<unsigned long long>(sample.seq), sample.uptime_s,
@@ -196,6 +203,9 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "retries", sample.retries); line += ',';
   append_kv(line, "iteration_stalls", sample.iteration_stalls); line += ',';
   append_kv(line, "corrupt_replies", sample.corrupt_replies); line += ',';
+  append_kv(line, "job_starvations", sample.job_starvations); line += ',';
+  append_kv(line, "jobs_running", sample.jobs_running); line += ',';
+  append_kv(line, "jobs_queued", sample.jobs_queued); line += ',';
   analysis::append_json_quoted(line, "flags");
   line += ":{";
   append_kv(line, "straggler_gap", sample.straggler_gap); line += ',';
@@ -205,7 +215,8 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "peer_down", sample.peer_down); line += ',';
   append_kv(line, "retry_storm", sample.retry_storm); line += ',';
   append_kv(line, "iteration_stalled", sample.iteration_stalled); line += ',';
-  append_kv(line, "corruption_detected", sample.corruption_detected);
+  append_kv(line, "corruption_detected", sample.corruption_detected); line += ',';
+  append_kv(line, "job_starved", sample.job_starved);
   line += "}}\n";
   out_ << line;
 }

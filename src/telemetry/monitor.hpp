@@ -29,6 +29,11 @@
 //                        verification since the last sample
 //                        (comm.corrupt_replies grew): payloads are being
 //                        quarantined and re-routed.
+//  * job_starved       — the cluster fairness tracker declared at least one
+//                        job starved since the last sample
+//                        (cluster.job_starvations grew): a queued job has
+//                        waited past the starvation threshold (DESIGN.md
+//                        §10) and the scheduler policy deserves a look.
 //
 // sample_once() is public and synchronous so tests (and one-shot CLI use)
 // can exercise the exact code path the thread runs, without timing games.
@@ -78,6 +83,9 @@ struct MonitorSample {
   std::uint64_t retries = 0;           ///< comm.retries counter
   std::uint64_t iteration_stalls = 0;  ///< executor.iteration_stalls counter
   std::uint64_t corrupt_replies = 0;   ///< comm.corrupt_replies counter
+  std::uint64_t job_starvations = 0;   ///< cluster.job_starvations counter
+  double jobs_running = 0.0;           ///< cluster.jobs_running gauge
+  double jobs_queued = 0.0;            ///< cluster.jobs_queued gauge
 
   // Deltas since the previous sample (== absolutes on the first one).
   std::uint64_t d_iterations = 0;
@@ -88,6 +96,7 @@ struct MonitorSample {
   std::uint64_t d_retries = 0;
   std::uint64_t d_iteration_stalls = 0;
   std::uint64_t d_corrupt_replies = 0;
+  std::uint64_t d_job_starvations = 0;
 
   bool straggler_gap = false;
   bool prefetch_outrun = false;
@@ -97,10 +106,12 @@ struct MonitorSample {
   bool retry_storm = false;
   bool iteration_stalled = false;
   bool corruption_detected = false;
+  bool job_starved = false;
 
   bool any_flag() const noexcept {
     return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow ||
-           peer_down || retry_storm || iteration_stalled || corruption_detected;
+           peer_down || retry_storm || iteration_stalled || corruption_detected ||
+           job_starved;
   }
   double cache_hit_ratio() const noexcept {
     const auto total = cache_hits + cache_misses;

@@ -42,6 +42,27 @@ MetricHistogram& MetricRegistry::histogram(std::string_view name, double lo, dou
               .first->second;
 }
 
+std::map<std::string, std::uint64_t> MetricRegistry::counters_with_prefix(
+    std::string_view prefix) const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace(it->first, it->second->value());
+  }
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::gauges_with_prefix(std::string_view prefix) const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, double> out;
+  for (auto it = gauges_.lower_bound(prefix); it != gauges_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace(it->first, it->second->value());
+  }
+  return out;
+}
+
 std::string MetricRegistry::render_csv() const {
   std::ostringstream out;
   write_csv(out);

@@ -89,6 +89,15 @@ class MetricRegistry {
   /// First registration fixes the bin layout; later calls return it as-is.
   MetricHistogram& histogram(std::string_view name, double lo, double hi, std::size_t bins);
 
+  /// Point-in-time copy of every counter whose name starts with `prefix`
+  /// (empty prefix = all), keyed by full name. Enumeration complement to
+  /// the reference-returning accessors: per-tenant tooling slices the
+  /// registry by the "cluster.job/<name>/" convention (DESIGN.md §10)
+  /// without knowing job names up front.
+  std::map<std::string, std::uint64_t> counters_with_prefix(std::string_view prefix = {}) const;
+  /// Gauge counterpart of counters_with_prefix().
+  std::map<std::string, double> gauges_with_prefix(std::string_view prefix = {}) const;
+
   /// `kind,name,count,value,mean,min,max` rows; counters report count=value.
   std::string render_csv() const;
   void write_csv(std::ostream& out) const;

@@ -238,9 +238,11 @@ TEST(ExecutorConcurrency, DirectoryRoutesRemoteFetchesToRecordedHolderOnly) {
   EXPECT_EQ(peer2.served_requests(), remote);
 }
 
-TEST(ExecutorConcurrency, WithoutDirectoryLegacyPollContactsLowerRanksFirst) {
-  // Contrast case for the test above: no directory → rank-order polling, so
-  // node 1 absorbs the traffic even though node 2 also holds everything.
+TEST(ExecutorConcurrency, WithoutDirectoryRemoteMissesSkipPeersEntirely) {
+  // Contrast case for the test above: routing is directory-or-nothing. With
+  // no residency map wired in, remote-planned misses go straight to the PFS
+  // — no peer sees a single request. (The legacy fallback that polled every
+  // peer in rank order is gone: it hid O(world) traffic behind a default.)
   constexpr std::uint16_t kNodes = 3;
   constexpr std::uint16_t kGpus = 2;
   constexpr std::uint32_t kIters = 2;
@@ -268,8 +270,11 @@ TEST(ExecutorConcurrency, WithoutDirectoryLegacyPollContactsLowerRanksFirst) {
   peer2.stop();
 
   EXPECT_TRUE(report.clean());
-  EXPECT_GT(peer1.served_requests(), 0U);
+  EXPECT_EQ(peer1.served_requests(), 0U);
   EXPECT_EQ(peer2.served_requests(), 0U);
+  std::uint64_t pfs = 0;
+  for (const auto& iteration : report.iterations) pfs += iteration.pfs_fetches;
+  EXPECT_GT(pfs, 0U);  // every first-touch miss was materialized from the PFS
 }
 
 TEST(DirectoryConcurrency, DownMaskFlipsRaceWithRoutingQueries) {

@@ -146,11 +146,36 @@ TEST(Monitor, OverflowFlagTracksDroppedTraceEvents) {
 }
 #endif  // !LOBSTER_TELEMETRY_DISABLED
 
+TEST(Monitor, JobStarvationFlagTracksClusterCounter) {
+  reset_all();
+  auto& registry = MetricRegistry::instance();
+  Monitor monitor(quiet_config());
+
+  registry.gauge("cluster.jobs_running").set(3.0);
+  registry.gauge("cluster.jobs_queued").set(2.0);
+  const MonitorSample healthy = monitor.sample_once();
+  EXPECT_FALSE(healthy.job_starved);
+  EXPECT_DOUBLE_EQ(healthy.jobs_running, 3.0);
+  EXPECT_DOUBLE_EQ(healthy.jobs_queued, 2.0);
+
+  // The fairness tracker declares a starvation: the flag raises once.
+  registry.counter("cluster.job_starvations").add(1);
+  const MonitorSample starving = monitor.sample_once();
+  EXPECT_TRUE(starving.job_starved);
+  EXPECT_EQ(starving.d_job_starvations, 1u);
+  EXPECT_EQ(starving.job_starvations, 1u);
+  EXPECT_TRUE(starving.any_flag());
+
+  // Delta-based like peer_down: it clears on the next healthy interval.
+  EXPECT_FALSE(monitor.sample_once().job_starved);
+}
+
 TEST(Monitor, JsonlSinkWritesParseableHeartbeats) {
   reset_all();
   auto& registry = MetricRegistry::instance();
   registry.counter("pipeline.iterations").add(2);
   registry.gauge("pipeline.gap_frac").set(0.42);
+  registry.gauge("cluster.jobs_running").set(4.0);
 
   const std::string path =
       (std::filesystem::temp_directory_path() / "lobster_test_monitor.jsonl").string();
@@ -177,9 +202,12 @@ TEST(Monitor, JsonlSinkWritesParseableHeartbeats) {
   EXPECT_DOUBLE_EQ(first.get_number("seq"), 1.0);
   EXPECT_DOUBLE_EQ(first.get_number("iterations"), 2.0);
   EXPECT_DOUBLE_EQ(first.get_number("gap_frac"), 0.42);
+  EXPECT_DOUBLE_EQ(first.get_number("jobs_running"), 4.0);
+  EXPECT_DOUBLE_EQ(first.get_number("job_starvations"), 0.0);
   ASSERT_TRUE(first.has("flags"));
   EXPECT_TRUE(first.at("flags").get_bool("straggler_gap"));
   EXPECT_FALSE(first.at("flags").get_bool("queue_starved"));
+  EXPECT_FALSE(first.at("flags").get_bool("job_starved"));
 
   const auto second = analysis::parse_json(lines[1]);
   EXPECT_DOUBLE_EQ(second.get_number("seq"), 2.0);

@@ -2,6 +2,7 @@
 // distance analysis behind Fig. 4.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -176,6 +177,64 @@ TEST(FutureAccessOracle, RebaseJumpRebuilds) {
 TEST(FutureAccessOracle, RejectsZeroWindow) {
   const EpochSampler sampler(small_config());
   EXPECT_THROW(FutureAccessOracle(sampler, 0), std::invalid_argument);
+}
+
+// Two jobs over one dataset with UNEQUAL epoch budgets (cluster tenants
+// rarely line up): the merged view must take the earliest next access
+// while both are live and keep answering from the longer job alone after
+// the short one's window ends.
+TEST(MergedAccessOracle, UnequalEpochCountsMergeAndOutliveEachOther) {
+  const EpochSampler sampler(small_config());
+  const FutureAccessOracle shorter(sampler, 1);  // 1-epoch window
+  const FutureAccessOracle longer(sampler, 3);   // 3-epoch window
+  const MergedAccessOracle merged({&shorter, &longer});
+  const std::uint32_t I = sampler.iterations_per_epoch();
+
+  for (SampleId s = 0; s < sampler.config().num_samples; s += 13) {
+    // Inside epoch 0 both members report; the merged next access is the
+    // earliest of the two (here: identical, both see epoch 0).
+    const auto a = shorter.next_access(s, 0);
+    const auto b = longer.next_access(s, 0);
+    const auto m = merged.next_access(s, 0);
+    ASSERT_EQ(m.has_value(), a.has_value() || b.has_value());
+    if (a && b) EXPECT_EQ(m->iter, std::min(a->iter, b->iter));
+
+    // Past the short job's horizon only the longer member answers — the
+    // merge must not go blind when one tenant's window ends.
+    const IterId past_short = static_cast<IterId>(1) * I;
+    const auto tail = merged.next_access(s, past_short);
+    const auto long_tail = longer.next_access(s, past_short);
+    ASSERT_EQ(tail.has_value(), long_tail.has_value());
+    if (tail) {
+      EXPECT_EQ(tail->iter, long_tail->iter);
+      EXPECT_FALSE(shorter.next_access(s, past_short).has_value());
+    }
+
+    // Remaining uses sum across members (the short job contributes only
+    // its single-epoch uses).
+    EXPECT_EQ(merged.remaining_uses_on_node(s, 0, 0),
+              shorter.remaining_uses_on_node(s, 0, 0) +
+                  longer.remaining_uses_on_node(s, 0, 0));
+  }
+}
+
+TEST(MergedAccessOracle, NeededByOtherNodeIsAnyMemberUnion) {
+  const EpochSampler sampler(small_config());
+  const FutureAccessOracle shorter(sampler, 1);
+  const FutureAccessOracle longer(sampler, 3);
+  const MergedAccessOracle merged({&shorter, &longer});
+  const std::uint32_t I = sampler.iterations_per_epoch();
+
+  // After the short window, "needed elsewhere" must follow the long member.
+  std::uint32_t checked = 0;
+  for (SampleId s = 0; s < sampler.config().num_samples && checked < 16; s += 7, ++checked) {
+    EXPECT_EQ(merged.needed_by_other_node(s, 0, static_cast<IterId>(1) * I),
+              longer.needed_by_other_node(s, 0, static_cast<IterId>(1) * I));
+    // Reuse distance is the minimum across members.
+    const auto d_short = shorter.reuse_distance_on_node(s, 1, 0);
+    const auto d_long = longer.reuse_distance_on_node(s, 1, 0);
+    EXPECT_EQ(merged.reuse_distance_on_node(s, 1, 0), std::min(d_short, d_long));
+  }
 }
 
 TEST(ReuseAnalysis, SingleNodeDistanceIsOnePermutationApart) {

@@ -509,16 +509,10 @@ TEST(KvStore, ServesAsExecutorRemoteTier) {
   config.node = 0;
   PlanExecutor executor(config, catalog, sampler, planned.plan);
   // Remote-eligible requests: KV hits are served from the store; KV misses
-  // fall through to the (empty) peer server on rank 1 and then to the PFS.
-  comm::MessageBus bus(2);
-  DistributionManager manager(bus.endpoint(0), nullptr, nullptr);
-  DistributionManager empty_peer(bus.endpoint(1), [](SampleId) { return false; },
-                                 [](SampleId) { return Bytes{0}; });
-  empty_peer.start();
-  executor.set_manager(&manager);
+  // go straight to the PFS (no directory is wired in, and peer routing is
+  // directory-or-nothing — no manager needed at all for a pure KV tier).
   executor.set_kv_store(&kv);
   const auto report = executor.run();
-  empty_peer.stop();
   EXPECT_TRUE(report.clean());
   std::uint64_t remote = 0;
   for (const auto& iteration : report.iterations) remote += iteration.remote_fetches;

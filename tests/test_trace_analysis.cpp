@@ -330,6 +330,34 @@ TEST(Analyzer, EmptyAndForeignLogsYieldNoRuns) {
   EXPECT_TRUE(wall_counter_series(log, "absent").empty());
 }
 
+TEST(Analyzer, PerJobMetricsGroupsRegistryByTenantPrefix) {
+  auto& registry = MetricRegistry::instance();
+  registry.reset();
+  // Two tenants plus unrelated metrics that must not leak into the slice.
+  registry.counter("cluster.job/resnet50-a/pfs_reads").add(12);
+  registry.counter("cluster.job/resnet50-a/kv_hits").add(40);
+  registry.gauge("cluster.job/resnet50-a/slowdown").set(1.25);
+  registry.counter("cluster.job/vgg16-b/pfs_reads").add(7);
+  registry.counter("cluster.jobs_admitted").add(2);  // no job segment: excluded
+  registry.counter("cache.hits").add(99);
+
+  const auto jobs = per_job_metrics(registry);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].job, "resnet50-a");
+  EXPECT_EQ(jobs[0].counters.at("pfs_reads"), 12u);
+  EXPECT_EQ(jobs[0].counters.at("kv_hits"), 40u);
+  EXPECT_DOUBLE_EQ(jobs[0].gauges.at("slowdown"), 1.25);
+  EXPECT_EQ(jobs[1].job, "vgg16-b");
+  EXPECT_EQ(jobs[1].counters.at("pfs_reads"), 7u);
+  EXPECT_TRUE(jobs[1].gauges.empty());
+
+  // The raw prefix snapshot powering the grouping is exact too.
+  const auto slice = registry.counters_with_prefix("cluster.job/vgg16-b/");
+  ASSERT_EQ(slice.size(), 1u);
+  EXPECT_EQ(slice.at("cluster.job/vgg16-b/pfs_reads"), 7u);
+  registry.reset();
+}
+
 TEST(TraceLogIo, RejectsNonTraceDocuments) {
   EXPECT_THROW(load_trace_text("not json"), std::runtime_error);
   EXPECT_THROW(load_trace_text("{\"foo\": 1}"), std::runtime_error);

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Shared validator for the benches' machine-readable artifacts.
+
+Every bench emits a schema-versioned JSON document (see
+bench/bench_common.hpp: lobster.bench_metrics.v1 for the figure/perf/fault
+harnesses, lobster.cluster_metrics.v1 for cluster_soak) and the monitor
+emits lobster.heartbeat.v1 JSONL. CI jobs used to each carry their own
+inline copy of the schema checks; this script is the single source of
+truth, so a schema bump is a one-file change.
+
+Usage:
+  validate_metrics.py FILE --schema lobster.bench_metrics.v1 \
+      [--require-records] [--record-positive FIELD ...] \
+      [--panels a,b] [--strategies a,b] [--scalar NAME ...] \
+      [--min K=V ...] [--max K=V ...] [--eq K=V ...] [--lt-field A=B ...]
+  validate_metrics.py FILE --heartbeat     # JSONL heartbeat stream
+
+Structural record-field checks are keyed on the schema; numeric gates are
+passed per-job from CI so each harness keeps its own thresholds.
+"""
+import argparse
+import json
+import sys
+
+RECORD_FIELDS = {
+    "lobster.bench_metrics.v1": {
+        "key": "records",
+        "fields": {
+            "panel", "workload", "strategy", "warm_epoch_time_s",
+            "speedup_vs_baseline", "hit_ratio", "imbalanced_fraction",
+            "gpu_utilization", "samples_per_s",
+        },
+    },
+    "lobster.cluster_metrics.v1": {
+        "key": "jobs",
+        "fields": {
+            "name", "model", "state", "nodes", "shared_namespace", "starved",
+            "submit_round", "admit_round", "finish_round", "queue_wait_s",
+            "turnaround_s", "isolated_s", "slowdown", "iterations",
+            "samples_expected", "samples_delivered", "local_hits", "kv_hits",
+            "pfs_reads", "isolated_pfs_reads",
+        },
+    },
+}
+HEARTBEAT_SCHEMA = "lobster.heartbeat.v1"
+HEARTBEAT_FLAGS = {
+    "straggler_gap", "prefetch_outrun", "queue_starved", "trace_ring_overflow",
+    "peer_down", "retry_storm", "iteration_stalled", "corruption_detected",
+    "job_starved",
+}
+
+
+def fail(message):
+    print(f"validate_metrics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_kv(pairs):
+    out = {}
+    for pair in pairs or []:
+        key, _, value = pair.partition("=")
+        if not key or not value:
+            fail(f"malformed K=V argument: {pair!r}")
+        out[key] = value
+    return out
+
+
+def validate_heartbeat(path):
+    lines = [l for l in open(path) if l.strip()]
+    if not lines:
+        fail(f"{path}: no heartbeat lines")
+    for i, line in enumerate(lines):
+        beat = json.loads(line)
+        if beat.get("schema") != HEARTBEAT_SCHEMA:
+            fail(f"{path}:{i + 1}: schema {beat.get('schema')!r} != {HEARTBEAT_SCHEMA!r}")
+        flags = beat.get("flags")
+        if not isinstance(flags, dict):
+            fail(f"{path}:{i + 1}: missing flags object")
+        missing = HEARTBEAT_FLAGS - flags.keys()
+        if missing:
+            fail(f"{path}:{i + 1}: flags missing {sorted(missing)}")
+    print(f"validate_metrics: OK: {path} ({len(lines)} heartbeats)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--schema", help="expected schema string")
+    parser.add_argument("--heartbeat", action="store_true",
+                        help="validate a heartbeat JSONL stream instead")
+    parser.add_argument("--require-records", action="store_true",
+                        help="the record array must be non-empty")
+    parser.add_argument("--record-positive", action="append", default=[],
+                        metavar="FIELD", help="every record's FIELD must be > 0")
+    parser.add_argument("--panels", help="comma-set that record panels must cover")
+    parser.add_argument("--strategies", help="comma-set that record strategies must cover")
+    parser.add_argument("--scalar", action="append", default=[], metavar="NAME",
+                        help="top-level scalar that must be present")
+    parser.add_argument("--min", action="append", default=[], metavar="K=V",
+                        help="top-level scalar K must be >= V")
+    parser.add_argument("--max", action="append", default=[], metavar="K=V",
+                        help="top-level scalar K must be <= V")
+    parser.add_argument("--eq", action="append", default=[], metavar="K=V",
+                        help="top-level scalar K must equal V")
+    parser.add_argument("--lt-field", action="append", default=[], metavar="A=B",
+                        help="top-level scalar A must be strictly below scalar B")
+    args = parser.parse_args()
+
+    if args.heartbeat:
+        validate_heartbeat(args.file)
+        return
+    if not args.schema:
+        fail("--schema is required unless --heartbeat")
+
+    metrics = json.load(open(args.file))
+    if metrics.get("schema") != args.schema:
+        fail(f"{args.file}: schema {metrics.get('schema')!r} != {args.schema!r}")
+
+    layout = RECORD_FIELDS.get(args.schema)
+    if layout is None:
+        fail(f"unknown schema {args.schema!r} (known: {sorted(RECORD_FIELDS)})")
+    records = metrics.get(layout["key"], [])
+    if args.require_records and not records:
+        fail(f"{args.file}: no {layout['key']}")
+    for record in records:
+        missing = layout["fields"] - record.keys()
+        if missing:
+            fail(f"record missing {sorted(missing)}: {record}")
+        for field in args.record_positive:
+            if not record.get(field, 0) > 0:
+                fail(f"record {field} not positive: {record}")
+
+    if args.schema == "lobster.cluster_metrics.v1":
+        # Structural fairness invariants every committed artifact must hold;
+        # numeric thresholds (slowdown, dedup) come from the CLI gates.
+        for job in records:
+            if job["state"] != "finished":
+                fail(f"job {job['name']} state {job['state']!r} != 'finished'")
+            if job["starved"]:
+                fail(f"job {job['name']} starved")
+            if job["samples_delivered"] != job["samples_expected"]:
+                fail(f"job {job['name']} delivered {job['samples_delivered']} "
+                     f"!= expected {job['samples_expected']}")
+
+    for want, field in ((args.panels, "panel"), (args.strategies, "strategy")):
+        if want:
+            have = {r.get(field) for r in records}
+            needed = set(want.split(","))
+            if not needed <= have:
+                fail(f"{field}s {sorted(needed - have)} absent (have {sorted(have)})")
+
+    for name in args.scalar:
+        if name not in metrics:
+            fail(f"{args.file}: missing scalar {name!r}")
+    for key, value in parse_kv(args.min).items():
+        if not float(metrics.get(key, float("-inf"))) >= float(value):
+            fail(f"{key} = {metrics.get(key)} < {value}")
+    for key, value in parse_kv(args.max).items():
+        if not float(metrics.get(key, float("inf"))) <= float(value):
+            fail(f"{key} = {metrics.get(key)} > {value}")
+    for key, value in parse_kv(args.eq).items():
+        if float(metrics.get(key, float("nan"))) != float(value):
+            fail(f"{key} = {metrics.get(key)} != {value}")
+    for a, b in parse_kv(args.lt_field).items():
+        if not float(metrics.get(a, float("inf"))) < float(metrics.get(b, float("-inf"))):
+            fail(f"{a} = {metrics.get(a)} not strictly below {b} = {metrics.get(b)}")
+
+    print(f"validate_metrics: OK: {args.file} ({len(records)} records)")
+
+
+if __name__ == "__main__":
+    main()
