@@ -16,9 +16,12 @@
 #include "pipeline/simulator.hpp"
 #include "telemetry/analysis/json.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/monitor.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace lobster::bench {
 
@@ -64,6 +67,15 @@ inline Config parse_args(int argc, char** argv) {
 /// (default 1<<14); `heartbeat=<ms>` starts the live monitor on that
 /// interval; `heartbeat_jsonl=<path>` adds its JSONL sink;
 /// `heartbeat_gap_threshold=<frac>` tunes the straggler flag (default 0.1).
+///
+/// Causal-tracing options (DESIGN.md §11): `spans=<path>` arms the span log
+/// and writes the cross-node span trees as `lobster.spans.v1` JSONL on
+/// destruction; `events=<path>` arms the structured event log streaming
+/// `lobster.events.v1` JSONL; `incident_dir=<dir>` creates a FlightRecorder
+/// fed by the monitor's heartbeats (anomaly flags trigger bundle dumps into
+/// `<dir>/incident-NNN/`); `incident_force=1` force-triggers one bundle at
+/// shutdown when the run raised no anomaly, so CI always has an artifact to
+/// validate.
 class TraceSession {
  public:
   explicit TraceSession(const Config& config) : path_(config.get_string("trace", "")) {
@@ -71,8 +83,17 @@ class TraceSession {
     const auto heartbeat_ms = config.get_int("heartbeat", 0);
     const std::string heartbeat_jsonl = config.get_string("heartbeat_jsonl", "");
     const double gap_threshold = config.get_double("heartbeat_gap_threshold", 0.10);
-    const bool monitor_wanted = heartbeat_ms > 0 || !heartbeat_jsonl.empty();
-    if (path_.empty() && !monitor_wanted) return;
+    spans_path_ = config.get_string("spans", "");
+    events_path_ = config.get_string("events", "");
+    const std::string incident_dir = config.get_string("incident_dir", "");
+    incident_force_ = config.get_int("incident_force", 0) != 0;
+    const bool causal_wanted =
+        !spans_path_.empty() || !events_path_.empty() || !incident_dir.empty();
+    // An incident bundle needs heartbeats to be useful, so an incident_dir
+    // implies the monitor even without an explicit heartbeat= option.
+    const bool monitor_wanted =
+        heartbeat_ms > 0 || !heartbeat_jsonl.empty() || !incident_dir.empty();
+    if (path_.empty() && !monitor_wanted && !causal_wanted) return;
 
     // A trace request arms full event recording; a heartbeat-only request
     // arms just the LOBSTER_METRIC_* aggregates (metrics-only mode), which
@@ -90,23 +111,62 @@ class TraceSession {
                  "warning: --trace/heartbeat given but built with LOBSTER_TELEMETRY=OFF; "
                  "only directly-instrumented events will be recorded\n");
 #endif
+    if (causal_wanted) {
+      // Spans and events always arm together: events carry the trace id of
+      // the span active when they fired, and an incident bundle snapshots
+      // both rings.
+      telemetry::SpanLog::instance().set_enabled(true);
+      auto& events = telemetry::EventLog::instance();
+      events.set_enabled(true);
+      if (!events_path_.empty() && !events.open_stream(events_path_)) {
+        std::fprintf(stderr, "warning: cannot open event sink %s\n", events_path_.c_str());
+        events_path_.clear();
+      }
+      events_open_ = !events_path_.empty();
+    }
+    if (!incident_dir.empty()) {
+      telemetry::FlightRecorderConfig recorder_config;
+      recorder_config.out_dir = incident_dir;
+      recorder_ = std::make_unique<telemetry::FlightRecorder>(recorder_config);
+    }
     if (monitor_wanted) {
       telemetry::MonitorConfig monitor_config;
       monitor_config.interval =
           std::chrono::milliseconds(heartbeat_ms > 0 ? heartbeat_ms : 1000);
       monitor_config.jsonl_path = heartbeat_jsonl;
       monitor_config.straggler_gap_threshold = gap_threshold;
+      monitor_config.recorder = recorder_.get();
       monitor_ = std::make_unique<telemetry::Monitor>(monitor_config);
       monitor_->start();
     }
   }
 
+  /// The recorder wired into the monitor, or nullptr. Benches hook extra
+  /// triggers (watchdog stalls) into it.
+  telemetry::FlightRecorder* flight_recorder() noexcept { return recorder_.get(); }
+
   ~TraceSession() {
     if (!enabled_) return;
     if (monitor_ != nullptr) monitor_->stop();  // final heartbeat while live
+    if (recorder_ != nullptr && incident_force_ && recorder_->bundles_written() == 0) {
+      recorder_->trigger("forced_at_shutdown");
+    }
     auto& tracer = telemetry::Tracer::instance();
     tracer.set_enabled(false);
     tracer.set_metrics_enabled(false);
+    if (!spans_path_.empty()) {
+      if (telemetry::SpanLog::instance().write_jsonl_file(spans_path_)) {
+        std::printf("(spans written to %s)\n", spans_path_.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot write spans %s\n", spans_path_.c_str());
+      }
+    }
+    telemetry::SpanLog::instance().set_enabled(false);
+    if (events_open_) {
+      telemetry::EventLog::instance().close_stream();
+      std::printf("(events written to %s)\n", events_path_.c_str());
+    }
+    telemetry::EventLog::instance().set_enabled(false);
     if (path_.empty()) return;
     if (telemetry::write_chrome_trace_file(path_)) {
       std::printf("(trace written to %s — load in chrome://tracing or ui.perfetto.dev)\n",
@@ -125,7 +185,12 @@ class TraceSession {
 
  private:
   std::string path_;
+  std::string spans_path_;
+  std::string events_path_;
+  bool events_open_ = false;
+  bool incident_force_ = false;
   bool enabled_ = false;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<telemetry::Monitor> monitor_;
 };
 

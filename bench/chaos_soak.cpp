@@ -17,11 +17,23 @@
 // schema-check and archive them (`BENCH_chaos.json`); see EXPERIMENTS.md
 // "Chaos soak".
 //
+// Every run records causal spans (DESIGN.md §11): the chaos pass is
+// re-analysed in-process with analyze_spans, gating that each degraded
+// fetch stitches into one well-formed cross-rank span tree and that the
+// span-level attribution (timeout / detour / PFS buckets, union-merged per
+// iteration) explains the measured degraded-iteration wall overhead. With
+// `incident_dir=<dir>` the monitor's flight recorder (plus a watchdog-stall
+// hook) dumps incident bundles, and the harness requires at least one.
+//
 //   $ ./chaos_soak [nodes=4] [gpus=2] [epochs=3] [iters=8] [batch=16]
 //       [bytes=2048] [victim=2] [kill_at=6] [revive_at=12]
+//       [spans=chaos_spans.jsonl] [events=chaos_events.jsonl]
+//       [incident_dir=incidents] [incident_force=1]
 //       --metrics-json BENCH_chaos.json
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -39,6 +51,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/recovery.hpp"
 #include "runtime/watchdog.hpp"
+#include "telemetry/analysis/span_analysis.hpp"
 
 using namespace lobster;
 
@@ -116,7 +129,33 @@ struct SoakOutcome {
   std::uint64_t dropped_messages = 0;
   std::uint64_t watchdog_stalls = 0;
   runtime::RecoveryStats recovery;
+  std::vector<telemetry::analysis::LoadedSpan> loaded_spans;
+  telemetry::analysis::SpanAnalysis spans;
 };
+
+/// Wall overhead the degraded iterations actually cost: their measured
+/// iteration wall time minus the median wall time of the healthy ones.
+/// This is what the span-level attribution must explain.
+double measured_degraded_overhead_s(const runtime::ExecutionReport& report,
+                                    const std::map<std::uint64_t, double>& degraded_iters) {
+  std::vector<double> healthy;
+  for (const auto& iteration : report.iterations) {
+    if (degraded_iters.find(iteration.iter) == degraded_iters.end()) {
+      healthy.push_back(iteration.wall_s);
+    }
+  }
+  if (healthy.empty() || degraded_iters.empty()) return 0.0;
+  const auto mid = healthy.begin() + static_cast<std::ptrdiff_t>(healthy.size() / 2);
+  std::nth_element(healthy.begin(), mid, healthy.end());
+  const double median = *mid;
+  double overhead = 0.0;
+  for (const auto& iteration : report.iterations) {
+    if (degraded_iters.find(iteration.iter) != degraded_iters.end()) {
+      overhead += std::max(0.0, iteration.wall_s - median);
+    }
+  }
+  return overhead;
+}
 
 double remote_ratio(const runtime::ExecutionReport& report, IterId first, IterId last) {
   std::uint64_t remote = 0;
@@ -130,7 +169,12 @@ double remote_ratio(const runtime::ExecutionReport& report, IterId first, IterId
   return total > 0 ? static_cast<double>(remote) / static_cast<double>(total) : 0.0;
 }
 
-SoakOutcome run_soak(const ChaosShape& shape, bool chaos) {
+SoakOutcome run_soak(const ChaosShape& shape, bool chaos,
+                     telemetry::FlightRecorder* recorder) {
+  // Each pass gets a fresh span/event window so the chaos analysis is not
+  // polluted by the fault-free warm-up's traces.
+  telemetry::SpanLog::instance().clear();
+  telemetry::EventLog::instance().clear();
   const std::uint32_t num_samples = shape.nodes * shape.iters * shape.gpus * shape.batch;
   const data::SampleCatalog catalog(data::DatasetSpec::uniform(num_samples, shape.bytes), 7);
   data::SamplerConfig sampler_config;
@@ -206,6 +250,12 @@ SoakOutcome run_soak(const ChaosShape& shape, bool chaos) {
   watchdog_config.multiplier = 2.0;
   watchdog_config.min_deadline = 0.04;
   runtime::IterationWatchdog watchdog(watchdog_config);
+  if (recorder != nullptr) {
+    // A stall dumps the flight recorder immediately, while the rings still
+    // hold the spans of the iteration that blew its deadline.
+    watchdog.set_on_stall(
+        [recorder](IterId, Seconds) { recorder->trigger("watchdog_stall"); });
+  }
 
   runtime::ExecutorConfig config;
   config.node = 0;
@@ -239,6 +289,9 @@ SoakOutcome run_soak(const ChaosShape& shape, bool chaos) {
   outcome.dropped_messages = fault.dropped_messages();
   outcome.watchdog_stalls = watchdog.stalls();
   outcome.recovery = recovery.stats();
+  outcome.loaded_spans = telemetry::analysis::spans_from_records(
+      telemetry::SpanLog::instance().snapshot());
+  outcome.spans = telemetry::analysis::analyze_spans(outcome.loaded_spans);
   return outcome;
 }
 
@@ -260,7 +313,7 @@ bench::MetricsRecord record_for(const std::string& workload, const char* strateg
 
 int main(int argc, char** argv) {
   const auto config = bench::parse_args(argc, argv);
-  const bench::TraceSession trace_session(config);
+  bench::TraceSession trace_session(config);
   bench::MetricsJson metrics(config, "chaos_soak");
   ChaosShape shape;
   shape.nodes = static_cast<std::uint16_t>(config.get_int("nodes", 4));
@@ -299,8 +352,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(shape.kill_at),
               static_cast<unsigned long long>(shape.revive_at));
 
-  const auto baseline = run_soak(shape, /*chaos=*/false);
-  const auto chaotic = run_soak(shape, /*chaos=*/true);
+  // The soak always records causal spans + events: the invariants below
+  // gate on the stitched span trees, not only on counters. TraceSession may
+  // already have armed these (spans=/events=/incident_dir= options); arming
+  // twice is harmless.
+  telemetry::SpanLog::instance().set_enabled(true);
+  telemetry::EventLog::instance().set_enabled(true);
+  telemetry::FlightRecorder* recorder = trace_session.flight_recorder();
+
+  const auto baseline = run_soak(shape, /*chaos=*/false, recorder);
+  const auto chaotic = run_soak(shape, /*chaos=*/true, recorder);
 
   const IterId last = shape.total_iters() - 1;
   const double pre_ratio = remote_ratio(chaotic.report, 0, shape.kill_at - 1);
@@ -346,6 +407,35 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chaotic.breaker_opens),
               static_cast<unsigned long long>(chaotic.watchdog_stalls));
 
+  // ---- causal span analysis of the chaos pass (DESIGN.md §11).
+  const auto& spans = chaotic.spans;
+  const double union_s = spans.union_overhead_us / 1e6;
+  const double measured_s =
+      measured_degraded_overhead_s(chaotic.report, spans.iteration_overhead_us);
+  const double attribution_ratio = measured_s > 0.0 ? union_s / measured_s : 0.0;
+  std::size_t degraded_well_formed = 0;
+  std::size_t degraded_cross_rank = 0;
+  for (const auto& trace : spans.traces) {
+    if (!trace.degraded || trace.root_kind != "fetch") continue;
+    if (trace.well_formed) ++degraded_well_formed;
+    if (trace.ranks >= 2) ++degraded_cross_rank;
+  }
+  bench::emit(config, "chaos_fetch_latency", telemetry::analysis::fetch_latency_table(spans));
+  bench::emit(config, "chaos_attribution", telemetry::analysis::span_attribution_table(spans));
+  bench::emit(config, "chaos_slowest_traces",
+              telemetry::analysis::slowest_traces_table(spans, chaotic.loaded_spans, 5));
+  std::printf("span trees: %zu fetches (%zu degraded, %zu cross-rank, %zu malformed); "
+              "attribution union %.1f ms vs measured degraded overhead %.1f ms "
+              "(ratio %.2f)\n",
+              spans.fetch_traces, spans.degraded_fetches, spans.cross_rank_fetches,
+              spans.malformed_traces, union_s * 1e3, measured_s * 1e3, attribution_ratio);
+  if (recorder != nullptr) {
+    std::printf("flight recorder: %llu bundle(s) written, %llu trigger(s) suppressed\n",
+                static_cast<unsigned long long>(recorder->bundles_written()),
+                static_cast<unsigned long long>(recorder->triggers_suppressed()));
+  }
+  std::printf("\n");
+
   metrics.add(record_for(workload, "fault_free", baseline));
   metrics.add(record_for(workload, "chaos", chaotic));
   metrics.set_scalar("slowdown_vs_fault_free", slowdown);
@@ -368,6 +458,22 @@ int main(int argc, char** argv) {
   metrics.set_scalar("replicated_samples",
                      static_cast<double>(chaotic.recovery.replicated_samples));
   metrics.set_scalar("watchdog_stalls", static_cast<double>(chaotic.watchdog_stalls));
+  metrics.set_scalar("span_total", static_cast<double>(spans.total_spans));
+  metrics.set_scalar("span_fetch_traces", static_cast<double>(spans.fetch_traces));
+  metrics.set_scalar("span_degraded_fetches", static_cast<double>(spans.degraded_fetches));
+  metrics.set_scalar("span_cross_rank_fetches",
+                     static_cast<double>(spans.cross_rank_fetches));
+  metrics.set_scalar("span_malformed_traces", static_cast<double>(spans.malformed_traces));
+  metrics.set_scalar("attribution_timeout_s", spans.timeout_us / 1e6);
+  metrics.set_scalar("attribution_detour_s", spans.detour_us / 1e6);
+  metrics.set_scalar("attribution_pfs_s", spans.pfs_us / 1e6);
+  metrics.set_scalar("attribution_union_s", union_s);
+  metrics.set_scalar("measured_degraded_overhead_s", measured_s);
+  metrics.set_scalar("attribution_ratio", attribution_ratio);
+  metrics.set_scalar("incident_bundles",
+                     recorder != nullptr
+                         ? static_cast<double>(recorder->bundles_written())
+                         : 0.0);
 
   // ---- invariants (the CI gate).
   bool ok = true;
@@ -396,6 +502,29 @@ int main(int argc, char** argv) {
           "post-rejoin remote-hit ratio must recover to >=80% of pre-fault");
   require(chaotic.report.virtual_total <= 2.0 * baseline.report.virtual_total,
           "modeled slowdown must stay within 2x of the fault-free run");
+
+  // ---- causal-tracing invariants (DESIGN.md §11).
+  require(baseline.spans.degraded_fetches == 0,
+          "fault-free run must not record degraded fetch traces");
+  require(spans.fetch_traces > 0, "chaos run must record fetch span trees");
+  require(spans.malformed_traces == 0,
+          "every span tree must be well-formed (one root, parents resolve)");
+  require(spans.degraded_fetches > 0, "chaos must produce degraded fetch traces");
+  require(degraded_well_formed == spans.degraded_fetches,
+          "every degraded fetch must resolve to one well-formed span tree");
+  require(degraded_cross_rank > 0,
+          "detoured fetches must stitch serve spans across ranks");
+  require(union_s > 0.0, "degraded traces must carry attributable wasted time");
+  if (measured_s >= 0.05) {
+    // Only meaningful when the degraded iterations cost real wall time;
+    // below that, scheduler noise dominates the measurement.
+    require(attribution_ratio >= 0.5 && attribution_ratio <= 1.6,
+            "span attribution must explain the measured degraded-iteration overhead");
+  }
+  if (recorder != nullptr) {
+    require(recorder->bundles_written() >= 1,
+            "an incident_dir run must dump at least one flight-recorder bundle");
+  }
   if (ok) std::printf("all chaos-soak invariants hold\n");
   return ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 
 namespace lobster::cluster {
@@ -80,6 +81,9 @@ bool JobManager::try_admit(JobRecord& job, std::uint64_t round, const BudgetGate
   job.admit_round = round;
   occupy(*block, true);
   LOBSTER_METRIC_COUNT("cluster.jobs_admitted", 1);
+  telemetry::EventLog::instance().emit(telemetry::EventKind::kJobAdmitted,
+                                       job.block.first, job.spec.nodes,
+                                       round - job.submit_round, job.spec.name);
   return true;
 }
 
@@ -121,6 +125,9 @@ void JobManager::finish(JobId id, std::uint64_t round) {
   job.finish_round = round;
   occupy(job.block, false);
   LOBSTER_METRIC_COUNT("cluster.jobs_finished", 1);
+  telemetry::EventLog::instance().emit(telemetry::EventKind::kJobFinished,
+                                       job.block.first, round - job.admit_round, 0,
+                                       job.spec.name);
 }
 
 const JobRecord& JobManager::record(JobId id) const {

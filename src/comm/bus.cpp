@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "comm/fault.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace lobster::comm {
 
@@ -72,6 +73,16 @@ bool MessageBus::is_shutdown() const {
 
 Status MessageBus::do_send(Rank to, Message message) {
   if (to >= world_size_) throw std::out_of_range("MessageBus: destination rank out of range");
+#if !defined(LOBSTER_TELEMETRY_DISABLED)
+  // Causal propagation: stamp the sending thread's current span into the
+  // envelope so the receiver can parent its handler span under it. Callers
+  // that pre-stamped ids (tests, replays) keep them.
+  if (message.trace_id == 0) {
+    const auto context = telemetry::current_trace_context();
+    message.trace_id = context.trace_id;
+    message.span_id = context.span_id;
+  }
+#endif
   {
     const std::scoped_lock lock(mutex_);
     if (shutdown_) return Status::shutdown("bus is shut down");

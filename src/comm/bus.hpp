@@ -56,6 +56,13 @@ struct Message {
   Rank source = 0;
   Tag tag = 0;
   std::vector<std::byte> payload;
+  // Causal trace coordinates (telemetry::TraceContext), stamped by the bus
+  // from the sending thread's current span when tracing is enabled — the
+  // cross-rank propagation path for span trees (DESIGN.md §11). Zero means
+  // "no active trace". Deliberately last: existing aggregate initializers
+  // ({source, tag, payload}) stay valid.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 class MessageBus;

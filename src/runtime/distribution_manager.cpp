@@ -6,14 +6,15 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace lobster::runtime {
 
 namespace {
 
 constexpr comm::Tag kFetchRequestTag = 0x0F00;
-constexpr comm::Tag kResponseTagBase = 0x80000000;
 
 /// Sentinel sample id: a FetchRequest carrying it is an inventory request
 /// (same tag and server loop as demand fetches, so one serve thread handles
@@ -21,7 +22,7 @@ constexpr comm::Tag kResponseTagBase = 0x80000000;
 constexpr SampleId kInventorySample = kInvalidSample - 1;
 
 struct FetchRequest {
-  std::uint32_t request_id;
+  std::uint64_t request_id;
   SampleId sample;
 };
 
@@ -113,10 +114,17 @@ void DistributionManager::serve_loop() {
     const auto request = comm::Endpoint::value_of<FetchRequest>(*message);
     if (request.sample == kInvalidSample) continue;  // poison; loop re-checks running_
     if (request.sample == kInventorySample) {
-      serve_inventory(message->source, request.request_id);
+      serve_inventory(*message, request.request_id);
       continue;
     }
 
+    // Handler span parented under the REQUESTER's attempt span (the bus
+    // stamped its context into the request), so the serve time shows up
+    // inside the cross-rank fetch tree. The reply send happens inside the
+    // span's lifetime, stamping the serve context back onto the wire.
+    telemetry::Span serve(telemetry::SpanKind::kServe, endpoint_.rank(),
+                          telemetry::TraceContext{message->trace_id, message->span_id, 0},
+                          request.sample);
     ResponseHeader header{request.sample, 0};
     std::vector<std::byte> response(sizeof(header));
     if (has_sample_ && has_sample_(request.sample)) {
@@ -128,14 +136,21 @@ void DistributionManager::serve_loop() {
       ++served_;
     } else {
       ++failed_;
+      serve.set_status(StatusCode::kNotFound);
     }
     std::memcpy(response.data(), &header, sizeof(header));
-    (void)endpoint_.send(message->source, kResponseTagBase + request.request_id,
-                         std::move(response));
+    const Status sent = endpoint_.send(message->source, response_tag(request.request_id),
+                                       std::move(response));
+    count_serve_send_failure(sent, message->source, request.request_id);
   }
 }
 
-void DistributionManager::serve_inventory(comm::Rank requester, std::uint32_t request_id) {
+void DistributionManager::serve_inventory(const comm::Message& request_message,
+                                          std::uint64_t request_id) {
+  telemetry::Span serve(
+      telemetry::SpanKind::kServe, endpoint_.rank(),
+      telemetry::TraceContext{request_message.trace_id, request_message.span_id, 0},
+      kInventorySample);
   const std::vector<SampleId> samples =
       inventory_source_ ? inventory_source_() : std::vector<SampleId>{};
   const ResponseHeader header{kInventorySample, 1};
@@ -154,7 +169,19 @@ void DistributionManager::serve_inventory(comm::Rank requester, std::uint32_t re
   }
   std::memcpy(response.data() + offset, &checksum, sizeof(checksum));
   ++served_;
-  (void)endpoint_.send(requester, kResponseTagBase + request_id, std::move(response));
+  const Status sent = endpoint_.send(request_message.source, response_tag(request_id),
+                                     std::move(response));
+  count_serve_send_failure(sent, request_message.source, request_id);
+}
+
+void DistributionManager::count_serve_send_failure(const Status& sent, comm::Rank requester,
+                                                   std::uint64_t request_id) {
+  if (sent.ok()) return;
+  ++serve_send_failures_;
+  LOBSTER_METRIC_COUNT("dm.serve_send_failures", 1);
+  telemetry::EventLog::instance().emit(telemetry::EventKind::kServeSendFailure,
+                                       endpoint_.rank(), request_id, requester,
+                                       sent.code_name());
 }
 
 bool DistributionManager::breaker_open(comm::Rank holder) const {
@@ -172,16 +199,23 @@ void DistributionManager::record_success(comm::Rank holder) {
   if (breaker.open_until_ns.exchange(0, std::memory_order_acq_rel) != 0) {
     ++breaker_closes_;
     LOBSTER_METRIC_COUNT("dm.breaker_closes", 1);
+    telemetry::EventLog::instance().emit(telemetry::EventKind::kBreakerClose, holder, 0,
+                                         endpoint_.rank());
     if (on_breaker_close_) on_breaker_close_(holder);
   }
 }
 
-void DistributionManager::open_breaker(Breaker& breaker) {
+void DistributionManager::open_breaker(comm::Rank holder) {
+  Breaker& breaker = breakers_[holder];
   const std::int64_t until =
       steady_now_ns() + static_cast<std::int64_t>(policy_.breaker_cooldown * 1e9);
   if (breaker.open_until_ns.exchange(until, std::memory_order_acq_rel) == 0) {
     ++breaker_opens_;
     LOBSTER_METRIC_COUNT("dm.breaker_opens", 1);
+    telemetry::EventLog::instance().emit(
+        telemetry::EventKind::kBreakerOpen, holder,
+        breaker.consecutive_timeouts.load(std::memory_order_relaxed),
+        breaker.consecutive_corrupts.load(std::memory_order_relaxed));
   }
 }
 
@@ -191,7 +225,7 @@ void DistributionManager::record_timeout(comm::Rank holder) {
   Breaker& breaker = breakers_[holder];
   const std::uint32_t run = breaker.consecutive_timeouts.fetch_add(1) + 1;
   if (policy_.breaker_threshold > 0 && run >= policy_.breaker_threshold) {
-    open_breaker(breaker);
+    open_breaker(holder);
   }
 }
 
@@ -203,31 +237,40 @@ void DistributionManager::record_corrupt(comm::Rank holder) {
   Breaker& breaker = breakers_[holder];
   const std::uint32_t run = breaker.consecutive_corrupts.fetch_add(1) + 1;
   if (policy_.corrupt_strike_threshold > 0 && run >= policy_.corrupt_strike_threshold) {
-    open_breaker(breaker);
+    open_breaker(holder);
   }
 }
 
 Result<std::vector<std::byte>> DistributionManager::fetch_once(SampleId sample,
                                                                comm::Rank holder) {
-  const std::uint32_t request_id = next_request_id_.fetch_add(1);
+  // One attempt = one span; the request send inside its lifetime carries
+  // the attempt's context to the serving rank. arg = sample, arg2 = holder.
+  telemetry::Span attempt(telemetry::SpanKind::kAttempt, endpoint_.rank(), sample);
+  attempt.set_arg2(holder);
+  const auto report = [&attempt](Status status) {
+    attempt.set_status(status.code());
+    return status;
+  };
+
+  const std::uint64_t request_id = next_request_id_.fetch_add(1);
   FetchRequest request{request_id, sample};
   std::vector<std::byte> bytes(sizeof(request));
   std::memcpy(bytes.data(), &request, sizeof(request));
   if (Status sent = endpoint_.send(holder, kFetchRequestTag, std::move(bytes)); !sent.ok()) {
-    return sent;
+    return report(sent);
   }
 
-  auto response = endpoint_.recv_for(kResponseTagBase + request_id, policy_.timeout);
-  if (!response.ok()) return response.status();
+  auto response = endpoint_.recv_for(response_tag(request_id), policy_.timeout);
+  if (!response.ok()) return report(response.status());
   ResponseHeader header{};
   std::memcpy(&header, response->payload.data(),
               std::min(sizeof(header), response->payload.size()));
-  if (header.found == 0) return Status::not_found("peer no longer holds sample");
+  if (header.found == 0) return report(Status::not_found("peer no longer holds sample"));
   std::vector<std::byte> payload(response->payload.begin() +
                                      static_cast<std::ptrdiff_t>(sizeof(header)),
                                  response->payload.end());
   if (!verify_sample_payload(sample, payload)) {
-    return Status::corrupt("payload failed verification");
+    return report(Status::corrupt("payload failed verification"));
   }
   return payload;
 }
@@ -236,6 +279,8 @@ Result<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample
                                                                  comm::Rank holder) {
   if (breaker_open(holder)) {
     LOBSTER_METRIC_COUNT("comm.peer_down", 1);
+    telemetry::Span::instant(telemetry::SpanKind::kBreakerFastFail, endpoint_.rank(),
+                             sample, holder);
     return Status::peer_down("circuit breaker open for peer " + std::to_string(holder));
   }
 
@@ -246,6 +291,8 @@ Result<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample
     if (attempt > 0) {
       ++retries_;
       LOBSTER_METRIC_COUNT("comm.retries", 1);
+      telemetry::Span sleep(telemetry::SpanKind::kBackoff, endpoint_.rank(), sample);
+      sleep.set_arg2(attempt);
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff = std::min(backoff * 2.0, policy_.backoff_cap);
     }
@@ -286,25 +333,30 @@ Result<std::vector<SampleId>> DistributionManager::fetch_inventory(comm::Rank ho
   // No breaker_open fast-fail: this call IS the half-open probe a down
   // peer's recovery depends on. It still records the outcome, so success
   // re-closes the breaker and failure keeps it open.
-  const std::uint32_t request_id = next_request_id_.fetch_add(1);
+  telemetry::Span probe(telemetry::SpanKind::kInventoryProbe, endpoint_.rank(), holder);
+  const auto report = [&probe](Status status) {
+    probe.set_status(status.code());
+    return status;
+  };
+  const std::uint64_t request_id = next_request_id_.fetch_add(1);
   const FetchRequest request{request_id, kInventorySample};
   std::vector<std::byte> bytes(sizeof(request));
   std::memcpy(bytes.data(), &request, sizeof(request));
   if (Status sent = endpoint_.send(holder, kFetchRequestTag, std::move(bytes)); !sent.ok()) {
-    return sent;
+    return report(sent);
   }
 
-  auto response = endpoint_.recv_for(kResponseTagBase + request_id, policy_.timeout);
+  auto response = endpoint_.recv_for(response_tag(request_id), policy_.timeout);
   if (!response.ok()) {
     if (response.status().code() == StatusCode::kTimeout) record_timeout(holder);
-    return response.status();
+    return report(response.status());
   }
   const auto& payload = response->payload;
   ResponseHeader header{};
   std::uint64_t count = 0;
   if (payload.size() < sizeof(header) + sizeof(count) + sizeof(std::uint64_t)) {
     record_corrupt(holder);
-    return Status::corrupt("inventory reply truncated");
+    return report(Status::corrupt("inventory reply truncated"));
   }
   std::memcpy(&header, payload.data(), sizeof(header));
   std::memcpy(&count, payload.data() + sizeof(header), sizeof(count));
@@ -314,7 +366,7 @@ Result<std::vector<SampleId>> DistributionManager::fetch_inventory(comm::Rank ho
   if (header.sample != kInventorySample || header.found != 1 ||
       payload.size() != expected) {
     record_corrupt(holder);
-    return Status::corrupt("inventory reply malformed");
+    return report(Status::corrupt("inventory reply malformed"));
   }
   std::vector<SampleId> samples(static_cast<std::size_t>(count));
   if (count > 0) {
@@ -325,7 +377,7 @@ Result<std::vector<SampleId>> DistributionManager::fetch_inventory(comm::Rank ho
               sizeof(checksum));
   if (checksum != inventory_checksum(samples)) {
     record_corrupt(holder);
-    return Status::corrupt("inventory checksum mismatch");
+    return report(Status::corrupt("inventory checksum mismatch"));
   }
   record_success(holder);
   return samples;

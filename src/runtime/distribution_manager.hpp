@@ -80,6 +80,19 @@ struct FetchPolicy {
 
 class DistributionManager {
  public:
+  /// Reply tags live in a dedicated window: base + (request_id masked to 30
+  /// bits). Request ids themselves are 64-bit monotonic (no reuse within any
+  /// feasible run), and the mask keeps every reply tag inside
+  /// [kResponseTagBase, kResponseTagBase + 2^30), so no soak length can
+  /// collide a response tag with kFetchRequestTag or comm::kAnyTag the way
+  /// the old `base + uint32 counter` arithmetic eventually would.
+  static constexpr comm::Tag kResponseTagBase = 0x80000000;
+  static constexpr std::uint64_t kResponseTagMask = 0x3FFFFFFF;
+
+  static constexpr comm::Tag response_tag(std::uint64_t request_id) noexcept {
+    return kResponseTagBase + static_cast<comm::Tag>(request_id & kResponseTagMask);
+  }
+
   /// `has_sample` answers whether this node currently caches a sample;
   /// `sample_size` gives its payload size. Both must be thread-safe.
   DistributionManager(comm::Endpoint& endpoint,
@@ -148,6 +161,10 @@ class DistributionManager {
   /// Strikes charged against peers for corrupt replies (== corrupt_replies
   /// today; kept separate so future policies can forgive isolated flips).
   std::uint64_t corrupt_strikes() const noexcept { return corrupt_strikes_.load(); }
+  /// Serve-side reply sends that failed (bus shutdown mid-reply). Once
+  /// silently discarded; now counted and event-logged so a requester's
+  /// timeout can be matched to the server's failed send.
+  std::uint64_t serve_send_failures() const noexcept { return serve_send_failures_.load(); }
 
  private:
   /// Per-peer failure state. Lock-free: fetches from worker threads race
@@ -160,12 +177,14 @@ class DistributionManager {
   };
 
   void serve_loop();
-  void serve_inventory(comm::Rank requester, std::uint32_t request_id);
+  void serve_inventory(const comm::Message& request_message, std::uint64_t request_id);
+  void count_serve_send_failure(const Status& sent, comm::Rank requester,
+                                std::uint64_t request_id);
   Result<std::vector<std::byte>> fetch_once(SampleId sample, comm::Rank holder);
   void record_success(comm::Rank holder);
   void record_timeout(comm::Rank holder);
   void record_corrupt(comm::Rank holder);
-  void open_breaker(Breaker& breaker);
+  void open_breaker(comm::Rank holder);
 
   comm::Endpoint& endpoint_;
   std::function<bool(SampleId)> has_sample_;
@@ -184,7 +203,8 @@ class DistributionManager {
   std::atomic<std::uint64_t> breaker_closes_{0};
   std::atomic<std::uint64_t> corrupt_replies_{0};
   std::atomic<std::uint64_t> corrupt_strikes_{0};
-  std::atomic<std::uint32_t> next_request_id_{1};
+  std::atomic<std::uint64_t> serve_send_failures_{0};
+  std::atomic<std::uint64_t> next_request_id_{1};
 };
 
 }  // namespace lobster::runtime

@@ -1,6 +1,7 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <memory>
@@ -13,8 +14,10 @@
 #include "common/logging.hpp"
 #include "common/strfmt.hpp"
 #include "runtime/watchdog.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace lobster::runtime {
 
@@ -48,6 +51,15 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     return;
   }
 
+  // Root of this request's causal trace (DESIGN.md §11): every attempt,
+  // backoff, detour, serve (on the holder's rank) and PFS fallback below
+  // becomes a child span. arg = sample, arg2 = iteration, so the analyzer
+  // can group degraded fetches per iteration. Only the non-local tiers are
+  // traced — the warm local path above (and its inlined drain-loop twin)
+  // never reaches this point.
+  telemetry::Span fetch(telemetry::SpanKind::kFetch, config_.node, request.sample);
+  fetch.set_arg2(request.iter);
+
   // Multi-tenant runs address the shared KV tier and directory with keys
   // namespaced to the job's dataset (namespace 0 leaves the key untouched,
   // so single-job runs are byte-identical). The manager's peer fetches stay
@@ -66,6 +78,8 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
         payload.reset();
         quarantined_.fetch_add(1, std::memory_order_relaxed);
         LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+        telemetry::EventLog::instance().emit(telemetry::EventKind::kQuarantine,
+                                             config_.node, request.sample, 0, "kv_tier");
       }
     }
   }
@@ -99,16 +113,25 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
         directory_->mark_node_down(holder);
         failure_detour = true;
         LOBSTER_METRIC_COUNT("executor.peer_down_reroutes", 1);
+        telemetry::EventLog::instance().emit(telemetry::EventKind::kNodeDown, holder,
+                                             request.sample, request.iter);
         holder = directory_->peer_holder(key, config_.node, exclude_mask);
+        telemetry::Span::instant(telemetry::SpanKind::kDetour, config_.node,
+                                 request.sample, holder);
         continue;  // next surviving holder (or kInvalidNode -> PFS)
       }
       if (cause == StatusCode::kCorrupt) {
         quarantined_.fetch_add(1, std::memory_order_relaxed);
         LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
         LOBSTER_METRIC_COUNT("executor.corrupt_reroutes", 1);
+        telemetry::EventLog::instance().emit(telemetry::EventKind::kQuarantine,
+                                             holder, request.sample, request.iter,
+                                             "corrupt_reply");
         failure_detour = true;
         exclude_mask |= 1ULL << holder;
         holder = directory_->peer_holder(key, config_.node, exclude_mask);
+        telemetry::Span::instant(telemetry::SpanKind::kDetour, config_.node,
+                                 request.sample, holder);
         continue;  // next holder with a (hopefully) clean copy
       }
       break;  // authoritative miss / shutdown: PFS fallback
@@ -137,6 +160,8 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
   } else {
     // PFS path: materialize the sample content locally (by construction
     // this payload verifies — it is the same generator the check uses).
+    telemetry::Span pfs(telemetry::SpanKind::kPfsFallback, config_.node, request.sample);
+    pfs.set_arg2(request.iter);
     payload = std::make_shared<const std::vector<std::byte>>(
         make_sample_payload(request.sample, size));
     accounting.pfs_bytes += size;
@@ -188,6 +213,7 @@ ExecutionReport PlanExecutor::run() {
 
   for (const auto& iteration : plan_.iterations) {
     LOBSTER_TRACE_SPAN_ARG(kExecutor, "iteration", iteration.iter);
+    const auto iter_started = std::chrono::steady_clock::now();
     if (config_.iteration_hook) config_.iteration_hook(iteration.iter);
     if (watchdog_ != nullptr) watchdog_->begin_iteration(iteration.iter);
     const auto& node_plan = iteration.nodes.at(config_.node);
@@ -423,6 +449,9 @@ ExecutionReport PlanExecutor::run() {
     }
 
     if (watchdog_ != nullptr) watchdog_->end_iteration();
+    stats.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 iter_started)
+                       .count();
     report.iterations.push_back(stats);
   }
   for (auto& f : prefetch_futures) f.get();

@@ -94,6 +94,10 @@ struct IterationExecution {
   Seconds virtual_load = 0.0;     ///< modeled max per-GPU loading time
   Seconds virtual_preproc = 0.0;  ///< modeled max per-GPU preprocessing time
   Seconds virtual_duration = 0.0; ///< max(t_train, load + preproc)
+  /// Measured wall-clock duration of the iteration body (enqueue through
+  /// preproc join). Real elapsed time — the denominator the causal span
+  /// analysis compares its degraded-fetch overhead attribution against.
+  Seconds wall_s = 0.0;
 };
 
 struct ExecutionReport {

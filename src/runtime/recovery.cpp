@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 
 namespace lobster::runtime {
@@ -78,6 +79,8 @@ bool RecoveryManager::try_rejoin(NodeId node) {
   restored_.fetch_add(samples.size(), std::memory_order_relaxed);
   LOBSTER_METRIC_COUNT("recovery.rejoins", 1);
   LOBSTER_METRIC_COUNT("recovery.inventory_samples_restored", samples.size());
+  telemetry::EventLog::instance().emit(telemetry::EventKind::kNodeRejoin, node,
+                                       samples.size());
   log::warn("recovery: node %u rejoined, %zu residency entries replayed",
             static_cast<unsigned>(node), samples.size());
   return true;

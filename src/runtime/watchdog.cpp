@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 
 namespace lobster::runtime {
@@ -94,9 +96,20 @@ void IterationWatchdog::watch_loop(const std::stop_token& token) {
     if (armed_ && iter_ == watching && !flagged_ && Clock::now() >= wake_at) {
       flagged_ = true;
       stalls_.fetch_add(1, std::memory_order_relaxed);
+      const Seconds deadline = deadline_s_;
       LOBSTER_METRIC_COUNT("executor.iteration_stalls", 1);
+      telemetry::EventLog::instance().emit(telemetry::EventKind::kWatchdogStall, 0,
+                                           watching, telemetry::to_micros(deadline));
       log::warn("watchdog: iteration %llu exceeded deadline %.3fs",
-                static_cast<unsigned long long>(watching), deadline_s_);
+                static_cast<unsigned long long>(watching), deadline);
+      if (on_stall_) {
+        // Drop the lock for the callback: it may dump an incident bundle
+        // (file I/O), and holding the watchdog lock that long would block
+        // the executor's begin/end calls.
+        lock.unlock();
+        on_stall_(watching, deadline);
+        lock.lock();
+      }
     }
   }
 }

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -65,6 +66,14 @@ class IterationWatchdog {
   /// Iterations flagged as stalled so far (each flagged at most once).
   std::uint64_t stalls() const noexcept { return stalls_.load(std::memory_order_relaxed); }
 
+  /// Invoked from the deadline thread each time an iteration is flagged,
+  /// with the iteration id and the deadline it blew through. The flight
+  /// recorder hangs its incident trigger here. Runs OUTSIDE the watchdog
+  /// lock (the callback may be slow — it dumps files); set before start().
+  void set_on_stall(std::function<void(IterId, Seconds)> callback) {
+    on_stall_ = std::move(callback);
+  }
+
   /// The deadline the *next* begin_iteration() would arm (for tests).
   Seconds next_deadline() const;
 
@@ -76,6 +85,7 @@ class IterationWatchdog {
   void watch_loop(const std::stop_token& token);
 
   WatchdogConfig config_;
+  std::function<void(IterId, Seconds)> on_stall_;
 
   mutable std::mutex mutex_;
   std::condition_variable_any cv_;

@@ -1,0 +1,105 @@
+// Cross-node span stitching and degraded-fetch attribution (DESIGN.md §11).
+//
+// Input: `lobster.spans.v1` JSONL (or in-memory SpanRecords). Output: one
+// TraceSummary per trace_id — well-formedness (exactly one root, every
+// parent resolves inside the trace), cross-rank reach, degradation
+// classification, and a per-trace attribution of where the wasted time
+// went: timed-out attempts + retry backoff ("timeout"), post-detour
+// attempts on substitute holders ("detour"), and PFS re-materialization
+// ("pfs"). Degraded roots are grouped by iteration (root arg2) and their
+// wasted intervals are merged as a UNION per iteration — concurrent worker
+// timeouts overlap in wall time, so summing durations would overcount the
+// slowdown actually visible at the barrier.
+//
+// Ids stay exact: the JSON parser holds numbers as doubles, so spans are
+// keyed by their hex-string ids end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "telemetry/analysis/report.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace lobster::telemetry::analysis {
+
+/// One span as loaded from JSONL — ids as exact hex strings.
+struct LoadedSpan {
+  std::string trace;
+  std::string span;
+  std::string parent;  ///< "0" for roots
+  std::string kind;
+  std::string status;
+  std::uint16_t rank = 0;
+  std::uint64_t begin_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t arg = 0;
+  std::uint64_t arg2 = 0;
+
+  double duration_us() const noexcept {
+    return end_us >= begin_us ? static_cast<double>(end_us - begin_us) : 0.0;
+  }
+};
+
+/// Parses `lobster.spans.v1` JSONL text. Throws std::runtime_error on a
+/// malformed line or schema mismatch (line number in the message).
+std::vector<LoadedSpan> load_spans(const std::string& jsonl_text);
+std::vector<LoadedSpan> load_spans_file(const std::string& path);
+/// Converts in-memory records (same hex-string id encoding as the JSONL).
+std::vector<LoadedSpan> spans_from_records(const std::vector<SpanRecord>& records);
+
+/// Per-trace verdict and attribution.
+struct TraceSummary {
+  std::string trace_id;
+  std::string root_kind;     ///< "" when the trace has no root (malformed)
+  std::uint16_t root_rank = 0;
+  std::uint64_t sample = 0;  ///< root arg
+  std::uint64_t iter = 0;    ///< root arg2
+  std::size_t spans = 0;
+  std::size_t ranks = 0;     ///< distinct ranks touched
+  bool well_formed = false;  ///< one root, all parents resolve in-trace
+  bool degraded = false;     ///< any failed attempt / detour / fallback / fast-fail
+  double duration_us = 0.0;  ///< root span duration
+  double timeout_us = 0.0;   ///< failed attempts + backoff sleeps
+  double detour_us = 0.0;    ///< attempts issued after the first detour
+  double pfs_us = 0.0;       ///< PFS fallback spans
+  std::uint64_t attempts = 0;
+  std::uint64_t detours = 0;
+  std::uint64_t fast_fails = 0;
+};
+
+struct SpanAnalysis {
+  std::vector<TraceSummary> traces;  ///< all traces, oldest root first
+  std::size_t total_spans = 0;
+  std::size_t fetch_traces = 0;      ///< traces rooted in a "fetch" span
+  std::size_t degraded_fetches = 0;
+  std::size_t cross_rank_fetches = 0;
+  std::size_t malformed_traces = 0;
+  /// Attribution totals over degraded fetch traces (sums of per-trace
+  /// buckets — overlap-blind; use iteration_overhead_us for wall impact).
+  double timeout_us = 0.0;
+  double detour_us = 0.0;
+  double pfs_us = 0.0;
+  /// iter -> union of degraded-fetch wasted intervals in that iteration.
+  std::map<std::uint64_t, double> iteration_overhead_us;
+  double union_overhead_us = 0.0;  ///< sum over iteration_overhead_us
+};
+
+SpanAnalysis analyze_spans(const std::vector<LoadedSpan>& spans);
+
+/// Fetch-latency distribution: all / healthy / degraded rows with count,
+/// mean, p50, p95, max (milliseconds).
+Table fetch_latency_table(const SpanAnalysis& analysis);
+
+/// Degraded-slowdown attribution: per-bucket totals plus the union-interval
+/// per-iteration overhead they explain.
+Table span_attribution_table(const SpanAnalysis& analysis);
+
+/// Top-N slowest fetch traces with their critical-path chain.
+Table slowest_traces_table(const SpanAnalysis& analysis,
+                           const std::vector<LoadedSpan>& spans, std::size_t top_n);
+
+}  // namespace lobster::telemetry::analysis

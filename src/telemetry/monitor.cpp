@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/strfmt.hpp"
 #include "telemetry/analysis/json.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -29,6 +30,20 @@ void append_kv(std::string& out, const char* key, double value) {
 void append_kv(std::string& out, const char* key, bool value) {
   analysis::append_json_quoted(out, key);
   out += value ? ":true" : ":false";
+}
+
+/// Incident reason string: the first raised flag, in declaration order.
+const char* first_flag_name(const MonitorSample& sample) noexcept {
+  if (sample.straggler_gap) return "straggler_gap";
+  if (sample.prefetch_outrun) return "prefetch_outrun";
+  if (sample.queue_starved) return "queue_starved";
+  if (sample.trace_ring_overflow) return "trace_ring_overflow";
+  if (sample.peer_down) return "peer_down";
+  if (sample.retry_storm) return "retry_storm";
+  if (sample.iteration_stalled) return "iteration_stalled";
+  if (sample.corruption_detected) return "corruption_detected";
+  if (sample.job_starved) return "job_starved";
+  return "anomaly";
 }
 
 }  // namespace
@@ -150,6 +165,13 @@ MonitorSample Monitor::sample_once() {
   // Mirror drop accounting into the registry so the CSV dump records it
   // even when nobody exports a trace.
   registry.gauge("telemetry.dropped_events").set(static_cast<double>(sample.trace_dropped));
+
+  // Trigger outside mutex_: the dump is file I/O, and the recorder snapshots
+  // its own state under its own lock. The recorder's cooldown/cap keeps a
+  // persistently-flagged run from flooding the disk with bundles.
+  if (config_.recorder != nullptr && sample.any_flag()) {
+    config_.recorder->trigger(first_flag_name(sample));
+  }
   return sample;
 }
 
@@ -175,7 +197,7 @@ void Monitor::emit(const MonitorSample& sample) {
               static_cast<double>(sample.prefetch_bytes) / 1e6,
               flags.empty() ? " none" : flags.c_str());
   }
-  if (!out_open_) return;
+  if (!out_open_ && config_.recorder == nullptr) return;
 
   std::string line;
   line.reserve(512);
@@ -217,8 +239,12 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "iteration_stalled", sample.iteration_stalled); line += ',';
   append_kv(line, "corruption_detected", sample.corruption_detected); line += ',';
   append_kv(line, "job_starved", sample.job_starved);
-  line += "}}\n";
-  out_ << line;
+  line += "}}";
+  if (config_.recorder != nullptr) config_.recorder->record_heartbeat(line);
+  if (out_open_) {
+    line += '\n';
+    out_ << line;
+  }
 }
 
 }  // namespace lobster::telemetry

@@ -49,6 +49,8 @@
 
 namespace lobster::telemetry {
 
+class FlightRecorder;
+
 struct MonitorConfig {
   /// Sampling period for the background thread.
   std::chrono::milliseconds interval{1000};
@@ -60,6 +62,11 @@ struct MonitorConfig {
   double straggler_gap_threshold = 0.10;
   /// Remote-fetch retries per interval above this raise retry_storm.
   std::uint64_t retry_storm_threshold = 32;
+  /// Flight-recorder wiring (DESIGN.md §11): every heartbeat line is fed
+  /// into the recorder's ring, and any sample with an anomaly flag triggers
+  /// an incident dump (named after the first raised flag). The recorder
+  /// must outlive the monitor. nullptr = no recording.
+  FlightRecorder* recorder = nullptr;
 };
 
 /// One registry sample with interval deltas and derived anomaly flags.

@@ -1,0 +1,180 @@
+// Cross-node causal tracing (DESIGN.md §11).
+//
+// The per-stage tracer (telemetry.hpp) answers "where does time go on this
+// rank"; it cannot answer "what happened to THIS fetch". A degraded fetch
+// that timed out twice, tripped a breaker, detoured to a second holder and
+// fell back to the PFS shows up there as four unrelated counter bumps. The
+// causal layer ties them together:
+//
+//  * TraceContext — a (trace_id, span_id, parent_span_id) triple. Every
+//    remote fetch roots a fresh trace; every attempt, retry backoff,
+//    breaker fast-fail, holder detour and PFS fallback opens a child span
+//    of the thread's current context.
+//  * Propagation — the thread-current context is carried in a TLS slot
+//    (Span installs itself on construction, restores on destruction) and
+//    stamped into every comm::Message the thread sends, so the serving
+//    rank's handler span links back to the REQUESTER's attempt span:
+//    span trees genuinely cross ranks.
+//  * SpanLog — a process-wide bounded ring of completed SpanRecords with
+//    drop-oldest semantics (the flight recorder's source of truth), plus a
+//    JSONL exporter (`lobster.spans.v1`) for tools/trace_report --spans.
+//
+// Cost model: everything is gated on one relaxed atomic load. When the log
+// is disabled (the default) a Span constructor is a branch; the executor's
+// warm local fast path contains no span code at all. Span ids are process-
+// unique (splitmix64 over an atomic counter) and never zero; 64-bit ids are
+// serialized as hex STRINGS because the analysis JSON parser holds numbers
+// as doubles (53-bit mantissa).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "telemetry/clock.hpp"
+
+namespace lobster::telemetry {
+
+/// Causal coordinates of one span. trace_id == 0 means "no active trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// The calling thread's innermost open span (invalid outside any span).
+/// MessageBus::do_send stamps this into every outgoing message.
+TraceContext current_trace_context() noexcept;
+
+/// Span vocabulary. Fixed (not interned strings): the cross-node analyzer
+/// attributes time by kind, so the set is part of the lobster.spans.v1
+/// schema (tools/validate_metrics.py mirrors it).
+enum class SpanKind : std::uint8_t {
+  kFetch = 0,        ///< root: one end-to-end remote-tier fetch (executor)
+  kAttempt,          ///< one request/reply round-trip against one holder
+  kBackoff,          ///< retry backoff sleep between attempts
+  kServe,            ///< remote rank's handler (parent = requester's attempt)
+  kDetour,           ///< instant: routing moved to the next holder
+  kPfsFallback,      ///< payload re-materialized from the PFS
+  kBreakerFastFail,  ///< instant: open circuit breaker rejected the fetch
+  kInventoryProbe,   ///< recovery half-open probe round-trip (its own trace)
+  kKindCount,
+};
+
+const char* span_kind_name(SpanKind kind) noexcept;
+
+/// One completed span. `begin_us`/`end_us` are wall microseconds in the
+/// Tracer's epoch, so spans, trace events, and structured events share one
+/// timeline. `arg`/`arg2` carry kind-specific payload (sample id, holder
+/// rank, iteration, attempt index).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t begin_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t arg = 0;
+  std::uint64_t arg2 = 0;
+  SpanKind kind = SpanKind::kFetch;
+  StatusCode status = StatusCode::kOk;
+  std::uint16_t rank = 0;
+};
+
+/// Process-wide bounded span sink. All ranks of the in-process cluster
+/// share it, which is exactly what cross-rank stitching wants: the log IS
+/// the cluster-wide view. Mutex-guarded — span volume is per remote fetch,
+/// not per sample, and the warm path never reaches it.
+class SpanLog {
+ public:
+  static SpanLog& instance();
+
+  SpanLog(const SpanLog&) = delete;
+  SpanLog& operator=(const SpanLog&) = delete;
+
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Ring capacity in records (default 32768); takes effect immediately,
+  /// dropping the oldest surplus. Call with producers quiescent.
+  void set_capacity(std::size_t spans);
+
+  void record(const SpanRecord& span);
+
+  /// Surviving records, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  std::uint64_t recorded() const noexcept { return recorded_.load(std::memory_order_relaxed); }
+  /// Records lost to ring overwrite.
+  std::uint64_t dropped() const;
+
+  /// Drops records and the drop count; ids keep advancing (uniqueness).
+  void clear();
+
+  /// Process-unique non-zero span/trace id.
+  std::uint64_t next_id() noexcept;
+
+  /// One `lobster.spans.v1` line per record (no trailing newline).
+  static void append_json(std::string& out, const SpanRecord& span);
+  void write_jsonl(std::ostream& out) const;
+  bool write_jsonl_file(const std::string& path) const;
+
+ private:
+  SpanLog() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_ = 32768;
+  std::uint64_t head_ = 0;  ///< records ever accepted; ring slot = head % cap
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> id_state_{0x5EED'CAFE'F00D'D1CEULL};
+};
+
+/// RAII span. Construction opens a child of the thread-current context (or
+/// roots a new trace when there is none / when `remote_parent` is given)
+/// and installs itself as the thread-current context; destruction restores
+/// the previous context and records the span. Inert (no TLS write, no
+/// clock read) when the SpanLog is disabled at construction.
+class Span {
+ public:
+  /// Child of the thread-current context; roots a new trace when none.
+  Span(SpanKind kind, std::uint16_t rank, std::uint64_t arg = 0) noexcept;
+  /// Continues a propagated (cross-rank) context: same trace_id, parented
+  /// under the sender's span. Invalid `remote_parent` => inert span.
+  Span(SpanKind kind, std::uint16_t rank, const TraceContext& remote_parent,
+       std::uint64_t arg = 0) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const noexcept { return active_; }
+  void set_status(StatusCode code) noexcept { record_.status = code; }
+  void set_arg(std::uint64_t v) noexcept { record_.arg = v; }
+  void set_arg2(std::uint64_t v) noexcept { record_.arg2 = v; }
+
+  /// This span's context (invalid when inert) — what a message send inside
+  /// the span propagates.
+  TraceContext context() const noexcept;
+
+  /// Zero-duration child of the thread-current context (detours, breaker
+  /// fast-fails). No-op when the log is disabled or no context is open.
+  static void instant(SpanKind kind, std::uint16_t rank, std::uint64_t arg = 0,
+                      std::uint64_t arg2 = 0) noexcept;
+
+ private:
+  void open(SpanKind kind, std::uint16_t rank, std::uint64_t trace_id,
+            std::uint64_t parent_span_id, std::uint64_t arg) noexcept;
+
+  SpanRecord record_{};
+  TraceContext saved_{};
+  bool active_ = false;
+};
+
+}  // namespace lobster::telemetry

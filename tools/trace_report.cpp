@@ -1,26 +1,41 @@
-// trace_report: offline analysis of `--trace` Chrome-trace artifacts.
+// trace_report: offline analysis of `--trace` Chrome-trace artifacts and
+// `lobster.spans.v1` causal span logs.
 //
-// Reads a trace written by any bench/example run with tracing enabled,
-// reconstructs the per-run pipeline statistics (telemetry/analysis), and
-// renders them as aligned text, CSV, or Markdown:
+// Chrome-trace mode reads a trace written by any bench/example run with
+// tracing enabled, reconstructs the per-run pipeline statistics
+// (telemetry/analysis), and renders them as aligned text, CSV, or Markdown:
 //
 //   trace_report --trace fig07_trace.json
 //   trace_report --trace out.json --format md --section breakdown
 //   trace_report --trace out.json --section counters --warmup 2
 //
-// Exit codes: 0 success, 1 usage error, 2 unreadable/malformed trace,
-// 3 trace parsed but holds no analyzable simulator run.
+// Cross-node span mode stitches `lobster.spans.v1` JSONL (written with
+// `spans=<path>` or inside a flight-recorder incident bundle) into per-fetch
+// span trees, reporting fetch latency distributions, degraded-slowdown
+// attribution (timeout vs detour vs PFS, union-merged per iteration), and
+// the slowest cross-rank critical paths (DESIGN.md §11):
+//
+//   trace_report --spans chaos_spans.jsonl
+//   trace_report --incident incidents/incident-001 --section events
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/malformed input,
+// 3 input parsed but holds nothing analyzable.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/strfmt.hpp"
 #include "metrics/report.hpp"
+#include "telemetry/analysis/json.hpp"
 #include "telemetry/analysis/report.hpp"
+#include "telemetry/analysis/span_analysis.hpp"
 #include "telemetry/analysis/trace_log.hpp"
 #include "telemetry/chrome_trace.hpp"
 
@@ -32,22 +47,30 @@ namespace analysis = lobster::telemetry::analysis;
 
 struct Options {
   std::string trace_path;
+  std::string spans_path;
+  std::string incident_dir;
   analysis::Format format = analysis::Format::kText;
   std::string section = "all";
   analysis::AnalyzeOptions analyze;
   bool have_run_filter = false;
   std::uint32_t run_filter = 0;
+  std::size_t top_n = 10;
 };
 
 constexpr const char* kSections[] = {"all",   "summary",     "breakdown", "gaps",
-                                     "tiers", "attribution", "counters"};
+                                     "tiers", "attribution", "counters",  "fetches",
+                                     "slowest", "events"};
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace <out.json> [--format table|csv|md]\n"
                "          [--section all|summary|breakdown|gaps|tiers|attribution|counters]\n"
-               "          [--warmup <epochs>] [--windows <n>] [--run <id>]\n",
-               argv0);
+               "          [--warmup <epochs>] [--windows <n>] [--run <id>]\n"
+               "       %s --spans <spans.jsonl> | --incident <bundle-dir>\n"
+               "          [--format table|csv|md]\n"
+               "          [--section all|fetches|attribution|slowest|events]\n"
+               "          [--top <n>]\n",
+               argv0, argv0);
   return 1;
 }
 
@@ -59,6 +82,18 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.trace_path = v;
+    } else if (arg == "--spans") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.spans_path = v;
+    } else if (arg == "--incident") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.incident_dir = v;
+    } else if (arg == "--top") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.top_n = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--format") {
       const char* v = value();
       if (v == nullptr || !analysis::parse_format(v, options.format)) return false;
@@ -86,7 +121,10 @@ bool parse_options(int argc, char** argv, Options& options) {
       return false;
     }
   }
-  return !options.trace_path.empty();
+  const int modes = (!options.trace_path.empty() ? 1 : 0) +
+                    (!options.spans_path.empty() ? 1 : 0) +
+                    (!options.incident_dir.empty() ? 1 : 0);
+  return modes == 1;
 }
 
 bool wants(const Options& options, const char* section) {
@@ -131,11 +169,129 @@ Table counters_table(const analysis::TraceLog& log) {
   return table;
 }
 
+/// Per-kind digest of a `lobster.events.v1` JSONL file: count, time span,
+/// and the detail of the most recent occurrence.
+Table events_table(const std::string& path, bool& ok) {
+  Table table({"event", "count", "first_ms", "last_ms", "last_detail"});
+  std::ifstream in(path);
+  ok = in.is_open();
+  if (!ok) return table;
+  struct KindStats {
+    std::uint64_t count = 0;
+    double first_us = 0.0, last_us = 0.0;
+    std::string last_detail;
+  };
+  std::map<std::string, KindStats> kinds;  // ordered for stable output
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    analysis::JsonValue value;
+    try {
+      value = analysis::parse_json(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_report: %s:%zu: %s\n", path.c_str(), line_no, e.what());
+      ok = false;
+      return table;
+    }
+    if (value.get_string("schema") != "lobster.events.v1") {
+      std::fprintf(stderr, "trace_report: %s:%zu: not a lobster.events.v1 record\n",
+                   path.c_str(), line_no);
+      ok = false;
+      return table;
+    }
+    auto& stats = kinds[value.get_string("kind", "?")];
+    const double ts = value.get_number("ts_us");
+    if (stats.count == 0) stats.first_us = ts;
+    stats.last_us = ts;
+    stats.last_detail = value.get_string("detail");
+    ++stats.count;
+  }
+  for (const auto& [kind, stats] : kinds) {
+    table.add_row({kind, strf("%llu", static_cast<unsigned long long>(stats.count)),
+                   Table::num(stats.first_us / 1e3, 1), Table::num(stats.last_us / 1e3, 1),
+                   stats.last_detail});
+  }
+  return table;
+}
+
+int run_span_mode(const Options& options) {
+  std::string spans_path = options.spans_path;
+  std::string events_path;
+  if (!options.incident_dir.empty()) {
+    spans_path = options.incident_dir + "/spans.jsonl";
+    events_path = options.incident_dir + "/events.jsonl";
+    std::ifstream manifest(options.incident_dir + "/manifest.json");
+    if (manifest.is_open()) {
+      std::stringstream buffer;
+      buffer << manifest.rdbuf();
+      try {
+        const auto value = analysis::parse_json(buffer.str());
+        std::printf("incident #%.0f: reason=%s at %.1f ms (%0.f spans, %0.f events, "
+                    "%0.f heartbeats)\n\n",
+                    value.get_number("seq"), value.get_string("reason", "?").c_str(),
+                    value.get_number("ts_us") / 1e3, value.get_number("spans"),
+                    value.get_number("events"), value.get_number("heartbeats"));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "trace_report: %s/manifest.json: %s\n",
+                     options.incident_dir.c_str(), e.what());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "trace_report: cannot read %s/manifest.json\n",
+                   options.incident_dir.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<analysis::LoadedSpan> spans;
+  try {
+    spans = analysis::load_spans_file(spans_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s\n", e.what());
+    return 2;
+  }
+  if (spans.empty()) {
+    std::fprintf(stderr, "trace_report: %s holds no spans\n", spans_path.c_str());
+    return 3;
+  }
+  const auto result = analysis::analyze_spans(spans);
+  if (options.section == "all") {
+    std::printf("%zu spans in %zu traces (%zu fetches: %zu degraded, %zu cross-rank, "
+                "%zu malformed)\n\n",
+                result.total_spans, result.traces.size(), result.fetch_traces,
+                result.degraded_fetches, result.cross_rank_fetches,
+                result.malformed_traces);
+  }
+  if (wants(options, "fetches")) {
+    print_table(options, "fetch latency", analysis::fetch_latency_table(result));
+  }
+  if (wants(options, "attribution")) {
+    print_table(options, "degraded-slowdown attribution",
+                analysis::span_attribution_table(result));
+  }
+  if (wants(options, "slowest")) {
+    print_table(options, "slowest fetch traces",
+                analysis::slowest_traces_table(result, spans, options.top_n));
+  }
+  if (!events_path.empty() && wants(options, "events")) {
+    bool ok = true;
+    Table table = events_table(events_path, ok);
+    if (!ok) return 2;
+    if (table.rows() > 0) print_table(options, "events", table);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
   if (!parse_options(argc, argv, options)) return usage(argv[0]);
+  if (!options.spans_path.empty() || !options.incident_dir.empty()) {
+    return run_span_mode(options);
+  }
 
   analysis::TraceLog log;
   try {

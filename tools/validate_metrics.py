@@ -14,12 +14,16 @@ Usage:
       [--panels a,b] [--strategies a,b] [--scalar NAME ...] \
       [--min K=V ...] [--max K=V ...] [--eq K=V ...] [--lt-field A=B ...]
   validate_metrics.py FILE --heartbeat     # JSONL heartbeat stream
+  validate_metrics.py FILE --events        # lobster.events.v1 JSONL stream
+  validate_metrics.py FILE --spans         # lobster.spans.v1 JSONL stream
+  validate_metrics.py DIR --incident       # flight-recorder bundle directory
 
 Structural record-field checks are keyed on the schema; numeric gates are
 passed per-job from CI so each harness keeps its own thresholds.
 """
 import argparse
 import json
+import os
 import sys
 
 RECORD_FIELDS = {
@@ -48,6 +52,22 @@ HEARTBEAT_FLAGS = {
     "peer_down", "retry_storm", "iteration_stalled", "corruption_detected",
     "job_starved",
 }
+EVENTS_SCHEMA = "lobster.events.v1"
+EVENT_KINDS = {
+    "job_admitted", "job_finished", "node_down", "node_rejoin", "breaker_open",
+    "breaker_close", "quarantine", "watchdog_stall", "serve_send_failure",
+    "incident",
+}
+SPANS_SCHEMA = "lobster.spans.v1"
+SPAN_KINDS = {
+    "fetch", "attempt", "backoff", "serve", "detour", "pfs_fallback",
+    "breaker_fast_fail", "inventory_probe",
+}
+SPAN_FIELDS = {
+    "schema", "trace", "span", "parent", "kind", "status", "rank",
+    "begin_us", "end_us", "arg", "arg2",
+}
+INCIDENT_SCHEMA = "lobster.incident.v1"
 
 
 def fail(message):
@@ -65,9 +85,9 @@ def parse_kv(pairs):
     return out
 
 
-def validate_heartbeat(path):
+def validate_heartbeat(path, quiet=False, allow_empty=False):
     lines = [l for l in open(path) if l.strip()]
-    if not lines:
+    if not lines and not allow_empty:
         fail(f"{path}: no heartbeat lines")
     for i, line in enumerate(lines):
         beat = json.loads(line)
@@ -79,7 +99,94 @@ def validate_heartbeat(path):
         missing = HEARTBEAT_FLAGS - flags.keys()
         if missing:
             fail(f"{path}:{i + 1}: flags missing {sorted(missing)}")
-    print(f"validate_metrics: OK: {path} ({len(lines)} heartbeats)")
+    if not quiet:
+        print(f"validate_metrics: OK: {path} ({len(lines)} heartbeats)")
+    return len(lines)
+
+
+def validate_events(path, quiet=False, allow_empty=False):
+    lines = [l for l in open(path) if l.strip()]
+    if not lines and not allow_empty:
+        fail(f"{path}: no event lines")
+    for i, line in enumerate(lines):
+        event = json.loads(line)
+        if event.get("schema") != EVENTS_SCHEMA:
+            fail(f"{path}:{i + 1}: schema {event.get('schema')!r} != {EVENTS_SCHEMA!r}")
+        if event.get("kind") not in EVENT_KINDS:
+            fail(f"{path}:{i + 1}: unknown event kind {event.get('kind')!r}")
+        for field in ("seq", "ts_us", "node", "a", "b"):
+            if not isinstance(event.get(field), (int, float)):
+                fail(f"{path}:{i + 1}: missing numeric field {field!r}")
+        # Trace ids are exact 64-bit values serialized as hex strings ("0"
+        # when the event fired outside any span).
+        trace = event.get("trace")
+        if not isinstance(trace, str) or not trace:
+            fail(f"{path}:{i + 1}: trace id must be a hex string")
+        int(trace, 16)
+    if not quiet:
+        print(f"validate_metrics: OK: {path} ({len(lines)} events)")
+    return len(lines)
+
+
+def validate_spans(path, quiet=False, allow_empty=False):
+    lines = [l for l in open(path) if l.strip()]
+    if not lines and not allow_empty:
+        fail(f"{path}: no span lines")
+    for i, line in enumerate(lines):
+        span = json.loads(line)
+        if span.get("schema") != SPANS_SCHEMA:
+            fail(f"{path}:{i + 1}: schema {span.get('schema')!r} != {SPANS_SCHEMA!r}")
+        missing = SPAN_FIELDS - span.keys()
+        if missing:
+            fail(f"{path}:{i + 1}: span missing {sorted(missing)}")
+        if span["kind"] not in SPAN_KINDS:
+            fail(f"{path}:{i + 1}: unknown span kind {span['kind']!r}")
+        for field in ("trace", "span", "parent"):
+            value = span[field]
+            if not isinstance(value, str) or not value:
+                fail(f"{path}:{i + 1}: {field} id must be a hex string")
+            int(value, 16)
+        if span["trace"] == "0" or span["span"] == "0":
+            fail(f"{path}:{i + 1}: recorded span has a zero trace/span id")
+        if span["end_us"] < span["begin_us"]:
+            fail(f"{path}:{i + 1}: end_us before begin_us")
+    if not quiet:
+        print(f"validate_metrics: OK: {path} ({len(lines)} spans)")
+    return len(lines)
+
+
+def validate_incident(bundle_dir):
+    manifest_path = os.path.join(bundle_dir, "manifest.json")
+    if not os.path.isfile(manifest_path):
+        fail(f"{bundle_dir}: no manifest.json")
+    manifest = json.load(open(manifest_path))
+    if manifest.get("schema") != INCIDENT_SCHEMA:
+        fail(f"{manifest_path}: schema {manifest.get('schema')!r} != {INCIDENT_SCHEMA!r}")
+    for field in ("reason", "seq", "ts_us", "spans", "events", "heartbeats", "files"):
+        if field not in manifest:
+            fail(f"{manifest_path}: missing field {field!r}")
+    for name in manifest["files"]:
+        if not os.path.isfile(os.path.join(bundle_dir, name)):
+            fail(f"{bundle_dir}: manifest references missing file {name!r}")
+    # A bundle can legitimately capture an empty ring (incident before any
+    # span/event fired), so emptiness gates on the manifest counts instead.
+    counts = {
+        "spans": validate_spans(os.path.join(bundle_dir, "spans.jsonl"),
+                                quiet=True, allow_empty=True),
+        "events": validate_events(os.path.join(bundle_dir, "events.jsonl"),
+                                  quiet=True, allow_empty=True),
+        "heartbeats": validate_heartbeat(os.path.join(bundle_dir, "heartbeats.jsonl"),
+                                         quiet=True, allow_empty=True),
+    }
+    for key, count in counts.items():
+        if manifest[key] != count:
+            fail(f"{bundle_dir}: manifest says {manifest[key]} {key}, "
+                 f"file holds {count}")
+    if not os.path.isfile(os.path.join(bundle_dir, "metrics.csv")):
+        fail(f"{bundle_dir}: missing metrics.csv")
+    print(f"validate_metrics: OK: {bundle_dir} (reason={manifest['reason']!r}, "
+          f"{counts['spans']} spans, {counts['events']} events, "
+          f"{counts['heartbeats']} heartbeats)")
 
 
 def main():
@@ -88,6 +195,12 @@ def main():
     parser.add_argument("--schema", help="expected schema string")
     parser.add_argument("--heartbeat", action="store_true",
                         help="validate a heartbeat JSONL stream instead")
+    parser.add_argument("--events", action="store_true",
+                        help="validate a lobster.events.v1 JSONL stream instead")
+    parser.add_argument("--spans", action="store_true",
+                        help="validate a lobster.spans.v1 JSONL stream instead")
+    parser.add_argument("--incident", action="store_true",
+                        help="validate a flight-recorder incident bundle directory")
     parser.add_argument("--require-records", action="store_true",
                         help="the record array must be non-empty")
     parser.add_argument("--record-positive", action="append", default=[],
@@ -109,8 +222,17 @@ def main():
     if args.heartbeat:
         validate_heartbeat(args.file)
         return
+    if args.events:
+        validate_events(args.file)
+        return
+    if args.spans:
+        validate_spans(args.file)
+        return
+    if args.incident:
+        validate_incident(args.file)
+        return
     if not args.schema:
-        fail("--schema is required unless --heartbeat")
+        fail("--schema is required unless --heartbeat/--events/--spans/--incident")
 
     metrics = json.load(open(args.file))
     if metrics.get("schema") != args.schema:
