@@ -1,8 +1,8 @@
 // General experiment runner: every knob of the simulated testbed on the
 // command line, so new experiments don't need new binaries.
 //
-//   $ ./experiment_runner dataset=imagenet1k nodes=1 scale=256 \
-//         strategies=pytorch,dali,nopfs,lobster epochs=4 model=resnet50 \
+//   $ ./experiment_runner dataset=imagenet1k nodes=1 scale=256
+//         strategies=pytorch,dali,nopfs,lobster epochs=4 model=resnet50
 //         cache_fraction=0.296 seed=42 plan_out=/tmp/plan.bin
 //
 // Options (all optional):

@@ -48,7 +48,7 @@ class FifoPolicy final : public EvictionPolicy {
  public:
   const char* name() const noexcept override { return "fifo"; }
   void on_insert(SampleId sample, IterId now) override;
-  void on_access(SampleId sample, IterId now) override {}
+  void on_access(SampleId /*sample*/, IterId /*now*/) override {}
   void on_evict(SampleId sample) override;
   SampleId pick_victim(const EvictionContext& context) override;
 
@@ -106,7 +106,7 @@ class RandomPolicy final : public EvictionPolicy {
   explicit RandomPolicy(std::uint64_t seed = 0xBADF00D);
   const char* name() const noexcept override { return "random"; }
   void on_insert(SampleId sample, IterId now) override;
-  void on_access(SampleId sample, IterId now) override {}
+  void on_access(SampleId /*sample*/, IterId /*now*/) override {}
   void on_evict(SampleId sample) override;
   SampleId pick_victim(const EvictionContext& context) override;
 

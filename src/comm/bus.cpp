@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "comm/fault.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/trace_context.hpp"
 
 namespace lobster::comm {
@@ -12,6 +13,10 @@ namespace lobster::comm {
 std::uint16_t Endpoint::world_size() const noexcept { return bus_->world_size(); }
 
 Status Endpoint::send(Rank to, Tag tag, std::vector<std::byte> payload) {
+  return bus_->do_send(to, Message{rank_, tag, make_payload(std::move(payload))});
+}
+
+Status Endpoint::send(Rank to, Tag tag, PayloadPtr payload) {
   return bus_->do_send(to, Message{rank_, tag, std::move(payload)});
 }
 
@@ -36,11 +41,19 @@ std::vector<double> Endpoint::allreduce_sum(std::vector<double> values) {
   return bus_->do_allreduce(rank_, std::move(values));
 }
 
-MessageBus::MessageBus(std::uint16_t world_size)
-    : world_size_(world_size), mailboxes_(world_size) {
+MessageBus::MessageBus(std::uint16_t world_size) : world_size_(world_size) {
   if (world_size == 0) throw std::invalid_argument("MessageBus: world_size must be >= 1");
   endpoints_.reserve(world_size);
   for (Rank r = 0; r < world_size; ++r) endpoints_.push_back(Endpoint(*this, r));
+  const std::size_t pairs = static_cast<std::size_t>(world_size) * world_size;
+  lanes_.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(kLaneCapacity));
+  }
+  receivers_.reserve(world_size);
+  for (Rank r = 0; r < world_size; ++r) {
+    receivers_.push_back(std::make_unique<ReceiverState>());
+  }
 }
 
 MessageBus::~MessageBus() { shutdown(); }
@@ -51,24 +64,55 @@ Endpoint& MessageBus::endpoint(Rank rank) {
 }
 
 void MessageBus::set_fault_plan(FaultPlan* plan) {
-  {
-    const std::scoped_lock lock(mutex_);
-    fault_plan_ = plan;
-  }
-  cv_.notify_all();
+  fault_plan_.store(plan, std::memory_order_seq_cst);
 }
 
 void MessageBus::shutdown() {
+  shutdown_.store(true, std::memory_order_seq_cst);
   {
     const std::scoped_lock lock(mutex_);
-    shutdown_ = true;
   }
   cv_.notify_all();
+  for (auto& receiver : receivers_) {
+    {
+      // Lock/unlock pairs with a receiver that checked shutdown_ before
+      // sleeping: either it saw the flag, or it reached the wait first and
+      // this notify lands after it released the mutex.
+      const std::scoped_lock lock(receiver->mutex);
+    }
+    receiver->cv.notify_all();
+  }
 }
 
 bool MessageBus::is_shutdown() const {
-  const std::scoped_lock lock(mutex_);
-  return shutdown_;
+  return shutdown_.load(std::memory_order_seq_cst);
+}
+
+void MessageBus::ring_doorbell(Rank to) {
+  ReceiverState& receiver = *receivers_[to];
+  // seq_cst load: pairs with the waiter's seq_cst registration + lane
+  // re-check. Either this load sees the waiter (and we knock), or the
+  // waiter's re-check sees our push (and never sleeps).
+  if (receiver.waiters.load(std::memory_order_seq_cst) == 0) return;
+  {
+    // Empty critical section: serializes with the waiter's decision to
+    // sleep, so the notify below cannot slip between its re-check and its
+    // cv wait.
+    const std::scoped_lock lock(receiver.mutex);
+  }
+  receiver.cv.notify_all();
+}
+
+void MessageBus::flush_lane_locked(Rank from, Rank to) {
+  Lane& in = lane(from, to);
+  Message message;
+  while (in.try_pop(message)) {
+    receivers_[to]->mailbox.push_back(Envelope{std::move(message), {}});
+  }
+}
+
+void MessageBus::drain_lanes_locked(Rank to) {
+  for (Rank from = 0; from < world_size_; ++from) flush_lane_locked(from, to);
 }
 
 Status MessageBus::do_send(Rank to, Message message) {
@@ -83,51 +127,80 @@ Status MessageBus::do_send(Rank to, Message message) {
     message.span_id = context.span_id;
   }
 #endif
-  {
-    const std::scoped_lock lock(mutex_);
-    if (shutdown_) return Status::shutdown("bus is shut down");
-    Envelope envelope{std::move(message), {}};
-    if (fault_plan_ != nullptr) {
-      const FaultPlan::Verdict verdict = fault_plan_->on_message(envelope.message.source, to);
-      // Fire-and-forget: a dropped message still reports ok to the sender,
-      // exactly as a real NIC gives no delivery receipt.
-      if (verdict.drop) return Status{};
-      if (verdict.corrupt && !envelope.message.payload.empty()) {
-        // Flip bytes spread across the payload tail. The tail is where
-        // response *content* lives (headers sit at the front), so a
-        // corrupted reply passes superficial parsing and only end-to-end
-        // payload verification catches it — the scenario the quarantine
-        // path exists for. Small messages get their last byte flipped,
-        // which garbles request ids / sample ids instead.
-        auto& bytes = envelope.message.payload;
-        const std::size_t n = bytes.size();
-        const std::size_t flips = n >= 64 ? 4 : 1;
-        for (std::size_t i = 0; i < flips; ++i) {
-          bytes[n - 1 - i * (n / (flips * 2 + 1))] ^= std::byte{0xA5};
-        }
-      }
-      if (verdict.delay_s > 0.0) {
-        envelope.deliver_at = Clock::now() +
-            std::chrono::duration_cast<Clock::duration>(
-                std::chrono::duration<double>(verdict.delay_s));
-      }
+  if (shutdown_.load(std::memory_order_seq_cst)) return Status::shutdown("bus is shut down");
+
+  FaultPlan* plan = fault_plan_.load(std::memory_order_seq_cst);
+  if (plan == nullptr) {
+    // Fast path: lock-free lane push + doorbell. try_push only consumes the
+    // message once it has claimed a cell, so a full ring leaves it intact
+    // for the overflow path below.
+    const Rank from = message.source;
+    if (lane(from, to).try_push(std::move(message))) {
+      ring_doorbell(to);
+      return Status{};
     }
-    mailboxes_[to].push_back(std::move(envelope));
   }
-  cv_.notify_all();
+  return slow_send(to, std::move(message), plan);
+}
+
+Status MessageBus::slow_send(Rank to, Message message, FaultPlan* plan) {
+  slow_path_sends_.fetch_add(1, std::memory_order_relaxed);
+  LOBSTER_METRIC_COUNT("comm.slow_path_sends", 1);
+  Envelope envelope{std::move(message), {}};
+  if (plan != nullptr) {
+    const FaultPlan::Verdict verdict = plan->on_message(envelope.message.source, to);
+    // Fire-and-forget: a dropped message still reports ok to the sender,
+    // exactly as a real NIC gives no delivery receipt.
+    if (verdict.drop) return Status{};
+    if (verdict.corrupt && envelope.message.payload &&
+        !envelope.message.payload->empty()) {
+      // Copy-on-write: the payload is shared with the sender's cache, so
+      // corruption clones it first — only the wire copy lies.
+      auto corrupted =
+          std::make_shared<std::vector<std::byte>>(*envelope.message.payload);
+      // Flip bytes spread across the payload tail. The tail is where
+      // response *content* lives (headers sit at the front), so a
+      // corrupted reply passes superficial parsing and only end-to-end
+      // payload verification catches it — the scenario the quarantine
+      // path exists for. Small messages get their last byte flipped,
+      // which garbles request ids / sample ids instead.
+      auto& bytes = *corrupted;
+      const std::size_t n = bytes.size();
+      const std::size_t flips = n >= 64 ? 4 : 1;
+      for (std::size_t i = 0; i < flips; ++i) {
+        bytes[n - 1 - i * (n / (flips * 2 + 1))] ^= std::byte{0xA5};
+      }
+      envelope.message.payload = std::move(corrupted);
+    }
+    if (verdict.delay_s > 0.0) {
+      envelope.deliver_at = Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(verdict.delay_s));
+    }
+  }
+  ReceiverState& receiver = *receivers_[to];
+  {
+    const std::scoped_lock lock(receiver.mutex);
+    // Preserve per-sender FIFO across the path switch: anything this sender
+    // already put on its lane must land in the mailbox first.
+    flush_lane_locked(envelope.message.source, to);
+    receiver.mailbox.push_back(std::move(envelope));
+  }
+  receiver.cv.notify_all();
   return Status{};
 }
 
 Result<Message> MessageBus::do_recv(Rank me, Tag tag, bool blocking,
                                     std::optional<Clock::time_point> deadline) {
-  std::unique_lock lock(mutex_);
+  ReceiverState& receiver = *receivers_[me];
+  std::unique_lock lock(receiver.mutex);
   // Scans the mailbox for the first deliverable match; if matching messages
   // exist but are still in flight (fault-injected delay), reports the
   // earliest time one becomes visible so the wait can use it.
   auto find_match = [&](Clock::time_point now,
                         std::optional<Clock::time_point>& next_ready) -> std::optional<Message> {
     next_ready.reset();
-    auto& box = mailboxes_[me];
+    auto& box = receiver.mailbox;
     for (auto it = box.begin(); it != box.end(); ++it) {
       if (tag != kAnyTag && it->message.tag != tag) continue;
       if (it->deliver_at > now) {
@@ -141,11 +214,19 @@ Result<Message> MessageBus::do_recv(Rank me, Tag tag, bool blocking,
     return std::nullopt;
   };
 
+  auto lanes_look_empty = [&] {
+    for (Rank from = 0; from < world_size_; ++from) {
+      if (!lane(from, me).empty()) return false;
+    }
+    return true;
+  };
+
   for (;;) {
+    drain_lanes_locked(me);
     const Clock::time_point now = Clock::now();
     std::optional<Clock::time_point> next_ready;
     if (auto found = find_match(now, next_ready)) return std::move(*found);
-    if (shutdown_) return Status::shutdown("bus is shut down");
+    if (shutdown_.load(std::memory_order_seq_cst)) return Status::shutdown("bus is shut down");
     if (!blocking) return Status::not_found("no matching message");
     if (deadline && now >= *deadline) return Status::timeout("recv deadline expired");
 
@@ -153,11 +234,21 @@ Result<Message> MessageBus::do_recv(Rank me, Tag tag, bool blocking,
     // in-flight (delayed) matching message becomes deliverable.
     std::optional<Clock::time_point> wake = deadline;
     if (next_ready && (!wake || *next_ready < *wake)) wake = next_ready;
-    if (wake) {
-      cv_.wait_until(lock, *wake);
-    } else {
-      cv_.wait(lock);
+
+    // Doorbell sleep protocol: register as a waiter (seq_cst), then
+    // re-check the lanes and the shutdown flag. A sender's lane push is a
+    // seq_cst store followed by a seq_cst waiter load, so either the
+    // sender sees this registration (and knocks under our mutex) or the
+    // re-check sees its push — a lost wakeup is impossible.
+    receiver.waiters.fetch_add(1, std::memory_order_seq_cst);
+    if (lanes_look_empty() && !shutdown_.load(std::memory_order_seq_cst)) {
+      if (wake) {
+        receiver.cv.wait_until(lock, *wake);
+      } else {
+        receiver.cv.wait(lock);
+      }
     }
+    receiver.waiters.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -171,7 +262,10 @@ void MessageBus::do_barrier() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return barrier_generation_ != my_generation || shutdown_; });
+  cv_.wait(lock, [&] {
+    return barrier_generation_ != my_generation ||
+           shutdown_.load(std::memory_order_seq_cst);
+  });
 }
 
 std::vector<double> MessageBus::do_allreduce(Rank me, std::vector<double> values) {
@@ -194,7 +288,10 @@ std::vector<double> MessageBus::do_allreduce(Rank me, std::vector<double> values
     cv_.notify_all();
     return reduce_result_;
   }
-  cv_.wait(lock, [&] { return reduce_generation_ != my_generation || shutdown_; });
+  cv_.wait(lock, [&] {
+    return reduce_generation_ != my_generation ||
+           shutdown_.load(std::memory_order_seq_cst);
+  });
   return reduce_result_;
 }
 

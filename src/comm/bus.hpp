@@ -7,16 +7,31 @@
 // One Endpoint per simulated node; each node's distribution manager runs
 // its endpoint from its own thread.
 //
+// Data plane (DESIGN.md §8): the bus is sharded into per-(sender,receiver)
+// lanes — bounded lock-free rings — so concurrent fetch traffic between
+// disjoint rank pairs never shares a cache line, let alone a mutex. A
+// receiver owns a private mailbox (mutex + condvar) that lanes drain into
+// on receive; senders ring the receiver's doorbell (an atomic waiter count
+// + condvar notify) only when someone is actually blocked. The legacy
+// mutex mailbox survives as the slow path, taken only when a FaultPlan is
+// attached (fault verdicts need serialized bookkeeping and delayed
+// delivery) or when a lane overflows; slow-path sends are counted in the
+// `comm.slow_path_sends` telemetry counter and MessageBus::slow_path_sends().
+//
+// Payloads are zero-copy: Message carries a shared_ptr<const vector<byte>>
+// stamped once at materialization and shared by the sender's cache, the
+// in-flight envelope, and the receiver — no copy at send, none at serve.
+//
 // Semantics:
-//   - send() is asynchronous and never blocks (unbounded per-rank mailbox);
-//     it returns Status::shutdown after shutdown and ok otherwise — a
-//     dropped or delayed message (fault injection) still reports ok,
-//     exactly as a real NIC gives no delivery receipt;
+//   - send() is asynchronous and never blocks (lanes overflow into the
+//     unbounded mailbox); it returns Status::shutdown after shutdown and
+//     ok otherwise — a dropped or delayed message (fault injection) still
+//     reports ok, exactly as a real NIC gives no delivery receipt;
 //   - recv() blocks until a message with a matching tag arrives (tag
 //     kAnyTag matches everything); messages with the same (source, tag)
-//     arrive in send order; recv_for() additionally gives up with
-//     StatusCode::kTimeout once the deadline passes — the primitive the
-//     fault-tolerant fetch path is built on;
+//     sent from one thread arrive in send order; recv_for() additionally
+//     gives up with StatusCode::kTimeout once the deadline passes — the
+//     primitive the fault-tolerant fetch path is built on;
 //   - barrier() blocks until all ranks arrive (generation-counted, so
 //     repeated barriers work); collectives are NOT fault-aware — do not
 //     barrier against a killed rank;
@@ -27,21 +42,26 @@
 // Fault injection: set_fault_plan() attaches a comm::FaultPlan that is
 // consulted on every send — it may drop the message, delay its delivery
 // (the message sits invisibly in the mailbox until its deliver-at time),
-// or corrupt its payload in flight (bytes flipped; the receiver sees a
-// well-formed message whose content fails end-to-end verification).
-// Null plan (the default) costs nothing.
+// or corrupt its payload in flight (the payload is cloned and its copy's
+// bytes flipped — copy-on-write, so other holders of the shared payload
+// are untouched; the receiver sees a well-formed message whose content
+// fails end-to-end verification). Null plan (the default) costs nothing:
+// every send stays on the lock-free lane path.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mpmc_ring.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 
@@ -52,10 +72,19 @@ using Tag = std::uint32_t;
 
 inline constexpr Tag kAnyTag = ~0U;
 
+/// Immutable shared payload: materialized once, then shared by cache,
+/// envelope, and receiver without further copies.
+using PayloadPtr = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Wraps a byte vector into the shared payload type (one move, no copy).
+inline PayloadPtr make_payload(std::vector<std::byte> bytes) {
+  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+}
+
 struct Message {
   Rank source = 0;
   Tag tag = 0;
-  std::vector<std::byte> payload;
+  PayloadPtr payload;  // null and empty are equivalent (see bytes())
   // Causal trace coordinates (telemetry::TraceContext), stamped by the bus
   // from the sending thread's current span when tracing is enabled — the
   // cross-rank propagation path for span trees (DESIGN.md §11). Zero means
@@ -63,6 +92,12 @@ struct Message {
   // ({source, tag, payload}) stay valid.
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
+
+  /// The payload bytes; an empty vector when no payload is attached.
+  const std::vector<std::byte>& bytes() const noexcept {
+    static const std::vector<std::byte> kEmpty;
+    return payload ? *payload : kEmpty;
+  }
 };
 
 class MessageBus;
@@ -79,6 +114,9 @@ class Endpoint {
   /// Asynchronous tagged send. StatusCode::kShutdown after shutdown; ok
   /// otherwise (fire-and-forget: injected drops still report ok).
   Status send(Rank to, Tag tag, std::vector<std::byte> payload);
+
+  /// Zero-copy send: the payload is shared, not copied, into the envelope.
+  Status send(Rank to, Tag tag, PayloadPtr payload);
 
   /// Convenience: sends a trivially-copyable value.
   template <typename T>
@@ -103,8 +141,9 @@ class Endpoint {
   template <typename T>
   static T value_of(const Message& message) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const auto& bytes = message.bytes();
     T value{};
-    std::memcpy(&value, message.payload.data(), std::min(sizeof(T), message.payload.size()));
+    std::memcpy(&value, bytes.data(), std::min(sizeof(T), bytes.size()));
     return value;
   }
 
@@ -136,8 +175,16 @@ class MessageBus {
   Endpoint& endpoint(Rank rank);
 
   /// Attaches (or detaches, with nullptr) a fault injector consulted on
-  /// every send. The plan must outlive the bus or be detached first.
+  /// every send. While attached, every send takes the serialized slow
+  /// path (fault verdicts and delayed delivery need it). The plan must
+  /// outlive the bus or be detached first.
   void set_fault_plan(FaultPlan* plan);
+
+  /// Sends that bypassed the lock-free lanes (fault plan attached, or a
+  /// lane overflowed). Mirrors the `comm.slow_path_sends` counter.
+  std::uint64_t slow_path_sends() const noexcept {
+    return slow_path_sends_.load(std::memory_order_relaxed);
+  }
 
   /// Releases every blocked receiver / collective.
   void shutdown();
@@ -147,6 +194,7 @@ class MessageBus {
   friend class Endpoint;
 
   using Clock = std::chrono::steady_clock;
+  using Lane = MpmcRing<Message>;
 
   /// A mailbox entry; deliver_at in the future means the message is in
   /// flight (fault-injected delay) and invisible to receivers until then.
@@ -155,7 +203,35 @@ class MessageBus {
     Clock::time_point deliver_at{};  // epoch == immediately deliverable
   };
 
+  /// Per-receiver slow-path state: the mailbox lanes drain into, and the
+  /// doorbell blocked receivers sleep on.
+  struct ReceiverState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Envelope> mailbox;
+    std::atomic<std::uint32_t> waiters{0};
+  };
+
+  /// Lane cells are ~one cache line; with the small worlds this bus hosts
+  /// (tests and benches run 1-16 ranks) the full lane matrix stays modest.
+  static constexpr std::size_t kLaneCapacity = 256;
+
+  Lane& lane(Rank from, Rank to) {
+    return *lanes_[static_cast<std::size_t>(from) * world_size_ + to];
+  }
+
   Status do_send(Rank to, Message message);
+  /// Serialized mailbox path: fault verdicts, delays, and lane overflow.
+  Status slow_send(Rank to, Message message, FaultPlan* plan);
+  /// Moves everything in lane(from, to) into `to`'s mailbox. Caller holds
+  /// the receiver's mutex. Preserves per-sender FIFO across path switches.
+  void flush_lane_locked(Rank from, Rank to);
+  /// Flushes every inbound lane of `to` into its mailbox (caller holds the
+  /// receiver's mutex).
+  void drain_lanes_locked(Rank to);
+  /// Wakes `to`'s receiver if (and only if) one is blocked.
+  void ring_doorbell(Rank to);
+
   Result<Message> do_recv(Rank me, Tag tag, bool blocking,
                           std::optional<Clock::time_point> deadline);
   void do_barrier();
@@ -164,11 +240,17 @@ class MessageBus {
   const std::uint16_t world_size_;
   std::vector<Endpoint> endpoints_;
 
+  // Data plane.
+  std::vector<std::unique_ptr<Lane>> lanes_;  // [from * world_size + to]
+  std::vector<std::unique_ptr<ReceiverState>> receivers_;
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> slow_path_sends_{0};
+
+  // Control plane: collectives keep the one global mutex — they are
+  // inherently all-rank rendezvous points, never hot.
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::deque<Envelope>> mailboxes_;
-  FaultPlan* fault_plan_ = nullptr;
-  bool shutdown_ = false;
 
   // Barrier state (generation counting).
   std::uint32_t barrier_waiting_ = 0;

@@ -1,0 +1,123 @@
+// Bounded lock-free MPMC ring (Vyukov's per-cell-sequence design).
+//
+// This is the comm-lane primitive behind MessageBus's sharded data plane
+// (DESIGN.md §8): one ring per (sender, receiver) pair, so a hot sender
+// never contends with any other pair. Each lane is nominally SPSC — one
+// sending rank, one receiving rank — but both ends may be driven by more
+// than one OS thread (the executor's pool workers all send through rank
+// 0's endpoint, and a serve thread shares it), so the cells carry full
+// MPMC sequence numbers rather than relying on single-thread ends.
+//
+// try_push/try_pop never block and never allocate after construction.
+// A full ring fails the push (the bus then falls back to its mutex
+// mailbox, preserving order by flushing the lane first). empty() is an
+// approximation used for the doorbell sleep protocol; its load and the
+// final sequence store in try_push are seq_cst so a consumer that
+// registers as a waiter and then re-checks emptiness cannot miss a
+// concurrent push (Dekker-style store/load ordering against the waiter
+// counter).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace lobster {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two >= 2.
+  explicit MpmcRing(std::size_t capacity)
+      : capacity_mask_(capacity - 1), cells_(new Cell[capacity]) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument("MpmcRing: capacity must be a power of two >= 2");
+    }
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_mask_ + 1; }
+
+  /// Non-blocking; false when the ring is full.
+  bool try_push(T&& value) {
+    Cell* cell = nullptr;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & capacity_mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    // seq_cst (not just release): orders against a waiter-counter load in
+    // the bus's doorbell protocol — see the header comment.
+    cell->sequence.store(pos + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Non-blocking; false when the ring is empty.
+  bool try_pop(T& out) {
+    Cell* cell = nullptr;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & capacity_mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + capacity_mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate: true when a try_pop issued now would fail. seq_cst load so
+  /// the doorbell sleep protocol cannot miss a completed push.
+  bool empty() const {
+    const std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    const Cell& cell = cells_[pos & capacity_mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_seq_cst);
+    return static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1) < 0;
+  }
+
+ private:
+  // Fixed 64: the interference-size constant trips -Winterference-size
+  // under -Werror, and 64 is right for every target this builds on.
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct alignas(kCacheLine) Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  const std::size_t capacity_mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLine) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace lobster

@@ -1,0 +1,65 @@
+// Layered payload arena: thread-local slab -> shared pool -> heap.
+//
+// The hot fetch/materialize paths allocate one byte buffer per sample; at
+// millions of samples per second the global heap (and its lock) becomes a
+// contention point, and freshly-mapped pages pay a zero-fill on first
+// touch. The arena recycles buffers through power-of-two size classes
+// (256 B .. 1 MiB):
+//
+//   1. thread-local slab — a small per-thread freelist per class; hits are
+//      completely synchronization-free;
+//   2. shared pool — a mutex-guarded overflow pool each slab spills into
+//      (and refills from), bounding per-thread hoarding;
+//   3. heap — a fresh allocation when both layers are empty, and the only
+//      path for oversize (> 1 MiB) buffers.
+//
+// acquire(n) returns a shared_ptr whose deleter recycles the buffer into
+// the releasing thread's slab, so buffers migrate naturally toward the
+// threads that free them. A recycled buffer keeps its previous size, so a
+// workload with uniform payload sizes (the executor's case) makes
+// resize(n) a no-op — no memset, no page faults after warm-up.
+//
+// The returned pointer converts implicitly to the zero-copy payload type
+// (shared_ptr<const vector<byte>>) used by cache::KvStore and comm::Message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lobster {
+
+class PayloadArena {
+ public:
+  using Buffer = std::vector<std::byte>;
+  using BufferPtr = std::shared_ptr<Buffer>;
+
+  /// A buffer of exactly `n` bytes. Contents are unspecified (recycled
+  /// buffers keep stale bytes) — callers overwrite the whole buffer.
+  static BufferPtr acquire(std::size_t n);
+
+  struct Stats {
+    std::uint64_t tls_hits = 0;       // served from the thread-local slab
+    std::uint64_t pool_hits = 0;      // refilled from the shared pool
+    std::uint64_t fresh_allocs = 0;   // both layers empty -> heap
+    std::uint64_t oversize_allocs = 0;  // > 1 MiB, never pooled
+  };
+  static Stats stats();
+
+  static constexpr std::size_t kMinClassBytes = 256;
+  static constexpr std::size_t kMaxClassBytes = 1U << 20;
+  static constexpr std::size_t kNumClasses = 13;  // 256 B, 512 B, ..., 1 MiB
+  /// Per-class caps; overflow past the pool cap falls through to delete.
+  static constexpr std::size_t kSlabCapPerClass = 8;
+  static constexpr std::size_t kPoolCapPerClass = 64;
+
+  static constexpr std::size_t class_bytes(std::size_t index) {
+    return kMinClassBytes << index;
+  }
+
+ private:
+  static void release(Buffer* buffer) noexcept;
+};
+
+}  // namespace lobster

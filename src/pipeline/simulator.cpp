@@ -575,7 +575,7 @@ SimulationResult TrainingSimulator::run() {
           Seconds load;
           if (config_.des_loading) {
             // Emergent base time; noise/bursts scale the network-bound share.
-            const Seconds base = replay.gpu_load_time[g];
+            const Seconds base_load = replay.gpu_load_time[g];
             const Bytes slow_bytes = demand.bytes.remote + demand.bytes.pfs;
             const double slow_fraction =
                 demand.bytes.total() > 0
@@ -583,7 +583,7 @@ SimulationResult TrainingSimulator::run() {
                     : 0.0;
             double factor = 1.0 + slow_fraction * (noise - 1.0);
             if (burst) factor *= 1.0 + slow_fraction * (preset.noise.burst_multiplier - 1.0);
-            load = base * factor;
+            load = base_load * factor;
           } else {
             load = breakdown.local + breakdown.ssd +
                    (breakdown.remote + breakdown.pfs) * noise;

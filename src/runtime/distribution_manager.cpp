@@ -1,10 +1,12 @@
 #include "runtime/distribution_manager.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "common/payload_arena.hpp"
 #include "common/rng.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
@@ -20,6 +22,11 @@ constexpr comm::Tag kFetchRequestTag = 0x0F00;
 /// (same tag and server loop as demand fetches, so one serve thread handles
 /// both and a killed node's poison pill still works unchanged).
 constexpr SampleId kInventorySample = kInvalidSample - 1;
+
+/// Sentinel sample id: a FetchRequest carrying it is a batched multi-get.
+/// The request body continues with a count and that many sample ids; the
+/// reply interleaves per-sample headers and payload bytes (DESIGN.md §8).
+constexpr SampleId kMultiGetSample = kInvalidSample - 2;
 
 struct FetchRequest {
   std::uint64_t request_id;
@@ -49,33 +56,111 @@ std::int64_t steady_now_ns() {
       .count();
 }
 
+/// Counter-mode pattern word: chunk `k` of a payload is derived directly
+/// from (seed, k) with the splitmix64 finalizer, so consecutive chunks have
+/// no data dependency and the CPU pipelines them. (The earlier chained
+/// `state = splitmix64(state)` form serialized one mix latency per 8 bytes,
+/// which dominated cold-miss materialization at 4KB payloads.)
+std::uint64_t pattern_word(std::uint64_t seed, std::uint64_t chunk) noexcept {
+  std::uint64_t z = seed + (chunk + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Keyed-pattern fill, one independent pattern_word per 8-byte chunk.
+/// `begin` is always chunk-aligned (0, 8, or 16); the byte-tail derivation
+/// matches the word path (byte i == (word >> ((i % 8) * 8)) & 0xFF) so
+/// endianness never changes what verification accepts.
+void fill_pattern(std::byte* data, std::size_t begin, std::size_t size,
+                  std::uint64_t seed) {
+  std::size_t i = begin;
+  std::uint64_t chunk = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; i + sizeof(std::uint64_t) <= size; i += sizeof(std::uint64_t), ++chunk) {
+      const std::uint64_t word = pattern_word(seed, chunk);
+      std::memcpy(data + i, &word, sizeof(word));
+    }
+  }
+  for (; i < size; ++i) {
+    const std::uint64_t word = pattern_word(seed, (i - begin) / 8);
+    data[i] = static_cast<std::byte>((word >> ((i % 8) * 8)) & 0xFF);
+  }
+}
+
+/// Word-wise verification twin of fill_pattern; no allocation.
+bool check_pattern(const std::byte* data, std::size_t begin, std::size_t size,
+                   std::uint64_t seed) {
+  std::size_t i = begin;
+  std::uint64_t chunk = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; i + sizeof(std::uint64_t) <= size; i += sizeof(std::uint64_t), ++chunk) {
+      const std::uint64_t want = pattern_word(seed, chunk);
+      std::uint64_t got = 0;
+      std::memcpy(&got, data + i, sizeof(got));
+      if (got != want) return false;
+    }
+  }
+  for (; i < size; ++i) {
+    const std::uint64_t word = pattern_word(seed, (i - begin) / 8);
+    if (data[i] != static_cast<std::byte>((word >> ((i % 8) * 8)) & 0xFF)) return false;
+  }
+  return true;
+}
+
+/// Header layout shared by generation and verification: id, then length,
+/// each included only when the payload is long enough to carry it.
+std::size_t pattern_offset(std::size_t size) {
+  if (size >= sizeof(SampleId) + sizeof(std::uint64_t)) {
+    return sizeof(SampleId) + sizeof(std::uint64_t);
+  }
+  return size >= sizeof(SampleId) ? sizeof(SampleId) : 0;
+}
+
 }  // namespace
+
+void make_sample_payload_into(SampleId sample, Bytes size, std::byte* dst) {
+  const auto n = static_cast<std::size_t>(size);
+  // Header authenticates both the id and the length, so truncated or padded
+  // payloads fail verification (not just corrupted ones).
+  if (n >= sizeof(SampleId)) {
+    std::memcpy(dst, &sample, sizeof(SampleId));
+  }
+  if (n >= sizeof(SampleId) + sizeof(std::uint64_t)) {
+    const std::uint64_t length = size;
+    std::memcpy(dst + sizeof(SampleId), &length, sizeof(length));
+  }
+  fill_pattern(dst, pattern_offset(n), n, derive_seed(0xC0FFEEULL, sample));
+}
 
 std::vector<std::byte> make_sample_payload(SampleId sample, Bytes size) {
   std::vector<std::byte> payload(static_cast<std::size_t>(size));
-  std::size_t pattern_start = 0;
-  // Header authenticates both the id and the length, so truncated or padded
-  // payloads fail verification (not just corrupted ones).
-  if (payload.size() >= sizeof(SampleId)) {
-    std::memcpy(payload.data(), &sample, sizeof(SampleId));
-    pattern_start = sizeof(SampleId);
-  }
-  if (payload.size() >= sizeof(SampleId) + sizeof(std::uint64_t)) {
-    const std::uint64_t length = size;
-    std::memcpy(payload.data() + sizeof(SampleId), &length, sizeof(length));
-    pattern_start = sizeof(SampleId) + sizeof(std::uint64_t);
-  }
-  // Keyed pattern: cheap to generate and to verify at any offset.
-  std::uint64_t state = derive_seed(0xC0FFEEULL, sample);
-  for (std::size_t i = pattern_start; i < payload.size(); ++i) {
-    if (i % 8 == 0) state = splitmix64(state);
-    payload[i] = static_cast<std::byte>((state >> ((i % 8) * 8)) & 0xFF);
-  }
+  make_sample_payload_into(sample, size, payload.data());
   return payload;
 }
 
+comm::PayloadPtr make_sample_payload_shared(SampleId sample, Bytes size) {
+  auto buffer = PayloadArena::acquire(static_cast<std::size_t>(size));
+  make_sample_payload_into(sample, size, buffer->data());
+  return buffer;
+}
+
+bool verify_sample_payload(SampleId sample, const std::byte* data, std::size_t size) {
+  if (size >= sizeof(SampleId)) {
+    SampleId got = kInvalidSample;
+    std::memcpy(&got, data, sizeof(got));
+    if (got != sample) return false;
+  }
+  if (size >= sizeof(SampleId) + sizeof(std::uint64_t)) {
+    std::uint64_t length = 0;
+    std::memcpy(&length, data + sizeof(SampleId), sizeof(length));
+    if (length != size) return false;
+  }
+  return check_pattern(data, pattern_offset(size), size, derive_seed(0xC0FFEEULL, sample));
+}
+
 bool verify_sample_payload(SampleId sample, const std::vector<std::byte>& payload) {
-  return payload == make_sample_payload(sample, payload.size());
+  return verify_sample_payload(sample, payload.data(), payload.size());
 }
 
 DistributionManager::DistributionManager(comm::Endpoint& endpoint,
@@ -117,6 +202,10 @@ void DistributionManager::serve_loop() {
       serve_inventory(*message, request.request_id);
       continue;
     }
+    if (request.sample == kMultiGetSample) {
+      serve_multi_get(*message, request.request_id);
+      continue;
+    }
 
     // Handler span parented under the REQUESTER's attempt span (the bus
     // stamped its context into the request), so the serve time shows up
@@ -126,23 +215,88 @@ void DistributionManager::serve_loop() {
                           telemetry::TraceContext{message->trace_id, message->span_id, 0},
                           request.sample);
     ResponseHeader header{request.sample, 0};
-    std::vector<std::byte> response(sizeof(header));
+    std::size_t total = sizeof(header);
+    Bytes size = 0;
     if (has_sample_ && has_sample_(request.sample)) {
       header.found = 1;
-      const Bytes size = sample_size_ ? sample_size_(request.sample) : 64;
-      auto payload = make_sample_payload(request.sample, size);
-      response.resize(sizeof(header) + payload.size());
-      std::memcpy(response.data() + sizeof(header), payload.data(), payload.size());
+      size = sample_size_ ? sample_size_(request.sample) : 64;
+      total += static_cast<std::size_t>(size);
       ++served_;
     } else {
       ++failed_;
       serve.set_status(StatusCode::kNotFound);
     }
-    std::memcpy(response.data(), &header, sizeof(header));
+    // One arena buffer, materialized in place, shared zero-copy onto the
+    // wire — the serve path never touches the global heap.
+    auto response = PayloadArena::acquire(total);
+    std::memcpy(response->data(), &header, sizeof(header));
+    if (header.found != 0) {
+      make_sample_payload_into(request.sample, size, response->data() + sizeof(header));
+    }
     const Status sent = endpoint_.send(message->source, response_tag(request.request_id),
-                                       std::move(response));
+                                       comm::PayloadPtr(std::move(response)));
     count_serve_send_failure(sent, message->source, request.request_id);
   }
+}
+
+void DistributionManager::serve_multi_get(const comm::Message& request_message,
+                                          std::uint64_t request_id) {
+  telemetry::Span serve(
+      telemetry::SpanKind::kServe, endpoint_.rank(),
+      telemetry::TraceContext{request_message.trace_id, request_message.span_id, 0},
+      kMultiGetSample);
+  const auto& bytes = request_message.bytes();
+  std::uint64_t count = 0;
+  std::size_t offset = sizeof(FetchRequest);
+  if (bytes.size() >= offset + sizeof(count)) {
+    std::memcpy(&count, bytes.data() + offset, sizeof(count));
+    offset += sizeof(count);
+  }
+  // A truncated or garbled request yields fewer ids than claimed; serve
+  // what is actually present — the requester detects the shortfall from
+  // the reply framing and treats the remainder as corrupt.
+  count = std::min<std::uint64_t>(count, (bytes.size() - offset) / sizeof(SampleId));
+  std::vector<SampleId> ids(static_cast<std::size_t>(count));
+  if (count > 0) {
+    std::memcpy(ids.data(), bytes.data() + offset,
+                static_cast<std::size_t>(count) * sizeof(SampleId));
+  }
+
+  // Pass 1 sizes the reply exactly; pass 2 materializes every payload
+  // directly into one arena buffer (no per-sample allocation, one send).
+  std::vector<Bytes> sizes(ids.size(), 0);
+  std::size_t total = sizeof(ResponseHeader) + sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    total += sizeof(SampleId) + sizeof(std::uint64_t);
+    if (has_sample_ && has_sample_(ids[i])) {
+      sizes[i] = sample_size_ ? sample_size_(ids[i]) : 64;
+      total += static_cast<std::size_t>(sizes[i]);
+      ++served_;
+    } else {
+      ++failed_;
+    }
+  }
+  auto reply = PayloadArena::acquire(total);
+  std::byte* out = reply->data();
+  const ResponseHeader header{kMultiGetSample, 1};
+  std::memcpy(out, &header, sizeof(header));
+  std::size_t off = sizeof(header);
+  std::memcpy(out + off, &count, sizeof(count));
+  off += sizeof(count);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(out + off, &ids[i], sizeof(SampleId));
+    off += sizeof(SampleId);
+    const std::uint64_t found_size = sizes[i];
+    std::memcpy(out + off, &found_size, sizeof(found_size));
+    off += sizeof(found_size);
+    if (found_size > 0) {
+      make_sample_payload_into(ids[i], sizes[i], out + off);
+      off += static_cast<std::size_t>(found_size);
+    }
+  }
+  const Status sent = endpoint_.send(request_message.source, response_tag(request_id),
+                                     comm::PayloadPtr(std::move(reply)));
+  count_serve_send_failure(sent, request_message.source, request_id);
 }
 
 void DistributionManager::serve_inventory(const comm::Message& request_message,
@@ -262,17 +416,20 @@ Result<std::vector<std::byte>> DistributionManager::fetch_once(SampleId sample,
 
   auto response = endpoint_.recv_for(response_tag(request_id), policy_.timeout);
   if (!response.ok()) return report(response.status());
+  const auto& reply = response->bytes();
   ResponseHeader header{};
-  std::memcpy(&header, response->payload.data(),
-              std::min(sizeof(header), response->payload.size()));
+  std::memcpy(&header, reply.data(), std::min(sizeof(header), reply.size()));
   if (header.found == 0) return report(Status::not_found("peer no longer holds sample"));
-  std::vector<std::byte> payload(response->payload.begin() +
-                                     static_cast<std::ptrdiff_t>(sizeof(header)),
-                                 response->payload.end());
-  if (!verify_sample_payload(sample, payload)) {
+  if (reply.size() < sizeof(header)) {
+    return report(Status::corrupt("reply truncated"));
+  }
+  // Verify in place (no allocation), then copy the slice out once.
+  const std::byte* body = reply.data() + sizeof(header);
+  const std::size_t body_size = reply.size() - sizeof(header);
+  if (!verify_sample_payload(sample, body, body_size)) {
     return report(Status::corrupt("payload failed verification"));
   }
-  return payload;
+  return std::vector<std::byte>(body, body + body_size);
 }
 
 Result<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample,
@@ -329,6 +486,142 @@ Result<std::vector<std::byte>> DistributionManager::fetch_remote(SampleId sample
   return last;
 }
 
+std::vector<Result<comm::PayloadPtr>> DistributionManager::fetch_remote_many(
+    comm::Rank holder, const std::vector<SampleId>& samples, IterId iter) {
+  std::vector<Result<comm::PayloadPtr>> results;
+  if (samples.empty()) return results;
+  results.reserve(samples.size());
+
+  if (breaker_open(holder)) {
+    LOBSTER_METRIC_COUNT("comm.peer_down", 1);
+    telemetry::Span::instant(telemetry::SpanKind::kBreakerFastFail, endpoint_.rank(),
+                             samples.front(), holder);
+    const Status down =
+        Status::peer_down("circuit breaker open for peer " + std::to_string(holder));
+    for (std::size_t i = 0; i < samples.size(); ++i) results.emplace_back(down);
+    return results;
+  }
+
+  Status last = Status::timeout("no attempt made");
+  bool answered = false;
+  {
+    // One root span per batch round (arg = holder, arg2 = iter). It closes
+    // with this scope, BEFORE any caller-side per-sample fallback runs, so
+    // fallback fetches root their own kFetch trees — the span-analysis
+    // gates that count fetch-rooted traces are unaffected by batching.
+    telemetry::Span multi(telemetry::SpanKind::kMultiGet, endpoint_.rank(), holder);
+    multi.set_arg2(iter);
+
+    Seconds backoff = policy_.backoff_base;
+    const std::uint32_t attempts = 1 + policy_.max_retries;
+    for (std::uint32_t round = 0; round < attempts && !answered; ++round) {
+      if (round > 0) {
+        ++retries_;
+        LOBSTER_METRIC_COUNT("comm.retries", 1);
+        telemetry::Span sleep(telemetry::SpanKind::kBackoff, endpoint_.rank(),
+                              samples.front());
+        sleep.set_arg2(round);
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * 2.0, policy_.backoff_cap);
+      }
+      // One envelope per attempt, whatever the batch size. arg = batch
+      // size, arg2 = holder.
+      telemetry::Span attempt(telemetry::SpanKind::kAttempt, endpoint_.rank(),
+                              samples.size());
+      attempt.set_arg2(holder);
+      const std::uint64_t request_id = next_request_id_.fetch_add(1);
+      const FetchRequest request{request_id, kMultiGetSample};
+      const std::uint64_t count = samples.size();
+      auto wire = PayloadArena::acquire(sizeof(request) + sizeof(count) +
+                                        samples.size() * sizeof(SampleId));
+      std::memcpy(wire->data(), &request, sizeof(request));
+      std::memcpy(wire->data() + sizeof(request), &count, sizeof(count));
+      std::memcpy(wire->data() + sizeof(request) + sizeof(count), samples.data(),
+                  samples.size() * sizeof(SampleId));
+      if (Status sent = endpoint_.send(holder, kFetchRequestTag,
+                                       comm::PayloadPtr(std::move(wire)));
+          !sent.ok()) {
+        attempt.set_status(sent.code());
+        last = sent;
+        break;
+      }
+      auto response = endpoint_.recv_for(response_tag(request_id), policy_.timeout);
+      if (!response.ok()) {
+        attempt.set_status(response.status().code());
+        last = response.status();
+        if (last.code() != StatusCode::kTimeout) break;  // shutdown etc.
+        // One breaker strike per failed *envelope*, not per sample.
+        record_timeout(holder);
+        if (breaker_open(holder)) break;
+        continue;  // retry the whole batch
+      }
+
+      answered = true;
+      const auto& reply = response->bytes();
+      std::size_t off = 0;
+      ResponseHeader header{};
+      std::uint64_t reply_count = 0;
+      bool framing_ok = reply.size() >= sizeof(header) + sizeof(reply_count);
+      if (framing_ok) {
+        std::memcpy(&header, reply.data(), sizeof(header));
+        off += sizeof(header);
+        std::memcpy(&reply_count, reply.data() + off, sizeof(reply_count));
+        off += sizeof(reply_count);
+        framing_ok = header.sample == kMultiGetSample && header.found == 1 &&
+                     reply_count == samples.size();
+      }
+      bool any_corrupt = false;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (framing_ok && off + sizeof(SampleId) + sizeof(std::uint64_t) <= reply.size()) {
+          SampleId id = kInvalidSample;
+          std::uint64_t found_size = 0;
+          std::memcpy(&id, reply.data() + off, sizeof(id));
+          off += sizeof(id);
+          std::memcpy(&found_size, reply.data() + off, sizeof(found_size));
+          off += sizeof(found_size);
+          if (id != samples[i] || off + found_size > reply.size()) {
+            framing_ok = false;  // framing lost; the rest is unreadable
+          } else if (found_size == 0) {
+            results.emplace_back(Status::not_found("peer no longer holds sample"));
+            continue;
+          } else if (verify_sample_payload(samples[i], reply.data() + off,
+                                           static_cast<std::size_t>(found_size))) {
+            auto buffer = PayloadArena::acquire(static_cast<std::size_t>(found_size));
+            std::memcpy(buffer->data(), reply.data() + off,
+                        static_cast<std::size_t>(found_size));
+            off += static_cast<std::size_t>(found_size);
+            results.emplace_back(comm::PayloadPtr(std::move(buffer)));
+            continue;
+          } else {
+            off += static_cast<std::size_t>(found_size);
+            results.emplace_back(Status::corrupt("payload failed verification"));
+            any_corrupt = true;
+            continue;
+          }
+        } else {
+          framing_ok = false;
+        }
+        results.emplace_back(Status::corrupt("multi-get reply malformed"));
+        any_corrupt = true;
+      }
+      attempt.set_status(any_corrupt ? StatusCode::kCorrupt : StatusCode::kOk);
+      // Whole-reply accounting mirrors the single-fetch contract: a reply
+      // with any corrupt bytes charges ONE strike; a clean reply (found or
+      // authoritative not-found alike) resets the peer's failure run.
+      if (any_corrupt) {
+        record_corrupt(holder);
+      } else {
+        record_success(holder);
+      }
+    }
+  }
+
+  if (!answered) {
+    for (std::size_t i = 0; i < samples.size(); ++i) results.emplace_back(last);
+  }
+  return results;
+}
+
 Result<std::vector<SampleId>> DistributionManager::fetch_inventory(comm::Rank holder) {
   // No breaker_open fast-fail: this call IS the half-open probe a down
   // peer's recovery depends on. It still records the outcome, so success
@@ -351,7 +644,7 @@ Result<std::vector<SampleId>> DistributionManager::fetch_inventory(comm::Rank ho
     if (response.status().code() == StatusCode::kTimeout) record_timeout(holder);
     return report(response.status());
   }
-  const auto& payload = response->payload;
+  const auto& payload = response->bytes();
   ResponseHeader header{};
   std::uint64_t count = 0;
   if (payload.size() < sizeof(header) + sizeof(count) + sizeof(std::uint64_t)) {

@@ -51,8 +51,21 @@ namespace lobster::runtime {
 /// and a checksum; the rest is a keyed byte pattern).
 std::vector<std::byte> make_sample_payload(SampleId sample, Bytes size);
 
+/// Writes the payload for `sample` directly into `dst` (`size` bytes) —
+/// the allocation-free form the serve/materialize hot paths use (word-wise
+/// pattern generation, ~8x fewer RNG advances than the byte loop).
+void make_sample_payload_into(SampleId sample, Bytes size, std::byte* dst);
+
+/// Arena-backed payload (common/payload_arena.hpp): recycled buffer, no
+/// global-heap traffic on the hot path, shared zero-copy through KvStore
+/// and the comm bus.
+comm::PayloadPtr make_sample_payload_shared(SampleId sample, Bytes size);
+
 /// Validates a payload produced by make_sample_payload.
 bool verify_sample_payload(SampleId sample, const std::vector<std::byte>& payload);
+
+/// Streaming overload: verifies in place (word-wise compare), no allocation.
+bool verify_sample_payload(SampleId sample, const std::byte* data, std::size_t size);
 
 /// Timeout / retry / circuit-breaker knobs for fetch_remote. The defaults
 /// suit the in-process bus (microsecond round-trips): generous enough that
@@ -122,6 +135,24 @@ class DistributionManager {
   ///                *different* holder (or the PFS), never retried here.
   Result<std::vector<std::byte>> fetch_remote(SampleId sample, comm::Rank holder);
 
+  /// Batched fetch: all of `samples` from `holder` in ONE request/reply
+  /// round-trip per attempt, instead of one envelope per sample. The reply
+  /// carries per-sample status, so the per-sample failure vocabulary (and
+  /// therefore the caller's retry/detour/quarantine routing) is unchanged:
+  ///   kNotFound — the peer answered: it no longer holds that sample;
+  ///   kCorrupt  — that sample's bytes failed verification (one breaker
+  ///               strike per corrupted *reply*, not per sample), or the
+  ///               reply's framing was mangled;
+  ///   kTimeout / kPeerDown / kShutdown — whole-envelope failures, applied
+  ///               to every sample in the batch.
+  /// Results align index-for-index with `samples`. Successful payloads are
+  /// arena-backed and shared zero-copy into KvStore / the bus. The batch
+  /// round is traced as its own kMultiGet root span (arg = holder,
+  /// arg2 = iter), closed before this returns — per-sample fallback fetches
+  /// a caller issues afterwards root their own kFetch trees as usual.
+  std::vector<Result<comm::PayloadPtr>> fetch_remote_many(
+      comm::Rank holder, const std::vector<SampleId>& samples, IterId iter);
+
   /// The samples `holder` currently serves, checksummed end to end. Used by
   /// the RecoveryManager both as the half-open liveness probe for a down
   /// peer (this call skips the open-breaker fast-fail) and to replay the
@@ -178,6 +209,7 @@ class DistributionManager {
 
   void serve_loop();
   void serve_inventory(const comm::Message& request_message, std::uint64_t request_id);
+  void serve_multi_get(const comm::Message& request_message, std::uint64_t request_id);
   void count_serve_send_failure(const Status& sent, comm::Rank requester,
                                 std::uint64_t request_id);
   Result<std::vector<std::byte>> fetch_once(SampleId sample, comm::Rank holder);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "cache/namespace.hpp"
@@ -160,10 +161,11 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
   } else {
     // PFS path: materialize the sample content locally (by construction
     // this payload verifies — it is the same generator the check uses).
+    // Arena-backed: the hot materialize path recycles buffers instead of
+    // touching the global heap (common/payload_arena.hpp).
     telemetry::Span pfs(telemetry::SpanKind::kPfsFallback, config_.node, request.sample);
     pfs.set_arg2(request.iter);
-    payload = std::make_shared<const std::vector<std::byte>>(
-        make_sample_payload(request.sample, size));
+    payload = make_sample_payload_shared(request.sample, size);
     accounting.pfs_bytes += size;
     ++accounting.pfs_fetches;
     LOBSTER_TRACE_INSTANT(kExecutor, "fetch_pfs", size);
@@ -176,6 +178,145 @@ void PlanExecutor::execute_request(const LoadRequest& request, GpuAccounting& ac
     // sample is still delivered locally either way). Only verified payloads
     // reach this point, so the KV tier never redistributes garbage.
     (void)kv_store_->put(key, std::move(payload));
+  }
+}
+
+void PlanExecutor::execute_batch(const std::vector<LoadRequest>& requests,
+                                 GpuAccounting& accounting) {
+  // Partition the drained batch: KV hits are served inline; remote misses
+  // group per directory-recorded holder for ONE multi-get envelope each;
+  // cold misses batch-materialize from the PFS. Anything that needs the
+  // full degraded-routing state machine goes through execute_request.
+  std::vector<const LoadRequest*> pfs_batch;
+  std::vector<const LoadRequest*> fallback;
+  std::unordered_map<NodeId, std::vector<const LoadRequest*>> groups;
+
+  for (const auto& request : requests) {
+    if (request.tier != FetchTier::kRemote) {
+      pfs_batch.push_back(&request);
+      continue;
+    }
+    const SampleId key = job_.ns == 0 ? request.sample
+                                      : cache::make_namespaced_key(job_.ns, request.sample);
+    if (kv_store_ != nullptr) {
+      auto kv = kv_store_->get(key);
+      if (kv.ok()) {
+        auto payload = kv.take();
+        if (!config_.verify_payloads || verify_sample_payload(request.sample, *payload)) {
+          accounting.remote_bytes += request.bytes;
+          ++accounting.remote_fetches;
+          LOBSTER_TRACE_INSTANT(kExecutor, "fetch_remote", request.bytes);
+          LOBSTER_METRIC_COUNT("executor.remote_bytes", request.bytes);
+          store_.insert(request.sample);
+          continue;
+        }
+        // Corruption quarantine, same as the single path: evict the bad
+        // entry and fall through to a fresh remote/PFS fetch.
+        (void)kv_store_->erase(key);
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+        telemetry::EventLog::instance().emit(telemetry::EventKind::kQuarantine,
+                                             config_.node, request.sample, 0, "kv_tier");
+      }
+    }
+    if (manager_ == nullptr || directory_ == nullptr) {
+      // No peer routing wired: a remote miss goes straight to the PFS,
+      // exactly as in execute_request.
+      pfs_batch.push_back(&request);
+      continue;
+    }
+    const NodeId holder = directory_->peer_holder(key, config_.node, 0);
+    if (holder == cache::CacheDirectory::kInvalidNode) {
+      pfs_batch.push_back(&request);
+      continue;
+    }
+    if (manager_->breaker_open(holder)) {
+      // Known-down holder: the single path's fast-fail -> detour machinery
+      // handles it (and counts the degradation).
+      fallback.push_back(&request);
+      continue;
+    }
+    groups[holder].push_back(&request);
+  }
+
+  // One multi-get envelope per holder. Per-sample failures keep the full
+  // single-fetch vocabulary and drop to execute_request, which roots its
+  // own kFetch trace (the batch's kMultiGet span is already closed by then).
+  std::vector<SampleId> ids;
+  for (auto& [holder, group] : groups) {
+    if (group.size() < 2) {
+      // A singleton batch gains nothing over the single-fetch path (and
+      // that path keeps its richer per-sample trace tree).
+      for (const LoadRequest* request : group) fallback.push_back(request);
+      continue;
+    }
+    ids.clear();
+    ids.reserve(group.size());
+    for (const LoadRequest* request : group) ids.push_back(request->sample);
+    const IterId iter = group.front()->iter;
+    const auto results = manager_->fetch_remote_many(holder, ids, iter);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const LoadRequest& request = *group[i];
+      const auto& result = results[i];
+      if (result.ok()) {
+        // fetch_remote_many verified every payload in place; last-line
+        // verify again only under the belt-and-braces flag, mirroring
+        // execute_request.
+        if (config_.verify_payloads &&
+            !verify_sample_payload(request.sample, **result)) {
+          quarantined_.fetch_add(1, std::memory_order_relaxed);
+          LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+          fallback.push_back(&request);
+          continue;
+        }
+        accounting.remote_bytes += request.bytes;
+        ++accounting.remote_fetches;
+        LOBSTER_TRACE_INSTANT(kExecutor, "fetch_remote", request.bytes);
+        LOBSTER_METRIC_COUNT("executor.remote_bytes", request.bytes);
+        store_.insert(request.sample);
+        continue;
+      }
+      if (result.status().code() == StatusCode::kCorrupt) {
+        // The batched reply carried garbage for this sample: quarantine it
+        // (never delivered) and re-route via the single path, whose routing
+        // excludes repeat offenders through the manager's strike counter.
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        LOBSTER_METRIC_COUNT("executor.quarantined_payloads", 1);
+        LOBSTER_METRIC_COUNT("executor.corrupt_reroutes", 1);
+        telemetry::EventLog::instance().emit(telemetry::EventKind::kQuarantine, holder,
+                                             request.sample, request.iter,
+                                             "corrupt_reply");
+      }
+      // Timeout / peer-down / not-found / shutdown: the single path applies
+      // mark-node-down, detours, and the PFS fallback per sample.
+      fallback.push_back(&request);
+    }
+  }
+
+  for (const LoadRequest* request : fallback) execute_request(*request, accounting);
+
+  if (pfs_batch.empty()) return;
+  if (telemetry::SpanLog::instance().enabled()) {
+    // Spans armed: keep the per-sample kFetch/kPfsFallback trace shape the
+    // span-analysis gates are written against.
+    for (const LoadRequest* request : pfs_batch) execute_request(*request, accounting);
+    return;
+  }
+  // Batched cold path: materialize straight into arena-backed buffers and
+  // publish — no span bookkeeping, no per-sample heap traffic.
+  for (const LoadRequest* request : pfs_batch) {
+    auto payload = make_sample_payload_shared(request->sample, request->bytes);
+    accounting.pfs_bytes += request->bytes;
+    ++accounting.pfs_fetches;
+    LOBSTER_TRACE_INSTANT(kExecutor, "fetch_pfs", request->bytes);
+    LOBSTER_METRIC_COUNT("executor.pfs_bytes", request->bytes);
+    store_.insert(request->sample);
+    if (kv_store_ != nullptr) {
+      const SampleId key = job_.ns == 0
+                               ? request->sample
+                               : cache::make_namespaced_key(job_.ns, request->sample);
+      (void)kv_store_->put(key, std::move(payload));
+    }
   }
 }
 
@@ -313,9 +454,11 @@ ExecutionReport PlanExecutor::run() {
                 GpuAccounting local;
                 std::vector<SampleId> my_delivered;
                 std::vector<LoadRequest> batch;
+                std::vector<LoadRequest> slow;
                 batch.reserve(kDrainBatch);
                 while (queues.try_pop_batch(g, batch, kDrainBatch) > 0) {
                   Bytes batch_local_bytes = 0;
+                  slow.clear();
                   for (const auto& request : batch) {
                     my_delivered.push_back(request.sample);
                     // Local-tier fast path inlined: pure accounting, with
@@ -326,13 +469,17 @@ ExecutionReport PlanExecutor::run() {
                       ++local.local_hits;
                       batch_local_bytes += request.bytes;
                     } else {
-                      execute_request(request, local);
+                      slow.push_back(request);
                     }
                   }
                   if (batch_local_bytes > 0) {
                     LOBSTER_TRACE_INSTANT(kExecutor, "fetch_local", batch_local_bytes);
                     LOBSTER_METRIC_COUNT("executor.local_bytes", batch_local_bytes);
                   }
+                  // Misses coalesce: one multi-get envelope per holder and
+                  // batched PFS materialization instead of a round-trip (and
+                  // a heap payload) per sample.
+                  if (!slow.empty()) execute_batch(slow, local);
                   batch.clear();
                 }
                 // Claim spilled requests (if any) via the atomic cursor.

@@ -196,6 +196,15 @@ class PlanExecutor {
 
   void execute_request(const LoadRequest& request, GpuAccounting& accounting);
 
+  /// Batched miss handling for one drained batch (DESIGN.md §8): probes the
+  /// KV tier per sample, then coalesces remote misses into ONE multi-get
+  /// envelope per holder (DistributionManager::fetch_remote_many) and
+  /// batch-materializes cold misses from the PFS into arena-backed buffers.
+  /// Per-sample failures fall back to execute_request, so retry / detour /
+  /// quarantine routing and kFetch span trees are unchanged for every
+  /// degraded sample.
+  void execute_batch(const std::vector<LoadRequest>& requests, GpuAccounting& accounting);
+
   ExecutorConfig config_;
   const data::SampleCatalog& catalog_;
   const data::EpochSampler& sampler_;

@@ -213,6 +213,15 @@ SpanAnalysis analyze_spans(const std::vector<LoadedSpan>& spans) {
         slot.insert(slot.end(), wasted.begin(), wasted.end());
       }
       if (summary.ranks >= 2) ++analysis.cross_rank_fetches;
+    } else if (summary.root_kind == "multi_get" && summary.degraded) {
+      // Batched multi-get rounds (root arg = holder, arg2 = iter): their
+      // failed attempts and backoffs are real wall-clock waste inside the
+      // iteration, so they feed the attribution union — but they are not
+      // fetch traces. Per-sample fallbacks the executor issues afterwards
+      // root their own kFetch trees and are counted above.
+      analysis.timeout_us += summary.timeout_us;
+      auto& slot = iter_intervals[summary.iter];
+      slot.insert(slot.end(), wasted.begin(), wasted.end());
     }
     if (!summary.well_formed) ++analysis.malformed_traces;
     analysis.traces.push_back(std::move(summary));

@@ -40,6 +40,7 @@ const char* span_kind_name(SpanKind kind) noexcept {
     case SpanKind::kPfsFallback: return "pfs_fallback";
     case SpanKind::kBreakerFastFail: return "breaker_fast_fail";
     case SpanKind::kInventoryProbe: return "inventory_probe";
+    case SpanKind::kMultiGet: return "multi_get";
     case SpanKind::kKindCount: break;
   }
   return "unknown";

@@ -64,6 +64,7 @@ enum class SpanKind : std::uint8_t {
   kPfsFallback,      ///< payload re-materialized from the PFS
   kBreakerFastFail,  ///< instant: open circuit breaker rejected the fetch
   kInventoryProbe,   ///< recovery half-open probe round-trip (its own trace)
+  kMultiGet,         ///< root: one batched multi-get round against one holder
   kKindCount,
 };
 

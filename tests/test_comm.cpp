@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "comm/bus.hpp"
+#include "comm/fault.hpp"
 
 namespace lobster::comm {
 namespace {
@@ -101,7 +102,7 @@ TEST(MessageBus, ShutdownUnblocksReceivers) {
   bus.shutdown();
   receiver.join();
   EXPECT_TRUE(unblocked.load());
-  const Status rejected = bus.endpoint(0).send(1, 1, {});
+  const Status rejected = bus.endpoint(0).send(1, 1, std::vector<std::byte>{});
   EXPECT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.code(), StatusCode::kShutdown);
 }
@@ -174,6 +175,105 @@ TEST(MessageBus, RepeatedAllReduces) {
   }
   for (auto& t : ranks) t.join();
   EXPECT_FALSE(mismatch.load());
+}
+
+TEST(MessageBus, FastPathSendsSkipTheSlowPathCounter) {
+  // No fault plan attached and no lane overflow: every send rides its
+  // (sender, receiver) lane and the mutex mailbox is never touched.
+  MessageBus bus(2);
+  for (int i = 0; i < 32; ++i) {
+    bus.endpoint(0).send_value<int>(1, 7, i);
+    const auto message = bus.endpoint(1).recv(7);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(Endpoint::value_of<int>(*message), i);
+  }
+  EXPECT_EQ(bus.slow_path_sends(), 0U);
+}
+
+TEST(MessageBus, FaultPlanForcesEverySendThroughTheSlowPath) {
+  // A fault plan (even a benign one) is the control plane: all sends must
+  // route through the mutex mailbox so drop/corrupt/delay verdicts and
+  // kill/revive state see every message.
+  MessageBus bus(2);
+  FaultPlan plan(2);
+  bus.set_fault_plan(&plan);
+  for (int i = 0; i < 8; ++i) bus.endpoint(0).send_value<int>(1, 7, i);
+  for (int i = 0; i < 8; ++i) {
+    const auto message = bus.endpoint(1).recv(7);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(Endpoint::value_of<int>(*message), i);
+  }
+  EXPECT_EQ(bus.slow_path_sends(), 8U);
+  // Detaching the plan restores the lane fast path.
+  bus.set_fault_plan(nullptr);
+  bus.endpoint(0).send_value<int>(1, 7, 99);
+  const auto fast = bus.endpoint(1).recv(7);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(Endpoint::value_of<int>(*fast), 99);
+  EXPECT_EQ(bus.slow_path_sends(), 8U);
+}
+
+TEST(MessageBus, LaneOverflowSpillsToMailboxPreservingFifo) {
+  // Push more unreceived messages than one lane holds: the overflow takes
+  // the slow path, and the receiver must still see a strict FIFO sequence
+  // across the lane -> mailbox boundary.
+  MessageBus bus(2);
+  constexpr int kMessages = 1000;  // well past kLaneCapacity
+  for (int i = 0; i < kMessages; ++i) bus.endpoint(0).send_value<int>(1, 7, i);
+  EXPECT_GT(bus.slow_path_sends(), 0U);
+  for (int i = 0; i < kMessages; ++i) {
+    const auto message = bus.endpoint(1).recv(7);
+    ASSERT_TRUE(message.has_value());
+    ASSERT_EQ(Endpoint::value_of<int>(*message), i);
+  }
+  EXPECT_FALSE(bus.endpoint(1).try_recv(kAnyTag).has_value());
+}
+
+TEST(MessageBus, ZeroCopyPayloadSharesOneBuffer) {
+  // A PayloadPtr send must deliver the *same* buffer, not a copy.
+  MessageBus bus(2);
+  auto payload = make_payload(std::vector<std::byte>(128, std::byte{0x5A}));
+  const std::byte* data = payload->data();
+  ASSERT_TRUE(bus.endpoint(0).send(1, 3, payload).ok());
+  const auto received = bus.endpoint(1).recv(3);
+  ASSERT_TRUE(received.has_value());
+  ASSERT_TRUE(received->payload != nullptr);
+  EXPECT_EQ(received->payload->data(), data);
+  EXPECT_EQ(received->bytes().size(), 128U);
+}
+
+TEST(MessageBus, ManySendersOneReceiverOverLanesDeliverAll) {
+  // Every sender rank hammers rank 0 through its own lane; the receiver's
+  // drain must merge the lanes without losing or duplicating a message.
+  constexpr std::uint16_t kWorld = 4;
+  constexpr int kPerSender = 500;
+  MessageBus bus(kWorld);
+  std::vector<std::thread> senders;
+  for (std::uint16_t r = 1; r < kWorld; ++r) {
+    senders.emplace_back([&bus, r] {
+      for (int i = 0; i < kPerSender; ++i) {
+        bus.endpoint(r).send_value<int>(0, 7, static_cast<int>(r) * kPerSender + i);
+      }
+    });
+  }
+  std::vector<int> next(kWorld, 0);  // per-sender FIFO check
+  long long sum = 0;
+  for (int n = 0; n < kPerSender * (kWorld - 1); ++n) {
+    const auto message = bus.endpoint(0).recv(7);
+    ASSERT_TRUE(message.has_value());
+    const int value = Endpoint::value_of<int>(*message);
+    const auto from = message->source;
+    ASSERT_EQ(value, static_cast<int>(from) * kPerSender + next[from]);
+    ++next[from];
+    sum += value;
+  }
+  for (auto& t : senders) t.join();
+  long long expected = 0;
+  for (std::uint16_t r = 1; r < kWorld; ++r) {
+    for (int i = 0; i < kPerSender; ++i) expected += static_cast<int>(r) * kPerSender + i;
+  }
+  EXPECT_EQ(sum, expected);
+  EXPECT_FALSE(bus.endpoint(0).try_recv(kAnyTag).has_value());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,8 @@
 #include "cache/kv_store.hpp"
 #include "comm/bus.hpp"
 #include "comm/fault.hpp"
+#include "common/mpmc_ring.hpp"
+#include "common/payload_arena.hpp"
 #include "common/striped_set.hpp"
 #include "data/dataset.hpp"
 #include "data/sampler.hpp"
@@ -359,6 +363,101 @@ TEST(FetchConcurrency, SharedManagerSurvivesConcurrentFetchesFromADeadPeer) {
   EXPECT_GT(peer_down.load(), 0U);  // the opened breaker failed others fast
   EXPECT_TRUE(client.breaker_open(1));
   EXPECT_GE(client.timeouts(), policy.breaker_threshold);
+}
+
+TEST(MpmcRingConcurrency, MultiProducerMultiConsumerConservesItems) {
+  // The comm-lane primitive under the contention it actually sees: several
+  // pool workers pushing through one endpoint while the receiver (and a
+  // serve thread) pop. Every pushed value must come out exactly once.
+  MpmcRing<std::uint64_t> ring(64);
+  constexpr unsigned kProducers = 3;
+  constexpr unsigned kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 4000;
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::atomic<bool> done{false};
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned c = 0; c < kConsumers; ++c) {
+      workers.emplace_back([&] {
+        std::uint64_t value = 0;
+        while (true) {
+          if (ring.try_pop(value)) {
+            popped_sum.fetch_add(value, std::memory_order_relaxed);
+            popped_count.fetch_add(1, std::memory_order_relaxed);
+          } else if (done.load(std::memory_order_acquire) && ring.empty()) {
+            break;
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+          for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+            std::uint64_t value = p * kPerProducer + i;
+            while (!ring.try_push(std::move(value))) std::this_thread::yield();
+          }
+        });
+      }
+    }
+    done.store(true, std::memory_order_release);
+  }
+  const std::uint64_t total = kProducers * kPerProducer;
+  EXPECT_EQ(popped_count.load(), total);
+  EXPECT_EQ(popped_sum.load(), total * (total - 1) / 2);
+}
+
+TEST(MpmcRingConcurrency, FullRingFailsPushWithoutConsumingValue) {
+  MpmcRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto extra = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(extra)));
+  ASSERT_NE(extra, nullptr);  // a failed push must leave the value intact
+  EXPECT_EQ(*extra, 3);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 1);
+}
+
+TEST(PayloadArenaConcurrency, AcquireReleaseHammerRecyclesCleanly) {
+  // Loading threads churn arena buffers across size classes (plus one
+  // oversize class) while handing some to a sibling thread to release —
+  // exercising the TLS slab -> shared pool -> heap ladder from both ends.
+  constexpr unsigned kThreads = 4;
+  constexpr int kRounds = 400;
+  comm::PayloadPtr shared_sink;  // buffers crossing threads via PayloadPtr
+  std::mutex sink_mutex;
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t sizes[] = {64, 300, 4096, PayloadArena::kMaxClassBytes,
+                                     PayloadArena::kMaxClassBytes + 1};
+        for (int round = 0; round < kRounds; ++round) {
+          const std::size_t size = sizes[(static_cast<std::size_t>(round) + t) % 5];
+          auto buffer = PayloadArena::acquire(size);
+          ASSERT_EQ(buffer->size(), size);
+          (*buffer)[0] = static_cast<std::byte>(t);
+          (*buffer)[size - 1] = static_cast<std::byte>(round & 0xFF);
+          if (round % 7 == 0) {
+            const std::scoped_lock lock(sink_mutex);
+            shared_sink = comm::PayloadPtr(std::move(buffer));  // released elsewhere
+          }
+        }
+      });
+    }
+  }
+  shared_sink.reset();
+  const auto stats = PayloadArena::stats();
+  EXPECT_GT(stats.tls_hits + stats.pool_hits, 0U);  // recycling actually happened
+  // Recycled buffers must come back sized to the request, not to the class.
+  auto small = PayloadArena::acquire(17);
+  EXPECT_EQ(small->size(), 17U);
 }
 
 }  // namespace

@@ -492,5 +492,131 @@ TEST(FaultAcceptance, FourNodeRunSurvivesNodeDeathMidEpoch) {
   EXPECT_EQ(degraded, faulted.report.degraded_fetches);
 }
 
+// ---- Batched multi-get (DistributionManager::fetch_remote_many).
+
+TEST(MultiGetFetch, BatchRoundTripDeliversEveryVerifiedPayload) {
+  comm::MessageBus bus(2);
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, tight_policy());
+  DistributionManager server(bus.endpoint(1), [](SampleId) { return true; },
+                             [](SampleId s) { return Bytes{64 + (s % 5) * 96}; });
+  server.start();
+
+  const std::vector<SampleId> samples{3, 7, 11, 42};
+  const auto results = client.fetch_remote_many(1, samples, /*iter=*/0);
+  ASSERT_EQ(results.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().to_string();
+    const auto& payload = *results[i];
+    ASSERT_TRUE(payload != nullptr);
+    EXPECT_EQ(payload->size(), 64 + (samples[i] % 5) * 96);
+    EXPECT_TRUE(verify_sample_payload(samples[i], *payload));
+  }
+  // served_requests counts samples (as in the single path): all four rode
+  // one envelope, so the round-trip burned zero retries/timeouts.
+  EXPECT_EQ(server.served_requests(), samples.size());
+  EXPECT_EQ(client.timeouts(), 0U);
+  EXPECT_EQ(client.retries(), 0U);
+  server.stop();
+}
+
+TEST(MultiGetFetch, PerSampleNotFoundLeavesTheRestOk) {
+  comm::MessageBus bus(2);
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, tight_policy());
+  DistributionManager server(bus.endpoint(1),
+                             [](SampleId s) { return s % 2 == 1; },  // evens evicted
+                             [](SampleId) { return Bytes{128}; });
+  server.start();
+
+  const auto results = client.fetch_remote_many(1, {1, 2, 3, 4}, /*iter=*/0);
+  ASSERT_EQ(results.size(), 4U);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[3].status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(client.breaker_open(1));  // an answered not-found is healthy
+  server.stop();
+}
+
+TEST(MultiGetFetch, DeadPeerTimesOutTheWholeEnvelope) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  auto policy = tight_policy();
+  policy.max_retries = 1;
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+  fault.kill(1);
+
+  const auto results = client.fetch_remote_many(1, {5, 6, 7}, /*iter=*/2);
+  ASSERT_EQ(results.size(), 3U);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  }
+  // One timeout per failed envelope attempt — NOT one per sample.
+  EXPECT_EQ(client.timeouts(), 1U + policy.max_retries);
+  EXPECT_EQ(client.retries(), policy.max_retries);
+}
+
+TEST(MultiGetFetch, OpenBreakerFailsTheWholeBatchFast) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  auto policy = tight_policy();
+  policy.max_retries = 0;
+  policy.breaker_threshold = 1;
+  policy.breaker_cooldown = 60.0;
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+  fault.kill(1);
+  (void)client.fetch_remote_many(1, {1, 2}, 0);  // opens the breaker
+  ASSERT_TRUE(client.breaker_open(1));
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = client.fetch_remote_many(1, {3, 4, 5}, 0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(results.size(), 3U);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.status().code(), StatusCode::kPeerDown);
+  }
+  EXPECT_LT(elapsed, 10ms);  // fast-fail: no waiting at all
+}
+
+TEST(MultiGetFetch, CorruptedReplyQuarantinesAffectedSamplesAndStrikesOnce) {
+  comm::MessageBus bus(2);
+  comm::FaultPlan fault(2);
+  bus.set_fault_plan(&fault);
+  auto policy = tight_policy();
+  policy.max_retries = 0;
+  policy.corrupt_strike_threshold = 100;  // observe strikes without opening
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, policy);
+  DistributionManager server(bus.endpoint(1), [](SampleId) { return true; },
+                             [](SampleId) { return Bytes{512}; });
+  server.start();
+  fault.spec(1).corrupt_fraction = 1.0;  // every reply envelope is damaged
+
+  const std::vector<SampleId> samples{10, 20, 30, 40};
+  const auto results = client.fetch_remote_many(1, samples, /*iter=*/0);
+  ASSERT_EQ(results.size(), 4U);
+  std::size_t corrupt = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      EXPECT_EQ(results[i].status().code(), StatusCode::kCorrupt);
+      ++corrupt;
+    } else {
+      // Samples the bit-flips missed must still verify end to end.
+      EXPECT_TRUE(verify_sample_payload(samples[i], **results[i]));
+    }
+  }
+  EXPECT_GT(corrupt, 0U);                   // the damage was detected...
+  EXPECT_EQ(client.corrupt_replies(), 1U);  // ...as ONE strike for the reply
+  EXPECT_FALSE(client.breaker_open(1));
+  server.stop();
+}
+
+TEST(MultiGetFetch, EmptyBatchIsANoOp) {
+  comm::MessageBus bus(2);
+  DistributionManager client(bus.endpoint(0), nullptr, nullptr, tight_policy());
+  EXPECT_TRUE(client.fetch_remote_many(1, {}, 0).empty());
+  EXPECT_EQ(client.timeouts(), 0U);
+}
+
 }  // namespace
 }  // namespace lobster::runtime

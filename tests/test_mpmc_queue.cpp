@@ -120,5 +120,108 @@ TEST(MpmcQueue, MoveOnlyPayloads) {
   EXPECT_EQ(**v, 7);
 }
 
+TEST(MpmcQueue, TryPushBatchAcceptsUpToFreeCapacity) {
+  MpmcQueue<int> queue(4);
+  std::vector<int> items{1, 2, 3, 4, 5, 6};
+  // Only 4 slots: the leading 4 items are moved in, the caller keeps 5, 6.
+  EXPECT_EQ(queue.try_push_batch(items.data(), items.size()), 4U);
+  EXPECT_EQ(queue.size(), 4U);
+  EXPECT_EQ(queue.try_push_batch(items.data() + 4, 2), 0U);
+  for (int i = 1; i <= 4; ++i) EXPECT_EQ(queue.pop(), i);  // FIFO preserved
+}
+
+TEST(MpmcQueue, TryPushBatchFailsWhenClosed) {
+  MpmcQueue<int> queue(4);
+  queue.close();
+  std::vector<int> items{1, 2};
+  EXPECT_EQ(queue.try_push_batch(items.data(), items.size()), 0U);
+}
+
+TEST(MpmcQueue, TryPopBatchTakesUpToMaxAndAppends) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(queue.push(i));
+  std::vector<int> out{-1};  // pre-existing content must survive the append
+  EXPECT_EQ(queue.try_pop_batch(out, 4), 4U);
+  ASSERT_EQ(out.size(), 5U);
+  EXPECT_EQ(out[0], -1);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i) + 1], i);
+  // Fewer left than max_count: takes what is there; empty pops take nothing.
+  out.clear();
+  EXPECT_EQ(queue.try_pop_batch(out, 10), 2U);
+  EXPECT_EQ(out, (std::vector<int>{4, 5}));
+  EXPECT_EQ(queue.try_pop_batch(out, 10), 0U);
+}
+
+TEST(MpmcQueue, TryPopBatchUnblocksWaitingProducer) {
+  MpmcQueue<int> queue(2);
+  queue.push(1);
+  queue.push(2);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(3);  // blocks until the batch pop frees space
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  std::vector<int> out;
+  EXPECT_EQ(queue.try_pop_batch(out, 2), 2U);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(MpmcQueue, BatchOpsUnderMultiProducerContentionConserveItems) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 400;
+  constexpr std::size_t kChunk = 16;
+  MpmcQueue<int> queue(32);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      std::vector<int> chunk;
+      for (int base = 0; base < kPerProducer; base += static_cast<int>(kChunk)) {
+        chunk.clear();
+        for (std::size_t i = 0; i < kChunk; ++i) {
+          chunk.push_back(p * kPerProducer + base + static_cast<int>(i));
+        }
+        std::size_t offset = 0;
+        while (offset < chunk.size()) {
+          offset += queue.try_push_batch(chunk.data() + offset, chunk.size() - offset);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> batch;
+      while (true) {
+        batch.clear();
+        if (queue.try_pop_batch(batch, kChunk) == 0) {
+          if (done.load()) break;
+          std::this_thread::yield();
+          continue;
+        }
+        for (const int v : batch) consumed_sum.fetch_add(v);
+        consumed_count.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  // Producers are done; let consumers drain the residue before stopping.
+  while (queue.size() > 0) std::this_thread::yield();
+  done.store(true);
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
 }  // namespace
 }  // namespace lobster

@@ -197,7 +197,9 @@ TEST(MergedAccessOracle, UnequalEpochCountsMergeAndOutliveEachOther) {
     const auto b = longer.next_access(s, 0);
     const auto m = merged.next_access(s, 0);
     ASSERT_EQ(m.has_value(), a.has_value() || b.has_value());
-    if (a && b) EXPECT_EQ(m->iter, std::min(a->iter, b->iter));
+    if (a && b) {
+      EXPECT_EQ(m->iter, std::min(a->iter, b->iter));
+    }
 
     // Past the short job's horizon only the longer member answers — the
     // merge must not go blind when one tenant's window ends.

@@ -58,8 +58,8 @@ TEST(RecoveryBus, CorruptedPayloadArrivesButFailsVerification) {
   // which is exactly what end-to-end verification must catch.
   const auto received = bus.endpoint(1).recv_for(1, 1.0);
   ASSERT_TRUE(received.ok());
-  EXPECT_EQ(received->payload.size(), 256U);
-  EXPECT_FALSE(verify_sample_payload(5, received->payload));
+  EXPECT_EQ(received->bytes().size(), 256U);
+  EXPECT_FALSE(verify_sample_payload(5, received->bytes()));
   EXPECT_EQ(plan.corrupted_messages(), 1U);
 }
 

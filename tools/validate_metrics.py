@@ -12,7 +12,8 @@ Usage:
   validate_metrics.py FILE --schema lobster.bench_metrics.v1 \
       [--require-records] [--record-positive FIELD ...] \
       [--panels a,b] [--strategies a,b] [--scalar NAME ...] \
-      [--min K=V ...] [--max K=V ...] [--eq K=V ...] [--lt-field A=B ...]
+      [--min K=V ...] [--max K=V ...] [--eq K=V ...] [--lt-field A=B ...] \
+      [--gate-ratio "A/B>=V" ...]
   validate_metrics.py FILE --heartbeat     # JSONL heartbeat stream
   validate_metrics.py FILE --events        # lobster.events.v1 JSONL stream
   validate_metrics.py FILE --spans         # lobster.spans.v1 JSONL stream
@@ -61,7 +62,7 @@ EVENT_KINDS = {
 SPANS_SCHEMA = "lobster.spans.v1"
 SPAN_KINDS = {
     "fetch", "attempt", "backoff", "serve", "detour", "pfs_fallback",
-    "breaker_fast_fail", "inventory_probe",
+    "breaker_fast_fail", "inventory_probe", "multi_get",
 }
 SPAN_FIELDS = {
     "schema", "trace", "span", "parent", "kind", "status", "rank",
@@ -217,6 +218,10 @@ def main():
                         help="top-level scalar K must equal V")
     parser.add_argument("--lt-field", action="append", default=[], metavar="A=B",
                         help="top-level scalar A must be strictly below scalar B")
+    parser.add_argument("--gate-ratio", action="append", default=[],
+                        metavar="A/B>=V",
+                        help="ratio of top-level scalars A/B must be >= V "
+                             "(perf-smoke scaling gates)")
     args = parser.parse_args()
 
     if args.heartbeat:
@@ -286,6 +291,21 @@ def main():
     for a, b in parse_kv(args.lt_field).items():
         if not float(metrics.get(a, float("inf"))) < float(metrics.get(b, float("-inf"))):
             fail(f"{a} = {metrics.get(a)} not strictly below {b} = {metrics.get(b)}")
+    for gate in args.gate_ratio:
+        expr, _, threshold = gate.partition(">=")
+        numer, slash, denom = expr.partition("/")
+        numer, denom, threshold = numer.strip(), denom.strip(), threshold.strip()
+        if not (numer and slash and denom and threshold):
+            fail(f"malformed --gate-ratio (want 'A/B>=V'): {gate!r}")
+        for name in (numer, denom):
+            if name not in metrics:
+                fail(f"{args.file}: missing scalar {name!r} for --gate-ratio")
+        denom_value = float(metrics[denom])
+        if denom_value <= 0:
+            fail(f"{denom} = {denom_value} not positive (--gate-ratio {gate!r})")
+        ratio = float(metrics[numer]) / denom_value
+        if not ratio >= float(threshold):
+            fail(f"{numer}/{denom} = {ratio:.3f} < {threshold}")
 
     print(f"validate_metrics: OK: {args.file} ({len(records)} records)")
 
