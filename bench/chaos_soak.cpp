@@ -259,9 +259,10 @@ SoakOutcome run_soak(const ChaosShape& shape, bool chaos,
 
   runtime::ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 4;
+  config.balance.max_pool_threads = 4;
   config.verify_payloads = true;
-  config.iteration_hook = [&fault](IterId iter) {
+  config.iteration_hook = [&fault](IterId iter, const core::IterationFeedback&,
+                                   core::RebalancePlan&) {
     fault.on_iteration(iter);
     // Pace the soak so the recovery thread's probes and the re-replication
     // batches genuinely overlap the run instead of racing a sprint.

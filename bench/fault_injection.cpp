@@ -128,9 +128,10 @@ RunOutcome run_cluster(const ClusterShape& shape, bool inject) {
 
   runtime::ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 4;
+  config.balance.max_pool_threads = 4;
   config.verify_payloads = true;
-  config.iteration_hook = [&fault](IterId iter) { fault.on_iteration(iter); };
+  config.iteration_hook = [&fault](IterId iter, const core::IterationFeedback&,
+                                   core::RebalancePlan&) { fault.on_iteration(iter); };
   runtime::PlanExecutor executor(config, catalog, sampler, plan);
   executor.set_manager(&client);
   executor.set_directory(&directory);

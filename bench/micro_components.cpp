@@ -101,7 +101,7 @@ void BM_Algorithm1Solve(benchmark::State& state) {
   const core::PreprocModelPortfolio portfolio(truth, {100'000}, 16, 3, 1);
   const core::PerfModel model(storage, portfolio, 13e-3);
   core::AllocatorConfig config;
-  config.total_load_threads = 80;
+  config.balance.total_load_threads = 80;
   const core::ThreadAllocator allocator(model, config);
   std::vector<core::GpuDemand> demands(8);
   Rng rng(2);

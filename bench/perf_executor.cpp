@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
     runtime::ExecutorConfig executor_config;
     executor_config.node = 0;
     executor_config.verify_payloads = verify;
-    executor_config.max_pool_threads = threads;  // force real OS threads
+    executor_config.balance.max_pool_threads = threads;  // force real OS threads
     runtime::PlanExecutor executor(executor_config, catalog, sampler, plan);
     (void)executor.run();  // cold pass: make the epoch resident
 

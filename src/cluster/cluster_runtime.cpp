@@ -150,6 +150,7 @@ struct ClusterRuntime::RunningJob {
     Bytes local = 0, remote = 0, pfs = 0;
   };
   std::vector<Demand> demands;  ///< per local node, refilled every round
+  std::uint64_t round_delivered = 0;  ///< samples delivered this round
 };
 
 ClusterRuntime::ClusterRuntime(ClusterConfig config)
@@ -282,6 +283,7 @@ void ClusterRuntime::collect_demands(RunningJob& job, std::uint32_t epoch,
                                      std::uint32_t iter) {
   JobOutcome& outcome = outcomes_[job.id];
   for (auto& demand : job.demands) demand = {};
+  job.round_delivered = 0;
   for (std::uint16_t local_node = 0; local_node < job.block.count; ++local_node) {
     const NodeId global = static_cast<NodeId>(job.block.first + local_node);
     auto& demand = job.demands[local_node];
@@ -308,6 +310,7 @@ void ClusterRuntime::collect_demands(RunningJob& job, std::uint32_t epoch,
       }
     }
     outcome.samples_delivered += batch.size();
+    job.round_delivered += batch.size();
   }
 }
 
@@ -411,6 +414,8 @@ ClusterResult ClusterRuntime::run() {
       JobRecord& record = manager_.record_mutable(job->id);
       ++record.iterations_done;
       ++outcomes_[job->id].iterations;
+      fairness_.observe_delivery(job->id, record.spec.name, job->round_delivered,
+                                 iteration_time(*job, pfs_bps_effective));
       if (job->done >= job->total_iters) finished.push_back(job);
     }
     for (RunningJob* job : finished) {

@@ -45,6 +45,21 @@ void FairnessTracker::observe_round(const JobManager& manager, std::uint64_t rou
   LOBSTER_METRIC_GAUGE("cluster.nodes_busy", manager.total_nodes() - manager.free_nodes());
 }
 
+void FairnessTracker::observe_delivery(JobId id, const std::string& name,
+                                       std::uint64_t samples, double elapsed_s) {
+  slot(id, name);
+  auto [it, inserted] = throughput_.try_emplace(id);
+  it->second.record(samples, elapsed_s);
+  telemetry::MetricRegistry::instance()
+      .gauge(job_metric_prefix(name) + "throughput")
+      .set(it->second.windowed_rate());
+}
+
+double FairnessTracker::job_throughput(JobId id) const {
+  const auto it = throughput_.find(id);
+  return it != throughput_.end() ? it->second.windowed_rate() : 0.0;
+}
+
 void FairnessTracker::on_finish(const JobRecord& job, double submit_clock_s,
                                 double admit_clock_s, double finish_clock_s) {
   JobFairness& entry = slot(job.id, job.spec.name);

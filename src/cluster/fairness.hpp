@@ -21,6 +21,7 @@
 
 #include "cluster/job.hpp"
 #include "cluster/scheduler.hpp"
+#include "metrics/throughput_window.hpp"
 
 namespace lobster::cluster {
 
@@ -50,6 +51,16 @@ class FairnessTracker {
   /// jobs and refreshes the occupancy gauges.
   void observe_round(const JobManager& manager, std::uint64_t round);
 
+  /// Per-round delivery observation: `samples` delivered over `elapsed_s`
+  /// of virtual time. Feeds the job's metrics::ThroughputWindow — the SAME
+  /// derivation the feedback balancer and the executor use, so per-job and
+  /// per-GPU throughput can't diverge — and publishes the windowed rate
+  /// under cluster.job/<name>/throughput.
+  void observe_delivery(JobId id, const std::string& name, std::uint64_t samples,
+                        double elapsed_s);
+  /// Windowed samples/s for `id` (0 before any delivery observation).
+  double job_throughput(JobId id) const;
+
   /// Records a finished job's timeline and publishes its per-job metrics.
   void on_finish(const JobRecord& job, double submit_clock_s, double admit_clock_s,
                  double finish_clock_s);
@@ -71,6 +82,7 @@ class FairnessTracker {
   std::uint64_t starvation_rounds_;
   std::uint64_t starvation_events_ = 0;
   std::unordered_map<JobId, JobFairness> jobs_;
+  std::unordered_map<JobId, metrics::ThroughputWindow> throughput_;
 };
 
 }  // namespace lobster::cluster

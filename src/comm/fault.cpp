@@ -47,6 +47,10 @@ bool FaultPlan::is_down(Rank rank) const {
 }
 
 void FaultPlan::on_iteration(IterId iter) {
+  {
+    const std::scoped_lock lock(mutex_);
+    clock_ = iter;
+  }
   for (Rank rank = 0; rank < world_size_; ++rank) {
     bool fire_kill = false;
     bool fire_revive = false;
@@ -65,6 +69,13 @@ void FaultPlan::on_iteration(IterId iter) {
     if (fire_kill) kill(rank);
     if (fire_revive) revive(rank);
   }
+}
+
+double FaultPlan::capacity_scale(Rank rank) const {
+  if (rank >= world_size_) throw std::out_of_range("FaultPlan: rank out of range");
+  const std::scoped_lock lock(mutex_);
+  if (down_[rank]) return 0.0;
+  return specs_[rank].capacity.scale_at(static_cast<double>(clock_));
 }
 
 FaultPlan::Verdict FaultPlan::on_message(Rank from, Rank to) {

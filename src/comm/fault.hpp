@@ -8,9 +8,11 @@
 // of a rank's traffic (a flaky link), or corrupt a fraction of its
 // outgoing payloads (bit rot on the wire; receivers must quarantine, not
 // deliver). The plan plugs into comm::MessageBus (set_fault_plan) which
-// consults it on every send; the discrete-event side uses
-// sim::Resource::set_capacity_scale for the same scenarios on the
-// virtual-time NIC.
+// consults it on every send. Capacity degradation (throttled node, slow
+// NIC) is declared the same way everywhere: a FaultSpec carries an
+// iteration-indexed sim::CapacityProfile, and the discrete-event side hands
+// a virtual-time profile to sim::Resource::set_capacity_profile for the
+// same scenarios on the virtual-time NIC.
 //
 // Self-sends always pass untouched: local delivery (including the
 // DistributionManager's shutdown poison pill) does not cross the faulty
@@ -27,6 +29,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/capacity_profile.hpp"
 
 namespace lobster::comm {
 
@@ -53,6 +56,13 @@ struct FaultSpec {
   /// (rejoin scenarios: the RecoveryManager's probe must then succeed and
   /// re-admit the node); kNeverIter = stays dead.
   IterId revive_at_iter = kNeverIter;
+  /// Iteration-indexed capacity schedule for this rank (scale_at(iter)):
+  /// thermal-throttle ramps, co-tenant windows, degraded-NIC presets.
+  /// Harnesses read FaultPlan::capacity_scale(rank) on the iteration clock
+  /// and apply it to the rank's executor — the online twin of handing a
+  /// virtual-time profile to sim::Resource::set_capacity_profile. Empty =
+  /// full speed.
+  sim::CapacityProfile capacity;
 };
 
 class FaultPlan {
@@ -82,6 +92,12 @@ class FaultPlan {
   /// executor iteration hook.
   void on_iteration(IterId iter);
 
+  /// The rank's capacity scale at the current iteration clock (per its
+  /// spec's CapacityProfile; 0.0 while the rank is down, 1.0 with no
+  /// profile). The value the bench/test harness scales the rank's executor
+  /// rates by.
+  double capacity_scale(Rank rank) const;
+
   /// Verdict for one message, consumed by MessageBus::do_send.
   struct Verdict {
     bool drop = false;
@@ -102,6 +118,7 @@ class FaultPlan {
   mutable std::mutex mutex_;
   std::vector<FaultSpec> specs_;
   std::vector<bool> down_;
+  IterId clock_ = 0;  ///< last on_iteration value (drives capacity_scale)
   Rng rng_;
   std::uint64_t dropped_ = 0;
   std::uint64_t delayed_ = 0;

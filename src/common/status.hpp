@@ -37,6 +37,7 @@ enum class StatusCode : std::uint8_t {
   kOverflow,  ///< a bounded resource (queue, store capacity) rejected the op
   kNotFound,  ///< authoritative miss: the peer/store answered "don't have it"
   kCorrupt,   ///< a payload arrived but failed integrity verification
+  kInvalid,   ///< caller-supplied configuration/argument failed validation
 };
 
 constexpr const char* status_code_name(StatusCode code) noexcept {
@@ -48,6 +49,7 @@ constexpr const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kOverflow: return "overflow";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kInvalid: return "invalid";
   }
   return "unknown";
 }
@@ -75,6 +77,9 @@ class Status {
   }
   static Status corrupt(std::string detail = {}) {
     return Status(StatusCode::kCorrupt, std::move(detail));
+  }
+  static Status invalid(std::string detail = {}) {
+    return Status(StatusCode::kInvalid, std::move(detail));
   }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }

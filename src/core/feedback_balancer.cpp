@@ -1,0 +1,440 @@
+#include "core/feedback_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace lobster::core {
+
+namespace {
+
+/// Largest-remainder apportionment of `total` over `weights`. Floors are
+/// guarantees, not head starts: the whole total is split proportionally and
+/// devices below their floor are then topped up from the most over-floor
+/// device, so a floor never skews the proportional shares of everyone else.
+/// Assumes sum(floors) <= total.
+std::vector<std::uint32_t> apportion_with_floors(const std::vector<double>& weights,
+                                                 std::uint32_t total,
+                                                 const std::vector<std::uint32_t>& floors) {
+  const std::size_t n = weights.size();
+  double weight_sum = 0.0;
+  for (const double w : weights) weight_sum += w;
+
+  std::vector<std::uint32_t> assigned(n, 0);
+  std::vector<double> fractional(n, 0.0);
+  std::uint32_t handed = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    const double share = weight_sum > 0.0 ? weights[d] / weight_sum
+                                          : 1.0 / static_cast<double>(n);
+    const double ideal = share * total;
+    const auto base = static_cast<std::uint32_t>(ideal);
+    assigned[d] = base;
+    handed += base;
+    fractional[d] = ideal - base;
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t d = 0; d < n; ++d) order[d] = d;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return fractional[a] > fractional[b]; });
+  for (std::size_t k = 0; handed < total; ++k) {
+    ++assigned[order[k % n]];
+    ++handed;
+  }
+
+  // Raise any device still below its guarantee, taking from whoever sits
+  // furthest above their own floor.
+  for (std::size_t d = 0; d < n; ++d) {
+    while (assigned[d] < floors[d]) {
+      std::size_t donor = n;
+      std::int64_t surplus = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::int64_t over =
+            static_cast<std::int64_t>(assigned[k]) - static_cast<std::int64_t>(floors[k]);
+        if (over > surplus) {
+          surplus = over;
+          donor = k;
+        }
+      }
+      if (donor == n) break;  // sum(floors) > total; leave as is
+      --assigned[donor];
+      ++assigned[d];
+    }
+  }
+  return assigned;
+}
+
+}  // namespace
+
+FeedbackBalancer::FeedbackBalancer(LoadBalanceConfig knobs, BalancerOptions options)
+    : knobs_(std::move(knobs)), options_(options) {
+  if (const Status status = knobs_.validate(); !status.ok()) {
+    throw std::invalid_argument("FeedbackBalancer: " + status.to_string());
+  }
+  if (knobs_.world_size == 0 || knobs_.batch_size == 0) {
+    throw std::invalid_argument("FeedbackBalancer: world_size and batch_size are required");
+  }
+  if (options_.gpus_per_node == 0 || knobs_.world_size % options_.gpus_per_node != 0) {
+    throw std::invalid_argument("FeedbackBalancer: world_size must be a multiple of gpus_per_node");
+  }
+  if (options_.max_quota_step == 0) {
+    throw std::invalid_argument("FeedbackBalancer: max_quota_step must be >= 1");
+  }
+  if (static_cast<std::uint64_t>(options_.min_quota) * knobs_.world_size > knobs_.batch_size) {
+    throw std::invalid_argument("FeedbackBalancer: min_quota floors exceed batch_size");
+  }
+  const std::size_t world = knobs_.world_size;
+  rates_.assign(world, metrics::ThroughputWindow(options_.ewma_alpha, options_.rate_window));
+  down_.assign(world, false);
+  if (knobs_.batch_quotas.empty()) {
+    quotas_ = apportion_with_floors(std::vector<double>(world, 1.0), knobs_.batch_size,
+                                    std::vector<std::uint32_t>(world, options_.min_quota));
+  } else {
+    quotas_ = knobs_.batch_quotas;
+  }
+  node_slow_.assign(world / options_.gpus_per_node, false);
+}
+
+void FeedbackBalancer::observe(const IterationFeedback& feedback) {
+  const std::scoped_lock lock(mutex_);
+  for (const DeviceFeedback& device : feedback.devices) {
+    if (device.device >= rates_.size()) continue;
+    rates_[device.device].record(device.delivered, device.busy_s);
+  }
+  if (!feedback.devices.empty()) ++observed_iters_;
+}
+
+std::vector<double> FeedbackBalancer::weights_locked() const {
+  const std::size_t world = rates_.size();
+  // A live device with no history yet inherits the mean observed rate so it
+  // is neither starved nor favoured before its first measurement.
+  double sum = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t d = 0; d < world; ++d) {
+    if (!down_[d] && rates_[d].observations() > 0) {
+      sum += rates_[d].ewma_rate();
+      ++seen;
+    }
+  }
+  const double fallback = seen > 0 ? sum / static_cast<double>(seen) : 1.0;
+  std::vector<double> raw(world, 0.0);
+  double total = 0.0;
+  for (std::size_t d = 0; d < world; ++d) {
+    if (down_[d]) continue;
+    raw[d] = rates_[d].observations() > 0 ? rates_[d].ewma_rate() : fallback;
+    total += raw[d];
+  }
+  if (total > 0.0) {
+    for (double& w : raw) w /= total;
+  }
+  return raw;
+}
+
+void FeedbackBalancer::update_slow_nodes_locked(const std::vector<double>& weights) {
+  const std::uint32_t gpus = options_.gpus_per_node;
+  const std::size_t nodes = node_slow_.size();
+  const double fair_share = 1.0 / static_cast<double>(nodes);
+  std::size_t slow_count = 0;
+  for (std::size_t node = 0; node < nodes; ++node) {
+    double share = 0.0;
+    bool any_up = false;
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+      share += weights[node * gpus + g];
+      any_up = any_up || !down_[node * gpus + g];
+    }
+    const bool slow = any_up && share < options_.slow_node_factor * fair_share;
+    if (slow && !node_slow_[node]) {
+      ++slow_node_events_;
+      telemetry::MetricRegistry::instance().counter("balancer.slow_node_detected").add(1);
+    }
+    node_slow_[node] = slow;
+    if (slow) ++slow_count;
+  }
+  telemetry::MetricRegistry::instance().gauge("balancer.slow_nodes").set(
+      static_cast<double>(slow_count));
+}
+
+std::vector<std::uint32_t> FeedbackBalancer::thread_split_locked(
+    const std::vector<std::uint32_t>& quotas) const {
+  const std::uint32_t gpus = options_.gpus_per_node;
+  std::vector<std::uint32_t> threads(quotas.size(), 0);
+  for (std::size_t node = 0; node < node_slow_.size(); ++node) {
+    std::vector<double> node_weights(gpus, 0.0);
+    for (std::uint32_t g = 0; g < gpus; ++g) {
+      node_weights[g] = static_cast<double>(quotas[node * gpus + g]);
+    }
+    const auto split = apportion_with_floors(
+        node_weights, knobs_.total_load_threads,
+        std::vector<std::uint32_t>(gpus, knobs_.min_threads_per_gpu));
+    for (std::uint32_t g = 0; g < gpus; ++g) threads[node * gpus + g] = split[g];
+  }
+  return threads;
+}
+
+void FeedbackBalancer::publish_locked() const {
+  auto& registry = telemetry::MetricRegistry::instance();
+  for (std::size_t d = 0; d < quotas_.size(); ++d) {
+    registry.gauge("balancer.device/" + std::to_string(d) + "/quota")
+        .set(static_cast<double>(quotas_[d]));
+  }
+}
+
+RebalancePlan FeedbackBalancer::plan(IterId iter) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t world = quotas_.size();
+  RebalancePlan result;
+  result.iter = iter;
+  result.weights = weights_locked();
+
+  QuotaTraceEntry entry;
+  entry.iter = iter;
+
+  const bool warm = observed_iters_ >= options_.warmup_iters;
+  bool down_holds_quota = false;
+  for (std::size_t d = 0; d < world; ++d) {
+    down_holds_quota = down_holds_quota || (down_[d] && quotas_[d] > 0);
+  }
+
+  if (!warm && !down_holds_quota) {
+    entry.quotas = quotas_;
+    trace_.push_back(entry);
+    result.active = false;
+    result.batch_quotas = quotas_;
+    result.load_threads = thread_split_locked(quotas_);
+    return result;
+  }
+
+  update_slow_nodes_locked(result.weights);
+
+  // Hysteresis: stand pat while every live device's weight is within the
+  // deadband of the weights behind the current split, the split has fully
+  // reached the apportionment those weights implied (a damped step must keep
+  // walking toward its target on later iterations, not freeze mid-step), and
+  // no dead device still holds quota.
+  bool within_band = !applied_weights_.empty() && quotas_ == applied_targets_ &&
+                     !down_holds_quota;
+  if (within_band) {
+    for (std::size_t d = 0; d < world && within_band; ++d) {
+      if (down_[d]) continue;
+      const double ref = std::max(applied_weights_[d], 1e-9);
+      within_band = std::abs(result.weights[d] - applied_weights_[d]) / ref < options_.hysteresis;
+    }
+  }
+  if (within_band) {
+    entry.quotas = quotas_;
+    trace_.push_back(entry);
+    result.active = true;
+    result.batch_quotas = quotas_;
+    result.load_threads = thread_split_locked(quotas_);
+    return result;
+  }
+
+  std::vector<std::uint32_t> floors(world, options_.min_quota);
+  for (std::size_t d = 0; d < world; ++d) {
+    if (down_[d]) floors[d] = 0;
+  }
+  const auto targets = apportion_with_floors(result.weights, knobs_.batch_size, floors);
+
+  // Damping: step each quota toward its target by at most max_quota_step —
+  // except dead devices, which drop to zero immediately.
+  std::vector<std::uint32_t> next(world, 0);
+  for (std::size_t d = 0; d < world; ++d) {
+    if (down_[d]) {
+      next[d] = 0;
+      continue;
+    }
+    const auto target = static_cast<std::int64_t>(targets[d]);
+    const auto current = static_cast<std::int64_t>(quotas_[d]);
+    const auto step = static_cast<std::int64_t>(options_.max_quota_step);
+    next[d] = static_cast<std::uint32_t>(
+        current + std::clamp(target - current, -step, step));
+  }
+
+  // Repair: the clamp (and dead-device zeroing) can leave the sum off the
+  // batch size; hand the residual to the live devices furthest from target.
+  std::int64_t diff = static_cast<std::int64_t>(knobs_.batch_size);
+  for (const std::uint32_t q : next) diff -= q;
+  while (diff != 0) {
+    std::size_t pick = world;
+    std::int64_t best_gap = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t d = 0; d < world; ++d) {
+      if (down_[d]) continue;
+      const std::int64_t gap = static_cast<std::int64_t>(targets[d]) - next[d];
+      if (diff > 0) {
+        if (gap > best_gap) { best_gap = gap; pick = d; }
+      } else {
+        if (next[d] <= floors[d]) continue;
+        if (-gap > best_gap) { best_gap = -gap; pick = d; }
+      }
+    }
+    if (pick == world) break;  // every live device at its floor
+    next[pick] += diff > 0 ? 1 : -1;
+    diff += diff > 0 ? -1 : 1;
+  }
+
+  std::uint64_t moved = 0;
+  for (std::size_t d = 0; d < world; ++d) {
+    moved += next[d] > quotas_[d] ? next[d] - quotas_[d] : quotas_[d] - next[d];
+  }
+  moved /= 2;  // each moved sample leaves one device and lands on another
+
+  if (moved > 0) {
+    ++rebalances_;
+    quota_moves_ += moved;
+    auto& registry = telemetry::MetricRegistry::instance();
+    registry.counter("balancer.rebalances").add(1);
+    registry.counter("balancer.quota_moves").add(moved);
+    quotas_ = next;
+  }
+  applied_weights_ = result.weights;
+  applied_targets_ = targets;
+  publish_locked();
+
+  entry.rebalanced = moved > 0;
+  entry.quota_moves = static_cast<std::uint32_t>(moved);
+  entry.quotas = quotas_;
+  trace_.push_back(entry);
+
+  result.active = true;
+  result.batch_quotas = quotas_;
+  result.load_threads = thread_split_locked(quotas_);
+  return result;
+}
+
+void FeedbackBalancer::set_device_down(std::uint32_t device, bool down) {
+  const std::scoped_lock lock(mutex_);
+  if (device >= down_.size()) return;
+  down_[device] = down;
+  if (down) rates_[device].reset();
+}
+
+void FeedbackBalancer::set_node_down(std::uint32_t node, bool down) {
+  const std::scoped_lock lock(mutex_);
+  const std::uint32_t gpus = options_.gpus_per_node;
+  for (std::uint32_t g = 0; g < gpus; ++g) {
+    const std::size_t d = static_cast<std::size_t>(node) * gpus + g;
+    if (d >= down_.size()) return;
+    down_[d] = down;
+    if (down) rates_[d].reset();
+  }
+}
+
+std::vector<double> FeedbackBalancer::weights() const {
+  const std::scoped_lock lock(mutex_);
+  return weights_locked();
+}
+
+std::vector<std::uint32_t> FeedbackBalancer::current_quotas() const {
+  const std::scoped_lock lock(mutex_);
+  return quotas_;
+}
+
+std::vector<std::uint32_t> FeedbackBalancer::slow_nodes() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::uint32_t> nodes;
+  for (std::size_t node = 0; node < node_slow_.size(); ++node) {
+    if (node_slow_[node]) nodes.push_back(static_cast<std::uint32_t>(node));
+  }
+  return nodes;
+}
+
+std::vector<FeedbackBalancer::QuotaTraceEntry> FeedbackBalancer::quota_trace() const {
+  const std::scoped_lock lock(mutex_);
+  return trace_;
+}
+
+std::uint64_t FeedbackBalancer::rebalances() const {
+  const std::scoped_lock lock(mutex_);
+  return rebalances_;
+}
+
+std::uint64_t FeedbackBalancer::quota_moves() const {
+  const std::scoped_lock lock(mutex_);
+  return quota_moves_;
+}
+
+std::uint64_t FeedbackBalancer::slow_node_events() const {
+  const std::scoped_lock lock(mutex_);
+  return slow_node_events_;
+}
+
+// --- RebalanceBarrier ---
+
+RebalanceBarrier::RebalanceBarrier(FeedbackBalancer& balancer, std::uint32_t nodes)
+    : balancer_(balancer), nodes_(nodes), down_(nodes, false) {
+  if (nodes == 0) throw std::invalid_argument("RebalanceBarrier: nodes must be >= 1");
+}
+
+bool RebalanceBarrier::round_complete_locked(const Round& round) const {
+  for (std::uint32_t node = 0; node < nodes_; ++node) {
+    if (!down_[node] && !round.arrived[node]) return false;
+  }
+  return true;
+}
+
+void RebalanceBarrier::finish_round_locked(IterId iter, Round& round) {
+  if (!round.merged.devices.empty()) balancer_.observe(round.merged);
+  round.plan = balancer_.plan(iter);
+  round.done = true;
+  round.pending_pickups = 0;
+  for (std::uint32_t node = 0; node < nodes_; ++node) {
+    if (round.arrived[node]) ++round.pending_pickups;
+  }
+}
+
+RebalancePlan RebalanceBarrier::exchange(IterId iter, std::uint32_t node,
+                                         const IterationFeedback& feedback) {
+  std::unique_lock lock(mutex_);
+  if (node >= nodes_ || down_[node]) {
+    // A dead node must not extend the round; give it a passive snapshot.
+    RebalancePlan plan;
+    plan.iter = iter;
+    plan.batch_quotas = balancer_.current_quotas();
+    return plan;
+  }
+  Round& round = rounds_[iter];
+  if (round.arrived.empty()) round.arrived.assign(nodes_, false);
+  if (!round.arrived[node]) {
+    round.arrived[node] = true;
+    round.merged.iter = feedback.iter;
+    round.merged.devices.insert(round.merged.devices.end(), feedback.devices.begin(),
+                                feedback.devices.end());
+  }
+  if (!round.done && round_complete_locked(round)) {
+    finish_round_locked(iter, round);
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&] {
+    const auto it = rounds_.find(iter);
+    return it == rounds_.end() || it->second.done;
+  });
+  const auto it = rounds_.find(iter);
+  if (it == rounds_.end()) {
+    // Round already reaped (we were marked down while waiting).
+    RebalancePlan plan;
+    plan.iter = iter;
+    plan.batch_quotas = balancer_.current_quotas();
+    return plan;
+  }
+  RebalancePlan plan = it->second.plan;
+  if (it->second.pending_pickups > 0 && --it->second.pending_pickups == 0) {
+    rounds_.erase(it);
+  }
+  return plan;
+}
+
+void RebalanceBarrier::set_node_down(std::uint32_t node) {
+  const std::scoped_lock lock(mutex_);
+  if (node >= nodes_ || down_[node]) return;
+  down_[node] = true;
+  balancer_.set_node_down(node, true);
+  for (auto& [iter, round] : rounds_) {
+    if (!round.done && round_complete_locked(round)) finish_round_locked(iter, round);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace lobster::core

@@ -1,0 +1,195 @@
+// Heterogeneity-aware feedback load balancer (closed loop over §4.2).
+//
+// The planner's Eq. 2–3 split assumes homogeneous GPUs: thread counts and
+// batch quotas are computed once and never revisited, so one thermally
+// throttled or co-tenant-loaded node drags every iteration to its pace at
+// the all-reduce barrier. This controller closes the loop the paper leaves
+// open: each iteration it consumes the measured per-GPU delivery throughput
+// (metrics::ThroughputWindow over executor delivery logs) and re-splits the
+// global batch quota and the per-node loading-thread budget.
+//
+// Control law (the grain-trading pattern of gpgpu-loadbalancerx, adapted
+// from grains to samples):
+//  * per-device EWMA of measured samples/s is the performance history —
+//    a device's share of the next batch is its share of the summed rates;
+//  * hysteresis: when no device's weight moved more than `hysteresis`
+//    relative to the last applied split, the previous quotas stand (noise
+//    does not churn quotas);
+//  * damping: a device's quota moves at most `max_quota_step` samples per
+//    rebalance toward its target, so a one-iteration blip cannot swing the
+//    split (oscillation damping); the residual is repaired so quotas always
+//    partition the batch exactly — the executor's exactly-once accounting
+//    rides on that invariant;
+//  * down devices (node kill, composes with DESIGN.md §9 degraded routing)
+//    are dropped to quota 0 immediately — damping never keeps samples on a
+//    dead node — and their share is re-apportioned.
+//
+// Telemetry: balancer.rebalances / balancer.quota_moves /
+// balancer.slow_node_detected counters, balancer.slow_nodes gauge,
+// balancer.device/<d>/quota gauges, and an in-memory per-iteration quota
+// trace harnesses dump next to the run's metrics.
+//
+// Thread-safety: fully thread-safe (one internal mutex); executor threads
+// observe() concurrently while a harness reads the trace. The
+// RebalanceBarrier below turns per-node executor threads into the
+// "all nodes submit feedback, one plan comes back" exchange that mirrors
+// the all-reduce barrier the quotas must hold across.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/load_balance_config.hpp"
+#include "metrics/throughput_window.hpp"
+
+namespace lobster::core {
+
+/// One device's measurement for one iteration. `device` is the flat GPU
+/// rank (node-major: node * gpus_per_node + gpu).
+struct DeviceFeedback {
+  std::uint32_t device = 0;
+  std::uint64_t delivered = 0;  ///< samples delivered this iteration
+  Seconds busy_s = 0.0;         ///< pipeline time spent delivering them
+};
+
+struct IterationFeedback {
+  IterId iter = 0;
+  std::vector<DeviceFeedback> devices;
+};
+
+/// The per-iteration rebalance decision handed through the executor's
+/// iteration hook. Inactive plans (warmup, static runs) leave the static
+/// strided split in force.
+struct RebalancePlan {
+  IterId iter = 0;
+  bool active = false;
+  std::vector<std::uint32_t> batch_quotas;  ///< per flat device; sums to batch_size
+  std::vector<std::uint32_t> load_threads;  ///< per flat device loading threads
+  std::vector<double> weights;              ///< normalized per-device performance
+};
+
+struct BalancerOptions {
+  std::uint32_t gpus_per_node = 1;
+  /// EWMA weight on the newest rate observation.
+  double ewma_alpha = 0.3;
+  std::size_t rate_window = 8;
+  /// Observed iterations before the first active plan (rates must exist).
+  std::uint32_t warmup_iters = 2;
+  /// Max relative per-device weight drift that still counts as "unchanged".
+  double hysteresis = 0.04;
+  /// Per-device quota delta cap per rebalance (samples).
+  std::uint32_t max_quota_step = 4;
+  /// Quota floor for live devices (a GPU never starves to zero).
+  std::uint32_t min_quota = 1;
+  /// A node whose weight share falls below factor/N is flagged slow.
+  double slow_node_factor = 0.75;
+};
+
+class FeedbackBalancer {
+ public:
+  /// Throws std::invalid_argument when `knobs.validate()` fails or
+  /// world/batch sizes are unspecified (the balancer cannot split an
+  /// unknown batch).
+  FeedbackBalancer(LoadBalanceConfig knobs, BalancerOptions options);
+
+  /// Feeds one iteration's measurements into the EWMA history.
+  void observe(const IterationFeedback& feedback);
+
+  /// Computes the split for iteration `iter` from the current history.
+  /// Inactive until warmup_iters iterations have been observed.
+  RebalancePlan plan(IterId iter);
+
+  /// Marks a device dead (quota 0 from the next plan on) or revives it.
+  void set_device_down(std::uint32_t device, bool down);
+  /// Convenience: all devices of `node` at once (node kill / revive).
+  void set_node_down(std::uint32_t node, bool down);
+
+  const LoadBalanceConfig& knobs() const noexcept { return knobs_; }
+  const BalancerOptions& options() const noexcept { return options_; }
+
+  std::vector<double> weights() const;
+  std::vector<std::uint32_t> current_quotas() const;
+  /// Nodes currently flagged slow (weight share < slow_node_factor / N).
+  std::vector<std::uint32_t> slow_nodes() const;
+
+  struct QuotaTraceEntry {
+    IterId iter = 0;
+    bool rebalanced = false;            ///< quotas changed at this iteration
+    std::uint32_t quota_moves = 0;      ///< samples moved between devices
+    std::vector<std::uint32_t> quotas;  ///< split in force for `iter`
+  };
+  /// Per-iteration quota trace (one entry per plan() call).
+  std::vector<QuotaTraceEntry> quota_trace() const;
+
+  std::uint64_t rebalances() const;
+  /// Total samples moved between devices across all rebalances — the
+  /// oscillation metric the no-churn tests bound.
+  std::uint64_t quota_moves() const;
+  std::uint64_t slow_node_events() const;
+
+ private:
+  std::vector<double> weights_locked() const;
+  void update_slow_nodes_locked(const std::vector<double>& weights);
+  std::vector<std::uint32_t> thread_split_locked(const std::vector<std::uint32_t>& quotas) const;
+  void publish_locked() const;
+
+  LoadBalanceConfig knobs_;
+  BalancerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<metrics::ThroughputWindow> rates_;  ///< per device
+  std::vector<bool> down_;
+  std::vector<std::uint32_t> quotas_;          ///< split currently in force
+  std::vector<double> applied_weights_;        ///< weights behind quotas_
+  std::vector<std::uint32_t> applied_targets_; ///< apportionment they implied
+  std::vector<bool> node_slow_;
+  std::vector<QuotaTraceEntry> trace_;
+  std::uint64_t observed_iters_ = 0;
+  std::uint64_t rebalances_ = 0;
+  std::uint64_t quota_moves_ = 0;
+  std::uint64_t slow_node_events_ = 0;
+};
+
+/// Turns per-node executor threads into one logical controller: every live
+/// node calls exchange() once per iteration with its local feedback slice;
+/// the last arrival feeds the merged feedback to the balancer, computes the
+/// shared plan, and wakes the rest. Mirrors the all-reduce barrier, which
+/// is exactly the consistency the quota partition needs — every executor
+/// must slice iteration h's batch with the SAME plan.
+class RebalanceBarrier {
+ public:
+  RebalanceBarrier(FeedbackBalancer& balancer, std::uint32_t nodes);
+
+  /// Blocks until all live nodes have arrived for `iter`; returns the plan
+  /// every node must apply to iteration `iter`.
+  RebalancePlan exchange(IterId iter, std::uint32_t node, const IterationFeedback& feedback);
+
+  /// Removes `node` from the exchange (killed mid-run): pending rounds stop
+  /// waiting for it and its devices drop to quota 0.
+  void set_node_down(std::uint32_t node);
+
+ private:
+  struct Round {
+    IterationFeedback merged;
+    std::vector<bool> arrived;
+    bool done = false;
+    std::uint32_t pending_pickups = 0;
+    RebalancePlan plan;
+  };
+
+  bool round_complete_locked(const Round& round) const;
+  void finish_round_locked(IterId iter, Round& round);
+
+  FeedbackBalancer& balancer_;
+  const std::uint32_t nodes_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<bool> down_;
+  std::map<IterId, Round> rounds_;
+};
+
+}  // namespace lobster::core

@@ -9,12 +9,11 @@
 namespace lobster::core {
 
 ThreadAllocator::ThreadAllocator(const PerfModel& model, AllocatorConfig config)
-    : model_(model), config_(config) {
-  if (config_.total_load_threads == 0) {
-    throw std::invalid_argument("ThreadAllocator: zero thread budget");
+    : model_(model), config_(std::move(config)) {
+  if (config_.balance.min_threads_per_gpu == 0) config_.balance.min_threads_per_gpu = 1;
+  if (const Status status = config_.balance.validate(); !status.ok()) {
+    throw std::invalid_argument("ThreadAllocator: " + status.to_string());
   }
-  if (config_.min_threads_per_gpu == 0) config_.min_threads_per_gpu = 1;
-  if (config_.tau <= 0.0) throw std::invalid_argument("ThreadAllocator: tau must be positive");
 }
 
 std::vector<std::uint32_t> ThreadAllocator::proportional_allocation(
@@ -22,8 +21,8 @@ std::vector<std::uint32_t> ThreadAllocator::proportional_allocation(
   const std::size_t m = demands.size();
   if (m == 0) throw std::invalid_argument("proportional_allocation: no GPUs");
   const std::uint32_t budget =
-      std::max<std::uint32_t>(config_.total_load_threads,
-                              static_cast<std::uint32_t>(m) * config_.min_threads_per_gpu);
+      std::max<std::uint32_t>(knobs().total_load_threads,
+                              static_cast<std::uint32_t>(m) * knobs().min_threads_per_gpu);
 
   // Weight: pending queue depth if provided, else bytes to load.
   std::vector<double> weight(m);
@@ -35,8 +34,8 @@ std::vector<std::uint32_t> ThreadAllocator::proportional_allocation(
     total_weight += weight[j];
   }
 
-  std::vector<std::uint32_t> alloc(m, config_.min_threads_per_gpu);
-  std::uint32_t assigned = static_cast<std::uint32_t>(m) * config_.min_threads_per_gpu;
+  std::vector<std::uint32_t> alloc(m, knobs().min_threads_per_gpu);
+  std::uint32_t assigned = static_cast<std::uint32_t>(m) * knobs().min_threads_per_gpu;
   if (total_weight <= 0.0) {
     // No information: round-robin the remainder.
     for (std::size_t j = 0; assigned < budget; j = (j + 1) % m, ++assigned) ++alloc[j];
@@ -83,14 +82,14 @@ std::uint32_t ThreadAllocator::search_gpu(const GpuDemand& demand, std::uint32_t
                                           double preproc_threads,
                                           const storage::Contention& contention,
                                           std::uint32_t& evaluations) const {
-  std::uint32_t l_min = config_.min_threads_per_gpu;
-  std::uint32_t l_max = config_.total_load_threads;
+  std::uint32_t l_min = knobs().min_threads_per_gpu;
+  std::uint32_t l_max = knobs().total_load_threads;
   std::uint32_t current = std::clamp(initial, l_min, l_max);
 
   std::uint32_t best_threads = current;
   double best_abs = std::numeric_limits<double>::infinity();
   std::vector<Seconds> window;
-  window.reserve(config_.total_load_threads + 1);
+  window.reserve(knobs().total_load_threads + 1);
 
   for (;;) {
     const Seconds dif = model_.t_dif(demand, current, preproc_threads, contention);
@@ -99,10 +98,10 @@ std::uint32_t ThreadAllocator::search_gpu(const GpuDemand& demand, std::uint32_t
       best_abs = std::abs(dif);
       best_threads = current;
     }
-    if (std::abs(dif) < config_.tau) break;
+    if (std::abs(dif) < knobs().tau) break;
 
     window.push_back(dif);
-    if (window.size() > config_.total_load_threads && is_consistent_window(window)) break;
+    if (window.size() > knobs().total_load_threads && is_consistent_window(window)) break;
 
     // More threads shrink T_L and hence T_dif. Positive residual (pipeline
     // slower than training) => need more threads.
@@ -131,11 +130,36 @@ std::uint32_t ThreadAllocator::search_gpu(const GpuDemand& demand, std::uint32_t
 AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands,
                                            double preproc_threads,
                                            const storage::Contention& contention) const {
+  if (demands.empty()) throw std::invalid_argument("allocate: no GPUs");
+  return allocate_from(proportional_allocation(demands), demands, preproc_threads, contention);
+}
+
+AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands,
+                                           double preproc_threads, const RebalancePlan& plan,
+                                           NodeId node,
+                                           const storage::Contention& contention) const {
   const std::size_t m = demands.size();
   if (m == 0) throw std::invalid_argument("allocate: no GPUs");
+  const std::size_t base = static_cast<std::size_t>(node) * m;
+  if (!plan.active || plan.load_threads.size() < base + m) {
+    return allocate(demands, preproc_threads, contention);
+  }
+  std::vector<std::uint32_t> initial(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    initial[j] = std::clamp(plan.load_threads[base + j], knobs().min_threads_per_gpu,
+                            knobs().total_load_threads);
+  }
+  return allocate_from(std::move(initial), demands, preproc_threads, contention);
+}
+
+AllocationResult ThreadAllocator::allocate_from(std::vector<std::uint32_t> initial,
+                                                const std::vector<GpuDemand>& demands,
+                                                double preproc_threads,
+                                                const storage::Contention& contention) const {
+  const std::size_t m = demands.size();
 
   AllocationResult result;
-  result.threads = proportional_allocation(demands);
+  result.threads = std::move(initial);
   result.t_dif.resize(m);
 
   // Phase 1: per-GPU residuals under the proportional start.
@@ -143,13 +167,13 @@ AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands
     result.t_dif[j] =
         model_.t_dif(demands[j], result.threads[j], preproc_threads, contention);
     ++result.model_evaluations;
-    if (std::abs(result.t_dif[j]) >= config_.tau) result.straggler_predicted = true;
+    if (std::abs(result.t_dif[j]) >= knobs().tau) result.straggler_predicted = true;
   }
 
   // Phase 2: Algorithm 1 binary search for out-of-threshold GPUs.
   if (result.straggler_predicted) {
     for (std::size_t j = 0; j < m; ++j) {
-      if (std::abs(result.t_dif[j]) < config_.tau) continue;
+      if (std::abs(result.t_dif[j]) < knobs().tau) continue;
       result.threads[j] = search_gpu(demands[j], result.threads[j], preproc_threads,
                                      contention, result.model_evaluations);
     }
@@ -159,13 +183,13 @@ AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands
   auto total = [&] {
     return std::accumulate(result.threads.begin(), result.threads.end(), 0U);
   };
-  while (total() > config_.total_load_threads) {
+  while (total() > knobs().total_load_threads) {
     // Take a thread from the GPU with the most negative residual (most
     // headroom) that is above the floor.
     std::size_t victim = m;
     Seconds best_headroom = std::numeric_limits<Seconds>::infinity();
     for (std::size_t j = 0; j < m; ++j) {
-      if (result.threads[j] <= config_.min_threads_per_gpu) continue;
+      if (result.threads[j] <= knobs().min_threads_per_gpu) continue;
       const Seconds dif =
           model_.t_dif(demands[j], result.threads[j], preproc_threads, contention);
       if (dif < best_headroom) {
@@ -184,7 +208,7 @@ AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands
     return model_.gpu_iteration_time(demands[j], result.threads[j], preproc_threads,
                                      contention);
   };
-  for (std::uint32_t pass = 0; pass < config_.balance_passes; ++pass) {
+  for (std::uint32_t pass = 0; pass < knobs().balance_passes; ++pass) {
     std::size_t slowest = 0;
     std::size_t fastest = 0;
     Seconds t_max = -1.0;
@@ -201,7 +225,7 @@ AllocationResult ThreadAllocator::allocate(const std::vector<GpuDemand>& demands
       }
     }
     result.model_evaluations += static_cast<std::uint32_t>(m);
-    if (slowest == fastest || result.threads[fastest] <= config_.min_threads_per_gpu) break;
+    if (slowest == fastest || result.threads[fastest] <= knobs().min_threads_per_gpu) break;
     // Tentative move; evaluate the full node gap (a third GPU may define it).
     ++result.threads[slowest];
     --result.threads[fastest];

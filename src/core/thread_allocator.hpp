@@ -20,15 +20,17 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/feedback_balancer.hpp"
+#include "core/load_balance_config.hpp"
 #include "core/perf_model.hpp"
 
 namespace lobster::core {
 
+/// Algorithm 1's knobs (T_L budget, τ, ℓ_min floor, greedy-pass cap) live in
+/// the shared LoadBalanceConfig — the same block the executor and the
+/// feedback balancer read — so the allocator re-declares nothing.
 struct AllocatorConfig {
-  std::uint32_t total_load_threads = 16;  ///< T_L: node budget for loading
-  Seconds tau = 2e-3;                     ///< τ: |T_dif| considered "balanced"
-  std::uint32_t min_threads_per_gpu = 1;  ///< ℓ_min floor per queue
-  std::uint32_t balance_passes = 32;      ///< cap on step-4 greedy moves
+  LoadBalanceConfig balance;
 };
 
 struct AllocationResult {
@@ -48,6 +50,14 @@ class ThreadAllocator {
                             double preproc_threads,
                             const storage::Contention& contention = {}) const;
 
+  /// Algorithm 1 seeded from a feedback-balancer decision: the node's slice
+  /// of `plan.load_threads` replaces the proportional phase-1 start, and the
+  /// refinement phases adjust from there. Falls back to the proportional
+  /// rule when the plan is inactive or does not cover this node.
+  AllocationResult allocate(const std::vector<GpuDemand>& demands, double preproc_threads,
+                            const RebalancePlan& plan, NodeId node,
+                            const storage::Contention& contention = {}) const;
+
   /// §4.2 proportional rule only (also the ablation "no heuristic" mode):
   /// threads proportional to pending requests, every queue >= min floor,
   /// summing to the budget.
@@ -62,6 +72,13 @@ class ThreadAllocator {
   std::uint32_t search_gpu(const GpuDemand& demand, std::uint32_t initial,
                            double preproc_threads, const storage::Contention& contention,
                            std::uint32_t& evaluations) const;
+
+  /// Phases 1–4 from an explicit starting allocation.
+  AllocationResult allocate_from(std::vector<std::uint32_t> initial,
+                                 const std::vector<GpuDemand>& demands, double preproc_threads,
+                                 const storage::Contention& contention) const;
+
+  const LoadBalanceConfig& knobs() const noexcept { return config_.balance; }
 
   const PerfModel& model_;
   AllocatorConfig config_;

@@ -65,4 +65,20 @@ std::vector<SampleId> EpochSampler::node_batch(std::uint32_t epoch, std::uint32_
   return all;
 }
 
+std::vector<SampleId> EpochSampler::quota_slice(std::uint32_t epoch, std::uint32_t iteration,
+                                                std::uint64_t offset, std::uint32_t count) const {
+  if (iteration >= iterations_) throw std::out_of_range("EpochSampler: iteration out of range");
+  const std::uint64_t block =
+      static_cast<std::uint64_t>(config_.batch_size) * world_size();
+  if (offset + count > block) {
+    throw std::out_of_range("EpochSampler: quota slice outside the iteration block");
+  }
+  const auto& perm = epoch_permutation(epoch);
+  const std::uint64_t base = static_cast<std::uint64_t>(iteration) * block + offset;
+  std::vector<SampleId> batch;
+  batch.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) batch.push_back(perm[base + k]);
+  return batch;
+}
+
 }  // namespace lobster::data

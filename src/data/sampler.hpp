@@ -44,6 +44,14 @@ class EpochSampler {
   std::vector<SampleId> node_batch(std::uint32_t epoch, std::uint32_t iteration,
                                    NodeId node) const;
 
+  /// `count` samples starting at `offset` within iteration h's global block
+  /// perm[h·B·W, (h+1)·B·W) — the quota mode of the feedback balancer:
+  /// contiguous slices by per-device quota prefix sums re-partition the same
+  /// block the static strided shards cover, so any quota set summing to B·W
+  /// preserves exactly-once delivery cluster-wide.
+  std::vector<SampleId> quota_slice(std::uint32_t epoch, std::uint32_t iteration,
+                                    std::uint64_t offset, std::uint32_t count) const;
+
   /// The full permutation of one epoch (cached; two most recent epochs kept).
   const std::vector<SampleId>& epoch_permutation(std::uint32_t epoch) const;
 

@@ -1,0 +1,44 @@
+#include "metrics/throughput_window.hpp"
+
+#include <stdexcept>
+
+namespace lobster::metrics {
+
+ThroughputWindow::ThroughputWindow(double alpha, std::size_t window)
+    : alpha_(alpha), window_(window) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("ThroughputWindow: alpha must be in (0, 1]");
+  }
+  if (window == 0) throw std::invalid_argument("ThroughputWindow: window must be >= 1");
+}
+
+void ThroughputWindow::record(std::uint64_t samples, Seconds elapsed) {
+  if (!(elapsed > 0.0)) return;
+  const double rate = static_cast<double>(samples) / elapsed;
+  ewma_ = observations_ == 0 ? rate : alpha_ * rate + (1.0 - alpha_) * ewma_;
+  entries_.push_back(Entry{samples, elapsed});
+  if (entries_.size() > window_) entries_.pop_front();
+  total_samples_ += samples;
+  total_seconds_ += elapsed;
+  ++observations_;
+}
+
+double ThroughputWindow::windowed_rate() const noexcept {
+  std::uint64_t samples = 0;
+  Seconds elapsed = 0.0;
+  for (const Entry& entry : entries_) {
+    samples += entry.samples;
+    elapsed += entry.elapsed;
+  }
+  return elapsed > 0.0 ? static_cast<double>(samples) / elapsed : 0.0;
+}
+
+void ThroughputWindow::reset() {
+  ewma_ = 0.0;
+  entries_.clear();
+  total_samples_ = 0;
+  total_seconds_ = 0.0;
+  observations_ = 0;
+}
+
+}  // namespace lobster::metrics

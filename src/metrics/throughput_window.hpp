@@ -1,0 +1,65 @@
+// One throughput derivation for every consumer.
+//
+// Per-GPU and per-job throughput used to be at risk of diverging: the
+// cluster FairnessTracker and the feedback balancer both need "samples per
+// second from delivery logs", and two hand-rolled EWMAs with different
+// alphas or different zero-elapsed handling would disagree about which
+// device is slow. This helper is that derivation, once: feed it
+// (samples, elapsed) observations, read back an EWMA rate (the balancer's
+// control input) and a trailing-window mean rate (the smoother number the
+// dashboards publish).
+//
+// Published gauges by convention:
+//   executor.gpu/<flat rank>/throughput   — per-GPU, from the executor
+//   cluster.job/<name>/throughput         — per-job, from the FairnessTracker
+//
+// Not thread-safe; each consumer owns its windows and serialises access
+// (the balancer under its own mutex, the executor on its run() thread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace lobster::metrics {
+
+class ThroughputWindow {
+ public:
+  /// `alpha`: EWMA smoothing weight on the newest observation, (0, 1].
+  /// `window`: number of trailing observations in the windowed mean.
+  explicit ThroughputWindow(double alpha = 0.3, std::size_t window = 8);
+
+  /// One observation: `samples` delivered over `elapsed` seconds.
+  /// Zero/negative elapsed is ignored (a rate cannot be derived from it).
+  void record(std::uint64_t samples, Seconds elapsed);
+
+  /// EWMA samples/s; 0 before the first observation.
+  double ewma_rate() const noexcept { return ewma_; }
+
+  /// Mean samples/s over the last `window` observations; 0 before the first.
+  double windowed_rate() const noexcept;
+
+  std::uint64_t total_samples() const noexcept { return total_samples_; }
+  Seconds total_seconds() const noexcept { return total_seconds_; }
+  std::size_t observations() const noexcept { return observations_; }
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t samples;
+    Seconds elapsed;
+  };
+
+  double alpha_;
+  std::size_t window_;
+  double ewma_ = 0.0;
+  std::deque<Entry> entries_;
+  std::uint64_t total_samples_ = 0;
+  Seconds total_seconds_ = 0.0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace lobster::metrics

@@ -218,7 +218,7 @@ MultiJobResult simulate_multi_job(const MultiJobConfig& config) {
                 ? preset.cluster.cpu_threads - knee * gpus
                 : gpus;
         core::AllocatorConfig alloc_config;
-        alloc_config.total_load_threads = budget;
+        alloc_config.balance.total_load_threads = budget;
         const core::ThreadAllocator allocator(perf, alloc_config);
         const auto alloc = strategy.thread_policy == ThreadPolicy::kProportional
                                ? core::AllocationResult{

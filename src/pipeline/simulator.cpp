@@ -262,7 +262,7 @@ TrainingSimulator::ThreadDecision TrainingSimulator::decide_threads(
                 static_cast<double>(preset.cluster.cpu_threads) / gpus);
     } else {
       core::AllocatorConfig alloc_config = config_.allocator;
-      alloc_config.total_load_threads = preset.cluster.cpu_threads;
+      alloc_config.balance.total_load_threads = preset.cluster.cpu_threads;
       const core::ThreadAllocator allocator(*perf_model_, alloc_config);
       const auto alloc = strategy.thread_policy == ThreadPolicy::kProportional
                              ? core::AllocationResult{allocator.proportional_allocation(demands),
@@ -300,7 +300,7 @@ TrainingSimulator::ThreadDecision TrainingSimulator::decide_threads(
 
   if (strategy.thread_policy == ThreadPolicy::kProportional) {
     core::AllocatorConfig alloc_config = config_.allocator;
-    alloc_config.total_load_threads = load_budget(preproc_per_gpu);
+    alloc_config.balance.total_load_threads = load_budget(preproc_per_gpu);
     const core::ThreadAllocator allocator(*perf_model_, alloc_config);
     const auto alloc = allocator.proportional_allocation(demands);
     for (std::size_t j = 0; j < alloc.size(); ++j) decision.load_threads[j] = alloc[j];
@@ -314,14 +314,14 @@ TrainingSimulator::ThreadDecision TrainingSimulator::decide_threads(
   core::AllocationResult best;
   for (std::uint32_t steal = 0;; ++steal) {
     core::AllocatorConfig alloc_config = config_.allocator;
-    alloc_config.total_load_threads = load_budget(preproc_per_gpu);
+    alloc_config.balance.total_load_threads = load_budget(preproc_per_gpu);
     const core::ThreadAllocator allocator(*perf_model_, alloc_config);
     best = allocator.allocate(demands, preproc_per_gpu, contention);
 
     const double worst_dif =
         *std::max_element(best.t_dif.begin(), best.t_dif.end());
-    if (worst_dif < config_.allocator.tau) break;            // goal (1) reached
-    if (steal >= config_.max_preproc_steals) break;          // steal budget
+    if (worst_dif < config_.allocator.balance.tau) break;            // goal (1) reached
+    if (steal >= config_.allocator.balance.max_preproc_steals) break;          // steal budget
     if (preproc_per_gpu <= 1) break;                         // nothing left
     // Would preprocessing become the bottleneck with one thread fewer?
     Bytes worst_batch = 0;

@@ -56,8 +56,9 @@ struct SimulationConfig {
   /// Epoch window [lo, hi) for which detailed per-GPU records are retained.
   std::uint32_t detail_epoch_lo = 0;
   std::uint32_t detail_epoch_hi = 0;
-  /// Algorithm 1 parameters (total_load_threads is set per iteration by the
-  /// simulator; tau and the rest apply as given).
+  /// Algorithm 1 parameters, including every load-balance knob
+  /// (allocator.balance.total_load_threads is set per iteration by the
+  /// simulator; tau, max_preproc_steals and the rest apply as given).
   core::AllocatorConfig allocator;
   /// Oracle lookahead in epochs (>= 3 covers the reuse-distance policy's
   /// 2·I horizon).
@@ -65,8 +66,6 @@ struct SimulationConfig {
   /// Fraction of the node's PFS/remote capacity usable for background
   /// prefetching during spare pipeline time.
   double prefetch_bandwidth_fraction = 0.8;
-  /// Max §4.1-step-2 preprocessing→loading thread steals per iteration.
-  std::uint32_t max_preproc_steals = 4;
   /// When non-null, the run records every thread/prefetch/eviction decision
   /// here — the offline planning mode of §4.5.
   runtime::Plan* record_plan = nullptr;

@@ -36,6 +36,9 @@ PlanExecutor::PlanExecutor(ExecutorConfig config, const data::SampleCatalog& cat
   if (config_.node >= plan_.cluster_nodes) {
     throw std::invalid_argument("PlanExecutor: node not covered by plan");
   }
+  if (const Status status = config_.balance.validate(); !status.ok()) {
+    throw std::invalid_argument("PlanExecutor: " + status.to_string());
+  }
 }
 
 bool PlanExecutor::has_sample(SampleId sample) const { return store_.contains(sample); }
@@ -327,16 +330,21 @@ ExecutionReport PlanExecutor::run() {
   const std::uint32_t I = plan_.iterations_per_epoch;
 
   const std::uint32_t hw_threads =
-      config_.max_pool_threads > 0
-          ? config_.max_pool_threads
+      config_.balance.max_pool_threads > 0
+          ? config_.balance.max_pool_threads
           : std::max(1U, std::thread::hardware_concurrency());
   ThreadPool loading_pool(1);
   ThreadPool preproc_pool(1);
+  const std::uint32_t world =
+      static_cast<std::uint32_t>(plan_.cluster_nodes) * gpus;
+  const std::uint32_t flat_base = static_cast<std::uint32_t>(config_.node) * gpus;
+  throughput_.assign(gpus, metrics::ThroughputWindow());
+  feedback_ = core::IterationFeedback{};
 
   // Hoisted across iterations: the queues are fully drained every iteration,
   // so one construction serves the whole run; vectors below are reused to
   // avoid per-iteration allocation churn.
-  GpuRequestQueues queues(gpus, config_.queue_capacity);
+  GpuRequestQueues queues(gpus, config_.balance.queue_capacity);
   std::vector<GpuAccounting> accounting(gpus);
   std::vector<std::future<void>> futures;
   std::vector<std::future<void>> preproc_futures;
@@ -351,18 +359,54 @@ ExecutionReport PlanExecutor::run() {
   // drain (the old global delivered-set mutex was taken per request).
   std::mutex merge_mutex;
   std::vector<std::vector<SampleId>> delivered(gpus);
+  std::vector<std::uint64_t> delivered_count(gpus, 0);
 
   for (const auto& iteration : plan_.iterations) {
     LOBSTER_TRACE_SPAN_ARG(kExecutor, "iteration", iteration.iter);
     const auto iter_started = std::chrono::steady_clock::now();
-    if (config_.iteration_hook) config_.iteration_hook(iteration.iter);
+    // The hook sees last iteration's measurements and may answer with an
+    // active rebalance decision for THIS iteration (balancer harnesses run
+    // the FeedbackBalancer / RebalanceBarrier exchange inside it).
+    core::RebalancePlan rebalance;
+    if (config_.iteration_hook) config_.iteration_hook(iteration.iter, feedback_, rebalance);
     if (watchdog_ != nullptr) watchdog_->begin_iteration(iteration.iter);
     const auto& node_plan = iteration.nodes.at(config_.node);
     const auto epoch = static_cast<std::uint32_t>(iteration.iter / I);
     const auto h = static_cast<std::uint32_t>(iteration.iter % I);
 
+    // Quota mode: an active plan whose quotas cover the cluster re-splits
+    // this iteration's global sample block by contiguous prefix-sum slices
+    // (sampler quota_slice); quotas always partition the block, so
+    // exactly-once delivery is preserved cluster-wide.
+    const bool quota_mode = rebalance.active && rebalance.batch_quotas.size() == world;
+    std::uint64_t quota_offset = 0;
+    if (quota_mode) {
+      for (std::uint32_t d = 0; d < flat_base; ++d) quota_offset += rebalance.batch_quotas[d];
+    }
+
+    // Effective per-queue thread counts: the plan's static assignment unless
+    // the rebalance decision overrides it.
+    std::vector<std::uint32_t> queue_threads(gpus, 1);
+    for (GpuId g = 0; g < gpus; ++g) {
+      if (g < node_plan.load_threads.size()) {
+        queue_threads[g] = std::max<std::uint32_t>(node_plan.load_threads[g], 1);
+      }
+    }
+    if (rebalance.active && rebalance.load_threads.size() >= flat_base + gpus) {
+      for (GpuId g = 0; g < gpus; ++g) {
+        queue_threads[g] = std::max<std::uint32_t>(rebalance.load_threads[flat_base + g], 1);
+      }
+    }
+
+    // Capacity schedule for this node (thermal throttle / co-tenant /
+    // degraded NIC): scales every virtual-time rate below.
+    const double capacity_scale =
+        std::max(config_.capacity.scale_at(static_cast<double>(iteration.iter)), 1e-3);
+
     IterationExecution stats;
     stats.iter = iteration.iter;
+    stats.capacity_scale = capacity_scale;
+    stats.rebalanced = quota_mode;
 
     // ---- enforce the plan's thread assignment (resize is a no-op when the
     // planned size is unchanged — no thundering-herd wakeups). Planned
@@ -371,7 +415,7 @@ ExecutionReport PlanExecutor::run() {
     // core budget so oversubscription never turns planned bandwidth into
     // context-switch overhead.
     const std::uint32_t load_threads_total = std::max<std::uint32_t>(
-        1, std::accumulate(node_plan.load_threads.begin(), node_plan.load_threads.end(), 0U));
+        1, std::accumulate(queue_threads.begin(), queue_threads.end(), 0U));
     const std::uint32_t preproc_threads = std::max<std::uint32_t>(1, node_plan.preproc_threads);
     {
       LOBSTER_TRACE_SPAN_ARG(kExecutor, "resize_pools", load_threads_total);
@@ -389,7 +433,15 @@ ExecutionReport PlanExecutor::run() {
       LOBSTER_TRACE_SPAN(kExecutor, "enqueue");
       for (GpuId g = 0; g < gpus; ++g) {
         enqueue_buffer.clear();
-        for (const SampleId s : sampler_.minibatch(epoch, h, config_.node, g)) {
+        std::vector<SampleId> batch_samples;
+        if (quota_mode) {
+          const std::uint32_t quota = rebalance.batch_quotas[flat_base + g];
+          batch_samples = sampler_.quota_slice(epoch, h, quota_offset, quota);
+          quota_offset += quota;
+        } else {
+          batch_samples = sampler_.minibatch(epoch, h, config_.node, g);
+        }
+        for (const SampleId s : batch_samples) {
           LoadRequest request;
           request.sample = s;
           request.bytes = catalog_.sample_bytes(s);
@@ -443,11 +495,7 @@ ExecutionReport PlanExecutor::run() {
       // planned share still drives the virtual-time model and stats.
       const std::uint32_t pool_threads = std::min(load_threads_total, hw_threads);
       for (GpuId g = 0; g < gpus; ++g) {
-        const std::uint32_t per_queue = std::min(
-            pool_threads,
-            g < node_plan.load_threads.size()
-                ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
-                : 1);
+        const std::uint32_t per_queue = std::min(pool_threads, queue_threads[g]);
         for (std::uint32_t t = 0; t < per_queue; ++t) {
           futures.push_back(loading_pool.submit(
               [this, g, &queues, &spill, &spill_next, &accounting, &merge_mutex, &delivered] {
@@ -509,6 +557,7 @@ ExecutionReport PlanExecutor::run() {
         for (std::size_t i = 1; i < log.size(); ++i) {
           if (log[i] == log[i - 1]) ++report.duplicate_deliveries;
         }
+        delivered_count[g] = log.size();
         delivered_total += log.size();
         log.clear();
         spill[g].clear();
@@ -538,30 +587,44 @@ ExecutionReport PlanExecutor::run() {
       for (auto& f : preproc_futures) f.get();
     }
 
-    // ---- virtual-time accounting
+    // ---- virtual-time accounting (all rates scaled by the node's capacity
+    // schedule, so a throttled node is slower in exactly the modeled way)
     Seconds load_max = 0.0;
     Seconds preproc_max = 0.0;
     Bytes node_bytes = 0;
+    feedback_.iter = iteration.iter;
+    feedback_.devices.clear();
+    auto& registry = telemetry::MetricRegistry::instance();
     for (GpuId g = 0; g < gpus; ++g) {
       const auto& acct = accounting[g];
-      const double threads = g < node_plan.load_threads.size()
-                                 ? std::max<std::uint32_t>(node_plan.load_threads[g], 1)
-                                 : 1.0;
+      const double threads = queue_threads[g];
       const Seconds load = (static_cast<double>(acct.local_bytes) / config_.rates.local_bps +
                             static_cast<double>(acct.remote_bytes) / config_.rates.remote_bps +
                             static_cast<double>(acct.pfs_bytes) / config_.rates.pfs_bps) /
-                           threads;
+                           (threads * capacity_scale);
       load_max = std::max(load_max, load);
       const Bytes gpu_bytes = acct.local_bytes + acct.remote_bytes + acct.pfs_bytes;
       node_bytes += gpu_bytes;
-      const Seconds preproc =
-          static_cast<double>(gpu_bytes) / (config_.rates.preproc_bps * preproc_threads);
+      const Seconds preproc = static_cast<double>(gpu_bytes) /
+                              (config_.rates.preproc_bps * preproc_threads * capacity_scale);
       preproc_max = std::max(preproc_max, preproc);
       stats.local_hits += acct.local_hits;
       stats.remote_fetches += acct.remote_fetches;
       stats.pfs_fetches += acct.pfs_fetches;
       stats.degraded_fetches += acct.degraded_fetches;
       accounting[g] = GpuAccounting{};  // reset for the next iteration
+
+      // Per-GPU feedback for the balancer: pipeline time (NOT clamped by
+      // t_train), so the derived samples/s is the device's delivery
+      // capability and stays quota-independent — shrink a slow GPU's quota
+      // and its measured rate holds steady instead of chasing the quota.
+      const Seconds busy = load + preproc;
+      const std::uint32_t flat = flat_base + g;
+      feedback_.devices.push_back(core::DeviceFeedback{flat, delivered_count[g], busy});
+      throughput_[g].record(delivered_count[g], busy);
+      registry.gauge("executor.gpu/" + std::to_string(flat) + "/throughput")
+          .set(throughput_[g].windowed_rate());
+      delivered_count[g] = 0;
     }
     stats.virtual_load = load_max;
     stats.virtual_preproc = preproc_max;

@@ -34,36 +34,50 @@
 #include "common/thread_pool.hpp"
 #include "common/tier_rates.hpp"
 #include "common/types.hpp"
+#include "core/feedback_balancer.hpp"
+#include "core/load_balance_config.hpp"
 #include "data/dataset.hpp"
 #include "data/sampler.hpp"
+#include "metrics/throughput_window.hpp"
 #include "runtime/distribution_manager.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/request_queue.hpp"
+#include "sim/capacity_profile.hpp"
 
 namespace lobster::runtime {
 
 class IterationWatchdog;
 
+/// Called at the top of every iteration (before enqueue) with the global
+/// iteration id, the previous iteration's per-GPU measurements (empty on the
+/// first call), and a mutable RebalancePlan. Fault harnesses hang
+/// FaultPlan::on_iteration here so "kill node 2 at iteration 5" fires at a
+/// deterministic point; balancer harnesses feed the feedback through a
+/// FeedbackBalancer (or RebalanceBarrier) and fill the plan — an active plan
+/// whose quotas cover the cluster re-splits this iteration's global batch
+/// and overrides the static per-queue thread counts.
+using IterationHook =
+    std::function<void(IterId, const core::IterationFeedback&, core::RebalancePlan&)>;
+
 struct ExecutorConfig {
   NodeId node = 0;
-  std::size_t queue_capacity = 4096;
+  /// Shared load-balance knob block (queue bound, pool cap, thread budget —
+  /// the same fields Algorithm 1 and the feedback balancer read). The pool
+  /// cap stops oversubscribing physical cores; tests pin it explicitly to
+  /// force real multi-threaded drains regardless of the host.
+  core::LoadBalanceConfig balance;
   /// Virtual fetch rates (bytes/s) per tier and preprocessing rate.
   TierRates rates = TierRates::defaults();
   Seconds t_train = 13e-3;
   /// Verify each fetched payload (integrity check; small CPU cost).
   bool verify_payloads = true;
-  /// Ceiling on concurrent loader/preproc OS threads; 0 = hardware
-  /// concurrency. The plan's per-queue thread assignment is still enforced
-  /// as drain-task shares and in the virtual-time model; the cap only stops
-  /// oversubscribing physical cores, where surplus threads buy context
-  /// switches instead of bandwidth. Tests pin it explicitly to force real
-  /// multi-threaded drains regardless of the host.
-  std::uint32_t max_pool_threads = 0;
-  /// Called at the top of every iteration (before enqueue) with the global
-  /// iteration id. Fault harnesses hang FaultPlan::on_iteration here so
-  /// "kill node 2 at iteration 5" fires at a deterministic point in the
-  /// execution, not at an arbitrary wall-clock moment.
-  std::function<void(IterId)> iteration_hook;
+  /// Iteration-indexed capacity schedule for THIS node (scale_at(iter)):
+  /// thermal throttling, co-tenant interference, a degraded NIC. Scales the
+  /// virtual-time tier and preprocessing rates, so a throttled node's
+  /// measured per-GPU throughput drops exactly as a slow node's would —
+  /// the signal the feedback balancer closes the loop on. Empty = full speed.
+  sim::CapacityProfile capacity;
+  IterationHook iteration_hook;
 };
 
 /// Multi-tenant job context (DESIGN.md §10). When a job context is set,
@@ -94,6 +108,8 @@ struct IterationExecution {
   Seconds virtual_load = 0.0;     ///< modeled max per-GPU loading time
   Seconds virtual_preproc = 0.0;  ///< modeled max per-GPU preprocessing time
   Seconds virtual_duration = 0.0; ///< max(t_train, load + preproc)
+  double capacity_scale = 1.0;    ///< config.capacity scale in force this iteration
+  bool rebalanced = false;        ///< an active RebalancePlan drove this iteration
   /// Measured wall-clock duration of the iteration body (enqueue through
   /// preproc join). Real elapsed time — the denominator the causal span
   /// analysis compares its degraded-fetch overhead attribution against.
@@ -169,6 +185,10 @@ class PlanExecutor {
   /// Residency set after the run (for invariant checks in tests).
   std::unordered_set<SampleId> resident_samples() const;
 
+  /// Previous-iteration measurements handed to the iteration hook (exposed
+  /// for tests; valid during/after run()).
+  const core::IterationFeedback& last_feedback() const noexcept { return feedback_; }
+
   /// True if `sample` is currently resident (thread-safe; used by the
   /// distribution manager's has_sample callback).
   bool has_sample(SampleId sample) const;
@@ -219,6 +239,12 @@ class PlanExecutor {
   /// different samples never contend (the old single store mutex serialized
   /// every enqueue probe and every fetch).
   StripedSet<SampleId> store_{64};
+
+  /// Per-GPU throughput history (metrics::ThroughputWindow — the same
+  /// derivation the FairnessTracker and balancer use), published under
+  /// executor.gpu/<flat rank>/throughput. Touched only by the run() thread.
+  std::vector<metrics::ThroughputWindow> throughput_;
+  core::IterationFeedback feedback_;
 
   std::atomic<std::uint64_t> payload_failures_{0};
   std::atomic<std::uint64_t> quarantined_{0};

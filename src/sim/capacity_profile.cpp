@@ -1,0 +1,62 @@
+#include "sim/capacity_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lobster::sim {
+
+CapacityProfile& CapacityProfile::at(double t, double scale) {
+  if (scale < 0.0 || scale > 1.0) {
+    throw std::invalid_argument("CapacityProfile: scale must be in [0, 1]");
+  }
+  // Insert after every step with t' <= t so a later at(t, s) overrides an
+  // earlier one at the same time.
+  const auto pos = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](double value, const Step& step) { return value < step.t; });
+  steps_.insert(pos, Step{t, scale});
+  return *this;
+}
+
+double CapacityProfile::scale_at(double t) const noexcept {
+  double scale = 1.0;
+  for (const Step& step : steps_) {
+    if (step.t > t) break;
+    scale = step.scale;
+  }
+  return scale;
+}
+
+double CapacityProfile::min_scale() const noexcept {
+  double lowest = 1.0;
+  for (const Step& step : steps_) lowest = std::min(lowest, step.scale);
+  return lowest;
+}
+
+CapacityProfile CapacityProfile::constant(double scale) {
+  CapacityProfile profile;
+  profile.at(0.0, scale);
+  return profile;
+}
+
+CapacityProfile CapacityProfile::thermal_throttle(double start, double ramp, double floor_scale) {
+  if (ramp <= 0.0) throw std::invalid_argument("thermal_throttle: ramp must be positive");
+  CapacityProfile profile;
+  profile.at(start, 0.85).at(start + ramp, 0.65).at(start + 2.0 * ramp, floor_scale);
+  return profile;
+}
+
+CapacityProfile CapacityProfile::co_tenant(double start, double end, double scale) {
+  if (end <= start) throw std::invalid_argument("co_tenant: window must be non-empty");
+  CapacityProfile profile;
+  profile.at(start, scale).at(end, 1.0);
+  return profile;
+}
+
+CapacityProfile CapacityProfile::degraded_nic(double start, double scale) {
+  CapacityProfile profile;
+  profile.at(start, scale);
+  return profile;
+}
+
+}  // namespace lobster::sim

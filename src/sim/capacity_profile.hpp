@@ -1,0 +1,73 @@
+// Time-indexed capacity schedule for heterogeneity / degradation scenarios.
+//
+// A CapacityProfile is a step function t → scale in [0, 1]: the effective
+// capacity of a channel (or a whole node's I/O + preprocessing pipeline) is
+// `nominal * scale_at(t)`. It replaces the old one-shot
+// sim::Resource::set_capacity_scale(double) choreography — harnesses used to
+// re-call that at hand-picked moments; now they declare the whole scenario
+// up front and hand it to the consumer:
+//
+//   * sim::Resource::set_capacity_profile schedules the steps as engine
+//     events on the virtual clock (t = virtual seconds);
+//   * comm::FaultSpec carries an iteration-indexed profile the FaultPlan
+//     applies on its iteration clock (t = global iteration id);
+//   * runtime::ExecutorConfig carries an iteration-indexed profile scaling
+//     the node's virtual-time tier rates (the straggler-soak slow node).
+//
+// The header is engine-free on purpose: the same type serves the
+// discrete-event simulator, the comm fault model and the online executor.
+#pragma once
+
+#include <vector>
+
+namespace lobster::sim {
+
+class CapacityProfile {
+ public:
+  struct Step {
+    double t = 0.0;      ///< time (virtual seconds or iteration index)
+    double scale = 1.0;  ///< effective capacity fraction in [0, 1]
+  };
+
+  CapacityProfile() = default;
+
+  /// Adds a step: from time `t` on, capacity is `nominal * scale`. Chainable
+  /// (`profile.at(0, 1.0).at(8, 0.5)`); steps may be added out of order.
+  /// Throws std::invalid_argument when scale is outside [0, 1].
+  CapacityProfile& at(double t, double scale);
+
+  /// Scale in effect at time `t`: the latest step with step.t <= t, or 1.0
+  /// before the first step (and for an empty profile).
+  double scale_at(double t) const noexcept;
+
+  bool empty() const noexcept { return steps_.empty(); }
+  const std::vector<Step>& steps() const noexcept { return steps_; }
+
+  /// Lowest scale anywhere in the schedule (1.0 when empty) — the "how bad
+  /// does it get" summary harnesses gate on.
+  double min_scale() const noexcept;
+
+  // --- Named presets (t units follow the consumer's clock) ---
+
+  /// Single-step profile: `scale` from t = 0 on. The compatibility shape the
+  /// old set_capacity_scale(double) calls map onto.
+  static CapacityProfile constant(double scale);
+
+  /// Thermal throttling: a three-step ramp starting at `start`, stepping
+  /// down every `ramp` time units to `floor_scale` (0.85 → 0.65 → floor),
+  /// then holding — the sustained-load DVFS staircase.
+  static CapacityProfile thermal_throttle(double start, double ramp, double floor_scale = 0.45);
+
+  /// Co-tenant interference: capacity drops to `scale` for the window
+  /// [start, end), then recovers to full.
+  static CapacityProfile co_tenant(double start, double end, double scale = 0.6);
+
+  /// Degraded NIC: a hard drop to `scale` at `start` that never recovers
+  /// (link renegotiated down / half-duplex fallback).
+  static CapacityProfile degraded_nic(double start, double scale = 0.25);
+
+ private:
+  std::vector<Step> steps_;  ///< kept sorted by t (stable for equal t: last wins)
+};
+
+}  // namespace lobster::sim

@@ -27,13 +27,31 @@ double Resource::rate_for(std::size_t n) const noexcept {
   return std::min(capacity_bps_ * scale_ / static_cast<double>(n), per_stream_bps_);
 }
 
-void Resource::set_capacity_scale(double scale) {
+void Resource::apply_scale(double scale) {
   if (scale < 0.0 || scale > 1.0) {
     throw std::invalid_argument("Resource: capacity scale must be in [0, 1]");
   }
   settle();  // in-flight bytes advance at the old rate up to now()
   scale_ = scale;
   reschedule();
+}
+
+void Resource::set_capacity_profile(CapacityProfile profile) {
+  // A newer profile supersedes the old one's future steps; the generation
+  // stamp lets already-queued step events recognise they are stale (the
+  // engine has no bulk cancel, and individual cancels would need us to
+  // track every EventId).
+  const std::uint64_t generation = ++profile_generation_;
+  const Seconds now = engine_.now();
+  apply_scale(profile.scale_at(now));
+  for (const CapacityProfile::Step& step : profile.steps()) {
+    if (step.t <= now) continue;
+    const double scale = step.scale;
+    engine_.schedule_at(step.t, [this, generation, scale] {
+      if (generation != profile_generation_) return;  // superseded
+      apply_scale(scale);
+    });
+  }
 }
 
 JobId Resource::submit(Bytes bytes, JobCompletion on_done) {

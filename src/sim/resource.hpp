@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "common/types.hpp"
+#include "sim/capacity_profile.hpp"
 #include "sim/engine.hpp"
 
 namespace lobster::sim {
@@ -48,13 +49,18 @@ class Resource {
   double capacity_bps() const noexcept { return capacity_bps_; }
   double per_stream_bps() const noexcept { return per_stream_bps_; }
 
-  /// Degrades (or restores) the channel mid-simulation: effective capacity
-  /// becomes capacity_bps * scale. The fault model's virtual-time analogue
-  /// of killing or throttling a NIC — 0.5 is a half-speed link, 0.0 stalls
-  /// every in-flight job until the scale is raised again. In-flight progress
-  /// is settled at the old rate first, so the change takes effect exactly at
-  /// the current virtual time. Scale must be in [0, 1].
-  void set_capacity_scale(double scale);
+  /// Degrades (and restores) the channel per a time-indexed schedule: the
+  /// step at (or before) now() applies immediately, every future step is
+  /// scheduled as an engine event, so `capacity_bps * profile.scale_at(t)`
+  /// holds for the rest of the run — 0.5 is a half-speed link, 0.0 stalls
+  /// every in-flight job until a later step raises the scale. In-flight
+  /// progress is settled at the old rate before each step applies, so
+  /// changes take effect exactly at their virtual time. Replaces any
+  /// previously set profile's *future* steps (already-applied ones stand).
+  void set_capacity_profile(CapacityProfile profile);
+
+  /// Compatibility overload: an immediate one-step profile at now().
+  void set_capacity_scale(double scale) { set_capacity_profile(CapacityProfile::constant(scale)); }
   double capacity_scale() const noexcept { return scale_; }
 
   /// Instantaneous per-job rate with `n` active jobs.
@@ -78,12 +84,15 @@ class Resource {
   void settle();
   void reschedule();
   void complete_due_jobs();
+  /// Settles in-flight progress, then switches to `scale` at now().
+  void apply_scale(double scale);
 
   Engine& engine_;
   std::string name_;
   double capacity_bps_;
   double per_stream_bps_;
   double scale_ = 1.0;
+  std::uint64_t profile_generation_ = 0;  ///< invalidates superseded profile steps
 
   std::unordered_map<JobId, Job> jobs_;
   JobId next_id_ = 1;

@@ -34,6 +34,10 @@
 //                        (cluster.job_starvations grew): a queued job has
 //                        waited past the starvation threshold (DESIGN.md
 //                        §10) and the scheduler policy deserves a look.
+//  * slow_node_detected — the feedback balancer classified at least one
+//                        node as slow since the last sample
+//                        (balancer.slow_node_detected grew): quotas are
+//                        draining away from a straggler (DESIGN.md §12).
 //
 // sample_once() is public and synchronous so tests (and one-shot CLI use)
 // can exercise the exact code path the thread runs, without timing games.
@@ -91,6 +95,7 @@ struct MonitorSample {
   std::uint64_t iteration_stalls = 0;  ///< executor.iteration_stalls counter
   std::uint64_t corrupt_replies = 0;   ///< comm.corrupt_replies counter
   std::uint64_t job_starvations = 0;   ///< cluster.job_starvations counter
+  std::uint64_t slow_node_events = 0;  ///< balancer.slow_node_detected counter
   double jobs_running = 0.0;           ///< cluster.jobs_running gauge
   double jobs_queued = 0.0;            ///< cluster.jobs_queued gauge
 
@@ -104,6 +109,7 @@ struct MonitorSample {
   std::uint64_t d_iteration_stalls = 0;
   std::uint64_t d_corrupt_replies = 0;
   std::uint64_t d_job_starvations = 0;
+  std::uint64_t d_slow_node_events = 0;
 
   bool straggler_gap = false;
   bool prefetch_outrun = false;
@@ -114,11 +120,12 @@ struct MonitorSample {
   bool iteration_stalled = false;
   bool corruption_detected = false;
   bool job_starved = false;
+  bool slow_node_detected = false;
 
   bool any_flag() const noexcept {
     return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow ||
            peer_down || retry_storm || iteration_stalled || corruption_detected ||
-           job_starved;
+           job_starved || slow_node_detected;
   }
   double cache_hit_ratio() const noexcept {
     const auto total = cache_hits + cache_misses;

@@ -154,7 +154,7 @@ TEST(ExecutorConcurrency, MultiThreadedDrainDeliversExactlyOnce) {
 
   ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 6;
+  config.balance.max_pool_threads = 6;
   PlanExecutor executor(config, catalog, sampler, plan);
   const auto report = executor.run();
 
@@ -178,8 +178,8 @@ TEST(ExecutorConcurrency, SpilledRequestsAreStillDeliveredExactlyOnce) {
 
   ExecutorConfig config;
   config.node = 0;
-  config.queue_capacity = 16;  // < kBatch → guaranteed overflow
-  config.max_pool_threads = 4;
+  config.balance.queue_capacity = 16;  // < kBatch → guaranteed overflow
+  config.balance.max_pool_threads = 4;
   PlanExecutor executor(config, catalog, sampler, plan);
   const auto report = executor.run();
 

@@ -447,8 +447,9 @@ FaultRunResult run_fault_cluster(std::uint16_t nodes, std::uint32_t iters,
 
   ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 4;
-  config.iteration_hook = [&fault](IterId iter) { fault.on_iteration(iter); };
+  config.balance.max_pool_threads = 4;
+  config.iteration_hook = [&fault](IterId iter, const core::IterationFeedback&,
+                                   core::RebalancePlan&) { fault.on_iteration(iter); };
   PlanExecutor executor(config, catalog, sampler, plan);
   executor.set_manager(&client);
   executor.set_directory(&directory);

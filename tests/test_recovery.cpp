@@ -252,7 +252,7 @@ TEST(RecoveryExecutor, CorruptHolderIsBypassedToTheNextReplica) {
 
   ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 4;
+  config.balance.max_pool_threads = 4;
   PlanExecutor executor(config, catalog, sampler, plan);
   executor.set_manager(&client);
   executor.set_directory(&directory);
@@ -294,7 +294,7 @@ TEST(RecoveryExecutor, CorruptKvEntryIsEvictedAndRepublishedVerified) {
 
   ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 2;
+  config.balance.max_pool_threads = 2;
   PlanExecutor executor(config, catalog, sampler, plan);
   executor.set_manager(&client);  // forces the remote tier (and the KV probe)
   executor.set_kv_store(&kv);
@@ -470,7 +470,7 @@ TEST(RecoveryWatchdog, ExecutorBracketsIterationsThroughTheHook) {
 
   ExecutorConfig config;
   config.node = 0;
-  config.max_pool_threads = 2;
+  config.balance.max_pool_threads = 2;
   PlanExecutor executor(config, catalog, sampler, plan);
   executor.set_watchdog(&watchdog);
   const auto report = executor.run();

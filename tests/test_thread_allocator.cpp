@@ -36,8 +36,8 @@ struct AllocatorFixture : public ::testing::Test {
 
   AllocatorConfig config_with(std::uint32_t budget, Seconds tau = 0.5e-3) {
     AllocatorConfig config;
-    config.total_load_threads = budget;
-    config.tau = tau;
+    config.balance.total_load_threads = budget;
+    config.balance.tau = tau;
     return config;
   }
 
@@ -49,7 +49,7 @@ struct AllocatorFixture : public ::testing::Test {
 TEST_F(AllocatorFixture, RejectsBadConfig) {
   EXPECT_THROW(ThreadAllocator(model, config_with(0)), std::invalid_argument);
   AllocatorConfig bad = config_with(8);
-  bad.tau = 0.0;
+  bad.balance.tau = 0.0;
   EXPECT_THROW(ThreadAllocator(model, bad), std::invalid_argument);
 }
 

@@ -51,7 +51,7 @@ HEARTBEAT_SCHEMA = "lobster.heartbeat.v1"
 HEARTBEAT_FLAGS = {
     "straggler_gap", "prefetch_outrun", "queue_starved", "trace_ring_overflow",
     "peer_down", "retry_storm", "iteration_stalled", "corruption_detected",
-    "job_starved",
+    "job_starved", "slow_node_detected",
 }
 EVENTS_SCHEMA = "lobster.events.v1"
 EVENT_KINDS = {
