@@ -1,0 +1,390 @@
+// Preemptive fair-share + elasticity soak (DESIGN.md §13): an OVERSUBSCRIBED
+// trace — aggregate node demand far above the pool (pool <= 0.6x demand),
+// mixed block widths, high-weight bursts arriving mid-run, and an elastic
+// job that must both shrink under queue pressure and grow back into freed
+// capacity — driven twice through the cluster runtime:
+//   * preemptive:     kFairSharePreemptive + epoch-boundary elastic resize
+//                     (checkpoint-based eviction of low-deficit runners);
+//   * non-preemptive: plain kFairShare, no resize (the PR-8 scheduler).
+//
+// The harness exits non-zero unless the §13 invariants hold:
+//   1. every job in both runs finishes, exactly-once, with zero starvation;
+//   2. every preempted/resumed/resized job's delivery digest equals its
+//      ISOLATED run's digest — the resumed stream is byte-identical to an
+//      uninterrupted one, across every checkpoint cycle;
+//   3. at least one job is preempted AND resumed, and the elastic job both
+//      grows and shrinks mid-trace;
+//   4. preemption pays: non-preemptive p95 slowdown / preemptive p95
+//      slowdown >= `ratio_gate` (default 1.2x) — evicting low-deficit
+//      runners for starved bursts compresses the tail of the slowdown
+//      distribution.
+//
+// Results are emitted as `lobster.cluster_metrics.v1` JSON (jobs = the
+// preemptive run) with `preemptive_p95_slowdown` / `nonpreemptive_p95_
+// slowdown` scalars so CI can gate the committed BENCH_preempt.json via
+//   validate_metrics.py --gate-ratio
+//       "nonpreemptive_p95_slowdown/preemptive_p95_slowdown>=1.2"
+//
+//   $ ./preempt_soak [jobs=10] [nodes=16] [scale=1.0] [t_train_ms=4]
+//                    [starvation_rounds=96] [ratio_gate=1.2]
+//                    [--metrics-json BENCH_preempt.json]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster_runtime.hpp"
+#include "common/table.hpp"
+#include "telemetry/analysis/json.hpp"
+
+using namespace lobster;
+
+namespace {
+
+// One tenant template. Aggregate demand across the default ten is 42 nodes
+// against a 16-node pool (0.38x supply), widths {2, 4, 6}, and the bursts
+// arrive mid-run with weights that out-deficit the background jobs fast.
+struct JobTemplate {
+  const char* name;
+  const char* model;
+  std::uint16_t nodes;
+  std::uint16_t min_nodes;  ///< elastic lower bound (0 = inelastic)
+  std::uint16_t max_nodes;  ///< elastic upper bound (0 = inelastic)
+  std::uint32_t epochs;
+  std::uint32_t iters_per_epoch;
+  double weight;
+  std::uint64_t arrival_round;
+  bool shared_dataset;
+};
+
+constexpr JobTemplate kTemplates[] = {
+    {"bg-a", "resnet50", 6, 0, 0, 3, 24, 0.5, 0, false},
+    {"bg-b", "resnet50", 6, 0, 0, 3, 24, 0.5, 0, true},
+    {"elastic", "resnet18", 4, 2, 8, 8, 8, 1.0, 0, false},
+    {"burst-1", "alexnet", 4, 0, 0, 1, 8, 4.0, 6, false},
+    {"burst-2", "alexnet", 6, 0, 0, 1, 8, 4.0, 14, true},
+    {"burst-3", "vgg16", 4, 0, 0, 1, 8, 3.0, 22, false},
+    {"small-a", "resnet18", 2, 0, 0, 2, 10, 1.0, 4, false},
+    {"small-b", "resnet18", 2, 0, 0, 2, 10, 1.0, 10, false},
+    {"burst-4", "alexnet", 4, 0, 0, 1, 8, 4.0, 30, false},
+    {"mid-c", "resnet50", 4, 0, 0, 2, 12, 1.5, 18, false},
+};
+constexpr std::size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
+constexpr Bytes kSampleBytes = 48 * 1024;
+constexpr std::uint32_t kGpusPerNode = 2;
+constexpr std::uint32_t kBatchSize = 16;
+
+double p95_slowdown(const cluster::ClusterResult& result) {
+  std::vector<double> slowdowns;
+  for (const auto& job : result.jobs) slowdowns.push_back(job.slowdown);
+  if (slowdowns.empty()) return 0.0;
+  std::sort(slowdowns.begin(), slowdowns.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(slowdowns.size())));
+  return slowdowns[std::min(slowdowns.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+void append_field(std::string& out, const char* key, bool first = false) {
+  if (!first) out += ", ";
+  telemetry::analysis::append_json_quoted(out, key);
+  out += ": ";
+}
+
+void scalar(std::string& out, const char* key, double value) {
+  out += ",\n  ";
+  telemetry::analysis::append_json_quoted(out, key);
+  out += strf(": %.9g", value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const auto jobs = static_cast<std::uint32_t>(config.get_int("jobs", 10));
+  const auto nodes = static_cast<std::uint16_t>(config.get_int("nodes", 16));
+  const double scale = config.get_double("scale", 1.0);
+  const double t_train_ms = config.get_double("t_train_ms", 4.0);
+  const auto starvation_rounds =
+      static_cast<std::uint64_t>(config.get_int("starvation_rounds", 96));
+  const double ratio_gate = config.get_double("ratio_gate", 1.2);
+  const std::string metrics_path = config.get_string("metrics_json", "");
+  bench::warn_unconsumed(config);
+
+  bench::print_header(
+      strf("preempt_soak — %u jobs on %u nodes, preemptive vs non-preemptive",
+           jobs, nodes),
+      "oversubscribed trace: checkpoint-based preemption + elastic resize "
+      "must compress the slowdown tail without breaking exactly-once");
+
+  // Build one spec list, submitted identically to both runs.
+  const auto shared_samples = static_cast<std::uint32_t>(
+      std::max(1.0, scale * 24.0 * 6 * kGpusPerNode * kBatchSize));
+  const auto shared_dataset =
+      data::DatasetSpec::uniform(shared_samples, kSampleBytes, "preempt-shared");
+  std::vector<cluster::JobSpec> specs;
+  std::uint64_t demand_nodes = 0;
+  for (std::uint32_t i = 0; i < jobs; ++i) {
+    const JobTemplate& t = kTemplates[i % kTemplateCount];
+    cluster::JobSpec spec;
+    spec.name = i < kTemplateCount
+                    ? t.name
+                    : strf("%s-%u", t.name, static_cast<unsigned>(i / kTemplateCount));
+    spec.model = t.model;
+    spec.nodes = t.nodes;
+    spec.min_nodes = t.min_nodes;
+    spec.max_nodes = t.max_nodes;
+    spec.gpus_per_node = kGpusPerNode;
+    spec.batch_size = kBatchSize;
+    spec.epochs = t.epochs;
+    spec.weight = t.weight;
+    spec.arrival_round = t.arrival_round + 48ull * (i / kTemplateCount);
+    spec.sampler_seed = 42 + i;
+    if (t.shared_dataset) {
+      spec.dataset = shared_dataset;
+      spec.dataset_seed = 7;
+    } else {
+      const auto samples = static_cast<std::uint32_t>(std::max(
+          1.0, scale * t.iters_per_epoch * spec.nodes * kGpusPerNode * kBatchSize));
+      spec.dataset =
+          data::DatasetSpec::uniform(samples, kSampleBytes, strf("preempt-%u", i));
+      spec.dataset_seed = 100 + i;
+    }
+    demand_nodes += spec.nodes;
+    specs.push_back(spec);
+  }
+
+  const auto run_with = [&](cluster::SchedulerPolicy policy, bool elastic) {
+    cluster::ClusterConfig cluster_config;
+    cluster_config.nodes = nodes;
+    cluster_config.policy = policy;
+    cluster_config.elastic_resize = elastic;
+    cluster_config.t_train_s = t_train_ms * 1e-3;
+    cluster_config.starvation_rounds = starvation_rounds;
+    cluster::ClusterRuntime runtime(cluster_config);
+    for (const auto& spec : specs) runtime.submit(spec);
+    return runtime.run();
+  };
+  const auto preemptive = run_with(cluster::SchedulerPolicy::kFairSharePreemptive, true);
+  const auto baseline = run_with(cluster::SchedulerPolicy::kFairShare, false);
+
+  Table table({"job", "nodes", "w", "arrive", "admit", "finish", "preempts",
+               "resizes", "turnaround_s", "slowdown", "base_slowdown", "digest",
+               "delivered"});
+  for (std::size_t i = 0; i < preemptive.jobs.size(); ++i) {
+    const auto& job = preemptive.jobs[i];
+    const auto& spec = specs[i];
+    table.add_row(
+        {job.name, strf("%u>%u", spec.nodes, job.final_width),
+         strf("%.1f", spec.weight),
+         strf("%llu", static_cast<unsigned long long>(job.submit_round)),
+         strf("%llu", static_cast<unsigned long long>(job.admit_round)),
+         strf("%llu", static_cast<unsigned long long>(job.finish_round)),
+         strf("%u", job.preemptions),
+         strf("%u(+%u/-%u)", job.resizes, job.grows, job.shrinks),
+         strf("%.3f", job.turnaround_s), strf("%.2fx", job.slowdown),
+         strf("%.2fx", baseline.jobs[i].slowdown), job.digest_match ? "ok" : "MISMATCH",
+         strf("%llu/%llu", static_cast<unsigned long long>(job.samples_delivered),
+              static_cast<unsigned long long>(job.samples_expected))});
+  }
+  bench::emit(config, "preempt_soak", table);
+
+  const double p95_pre = p95_slowdown(preemptive);
+  const double p95_base = p95_slowdown(baseline);
+  std::uint32_t elastic_grows = 0, elastic_shrinks = 0, preempted_jobs = 0;
+  for (const auto& job : preemptive.jobs) {
+    elastic_grows += job.grows;
+    elastic_shrinks += job.shrinks;
+    preempted_jobs += job.preemptions > 0 ? 1 : 0;
+  }
+  std::printf(
+      "preemptive:     rounds=%llu makespan=%.3fs p95_slowdown=%.2fx preemptions=%llu "
+      "resumes=%llu resizes=%llu checkpoints=%llu (%llu bytes)\n",
+      static_cast<unsigned long long>(preemptive.rounds), preemptive.makespan_s, p95_pre,
+      static_cast<unsigned long long>(preemptive.preemptions),
+      static_cast<unsigned long long>(preemptive.resumes),
+      static_cast<unsigned long long>(preemptive.resizes),
+      static_cast<unsigned long long>(preemptive.checkpoints_cut),
+      static_cast<unsigned long long>(preemptive.checkpoint_bytes));
+  std::printf(
+      "non-preemptive: rounds=%llu makespan=%.3fs p95_slowdown=%.2fx\n",
+      static_cast<unsigned long long>(baseline.rounds), baseline.makespan_s, p95_base);
+  std::printf(
+      "residency: restored=%llu lost=%llu; digests: %llu match / %llu mismatch\n",
+      static_cast<unsigned long long>(preemptive.residency_restored),
+      static_cast<unsigned long long>(preemptive.residency_lost),
+      static_cast<unsigned long long>(preemptive.digest_matches),
+      static_cast<unsigned long long>(preemptive.digest_mismatches));
+
+  // ---- invariant gates -----------------------------------------------------
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  };
+  std::printf("gates:\n");
+  gate(10 * nodes <= 6 * demand_nodes,
+       strf("oversubscribed: pool %u <= 0.6 x %llu aggregate node demand", nodes,
+            static_cast<unsigned long long>(demand_nodes)));
+  bool all_finished = true;
+  bool exactly_once = true;
+  bool digests_ok = true;
+  for (const auto* result : {&preemptive, &baseline}) {
+    for (const auto& job : result->jobs) {
+      if (job.state != cluster::JobState::kFinished) all_finished = false;
+      if (job.samples_delivered != job.samples_expected) exactly_once = false;
+      if (!job.digest_match) digests_ok = false;
+    }
+  }
+  gate(all_finished, "every job ran to completion (both runs)");
+  gate(exactly_once, "exactly-once delivery per job (both runs)");
+  gate(preemptive.starvation_events == 0 && baseline.starvation_events == 0,
+       strf("zero starvation (preemptive=%llu baseline=%llu)",
+            static_cast<unsigned long long>(preemptive.starvation_events),
+            static_cast<unsigned long long>(baseline.starvation_events)));
+  gate(digests_ok && preemptive.digest_mismatches == 0,
+       "delivery digest identical to the isolated run for every job, across "
+       "all preempt/resume/resize cycles");
+  gate(preemptive.preemptions >= 1 && preemptive.resumes >= 1,
+       strf("preemption exercised: %llu preemptions, %llu resumes",
+            static_cast<unsigned long long>(preemptive.preemptions),
+            static_cast<unsigned long long>(preemptive.resumes)));
+  gate(elastic_grows >= 1 && elastic_shrinks >= 1,
+       strf("elastic job grew (%u) and shrank (%u) mid-trace", elastic_grows,
+            elastic_shrinks));
+  gate(p95_pre > 0.0 && p95_base / p95_pre >= ratio_gate,
+       strf("p95 slowdown improvement %.2fx >= %.2fx (%.2fx -> %.2fx)",
+            p95_pre > 0.0 ? p95_base / p95_pre : 0.0, ratio_gate, p95_base, p95_pre));
+
+  // ---- structured metrics artifact ----------------------------------------
+  if (!metrics_path.empty()) {
+    namespace aj = telemetry::analysis;
+    std::string out;
+    out.reserve(8192);
+    out += "{\n  ";
+    aj::append_json_quoted(out, "schema");
+    out += ": ";
+    aj::append_json_quoted(out, bench::kClusterMetricsSchema);
+    out += ",\n  ";
+    aj::append_json_quoted(out, "bench");
+    out += ": ";
+    aj::append_json_quoted(out, "preempt_soak");
+    out += ",\n  ";
+    aj::append_json_quoted(out, "policy");
+    out += ": ";
+    aj::append_json_quoted(out,
+                           cluster::scheduler_policy_name(
+                               cluster::SchedulerPolicy::kFairSharePreemptive));
+    scalar(out, "jobs_submitted", static_cast<double>(preemptive.jobs.size()));
+    scalar(out, "nodes", static_cast<double>(nodes));
+    scalar(out, "aggregate_node_demand", static_cast<double>(demand_nodes));
+    scalar(out, "rounds", static_cast<double>(preemptive.rounds));
+    scalar(out, "makespan_s", preemptive.makespan_s);
+    scalar(out, "nonpreemptive_makespan_s", baseline.makespan_s);
+    scalar(out, "preemptive_p95_slowdown", p95_pre);
+    scalar(out, "nonpreemptive_p95_slowdown", p95_base);
+    scalar(out, "max_slowdown", preemptive.max_slowdown);
+    scalar(out, "nonpreemptive_max_slowdown", baseline.max_slowdown);
+    scalar(out, "starvation_events", static_cast<double>(preemptive.starvation_events));
+    scalar(out, "nonpreemptive_starvation_events",
+           static_cast<double>(baseline.starvation_events));
+    scalar(out, "preemptions", static_cast<double>(preemptive.preemptions));
+    scalar(out, "resumes", static_cast<double>(preemptive.resumes));
+    scalar(out, "resizes", static_cast<double>(preemptive.resizes));
+    scalar(out, "checkpoints_cut", static_cast<double>(preemptive.checkpoints_cut));
+    scalar(out, "checkpoint_bytes", static_cast<double>(preemptive.checkpoint_bytes));
+    scalar(out, "residency_restored", static_cast<double>(preemptive.residency_restored));
+    scalar(out, "residency_lost", static_cast<double>(preemptive.residency_lost));
+    scalar(out, "digest_matches", static_cast<double>(preemptive.digest_matches));
+    scalar(out, "digest_mismatches", static_cast<double>(preemptive.digest_mismatches));
+    scalar(out, "elastic_grows", static_cast<double>(elastic_grows));
+    scalar(out, "elastic_shrinks", static_cast<double>(elastic_shrinks));
+    scalar(out, "preempted_jobs", static_cast<double>(preempted_jobs));
+    scalar(out, "total_pfs_reads", static_cast<double>(preemptive.total_pfs_reads));
+    scalar(out, "total_kv_hits", static_cast<double>(preemptive.total_kv_hits));
+    scalar(out, "exactly_once", exactly_once ? 1.0 : 0.0);
+    out += ",\n  ";
+    aj::append_json_quoted(out, "jobs");
+    out += ": [";
+    for (std::size_t i = 0; i < preemptive.jobs.size(); ++i) {
+      const auto& job = preemptive.jobs[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {";
+      append_field(out, "name", true);
+      aj::append_json_quoted(out, job.name);
+      append_field(out, "model");
+      aj::append_json_quoted(out, specs[i].model);
+      append_field(out, "state");
+      aj::append_json_quoted(out, cluster::job_state_name(job.state));
+      append_field(out, "nodes");
+      out += strf("%u", specs[i].nodes);
+      append_field(out, "final_width");
+      out += strf("%u", job.final_width);
+      append_field(out, "shared_namespace");
+      out += job.shared_namespace ? "true" : "false";
+      append_field(out, "starved");
+      out += job.starved ? "true" : "false";
+      append_field(out, "submit_round");
+      out += strf("%llu", static_cast<unsigned long long>(job.submit_round));
+      append_field(out, "admit_round");
+      out += strf("%llu", static_cast<unsigned long long>(job.admit_round));
+      append_field(out, "finish_round");
+      out += strf("%llu", static_cast<unsigned long long>(job.finish_round));
+      append_field(out, "queue_wait_s");
+      out += strf("%.9g", job.queue_wait_s);
+      append_field(out, "total_wait_rounds");
+      out += strf("%llu", static_cast<unsigned long long>(job.total_wait_rounds));
+      append_field(out, "turnaround_s");
+      out += strf("%.9g", job.turnaround_s);
+      append_field(out, "isolated_s");
+      out += strf("%.9g", job.isolated_s);
+      append_field(out, "slowdown");
+      out += strf("%.9g", job.slowdown);
+      append_field(out, "nonpreemptive_slowdown");
+      out += strf("%.9g", baseline.jobs[i].slowdown);
+      append_field(out, "preemptions");
+      out += strf("%u", job.preemptions);
+      append_field(out, "resizes");
+      out += strf("%u", job.resizes);
+      append_field(out, "grows");
+      out += strf("%u", job.grows);
+      append_field(out, "shrinks");
+      out += strf("%u", job.shrinks);
+      append_field(out, "digest_match");
+      out += job.digest_match ? "true" : "false";
+      append_field(out, "iterations");
+      out += strf("%llu", static_cast<unsigned long long>(job.iterations));
+      append_field(out, "samples_expected");
+      out += strf("%llu", static_cast<unsigned long long>(job.samples_expected));
+      append_field(out, "samples_delivered");
+      out += strf("%llu", static_cast<unsigned long long>(job.samples_delivered));
+      append_field(out, "local_hits");
+      out += strf("%llu", static_cast<unsigned long long>(job.local_hits));
+      append_field(out, "kv_hits");
+      out += strf("%llu", static_cast<unsigned long long>(job.kv_hits));
+      append_field(out, "pfs_reads");
+      out += strf("%llu", static_cast<unsigned long long>(job.pfs_reads));
+      append_field(out, "isolated_pfs_reads");
+      out += strf("%llu", static_cast<unsigned long long>(job.isolated_pfs_reads));
+      out += '}';
+    }
+    out += preemptive.jobs.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    std::ofstream file(metrics_path);
+    if (!file) {
+      std::fprintf(stderr, "warning: cannot write metrics json %s\n", metrics_path.c_str());
+    } else {
+      file << out;
+      std::printf("(metrics json written to %s)\n", metrics_path.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "preempt_soak: %d gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("preempt_soak: all gates passed\n");
+  return 0;
+}

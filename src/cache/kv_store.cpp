@@ -1,5 +1,6 @@
 #include "cache/kv_store.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <utility>
@@ -123,6 +124,18 @@ Bytes KvStore::bytes_in_namespace(std::uint32_t ns) const {
     }
   }
   return total;
+}
+
+std::vector<SampleId> KvStore::keys_in_namespace(std::uint32_t ns) const {
+  std::vector<SampleId> keys;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    for (const auto& [key, payload] : shard.entries) {
+      if (namespace_of(key) == ns) keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 std::size_t KvStore::erase_namespace(std::uint32_t ns) {

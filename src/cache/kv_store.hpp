@@ -73,6 +73,12 @@ class KvStore {
   /// Returns the number of entries erased.
   std::size_t erase_namespace(std::uint32_t ns);
 
+  /// Sorted keys currently held under one namespace — the store-truth side
+  /// of a checkpoint residency manifest (DESIGN.md §13): restore replays
+  /// only entries the store still holds, and the sort keeps manifests
+  /// deterministic. Aggregates over shards — not a hot-path call.
+  std::vector<SampleId> keys_in_namespace(std::uint32_t ns) const;
+
   struct Stats {
     std::uint64_t puts = 0;
     std::uint64_t get_hits = 0;

@@ -122,6 +122,26 @@ Bytes KvBudgetArbiter::drop_namespace(cache::NamespaceId ns,
   return freed;
 }
 
+std::vector<KvBudgetArbiter::ManifestEntry> KvBudgetArbiter::namespace_manifest(
+    cache::NamespaceId ns) const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<ManifestEntry> manifest;
+  for (const auto& [key, entry] : entries_) {
+    if (cache::namespace_of(key) == ns) manifest.push_back({key, entry.holder, entry.bytes});
+  }
+  std::sort(manifest.begin(), manifest.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) { return a.key < b.key; });
+  return manifest;
+}
+
+bool KvBudgetArbiter::rehome(SampleId key, NodeId holder) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.holder = holder;
+  return true;
+}
+
 KvBudgetArbiter::Stats KvBudgetArbiter::stats() const {
   const std::scoped_lock lock(mutex_);
   return stats_;

@@ -78,6 +78,22 @@ class KvBudgetArbiter {
   /// namespace — the dataset's last job released it. Returns bytes freed.
   Bytes drop_namespace(cache::NamespaceId ns, cache::CacheDirectory* directory);
 
+  /// One live entry of a namespace, as seen by the arbiter's books — the
+  /// checkpoint residency manifest's source (DESIGN.md §13).
+  struct ManifestEntry {
+    SampleId key = 0;  ///< full namespaced key
+    NodeId holder = 0;
+    Bytes bytes = 0;
+  };
+  /// Every tracked entry of `ns`, sorted by key (deterministic manifests).
+  std::vector<ManifestEntry> namespace_manifest(cache::NamespaceId ns) const;
+
+  /// Moves an entry's recorded holder (checkpoint restore onto a different
+  /// node block). Returns false for an untracked key. The caller keeps the
+  /// CacheDirectory in sync (remove old / add new) — the arbiter only owns
+  /// the accounting.
+  bool rehome(SampleId key, NodeId holder);
+
   Stats stats() const;
 
  private:

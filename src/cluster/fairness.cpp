@@ -27,21 +27,39 @@ void FairnessTracker::set_isolated_baseline(JobId id, const std::string& name,
 
 void FairnessTracker::observe_round(const JobManager& manager, std::uint64_t round) {
   auto& registry = telemetry::MetricRegistry::instance();
+  const auto flag_starved = [&](JobId id, const JobRecord& record) {
+    JobFairness& entry = slot(id, record.spec.name);
+    // Flag once per job, over its whole lifetime: a job that starved while
+    // queued and is later preempted must not be counted again (and the
+    // flag never re-arms on resume), so preempt/resume cycles can neither
+    // double-count a job nor launder an earlier starvation away.
+    if (entry.starved) return;
+    entry.starved = true;
+    ++starvation_events_;
+    LOBSTER_METRIC_COUNT("cluster.job_starvations", 1);
+    registry.counter(job_metric_prefix(record.spec.name) + "starved").add(1);
+  };
   std::size_t waiting = 0;
   for (const JobId id : manager.queued()) {
     const JobRecord& record = manager.record(id);
     if (record.submit_round > round) continue;  // arrival still in the future
     ++waiting;
     if (round - record.submit_round < starvation_rounds_) continue;
-    JobFairness& entry = slot(id, record.spec.name);
-    if (entry.starved) continue;  // flag once per job
-    entry.starved = true;
-    ++starvation_events_;
-    LOBSTER_METRIC_COUNT("cluster.job_starvations", 1);
-    registry.counter(job_metric_prefix(record.spec.name) + "starved").add(1);
+    flag_starved(id, record);
+  }
+  // Preempted jobs are waiting too: a job evicted and never resumed within
+  // the threshold is starved exactly like a never-admitted one (DESIGN.md
+  // §13 — eviction must not become silent starvation).
+  std::size_t preempted = 0;
+  for (const JobId id : manager.preempted()) {
+    const JobRecord& record = manager.record(id);
+    ++preempted;
+    if (round - record.preempt_round < starvation_rounds_) continue;
+    flag_starved(id, record);
   }
   LOBSTER_METRIC_GAUGE("cluster.jobs_running", manager.running().size());
   LOBSTER_METRIC_GAUGE("cluster.jobs_queued", waiting);
+  LOBSTER_METRIC_GAUGE("cluster.jobs_preempted", preempted);
   LOBSTER_METRIC_GAUGE("cluster.nodes_busy", manager.total_nodes() - manager.free_nodes());
 }
 
@@ -65,6 +83,11 @@ void FairnessTracker::on_finish(const JobRecord& job, double submit_clock_s,
   JobFairness& entry = slot(job.id, job.spec.name);
   entry.queue_wait_s = admit_clock_s - submit_clock_s;
   entry.queue_wait_rounds = job.queue_wait_rounds();
+  entry.total_wait_rounds = job.total_wait_rounds;
+  entry.preemptions = job.preempt_count;
+  entry.resizes = job.resize_count;
+  // Turnaround runs submit -> finish with no reset on resume: every
+  // preempted stretch is inside it, so slowdown prices preemption honestly.
   entry.turnaround_s = finish_clock_s - submit_clock_s;
   entry.slowdown = entry.isolated_s > 0.0 ? entry.turnaround_s / entry.isolated_s : 0.0;
   entry.finished = true;
@@ -75,6 +98,8 @@ void FairnessTracker::on_finish(const JobRecord& job, double submit_clock_s,
   const std::string prefix = job_metric_prefix(job.spec.name);
   registry.counter(prefix + "iterations").add(job.iterations_done);
   registry.counter(prefix + "queue_wait_rounds").add(entry.queue_wait_rounds);
+  registry.counter(prefix + "preemptions").add(entry.preemptions);
+  registry.counter(prefix + "resizes").add(entry.resizes);
   registry.gauge(prefix + "turnaround_s").set(entry.turnaround_s);
   registry.gauge(prefix + "slowdown").set(entry.slowdown);
 }

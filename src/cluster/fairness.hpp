@@ -33,11 +33,18 @@ class FairnessTracker {
   struct JobFairness {
     std::string name;
     double isolated_s = 0.0;          ///< baseline run time alone (0 = unknown)
-    double queue_wait_s = 0.0;        ///< submit -> admit on the cluster clock
+    double queue_wait_s = 0.0;        ///< submit -> first admit on the cluster clock
     double turnaround_s = 0.0;        ///< submit -> finish on the cluster clock
     std::uint64_t queue_wait_rounds = 0;
+    /// Rounds spent off the cluster in total: initial queue wait plus every
+    /// preempted stretch. Turnaround (and therefore slowdown) is measured
+    /// submit -> finish, so preempted wait counts toward slowdown by
+    /// construction — resume never resets the clock.
+    std::uint64_t total_wait_rounds = 0;
+    std::uint32_t preemptions = 0;    ///< times this job was evicted
+    std::uint32_t resizes = 0;        ///< elastic width changes
     double slowdown = 0.0;            ///< turnaround_s / isolated_s (0 = unknown)
-    bool starved = false;             ///< queue wait crossed the threshold
+    bool starved = false;             ///< queued OR preempted wait crossed the threshold
     bool finished = false;
   };
 

@@ -21,8 +21,16 @@ inline constexpr JobId kInvalidJob = static_cast<JobId>(~0U);
 
 /// Lifecycle: kQueued -> kRunning -> kFinished, with kRejected terminal for
 /// specs that can never be admitted (e.g. more nodes than the cluster has).
+/// kPreempted is a checkpoint-backed detour: kRunning -> kPreempted (block
+/// freed, progress checkpointed) -> kRunning again via a later admit round.
 /// The JobManager validates every transition; anything else throws.
-enum class JobState : std::uint8_t { kQueued = 0, kRunning, kFinished, kRejected };
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kFinished,
+  kRejected,
+  kPreempted,
+};
 
 const char* job_state_name(JobState state) noexcept;
 
@@ -37,6 +45,13 @@ struct JobSpec {
   std::uint64_t dataset_seed = 42;
 
   std::uint16_t nodes = 4;         ///< requested contiguous node-block size
+  /// Elastic width bounds (DESIGN.md §13). 0 = inelastic (exactly `nodes`).
+  /// An elastic job may be admitted, grown, or shrunk to any width in
+  /// [min_nodes, max_nodes] at an epoch boundary via checkpoint-resize-
+  /// restore; the delivery stream is width-invariant, so the resumed job
+  /// still delivers the exact permutation an uninterrupted run would.
+  std::uint16_t min_nodes = 0;
+  std::uint16_t max_nodes = 0;
   std::uint16_t gpus_per_node = 2;
   std::uint32_t batch_size = 16;
   std::uint32_t epochs = 2;
@@ -48,6 +63,16 @@ struct JobSpec {
   /// Scheduler round at which the job arrives (the cluster driver submits
   /// it then; jobs with round 0 are present from the start).
   std::uint64_t arrival_round = 0;
+
+  bool elastic() const noexcept { return min_nodes != 0 || max_nodes != 0; }
+  /// Narrowest width the job accepts (defaults to the requested width).
+  std::uint16_t width_min() const noexcept {
+    return min_nodes != 0 ? std::min(min_nodes, nodes) : nodes;
+  }
+  /// Widest width the job can use.
+  std::uint16_t width_max() const noexcept {
+    return max_nodes != 0 ? std::max(max_nodes, nodes) : nodes;
+  }
 };
 
 /// Deterministic identity of the dataset a job trains over; equal
@@ -72,12 +97,43 @@ struct JobRecord {
   NodeBlock block;                       ///< valid while kRunning/kFinished
   cache::NamespaceId ns = 0;             ///< valid while kRunning/kFinished
   std::uint64_t submit_round = 0;
-  std::uint64_t admit_round = 0;         ///< valid once kRunning
+  std::uint64_t admit_round = 0;         ///< FIRST admission (never reset on resume)
   std::uint64_t finish_round = 0;        ///< valid once kFinished
   std::uint64_t iterations_done = 0;
 
+  // Preemption bookkeeping (DESIGN.md §13). `total_wait_rounds` accumulates
+  // every round spent off the cluster — initial queue wait plus each
+  // preempted stretch — so fairness accounting and deficit ranking survive
+  // preempt/resume cycles without double-counting or resetting.
+  std::uint64_t preempt_round = 0;       ///< valid while kPreempted
+  std::uint64_t last_start_round = 0;    ///< latest admit/resume (cooldown anchor)
+  std::uint32_t preempt_count = 0;
+  std::uint32_t resize_count = 0;
+  std::uint64_t total_wait_rounds = 0;   ///< closed wait stretches (excludes current)
+
   std::uint64_t queue_wait_rounds() const noexcept {
     return state == JobState::kQueued ? 0 : admit_round - submit_round;
+  }
+
+  /// All rounds spent waiting (initial queue + preempted stretches), with
+  /// the still-open stretch priced at `round` for queued/preempted jobs.
+  std::uint64_t wait_rounds_at(std::uint64_t round) const noexcept {
+    std::uint64_t open = 0;
+    if (state == JobState::kQueued && round > submit_round) open = round - submit_round;
+    if (state == JobState::kPreempted && round > preempt_round) open = round - preempt_round;
+    return total_wait_rounds + open;
+  }
+
+  /// Weighted deficit: the fair-share ranking key. Queued and preempted
+  /// jobs accrue claim while they wait; a running job's deficit decays as
+  /// its current run stretch repays the wait it accumulated.
+  double deficit(std::uint64_t round) const noexcept {
+    if (state == JobState::kRunning) {
+      const std::uint64_t repaid = round > last_start_round ? round - last_start_round : 0;
+      const std::uint64_t owed = total_wait_rounds > repaid ? total_wait_rounds - repaid : 0;
+      return static_cast<double>(owed) * spec.weight;
+    }
+    return static_cast<double>(wait_rounds_at(round)) * spec.weight;
   }
 };
 

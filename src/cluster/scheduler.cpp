@@ -18,6 +18,8 @@ const char* job_state_name(JobState state) noexcept {
       return "finished";
     case JobState::kRejected:
       return "rejected";
+    case JobState::kPreempted:
+      return "preempted";
   }
   return "unknown";
 }
@@ -28,6 +30,8 @@ const char* scheduler_policy_name(SchedulerPolicy policy) noexcept {
       return "fifo";
     case SchedulerPolicy::kFairShare:
       return "fair_share";
+    case SchedulerPolicy::kFairSharePreemptive:
+      return "fair_share_preemptive";
   }
   return "unknown";
 }
@@ -56,63 +60,210 @@ JobId JobManager::submit(JobSpec spec, std::uint64_t round) {
 }
 
 std::optional<NodeBlock> JobManager::find_block(std::uint16_t count) const {
-  // First-fit over the contiguous free runs. Cluster sizes here are small
-  // (<= a few hundred simulated nodes), so the linear scan is fine.
+  // Best-fit over the contiguous free runs: the smallest hole that holds
+  // the block wins (ties break to the lowest rank for determinism). This
+  // keeps big holes intact for wide jobs instead of fragmenting them —
+  // first-fit carved wide low-rank holes into slivers and stranded narrow
+  // holes behind running jobs. Cluster sizes here are small (<= a few
+  // hundred simulated nodes), so the linear scan is fine.
+  if (count == 0) return std::nullopt;
+  std::optional<NodeBlock> best;
+  std::uint16_t best_hole = 0;
   std::uint16_t run = 0;
-  for (std::uint16_t node = 0; node < total_nodes_; ++node) {
-    run = node_busy_[node] ? 0 : run + 1;
-    if (run == count) {
-      return NodeBlock{static_cast<NodeId>(node + 1 - count), count};
+  for (std::uint16_t node = 0; node <= total_nodes_; ++node) {
+    if (node < total_nodes_ && !node_busy_[node]) {
+      ++run;
+      continue;
     }
+    if (run >= count && (!best.has_value() || run < best_hole)) {
+      best = NodeBlock{static_cast<NodeId>(node - run), count};
+      best_hole = run;
+    }
+    run = 0;
   }
-  return std::nullopt;
+  return best;
 }
 
 void JobManager::occupy(NodeBlock block, bool value) {
   for (std::uint16_t i = 0; i < block.count; ++i) node_busy_[block.first + i] = value;
 }
 
+bool JobManager::waiting_now(const JobRecord& job, std::uint64_t round) const {
+  return (job.state == JobState::kQueued && job.submit_round <= round) ||
+         job.state == JobState::kPreempted;
+}
+
 bool JobManager::try_admit(JobRecord& job, std::uint64_t round, const BudgetGate& gate) {
-  const auto block = find_block(job.spec.nodes);
+  // Elastic jobs accept any width from their request down to width_min when
+  // the full block does not fit — better to run narrow now and grow at an
+  // epoch boundary than to wait wide.
+  std::optional<NodeBlock> block = find_block(job.spec.nodes);
+  if (!block.has_value() && job.spec.elastic()) {
+    for (std::uint16_t width = job.spec.nodes; width-- > job.spec.width_min() && !block;) {
+      block = find_block(width);
+    }
+  }
   if (!block.has_value()) return false;
   if (gate && !gate(job.spec)) return false;
+  const bool resume = job.state == JobState::kPreempted;
   job.state = JobState::kRunning;
   job.block = *block;
-  job.admit_round = round;
   occupy(*block, true);
-  LOBSTER_METRIC_COUNT("cluster.jobs_admitted", 1);
-  telemetry::EventLog::instance().emit(telemetry::EventKind::kJobAdmitted,
-                                       job.block.first, job.spec.nodes,
-                                       round - job.submit_round, job.spec.name);
+  if (resume) {
+    job.total_wait_rounds += round - job.preempt_round;
+    job.last_start_round = round;
+    ++resumes_;
+    LOBSTER_METRIC_COUNT("cluster.jobs_resumed", 1);
+    telemetry::EventLog::instance().emit(telemetry::EventKind::kJobResumed,
+                                         job.block.first, job.block.count,
+                                         round - job.preempt_round, job.spec.name);
+  } else {
+    job.admit_round = round;
+    job.total_wait_rounds += round - job.submit_round;
+    job.last_start_round = round;
+    LOBSTER_METRIC_COUNT("cluster.jobs_admitted", 1);
+    telemetry::EventLog::instance().emit(telemetry::EventKind::kJobAdmitted,
+                                         job.block.first, job.block.count,
+                                         round - job.submit_round, job.spec.name);
+  }
   return true;
+}
+
+bool JobManager::try_preempt_for(JobRecord& job, std::uint64_t round, const BudgetGate& gate) {
+  const double claim = job.deficit(round);
+  if (claim < preemption_.min_deficit) return false;
+  // Check the budget gate BEFORE evicting anyone: a gate-refused waiter
+  // must not cost running jobs their blocks.
+  if (gate && !gate(job.spec)) return false;
+
+  // Eligible victims: running, past the anti-thrash cooldown, under their
+  // lifetime preemption budget, and trailing the waiter's deficit by the
+  // configured gap (equal claims never bounce each other).
+  std::vector<JobRecord*> pool;
+  for (JobRecord& other : jobs_) {
+    if (other.state != JobState::kRunning) continue;
+    if (round - other.last_start_round < preemption_.cooldown_rounds) continue;
+    if (other.preempt_count >= preemption_.max_preemptions_per_job) continue;
+    if (other.deficit(round) + preemption_.min_deficit_gap > claim) continue;
+    pool.push_back(&other);
+  }
+  std::sort(pool.begin(), pool.end(), [round](const JobRecord* a, const JobRecord* b) {
+    const double da = a->deficit(round), db = b->deficit(round);
+    return da != db ? da < db : a->id < b->id;
+  });
+
+  // Cheapest-first accumulation on a scratch copy of the free map: stop as
+  // soon as the waiter's narrowest acceptable width fits (an elastic job
+  // resumes narrow and regrows later rather than evicting extra victims).
+  const std::uint16_t floor_width = job.spec.elastic() ? job.spec.width_min() : job.spec.nodes;
+  std::vector<bool> scratch(node_busy_);
+  const auto fits = [&scratch, this](std::uint16_t count) {
+    std::uint16_t run = 0;
+    for (std::uint16_t node = 0; node < total_nodes_; ++node) {
+      run = scratch[node] ? 0 : run + 1;
+      if (run == count) return true;
+    }
+    return false;
+  };
+  std::vector<JobRecord*> chosen;
+  for (JobRecord* victim : pool) {
+    if (fits(floor_width)) break;
+    if (chosen.size() >= preemption_.max_victims) break;
+    for (std::uint16_t i = 0; i < victim->block.count; ++i) {
+      scratch[victim->block.first + i] = false;
+    }
+    chosen.push_back(victim);
+  }
+  if (!fits(floor_width)) return false;
+  for (JobRecord* victim : chosen) preempt(victim->id, round);
+  return try_admit(job, round, gate);
 }
 
 std::vector<JobId> JobManager::admit(std::uint64_t round, const BudgetGate& gate) {
   std::vector<JobRecord*> waiting;
   for (JobRecord& job : jobs_) {
-    if (job.state == JobState::kQueued && job.submit_round <= round) waiting.push_back(&job);
+    if (waiting_now(job, round)) waiting.push_back(&job);
   }
   // jobs_ is in submission order, so `waiting` already is FIFO. Fair-share
-  // re-ranks by accumulated deficit (wait x weight), oldest-heaviest first;
-  // ties fall back to arrival order for determinism.
-  if (policy_ == SchedulerPolicy::kFairShare) {
+  // re-ranks by accumulated deficit — initial queue wait plus preempted
+  // stretches, times weight — oldest-heaviest first; ties fall back to
+  // arrival order for determinism. Preempted jobs compete in the same
+  // ranking: their deficit keeps growing while they wait, which is the
+  // no-starvation argument for eviction.
+  if (policy_ != SchedulerPolicy::kFifo) {
     std::stable_sort(waiting.begin(), waiting.end(),
                      [round](const JobRecord* a, const JobRecord* b) {
-                       const double da = static_cast<double>(round - a->submit_round) * a->spec.weight;
-                       const double db = static_cast<double>(round - b->submit_round) * b->spec.weight;
-                       return da > db;
+                       return a->deficit(round) > b->deficit(round);
                      });
   }
   std::vector<JobId> admitted;
   for (JobRecord* job : waiting) {
     if (try_admit(*job, round, gate)) {
       admitted.push_back(job->id);
-    } else if (policy_ == SchedulerPolicy::kFifo) {
+      continue;
+    }
+    if (policy_ == SchedulerPolicy::kFifo) {
       break;  // strict head-of-line: nothing younger may jump the queue
     }
-    // kFairShare: keep scanning — backfill smaller jobs into leftover nodes.
+    // kFairShare(+Preemptive): keep scanning — backfill smaller jobs into
+    // leftover nodes. Preemptive additionally lets a high-deficit waiter
+    // evict lower-deficit running jobs when backfill failed.
+    if (policy_ == SchedulerPolicy::kFairSharePreemptive &&
+        try_preempt_for(*job, round, gate)) {
+      admitted.push_back(job->id);
+    }
   }
   return admitted;
+}
+
+void JobManager::preempt(JobId id, std::uint64_t round) {
+  JobRecord& job = record_mutable(id);
+  if (job.state != JobState::kRunning) {
+    throw std::logic_error(std::string("JobManager::preempt: job is ") +
+                           job_state_name(job.state) + ", not running");
+  }
+  // Hook first, while the record still points at the live block: this is
+  // where the driver cuts the crash-consistent checkpoint (DESIGN.md §13).
+  if (preempt_hook_) preempt_hook_(id, round);
+  const std::uint64_t ran_rounds = round - job.last_start_round;
+  job.state = JobState::kPreempted;
+  job.preempt_round = round;
+  ++job.preempt_count;
+  occupy(job.block, false);
+  ++preemptions_;
+  LOBSTER_METRIC_COUNT("cluster.job_preemptions", 1);
+  telemetry::EventLog::instance().emit(telemetry::EventKind::kJobPreempted,
+                                       job.block.first, job.block.count, ran_rounds,
+                                       job.spec.name);
+}
+
+std::optional<NodeBlock> JobManager::resize(JobId id, std::uint64_t round,
+                                            std::uint16_t new_width) {
+  JobRecord& job = record_mutable(id);
+  if (job.state != JobState::kRunning) {
+    throw std::logic_error(std::string("JobManager::resize: job is ") +
+                           job_state_name(job.state) + ", not running");
+  }
+  if (new_width == 0) throw std::invalid_argument("JobManager::resize: zero width");
+  if (new_width == job.block.count) return job.block;
+  const NodeBlock old = job.block;
+  // Free the old block before searching: a shrink can always land inside
+  // its own freed run, and a grow may merge the freed run with a neighbor.
+  occupy(old, false);
+  const auto block = find_block(new_width);
+  if (!block.has_value()) {
+    occupy(old, true);  // no run wide enough — job stays where it was
+    return std::nullopt;
+  }
+  occupy(*block, true);
+  job.block = *block;
+  ++job.resize_count;
+  ++resizes_;
+  LOBSTER_METRIC_COUNT("cluster.job_resizes", 1);
+  telemetry::EventLog::instance().emit(telemetry::EventKind::kJobResized, block->first,
+                                       old.count, new_width, job.spec.name);
+  (void)round;
+  return block;
 }
 
 void JobManager::finish(JobId id, std::uint64_t round) {
@@ -156,6 +307,14 @@ std::vector<JobId> JobManager::queued() const {
   return out;
 }
 
+std::vector<JobId> JobManager::preempted() const {
+  std::vector<JobId> out;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::kPreempted) out.push_back(job.id);
+  }
+  return out;
+}
+
 std::uint16_t JobManager::free_nodes() const {
   return static_cast<std::uint16_t>(
       std::count(node_busy_.begin(), node_busy_.end(), false));
@@ -166,6 +325,12 @@ std::uint64_t JobManager::oldest_queued_wait(std::uint64_t round) const {
   for (const JobRecord& job : jobs_) {
     if (job.state == JobState::kQueued && job.submit_round <= round) {
       worst = std::max(worst, round - job.submit_round);
+    }
+    // A preempted job is waiting too: its current off-cluster stretch counts
+    // toward the same starvation signal (satellite fix — eviction must never
+    // become silent starvation).
+    if (job.state == JobState::kPreempted) {
+      worst = std::max(worst, round - job.preempt_round);
     }
   }
   return worst;

@@ -18,6 +18,21 @@
 //                  one that fits is admitted. No head-of-line blocking, and
 //                  a job's claim grows the longer it waits, so nothing
 //                  starves behind a stream of later arrivals.
+//  * kFairSharePreemptive — fair share plus checkpoint-based preemption
+//                  (DESIGN.md §13): when a high-deficit waiter cannot be
+//                  backfilled, the lowest-deficit running jobs are evicted
+//                  (through the preempt hook, which checkpoints them) until
+//                  the waiter's block fits. An anti-thrash cooldown and a
+//                  per-job preemption budget bound how often any one job
+//                  can be bounced, and a preempted job re-enters the same
+//                  deficit ranking — its accumulated wait keeps growing —
+//                  so eviction can never become starvation.
+//
+// Placement is gang-scheduled best-fit: a job's block is the smallest free
+// run that holds it, so freed blocks stop fragmenting the pool (first-fit
+// stranded narrow holes at the low ranks). Elastic jobs (JobSpec::
+// min_nodes/max_nodes) may be placed at any width in range when their
+// requested width does not fit, and resized between epochs.
 //
 // Single-threaded by design: the cluster driver calls it between rounds
 // (jobs' iterations run inside a round; scheduling happens at the barrier).
@@ -32,15 +47,39 @@
 
 namespace lobster::cluster {
 
-enum class SchedulerPolicy : std::uint8_t { kFifo = 0, kFairShare };
+enum class SchedulerPolicy : std::uint8_t { kFifo = 0, kFairShare, kFairSharePreemptive };
 
 const char* scheduler_policy_name(SchedulerPolicy policy) noexcept;
+
+/// Anti-thrash knobs for kFairSharePreemptive (DESIGN.md §13).
+struct PreemptionPolicy {
+  /// A waiter below this weighted deficit never triggers a preemption —
+  /// eviction is for genuinely starved arrivals, not every queue blip.
+  double min_deficit = 4.0;
+  /// A victim must trail the waiter by at least this much deficit; equal
+  /// claims never bounce each other.
+  double min_deficit_gap = 2.0;
+  /// Rounds a job must run after (re)starting before it can be evicted —
+  /// the cooldown that prevents preemption ping-pong.
+  std::uint64_t cooldown_rounds = 8;
+  /// Lifetime eviction budget per job; past it the job is preempt-immune.
+  std::uint32_t max_preemptions_per_job = 2;
+  /// Most victims one admission may evict (a single huge waiter cannot
+  /// clear the whole cluster in one round).
+  std::uint32_t max_victims = 3;
+};
 
 class JobManager {
  public:
   /// Admission gate beyond node capacity: the driver binds this to the KV
   /// budget arbiter ("is there headroom to admit this job's working set?").
   using BudgetGate = std::function<bool(const JobSpec&)>;
+
+  /// Invoked just BEFORE a running job's block is released on preemption,
+  /// while its record still points at the live block — the cluster driver
+  /// checkpoints the job's progress here (DESIGN.md §13 crash-consistency
+  /// point). The hook must not call back into the JobManager.
+  using PreemptHook = std::function<void(JobId, std::uint64_t round)>;
 
   JobManager(std::uint16_t total_nodes, SchedulerPolicy policy);
 
@@ -54,37 +93,66 @@ class JobManager {
   /// how the cluster driver pre-loads an arrival schedule.
   JobId submit(JobSpec spec, std::uint64_t round);
 
-  /// Runs one admission round: admits queued jobs per the policy while a
-  /// node block and budget headroom are available. Returns admitted ids in
-  /// admission order. `gate` may be null (node capacity only).
+  /// Runs one admission round: admits queued AND preempted jobs per the
+  /// policy while a node block and budget headroom are available; under
+  /// kFairSharePreemptive, a waiter that cannot be backfilled may evict
+  /// lower-deficit running jobs (through the preempt hook). Returns
+  /// admitted ids in admission order — resumed jobs included; the caller
+  /// tells them apart by their preempt_count. `gate` may be null.
   std::vector<JobId> admit(std::uint64_t round, const BudgetGate& gate = nullptr);
 
   /// kRunning -> kFinished; releases the node block.
   void finish(JobId id, std::uint64_t round);
 
+  /// kRunning -> kPreempted: fires the preempt hook (checkpoint), then
+  /// releases the block and returns the job to the admission pool.
+  void preempt(JobId id, std::uint64_t round);
+
+  /// Re-places a RUNNING elastic job at `new_width` (grow or shrink),
+  /// best-fit over the holes plus its own freed block. Returns the new
+  /// block, or nullopt (job left untouched on its old block) when no run
+  /// of `new_width` exists. The caller drives the checkpoint-resize-restore
+  /// cycle around this.
+  std::optional<NodeBlock> resize(JobId id, std::uint64_t round, std::uint16_t new_width);
+
+  void set_preemption_policy(PreemptionPolicy policy) noexcept { preemption_ = policy; }
+  const PreemptionPolicy& preemption_policy() const noexcept { return preemption_; }
+  void set_preempt_hook(PreemptHook hook) { preempt_hook_ = std::move(hook); }
+
   const JobRecord& record(JobId id) const;
   JobRecord& record_mutable(JobId id);
 
   std::vector<JobId> running() const;
-  std::vector<JobId> queued() const;  ///< in arrival order
+  std::vector<JobId> queued() const;     ///< in arrival order
+  std::vector<JobId> preempted() const;  ///< in arrival order
   std::size_t jobs() const noexcept { return jobs_.size(); }
   std::uint16_t total_nodes() const noexcept { return total_nodes_; }
   std::uint16_t free_nodes() const;
   SchedulerPolicy policy() const noexcept { return policy_; }
+  std::uint64_t preemptions() const noexcept { return preemptions_; }
+  std::uint64_t resumes() const noexcept { return resumes_; }
+  std::uint64_t resizes() const noexcept { return resizes_; }
 
-  /// Longest current queue wait in rounds (0 when the queue is empty) —
-  /// the starvation signal the fairness tracker samples.
+  /// Longest current wait in rounds across queued AND preempted jobs (0
+  /// when none wait) — the starvation signal the fairness tracker samples.
   std::uint64_t oldest_queued_wait(std::uint64_t round) const;
 
  private:
   std::optional<NodeBlock> find_block(std::uint16_t count) const;
   void occupy(NodeBlock block, bool value);
   bool try_admit(JobRecord& job, std::uint64_t round, const BudgetGate& gate);
+  bool try_preempt_for(JobRecord& job, std::uint64_t round, const BudgetGate& gate);
+  bool waiting_now(const JobRecord& job, std::uint64_t round) const;
 
   std::uint16_t total_nodes_;
   SchedulerPolicy policy_;
+  PreemptionPolicy preemption_;
+  PreemptHook preempt_hook_;
   std::vector<bool> node_busy_;
   std::vector<JobRecord> jobs_;  ///< indexed by JobId
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::uint64_t resizes_ = 0;
 };
 
 }  // namespace lobster::cluster

@@ -361,6 +361,39 @@ std::uint64_t FeedbackBalancer::slow_node_events() const {
   return slow_node_events_;
 }
 
+FeedbackBalancer::State FeedbackBalancer::export_state() const {
+  const std::scoped_lock lock(mutex_);
+  State state;
+  state.devices.reserve(rates_.size());
+  for (std::size_t d = 0; d < rates_.size(); ++d) {
+    state.devices.push_back(
+        {rates_[d].ewma_rate(), rates_[d].observations(), static_cast<bool>(down_[d])});
+  }
+  state.quotas = quotas_;
+  state.applied_weights = applied_weights_;
+  state.applied_targets = applied_targets_;
+  state.observed_iters = observed_iters_;
+  return state;
+}
+
+void FeedbackBalancer::restore_state(const State& state) {
+  const std::scoped_lock lock(mutex_);
+  if (state.devices.size() != rates_.size()) {
+    throw std::invalid_argument(
+        "FeedbackBalancer::restore_state: device count mismatch (resize the "
+        "checkpoint through export/restore at the new shape instead)");
+  }
+  for (std::size_t d = 0; d < rates_.size(); ++d) {
+    rates_[d].restore_rate(state.devices[d].ewma,
+                           static_cast<std::size_t>(state.devices[d].observations));
+    down_[d] = state.devices[d].down;
+  }
+  if (state.quotas.size() == quotas_.size()) quotas_ = state.quotas;
+  applied_weights_ = state.applied_weights;
+  applied_targets_ = state.applied_targets;
+  observed_iters_ = state.observed_iters;
+}
+
 // --- RebalanceBarrier ---
 
 RebalanceBarrier::RebalanceBarrier(FeedbackBalancer& balancer, std::uint32_t nodes)

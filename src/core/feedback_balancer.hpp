@@ -131,6 +131,28 @@ class FeedbackBalancer {
   std::uint64_t quota_moves() const;
   std::uint64_t slow_node_events() const;
 
+  /// Checkpointable controller state (DESIGN.md §13): the per-device EWMA
+  /// history plus the applied split. Restoring it lets a preempted job's
+  /// balancer resume without re-running warmup — the learned heterogeneity
+  /// picture survives the preemption.
+  struct State {
+    struct DeviceRate {
+      double ewma = 0.0;
+      std::uint64_t observations = 0;
+      bool down = false;
+    };
+    std::vector<DeviceRate> devices;
+    std::vector<std::uint32_t> quotas;
+    std::vector<double> applied_weights;
+    std::vector<std::uint32_t> applied_targets;
+    std::uint64_t observed_iters = 0;
+  };
+  State export_state() const;
+  /// Throws std::invalid_argument when the state's device count does not
+  /// match this balancer's world size (a checkpoint from a different shape
+  /// must go through the resize path, not a blind restore).
+  void restore_state(const State& state);
+
  private:
   std::vector<double> weights_locked() const;
   void update_slow_nodes_locked(const std::vector<double>& weights);

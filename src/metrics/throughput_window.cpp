@@ -33,6 +33,16 @@ double ThroughputWindow::windowed_rate() const noexcept {
   return elapsed > 0.0 ? static_cast<double>(samples) / elapsed : 0.0;
 }
 
+void ThroughputWindow::restore_rate(double rate, std::size_t observations) {
+  reset();
+  if (observations == 0 || !(rate > 0.0)) return;
+  ewma_ = rate;
+  entries_.push_back(Entry{static_cast<std::uint64_t>(rate), 1.0});
+  total_samples_ = static_cast<std::uint64_t>(rate);
+  total_seconds_ = 1.0;
+  observations_ = observations;
+}
+
 void ThroughputWindow::reset() {
   ewma_ = 0.0;
   entries_.clear();

@@ -47,6 +47,12 @@ class ThroughputWindow {
 
   void reset();
 
+  /// Rehydrates the window from checkpointed state: seeds the EWMA at
+  /// `rate` and restores the observation count, with one synthetic
+  /// one-second entry so windowed_rate() reports `rate` until real
+  /// observations displace it. A zero-observation restore is a reset.
+  void restore_rate(double rate, std::size_t observations);
+
  private:
   struct Entry {
     std::uint64_t samples;

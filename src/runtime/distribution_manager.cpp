@@ -38,18 +38,6 @@ struct ResponseHeader {
   std::uint8_t found;
 };
 
-/// Order-independent checksum over an inventory id list. The inventory
-/// message drives directory mutations on rejoin, so a corrupted list must
-/// be detected end to end like any sample payload.
-std::uint64_t inventory_checksum(const std::vector<SampleId>& samples) {
-  std::uint64_t hash = 0x1AB5'7E12'D00D'F00DULL ^ samples.size();
-  for (const SampleId s : samples) {
-    std::uint64_t state = s;
-    hash ^= splitmix64(state);
-  }
-  return hash;
-}
-
 std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -118,6 +106,15 @@ std::size_t pattern_offset(std::size_t size) {
 }
 
 }  // namespace
+
+std::uint64_t inventory_checksum(const std::vector<SampleId>& samples) noexcept {
+  std::uint64_t hash = 0x1AB5'7E12'D00D'F00DULL ^ samples.size();
+  for (const SampleId s : samples) {
+    std::uint64_t state = s;
+    hash ^= splitmix64(state);
+  }
+  return hash;
+}
 
 void make_sample_payload_into(SampleId sample, Bytes size, std::byte* dst) {
   const auto n = static_cast<std::size_t>(size);

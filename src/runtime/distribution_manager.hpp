@@ -47,6 +47,12 @@
 
 namespace lobster::runtime {
 
+/// Order-independent checksum over an inventory id list. Guards the rejoin
+/// inventory exchange AND the checkpoint residency manifest (DESIGN.md
+/// §13): any id list that drives directory mutations must be verifiable
+/// end to end.
+std::uint64_t inventory_checksum(const std::vector<SampleId>& samples) noexcept;
+
 /// Deterministic synthetic payload for a sample (first bytes carry the id
 /// and a checksum; the rest is a keyed byte pattern).
 std::vector<std::byte> make_sample_payload(SampleId sample, Bytes size);

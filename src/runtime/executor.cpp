@@ -369,6 +369,14 @@ ExecutionReport PlanExecutor::run() {
     // the FeedbackBalancer / RebalanceBarrier exchange inside it).
     core::RebalancePlan rebalance;
     if (config_.iteration_hook) config_.iteration_hook(iteration.iter, feedback_, rebalance);
+    // Iteration boundary = the checkpoint consistency point (DESIGN.md §13):
+    // the previous iteration's delivery fully landed, this one has not
+    // touched the tier. Watchdog paused across the cut so checkpoint I/O
+    // can neither fire a spurious stall nor enter the deadline median.
+    if (config_.checkpoint_hook) {
+      WatchdogPause pause_guard(watchdog_);
+      if (config_.checkpoint_hook(iteration.iter)) ++report.checkpoints;
+    }
     if (watchdog_ != nullptr) watchdog_->begin_iteration(iteration.iter);
     const auto& node_plan = iteration.nodes.at(config_.node);
     const auto epoch = static_cast<std::uint32_t>(iteration.iter / I);

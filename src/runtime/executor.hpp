@@ -78,6 +78,14 @@ struct ExecutorConfig {
   /// the signal the feedback balancer closes the loop on. Empty = full speed.
   sim::CapacityProfile capacity;
   IterationHook iteration_hook;
+  /// Checkpoint hook (DESIGN.md §13), polled at every iteration boundary —
+  /// after iteration h's delivery fully landed, before h+1 touches the tier
+  /// (the crash-consistency point: there is never a half-delivered
+  /// iteration to reconcile). Return true to report that a checkpoint was
+  /// cut. The executor brackets the call with a watchdog pause, so a slow
+  /// checkpoint (file I/O) cannot fire a spurious stall or skew the
+  /// trailing-median deadline.
+  std::function<bool(IterId boundary)> checkpoint_hook;
 };
 
 /// Multi-tenant job context (DESIGN.md §10). When a job context is set,
@@ -130,6 +138,8 @@ struct ExecutionReport {
   /// evicted / corrupt reply re-routed / re-materialized from the PFS).
   /// Recoverable by design, so not part of clean().
   std::uint64_t quarantined_payloads = 0;
+  /// Checkpoints the checkpoint_hook reported cut at iteration boundaries.
+  std::uint64_t checkpoints = 0;
   Seconds virtual_total = 0.0;
 
   bool clean() const noexcept {

@@ -55,6 +55,7 @@ Seconds IterationWatchdog::next_deadline() const {
 void IterationWatchdog::begin_iteration(IterId iter) {
   const std::scoped_lock lock(mutex_);
   iter_ = iter;
+  if (pause_depth_ > 0) return;  // paused: the stretch is not an iteration
   started_ = Clock::now();
   deadline_s_ = deadline_locked();
   flagged_ = false;
@@ -75,6 +76,27 @@ void IterationWatchdog::end_iteration() {
     window_next_ = (window_next_ + 1) % config_.window;
   }
   cv_.notify_all();
+}
+
+void IterationWatchdog::pause() {
+  const std::scoped_lock lock(mutex_);
+  ++pause_depth_;
+  // Disarm WITHOUT recording: the partially-run iteration's wall time (and
+  // the pause itself) must not enter the trailing median, and the deadline
+  // thread must not fire while the job is checkpointing.
+  armed_ = false;
+  cv_.notify_all();
+}
+
+void IterationWatchdog::resume() {
+  const std::scoped_lock lock(mutex_);
+  if (pause_depth_ > 0) --pause_depth_;
+  cv_.notify_all();
+}
+
+bool IterationWatchdog::paused() const {
+  const std::scoped_lock lock(mutex_);
+  return pause_depth_ > 0;
 }
 
 void IterationWatchdog::watch_loop(const std::stop_token& token) {

@@ -58,10 +58,21 @@ class IterationWatchdog {
   void stop();
 
   /// Arms the deadline for iteration `iter`, starting the clock now.
+  /// No-op while paused (a checkpoint/restore stretch is not an iteration).
   void begin_iteration(IterId iter);
 
   /// Disarms and records the iteration's duration into the trailing window.
   void end_iteration();
+
+  /// Suspends stall detection across a checkpoint/restore pause (DESIGN.md
+  /// §13): the in-flight deadline is disarmed WITHOUT recording its
+  /// duration — a preemption stretch must neither fire a spurious
+  /// `executor.iteration_stalls` (and its flight-recorder bundle) nor
+  /// pollute the trailing median the future deadlines derive from.
+  /// Nestable: resume() must be called once per pause().
+  void pause();
+  void resume();
+  bool paused() const;
 
   /// Iterations flagged as stalled so far (each flagged at most once).
   std::uint64_t stalls() const noexcept { return stalls_.load(std::memory_order_relaxed); }
@@ -93,6 +104,7 @@ class IterationWatchdog {
   std::size_t window_next_ = 0;
   bool armed_ = false;
   bool flagged_ = false;          // current iteration already counted
+  std::uint32_t pause_depth_ = 0;
   IterId iter_ = 0;
   Clock::time_point started_{};
   Seconds deadline_s_ = 0.0;
@@ -100,6 +112,24 @@ class IterationWatchdog {
 
   std::atomic<std::uint64_t> stalls_{0};
   std::jthread thread_;
+};
+
+/// RAII pause bracket: `WatchdogPause guard(watchdog);` around a
+/// checkpoint/restore stretch. Null watchdog is a no-op, so call sites
+/// need no wiring checks.
+class WatchdogPause {
+ public:
+  explicit WatchdogPause(IterationWatchdog* watchdog) : watchdog_(watchdog) {
+    if (watchdog_ != nullptr) watchdog_->pause();
+  }
+  ~WatchdogPause() {
+    if (watchdog_ != nullptr) watchdog_->resume();
+  }
+  WatchdogPause(const WatchdogPause&) = delete;
+  WatchdogPause& operator=(const WatchdogPause&) = delete;
+
+ private:
+  IterationWatchdog* watchdog_;
 };
 
 }  // namespace lobster::runtime

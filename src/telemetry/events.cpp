@@ -33,6 +33,9 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kWatchdogStall: return "watchdog_stall";
     case EventKind::kServeSendFailure: return "serve_send_failure";
     case EventKind::kIncident: return "incident";
+    case EventKind::kJobPreempted: return "job_preempted";
+    case EventKind::kJobResumed: return "job_resumed";
+    case EventKind::kJobResized: return "job_resized";
     case EventKind::kKindCount: break;
   }
   return "unknown";

@@ -39,6 +39,9 @@ enum class EventKind : std::uint8_t {
   kWatchdogStall,      ///< iteration exceeded the stall deadline (a = iter)
   kServeSendFailure,   ///< serve-side reply send failed (a = request id)
   kIncident,           ///< flight recorder dumped a bundle (a = bundle seq)
+  kJobPreempted,       ///< scheduler evicted a running job (a = width, b = run rounds)
+  kJobResumed,         ///< preempted job restored from checkpoint (a = width, b = wait rounds)
+  kJobResized,         ///< elastic job re-placed (a = old width, b = new width)
   kKindCount,
 };
 

@@ -44,6 +44,7 @@ const char* first_flag_name(const MonitorSample& sample) noexcept {
   if (sample.corruption_detected) return "corruption_detected";
   if (sample.job_starved) return "job_starved";
   if (sample.slow_node_detected) return "slow_node_detected";
+  if (sample.job_preempt_storm) return "job_preempt_storm";
   return "anomaly";
 }
 
@@ -114,6 +115,7 @@ MonitorSample Monitor::sample_once() {
   sample.iteration_stalls = registry.counter("executor.iteration_stalls").value();
   sample.corrupt_replies = registry.counter("comm.corrupt_replies").value();
   sample.job_starvations = registry.counter("cluster.job_starvations").value();
+  sample.job_preemptions = registry.counter("cluster.job_preemptions").value();
   sample.slow_node_events = registry.counter("balancer.slow_node_detected").value();
   sample.jobs_running = registry.gauge("cluster.jobs_running").value();
   sample.jobs_queued = registry.gauge("cluster.jobs_queued").value();
@@ -131,6 +133,7 @@ MonitorSample Monitor::sample_once() {
       sample.d_iteration_stalls = saturating_sub(sample.iteration_stalls, prev_.iteration_stalls);
       sample.d_corrupt_replies = saturating_sub(sample.corrupt_replies, prev_.corrupt_replies);
       sample.d_job_starvations = saturating_sub(sample.job_starvations, prev_.job_starvations);
+      sample.d_job_preemptions = saturating_sub(sample.job_preemptions, prev_.job_preemptions);
       sample.d_slow_node_events = saturating_sub(sample.slow_node_events, prev_.slow_node_events);
     } else {
       sample.d_iterations = sample.iterations;
@@ -142,6 +145,7 @@ MonitorSample Monitor::sample_once() {
       sample.d_iteration_stalls = sample.iteration_stalls;
       sample.d_corrupt_replies = sample.corrupt_replies;
       sample.d_job_starvations = sample.job_starvations;
+      sample.d_job_preemptions = sample.job_preemptions;
       sample.d_slow_node_events = sample.slow_node_events;
     }
 
@@ -161,6 +165,7 @@ MonitorSample Monitor::sample_once() {
     sample.corruption_detected = sample.d_corrupt_replies > 0;
     sample.job_starved = sample.d_job_starvations > 0;
     sample.slow_node_detected = sample.d_slow_node_events > 0;
+    sample.job_preempt_storm = sample.d_job_preemptions > config_.preempt_storm_threshold;
 
     prev_ = sample;
     has_prev_ = true;
@@ -193,6 +198,7 @@ void Monitor::emit(const MonitorSample& sample) {
     if (sample.corruption_detected) flags += " corruption_detected";
     if (sample.job_starved) flags += " job_starved";
     if (sample.slow_node_detected) flags += " slow_node_detected";
+    if (sample.job_preempt_storm) flags += " job_preempt_storm";
     log::info("heartbeat #%llu t=%.1fs iters=%llu(+%llu) gap=%.3f hit=%.3f "
               "consumed=%.1fMB prefetch=%.1fMB flags=[%s]",
               static_cast<unsigned long long>(sample.seq), sample.uptime_s,
@@ -232,6 +238,7 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "iteration_stalls", sample.iteration_stalls); line += ',';
   append_kv(line, "corrupt_replies", sample.corrupt_replies); line += ',';
   append_kv(line, "job_starvations", sample.job_starvations); line += ',';
+  append_kv(line, "job_preemptions", sample.job_preemptions); line += ',';
   append_kv(line, "slow_node_events", sample.slow_node_events); line += ',';
   append_kv(line, "jobs_running", sample.jobs_running); line += ',';
   append_kv(line, "jobs_queued", sample.jobs_queued); line += ',';
@@ -246,7 +253,8 @@ void Monitor::emit(const MonitorSample& sample) {
   append_kv(line, "iteration_stalled", sample.iteration_stalled); line += ',';
   append_kv(line, "corruption_detected", sample.corruption_detected); line += ',';
   append_kv(line, "job_starved", sample.job_starved); line += ',';
-  append_kv(line, "slow_node_detected", sample.slow_node_detected);
+  append_kv(line, "slow_node_detected", sample.slow_node_detected); line += ',';
+  append_kv(line, "job_preempt_storm", sample.job_preempt_storm);
   line += "}}";
   if (config_.recorder != nullptr) config_.recorder->record_heartbeat(line);
   if (out_open_) {

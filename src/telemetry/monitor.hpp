@@ -38,6 +38,11 @@
 //                        node as slow since the last sample
 //                        (balancer.slow_node_detected grew): quotas are
 //                        draining away from a straggler (DESIGN.md §12).
+//  * job_preempt_storm — checkpoint-based preemptions during the interval
+//                        exceeded preempt_storm_threshold
+//                        (cluster.job_preemptions delta, DESIGN.md §13):
+//                        the fair-share policy is thrashing jobs on and
+//                        off the cluster instead of letting them run.
 //
 // sample_once() is public and synchronous so tests (and one-shot CLI use)
 // can exercise the exact code path the thread runs, without timing games.
@@ -66,6 +71,9 @@ struct MonitorConfig {
   double straggler_gap_threshold = 0.10;
   /// Remote-fetch retries per interval above this raise retry_storm.
   std::uint64_t retry_storm_threshold = 32;
+  /// Job preemptions per interval above this raise job_preempt_storm —
+  /// a few evictions are the policy working; a burst is thrash.
+  std::uint64_t preempt_storm_threshold = 8;
   /// Flight-recorder wiring (DESIGN.md §11): every heartbeat line is fed
   /// into the recorder's ring, and any sample with an anomaly flag triggers
   /// an incident dump (named after the first raised flag). The recorder
@@ -95,6 +103,7 @@ struct MonitorSample {
   std::uint64_t iteration_stalls = 0;  ///< executor.iteration_stalls counter
   std::uint64_t corrupt_replies = 0;   ///< comm.corrupt_replies counter
   std::uint64_t job_starvations = 0;   ///< cluster.job_starvations counter
+  std::uint64_t job_preemptions = 0;   ///< cluster.job_preemptions counter
   std::uint64_t slow_node_events = 0;  ///< balancer.slow_node_detected counter
   double jobs_running = 0.0;           ///< cluster.jobs_running gauge
   double jobs_queued = 0.0;            ///< cluster.jobs_queued gauge
@@ -109,6 +118,7 @@ struct MonitorSample {
   std::uint64_t d_iteration_stalls = 0;
   std::uint64_t d_corrupt_replies = 0;
   std::uint64_t d_job_starvations = 0;
+  std::uint64_t d_job_preemptions = 0;
   std::uint64_t d_slow_node_events = 0;
 
   bool straggler_gap = false;
@@ -121,11 +131,12 @@ struct MonitorSample {
   bool corruption_detected = false;
   bool job_starved = false;
   bool slow_node_detected = false;
+  bool job_preempt_storm = false;
 
   bool any_flag() const noexcept {
     return straggler_gap || prefetch_outrun || queue_starved || trace_ring_overflow ||
            peer_down || retry_storm || iteration_stalled || corruption_detected ||
-           job_starved || slow_node_detected;
+           job_starved || slow_node_detected || job_preempt_storm;
   }
   double cache_hit_ratio() const noexcept {
     const auto total = cache_hits + cache_misses;

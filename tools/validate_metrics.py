@@ -51,13 +51,13 @@ HEARTBEAT_SCHEMA = "lobster.heartbeat.v1"
 HEARTBEAT_FLAGS = {
     "straggler_gap", "prefetch_outrun", "queue_starved", "trace_ring_overflow",
     "peer_down", "retry_storm", "iteration_stalled", "corruption_detected",
-    "job_starved", "slow_node_detected",
+    "job_starved", "slow_node_detected", "job_preempt_storm",
 }
 EVENTS_SCHEMA = "lobster.events.v1"
 EVENT_KINDS = {
     "job_admitted", "job_finished", "node_down", "node_rejoin", "breaker_open",
     "breaker_close", "quarantine", "watchdog_stall", "serve_send_failure",
-    "incident",
+    "incident", "job_preempted", "job_resumed", "job_resized",
 }
 SPANS_SCHEMA = "lobster.spans.v1"
 SPAN_KINDS = {
